@@ -1,0 +1,35 @@
+"""Ablation (E20 extension): offload policies under a varying uplink.
+
+Section 2.1's eco-system ask verbatim: runtimes must respond
+"dynamically to changes in the reliability and energy efficiency of the
+cloud uplink".  The adaptive policy tracks the clairvoyant oracle
+within a few percent while both static policies lose badly somewhere.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.accelerator import policy_comparison
+
+
+def test_ablation_adaptive_offload(benchmark):
+    out = benchmark(policy_comparison, 500)
+    assert out["adaptive"]["energy_vs_oracle"] < 1.15
+    assert out["always_local"]["energy_vs_oracle"] > 1.5
+    assert out["always_offload"]["failed_offloads"] > 0
+    print()
+    print(
+        format_table(
+            ["policy", "energy (J)", "vs oracle", "offloaded",
+             "failed offloads"],
+            [
+                (k, f"{v['energy_j']:.1f}",
+                 f"{v['energy_vs_oracle']:.2f}x",
+                 f"{v['offload_fraction']:.0%}",
+                 int(v["failed_offloads"]))
+                for k, v in out.items()
+            ],
+            title="[ablation/E20] offload policies on a varying uplink "
+                  "(outages included)",
+        )
+    )

@@ -1,0 +1,35 @@
+"""Ablation (§2.1/Appendix A): provisioning policy vs energy
+proportionality.
+
+Barroso-Hoelzle's observation, which the paper builds on: servers are
+"rarely completely idle and seldom need to operate at their maximum
+rate".  Autoscaling chases the diurnal curve in software; energy-
+proportional hardware fixes it at the source — and wins without the
+reaction-lag QoS exposure.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import policy_energy_comparison
+
+
+def test_ablation_autoscale(benchmark):
+    out = benchmark(policy_energy_comparison, 0)
+    assert out["autoscale"]["energy_vs_static"] < 0.9
+    assert out["proportional_hw"]["energy_vs_static"] < 0.85
+    assert out["proportional_hw"]["overload_rate"] == 0.0
+    print()
+    print(
+        format_table(
+            ["policy", "energy vs static", "overloaded intervals",
+             "mean servers", "boots"],
+            [
+                (k, f"{v['energy_vs_static']:.1%}",
+                 f"{v['overload_rate']:.2%}",
+                 f"{v['mean_servers']:.1f}", int(v["boots"]))
+                for k, v in out.items()
+            ],
+            title="[ablation] one diurnal day, 64-server peak fleet",
+        )
+    )

@@ -1,0 +1,47 @@
+"""Ablation (Section 2.3 extension): beyond-CMOS device selection.
+
+The paper's device list verbatim — "sub/near-threshold CMOS, QWFETs,
+TFETs, and QCAs" — raced along the energy-delay frontier.  The winner
+flips with the delay budget: no single "winning combination of density,
+speed, power consumption, and reliability", which is why the search
+"continues".
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.technology import best_device_at_speed, crossover_table
+
+
+def sweep():
+    budgets = (1.0, 3.0, 10.0, 50.0, 1000.0)
+    table = crossover_table(budgets)
+    details = {
+        b: best_device_at_speed(b) for b in budgets
+    }
+    return table, details
+
+
+def test_ablation_beyond_cmos(benchmark):
+    table, details = benchmark(sweep)
+    winners = list(table.values())
+    assert len(set(winners)) >= 3  # the crown changes hands
+    # Steep-slope devices own the relaxed-delay end.
+    assert table[1000.0] in ("tfet", "qca")
+    # Energy improves monotonically as the budget relaxes.
+    energies = [details[b]["energy_rel"] for b in sorted(details)]
+    assert all(a >= b - 1e-12 for a, b in zip(energies, energies[1:]))
+    print()
+    print(
+        format_table(
+            ["delay budget (rel)", "best device", "energy (rel)",
+             "Vdd (V)"],
+            [
+                (f"{b:g}", d["device"], f"{d['energy_rel']:.3g}",
+                 f"{d['vdd_v']:.2f}")
+                for b, d in sorted(details.items())
+            ],
+            title="[ablation] beyond-CMOS device race "
+                  "(energy at a delay budget)",
+        )
+    )

@@ -1,0 +1,38 @@
+"""Ablation (Section 2.1 extension): DVFS governor comparison.
+
+The paper's "using user feedback to adjust voltage/frequency to save
+energy": the human-in-the-loop governor undercuts both classic
+governors on energy by tolerating backlog the user does not notice —
+and pays in strict-QoS violations, making the tradeoff explicit.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.processor import governor_comparison
+
+
+def test_ablation_dvfs_governors(benchmark):
+    out = benchmark(governor_comparison, 4000, 0)
+    assert (
+        out["user_feedback"]["energy_j"]
+        < out["ondemand"]["energy_j"]
+        < out["race_to_idle"]["energy_j"]
+    )
+    assert (
+        out["user_feedback"]["violation_rate"]
+        > out["race_to_idle"]["violation_rate"]
+    )
+    print()
+    print(
+        format_table(
+            ["governor", "energy (J)", "J/work", "strict-QoS violations",
+             "mean backlog"],
+            [
+                (k, f"{v['energy_j']:.1f}", f"{v['energy_per_work_j']:.4f}",
+                 f"{v['violation_rate']:.1%}", f"{v['mean_backlog']:.2f}")
+                for k, v in out.items()
+            ],
+            title="[ablation] DVFS governors on bursty mobile demand",
+        )
+    )

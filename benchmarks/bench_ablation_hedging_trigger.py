@@ -1,0 +1,42 @@
+"""Ablation (E07): hedged-request trigger quantile.
+
+The design knob behind tail tolerance: trigger earlier and the tail
+collapses further but the duplicate load grows.  The bench sweeps the
+trigger and prints the frontier an operator actually tunes on.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import hedging_effectiveness, straggler_mixture
+
+
+def sweep():
+    dist = straggler_mixture()
+    out = []
+    for trigger in (0.80, 0.90, 0.95, 0.99):
+        res = hedging_effectiveness(
+            dist, fanout=100, n_requests=2000,
+            trigger_quantile=trigger, rng=0,
+        )
+        out.append((trigger, res["p99_reduction"], res["extra_load_fraction"]))
+    return out
+
+
+def test_ablation_hedging_trigger(benchmark):
+    rows = benchmark(sweep)
+    # Monotone tradeoff: earlier trigger => more load.
+    loads = [r[2] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(loads, loads[1:]))
+    # Classic operating point: p95 trigger cuts the tail >50% for <10%.
+    p95 = next(r for r in rows if r[0] == 0.95)
+    assert p95[1] > 0.5 and p95[2] < 0.10
+    print()
+    print(
+        format_table(
+            ["trigger quantile", "p99 reduction", "extra load"],
+            [(f"p{int(t * 100)}", f"{red:.1%}", f"{load:.1%}")
+             for t, red, load in rows],
+            title="[ablation/E07] hedging trigger sweep (fanout 100)",
+        )
+    )

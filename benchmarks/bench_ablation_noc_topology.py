@@ -1,0 +1,65 @@
+"""Ablation (E04/E21 substrate): NoC topology choice.
+
+Compares hop counts and wiring of the classic topologies, then runs
+the mesh NoC under uniform traffic to tie topology to delivered
+latency/energy — the "networking structures at different scales"
+design question (Section 2.2).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.interconnect import (
+    MeshNoC,
+    NoCConfig,
+    average_hops,
+    crossbar,
+    mesh2d,
+    poisson_injection_times,
+    ring,
+    topology_summary,
+    torus2d,
+    uniform_random_pairs,
+)
+
+
+def sweep():
+    topologies = {
+        "ring": ring(16),
+        "mesh 4x4": mesh2d(4, 4),
+        "torus 4x4": torus2d(4, 4),
+        "crossbar": crossbar(16),
+    }
+    summaries = {name: topology_summary(g) for name, g in topologies.items()}
+    noc = MeshNoC(NoCConfig(width=4, height=4))
+    pairs = uniform_random_pairs(600, 4, 4, rng=0)
+    times = poisson_injection_times(600, 0.8, rng=0)
+    run = noc.run(pairs, injection_times=times)
+    return summaries, run
+
+
+def test_ablation_noc_topology(benchmark):
+    summaries, run = benchmark(sweep)
+    # Hop-count ordering: crossbar < torus < mesh < ring.
+    hops = {k: v["average_hops"] for k, v in summaries.items()}
+    assert (
+        hops["crossbar"] < hops["torus 4x4"]
+        < hops["mesh 4x4"] < hops["ring"]
+    )
+    # Wiring cost ordering is the reverse for crossbar vs mesh.
+    assert summaries["crossbar"]["links"] > summaries["mesh 4x4"]["links"]
+    assert run.mean_latency > 0
+    print()
+    print(
+        format_table(
+            ["topology", "links", "diameter", "avg hops"],
+            [(k, int(v["links"]), int(v["diameter"]),
+              f"{v['average_hops']:.2f}") for k, v in summaries.items()],
+            title="[ablation] 16-node topology comparison",
+        )
+    )
+    print(
+        f"\nmesh NoC under uniform load: mean latency "
+        f"{run.mean_latency:.1f} cycles, {run.mean_hops:.2f} hops/packet, "
+        f"{run.energy_per_packet_j():.3g} J/packet"
+    )

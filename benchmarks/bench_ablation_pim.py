@@ -1,0 +1,38 @@
+"""Ablation (Section 2.2 extension): in-place computation.
+
+"It is often worth doing the computation locally to reduce the
+energy-expensive communication load ... we also need more research on
+... in-place computation."  The sweep shows where near-memory compute
+wins (scans/filters) and where the host core keeps the job
+(compute-dense kernels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.memory import PIMSystem, intensity_crossover_ops_per_byte, pim_comparison
+
+
+def test_ablation_pim(benchmark):
+    out = benchmark(pim_comparison)
+    wins = out["pim_wins_energy"]
+    assert wins[0] and not wins[-1]
+    crossover = intensity_crossover_ops_per_byte(PIMSystem())
+    assert 1.0 <= crossover <= 100.0
+    print()
+    print(
+        format_table(
+            ["ops/byte", "host energy (J)", "PIM energy (J)", "winner"],
+            [
+                (f"{i:g}", f"{h:.3g}", f"{p:.3g}",
+                 "PIM" if w else "host")
+                for i, h, p, w in zip(
+                    out["ops_per_byte"], out["host_energy_j"],
+                    out["pim_energy_j"], wins,
+                )
+            ],
+            title="[ablation] in-place computation vs host compute "
+                  f"(1 GiB scan; crossover ~{crossover:.0f} ops/byte)",
+        )
+    )

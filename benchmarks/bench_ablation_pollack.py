@@ -1,0 +1,40 @@
+"""Ablation (E08): Pollack-exponent sensitivity of Hill-Marty designs.
+
+The organization ranking (dynamic >= asymmetric >= symmetric) should
+not depend on the exact perf ~ area^e fit; the sweep verifies the
+conclusion is robust from e = 0.3 (pessimistic) to 0.7 (optimistic).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.parallel import organization_comparison
+from repro.processor import core_performance
+
+
+def sweep():
+    out = []
+    for exponent in (0.3, 0.4, 0.5, 0.6, 0.7):
+        perf = lambda r, e=exponent: float(core_performance(r, e))
+        oc = organization_comparison(0.9, 256, perf)
+        out.append(
+            (exponent, oc["symmetric"].speedup,
+             oc["asymmetric"].speedup, oc["dynamic"].speedup)
+        )
+    return out
+
+
+def test_ablation_pollack_exponent(benchmark):
+    rows = benchmark(sweep)
+    for e, sym, asym, dyn in rows:
+        assert dyn >= asym - 1e-9 >= sym - 1e-9, e
+    print()
+    print(
+        format_table(
+            ["Pollack exponent", "symmetric", "asymmetric", "dynamic"],
+            [(f"{e:.1f}", f"{s:.1f}x", f"{a:.1f}x", f"{d:.1f}x")
+             for e, s, a, d in rows],
+            title="[ablation/E08] organization ranking vs perf~area^e "
+                  "(f=0.9, n=256 BCE)",
+        )
+    )

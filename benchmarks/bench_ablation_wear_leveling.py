@@ -1,0 +1,45 @@
+"""Ablation (E11): Start-Gap rotation speed.
+
+Gap interval is Start-Gap's one parameter: rotate too slowly and hot
+lines die before they move; rotate too fast and migration writes eat
+the endurance budget.  The sweep exposes the interior optimum.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.memory import StartGapWearLeveling, lifetime_writes
+
+
+def sweep():
+    out = []
+    for gap_interval in (1, 4, 16, 64, 256):
+        res = lifetime_writes(
+            StartGapWearLeveling(256, gap_interval=gap_interval),
+            endurance=2000, max_writes=3_000_000, rng=0,
+        )
+        out.append(
+            (gap_interval, res["writes_survived"],
+             res["migration_writes"], res["leveling_efficiency"])
+        )
+    return out
+
+
+def test_ablation_wear_leveling_gap(benchmark):
+    rows = benchmark(sweep)
+    lifetimes = [r[1] for r in rows]
+    # Fast rotation beats slow rotation by a large factor...
+    assert max(lifetimes[:3]) > 3 * lifetimes[-1]
+    # ...and migrations grow as the interval shrinks.
+    migrations = [r[2] for r in rows]
+    assert migrations[0] > migrations[-1]
+    print()
+    print(
+        format_table(
+            ["gap interval", "writes survived", "migrations", "efficiency"],
+            [(int(g), f"{w:.3g}", f"{m:.3g}", f"{e:.1%}")
+             for g, w, m, e in rows],
+            title="[ablation/E11] Start-Gap rotation-speed sweep "
+                  "(endurance 2000, 256 lines)",
+        )
+    )

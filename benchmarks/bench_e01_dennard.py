@@ -1,0 +1,21 @@
+"""E01 — Table 1 rows 1-2: Moore continues, Dennard scaling is gone.
+
+Regenerates: the transistor-count doubling cadence across the node
+database, the detected Dennard-breakdown year, and the chip-power gap
+that opens once voltage stops scaling.
+"""
+
+from .conftest import run_and_report
+
+
+def test_e01_dennard(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E01",
+        rows_fn=lambda r: [
+            ("Dennard breakdown year", "mid-2000s", f"{r['breakdown_year']:.0f}"),
+            ("transistor growth 1985-2012", "2x / 18-24 months",
+             f"{r['transistor_growth_1985_2012']:.3g}x"),
+            ("power gap after 6 generations", "2x/gen if unchecked",
+             f"{r['power_gap_after_6_generations']:.3g}x"),
+        ],
+    )

@@ -1,0 +1,19 @@
+"""E02 — Danowitz CPU-DB claim: ~80x of single-thread performance since
+1985 came from architecture; the tech/arch split is roughly equal."""
+
+from .conftest import run_and_report
+
+
+def test_e02_cpudb_attribution(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E02",
+        rows_fn=lambda r: [
+            ("architecture gain 1985-2012", "~80x",
+             f"{r['architecture_gain']:.3g}x"),
+            ("technology gain", "(roughly equal)",
+             f"{r['technology_gain']:.3g}x"),
+            ("log-split arch/tech", "~1.0",
+             f"{r['log_split_arch_over_tech']:.3g}"),
+            ("total gain", "-", f"{r['total_gain']:.3g}x"),
+        ],
+    )

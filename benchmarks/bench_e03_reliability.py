@@ -1,0 +1,18 @@
+"""E03 — Table 1 row 3: transistor reliability worsening, no longer
+easy to hide behind ECC."""
+
+from .conftest import run_and_report
+
+
+def test_e03_reliability(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E03",
+        rows_fn=lambda r: [
+            ("raw chip FIT growth 1985->2020", ">>1",
+             f"{r['raw_fit_growth']:.3g}x"),
+            ("ECC-protected FIT growth", "still rising",
+             f"{r['protected_fit_growth']:.3g}x"),
+            ("silent-escape fraction @BER 1e-6", "~0",
+             f"{r['ecc_silent_fraction_at_1e-6_ber']:.3g}"),
+        ],
+    )

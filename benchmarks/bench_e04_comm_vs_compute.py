@@ -1,0 +1,18 @@
+"""E04 — Table 1 row 4 / Keckler: fetching an FMA's operands from
+memory costs one to two orders of magnitude more than the FMA."""
+
+from .conftest import run_and_report
+
+
+def test_e04_comm_vs_compute(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E04",
+        rows_fn=lambda r: [
+            ("DRAM operand fetch / FMA", "10x-100x",
+             f"{r['ratio_dram_operand_fetch']:.3g}x"),
+            ("10mm wire move / FMA", "~0.5x (Keckler 45nm)",
+             f"{r['wire_10mm_vs_fma']:.3g}x"),
+            ("comm/compute ratio growth 180nm->5nm", "grows",
+             f"{r['ratio_growth_180nm_to_5nm']:.3g}x"),
+        ],
+    )

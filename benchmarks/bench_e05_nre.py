@@ -1,0 +1,20 @@
+"""E05 — Table 1 row 5: NRE costs grow per node, squeezing specialized
+parts; reconfigurable fabrics lower the bar."""
+
+from .conftest import run_and_report
+
+
+def test_e05_nre(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E05",
+        rows_fn=lambda r: [
+            ("ASIC/FPGA break-even @350nm", "-",
+             f"{r['breakeven_350nm']:.3g} units"),
+            ("ASIC/FPGA break-even @5nm", "much higher",
+             f"{r['breakeven_5nm']:.3g} units"),
+            ("break-even growth", ">50x",
+             f"{r['breakeven_growth']:.3g}x"),
+            ("volume order fpga->cgra->asic", "holds",
+             str(r["volume_ordering_fpga_cgra_asic"])),
+        ],
+    )

@@ -1,0 +1,22 @@
+"""E06 — Section 2.2 goal: 100 GOPS/W across all four platform classes
+(exa-op @ 10 MW down to giga-op @ 10 mW)."""
+
+from .conftest import run_and_report
+
+
+def test_e06_energy_targets(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E06",
+        rows_fn=lambda r: [
+            ("target efficiency", "100 GOPS/W",
+             f"{r['target_ops_per_watt']:.3g} ops/s/W"),
+            ("2012 datacenter gain needed for exa-op", "2-3 orders",
+             f"{r['datacenter_2012_required_gain_for_exaop']:.3g}x"),
+            ("2012 mobile gap (10 GOPS/W today)", "10x",
+             f"{r['mobile_2012_gap']:.3g}x"),
+            ("agenda levers combined gain", ">>1",
+             f"{r['agenda_levers_combined_gain']:.3g}x"),
+            ("portable gap after levers", "closing",
+             f"{r['portable_gap_after_levers']:.3g}x"),
+        ],
+    )

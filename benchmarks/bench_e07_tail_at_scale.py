@@ -1,0 +1,21 @@
+"""E07 — the paper's sharpest number (Section 2.1, citing Dean): at
+fan-out 100, 63% of requests wait beyond the per-server p99; hedged
+requests collapse that tail for a few percent extra load."""
+
+from .conftest import run_and_report
+
+
+def test_e07_tail_at_scale(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E07",
+        rows_fn=lambda r: [
+            ("fraction delayed @fanout 100", "63%",
+             f"{r['closed_form_fraction']:.1%}"),
+            ("Monte-Carlo cross-check", "63%",
+             f"{r['monte_carlo_fraction']:.1%}"),
+            ("hedging p99 reduction", "large",
+             f"{r['hedging_p99_reduction']:.1%}"),
+            ("hedging extra load", "~5%",
+             f"{r['hedging_extra_load']:.1%}"),
+        ],
+    )

@@ -1,0 +1,24 @@
+"""E08 — Section 2.2: Hill-Marty organization ordering and the
+communication-energy limit on 1,000-way parallelism."""
+
+from .conftest import run_and_report
+
+
+def test_e08_parallelism(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E08",
+        rows_fn=lambda r: [
+            ("symmetric best speedup (f=0.9, n=256)", "-",
+             f"{r['hillmarty_symmetric']:.3g}x"),
+            ("asymmetric best speedup", "> symmetric",
+             f"{r['hillmarty_asymmetric']:.3g}x"),
+            ("dynamic best speedup", "> asymmetric",
+             f"{r['hillmarty_dynamic']:.3g}x"),
+            ("energy-optimal parallelism @10W", "finite",
+             f"{r['energy_optimal_parallelism']:.0f} cores"),
+            ("comm share of energy at optimum", "dominant",
+             f"{r['comm_energy_share_at_optimum']:.1%}"),
+            ("comm reduction for 4x more parallelism", ">1",
+             f"{r['comm_reduction_needed_for_4x_parallelism']:.3g}x"),
+        ],
+    )

@@ -1,0 +1,18 @@
+"""E09 — Section 2.2: specialization gives ~100x energy efficiency, but
+coverage-limited Amdahl caps the system-level benefit."""
+
+from .conftest import run_and_report
+
+
+def test_e09_specialization(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E09",
+        rows_fn=lambda r: [
+            ("accelerator mechanism gain", "~100x",
+             f"{r['mechanism_total_gain']:.3g}x"),
+            ("system gain at 30% coverage", "small",
+             f"{r['system_gain_at_30pct_coverage']:.3g}x"),
+            ("coverage needed for 50x system gain", "~99%",
+             f"{r['coverage_needed_for_50x_system']:.1%}"),
+        ],
+    )

@@ -1,0 +1,18 @@
+"""E10 — post-Dennard dark silicon: the powered fraction of a fixed
+300 mm^2 / 100 W die falls generation over generation."""
+
+from .conftest import run_and_report
+
+
+def test_e10_dark_silicon(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E10",
+        rows_fn=lambda r: [
+            ("dark fraction 2004 (90nm)", "~0", f"{r['dark_2004']:.1%}"),
+            ("dark fraction 2012 (22nm)", "majority",
+             f"{r['dark_2012']:.1%}"),
+            ("dark fraction 2020 (5nm)", "nearly all",
+             f"{r['dark_2020']:.1%}"),
+            ("monotone growth", "yes", str(r["monotone"])),
+        ],
+    )

@@ -1,0 +1,20 @@
+"""E11 — Section 2.3 NVM realities: asymmetric writes, wear-out, and
+what wear leveling and hybrid organizations buy back."""
+
+from .conftest import run_and_report
+
+
+def test_e11_nvm(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E11",
+        rows_fn=lambda r: [
+            ("PCM write/read latency ratio", ">5x",
+             f"{r['pcm_write_read_latency_ratio']:.3g}x"),
+            ("start-gap lifetime improvement", "orders of magnitude",
+             f"{r['start_gap_lifetime_improvement']:.3g}x"),
+            ("hybrid idle-power saving vs DRAM", "large",
+             f"{r['hybrid_idle_power_saving']:.1%}"),
+            ("hybrid latency between pure tiers", "yes",
+             str(r["hybrid_latency_between_pure_tiers"])),
+        ],
+    )

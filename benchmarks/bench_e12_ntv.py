@@ -1,0 +1,20 @@
+"""E12 — Section 2.3: near-threshold operation saves energy/op but
+"at the cost of reliability"; resilience shifts the effective optimum."""
+
+from .conftest import run_and_report
+
+
+def test_e12_ntv(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E12",
+        rows_fn=lambda r: [
+            ("energy/op gain at optimum Vdd", "severalfold",
+             f"{r['raw_energy_gain_at_optimum']:.3g}x"),
+            ("optimal Vdd (raw)", "near threshold",
+             f"{r['optimal_vdd']:.3g} V"),
+            ("optimal Vdd (with resilience cost)", ">= raw optimum",
+             f"{r['effective_optimal_vdd']:.3g} V"),
+            ("error rate at raw optimum", ">> nominal",
+             f"{r['error_rate_at_optimum']:.3g}"),
+        ],
+    )

@@ -1,0 +1,18 @@
+"""E13 — Table A.2: five 9s = "all but five minutes per year", and the
+hope of reaching it with few-dollar replicated parts."""
+
+from .conftest import run_and_report
+
+
+def test_e13_availability(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E13",
+        rows_fn=lambda r: [
+            ("five-nines downtime", "5 min/year",
+             f"{r['five_nines_downtime_minutes']:.3g} min/year"),
+            ("replicas of 99% parts needed", "-",
+             f"{r['replicas_of_99pct_parts_needed']:.0f}"),
+            ("cost from few-dollar parts", "a few dollars",
+             f"${r['five_nines_from_few_dollar_parts_usd']:.0f}"),
+        ],
+    )

@@ -1,0 +1,20 @@
+"""E14 — Section 2.1: on-sensor filtering wins because "the energy
+required to communicate data often outweighs that of computation"."""
+
+from .conftest import run_and_report
+
+
+def test_e14_sensor_filter(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E14",
+        rows_fn=lambda r: [
+            ("raw-transmit / filter-locally energy", ">>1",
+             f"{r['energy_ratio_raw_over_filtered']:.3g}x"),
+            ("battery life, transmit-raw", "-",
+             f"{r['raw_lifetime_days']:.3g} days"),
+            ("battery life, filter-locally", "much longer",
+             f"{r['filtered_lifetime_days']:.3g} days"),
+            ("detector precision", "useful",
+             f"{r['detector_precision']:.1%}"),
+        ],
+    )

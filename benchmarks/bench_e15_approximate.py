@@ -1,0 +1,17 @@
+"""E15 — Section 2.1: approximate computing on inherently-approximate
+sensor data saves real energy within a quality floor."""
+
+from .conftest import run_and_report
+
+
+def test_e15_approximate(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E15",
+        rows_fn=lambda r: [
+            ("precision meeting 25 dB floor", "< 16 bits",
+             f"{r['bits_at_25db_floor']:.0f} bits"),
+            ("compute-energy saving", "significant",
+             f"{r['energy_saving']:.1%}"),
+            ("quality achieved", ">= 25 dB", f"{r['snr_db']:.3g} dB"),
+        ],
+    )

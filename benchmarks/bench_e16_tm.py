@@ -1,0 +1,19 @@
+"""E16 — Section 2.4: transactional memory "seeks to significantly
+simplify parallelization"; it outscales a global lock until conflicts
+erode the advantage."""
+
+from .conftest import run_and_report
+
+
+def test_e16_tm(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E16",
+        rows_fn=lambda r: [
+            ("TM speedup vs lock (8 threads, low conflict)", "~linear",
+             f"{r['tm_speedup_low_conflict_8threads']:.3g}x"),
+            ("TM speedup (high conflict)", "eroded",
+             f"{r['tm_speedup_high_conflict_8threads']:.3g}x"),
+            ("abort rate low->high conflict", "rises",
+             f"{r['abort_rate_low']:.1%} -> {r['abort_rate_high']:.1%}"),
+        ],
+    )

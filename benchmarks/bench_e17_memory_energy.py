@@ -1,0 +1,21 @@
+"""E17 — Section 2.2: energy-efficient memory hierarchies — caching and
+compression cut per-access memory energy severalfold."""
+
+from .conftest import run_and_report
+
+
+def test_e17_memory_energy(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E17",
+        rows_fn=lambda r: [
+            ("hierarchy energy/access", "-",
+             f"{r['hierarchy_energy_per_access_j']:.3g} J"),
+            ("DRAM-only energy/access", "-",
+             f"{r['dram_only_energy_per_access_j']:.3g} J"),
+            ("hierarchy saving", ">3x", f"{r['hierarchy_saving']:.3g}x"),
+            ("FPC ratio on integer data", ">1.5x",
+             f"{r['compression_ratio_int_data']:.3g}x"),
+            ("link-energy saving from compression", ">20%",
+             f"{r['compression_bandwidth_saving']:.1%}"),
+        ],
+    )

@@ -1,0 +1,18 @@
+"""E18 — Section 2.3: 3D stacking and photonics "change communication
+costs radically enough to affect the entire system design"."""
+
+from .conftest import run_and_report
+
+
+def test_e18_new_tech(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E18",
+        rows_fn=lambda r: [
+            ("board-trace / TSV transport energy", ">10x",
+             f"{r['stacking_energy_ratio']:.3g}x"),
+            ("photonic crossover distance on chip", "mm scale",
+             f"{r['photonic_crossover_mm_on_chip']:.3g} mm"),
+            ("photonics wins off-chip at any distance", "yes",
+             str(r["photonics_wins_off_chip_everywhere"])),
+        ],
+    )

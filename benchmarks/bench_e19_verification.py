@@ -1,0 +1,20 @@
+"""E19 — Section 2.4: dynamic invariant checking beats dual-modular
+redundancy on SDC reduction per unit of energy overhead."""
+
+from .conftest import run_and_report
+
+
+def test_e19_verification(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E19",
+        rows_fn=lambda r: [
+            ("baseline SDC rate", "-", f"{r['baseline_sdc_rate']:.1%}"),
+            ("invariant-checker SDC rate", "reduced",
+             f"{r['invariant_sdc_rate']:.1%}"),
+            ("invariant overhead", "a few %",
+             f"{r['invariant_overhead']:.1%}"),
+            ("DMR overhead", "~100%", f"{r['dmr_overhead']:.0%}"),
+            ("efficiency invariant vs DMR", "invariant wins",
+             f"{r['invariant_efficiency']:.3g} vs {r['dmr_efficiency']:.3g}"),
+        ],
+    )

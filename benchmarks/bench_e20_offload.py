@@ -1,0 +1,19 @@
+"""E20 — Section 2.1 eco-system: the compute-vs-ship decision between a
+portable device and the cloud flips once with compute intensity."""
+
+from .conftest import run_and_report
+
+
+def test_e20_offload(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E20",
+        rows_fn=lambda r: [
+            ("break-even intensity", "radio/compute energy ratio",
+             f"{r['breakeven_intensity_ops_per_bit']:.3g} ops/bit"),
+            ("data-dense tasks stay local", "yes",
+             str(r["low_intensity_stays_local"])),
+            ("compute-dense tasks offload", "yes",
+             str(r["high_intensity_offloads"])),
+            ("single crossover", "yes", str(r["single_crossover"])),
+        ],
+    )

@@ -1,0 +1,22 @@
+"""E21 — Table 2 executable: 20th-century ILP-first design vs the
+21st-century energy-first design under the same 10 W envelope."""
+
+from .conftest import run_and_report
+
+
+def test_e21_agenda(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E21",
+        rows_fn=lambda r: [
+            ("ILP-first throughput @10W", "-",
+             f"{r['old_throughput_ops']:.3g} ops/s"),
+            ("energy-first throughput @10W", "higher",
+             f"{r['new_throughput_ops']:.3g} ops/s"),
+            ("ILP-first efficiency", "-",
+             f"{r['old_ops_per_watt']:.3g} ops/s/W"),
+            ("energy-first efficiency", "higher",
+             f"{r['new_ops_per_watt']:.3g} ops/s/W"),
+            ("efficiency gain", "severalfold",
+             f"{r['efficiency_gain']:.3g}x"),
+        ],
+    )

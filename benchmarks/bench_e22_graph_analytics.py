@@ -1,0 +1,22 @@
+"""E22 — Appendix A: human-network analytics pipeline across the four
+platform classes (sensor to datacenter)."""
+
+from .conftest import run_and_report
+
+
+def test_e22_graph_analytics(benchmark, registry):
+    run_and_report(
+        benchmark, registry, "E22",
+        rows_fn=lambda r: [
+            ("pipeline total work", "-",
+             f"{r['pipeline_total_ops']:.3g} ops"),
+            ("communities found", ">1",
+             f"{r['n_communities_found']:.0f}"),
+            ("runtime on sensor class", "slowest",
+             f"{r['runtime_sensor_s']:.3g} s"),
+            ("runtime on datacenter class", "fastest",
+             f"{r['runtime_datacenter_s']:.3g} s"),
+            ("capacity ordering holds", "yes",
+             str(r["platform_ordering_holds"])),
+        ],
+    )

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench runs one experiment from the registry under
+pytest-benchmark, asserts the paper claim holds, and prints the
+paper-vs-measured table that EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.analysis import REGISTRY
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return REGISTRY
+
+
+def run_and_report(benchmark, registry, experiment_id, rows_fn=None):
+    """Benchmark an experiment, assert its claim, print its table."""
+    from repro.analysis.tables import paper_vs_measured
+
+    experiment = registry.get(experiment_id)
+    result = benchmark(experiment.execute)
+    assert result["holds"], f"{experiment_id} claim failed: {result}"
+    rows = rows_fn(result) if rows_fn else [
+        (k, "", v) for k, v in result.items() if k != "holds"
+    ]
+    print()
+    print(paper_vs_measured(experiment_id, experiment.claim, rows))
+    return result

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Tail latency at scale — the paper's Section 2.1 datacenter argument.
+
+Reproduces Dean's claim ("if 100 systems must jointly respond to a
+request, 63% of requests will incur the 99-percentile delay of the
+individual systems"), shows how the request median creeps up the
+per-server tail as fan-out grows, and evaluates hedged requests as the
+mitigation, all against a realistic straggler-prone server distribution.
+
+Run:  python examples/datacenter_tail_latency.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.datacenter import (
+    hedging_effectiveness,
+    median_inflation,
+    monte_carlo_fanout,
+    straggler_mixture,
+    straggler_probability,
+)
+
+
+def main() -> None:
+    dist = straggler_mixture(
+        base_median_ms=10.0, base_sigma=0.3,
+        straggler_prob=0.01, straggler_factor=10.0,
+    )
+
+    # 1. The paper's sentence, closed form and simulated.
+    fanouts = np.array([1, 10, 50, 100, 500, 1000])
+    closed = straggler_probability(0.99, fanouts)
+    print(
+        format_table(
+            ["fanout", "P(beyond per-server p99)"],
+            [(int(n), f"{p:.1%}") for n, p in zip(fanouts, closed)],
+            title="Dean's claim: waiting for stragglers "
+                  "(paper: 63% at fanout 100)",
+        )
+    )
+
+    # 2. Median inflation: the request median rides the server tail.
+    inflation = median_inflation(dist, [1, 10, 100])
+    print()
+    print(
+        format_table(
+            ["fanout", "request median (ms)", "x server median"],
+            [
+                (int(n), f"{m:.1f}", f"{i:.1f}x")
+                for n, m, i in zip(
+                    inflation["fanout"],
+                    inflation["request_median"],
+                    inflation["inflation_vs_server_median"],
+                )
+            ],
+            title="Median of the fan-out = tail of the parts",
+        )
+    )
+
+    # 3. Monte-Carlo cross-check at fanout 100.
+    mc = monte_carlo_fanout(dist, 100, n_requests=10_000, rng=0)
+    print(
+        f"\nMonte-Carlo @fanout 100: median {mc['median']:.1f} ms, "
+        f"p99 {mc['p99']:.1f} ms, fraction beyond server p99 "
+        f"{mc['fraction_beyond_server_p99']:.1%}"
+    )
+
+    # 4. Hedged requests: the tail-tolerant fix.
+    hedge = hedging_effectiveness(dist, fanout=100, n_requests=5000, rng=0)
+    print()
+    print(
+        format_table(
+            ["metric", "plain", "hedged"],
+            [
+                ("p50 (ms)", f"{hedge['plain_p50']:.1f}",
+                 f"{hedge['hedged_p50']:.1f}"),
+                ("p99 (ms)", f"{hedge['plain_p99']:.1f}",
+                 f"{hedge['hedged_p99']:.1f}"),
+            ],
+            title="Hedged requests (trigger at per-server p95)",
+        )
+    )
+    print(
+        f"\np99 cut by {hedge['p99_reduction']:.0%} for "
+        f"{hedge['extra_load_fraction']:.1%} extra load — "
+        "the architectural tail-tolerance the paper calls for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: energy-first design-space exploration.
+
+Builds a grid of whole-system design points (core mix x accelerator
+coverage x memory efficiency) on a 22 nm node, evaluates each under the
+paper's 10 W portable envelope, and prints the Pareto frontier of
+throughput vs energy-per-op — the paper's agenda in ~40 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.core import DiscreteParam, Direction, Explorer, Metrics, Objective
+from repro.core.agenda import SystemConfig, evaluate_system
+from repro.processor import BIG_OOO_CORE, LITTLE_INORDER_CORE
+
+POWER_BUDGET_W = 10.0  # the paper's portable envelope
+
+
+def evaluate(config: dict) -> Metrics:
+    system = SystemConfig(
+        node_name="22nm",
+        core=config["core"],
+        n_cores=config["n_cores"],
+        accelerator_coverage=config["accel_coverage"],
+        accelerator_gain=50.0,
+        memory_efficiency_gain=config["memory_gain"],
+    )
+    return evaluate_system(system, POWER_BUDGET_W)
+
+
+def main() -> None:
+    explorer = Explorer(evaluate)
+    result = explorer.grid(
+        [
+            DiscreteParam("core", (BIG_OOO_CORE, LITTLE_INORDER_CORE)),
+            DiscreteParam("n_cores", (1, 4, 16, 64)),
+            DiscreteParam("accel_coverage", (0.0, 0.3, 0.6)),
+            DiscreteParam("memory_gain", (1.0, 2.0)),
+        ]
+    )
+    print(f"evaluated {len(result.points)} design points "
+          f"({len(result.failures)} infeasible)\n")
+
+    objectives = [
+        Objective("throughput_ops", Direction.MAXIMIZE),
+        Objective("energy_per_op_j", Direction.MINIMIZE),
+    ]
+    front = result.front(objectives)
+    rows = []
+    for point in sorted(
+        front, key=lambda p: -p.metric("throughput_ops")
+    ):
+        cfg = point.config
+        rows.append(
+            (
+                cfg["core"].name,
+                cfg["n_cores"],
+                f"{cfg['accel_coverage']:.0%}",
+                f"{cfg['memory_gain']:.0f}x",
+                point.metric("throughput_ops"),
+                point.metric("energy_per_op_j"),
+                point.metric("efficiency_ops_per_watt"),
+            )
+        )
+    print(
+        format_table(
+            ["core", "n", "accel", "mem", "ops/s", "J/op", "ops/s/W"],
+            rows,
+            title=f"Pareto frontier under {POWER_BUDGET_W:.0f} W "
+                  "(paper portable class)",
+        )
+    )
+    best = result.best("efficiency_ops_per_watt")
+    print(
+        f"\nmost efficient design: {best.label} -> "
+        f"{best.metric('efficiency_ops_per_watt'):.3g} ops/s/W "
+        f"(paper target: 1e11)"
+    )
+
+
+if __name__ == "__main__":
+    main()

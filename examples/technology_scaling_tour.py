@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""A guided tour of the technology story behind the paper's Table 1.
+
+Walks the node database from 1985 to 2020 printing the five Table 1
+rows as numbers: Moore's cadence, the Dennard breakdown, worsening
+reliability, the communication/computation inversion, and the NRE
+squeeze — then shows where dark silicon and NTV leave a 2012 designer.
+
+Run:  python examples/technology_scaling_tour.py
+"""
+
+import numpy as np
+
+from repro.accelerator import breakeven_volume_by_node
+from repro.analysis import format_table
+from repro.memory import communication_vs_computation_series
+from repro.technology import (
+    NODES,
+    chip_fit_series,
+    dark_silicon_series,
+    dennard_breakdown_year,
+    effective_energy_sweep,
+    frequency_series,
+)
+
+
+def main() -> None:
+    # Row 1-2: Moore continues, Dennard ends.
+    rows = [
+        (n.name, n.year, f"{n.density_mtx_mm2:.3g}", f"{n.vdd_v:.2f}",
+         f"{n.switching_energy_j():.2e}")
+        for n in NODES
+    ]
+    print(
+        format_table(
+            ["node", "year", "Mtx/mm^2", "Vdd", "CV^2 (J)"],
+            rows,
+            title="Table 1 rows 1-2: density keeps doubling; "
+                  "voltage stalls",
+        )
+    )
+    print(f"\nDennard breakdown detected: {dennard_breakdown_year()} "
+          "(paper: mid-2000s)\n")
+
+    # The clock plateau that followed.
+    fs = frequency_series()
+    print(
+        format_table(
+            ["year", "clock (GHz)"],
+            [(int(y), f"{g:.2f}") for y, g in zip(fs["years"], fs["ghz"])],
+            title="Single-thread clock: growth, peak, plateau",
+        )
+    )
+
+    # Row 3: reliability.
+    ser = chip_fit_series()
+    print()
+    print(
+        format_table(
+            ["year", "raw chip FIT", "with ECC"],
+            [
+                (int(y), f"{r:.3g}", f"{p:.3g}")
+                for y, r, p in zip(
+                    ser["years"][::4], ser["raw_fit"][::4],
+                    ser["protected_fit"][::4],
+                )
+            ],
+            title="Table 1 row 3: soft-error rate per chip",
+        )
+    )
+
+    # Row 4: communication vs computation.
+    comm = communication_vs_computation_series()
+    print()
+    print(
+        format_table(
+            ["node", "FMA (J)", "move 3x64b 10mm (J)", "ratio"],
+            [
+                (n, f"{f:.2e}", f"{w:.2e}", f"{r:.2f}x")
+                for n, f, w, r in zip(
+                    comm["node"], comm["fma_j"], comm["wire_j"],
+                    comm["ratio"],
+                )
+            ],
+            title="Table 1 row 4: wires stop scaling, compute doesn't",
+        )
+    )
+
+    # Row 5: NRE.
+    breakeven = breakeven_volume_by_node()
+    print()
+    print(
+        format_table(
+            ["node", "ASIC-vs-FPGA break-even (units)"],
+            [(k, f"{v:,.0f}") for k, v in breakeven.items()],
+            title="Table 1 row 5: the volume needed to justify an ASIC",
+        )
+    )
+
+    # Where that leaves a designer: dark silicon and NTV.
+    dark = dark_silicon_series()
+    print()
+    print(
+        format_table(
+            ["year", "dark fraction (300mm^2 @100W)"],
+            [
+                (int(y), f"{d:.0%}")
+                for y, d in zip(dark["years"], dark["dark_fraction"])
+            ],
+            title="The post-Dennard consequence: dark silicon",
+        )
+    )
+    sweep = effective_energy_sweep("45nm", vdd_lo=0.3)
+    i = int(np.argmin(sweep["energy_per_op"]))
+    print(
+        f"\nNTV escape valve at 45 nm: {sweep['vdd'][i]:.2f} V gives "
+        f"{sweep['energy_per_op'][-1] / sweep['energy_per_op'][i]:.1f}x "
+        f"energy/op, at {sweep['error_rate'][i]:.1%} error/op — "
+        "the resiliency-centered design problem."
+    )
+
+
+if __name__ == "__main__":
+    main()

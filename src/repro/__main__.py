@@ -1,0 +1,54 @@
+"""Command-line entry point: run the paper experiments.
+
+Usage::
+
+    python -m repro               # run all 22 experiments, print summary
+    python -m repro E07 E21       # run a subset
+    python -m repro --verbose     # include each experiment's raw numbers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the quantitative claims of '21st Century Computer "
+            "Architecture' (PPoPP 2014 keynote white paper)."
+        ),
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EID",
+        help="experiment ids (E01-E22); default: all",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print each experiment's measured values",
+    )
+    args = parser.parse_args(argv)
+
+    from .analysis import REGISTRY
+
+    only = args.experiments or None
+    try:
+        results = REGISTRY.run_all(only=only)
+    except KeyError as exc:
+        parser.error(str(exc))
+        return 2
+    print(REGISTRY.summary(results))
+    if args.verbose:
+        for eid in sorted(results):
+            print(f"\n[{eid}] {REGISTRY.get(eid).claim}")
+            for key, value in results[eid].items():
+                if key == "holds":
+                    continue
+                print(f"  {key}: {value}")
+    return 0 if all(r.get("holds") for r in results.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

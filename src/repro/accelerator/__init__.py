@@ -1,0 +1,82 @@
+"""Accelerator substrate: specialization economics, NRE/reconfigurable
+tradeoffs, SIMT throughput, and mobile-cloud offload (Section 2.2,
+experiments E05/E09/E20).
+"""
+
+from .adaptive import (
+    PolicyResult,
+    UplinkTrace,
+    policy_comparison,
+    random_walk_uplink,
+    run_policy,
+)
+from .gpu import SIMTModel, ridge_point, roofline
+from .nre import (
+    ImplementationTarget,
+    asic_nre_by_node,
+    breakeven_volume,
+    breakeven_volume_by_node,
+    cheapest_target,
+    cost_curves,
+    default_targets,
+    energy_adjusted_cost,
+)
+from .offload import (
+    CloudPlatform,
+    DevicePlatform,
+    Workload,
+    energy_breakeven_intensity,
+    local_energy_j,
+    local_latency_s,
+    offload_decision,
+    offload_energy_j,
+    offload_frontier,
+    offload_latency_s,
+    should_offload_energy,
+)
+from .specialization import (
+    AcceleratorSpec,
+    accelerator_portfolio,
+    coverage_required,
+    heterogeneous_soc_energy,
+    mechanism_breakdown,
+    system_energy_gain,
+    system_speedup,
+)
+
+__all__ = [
+    "AcceleratorSpec",
+    "CloudPlatform",
+    "DevicePlatform",
+    "ImplementationTarget",
+    "PolicyResult",
+    "SIMTModel",
+    "UplinkTrace",
+    "Workload",
+    "accelerator_portfolio",
+    "asic_nre_by_node",
+    "breakeven_volume",
+    "breakeven_volume_by_node",
+    "cheapest_target",
+    "cost_curves",
+    "coverage_required",
+    "default_targets",
+    "energy_adjusted_cost",
+    "energy_breakeven_intensity",
+    "heterogeneous_soc_energy",
+    "local_energy_j",
+    "local_latency_s",
+    "mechanism_breakdown",
+    "offload_decision",
+    "offload_energy_j",
+    "offload_frontier",
+    "offload_latency_s",
+    "policy_comparison",
+    "random_walk_uplink",
+    "ridge_point",
+    "run_policy",
+    "roofline",
+    "should_offload_energy",
+    "system_energy_gain",
+    "system_speedup",
+]

@@ -1,0 +1,123 @@
+"""SIMT / throughput-accelerator model.
+
+GPUs are the paper's canonical *partially*-general accelerator ("current
+success stories, from medical devices and sensor arrays to graphics
+processing units").  Two standard first-order models:
+
+* :func:`roofline` — attainable throughput = min(peak compute,
+  bandwidth x arithmetic intensity); the universal throughput-device
+  performance model.
+* :class:`SIMTModel` — warp-level execution with branch-divergence and
+  memory-coalescing penalties: the two effects that separate
+  GPU-friendly from GPU-hostile code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def roofline(
+    intensity_flops_per_byte,
+    peak_flops: float,
+    bandwidth_bytes_per_s: float,
+) -> np.ndarray:
+    """Attainable FLOP/s at the given arithmetic intensity."""
+    if peak_flops <= 0 or bandwidth_bytes_per_s <= 0:
+        raise ValueError("peaks must be positive")
+    intensity = np.asarray(intensity_flops_per_byte, dtype=float)
+    if np.any(intensity < 0):
+        raise ValueError("intensity must be non-negative")
+    return np.minimum(peak_flops, bandwidth_bytes_per_s * intensity)
+
+
+def ridge_point(peak_flops: float, bandwidth_bytes_per_s: float) -> float:
+    """Intensity [FLOP/byte] where a kernel turns compute-bound."""
+    if peak_flops <= 0 or bandwidth_bytes_per_s <= 0:
+        raise ValueError("peaks must be positive")
+    return peak_flops / bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class SIMTModel:
+    """Warp-based throughput processor."""
+
+    warp_width: int = 32
+    n_warps: int = 64  # concurrently resident warps
+    clock_hz: float = 1e9
+    ops_per_warp_cycle: int = 32  # one lane-op per lane
+    mem_latency_cycles: int = 400
+    energy_per_lane_op_j: float = 5e-12
+
+    def __post_init__(self) -> None:
+        if self.warp_width < 1 or self.n_warps < 1:
+            raise ValueError("bad warp geometry")
+        if self.clock_hz <= 0 or self.ops_per_warp_cycle < 1:
+            raise ValueError("bad clock/issue parameters")
+        if self.mem_latency_cycles < 0 or self.energy_per_lane_op_j < 0:
+            raise ValueError("bad latency/energy")
+
+    def divergence_efficiency(self, branch_fraction: float,
+                              divergence_prob: float) -> float:
+        """Lane utilization under branch divergence.
+
+        A diverged branch serializes both paths: utilization on
+        divergent branches is ~0.5 (both sides execute at half
+        occupancy).  Efficiency = 1 - f_br * p_div * 0.5.
+        """
+        for name, v in (("branch_fraction", branch_fraction),
+                        ("divergence_prob", divergence_prob)):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        return 1.0 - branch_fraction * divergence_prob * 0.5
+
+    def coalescing_factor(self, stride_elements: int) -> float:
+        """Memory transactions per warp access vs. the unit-stride ideal.
+
+        Unit stride: 1 transaction per warp; stride s needs min(s,
+        warp_width) transactions.
+        """
+        if stride_elements < 1:
+            raise ValueError("stride must be >= 1")
+        return float(min(stride_elements, self.warp_width))
+
+    def effective_throughput_ops(
+        self,
+        branch_fraction: float = 0.1,
+        divergence_prob: float = 0.2,
+        memory_fraction: float = 0.3,
+        stride_elements: int = 1,
+        bandwidth_bytes_per_s: float = 200e9,
+        bytes_per_access: int = 4,
+    ) -> float:
+        """Sustained lane-ops/s for a kernel profile.
+
+        Compute ceiling is discounted by divergence; the memory ceiling
+        by coalescing.  Latency is assumed hidden while enough warps
+        are resident (the SIMT premise), so the bound is the min of the
+        two rate ceilings.
+        """
+        if not 0.0 <= memory_fraction <= 1.0:
+            raise ValueError("memory_fraction must be in [0, 1]")
+        if bandwidth_bytes_per_s <= 0 or bytes_per_access <= 0:
+            raise ValueError("bandwidth and access size must be positive")
+        peak = self.clock_hz * self.ops_per_warp_cycle
+        compute_ceiling = peak * self.divergence_efficiency(
+            branch_fraction, divergence_prob
+        )
+        if memory_fraction == 0:
+            return compute_ceiling
+        effective_bw = bandwidth_bytes_per_s / self.coalescing_factor(
+            stride_elements
+        )
+        ops_per_byte = 1.0 / (memory_fraction * bytes_per_access)
+        memory_ceiling = effective_bw * ops_per_byte
+        return float(min(compute_ceiling, memory_ceiling))
+
+    def efficiency_ops_per_watt(self, utilization: float = 0.7) -> float:
+        """Lane-ops per joule at a given utilization (static ignored)."""
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        return utilization / self.energy_per_lane_op_j

@@ -1,0 +1,170 @@
+"""Non-recurring engineering (NRE) economics (Table 1 row 5, E05).
+
+"One-time costs to design, verify, fabricate, and test are growing,
+making them harder to amortize, especially when seeking high efficiency
+through platform specialization" ... "current reconfigurable logic
+platforms (e.g., FPGAs) drive down these fixed costs, but incur
+undesirable energy and performance overheads".
+
+:class:`ImplementationTarget` captures the three-way tradeoff (ASIC /
+CGRA / FPGA): NRE, unit cost, and energy overhead.  The analysis
+functions compute per-unit total cost vs volume, break-even volumes, and
+how the rising ASIC NRE per node pushes the break-even ever higher —
+the paper's economic argument for coarser-grain reconfigurable fabrics
+and interposer integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..technology.node import node_names
+
+
+@dataclass(frozen=True)
+class ImplementationTarget:
+    """One way to realize a function in silicon."""
+
+    name: str
+    nre_usd: float
+    unit_cost_usd: float
+    energy_overhead: float  # energy/op multiplier vs full-custom ASIC
+    performance_overhead: float = 1.0  # delay multiplier vs ASIC
+
+    def __post_init__(self) -> None:
+        if self.nre_usd < 0 or self.unit_cost_usd < 0:
+            raise ValueError("costs must be non-negative")
+        if self.energy_overhead < 1.0 or self.performance_overhead < 1.0:
+            raise ValueError("overheads are multipliers >= 1 (ASIC = 1)")
+
+    def cost_per_unit(self, volume: float) -> float:
+        """Amortized total cost per unit at ``volume``."""
+        if volume <= 0:
+            raise ValueError("volume must be positive")
+        return self.nre_usd / volume + self.unit_cost_usd
+
+
+#: Representative 2012-era targets at ~45/40 nm (order-of-magnitude).
+def default_targets() -> Dict[str, ImplementationTarget]:
+    return {
+        "asic": ImplementationTarget(
+            name="asic", nre_usd=30e6, unit_cost_usd=8.0,
+            energy_overhead=1.0, performance_overhead=1.0,
+        ),
+        "cgra": ImplementationTarget(
+            name="cgra", nre_usd=2e6, unit_cost_usd=15.0,
+            energy_overhead=5.0, performance_overhead=2.0,
+        ),
+        "fpga": ImplementationTarget(
+            name="fpga", nre_usd=0.2e6, unit_cost_usd=60.0,
+            energy_overhead=25.0, performance_overhead=4.0,
+        ),
+    }
+
+
+def breakeven_volume(
+    a: ImplementationTarget, b: ImplementationTarget
+) -> float:
+    """Volume above which the higher-NRE option is cheaper per unit.
+
+    Solves a.cost_per_unit(v) = b.cost_per_unit(v); returns inf when
+    the higher-NRE option never wins (its unit cost is also higher),
+    and 0 when it always wins.
+    """
+    high, low = (a, b) if a.nre_usd >= b.nre_usd else (b, a)
+    dn = high.nre_usd - low.nre_usd
+    dc = low.unit_cost_usd - high.unit_cost_usd
+    if dc <= 0:
+        return float("inf") if dn > 0 else 0.0
+    return dn / dc
+
+
+def cheapest_target(
+    volume: float, targets: Dict[str, ImplementationTarget] = None
+) -> str:
+    """Name of the cheapest implementation at ``volume``."""
+    table = targets if targets is not None else default_targets()
+    if not table:
+        raise ValueError("no targets supplied")
+    return min(table.values(), key=lambda t: t.cost_per_unit(volume)).name
+
+
+def cost_curves(
+    volumes: Sequence[float],
+    targets: Dict[str, ImplementationTarget] = None,
+) -> dict[str, np.ndarray]:
+    """Per-unit cost vs volume for each target (E05's figure)."""
+    table = targets if targets is not None else default_targets()
+    vols = np.asarray(volumes, dtype=float)
+    if np.any(vols <= 0):
+        raise ValueError("volumes must be positive")
+    out: dict[str, np.ndarray] = {"volume": vols}
+    for name, target in table.items():
+        out[name] = np.array([target.cost_per_unit(v) for v in vols])
+    return out
+
+
+def asic_nre_by_node(
+    base_nre_usd: float = 1e6,
+    growth_per_node: float = 1.7,
+    start: str = "350nm",
+) -> dict[str, float]:
+    """ASIC NRE per technology node (grows ~1.5-2x per node).
+
+    The paper's Table 1 row 5: "Expensive to design, verify, fabricate,
+    and test, especially for specialized-market platforms."
+    """
+    if base_nre_usd <= 0 or growth_per_node <= 1.0:
+        raise ValueError("base NRE must be positive and growth > 1")
+    names = node_names()
+    if start not in names:
+        raise KeyError(f"unknown start node {start!r}")
+    out = {}
+    nre = base_nre_usd
+    for name in names[names.index(start):]:
+        out[name] = nre
+        nre *= growth_per_node
+    return out
+
+
+def breakeven_volume_by_node(
+    unit_cost_gap_usd: float = 52.0,
+    **nre_kwargs,
+) -> dict[str, float]:
+    """ASIC-vs-FPGA break-even volume per node.
+
+    With NRE growing per node and unit-cost gaps roughly stable, the
+    volume needed to justify an ASIC rises relentlessly — squeezing out
+    "specialized-market platforms" exactly as Table 1 warns.
+    """
+    if unit_cost_gap_usd <= 0:
+        raise ValueError("unit cost gap must be positive")
+    return {
+        node: nre / unit_cost_gap_usd
+        for node, nre in asic_nre_by_node(**nre_kwargs).items()
+    }
+
+
+def energy_adjusted_cost(
+    target: ImplementationTarget,
+    volume: float,
+    lifetime_ops: float,
+    asic_energy_per_op_j: float = 10e-12,
+    electricity_usd_per_kwh: float = 0.10,
+) -> float:
+    """Per-unit cost including lifetime energy (TCO-style).
+
+    The FPGA's 25x energy overhead becomes a real dollar cost at scale,
+    shifting break-evens toward ASIC/CGRA for high-duty deployments.
+    """
+    if lifetime_ops < 0:
+        raise ValueError("lifetime_ops must be non-negative")
+    if asic_energy_per_op_j < 0 or electricity_usd_per_kwh < 0:
+        raise ValueError("energy cost parameters must be non-negative")
+    silicon = target.cost_per_unit(volume)
+    energy_j = lifetime_ops * asic_energy_per_op_j * target.energy_overhead
+    energy_usd = energy_j / 3.6e6 * electricity_usd_per_kwh
+    return silicon + energy_usd

@@ -1,0 +1,196 @@
+"""Mobile <-> cloud offload decisions (paper Section 2.1, experiment E20).
+
+"There is a need for runtime platforms ... that allow programs to divide
+effort between the portable platform and the cloud while responding
+dynamically to changes in the reliability and energy efficiency of the
+cloud uplink.  How should computation be split between the nodes and
+cloud infrastructure?"
+
+The model is the classic offload inequality: offloading wins on energy
+when the radio energy to ship the input (and receive the output) is
+below the local compute energy; it wins on latency when transmission
+plus cloud compute beats local compute.  Both crossovers depend on the
+workload's compute-to-data ratio and the uplink's quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DevicePlatform:
+    """The portable device's compute and radio characteristics."""
+
+    compute_energy_per_op_j: float = 1e-10  # mobile-core op
+    compute_ops_per_s: float = 1e9
+    radio_energy_per_bit_j: float = 100e-9  # cellular-uplink class
+    uplink_bits_per_s: float = 5e6
+    radio_idle_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.compute_energy_per_op_j, self.radio_energy_per_bit_j,
+               self.radio_idle_power_w) < 0:
+            raise ValueError("energies must be non-negative")
+        if self.compute_ops_per_s <= 0 or self.uplink_bits_per_s <= 0:
+            raise ValueError("rates must be positive")
+
+
+@dataclass(frozen=True)
+class CloudPlatform:
+    """The remote end (fast, not the device's battery problem)."""
+
+    compute_ops_per_s: float = 1e11
+    rtt_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.compute_ops_per_s <= 0 or self.rtt_s < 0:
+            raise ValueError("bad cloud parameters")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A candidate task: how much compute per byte moved."""
+
+    ops: float
+    input_bits: float
+    output_bits: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ops < 0 or self.input_bits < 0 or self.output_bits < 0:
+            raise ValueError("workload quantities must be non-negative")
+
+    @property
+    def intensity_ops_per_bit(self) -> float:
+        bits = self.input_bits + self.output_bits
+        return self.ops / bits if bits > 0 else float("inf")
+
+
+def local_energy_j(device: DevicePlatform, work: Workload) -> float:
+    """Battery energy to run the task on the device."""
+    return device.compute_energy_per_op_j * work.ops
+
+
+def offload_energy_j(device: DevicePlatform, work: Workload) -> float:
+    """Battery energy to ship the task to the cloud (radio only).
+
+    Cloud compute energy is not the device's problem; only the radio
+    bits (and idle radio during the transfer) drain the battery.
+    """
+    bits = work.input_bits + work.output_bits
+    transfer_s = bits / device.uplink_bits_per_s
+    return (
+        device.radio_energy_per_bit_j * bits
+        + device.radio_idle_power_w * transfer_s
+    )
+
+
+def local_latency_s(device: DevicePlatform, work: Workload) -> float:
+    return work.ops / device.compute_ops_per_s
+
+
+def offload_latency_s(
+    device: DevicePlatform, cloud: CloudPlatform, work: Workload
+) -> float:
+    bits = work.input_bits + work.output_bits
+    return (
+        bits / device.uplink_bits_per_s
+        + cloud.rtt_s
+        + work.ops / cloud.compute_ops_per_s
+    )
+
+
+def should_offload_energy(
+    device: DevicePlatform, work: Workload
+) -> bool:
+    """True when offloading saves battery energy."""
+    return offload_energy_j(device, work) < local_energy_j(device, work)
+
+
+def energy_breakeven_intensity(
+    device: DevicePlatform,
+) -> float:
+    """Ops-per-bit above which *offloading* wins on energy.
+
+    Offload costs e_radio x bits; local costs e_op x ops.  Offload wins
+    iff intensity (ops/bit) > e_radio / e_op: compute-dense tasks are
+    worth shipping, data-dense tasks (raw sensor streams) are cheaper
+    to process in place — the paper's on-sensor-filtering argument.
+    """
+    return device.radio_energy_per_bit_j / device.compute_energy_per_op_j
+
+
+def offload_decision(
+    device: DevicePlatform,
+    cloud: CloudPlatform,
+    work: Workload,
+    deadline_s: float = float("inf"),
+) -> dict[str, float | bool | str]:
+    """Full decision record: energies, latencies, and the verdict.
+
+    Policy: among options meeting the deadline, pick the lower-energy
+    one; if neither meets it, pick the faster one.
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    e_local = local_energy_j(device, work)
+    e_off = offload_energy_j(device, work)
+    t_local = local_latency_s(device, work)
+    t_off = offload_latency_s(device, cloud, work)
+    feasible = {
+        "local": t_local <= deadline_s,
+        "offload": t_off <= deadline_s,
+    }
+    if feasible["local"] and feasible["offload"]:
+        choice = "offload" if e_off < e_local else "local"
+    elif feasible["offload"]:
+        choice = "offload"
+    elif feasible["local"]:
+        choice = "local"
+    else:
+        choice = "offload" if t_off < t_local else "local"
+    return {
+        "choice": choice,
+        "local_energy_j": e_local,
+        "offload_energy_j": e_off,
+        "local_latency_s": t_local,
+        "offload_latency_s": t_off,
+        "energy_saving": (
+            (e_local - e_off) / e_local if e_local > 0 else 0.0
+        ),
+        "meets_deadline": feasible[choice],
+    }
+
+
+def offload_frontier(
+    device: DevicePlatform,
+    cloud: CloudPlatform,
+    intensities_ops_per_bit: np.ndarray,
+    input_bits: float = 8e6,
+) -> dict[str, np.ndarray]:
+    """Sweep compute intensity: where does the offload decision flip?
+
+    The E20 figure: at low ops/bit (raw sensor streams, little compute
+    per byte) local processing wins — shipping the data costs more than
+    crunching it; at high ops/bit (simulation-class work) offloading
+    wins because the radio cost is amortized over a lot of compute.
+    """
+    intensities = np.asarray(intensities_ops_per_bit, dtype=float)
+    if np.any(intensities < 0):
+        raise ValueError("intensities must be non-negative")
+    if input_bits <= 0:
+        raise ValueError("input_bits must be positive")
+    e_local, e_off, choice = [], [], []
+    for i in intensities:
+        work = Workload(ops=i * input_bits, input_bits=input_bits)
+        e_local.append(local_energy_j(device, work))
+        e_off.append(offload_energy_j(device, work))
+        choice.append(should_offload_energy(device, work))
+    return {
+        "intensity_ops_per_bit": intensities,
+        "local_energy_j": np.array(e_local),
+        "offload_energy_j": np.array(e_off),
+        "offload_wins": np.array(choice, dtype=bool),
+    }

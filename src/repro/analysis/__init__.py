@@ -1,0 +1,28 @@
+"""Analysis: experiment registry, paper experiments E01-E22, tables,
+statistics helpers.
+"""
+
+from .experiments import REGISTRY, Experiment, ExperimentRegistry
+from .paper_experiments import register_all
+from .stats import (
+    bootstrap_ci,
+    geometric_mean,
+    mean_confidence_interval,
+    relative_error,
+    within_factor,
+)
+from .tables import format_table, paper_vs_measured
+
+__all__ = [
+    "Experiment",
+    "ExperimentRegistry",
+    "REGISTRY",
+    "bootstrap_ci",
+    "format_table",
+    "geometric_mean",
+    "mean_confidence_interval",
+    "paper_vs_measured",
+    "register_all",
+    "relative_error",
+    "within_factor",
+]

@@ -1,0 +1,84 @@
+"""Experiment registry: the paper's claims as runnable, checkable records.
+
+Each :class:`Experiment` binds an ID from DESIGN.md's index (E01-E22) to
+a paper anchor, the claimed quantity, and a ``run`` callable returning a
+results dict that includes a ``"holds"`` boolean — whether the
+reproduced shape matches the claim.  ``run_all`` drives the whole sweep;
+the benchmark files under ``benchmarks/`` wrap the same callables for
+pytest-benchmark timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper claim."""
+
+    id: str
+    title: str
+    paper_anchor: str
+    claim: str
+    run: Callable[[], dict]
+
+    def execute(self) -> dict:
+        out = self.run()
+        if "holds" not in out:
+            raise ValueError(
+                f"experiment {self.id} returned no 'holds' verdict"
+            )
+        return out
+
+
+class ExperimentRegistry:
+    """Ordered collection of experiments with run-and-summarize."""
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Experiment] = {}
+
+    def register(self, experiment: Experiment) -> Experiment:
+        if experiment.id in self._experiments:
+            raise ValueError(f"duplicate experiment id {experiment.id}")
+        self._experiments[experiment.id] = experiment
+        return experiment
+
+    def get(self, experiment_id: str) -> Experiment:
+        try:
+            return self._experiments[experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; have "
+                f"{sorted(self._experiments)}"
+            ) from None
+
+    def ids(self) -> list[str]:
+        return sorted(self._experiments)
+
+    def __len__(self) -> int:
+        return len(self._experiments)
+
+    def run_all(
+        self, only: Optional[list[str]] = None
+    ) -> dict[str, dict]:
+        chosen = only if only is not None else self.ids()
+        results = {}
+        for eid in chosen:
+            results[eid] = self.get(eid).execute()
+        return results
+
+    def summary(self, results: dict[str, dict]) -> str:
+        lines = [f"{'id':<6}{'holds':<7}title"]
+        for eid in sorted(results):
+            exp = self.get(eid)
+            holds = results[eid].get("holds")
+            lines.append(f"{eid:<6}{str(bool(holds)):<7}{exp.title}")
+        n_ok = sum(bool(r.get("holds")) for r in results.values())
+        lines.append(f"-- {n_ok}/{len(results)} claims hold")
+        return "\n".join(lines)
+
+
+#: The shared registry; populated by :mod:`repro.analysis.paper_experiments`.
+REGISTRY = ExperimentRegistry()

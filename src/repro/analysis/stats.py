@@ -1,0 +1,80 @@
+"""Statistics helpers shared by benches and reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean — the correct average for speedup ratios."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def mean_confidence_interval(
+    values, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """(mean, lo, hi) via the normal approximation."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    from scipy import stats
+
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    return mean, mean - z * sem, mean + z * sem
+
+
+def bootstrap_ci(
+    values,
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> tuple[float, float, float]:
+    """(point, lo, hi) percentile bootstrap for arbitrary statistics
+    (medians, p99s — anything the normal approximation mangles)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("need at least 10 resamples")
+    gen = resolve_rng(rng)
+    point = float(statistic(arr))
+    idx = gen.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats_arr = np.apply_along_axis(statistic, 1, arr[idx])
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats_arr, [alpha, 1.0 - alpha])
+    return point, float(lo), float(hi)
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected| (inf-safe)."""
+    if expected == 0:
+        return float("inf") if measured != 0 else 0.0
+    return abs(measured - expected) / abs(expected)
+
+
+def within_factor(measured: float, expected: float, factor: float) -> bool:
+    """Is ``measured`` within a multiplicative ``factor`` of expected?
+
+    The standard acceptance test for shape-level reproduction: order-
+    of-magnitude agreement, not digit matching.
+    """
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    if expected <= 0 or measured <= 0:
+        raise ValueError("within_factor compares positive quantities")
+    ratio = measured / expected
+    return 1.0 / factor <= ratio <= factor

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print paper-style tables; this is the one formatter they all
+share, so EXPERIMENTS.md extracts stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core import units
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        rendered_rows.append(
+            [
+                float_format.format(cell)
+                if isinstance(cell, float)
+                else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    experiment_id: str,
+    claim: str,
+    rows: Iterable[tuple[str, object, object]],
+) -> str:
+    """Standard experiment epilogue: quantity, paper value, measured.
+
+    Values may be floats (SI-formatted) or pre-formatted strings.
+    """
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return units.si_format(v)
+        return str(v)
+
+    body = format_table(
+        ["quantity", "paper", "measured"],
+        [(q, fmt(p), fmt(m)) for q, p, m in rows],
+        title=f"[{experiment_id}] {claim}",
+    )
+    return body

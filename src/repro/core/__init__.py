@@ -1,0 +1,78 @@
+"""Core substrate: simulation kernel, energy accounting, design-space tools.
+
+These are the shared primitives every paper-facing model builds on:
+
+* :mod:`repro.core.units` — SI constants plus the paper's platform
+  power/throughput targets.
+* :mod:`repro.core.rng` — seeded, stream-splitting RNG policy.
+* :mod:`repro.core.events` — deterministic discrete-event kernel.
+* :mod:`repro.core.energy` — hierarchical energy ledger ("energy first").
+* :mod:`repro.core.design` / :mod:`repro.core.dse` — design points,
+  Pareto frontiers, and sweep drivers.
+* :mod:`repro.core.agenda` — the full-system, energy-first design-space
+  model that ties the substrates together (the paper's agenda rendered
+  executable).
+"""
+
+from .design import (
+    DesignPoint,
+    Direction,
+    Metrics,
+    Objective,
+    best_under_budget,
+    dominated_fraction,
+    knee_point,
+    pareto_front,
+    pareto_mask,
+)
+from .dse import (
+    ContinuousParam,
+    DiscreteParam,
+    Explorer,
+    SweepResult,
+    grid_configs,
+    local_search,
+    random_configs,
+)
+from .energy import (
+    EnergyCost,
+    EnergyLedger,
+    combine_ledgers,
+    energy_delay_product,
+    energy_delay_squared,
+)
+from .events import CancelToken, Event, PeriodicSource, SimStats, Simulator
+from .rng import DEFAULT_SEED, resolve_rng, spawn_rngs, stream_for
+
+__all__ = [
+    "CancelToken",
+    "ContinuousParam",
+    "DEFAULT_SEED",
+    "DesignPoint",
+    "Direction",
+    "DiscreteParam",
+    "EnergyCost",
+    "EnergyLedger",
+    "Event",
+    "Explorer",
+    "Metrics",
+    "Objective",
+    "PeriodicSource",
+    "SimStats",
+    "Simulator",
+    "SweepResult",
+    "best_under_budget",
+    "combine_ledgers",
+    "dominated_fraction",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "grid_configs",
+    "knee_point",
+    "local_search",
+    "pareto_front",
+    "pareto_mask",
+    "random_configs",
+    "resolve_rng",
+    "spawn_rngs",
+    "stream_for",
+]

@@ -1,0 +1,196 @@
+"""Design points, metrics, and Pareto-frontier machinery.
+
+The paper reframes architecture as multi-objective design — "performance
+plus security, privacy, availability, programmability" under hard power
+envelopes (Table 2).  This module gives the library one shared vocabulary
+for that: a :class:`DesignPoint` is an arbitrary configuration dict plus
+a :class:`Metrics` record; :func:`pareto_front` extracts non-dominated
+sets; :class:`Objective` declares per-metric direction (minimize energy,
+maximize throughput, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+class Direction(Enum):
+    """Whether larger or smaller is better for a metric."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named optimization objective over a metric key."""
+
+    metric: str
+    direction: Direction = Direction.MINIMIZE
+
+    def oriented(self, value: float) -> float:
+        """Map the metric so that smaller is always better."""
+        return value if self.direction is Direction.MINIMIZE else -value
+
+
+@dataclass
+class Metrics:
+    """A flat bag of named scalar results for one evaluated design.
+
+    Common keys used across the library (by convention, SI units):
+    ``throughput_ops`` (ops/s), ``power_w``, ``energy_j``, ``latency_s``,
+    ``area_mm2``, ``availability``, ``efficiency_ops_per_watt``.
+    """
+
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+    def __setitem__(self, key: str, value: float) -> None:
+        self.values[key] = float(value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
+
+    def get(self, key: str, default: float = float("nan")) -> float:
+        return self.values.get(key, default)
+
+    def derive_efficiency(self) -> None:
+        """Fill ``efficiency_ops_per_watt`` from throughput and power."""
+        if "throughput_ops" in self.values and "power_w" in self.values:
+            power = self.values["power_w"]
+            self.values["efficiency_ops_per_watt"] = (
+                self.values["throughput_ops"] / power if power > 0 else 0.0
+            )
+
+
+@dataclass
+class DesignPoint:
+    """One configuration in a design space, optionally evaluated."""
+
+    config: Dict[str, Any]
+    metrics: Optional[Metrics] = None
+    label: str = ""
+
+    def is_evaluated(self) -> bool:
+        return self.metrics is not None
+
+    def metric(self, key: str) -> float:
+        if self.metrics is None:
+            raise ValueError(f"design point {self.label!r} not yet evaluated")
+        return self.metrics[key]
+
+
+EvaluateFn = Callable[[Dict[str, Any]], Metrics]
+
+
+def _oriented_matrix(
+    points: Sequence[DesignPoint], objectives: Sequence[Objective]
+) -> np.ndarray:
+    """Stack objective values, oriented so smaller is better."""
+    rows = np.empty((len(points), len(objectives)), dtype=float)
+    for i, point in enumerate(points):
+        for j, obj in enumerate(objectives):
+            rows[i, j] = obj.oriented(point.metric(obj.metric))
+    return rows
+
+
+def pareto_mask(oriented: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (smaller-is-better matrix).
+
+    A row is dominated if some other row is <= in every column and < in
+    at least one.  O(n^2 d) pairwise check, vectorized over one axis —
+    fine for the sweep sizes this library produces (<= tens of
+    thousands of points).
+    """
+    if oriented.ndim != 2:
+        raise ValueError("expected a 2-D objective matrix")
+    n = oriented.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        dominates_i = np.all(oriented <= oriented[i], axis=1) & np.any(
+            oriented < oriented[i], axis=1
+        )
+        if np.any(dominates_i):
+            mask[i] = False
+        else:
+            # i survives; anything i dominates can be ruled out early.
+            dominated_by_i = np.all(oriented >= oriented[i], axis=1) & np.any(
+                oriented > oriented[i], axis=1
+            )
+            mask &= ~dominated_by_i
+            mask[i] = True
+    return mask
+
+
+def pareto_front(
+    points: Sequence[DesignPoint], objectives: Sequence[Objective]
+) -> list[DesignPoint]:
+    """Non-dominated subset of ``points`` under ``objectives``.
+
+    Ties (exactly equal objective vectors) are all retained.
+    """
+    if not points:
+        return []
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    oriented = _oriented_matrix(points, objectives)
+    mask = pareto_mask(oriented)
+    return [p for p, keep in zip(points, mask) if keep]
+
+
+def knee_point(
+    points: Sequence[DesignPoint], objectives: Sequence[Objective]
+) -> DesignPoint:
+    """Pick the 'knee' of a Pareto front: closest to the utopia point
+    after per-objective min-max normalization.  A pragmatic default for
+    "give me one balanced design" queries.
+    """
+    front = pareto_front(points, objectives)
+    if not front:
+        raise ValueError("no points supplied")
+    oriented = _oriented_matrix(front, objectives)
+    lo = oriented.min(axis=0)
+    span = oriented.max(axis=0) - lo
+    span[span == 0] = 1.0
+    norm = (oriented - lo) / span
+    distances = np.linalg.norm(norm, axis=1)
+    return front[int(np.argmin(distances))]
+
+
+def dominated_fraction(
+    points: Sequence[DesignPoint], objectives: Sequence[Objective]
+) -> float:
+    """Fraction of points strictly dominated — a density diagnostic."""
+    if not points:
+        return 0.0
+    oriented = _oriented_matrix(points, objectives)
+    mask = pareto_mask(oriented)
+    return 1.0 - float(mask.sum()) / len(points)
+
+
+def best_under_budget(
+    points: Iterable[DesignPoint],
+    maximize: str,
+    budgets: Mapping[str, float],
+) -> Optional[DesignPoint]:
+    """Best point on ``maximize`` subject to metric <= budget constraints.
+
+    This is the paper's canonical question: "most ops/s under 10 W".
+    Returns None when nothing fits the budget.
+    """
+    feasible = [
+        p
+        for p in points
+        if all(p.metric(k) <= v for k, v in budgets.items())
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: p.metric(maximize))

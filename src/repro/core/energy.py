@@ -1,0 +1,198 @@
+"""Energy accounting — the ledger behind "energy first" (Section 2.2).
+
+The paper's central reorientation is that *energy*, not time, is the
+scarce resource; every simulator in this library therefore charges its
+work to an :class:`EnergyLedger` so cross-layer totals (compute vs.
+communication vs. storage) can be compared the way the paper argues they
+must be ("energy is largely spent moving data").
+
+The ledger is a hierarchical multiset of named accounts.  Accounts use
+dotted paths (``"memory.dram.activate"``); queries can aggregate any
+prefix, so a model can ask "total interconnect energy" without knowing
+which links exist.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from . import units
+
+
+class EnergyLedger:
+    """Hierarchical energy (and operation-count) accounting.
+
+    >>> ledger = EnergyLedger()
+    >>> ledger.charge("compute.fma", 50e-12, ops=1)
+    >>> ledger.charge("memory.dram.read", 20e-9)
+    >>> ledger.total()
+    2.005e-08
+    >>> ledger.total("compute")
+    5e-11
+    """
+
+    def __init__(self) -> None:
+        self._energy_j: Dict[str, float] = defaultdict(float)
+        self._ops: Dict[str, int] = defaultdict(int)
+
+    # -- mutation ----------------------------------------------------------
+
+    def charge(self, account: str, energy_j: float, ops: int = 0) -> None:
+        """Add ``energy_j`` joules (and optionally ``ops`` operations)."""
+        if energy_j < 0:
+            raise ValueError(f"energy cannot be negative, got {energy_j}")
+        if ops < 0:
+            raise ValueError(f"ops cannot be negative, got {ops}")
+        if not account:
+            raise ValueError("account name must be non-empty")
+        self._energy_j[account] += float(energy_j)
+        if ops:
+            self._ops[account] += int(ops)
+
+    def merge(self, other: "EnergyLedger", prefix: str = "") -> None:
+        """Fold ``other`` into this ledger, optionally under ``prefix``.
+
+        Lets a subsystem simulate with a private ledger and then report
+        into its parent (e.g. a NoC merging under ``"interconnect"``).
+        """
+        joiner = f"{prefix}." if prefix else ""
+        for account, energy in other._energy_j.items():
+            self._energy_j[joiner + account] += energy
+        for account, ops in other._ops.items():
+            self._ops[joiner + account] += ops
+
+    def reset(self) -> None:
+        self._energy_j.clear()
+        self._ops.clear()
+
+    # -- queries -----------------------------------------------------------
+
+    @staticmethod
+    def _matches(account: str, prefix: Optional[str]) -> bool:
+        if prefix is None or prefix == "":
+            return True
+        return account == prefix or account.startswith(prefix + ".")
+
+    def total(self, prefix: Optional[str] = None) -> float:
+        """Total joules charged under ``prefix`` (all accounts if None)."""
+        return sum(
+            e for a, e in self._energy_j.items() if self._matches(a, prefix)
+        )
+
+    def ops(self, prefix: Optional[str] = None) -> int:
+        """Total operations recorded under ``prefix``."""
+        return sum(o for a, o in self._ops.items() if self._matches(a, prefix))
+
+    def accounts(self) -> list[str]:
+        """Sorted list of leaf account names with nonzero energy."""
+        return sorted(a for a, e in self._energy_j.items() if e > 0)
+
+    def breakdown(self, depth: int = 1) -> Dict[str, float]:
+        """Aggregate energy by the first ``depth`` path components.
+
+        ``breakdown(1)`` gives the classic compute/memory/interconnect
+        pie; deeper depths drill in.
+        """
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        out: Dict[str, float] = defaultdict(float)
+        for account, energy in self._energy_j.items():
+            key = ".".join(account.split(".")[:depth])
+            out[key] += energy
+        return dict(out)
+
+    def efficiency_ops_per_watt(self, prefix: Optional[str] = None) -> float:
+        """ops/J (== ops/s/W) for the accounts under ``prefix``.
+
+        Returns 0.0 when no energy has been charged, and ``inf`` when ops
+        were recorded at zero energy (an ideal/free operation).
+        """
+        energy = self.total(prefix)
+        ops = self.ops(prefix)
+        if energy == 0.0:
+            return float("inf") if ops else 0.0
+        return ops / energy
+
+    def meets_paper_target(self, prefix: Optional[str] = None) -> bool:
+        """Does this ledger hit the paper's 100 GOPS/W goal?"""
+        return (
+            self.efficiency_ops_per_watt(prefix)
+            >= units.PAPER_TARGET_OPS_PER_WATT
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the raw per-account energy map."""
+        return dict(self._energy_j)
+
+    def report(self, depth: int = 1) -> str:
+        """Human-readable breakdown, largest accounts first."""
+        rows = sorted(
+            self.breakdown(depth).items(), key=lambda kv: -kv[1]
+        )
+        total = self.total()
+        lines = [f"{'account':<32}{'energy':>12}{'share':>8}"]
+        for account, energy in rows:
+            share = energy / total if total else 0.0
+            lines.append(
+                f"{account:<32}{units.si_format(energy, 'J'):>12}"
+                f"{share:>7.1%}"
+            )
+        lines.append(f"{'TOTAL':<32}{units.si_format(total, 'J'):>12}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class EnergyCost:
+    """A named static+dynamic energy cost for one class of operation.
+
+    ``per_event_j`` is charged each time the operation occurs;
+    ``leakage_w`` accrues with wall-clock time via :meth:`idle_energy`.
+    """
+
+    name: str
+    per_event_j: float
+    leakage_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.per_event_j < 0 or self.leakage_w < 0:
+            raise ValueError("energy costs must be non-negative")
+
+    def dynamic_energy(self, events: int) -> float:
+        if events < 0:
+            raise ValueError("events cannot be negative")
+        return self.per_event_j * events
+
+    def idle_energy(self, duration_s: float) -> float:
+        if duration_s < 0:
+            raise ValueError("duration cannot be negative")
+        return self.leakage_w * duration_s
+
+    def total_energy(self, events: int, duration_s: float) -> float:
+        return self.dynamic_energy(events) + self.idle_energy(duration_s)
+
+
+def energy_delay_product(energy_j: float, delay_s: float) -> float:
+    """EDP — the classic single-number energy/performance fusion."""
+    if energy_j < 0 or delay_s < 0:
+        raise ValueError("energy and delay must be non-negative")
+    return energy_j * delay_s
+
+
+def energy_delay_squared(energy_j: float, delay_s: float) -> float:
+    """ED^2P — weighs performance more, standard for voltage scaling."""
+    if energy_j < 0 or delay_s < 0:
+        raise ValueError("energy and delay must be non-negative")
+    return energy_j * delay_s * delay_s
+
+
+def combine_ledgers(
+    parts: Mapping[str, EnergyLedger] | Iterable[tuple[str, EnergyLedger]],
+) -> EnergyLedger:
+    """Merge several subsystem ledgers under their given prefixes."""
+    items = parts.items() if isinstance(parts, Mapping) else parts
+    merged = EnergyLedger()
+    for prefix, ledger in items:
+        merged.merge(ledger, prefix=prefix)
+    return merged

@@ -1,0 +1,69 @@
+"""Cross-cutting "ilities": ECC, fault injection, invariant checking,
+information-flow tracking, QoS partitioning (Section 2.4, E03/E19).
+"""
+
+from .ecc import SECDED, random_word, residual_error_rate
+from .faults import (
+    CampaignResult,
+    Outcome,
+    execute_registers,
+    injection_campaign,
+)
+from .ift import (
+    IFTResult,
+    TaintPolicy,
+    TaintTracker,
+    address_range_policy,
+    ift_overhead_model,
+)
+from .integrity import (
+    IntegrityTreeConfig,
+    overhead_vs_arity,
+    overhead_vs_cache_hit_rate,
+    secure_access_overhead,
+)
+from .invariants import (
+    ProtectionScheme,
+    compare_protection_schemes,
+    default_schemes,
+    range_invariant_checker,
+    relation_invariant_checker,
+)
+from .qos import (
+    Application,
+    equal_partition,
+    evaluate_partition,
+    isolation_tax,
+    proportional_partition,
+    qos_first_partition,
+)
+
+__all__ = [
+    "Application",
+    "CampaignResult",
+    "IFTResult",
+    "IntegrityTreeConfig",
+    "Outcome",
+    "ProtectionScheme",
+    "SECDED",
+    "TaintPolicy",
+    "TaintTracker",
+    "address_range_policy",
+    "compare_protection_schemes",
+    "default_schemes",
+    "equal_partition",
+    "evaluate_partition",
+    "execute_registers",
+    "ift_overhead_model",
+    "injection_campaign",
+    "isolation_tax",
+    "overhead_vs_arity",
+    "overhead_vs_cache_hit_rate",
+    "proportional_partition",
+    "qos_first_partition",
+    "random_word",
+    "range_invariant_checker",
+    "relation_invariant_checker",
+    "residual_error_rate",
+    "secure_access_overhead",
+]

@@ -1,0 +1,152 @@
+"""Fault-injection framework (paper Section 2.4 "Verifiability and
+Reliability").
+
+Injects single-bit flips into the architectural register state of the
+tiny-ISA in-order core mid-trace and classifies outcomes the standard
+way: **masked** (architectural state converges to the golden run),
+**SDC** — silent data corruption (run completes, final state differs),
+or **detected** (a checker caught it).  The E19 experiment layers
+checkers from :mod:`repro.crosscut.invariants` on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+from ..processor.isa import Instruction, NUM_REGISTERS, Opcode
+
+
+class Outcome(Enum):
+    MASKED = "masked"
+    SDC = "silent_data_corruption"
+    DETECTED = "detected"
+
+
+def execute_registers(
+    trace: Sequence[Instruction],
+    flip: Optional[tuple[int, int, int]] = None,
+    checker: Optional[Callable[[np.ndarray], bool]] = None,
+) -> tuple[np.ndarray, bool]:
+    """Architectural register-file interpreter for the tiny ISA.
+
+    Executes a deterministic arithmetic semantics (each opcode a fixed
+    integer function of its sources) so fault effects propagate
+    realistically.  ``flip`` = (instruction_index, register, bit):
+    before executing that instruction, flip that register bit.
+    ``checker``, if given, is called on the register file after every
+    instruction; returning False signals detection.
+
+    Returns (final_registers, detected).
+    """
+    regs = np.arange(1, NUM_REGISTERS + 1, dtype=np.int64)  # nonzero init
+    detected = False
+    for i, instr in enumerate(trace):
+        if flip is not None and i == flip[0]:
+            _, reg, bit = flip
+            if not 0 <= reg < NUM_REGISTERS:
+                raise ValueError("flip register out of range")
+            if not 0 <= bit < 63:
+                raise ValueError("flip bit out of range")
+            regs[reg] ^= np.int64(1) << bit
+        srcs = [regs[s] for s in instr.srcs] or [np.int64(i)]
+        a = srcs[0]
+        b = srcs[1] if len(srcs) > 1 else np.int64(1)
+        mask = np.int64((1 << 20) - 1)
+        if instr.opcode is Opcode.ALU:
+            value = (a + b) & mask
+        elif instr.opcode is Opcode.MUL:
+            value = (a * b) & mask
+        elif instr.opcode is Opcode.DIV:
+            value = a // (abs(b) + 1)
+        elif instr.opcode in (Opcode.FPU, Opcode.FMA):
+            c = srcs[2] if len(srcs) > 2 else np.int64(3)
+            value = (a * b + c) & mask
+        elif instr.opcode is Opcode.LOAD:
+            value = np.int64(instr.address or 0) & mask
+        else:
+            value = None
+        if instr.dst is not None and value is not None:
+            regs[instr.dst] = value
+        if checker is not None and not checker(regs):
+            detected = True
+            break
+    return regs, detected
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome counts from a fault-injection campaign."""
+
+    outcomes: dict
+
+    @property
+    def total(self) -> int:
+        return sum(self.outcomes.values())
+
+    def rate(self, outcome: Outcome) -> float:
+        if self.total == 0:
+            return float("nan")
+        return self.outcomes.get(outcome, 0) / self.total
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.rate(Outcome.SDC)
+
+    @property
+    def coverage(self) -> float:
+        """Detected / (detected + SDC): checker quality on live faults."""
+        detected = self.outcomes.get(Outcome.DETECTED, 0)
+        sdc = self.outcomes.get(Outcome.SDC, 0)
+        if detected + sdc == 0:
+            return float("nan")
+        return detected / (detected + sdc)
+
+
+def injection_campaign(
+    trace: Sequence[Instruction],
+    n_injections: int = 200,
+    checker: Optional[Callable[[np.ndarray], bool]] = None,
+    checker_factory: Optional[
+        Callable[[], Callable[[np.ndarray], bool]]
+    ] = None,
+    rng: RngLike = None,
+) -> CampaignResult:
+    """Random single-bit-flip campaign against a trace.
+
+    Each injection picks a random (instruction, register, bit) and
+    compares the final register file to a golden run.  Pass
+    ``checker_factory`` for stateful checkers (a fresh instance is
+    built per injection so state cannot leak between runs); a plain
+    ``checker`` is reused and must be stateless.
+    """
+    if n_injections < 1:
+        raise ValueError("need at least one injection")
+    if not trace:
+        raise ValueError("trace must be non-empty")
+    if checker is not None and checker_factory is not None:
+        raise ValueError("pass either checker or checker_factory, not both")
+    gen = resolve_rng(rng)
+    golden, _ = execute_registers(trace)
+    counts: dict = {o: 0 for o in Outcome}
+    for _ in range(n_injections):
+        flip = (
+            int(gen.integers(len(trace))),
+            int(gen.integers(NUM_REGISTERS)),
+            int(gen.integers(31)),
+        )
+        run_checker = checker_factory() if checker_factory else checker
+        final, detected = execute_registers(
+            trace, flip=flip, checker=run_checker
+        )
+        if detected:
+            counts[Outcome.DETECTED] += 1
+        elif np.array_equal(final, golden):
+            counts[Outcome.MASKED] += 1
+        else:
+            counts[Outcome.SDC] += 1
+    return CampaignResult(outcomes=counts)

@@ -1,0 +1,164 @@
+"""Invariant-checking co-processor vs. redundancy (experiment E19).
+
+"Current highly-redundant approaches are not energy efficient; we
+recommend research in lower-overhead approaches that employ dynamic
+(hardware) checking of invariants supplied by software" (Section 2.4).
+
+Models three protection schemes applied to the fault-injection
+substrate:
+
+* **None** — baseline SDC rate.
+* **DMR** — dual-modular redundancy: run everything twice and compare;
+  ~100% coverage at ~100% energy overhead.
+* **Invariant checker** — a small co-processor evaluates
+  software-supplied range/relation invariants on architectural state;
+  partial coverage at a few percent energy overhead.
+
+The E19 bench reports the published-shape result: invariant checking
+buys most of DMR's SDC reduction at a tenth of its energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.rng import RngLike
+from ..processor.isa import Instruction
+from .faults import CampaignResult, Outcome, injection_campaign
+
+
+@dataclass(frozen=True)
+class ProtectionScheme:
+    """A detection mechanism's coverage and energy overhead."""
+
+    name: str
+    energy_overhead: float  # fractional extra energy (1.0 = +100%)
+    checker_factory: Callable[[], Callable[[np.ndarray], bool]] | None
+
+    def __post_init__(self) -> None:
+        if self.energy_overhead < 0:
+            raise ValueError("overhead must be non-negative")
+
+
+def range_invariant_checker(
+    bound: int = 1 << 31,
+) -> Callable[[np.ndarray], bool]:
+    """Checks every register stays within software-declared bounds.
+
+    A bit flip in a high-order bit blows past the bound immediately;
+    low-order flips escape — exactly the partial-coverage behaviour of
+    real invariant checkers.
+    """
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+
+    def check(regs: np.ndarray) -> bool:
+        return bool(np.all(np.abs(regs) < bound))
+
+    return check
+
+
+def relation_invariant_checker(
+    max_jump: int = 1 << 24,
+) -> Callable[[np.ndarray], bool]:
+    """Checks state-change magnitude between observations (a temporal
+    invariant: values evolve smoothly in this workload class)."""
+    if max_jump <= 0:
+        raise ValueError("max_jump must be positive")
+    previous: list = [None]
+
+    def check(regs: np.ndarray) -> bool:
+        ok = True
+        if previous[0] is not None:
+            ok = bool(np.all(np.abs(regs - previous[0]) < max_jump))
+        previous[0] = regs.copy()
+        return ok
+
+    return check
+
+
+def dmr_checker_factory() -> Callable[[np.ndarray], bool]:
+    """DMR modeled as a perfect checker (duplicate always disagrees on
+    any corrupted state)."""
+    golden: list = [None]
+
+    def check(regs: np.ndarray) -> bool:
+        # In a real DMR the duplicate pipeline recomputes; here, the
+        # campaign substitutes outcome-level perfection: handled in
+        # compare_protection_schemes via full-coverage accounting.
+        return True
+
+    return check
+
+
+def default_schemes() -> list[ProtectionScheme]:
+    # Legitimate architectural values stay below 2^20 (the tiny-ISA
+    # semantics mask results), so a 2^20 range invariant catches every
+    # high-order-bit flip while it is live; the loose variant (2^26)
+    # only sees the very top bits — a weaker, cheaper checker.
+    return [
+        ProtectionScheme("none", 0.0, None),
+        ProtectionScheme(
+            "invariant_loose", 0.03,
+            lambda: range_invariant_checker(1 << 26),
+        ),
+        ProtectionScheme(
+            "invariant_tight", 0.06,
+            lambda: range_invariant_checker(1 << 20),
+        ),
+        ProtectionScheme("dmr", 1.0, dmr_checker_factory),
+    ]
+
+
+def compare_protection_schemes(
+    trace: Sequence[Instruction],
+    n_injections: int = 300,
+    schemes: Sequence[ProtectionScheme] | None = None,
+    rng: RngLike = 0,
+) -> dict[str, dict[str, float]]:
+    """Run the fault campaign under each scheme (E19's table).
+
+    DMR is scored analytically (full coverage of non-masked faults);
+    invariant schemes run their checkers live.  Reports SDC rate,
+    coverage, energy overhead, and the efficiency figure of merit
+    (SDC reduction per unit energy overhead).
+    """
+    chosen = list(schemes) if schemes is not None else default_schemes()
+    if not chosen:
+        raise ValueError("need at least one scheme")
+    out: dict[str, dict[str, float]] = {}
+    baseline: CampaignResult | None = None
+    for scheme in chosen:
+        if scheme.name == "dmr":
+            base = baseline or injection_campaign(
+                trace, n_injections, checker=None, rng=rng
+            )
+            sdc = 0.0
+            detected = base.rate(Outcome.SDC)
+            coverage = 1.0
+        else:
+            result = injection_campaign(
+                trace, n_injections,
+                checker_factory=scheme.checker_factory, rng=rng,
+            )
+            if scheme.name == "none":
+                baseline = result
+            sdc = result.sdc_rate
+            detected = result.rate(Outcome.DETECTED)
+            coverage = result.coverage
+        record = {
+            "sdc_rate": sdc,
+            "detected_rate": detected,
+            "coverage": coverage,
+            "energy_overhead": scheme.energy_overhead,
+        }
+        if baseline is not None and scheme.energy_overhead > 0:
+            reduction = baseline.sdc_rate - sdc
+            record["sdc_reduction_per_overhead"] = (
+                reduction / scheme.energy_overhead
+            )
+        out[scheme.name] = record
+    return out

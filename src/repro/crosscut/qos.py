@@ -1,0 +1,139 @@
+"""QoS enforcement via shared-resource partitioning (paper Section 2.4).
+
+"How can applications express Quality-of-Service targets and have the
+underlying hardware, the operating system and the virtualization layers
+work together to ensure them?"
+
+Model: co-running applications share a cache and memory bandwidth; each
+application's performance follows a concave utility of its resource
+share (miss-curve shaped).  Partitioning policies (equal, proportional,
+QoS-first) allocate shares; the QoS-first allocator guarantees the
+high-priority app's target and gives the rest to best-effort tenants —
+quantifying the isolation-vs-utilization tradeoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Application:
+    """A tenant with a concave performance-vs-share curve.
+
+    perf(share) = peak * share^alpha (alpha in (0, 1]: concave).
+    ``qos_target`` is the minimum acceptable performance (0 = best
+    effort).
+    """
+
+    name: str
+    peak_performance: float = 1.0
+    alpha: float = 0.5
+    qos_target: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_performance <= 0:
+            raise ValueError("peak must be positive")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.qos_target < 0 or self.qos_target > self.peak_performance:
+            raise ValueError("target must be within [0, peak]")
+
+    def performance(self, share: float) -> float:
+        if not 0.0 <= share <= 1.0:
+            raise ValueError("share must be in [0, 1]")
+        return self.peak_performance * share**self.alpha
+
+    def share_for_target(self) -> float:
+        """Minimum share achieving the QoS target."""
+        if self.qos_target == 0:
+            return 0.0
+        return float(
+            (self.qos_target / self.peak_performance) ** (1.0 / self.alpha)
+        )
+
+
+def equal_partition(apps: Sequence[Application]) -> np.ndarray:
+    if not apps:
+        raise ValueError("need at least one application")
+    return np.full(len(apps), 1.0 / len(apps))
+
+
+def proportional_partition(
+    apps: Sequence[Application], weights: Sequence[float]
+) -> np.ndarray:
+    if len(apps) != len(weights):
+        raise ValueError("weights must match apps")
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0) or w.sum() == 0:
+        raise ValueError("weights must be non-negative, not all zero")
+    return w / w.sum()
+
+
+def qos_first_partition(apps: Sequence[Application]) -> np.ndarray:
+    """Reserve each app's QoS share; split the remainder equally among
+    best-effort apps (and any leftover among everyone).
+
+    Raises when the targets are infeasible (reserved shares exceed 1).
+    """
+    if not apps:
+        raise ValueError("need at least one application")
+    reserved = np.array([a.share_for_target() for a in apps])
+    if reserved.sum() > 1.0 + 1e-12:
+        raise ValueError(
+            f"QoS targets infeasible: reserved shares sum to "
+            f"{reserved.sum():.3f}"
+        )
+    leftover = 1.0 - reserved.sum()
+    best_effort = np.array([a.qos_target == 0 for a in apps])
+    shares = reserved.copy()
+    if best_effort.any():
+        shares[best_effort] += leftover / best_effort.sum()
+    else:
+        shares += leftover / len(apps)
+    return shares
+
+
+def evaluate_partition(
+    apps: Sequence[Application], shares: np.ndarray
+) -> dict[str, object]:
+    """Performance, QoS satisfaction, and aggregate throughput."""
+    shares_arr = np.asarray(shares, dtype=float)
+    if len(shares_arr) != len(apps):
+        raise ValueError("shares must match apps")
+    if np.any(shares_arr < -1e-12) or shares_arr.sum() > 1.0 + 1e-9:
+        raise ValueError("shares must be non-negative and sum to <= 1")
+    perf = np.array(
+        [a.performance(min(max(s, 0.0), 1.0)) for a, s in zip(apps, shares_arr)]
+    )
+    met = np.array([p >= a.qos_target - 1e-12 for a, p in zip(apps, perf)])
+    return {
+        "performance": perf,
+        "qos_met": met,
+        "all_qos_met": bool(met.all()),
+        "total_throughput": float(perf.sum()),
+    }
+
+
+def isolation_tax(
+    apps: Sequence[Application],
+) -> dict[str, float]:
+    """Throughput cost of guaranteeing QoS vs. ignoring it.
+
+    Compares total throughput under equal sharing (no guarantees) and
+    QoS-first partitioning — the number an operator weighs against SLA
+    violations.
+    """
+    equal = evaluate_partition(apps, equal_partition(apps))
+    qos = evaluate_partition(apps, qos_first_partition(apps))
+    return {
+        "equal_throughput": equal["total_throughput"],
+        "qos_throughput": qos["total_throughput"],
+        "tax_fraction": 1.0
+        - qos["total_throughput"] / equal["total_throughput"],
+        "equal_meets_qos": float(equal["all_qos_met"]),
+        "qos_meets_qos": float(qos["all_qos_met"]),
+    }

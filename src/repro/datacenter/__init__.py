@@ -1,0 +1,100 @@
+"""Datacenter substrate: tail latency at scale, hedging, cluster
+queueing, facility power, availability, and TCO (Section 2.1,
+experiments E06/E07/E13/E22).
+"""
+
+from .autoscale import (
+    AutoscaleConfig,
+    ProvisioningResult,
+    diurnal_load,
+    policy_energy_comparison,
+    provision,
+)
+from .availability import (
+    RedundancyCostModel,
+    availability_from_nines,
+    downtime_minutes_per_year,
+    k_of_n_availability,
+    nines,
+    paper_five_nines_check,
+    parallel_availability,
+    replicas_for_target,
+    series_availability,
+)
+from .cluster import (
+    Balancer,
+    ClusterConfig,
+    ClusterResult,
+    ClusterSimulator,
+    erlang_c,
+    mm1_mean_latency,
+    mmc_mean_latency,
+    utilization_latency_tradeoff,
+)
+from .hedging import (
+    hedged_request_latencies,
+    hedging_effectiveness,
+    tied_request_latencies,
+)
+from .latency import (
+    LatencyDistribution,
+    exponential_latency,
+    lognormal_latency,
+    straggler_mixture,
+)
+from .power import (
+    DatacenterPowerModel,
+    ServerPowerModel,
+    datacenter_ops_within_budget,
+)
+from .tail import (
+    fanout_latency_quantile,
+    median_inflation,
+    monte_carlo_fanout,
+    paper_claim,
+    partition_vs_fanout_tradeoff,
+    straggler_probability,
+)
+from .tco import TCOModel
+
+__all__ = [
+    "AutoscaleConfig",
+    "Balancer",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterSimulator",
+    "DatacenterPowerModel",
+    "LatencyDistribution",
+    "ProvisioningResult",
+    "RedundancyCostModel",
+    "ServerPowerModel",
+    "TCOModel",
+    "availability_from_nines",
+    "datacenter_ops_within_budget",
+    "diurnal_load",
+    "downtime_minutes_per_year",
+    "erlang_c",
+    "exponential_latency",
+    "fanout_latency_quantile",
+    "hedged_request_latencies",
+    "hedging_effectiveness",
+    "k_of_n_availability",
+    "lognormal_latency",
+    "median_inflation",
+    "mm1_mean_latency",
+    "mmc_mean_latency",
+    "monte_carlo_fanout",
+    "nines",
+    "paper_claim",
+    "paper_five_nines_check",
+    "parallel_availability",
+    "policy_energy_comparison",
+    "provision",
+    "partition_vs_fanout_tradeoff",
+    "replicas_for_target",
+    "series_availability",
+    "straggler_mixture",
+    "straggler_probability",
+    "tied_request_latencies",
+    "utilization_latency_tradeoff",
+]

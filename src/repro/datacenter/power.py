@@ -1,0 +1,135 @@
+"""Datacenter power: PUE, energy proportionality, provisioning.
+
+"Memory and storage systems consume an increasing fraction of the total
+data center power budget" (Section 2.1); the E06 energy-target bench
+needs a whole-facility power model to turn server efficiency into the
+paper's "exa-op data center ... no more than 10 MW".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServerPowerModel:
+    """Utilization -> power for one server (energy-proportionality)."""
+
+    idle_w: float = 100.0
+    peak_w: float = 300.0
+    exponent: float = 1.0  # 1.0 = linear between idle and peak
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.peak_w <= 0:
+            raise ValueError("bad power endpoints")
+        if self.idle_w > self.peak_w:
+            raise ValueError("idle power cannot exceed peak")
+        if self.exponent <= 0:
+            raise ValueError("exponent must be positive")
+
+    def power_w(self, utilization) -> np.ndarray:
+        u = np.asarray(utilization, dtype=float)
+        if np.any((u < 0) | (u > 1)):
+            raise ValueError("utilization must be in [0, 1]")
+        return self.idle_w + (self.peak_w - self.idle_w) * u**self.exponent
+
+    @property
+    def dynamic_range(self) -> float:
+        """Peak/idle ratio — Barroso-Hoelzle energy proportionality."""
+        if self.idle_w == 0:
+            return float("inf")
+        return self.peak_w / self.idle_w
+
+    def energy_proportionality_index(self) -> float:
+        """1 - idle/peak: 1.0 is perfectly proportional, 0 is constant."""
+        return 1.0 - self.idle_w / self.peak_w
+
+    def efficiency_ops_per_joule(
+        self, utilization, peak_ops_per_s: float
+    ) -> np.ndarray:
+        """Work per joule vs utilization — the hump that makes
+        low-utilization clusters so wasteful."""
+        if peak_ops_per_s <= 0:
+            raise ValueError("peak rate must be positive")
+        u = np.asarray(utilization, dtype=float)
+        power = self.power_w(u)
+        return peak_ops_per_s * u / power
+
+
+@dataclass(frozen=True)
+class DatacenterPowerModel:
+    """Facility-level model: IT power x PUE, with provisioning limits."""
+
+    pue: float = 1.5
+    provisioned_it_w: float = 10e6
+    oversubscription: float = 1.0  # >1: sell more than provisioned peak
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1")
+        if self.provisioned_it_w <= 0:
+            raise ValueError("provisioned power must be positive")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1")
+
+    def facility_power_w(self, it_power_w: float) -> float:
+        if it_power_w < 0:
+            raise ValueError("IT power must be non-negative")
+        return it_power_w * self.pue
+
+    def max_servers(self, server: ServerPowerModel) -> int:
+        """Servers deployable against provisioned power.
+
+        Oversubscription exploits the fact that servers rarely peak
+        simultaneously; capacity = provisioned * oversub / peak.
+        """
+        return int(
+            self.provisioned_it_w * self.oversubscription / server.peak_w
+        )
+
+    def throughput_per_facility_watt(
+        self,
+        server: ServerPowerModel,
+        utilization: float,
+        peak_ops_per_s: float,
+    ) -> float:
+        """ops/s per facility watt — the E06 figure of merit."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        if peak_ops_per_s <= 0:
+            raise ValueError("peak rate must be positive")
+        it = float(server.power_w(utilization))
+        return peak_ops_per_s * utilization / self.facility_power_w(it)
+
+
+def datacenter_ops_within_budget(
+    server_ops_per_s: float,
+    server: ServerPowerModel,
+    budget_w: float = 10e6,
+    pue: float = 1.5,
+    utilization: float = 0.7,
+) -> dict[str, float]:
+    """Facility throughput achievable inside a power budget.
+
+    The E06 question instantiated: given a server design, how many
+    ops/s fit in 10 MW, and what server efficiency would an exa-op
+    facility require?
+    """
+    if server_ops_per_s <= 0 or budget_w <= 0:
+        raise ValueError("rates and budget must be positive")
+    if pue < 1.0:
+        raise ValueError("PUE cannot be below 1")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError("utilization must be in (0, 1]")
+    it_budget = budget_w / pue
+    per_server_w = float(server.power_w(utilization))
+    n_servers = it_budget / per_server_w
+    total_ops = n_servers * server_ops_per_s * utilization
+    return {
+        "n_servers": n_servers,
+        "total_ops_per_s": total_ops,
+        "ops_per_facility_watt": total_ops / budget_w,
+        "required_gain_for_exaop": 1e18 / total_ops,
+    }

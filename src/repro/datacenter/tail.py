@@ -1,0 +1,141 @@
+"""Tail latency at scale (paper Section 2.1, experiment E07).
+
+The paper's sharpest quantitative claim: "if 100 systems must jointly
+respond to a request, 63% of requests will incur the 99-percentile delay
+of the individual systems due to waiting for stragglers" (citing Dean's
+2012 talk; later Dean & Barroso, "The Tail at Scale", CACM 2013).
+
+This is order statistics: the fan-out request completes at the *max* of
+n per-server latencies, so
+``P(request sees >= per-server p-quantile) = 1 - p^n``;
+at p = 0.99, n = 100: 1 - 0.99^100 = 0.634.  The module provides the
+closed forms, quantile inflation of the whole fan-out distribution, and
+Monte-Carlo cross-checks against arbitrary latency distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+from .latency import LatencyDistribution
+
+
+def straggler_probability(quantile: float, fanout) -> np.ndarray | float:
+    """P(a fan-out request waits beyond the per-server ``quantile``).
+
+    ``1 - quantile ** fanout`` — the paper's 63%-at-100 formula.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    n = np.asarray(fanout, dtype=float)
+    if np.any(n < 1):
+        raise ValueError("fanout must be >= 1")
+    result = 1.0 - quantile**n
+    return float(result) if np.isscalar(fanout) else result
+
+
+def paper_claim() -> dict[str, float]:
+    """The exact numbers from the paper's footnote-10 sentence."""
+    return {
+        "fanout": 100.0,
+        "per_server_quantile": 0.99,
+        "fraction_delayed": straggler_probability(0.99, 100),
+        "paper_value": 0.63,
+    }
+
+
+def fanout_latency_quantile(
+    dist: LatencyDistribution, fanout: int, q: float
+) -> float:
+    """q-quantile of the fan-out (max-of-n) latency, closed form.
+
+    max of n iid draws has CDF F(x)^n, so its q-quantile is the
+    per-server q^(1/n)-quantile.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    per_server_q = q ** (1.0 / fanout)
+    return float(dist.quantile(per_server_q)[0])
+
+
+def median_inflation(
+    dist: LatencyDistribution, fanouts
+) -> dict[str, np.ndarray]:
+    """How the fan-out *median* creeps up the per-server tail.
+
+    Dean & Barroso's "the median of the whole is the tail of the parts":
+    at fanout 100 the request median equals the per-server p99.3.
+    """
+    ns = np.atleast_1d(np.asarray(fanouts, dtype=int))
+    if np.any(ns < 1):
+        raise ValueError("fanouts must be >= 1")
+    medians = np.array(
+        [fanout_latency_quantile(dist, int(n), 0.5) for n in ns]
+    )
+    per_server_median = float(dist.quantile(0.5)[0])
+    return {
+        "fanout": ns.astype(float),
+        "request_median": medians,
+        "inflation_vs_server_median": medians / per_server_median,
+        "effective_server_quantile": 0.5 ** (1.0 / ns.astype(float)),
+    }
+
+
+def monte_carlo_fanout(
+    dist: LatencyDistribution,
+    fanout: int,
+    n_requests: int = 20_000,
+    rng: RngLike = None,
+) -> dict[str, float]:
+    """Simulate fan-out requests; report mean/median/p99 and the
+    fraction exceeding the per-server p99 (cross-checks the formula)."""
+    if fanout < 1 or n_requests < 1:
+        raise ValueError("fanout and n_requests must be >= 1")
+    gen = resolve_rng(rng)
+    draws = dist.sample(fanout * n_requests, rng=gen).reshape(
+        n_requests, fanout
+    )
+    request_latency = draws.max(axis=1)
+    p99_server = float(dist.quantile(0.99)[0])
+    return {
+        "mean": float(request_latency.mean()),
+        "median": float(np.median(request_latency)),
+        "p99": float(np.percentile(request_latency, 99)),
+        "fraction_beyond_server_p99": float(
+            np.mean(request_latency >= p99_server)
+        ),
+    }
+
+
+def partition_vs_fanout_tradeoff(
+    dist: LatencyDistribution,
+    total_work_ms: float,
+    fanouts,
+    overhead_per_leaf_ms: float = 0.2,
+) -> dict[str, np.ndarray]:
+    """Splitting work over more leaves shrinks per-leaf time but pays
+    the straggler tax: request time = total/n + max-of-n noise.
+
+    Produces the U-shaped "optimal fan-out" curve that motivates
+    tail-tolerance *mechanisms* rather than unbounded partitioning.
+    """
+    if total_work_ms <= 0 or overhead_per_leaf_ms < 0:
+        raise ValueError("bad work/overhead parameters")
+    ns = np.atleast_1d(np.asarray(fanouts, dtype=int))
+    if np.any(ns < 1):
+        raise ValueError("fanouts must be >= 1")
+    medians, p99s = [], []
+    for n in ns:
+        noise_median = fanout_latency_quantile(dist, int(n), 0.5)
+        noise_p99 = fanout_latency_quantile(dist, int(n), 0.99)
+        work = total_work_ms / n + overhead_per_leaf_ms
+        medians.append(work + noise_median)
+        p99s.append(work + noise_p99)
+    return {
+        "fanout": ns.astype(float),
+        "median_ms": np.array(medians),
+        "p99_ms": np.array(p99s),
+    }

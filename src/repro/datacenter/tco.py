@@ -1,0 +1,110 @@
+"""Total cost of ownership for warehouse-scale computers.
+
+Supports the "architecture as infrastructure" experiments: turning
+watts and dollars into cost-per-request so design choices (energy
+proportionality, specialization, NVM adoption) can be compared the way
+an operator would (Barroso & Hoelzle, "The Datacenter as a Computer" —
+the paper's own reference 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TCOModel:
+    """Amortized monthly datacenter cost model."""
+
+    n_servers: int = 10_000
+    server_cost_usd: float = 4000.0
+    server_lifetime_years: float = 3.0
+    facility_cost_usd_per_w: float = 10.0  # capex per provisioned watt
+    facility_lifetime_years: float = 12.0
+    provisioned_w_per_server: float = 300.0
+    average_power_w_per_server: float = 200.0
+    pue: float = 1.5
+    electricity_usd_per_kwh: float = 0.07
+    opex_fraction_of_capex: float = 0.05  # staff/maintenance per year
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("need at least one server")
+        if min(self.server_cost_usd, self.facility_cost_usd_per_w,
+               self.electricity_usd_per_kwh) < 0:
+            raise ValueError("costs must be non-negative")
+        if self.server_lifetime_years <= 0 or self.facility_lifetime_years <= 0:
+            raise ValueError("lifetimes must be positive")
+        if self.provisioned_w_per_server <= 0:
+            raise ValueError("provisioned power must be positive")
+        if self.average_power_w_per_server > self.provisioned_w_per_server:
+            raise ValueError("average power cannot exceed provisioned")
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1")
+        if not 0.0 <= self.opex_fraction_of_capex <= 1.0:
+            raise ValueError("opex fraction must be in [0, 1]")
+
+    # -- monthly components --------------------------------------------------
+
+    def monthly_server_capex(self) -> float:
+        return (
+            self.n_servers * self.server_cost_usd
+            / (self.server_lifetime_years * 12.0)
+        )
+
+    def monthly_facility_capex(self) -> float:
+        provisioned = self.n_servers * self.provisioned_w_per_server * self.pue
+        return (
+            provisioned * self.facility_cost_usd_per_w
+            / (self.facility_lifetime_years * 12.0)
+        )
+
+    def monthly_energy_cost(self) -> float:
+        kw = self.n_servers * self.average_power_w_per_server * self.pue / 1000
+        hours = 365.25 * 24 / 12.0
+        return kw * hours * self.electricity_usd_per_kwh
+
+    def monthly_opex(self) -> float:
+        capex = (
+            self.n_servers * self.server_cost_usd
+            + self.n_servers
+            * self.provisioned_w_per_server
+            * self.pue
+            * self.facility_cost_usd_per_w
+        )
+        return capex * self.opex_fraction_of_capex / 12.0
+
+    def monthly_total(self) -> float:
+        return (
+            self.monthly_server_capex()
+            + self.monthly_facility_capex()
+            + self.monthly_energy_cost()
+            + self.monthly_opex()
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "server_capex": self.monthly_server_capex(),
+            "facility_capex": self.monthly_facility_capex(),
+            "energy": self.monthly_energy_cost(),
+            "opex": self.monthly_opex(),
+            "total": self.monthly_total(),
+        }
+
+    def cost_per_request_usd(
+        self, requests_per_second_per_server: float
+    ) -> float:
+        """Dollars per served request at steady state."""
+        if requests_per_second_per_server <= 0:
+            raise ValueError("request rate must be positive")
+        monthly_requests = (
+            self.n_servers
+            * requests_per_second_per_server
+            * 365.25 * 24 * 3600 / 12.0
+        )
+        return self.monthly_total() / monthly_requests
+
+    def energy_cost_share(self) -> float:
+        """Fraction of monthly TCO that is electricity — the knob the
+        paper's energy-first agenda turns."""
+        return self.monthly_energy_cost() / self.monthly_total()

@@ -1,0 +1,208 @@
+"""Link energy models: electrical, photonic, and 3D-stacked (TSV).
+
+"Photonics and 3D chip stacking change communication costs radically
+enough to affect the entire system design" (Section 1.2); "Photonic
+interconnects can be exploited among or even on chips" (2.3).  These
+models quantify the changes:
+
+* **Electrical** — energy/bit grows linearly with distance (wire
+  capacitance); off-chip adds a SerDes/pad tax.
+* **Photonic** — distance-independent per-bit modulation/detection
+  energy plus a *static* laser + thermal-tuning power that must be paid
+  whether or not bits flow; efficient only above a utilization floor.
+* **TSV (3D)** — microns-long vertical hops: tiny energy/latency,
+  replacing millimeters of board trace; the quantitative basis for
+  DRAM-on-logic stacking (experiment E18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import units
+
+
+@dataclass(frozen=True)
+class ElectricalLink:
+    """On-chip or off-chip electrical signaling."""
+
+    energy_per_bit_mm_j: float = 0.04e-12  # on-chip wire
+    serdes_energy_per_bit_j: float = 2e-12  # off-chip only
+    off_chip: bool = False
+    bandwidth_gbps: float = 64.0
+    signal_velocity_fraction_c: float = 0.45
+
+    def __post_init__(self) -> None:
+        if min(self.energy_per_bit_mm_j, self.serdes_energy_per_bit_j) < 0:
+            raise ValueError("energies must be non-negative")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0 < self.signal_velocity_fraction_c <= 1:
+            raise ValueError("velocity fraction must be in (0, 1]")
+
+    def energy_per_bit_j(self, distance_mm: float) -> float:
+        if distance_mm < 0:
+            raise ValueError("distance must be non-negative")
+        wire = self.energy_per_bit_mm_j * distance_mm
+        return wire + (self.serdes_energy_per_bit_j if self.off_chip else 0.0)
+
+    def latency_s(self, distance_mm: float, bits: float = 1.0) -> float:
+        if distance_mm < 0 or bits < 0:
+            raise ValueError("arguments must be non-negative")
+        tof = (distance_mm * 1e-3) / (
+            self.signal_velocity_fraction_c * units.SPEED_OF_LIGHT
+        )
+        serialization = bits / (self.bandwidth_gbps * 1e9)
+        return tof + serialization
+
+    def power_w(self, distance_mm: float, utilization: float = 1.0) -> float:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        bits_per_s = self.bandwidth_gbps * 1e9 * utilization
+        return self.energy_per_bit_j(distance_mm) * bits_per_s
+
+
+@dataclass(frozen=True)
+class PhotonicLink:
+    """Silicon-photonic link: static laser/tuning power + cheap bits."""
+
+    modulation_energy_per_bit_j: float = 0.1e-12
+    laser_power_w: float = 0.02
+    tuning_power_w: float = 0.01
+    bandwidth_gbps: float = 320.0
+    group_index: float = 4.2  # silicon waveguide
+
+    def __post_init__(self) -> None:
+        if self.modulation_energy_per_bit_j < 0:
+            raise ValueError("modulation energy must be non-negative")
+        if min(self.laser_power_w, self.tuning_power_w) < 0:
+            raise ValueError("static powers must be non-negative")
+        if self.bandwidth_gbps <= 0 or self.group_index < 1:
+            raise ValueError("bad bandwidth or group index")
+
+    @property
+    def static_power_w(self) -> float:
+        return self.laser_power_w + self.tuning_power_w
+
+    def energy_per_bit_j(
+        self, distance_mm: float, utilization: float = 1.0
+    ) -> float:
+        """Effective energy/bit including amortized static power.
+
+        Distance-independent (the photonic selling point) but
+        utilization-dependent: at low utilization the laser burns power
+        for few bits.
+        """
+        if distance_mm < 0:
+            raise ValueError("distance must be non-negative")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        bits_per_s = self.bandwidth_gbps * 1e9 * utilization
+        return self.modulation_energy_per_bit_j + self.static_power_w / bits_per_s
+
+    def latency_s(self, distance_mm: float, bits: float = 1.0) -> float:
+        if distance_mm < 0 or bits < 0:
+            raise ValueError("arguments must be non-negative")
+        tof = (distance_mm * 1e-3) * self.group_index / units.SPEED_OF_LIGHT
+        return tof + bits / (self.bandwidth_gbps * 1e9)
+
+    def power_w(self, utilization: float = 1.0) -> float:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        dynamic = (
+            self.modulation_energy_per_bit_j
+            * self.bandwidth_gbps * 1e9 * utilization
+        )
+        return self.static_power_w + dynamic
+
+
+@dataclass(frozen=True)
+class TSVLink:
+    """Through-silicon via for 3D-stacked dies."""
+
+    energy_per_bit_j: float = 0.05e-12
+    length_um: float = 50.0
+    bandwidth_gbps: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if self.energy_per_bit_j < 0 or self.length_um <= 0:
+            raise ValueError("bad TSV parameters")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def latency_s(self, bits: float = 1.0) -> float:
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        # Time of flight through tens of microns is negligible; the
+        # serialization term dominates.
+        return bits / (self.bandwidth_gbps * 1e9)
+
+
+def photonic_crossover_distance_mm(
+    electrical: ElectricalLink,
+    photonic: PhotonicLink,
+    utilization: float = 1.0,
+) -> float:
+    """Distance beyond which the photonic link wins on energy/bit.
+
+    Solves electrical(d) = photonic(util); returns inf when photonics
+    never wins at this utilization (static power too high).
+    """
+    e_ph = photonic.energy_per_bit_j(0.0, utilization)
+    fixed = electrical.serdes_energy_per_bit_j if electrical.off_chip else 0.0
+    if e_ph <= fixed:
+        return 0.0
+    if electrical.energy_per_bit_mm_j == 0:
+        return float("inf")
+    d = (e_ph - fixed) / electrical.energy_per_bit_mm_j
+    return float(d)
+
+
+def stacking_comparison(
+    bits_per_access: int = 512,
+    board_distance_mm: float = 50.0,
+) -> dict[str, dict[str, float]]:
+    """DRAM access transport: off-chip board trace vs 3D TSV (E18).
+
+    Returns per-access transport energy and latency for each option;
+    the published shape is a ~10-100x energy win for stacking.
+    """
+    if bits_per_access <= 0 or board_distance_mm <= 0:
+        raise ValueError("arguments must be positive")
+    off_chip = ElectricalLink(
+        energy_per_bit_mm_j=0.15e-12, off_chip=True, bandwidth_gbps=25.6,
+    )
+    tsv = TSVLink()
+    return {
+        "off_chip": {
+            "energy_per_access_j": (
+                off_chip.energy_per_bit_j(board_distance_mm) * bits_per_access
+            ),
+            "latency_s": off_chip.latency_s(board_distance_mm, bits_per_access),
+        },
+        "tsv_3d": {
+            "energy_per_access_j": tsv.energy_per_bit_j * bits_per_access,
+            "latency_s": tsv.latency_s(bits_per_access),
+        },
+    }
+
+
+def link_technology_sweep(
+    distances_mm: np.ndarray,
+    utilization: float = 0.5,
+) -> dict[str, np.ndarray]:
+    """Energy/bit vs distance for electrical and photonic links."""
+    d = np.asarray(distances_mm, dtype=float)
+    if np.any(d < 0):
+        raise ValueError("distances must be non-negative")
+    electrical = ElectricalLink(off_chip=True)
+    photonic = PhotonicLink()
+    e_elec = np.array([electrical.energy_per_bit_j(x) for x in d])
+    e_phot = np.full_like(d, photonic.energy_per_bit_j(0.0, utilization))
+    return {
+        "distance_mm": d,
+        "electrical_j_per_bit": e_elec,
+        "photonic_j_per_bit": e_phot,
+    }

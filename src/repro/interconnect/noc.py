@@ -1,0 +1,234 @@
+"""Cycle-approximate network-on-chip simulator.
+
+Packet-level, dimension-order-routed 2-D mesh with single-flit packets
+and one-packet-per-cycle links — the minimal model that still produces
+the canonical NoC behaviours: low-load latency ~ hop count x router
+delay, queueing growth with injection rate, and saturation throughput
+differences between traffic patterns.
+
+Energy: every hop charges router + link energy to a ledger, connecting
+the NoC to the paper's "energy is largely spent moving data" argument
+(experiments E04/E21).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.energy import EnergyLedger
+from .topology import xy_route
+
+Coord = Tuple[int, int]
+Link = Tuple[Coord, Coord]
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    width: int = 8
+    height: int = 8
+    router_delay_cycles: int = 2  # pipeline latency per hop
+    link_delay_cycles: int = 1
+    energy_per_hop_router_j: float = 4e-12
+    energy_per_hop_link_j: float = 2e-12
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        if self.router_delay_cycles < 1 or self.link_delay_cycles < 0:
+            raise ValueError("bad delays")
+        if min(self.energy_per_hop_router_j, self.energy_per_hop_link_j) < 0:
+            raise ValueError("energies must be non-negative")
+
+    @property
+    def hop_latency(self) -> int:
+        return self.router_delay_cycles + self.link_delay_cycles
+
+
+@dataclass
+class Packet:
+    src: Coord
+    dst: Coord
+    injected_at: float
+    route: list[Coord] = field(default_factory=list)
+    hop_index: int = 0
+    delivered_at: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        if self.delivered_at is None:
+            raise ValueError("packet not yet delivered")
+        return self.delivered_at - self.injected_at
+
+    @property
+    def hops(self) -> int:
+        return len(self.route) - 1
+
+
+@dataclass
+class NoCResult:
+    delivered: list[Packet]
+    dropped: int
+    cycles: float
+    ledger: EnergyLedger
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.delivered:
+            return float("nan")
+        return float(np.mean([p.latency for p in self.delivered]))
+
+    @property
+    def p99_latency(self) -> float:
+        if not self.delivered:
+            return float("nan")
+        return float(np.percentile([p.latency for p in self.delivered], 99))
+
+    @property
+    def throughput_packets_per_cycle(self) -> float:
+        if self.cycles <= 0:
+            return float("nan")
+        return len(self.delivered) / self.cycles
+
+    @property
+    def mean_hops(self) -> float:
+        if not self.delivered:
+            return float("nan")
+        return float(np.mean([p.hops for p in self.delivered]))
+
+    def energy_per_packet_j(self) -> float:
+        if not self.delivered:
+            return float("nan")
+        return self.ledger.total() / len(self.delivered)
+
+
+class MeshNoC:
+    """Cycle-stepped mesh NoC with per-link FIFO queues.
+
+    Each directed link serves one packet per ``hop_latency`` cycles
+    (modeled as: at each simulation step of one cycle, every link may
+    advance one packet whose arrival there is at least ``hop_latency``
+    old).  Simple store-and-forward — latency per uncontended hop is
+    exactly ``hop_latency``.
+    """
+
+    def __init__(self, config: NoCConfig = NoCConfig()) -> None:
+        self.config = config
+
+    def run(
+        self,
+        pairs: Sequence[tuple[Coord, Coord]],
+        injection_times: Optional[np.ndarray] = None,
+        max_cycles: int = 200_000,
+    ) -> NoCResult:
+        """Inject packets (``pairs[i]`` at ``injection_times[i]``, default
+        all at cycle 0 back-to-back per source) and run to drain."""
+        cfg = self.config
+        if injection_times is None:
+            injection_arr = np.zeros(len(pairs))
+        else:
+            injection_arr = np.asarray(injection_times, dtype=float)
+            if len(injection_arr) != len(pairs):
+                raise ValueError("injection_times must match pairs")
+        packets: list[Packet] = []
+        for (src, dst), t in zip(pairs, injection_arr):
+            self._check_coord(src)
+            self._check_coord(dst)
+            if src == dst:
+                raise ValueError("self-loop packet")
+            packets.append(
+                Packet(src=src, dst=dst, injected_at=float(t),
+                       route=xy_route(src, dst))
+            )
+
+        # Per-link queue of (ready_cycle, packet).
+        queues: Dict[Link, Deque[tuple[float, Packet]]] = {}
+        pending = sorted(packets, key=lambda p: p.injected_at)
+        pending_idx = 0
+        ledger = EnergyLedger()
+        delivered: list[Packet] = []
+        cycle = 0.0
+        hop_lat = cfg.hop_latency
+        in_flight = 0
+
+        def enqueue(packet: Packet, now: float) -> None:
+            nonlocal in_flight
+            link = (packet.route[packet.hop_index],
+                    packet.route[packet.hop_index + 1])
+            queues.setdefault(link, deque()).append((now, packet))
+            in_flight += 1
+
+        while (pending_idx < len(pending) or in_flight) and cycle < max_cycles:
+            # Inject everything due this cycle.
+            while (
+                pending_idx < len(pending)
+                and pending[pending_idx].injected_at <= cycle
+            ):
+                enqueue(pending[pending_idx], cycle)
+                pending_idx += 1
+
+            # Each link forwards at most one sufficiently-old packet.
+            for link in list(queues):
+                q = queues[link]
+                if not q:
+                    continue
+                arrived, packet = q[0]
+                if cycle - arrived + 1 < hop_lat:
+                    continue
+                q.popleft()
+                in_flight -= 1
+                ledger.charge("noc.router", cfg.energy_per_hop_router_j, ops=1)
+                ledger.charge("noc.link", cfg.energy_per_hop_link_j)
+                packet.hop_index += 1
+                if packet.hop_index == len(packet.route) - 1:
+                    packet.delivered_at = cycle + 1
+                    delivered.append(packet)
+                else:
+                    enqueue(packet, cycle + 1)
+            cycle += 1.0
+
+        dropped = (len(pending) - pending_idx) + in_flight
+        return NoCResult(
+            delivered=delivered, dropped=dropped, cycles=cycle, ledger=ledger
+        )
+
+    def _check_coord(self, c: Coord) -> None:
+        if not (0 <= c[0] < self.config.width and 0 <= c[1] < self.config.height):
+            raise ValueError(f"coordinate {c} outside the mesh")
+
+
+def latency_vs_load(
+    config: NoCConfig,
+    rates: Sequence[float],
+    n_packets: int = 2000,
+    pattern: str = "uniform",
+    rng=0,
+) -> dict[str, np.ndarray]:
+    """The canonical latency/throughput curve: sweep injection rate.
+
+    Rate is packets/cycle/node aggregate scaled by node count; latency
+    blows up at saturation.
+    """
+    from .traffic import make_pattern, poisson_injection_times
+
+    if not rates:
+        raise ValueError("rates must be non-empty")
+    noc = MeshNoC(config)
+    n_nodes = config.width * config.height
+    lat, thr = [], []
+    for rate in rates:
+        pairs = make_pattern(pattern, n_packets, config.width, config.height, rng=rng)
+        times = poisson_injection_times(
+            n_packets, rate_per_cycle=rate * n_nodes, rng=rng
+        )
+        result = noc.run(pairs, injection_times=times)
+        lat.append(result.mean_latency)
+        thr.append(result.throughput_packets_per_cycle)
+    return {
+        "offered_rate": np.asarray(rates, dtype=float),
+        "mean_latency": np.array(lat),
+        "throughput": np.array(thr),
+    }

@@ -1,0 +1,151 @@
+"""NoC traffic-pattern generators.
+
+The standard synthetic patterns used to characterize on-chip networks:
+uniform random, transpose, bit-complement, hotspot, and nearest
+neighbor.  Each generator yields (src, dst) coordinate pairs for a
+width x height mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+
+Coord = Tuple[int, int]
+
+
+def _check_dims(width: int, height: int) -> None:
+    if width < 1 or height < 1:
+        raise ValueError("mesh dimensions must be >= 1")
+
+
+def uniform_random_pairs(
+    n: int, width: int, height: int, rng: RngLike = None
+) -> list[tuple[Coord, Coord]]:
+    """Each packet picks an independent uniform source and destination
+    (self-loops resampled)."""
+    _check_dims(width, height)
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    gen = resolve_rng(rng)
+    pairs = []
+    while len(pairs) < n:
+        sx, sy, dx, dy = (
+            int(gen.integers(width)),
+            int(gen.integers(height)),
+            int(gen.integers(width)),
+            int(gen.integers(height)),
+        )
+        if (sx, sy) != (dx, dy):
+            pairs.append(((sx, sy), (dx, dy)))
+    return pairs
+
+
+def transpose_pairs(
+    n: int, width: int, height: int, rng: RngLike = None
+) -> list[tuple[Coord, Coord]]:
+    """(x, y) -> (y, x): the classic adversarial pattern for XY routing
+    (requires a square mesh)."""
+    _check_dims(width, height)
+    if width != height:
+        raise ValueError("transpose requires a square mesh")
+    gen = resolve_rng(rng)
+    pairs = []
+    while len(pairs) < n:
+        x, y = int(gen.integers(width)), int(gen.integers(height))
+        if x != y:
+            pairs.append(((x, y), (y, x)))
+    return pairs
+
+
+def bit_complement_pairs(
+    n: int, width: int, height: int, rng: RngLike = None
+) -> list[tuple[Coord, Coord]]:
+    """(x, y) -> (W-1-x, H-1-y): all traffic crosses the center."""
+    _check_dims(width, height)
+    gen = resolve_rng(rng)
+    pairs = []
+    while len(pairs) < n:
+        x, y = int(gen.integers(width)), int(gen.integers(height))
+        dst = (width - 1 - x, height - 1 - y)
+        if (x, y) != dst:
+            pairs.append(((x, y), dst))
+    return pairs
+
+
+def hotspot_pairs(
+    n: int,
+    width: int,
+    height: int,
+    hotspot: Coord = None,
+    hot_fraction: float = 0.3,
+    rng: RngLike = None,
+) -> list[tuple[Coord, Coord]]:
+    """A fraction of all traffic targets one node (shared cache bank,
+    memory controller)."""
+    _check_dims(width, height)
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    gen = resolve_rng(rng)
+    hs = hotspot if hotspot is not None else (width // 2, height // 2)
+    if not (0 <= hs[0] < width and 0 <= hs[1] < height):
+        raise ValueError("hotspot outside the mesh")
+    pairs = []
+    while len(pairs) < n:
+        src = (int(gen.integers(width)), int(gen.integers(height)))
+        if gen.random() < hot_fraction:
+            dst = hs
+        else:
+            dst = (int(gen.integers(width)), int(gen.integers(height)))
+        if src != dst:
+            pairs.append((src, dst))
+    return pairs
+
+
+def neighbor_pairs(
+    n: int, width: int, height: int, rng: RngLike = None
+) -> list[tuple[Coord, Coord]]:
+    """Nearest-neighbor traffic (stencil exchange): one hop east."""
+    _check_dims(width, height)
+    if width < 2:
+        raise ValueError("neighbor traffic needs width >= 2")
+    gen = resolve_rng(rng)
+    pairs = []
+    for _ in range(n):
+        x, y = int(gen.integers(width)), int(gen.integers(height))
+        pairs.append(((x, y), ((x + 1) % width, y)))
+    return pairs
+
+
+PATTERNS = {
+    "uniform": uniform_random_pairs,
+    "transpose": transpose_pairs,
+    "bit_complement": bit_complement_pairs,
+    "hotspot": hotspot_pairs,
+    "neighbor": neighbor_pairs,
+}
+
+
+def make_pattern(
+    name: str, n: int, width: int, height: int, rng: RngLike = None, **kwargs
+) -> list[tuple[Coord, Coord]]:
+    """Dispatch by pattern name."""
+    if name not in PATTERNS:
+        raise KeyError(f"unknown pattern {name!r}; available: {sorted(PATTERNS)}")
+    return PATTERNS[name](n, width, height, rng=rng, **kwargs)
+
+
+def poisson_injection_times(
+    n: int, rate_per_cycle: float, rng: RngLike = None
+) -> np.ndarray:
+    """Cumulative injection cycles for a Poisson arrival process."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if rate_per_cycle <= 0:
+        raise ValueError("rate must be positive")
+    gen = resolve_rng(rng)
+    gaps = gen.exponential(1.0 / rate_per_cycle, size=n)
+    return np.cumsum(gaps)

@@ -1,0 +1,239 @@
+"""MESI snooping coherence protocol over a shared bus.
+
+The paper asks for memory systems that "simplify programmability (e.g.,
+by extending coherence ... to accelerators when needed)" (Section 2.2).
+This module provides the substrate: a line-granularity MESI directory of
+per-core states, a bus that counts transactions, and invariants
+(single-writer / multiple-reader) that the property tests enforce.
+
+The model is at the protocol level (no data payloads): each core issues
+reads/writes to line addresses; the protocol tracks states, counts
+invalidations, bus reads (BusRd), exclusive reads (BusRdX), upgrades,
+and writebacks, and charges bus energy per transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Tuple
+
+from ..core.energy import EnergyLedger
+
+
+class MESI(Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class BusStats:
+    bus_reads: int = 0  # BusRd (read miss)
+    bus_read_x: int = 0  # BusRdX (write miss)
+    upgrades: int = 0  # BusUpgr (S -> M without data)
+    invalidations: int = 0  # lines knocked out of other caches
+    writebacks: int = 0  # M data flushed
+    cache_to_cache: int = 0  # dirty data supplied by a peer
+
+    @property
+    def data_transactions(self) -> int:
+        return self.bus_reads + self.bus_read_x + self.writebacks
+
+
+@dataclass(frozen=True)
+class CoherenceConfig:
+    n_cores: int = 4
+    energy_per_bus_txn_j: float = 1e-10
+    energy_per_invalidation_j: float = 1e-11
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.energy_per_bus_txn_j < 0 or self.energy_per_invalidation_j < 0:
+            raise ValueError("energies must be non-negative")
+
+
+class MESIBus:
+    """Snooping MESI protocol state machine.
+
+    State is a dict mapping line address -> per-core state array (list
+    of MESI).  Untracked lines are Invalid everywhere.
+    """
+
+    def __init__(self, config: CoherenceConfig = CoherenceConfig()) -> None:
+        self.config = config
+        self._lines: Dict[int, list[MESI]] = {}
+        self.stats = BusStats()
+        self.ledger = EnergyLedger()
+
+    def _states(self, line: int) -> list[MESI]:
+        if line not in self._lines:
+            self._lines[line] = [MESI.INVALID] * self.config.n_cores
+        return self._lines[line]
+
+    def _charge_bus(self) -> None:
+        self.ledger.charge("bus.txn", self.config.energy_per_bus_txn_j)
+
+    def _others_with_copy(self, states: list[MESI], core: int) -> list[int]:
+        return [
+            i
+            for i, s in enumerate(states)
+            if i != core and s is not MESI.INVALID
+        ]
+
+    def read(self, core: int, line: int) -> MESI:
+        """Core issues a load to ``line``; returns resulting state."""
+        self._check_core(core)
+        states = self._states(line)
+        state = states[core]
+        if state is not MESI.INVALID:
+            return state  # read hit, no bus traffic
+
+        # Read miss: BusRd.
+        self.stats.bus_reads += 1
+        self._charge_bus()
+        others = self._others_with_copy(states, core)
+        if others:
+            for i in others:
+                if states[i] is MESI.MODIFIED:
+                    self.stats.writebacks += 1
+                    self.stats.cache_to_cache += 1
+                if states[i] in (MESI.MODIFIED, MESI.EXCLUSIVE):
+                    states[i] = MESI.SHARED
+            states[core] = MESI.SHARED
+        else:
+            states[core] = MESI.EXCLUSIVE
+        return states[core]
+
+    def write(self, core: int, line: int) -> MESI:
+        """Core issues a store to ``line``; returns resulting state."""
+        self._check_core(core)
+        states = self._states(line)
+        state = states[core]
+        if state is MESI.MODIFIED:
+            return state  # write hit
+        if state is MESI.EXCLUSIVE:
+            states[core] = MESI.MODIFIED  # silent upgrade
+            return MESI.MODIFIED
+
+        others = self._others_with_copy(states, core)
+        if state is MESI.SHARED:
+            self.stats.upgrades += 1
+        else:
+            self.stats.bus_read_x += 1
+        self._charge_bus()
+        for i in others:
+            if states[i] is MESI.MODIFIED:
+                self.stats.writebacks += 1
+                self.stats.cache_to_cache += 1
+            states[i] = MESI.INVALID
+            self.stats.invalidations += 1
+            self.ledger.charge(
+                "bus.invalidation", self.config.energy_per_invalidation_j
+            )
+        states[core] = MESI.MODIFIED
+        return MESI.MODIFIED
+
+    def evict(self, core: int, line: int) -> bool:
+        """Core drops ``line``; returns True if a writeback occurred."""
+        self._check_core(core)
+        states = self._states(line)
+        wrote_back = states[core] is MESI.MODIFIED
+        if wrote_back:
+            self.stats.writebacks += 1
+            self._charge_bus()
+        states[core] = MESI.INVALID
+        return wrote_back
+
+    def state(self, core: int, line: int) -> MESI:
+        self._check_core(core)
+        return self._states(line)[core]
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.config.n_cores:
+            raise ValueError(f"core {core} out of range")
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if SWMR or M-exclusivity is violated."""
+        for line, states in self._lines.items():
+            n_m = sum(s is MESI.MODIFIED for s in states)
+            n_e = sum(s is MESI.EXCLUSIVE for s in states)
+            n_s = sum(s is MESI.SHARED for s in states)
+            if n_m > 1:
+                raise AssertionError(f"line {line:#x}: multiple M copies")
+            if n_m == 1 and (n_e or n_s):
+                raise AssertionError(
+                    f"line {line:#x}: M coexists with other copies"
+                )
+            if n_e > 1:
+                raise AssertionError(f"line {line:#x}: multiple E copies")
+            if n_e == 1 and n_s:
+                raise AssertionError(
+                    f"line {line:#x}: E coexists with S copies"
+                )
+
+    def run_trace(
+        self, trace: Iterable[Tuple[int, int, bool]]
+    ) -> BusStats:
+        """Process (core, line, is_write) triples."""
+        for core, line, is_write in trace:
+            if is_write:
+                self.write(core, line)
+            else:
+                self.read(core, line)
+        return self.stats
+
+
+def sharing_pattern_trace(
+    pattern: str,
+    n_cores: int,
+    n_lines: int,
+    accesses: int,
+    rng=None,
+) -> list[tuple[int, int, bool]]:
+    """Canonical sharing benchmarks for the coherence model.
+
+    * ``"private"`` — each core touches its own lines (no sharing).
+    * ``"producer_consumer"`` — core 0 writes, others read.
+    * ``"migratory"`` — cores take turns read-modify-writing each line.
+    * ``"read_shared"`` — everyone reads everything (no writes).
+    * ``"contended"`` — everyone writes a single hot line.
+    """
+    from ..core.rng import resolve_rng
+
+    gen = resolve_rng(rng)
+    if n_cores < 1 or n_lines < 1 or accesses < 0:
+        raise ValueError("bad trace geometry")
+    out: list[tuple[int, int, bool]] = []
+    if pattern == "private":
+        for i in range(accesses):
+            core = int(gen.integers(n_cores))
+            line = core * n_lines + int(gen.integers(n_lines))
+            out.append((core, line, bool(gen.random() < 0.3)))
+    elif pattern == "producer_consumer":
+        for i in range(accesses):
+            line = int(gen.integers(n_lines))
+            if i % n_cores == 0:
+                out.append((0, line, True))
+            else:
+                out.append((int(gen.integers(1, max(n_cores, 2))), line, False))
+    elif pattern == "migratory":
+        for i in range(accesses):
+            core = (i // 2) % n_cores
+            line = (i // (2 * n_cores)) % n_lines
+            out.append((core, line, i % 2 == 1))  # read then write
+    elif pattern == "read_shared":
+        for _ in range(accesses):
+            out.append(
+                (int(gen.integers(n_cores)), int(gen.integers(n_lines)), False)
+            )
+    elif pattern == "contended":
+        for _ in range(accesses):
+            out.append((int(gen.integers(n_cores)), 0, True))
+    else:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    return out

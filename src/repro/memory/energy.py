@@ -1,0 +1,172 @@
+"""Per-access energy tables — the "communication vs computation" numbers.
+
+The paper (Section 2.2, citing Keckler's Micro 2011 keynote "Life After
+Dennard and How I Learned to Love the Picojoule") rests on one brutal
+ratio: *"fetching the operands for a floating-point multiply-add can
+consume one to two orders of magnitude more energy than performing the
+operation."*  This module encodes the published-shape energy table for
+compute ops and data movement at several nodes and exposes the ratio
+(experiment E04).
+
+Values follow the widely-reproduced 40/45 nm figures (Keckler/Horowitz):
+~50 pJ for a 64-bit FMA, ~26 pJ to move 64 bits 10 mm on chip, ~16 nJ
+for an off-chip DRAM access, register file ~1-2 pJ.  Other nodes are
+scaled by switching-energy ratios from the node database (compute) and
+by wire-capacitance-per-mm (roughly flat per mm — wires don't scale —
+which is precisely the paper's point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..technology.node import TechnologyNode, get_node
+
+#: Reference node for the published table.
+_REFERENCE_NODE = "45nm"
+
+#: Energy at the reference node [J].
+_REFERENCE_COMPUTE_J: Dict[str, float] = {
+    "fma64": 50e-12,
+    "fma32": 25e-12,
+    "add64": 7e-12,
+    "add32": 3e-12,
+    "mul64": 30e-12,
+    "mul32": 15e-12,
+    "add8": 0.2e-12,
+}
+
+_REFERENCE_STORAGE_J: Dict[str, float] = {
+    "regfile_64b": 1.5e-12,
+    "l1_64b": 10e-12,  # 32 KB SRAM read, per 64 bits
+    "l2_64b": 40e-12,  # 256 KB-1 MB SRAM
+    "l3_64b": 100e-12,  # multi-MB SRAM slice
+    "dram_64b": 16e-9 / 8,  # 2 nJ per 64 bits (16 nJ per 64-byte line)
+}
+
+#: On-chip wire energy per bit per mm at the reference node [J].  Wire
+#: energy/mm barely improves with scaling — the physical root of
+#: "communication more expensive than computation" (Table 1 row 4).
+_REFERENCE_WIRE_J_PER_BIT_MM = 0.04e-12
+
+#: How much wire energy/bit/mm improves per node step (weak).
+_WIRE_IMPROVEMENT_PER_NODE = 0.95
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-access energies [J] for one technology node."""
+
+    node: TechnologyNode
+    compute: Dict[str, float]
+    storage: Dict[str, float]
+    wire_j_per_bit_mm: float
+
+    def movement_energy_j(self, bits: int, distance_mm: float) -> float:
+        """On-chip data movement energy for ``bits`` over ``distance_mm``."""
+        if bits < 0 or distance_mm < 0:
+            raise ValueError("bits and distance must be non-negative")
+        return self.wire_j_per_bit_mm * bits * distance_mm
+
+    def operand_fetch_ratio(
+        self,
+        op: str = "fma64",
+        source: str = "dram_64b",
+        operands: int = 3,
+    ) -> float:
+        """Energy of fetching ``operands`` 64-bit values from ``source``
+        relative to performing ``op`` — the paper's headline ratio."""
+        if operands < 0:
+            raise ValueError("operands must be non-negative")
+        if op not in self.compute:
+            raise KeyError(f"unknown op {op!r}: {sorted(self.compute)}")
+        if source not in self.storage:
+            raise KeyError(f"unknown source {source!r}: {sorted(self.storage)}")
+        return operands * self.storage[source] / self.compute[op]
+
+
+def _node_index(name: str) -> int:
+    from ..technology.node import node_names
+
+    names = node_names()
+    if name not in names:
+        raise KeyError(f"unknown node {name!r}")
+    return names.index(name)
+
+
+def energy_table(node_name: str = _REFERENCE_NODE) -> EnergyTable:
+    """Build the per-access energy table for ``node_name``.
+
+    Compute and SRAM energies scale with the node's switching energy
+    relative to 45 nm; DRAM interface energy improves more slowly
+    (factor folded into the storage scaling at half strength); wire
+    energy/mm barely improves.
+    """
+    node = get_node(node_name)
+    ref = get_node(_REFERENCE_NODE)
+    compute_scale = node.switching_energy_j() / ref.switching_energy_j()
+    # SRAM arrays track logic; DRAM interface improves ~sqrt as fast.
+    sram_scale = compute_scale
+    dram_scale = compute_scale**0.5
+    steps = _node_index(node_name) - _node_index(_REFERENCE_NODE)
+    wire_scale = _WIRE_IMPROVEMENT_PER_NODE**steps
+
+    compute = {k: v * compute_scale for k, v in _REFERENCE_COMPUTE_J.items()}
+    storage = {}
+    for key, value in _REFERENCE_STORAGE_J.items():
+        scale = dram_scale if key.startswith("dram") else sram_scale
+        storage[key] = value * scale
+    return EnergyTable(
+        node=node,
+        compute=compute,
+        storage=storage,
+        wire_j_per_bit_mm=_REFERENCE_WIRE_J_PER_BIT_MM * wire_scale,
+    )
+
+
+def keckler_claim(node_name: str = _REFERENCE_NODE) -> dict[str, float]:
+    """The E04 numbers: operand fetch vs FMA at each hierarchy level.
+
+    Paper: DRAM-sourced operands cost "one to two orders of magnitude"
+    more than the FMA itself.
+    """
+    table = energy_table(node_name)
+    return {
+        "fma64_j": table.compute["fma64"],
+        "ratio_regfile": table.operand_fetch_ratio(source="regfile_64b"),
+        "ratio_l1": table.operand_fetch_ratio(source="l1_64b"),
+        "ratio_l2": table.operand_fetch_ratio(source="l2_64b"),
+        "ratio_l3": table.operand_fetch_ratio(source="l3_64b"),
+        "ratio_dram": table.operand_fetch_ratio(source="dram_64b"),
+        "wire_10mm_vs_fma": (
+            table.movement_energy_j(64, 10.0) / table.compute["fma64"]
+        ),
+    }
+
+
+def communication_vs_computation_series() -> dict[str, list]:
+    """Across nodes: FMA energy vs 10 mm movement of its operands.
+
+    Compute improves with scaling; wires do not — so the ratio grows,
+    which is Table 1 row 4 rendered as a trend.
+    """
+    from ..technology.node import node_names
+
+    names = [n for n in node_names() if _node_index(n) >= _node_index("180nm")]
+    years, fma, wire, ratio = [], [], [], []
+    for name in names:
+        table = energy_table(name)
+        e_fma = table.compute["fma64"]
+        e_wire = table.movement_energy_j(3 * 64, 10.0)
+        years.append(table.node.year)
+        fma.append(e_fma)
+        wire.append(e_wire)
+        ratio.append(e_wire / e_fma)
+    return {
+        "node": names,
+        "years": years,
+        "fma_j": fma,
+        "wire_j": wire,
+        "ratio": ratio,
+    }

@@ -1,0 +1,223 @@
+"""Non-volatile memory device models (paper Section 2.3).
+
+"Emerging non-volatile memory technologies promise much greater storage
+density and power efficiency, yet require re-architecting memory and
+storage systems to address the device capabilities (e.g., longer,
+asymmetric, or variable latency, as well as device wear out)."
+
+:class:`NVMDevice` captures exactly those properties; the built-in
+device table follows published characterization surveys (PCM, STT-RAM,
+memristor/RRAM, NAND Flash, with DRAM and SRAM as volatile references).
+Latency/energy numbers are representative per-64B-line values at the
+~2012 state of each technology — absolute values are indicative, the
+*ratios* (PCM write ~10x its read; endurance 1e8 vs DRAM's effectively
+unlimited) are the load-bearing content.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NVMDevice:
+    """Device-level characteristics of one memory technology."""
+
+    name: str
+    read_latency_ns: float
+    write_latency_ns: float
+    read_energy_j: float  # per 64-byte line
+    write_energy_j: float  # per 64-byte line
+    idle_power_w_per_gb: float
+    endurance_writes: float  # per-cell write budget (inf = unlimited)
+    retention_s: float  # data retention without power (0 = volatile)
+    density_gb_per_mm2: float
+    byte_addressable: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.read_latency_ns, self.write_latency_ns) <= 0:
+            raise ValueError("latencies must be positive")
+        if min(self.read_energy_j, self.write_energy_j) < 0:
+            raise ValueError("energies must be non-negative")
+        if self.idle_power_w_per_gb < 0 or self.density_gb_per_mm2 <= 0:
+            raise ValueError("bad idle power or density")
+        if self.endurance_writes <= 0 or self.retention_s < 0:
+            raise ValueError("bad endurance or retention")
+
+    @property
+    def write_read_latency_ratio(self) -> float:
+        return self.write_latency_ns / self.read_latency_ns
+
+    @property
+    def is_nonvolatile(self) -> bool:
+        return self.retention_s > 0
+
+    def lifetime_years(
+        self,
+        writes_per_second_per_cell: float,
+    ) -> float:
+        """Years until a cell written at that rate exhausts endurance."""
+        if writes_per_second_per_cell < 0:
+            raise ValueError("write rate must be non-negative")
+        if math.isinf(self.endurance_writes) or writes_per_second_per_cell == 0:
+            return math.inf
+        seconds = self.endurance_writes / writes_per_second_per_cell
+        return seconds / (365.25 * 24 * 3600)
+
+
+#: Representative device table (~2012 technology survey values).
+DEVICES: Dict[str, NVMDevice] = {
+    "sram": NVMDevice(
+        name="sram", read_latency_ns=1.0, write_latency_ns=1.0,
+        read_energy_j=10e-12, write_energy_j=10e-12,
+        idle_power_w_per_gb=10.0, endurance_writes=math.inf,
+        retention_s=0.0, density_gb_per_mm2=0.0008,
+    ),
+    "dram": NVMDevice(
+        name="dram", read_latency_ns=50.0, write_latency_ns=50.0,
+        read_energy_j=1.0e-9, write_energy_j=1.0e-9,
+        idle_power_w_per_gb=0.4, endurance_writes=math.inf,
+        retention_s=0.0, density_gb_per_mm2=0.013,
+    ),
+    "stt_ram": NVMDevice(
+        name="stt_ram", read_latency_ns=10.0, write_latency_ns=50.0,
+        read_energy_j=0.5e-9, write_energy_j=2.5e-9,
+        idle_power_w_per_gb=0.02, endurance_writes=1e12,
+        retention_s=10 * 365.25 * 24 * 3600, density_gb_per_mm2=0.01,
+    ),
+    "pcm": NVMDevice(
+        name="pcm", read_latency_ns=60.0, write_latency_ns=500.0,
+        read_energy_j=1.0e-9, write_energy_j=15e-9,
+        idle_power_w_per_gb=0.01, endurance_writes=1e8,
+        retention_s=10 * 365.25 * 24 * 3600, density_gb_per_mm2=0.05,
+    ),
+    "rram": NVMDevice(
+        name="rram", read_latency_ns=20.0, write_latency_ns=100.0,
+        read_energy_j=0.5e-9, write_energy_j=4e-9,
+        idle_power_w_per_gb=0.01, endurance_writes=1e10,
+        retention_s=10 * 365.25 * 24 * 3600, density_gb_per_mm2=0.06,
+    ),
+    "nand_flash": NVMDevice(
+        name="nand_flash", read_latency_ns=25_000.0,
+        write_latency_ns=200_000.0,
+        read_energy_j=5e-9, write_energy_j=50e-9,
+        idle_power_w_per_gb=0.002, endurance_writes=1e5,
+        retention_s=10 * 365.25 * 24 * 3600, density_gb_per_mm2=0.25,
+        byte_addressable=False,
+    ),
+}
+
+
+def get_device(name: str) -> NVMDevice:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A memory workload for device comparison."""
+
+    reads_per_s: float
+    writes_per_s: float
+    capacity_gb: float
+
+    def __post_init__(self) -> None:
+        if min(self.reads_per_s, self.writes_per_s) < 0:
+            raise ValueError("rates must be non-negative")
+        if self.capacity_gb <= 0:
+            raise ValueError("capacity must be positive")
+
+
+def device_power_w(device: NVMDevice, workload: WorkloadProfile) -> float:
+    """Average power of ``device`` serving ``workload`` [W]."""
+    dynamic = (
+        workload.reads_per_s * device.read_energy_j
+        + workload.writes_per_s * device.write_energy_j
+    )
+    idle = device.idle_power_w_per_gb * workload.capacity_gb
+    return dynamic + idle
+
+
+def device_mean_latency_ns(
+    device: NVMDevice, read_fraction: float = 0.7
+) -> float:
+    """Read/write-mix-weighted mean access latency."""
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    return (
+        read_fraction * device.read_latency_ns
+        + (1.0 - read_fraction) * device.write_latency_ns
+    )
+
+
+def compare_devices(
+    workload: WorkloadProfile,
+    names: Optional[list[str]] = None,
+    read_fraction: float = 0.7,
+) -> dict[str, dict[str, float]]:
+    """Power/latency/lifetime table across devices for one workload.
+
+    Lifetime assumes writes spread uniformly over capacity (perfect
+    leveling); :mod:`repro.memory.wear` quantifies how far real
+    leveling is from that.
+    """
+    chosen = names if names is not None else list(DEVICES)
+    cells = workload.capacity_gb * 1e9 / 64.0  # 64-byte "cells"
+    out: dict[str, dict[str, float]] = {}
+    for name in chosen:
+        device = get_device(name)
+        per_cell_rate = workload.writes_per_s / cells
+        out[name] = {
+            "power_w": device_power_w(device, workload),
+            "mean_latency_ns": device_mean_latency_ns(device, read_fraction),
+            "lifetime_years": device.lifetime_years(per_cell_rate),
+            "idle_power_w": device.idle_power_w_per_gb * workload.capacity_gb,
+            "write_read_ratio": device.write_read_latency_ratio,
+        }
+    return out
+
+
+def mlc_write_latency_ns(
+    device: NVMDevice, bits_per_cell: int = 2, iteration_factor: float = 2.5
+) -> float:
+    """Multi-level-cell write latency: program-and-verify iterations
+    grow ~geometrically with stored bits (the PCM/Flash MLC tax)."""
+    if bits_per_cell < 1:
+        raise ValueError("bits_per_cell must be >= 1")
+    if iteration_factor < 1.0:
+        raise ValueError("iteration_factor must be >= 1")
+    return device.write_latency_ns * iteration_factor ** (bits_per_cell - 1)
+
+
+def resistance_drift_error_rate(
+    time_s: np.ndarray | float,
+    levels: int = 4,
+    drift_exponent: float = 0.1,
+    base_margin: float = 12.0,
+) -> np.ndarray:
+    """PCM resistance-drift raw bit error rate over time.
+
+    Resistance drifts as t^nu; with ``levels`` packed into a fixed
+    window the per-level margin shrinks as levels grow, and the error
+    rate is the Gaussian tail beyond the margin.  Shape-level model of
+    the "variable latency/reliability" the paper flags.
+    """
+    t = np.atleast_1d(np.asarray(time_s, dtype=float))
+    if np.any(t < 0):
+        raise ValueError("time must be non-negative")
+    if levels < 2:
+        raise ValueError("levels must be >= 2")
+    from scipy import special
+
+    margin = base_margin / (levels - 1)
+    drift = (1.0 + t) ** drift_exponent - 1.0
+    z = np.maximum(margin - drift * margin, 0.0)
+    return 0.5 * special.erfc(z / np.sqrt(2.0))

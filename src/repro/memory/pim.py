@@ -1,0 +1,168 @@
+"""Processing-in-memory / in-place computation (paper Section 2.2).
+
+"Especially in portable and sensor systems, it is often worth doing the
+computation locally to reduce the energy-expensive communication load.
+As a result, we also need more research on synchronization support,
+energy-efficient communication, and **in-place computation**."
+
+Model: a bulk operation over N bytes can run (a) on the host core —
+paying the full memory-to-core transport per byte — or (b) on near-
+memory compute — paying only the local array access plus a weaker
+compute unit.  The decision depends on the operation's arithmetic
+intensity and the result-size reduction, exactly like the sensor and
+cloud offload inequalities one level down the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PIMSystem:
+    """Energy/throughput parameters for host vs near-memory execution."""
+
+    # Host side.
+    host_energy_per_op_j: float = 10e-12
+    transport_energy_per_byte_j: float = 2e-10  # array -> core, per byte
+    host_ops_per_s: float = 1e10
+    link_bytes_per_s: float = 25.6e9
+    # Near-memory side.
+    pim_energy_per_op_j: float = 25e-12  # weaker process, pricier ops
+    array_energy_per_byte_j: float = 2e-11  # local row access only
+    pim_ops_per_s: float = 2e9
+    internal_bytes_per_s: float = 400e9  # row-buffer bandwidth
+
+    def __post_init__(self) -> None:
+        values = [
+            self.host_energy_per_op_j, self.transport_energy_per_byte_j,
+            self.pim_energy_per_op_j, self.array_energy_per_byte_j,
+        ]
+        if min(values) < 0:
+            raise ValueError("energies must be non-negative")
+        rates = [
+            self.host_ops_per_s, self.link_bytes_per_s,
+            self.pim_ops_per_s, self.internal_bytes_per_s,
+        ]
+        if min(rates) <= 0:
+            raise ValueError("rates must be positive")
+
+
+@dataclass(frozen=True)
+class BulkOp:
+    """A bulk in-memory operation.
+
+    ``ops_per_byte`` is arithmetic intensity over the scanned data;
+    ``result_fraction`` is how much of the input survives as output
+    that must reach the host either way (selectivity of a scan/filter,
+    1.0 for a transform kept in memory... the *host* path always moves
+    the full input; the PIM path moves only the result).
+    """
+
+    bytes_scanned: float
+    ops_per_byte: float
+    result_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.bytes_scanned <= 0 or self.ops_per_byte < 0:
+            raise ValueError("bad bulk-op shape")
+        if not 0.0 <= self.result_fraction <= 1.0:
+            raise ValueError("result_fraction must be in [0, 1]")
+
+    @property
+    def total_ops(self) -> float:
+        return self.bytes_scanned * self.ops_per_byte
+
+
+def host_energy_j(system: PIMSystem, op: BulkOp) -> float:
+    """Move everything to the core, compute there."""
+    transport = system.transport_energy_per_byte_j * op.bytes_scanned
+    compute = system.host_energy_per_op_j * op.total_ops
+    return transport + compute
+
+
+def pim_energy_j(system: PIMSystem, op: BulkOp) -> float:
+    """Compute in the array; ship only the result to the host."""
+    local = system.array_energy_per_byte_j * op.bytes_scanned
+    compute = system.pim_energy_per_op_j * op.total_ops
+    result = (
+        system.transport_energy_per_byte_j
+        * op.bytes_scanned * op.result_fraction
+    )
+    return local + compute + result
+
+
+def host_time_s(system: PIMSystem, op: BulkOp) -> float:
+    return max(
+        op.bytes_scanned / system.link_bytes_per_s,
+        op.total_ops / system.host_ops_per_s,
+    )
+
+
+def pim_time_s(system: PIMSystem, op: BulkOp) -> float:
+    internal = op.bytes_scanned / system.internal_bytes_per_s
+    compute = op.total_ops / system.pim_ops_per_s
+    result = (
+        op.bytes_scanned * op.result_fraction / system.link_bytes_per_s
+    )
+    return max(internal, compute) + result
+
+
+def pim_wins_energy(system: PIMSystem, op: BulkOp) -> bool:
+    return pim_energy_j(system, op) < host_energy_j(system, op)
+
+
+def intensity_crossover_ops_per_byte(
+    system: PIMSystem, result_fraction: float = 0.01
+) -> float:
+    """Arithmetic intensity above which the host wins on energy.
+
+    Below the crossover the operation is transport-dominated (PIM
+    territory: scans, filters, bulk bitwise ops); above it the host's
+    cheaper ops win (PIM's weaker process).  Closed form from the
+    energy equality; inf when PIM always wins.
+    """
+    if not 0.0 <= result_fraction <= 1.0:
+        raise ValueError("result_fraction must be in [0, 1]")
+    transport_saving = (
+        system.transport_energy_per_byte_j * (1.0 - result_fraction)
+        - system.array_energy_per_byte_j
+    )
+    op_premium = system.pim_energy_per_op_j - system.host_energy_per_op_j
+    if op_premium <= 0:
+        return float("inf")
+    return max(transport_saving, 0.0) / op_premium
+
+
+def pim_comparison(
+    system: PIMSystem = PIMSystem(),
+    intensities=(0.05, 0.2, 1.0, 5.0, 25.0, 100.0),
+    bytes_scanned: float = 1 << 30,
+    result_fraction: float = 0.01,
+) -> dict[str, np.ndarray]:
+    """Energy/time for host vs PIM across arithmetic intensity.
+
+    The paper-shape: scans (low ops/byte) belong in memory; compute-
+    dense kernels belong on the core — in-place computation is a
+    locality decision, not a universal win.
+    """
+    ops_pb = np.asarray(list(intensities), dtype=float)
+    if ops_pb.size == 0 or np.any(ops_pb < 0):
+        raise ValueError("bad intensity list")
+    host_e, pim_e, host_t, pim_t = [], [], [], []
+    for i in ops_pb:
+        op = BulkOp(bytes_scanned, float(i), result_fraction)
+        host_e.append(host_energy_j(system, op))
+        pim_e.append(pim_energy_j(system, op))
+        host_t.append(host_time_s(system, op))
+        pim_t.append(pim_time_s(system, op))
+    return {
+        "ops_per_byte": ops_pb,
+        "host_energy_j": np.array(host_e),
+        "pim_energy_j": np.array(pim_e),
+        "host_time_s": np.array(host_t),
+        "pim_time_s": np.array(pim_t),
+        "pim_wins_energy": np.array(pim_e) < np.array(host_e),
+    }

@@ -1,0 +1,106 @@
+"""Amdahl's law, Gustafson's law, and friends.
+
+The scalar algebra behind every parallelism argument in the paper
+(Section 2.2 "Exploiting Parallelism").  All functions are vectorized
+over the processor count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_fraction(f: float, name: str = "parallel_fraction") -> None:
+    if not 0.0 <= f <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {f}")
+
+
+def _check_n(n) -> np.ndarray:
+    arr = np.asarray(n, dtype=float)
+    if np.any(arr < 1):
+        raise ValueError("processor count must be >= 1")
+    return arr
+
+
+def amdahl_speedup(n, parallel_fraction: float) -> np.ndarray | float:
+    """Fixed-workload speedup on ``n`` processors."""
+    _check_fraction(parallel_fraction)
+    arr = _check_n(n)
+    result = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / arr)
+    return float(result) if np.isscalar(n) else result
+
+
+def amdahl_limit(parallel_fraction: float) -> float:
+    """Speedup ceiling as n -> infinity: 1 / (1 - f)."""
+    _check_fraction(parallel_fraction)
+    if parallel_fraction == 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - parallel_fraction)
+
+
+def gustafson_speedup(n, parallel_fraction: float) -> np.ndarray | float:
+    """Scaled-workload speedup: S = (1-f) + f*n.
+
+    The "big data = big parallelism" reading: problem size grows with
+    the machine, so the serial share shrinks.
+    """
+    _check_fraction(parallel_fraction)
+    arr = _check_n(n)
+    result = (1.0 - parallel_fraction) + parallel_fraction * arr
+    return float(result) if np.isscalar(n) else result
+
+
+def karp_flatt_metric(speedup, n) -> np.ndarray | float:
+    """Experimentally determined serial fraction from measured speedup.
+
+    e = (1/S - 1/n) / (1 - 1/n).  Rising e with n exposes overheads
+    beyond inherent serial work.
+    """
+    s_arr = np.asarray(speedup, dtype=float)
+    n_arr = _check_n(n)
+    if np.any(s_arr <= 0):
+        raise ValueError("speedup must be positive")
+    if np.any(n_arr <= 1):
+        raise ValueError("Karp-Flatt undefined at n = 1")
+    result = (1.0 / s_arr - 1.0 / n_arr) / (1.0 - 1.0 / n_arr)
+    return float(result) if np.isscalar(speedup) and np.isscalar(n) else result
+
+
+def parallel_efficiency(n, parallel_fraction: float) -> np.ndarray | float:
+    """Speedup / n — the utilization of the added processors."""
+    arr = _check_n(n)
+    result = amdahl_speedup(arr, parallel_fraction) / arr
+    return float(result) if np.isscalar(n) else result
+
+
+def amdahl_with_overhead(
+    n, parallel_fraction: float, overhead_per_proc: float
+) -> np.ndarray | float:
+    """Amdahl plus a per-processor coordination cost.
+
+    T(n) = (1-f) + f/n + c*n (normalized to T(1) = 1); speedup now has
+    an interior optimum — the first-order model of synchronization and
+    communication killing scaling.
+    """
+    _check_fraction(parallel_fraction)
+    if overhead_per_proc < 0:
+        raise ValueError("overhead must be non-negative")
+    arr = _check_n(n)
+    time = (1.0 - parallel_fraction) + parallel_fraction / arr + (
+        overhead_per_proc * arr
+    )
+    result = 1.0 / time
+    return float(result) if np.isscalar(n) else result
+
+
+def optimal_processors_with_overhead(
+    parallel_fraction: float, overhead_per_proc: float
+) -> float:
+    """Processor count maximizing :func:`amdahl_with_overhead`.
+
+    dT/dn = -f/n^2 + c = 0 => n* = sqrt(f / c).
+    """
+    _check_fraction(parallel_fraction)
+    if overhead_per_proc <= 0:
+        return float("inf")
+    return float(np.sqrt(parallel_fraction / overhead_per_proc))

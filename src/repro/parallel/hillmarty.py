@@ -1,0 +1,145 @@
+"""Hill-Marty multicore speedup models ("Amdahl's Law in the Multicore
+Era", IEEE Computer 2008).
+
+The white paper's lead author co-wrote the canonical model for exactly
+the question the paper poses — how to organize n base-core equivalents
+(BCEs) of silicon: many small cores, one big core, or a big core plus
+many small ones.  Implemented: symmetric, asymmetric, and dynamic chips,
+with Pollack-rule core performance ``perf(r) = sqrt(r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..processor.pollack import core_performance
+from .amdahl import _check_fraction
+
+PerfFn = Callable[[float], float]
+
+
+def _default_perf(r: float) -> float:
+    return float(core_performance(r))
+
+
+def symmetric_speedup(
+    f: float, n: int, r: float, perf: PerfFn = _default_perf
+) -> float:
+    """n BCEs as n/r cores of r BCEs each.
+
+    S = 1 / ( (1-f)/perf(r) + f*r / (perf(r)*n) )
+    """
+    _check_fraction(f, "f")
+    if n < 1 or r < 1 or r > n:
+        raise ValueError("need 1 <= r <= n")
+    p = perf(r)
+    return 1.0 / ((1.0 - f) / p + f * r / (p * n))
+
+
+def asymmetric_speedup(
+    f: float, n: int, r: float, perf: PerfFn = _default_perf
+) -> float:
+    """One big core of r BCEs plus (n - r) base cores.
+
+    Serial work runs on the big core; parallel work uses everything:
+    S = 1 / ( (1-f)/perf(r) + f/(perf(r) + n - r) )
+    """
+    _check_fraction(f, "f")
+    if n < 1 or r < 1 or r > n:
+        raise ValueError("need 1 <= r <= n")
+    p = perf(r)
+    return 1.0 / ((1.0 - f) / p + f / (p + (n - r)))
+
+
+def dynamic_speedup(
+    f: float, n: int, r: float, perf: PerfFn = _default_perf
+) -> float:
+    """Dynamically reconfigurable chip: serial phases get perf(r),
+    parallel phases get all n BCEs.
+
+    S = 1 / ( (1-f)/perf(r) + f/n )
+    """
+    _check_fraction(f, "f")
+    if n < 1 or r < 1 or r > n:
+        raise ValueError("need 1 <= r <= n")
+    return 1.0 / ((1.0 - f) / perf(r) + f / n)
+
+
+@dataclass(frozen=True)
+class BestDesign:
+    """Optimal core size and the speedup it achieves."""
+
+    r: float
+    speedup: float
+    organization: str
+
+
+def best_symmetric(
+    f: float, n: int, perf: PerfFn = _default_perf
+) -> BestDesign:
+    """Best r for a symmetric chip (grid search over divisors-ish r)."""
+    candidates = _r_grid(n)
+    speedups = [symmetric_speedup(f, n, r, perf) for r in candidates]
+    i = int(np.argmax(speedups))
+    return BestDesign(candidates[i], speedups[i], "symmetric")
+
+
+def best_asymmetric(
+    f: float, n: int, perf: PerfFn = _default_perf
+) -> BestDesign:
+    candidates = _r_grid(n)
+    speedups = [asymmetric_speedup(f, n, r, perf) for r in candidates]
+    i = int(np.argmax(speedups))
+    return BestDesign(candidates[i], speedups[i], "asymmetric")
+
+
+def best_dynamic(
+    f: float, n: int, perf: PerfFn = _default_perf
+) -> BestDesign:
+    # Dynamic speedup is monotone in r (bigger serial core never hurts),
+    # so r = n is always optimal; kept as a search for symmetry.
+    candidates = _r_grid(n)
+    speedups = [dynamic_speedup(f, n, r, perf) for r in candidates]
+    i = int(np.argmax(speedups))
+    return BestDesign(candidates[i], speedups[i], "dynamic")
+
+
+def _r_grid(n: int) -> list[float]:
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rs = sorted({float(r) for r in np.unique(np.round(np.geomspace(1, n, 64)))})
+    return [r for r in rs if 1 <= r <= n]
+
+
+def organization_comparison(
+    f: float, n: int = 256, perf: PerfFn = _default_perf
+) -> dict[str, BestDesign]:
+    """Hill-Marty's headline figure: best speedup per organization.
+
+    Published shape: dynamic >= asymmetric >= symmetric for all f, with
+    asymmetric's advantage largest at moderate f — the case for
+    heterogeneous chips (paper Table 2 "heterogeneous clusters").
+    """
+    return {
+        "symmetric": best_symmetric(f, n, perf),
+        "asymmetric": best_asymmetric(f, n, perf),
+        "dynamic": best_dynamic(f, n, perf),
+    }
+
+
+def speedup_surface(
+    fs: np.ndarray, n: int = 256
+) -> dict[str, np.ndarray]:
+    """Best-achievable speedup vs parallel fraction per organization."""
+    fs_arr = np.asarray(fs, dtype=float)
+    out = {"f": fs_arr}
+    for name, fn in (
+        ("symmetric", best_symmetric),
+        ("asymmetric", best_asymmetric),
+        ("dynamic", best_dynamic),
+    ):
+        out[name] = np.array([fn(float(f), n).speedup for f in fs_arr])
+    return out

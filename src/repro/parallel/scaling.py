@@ -1,0 +1,193 @@
+"""Communication-aware parallel scaling — "1,000-way parallelism".
+
+Paper, Section 1.2: "while parallelism will abound in future
+applications (big data = big parallelism), communication energy will
+outgrow computation energy and will require rethinking how we design for
+1,000-way parallelism."
+
+This module couples Amdahl-style time scaling with an energy model in
+which each unit of work requires data movement whose cost *grows* with
+the number of cores (more cores = more cross-chip/cross-node traffic),
+while per-op compute energy is constant.  The result is the paper's
+argument rendered quantitative: time keeps (weakly) improving with more
+cores, but energy per unit work grows, so an energy-constrained design
+has a finite optimal parallelism — and pushing to 1,000-way requires
+cutting communication energy, not adding cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .amdahl import _check_fraction
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Energy/time cost of communication as a function of core count.
+
+    ``distance_exponent`` controls how average communication distance
+    grows with n (0.5 for a 2-D mesh: diameter ~ sqrt(n)).
+    ``traffic_fraction`` is the share of operations that communicate.
+    """
+
+    compute_energy_per_op_j: float = 1e-12
+    comm_energy_per_op_base_j: float = 5e-12
+    distance_exponent: float = 0.5
+    traffic_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if min(self.compute_energy_per_op_j, self.comm_energy_per_op_base_j) < 0:
+            raise ValueError("energies must be non-negative")
+        if self.distance_exponent < 0:
+            raise ValueError("distance exponent must be non-negative")
+        if not 0.0 <= self.traffic_fraction <= 1.0:
+            raise ValueError("traffic fraction must be in [0, 1]")
+
+    def comm_energy_per_op_j(self, n) -> np.ndarray:
+        """Average communication energy per operation on n cores."""
+        arr = np.asarray(n, dtype=float)
+        if np.any(arr < 1):
+            raise ValueError("core count must be >= 1")
+        return (
+            self.comm_energy_per_op_base_j
+            * self.traffic_fraction
+            * arr**self.distance_exponent
+        )
+
+    def energy_per_op_j(self, n) -> np.ndarray:
+        """Total (compute + communication) energy per operation."""
+        return self.compute_energy_per_op_j + self.comm_energy_per_op_j(n)
+
+
+def energy_constrained_throughput(
+    n,
+    power_budget_w: float,
+    model: CommunicationModel = CommunicationModel(),
+    parallel_fraction: float = 0.9999,
+    core_ops_per_s: float = 1e9,
+) -> np.ndarray:
+    """Sustained ops/s on n cores under a power budget.
+
+    Two ceilings apply: Amdahl-limited parallel rate
+    (n effective cores x per-core rate x efficiency) and the power
+    ceiling budget / energy_per_op(n).  Throughput is their minimum —
+    the crossing point is where communication energy, not core count,
+    starts setting performance.
+    """
+    _check_fraction(parallel_fraction)
+    if power_budget_w <= 0 or core_ops_per_s <= 0:
+        raise ValueError("budget and core rate must be positive")
+    arr = np.asarray(n, dtype=float)
+    if np.any(arr < 1):
+        raise ValueError("core count must be >= 1")
+    from .amdahl import amdahl_speedup
+
+    compute_rate = core_ops_per_s * amdahl_speedup(arr, parallel_fraction)
+    power_rate = power_budget_w / model.energy_per_op_j(arr)
+    return np.minimum(compute_rate, power_rate)
+
+
+def optimal_parallelism(
+    power_budget_w: float,
+    model: CommunicationModel = CommunicationModel(),
+    parallel_fraction: float = 0.9999,
+    core_ops_per_s: float = 1e9,
+    n_max: int = 65536,
+) -> dict[str, float]:
+    """Core count maximizing energy-constrained throughput.
+
+    Returns the optimum, its throughput, and the communication share of
+    energy there — the quantitative "rethink 1,000-way parallelism"
+    statement.  When the throughput curve plateaus (Amdahl-limited),
+    the *smallest* core count within 2% of the peak is reported — more
+    cores that buy nothing are not "more parallelism".
+    """
+    ns = np.unique(np.round(np.geomspace(1, n_max, 256))).astype(float)
+    thr = energy_constrained_throughput(
+        ns, power_budget_w, model, parallel_fraction, core_ops_per_s
+    )
+    peak = float(np.max(thr))
+    i = int(np.argmax(thr >= 0.98 * peak))
+    n_opt = float(ns[i])
+    comm = float(model.comm_energy_per_op_j(n_opt))
+    total = float(model.energy_per_op_j(n_opt))
+    return {
+        "n_optimal": n_opt,
+        "throughput_ops": float(thr[i]),
+        "comm_energy_share": comm / total,
+    }
+
+
+def required_comm_reduction_for_target(
+    target_n: float,
+    power_budget_w: float,
+    model: CommunicationModel = CommunicationModel(),
+    parallel_fraction: float = 0.9999,
+    core_ops_per_s: float = 1e9,
+) -> float:
+    """Factor by which communication energy must drop so that the
+    energy-optimal parallelism reaches ``target_n``.
+
+    Searches over scaling factors on ``comm_energy_per_op_base_j``;
+    returns the smallest reduction factor (>= 1) achieving
+    n_optimal >= target_n, or inf if even zero communication energy
+    doesn't get there (Amdahl-limited).
+    """
+    if target_n < 1:
+        raise ValueError("target_n must be >= 1")
+    # Check feasibility with free communication.
+    free = CommunicationModel(
+        compute_energy_per_op_j=model.compute_energy_per_op_j,
+        comm_energy_per_op_base_j=0.0,
+        distance_exponent=model.distance_exponent,
+        traffic_fraction=model.traffic_fraction,
+    )
+    if (
+        optimal_parallelism(
+            power_budget_w, free, parallel_fraction, core_ops_per_s
+        )["n_optimal"]
+        < target_n
+    ):
+        return float("inf")
+    lo, hi = 1.0, 1.0
+    while hi < 1e9:
+        reduced = CommunicationModel(
+            compute_energy_per_op_j=model.compute_energy_per_op_j,
+            comm_energy_per_op_base_j=model.comm_energy_per_op_base_j / hi,
+            distance_exponent=model.distance_exponent,
+            traffic_fraction=model.traffic_fraction,
+        )
+        if (
+            optimal_parallelism(
+                power_budget_w, reduced, parallel_fraction, core_ops_per_s
+            )["n_optimal"]
+            >= target_n
+        ):
+            break
+        lo = hi
+        hi *= 2.0
+    else:
+        return float("inf")
+    # Bisect between lo and hi.
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        reduced = CommunicationModel(
+            compute_energy_per_op_j=model.compute_energy_per_op_j,
+            comm_energy_per_op_base_j=model.comm_energy_per_op_base_j / mid,
+            distance_exponent=model.distance_exponent,
+            traffic_fraction=model.traffic_fraction,
+        )
+        ok = (
+            optimal_parallelism(
+                power_budget_w, reduced, parallel_fraction, core_ops_per_s
+            )["n_optimal"]
+            >= target_n
+        )
+        if ok:
+            hi = mid
+        else:
+            lo = mid
+    return hi

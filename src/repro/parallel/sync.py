@@ -1,0 +1,120 @@
+"""Synchronization cost models: locks and barriers.
+
+"We also need more research on synchronization support" (Section 2.2);
+"Programmers are plagued by synchronization subtleties ... load
+imbalance" (Section 2.4).  Two first-order models:
+
+* **Lock contention** — an M/M/1-style critical-section queue: threads
+  arrive at a lock at some rate; throughput saturates at the critical
+  section's service rate, and waiting time diverges as utilization
+  approaches 1 (the "serialization bottleneck" picture behind Amdahl).
+* **Barrier skew** — with per-phase work drawn from a distribution, the
+  barrier waits for the max of P draws; expected slack grows with P
+  (extreme-value statistics), the load-imbalance cost of bulk-
+  synchronous programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class LockModel:
+    """Critical-section queueing model.
+
+    Each thread iterates: compute (mean ``compute_time``) then acquire
+    the lock and hold it for ``critical_time``.  With P threads, the
+    offered utilization of the lock is
+    ``rho = P * critical / (compute + critical)``; beyond rho = 1 the
+    lock is the system bottleneck.
+    """
+
+    compute_time: float = 1.0
+    critical_time: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.compute_time < 0 or self.critical_time <= 0:
+            raise ValueError("bad timing parameters")
+
+    def utilization(self, p) -> np.ndarray:
+        arr = np.asarray(p, dtype=float)
+        if np.any(arr < 1):
+            raise ValueError("thread count must be >= 1")
+        cycle = self.compute_time + self.critical_time
+        return np.minimum(1.0, arr * self.critical_time / cycle)
+
+    def throughput(self, p) -> np.ndarray:
+        """Completed iterations per unit time across all threads.
+
+        min(P / cycle_time, 1 / critical_time): linear until the lock
+        saturates, flat afterwards.
+        """
+        arr = np.asarray(p, dtype=float)
+        if np.any(arr < 1):
+            raise ValueError("thread count must be >= 1")
+        cycle = self.compute_time + self.critical_time
+        return np.minimum(arr / cycle, 1.0 / self.critical_time)
+
+    def saturation_threads(self) -> float:
+        """Thread count at which the lock saturates."""
+        return (self.compute_time + self.critical_time) / self.critical_time
+
+    def speedup(self, p) -> np.ndarray:
+        return self.throughput(p) / self.throughput(1)
+
+
+def barrier_slack(
+    p: int,
+    mean_work: float = 1.0,
+    cv: float = 0.2,
+    n_phases: int = 1000,
+    distribution: str = "lognormal",
+    rng: RngLike = None,
+) -> dict[str, float]:
+    """Monte-Carlo expected barrier slack for P workers.
+
+    Slack = E[max of P draws] / mean - 1: the fraction of each phase
+    wasted waiting for the slowest worker.  Grows with both P and the
+    coefficient of variation ``cv``.
+    """
+    if p < 1 or n_phases < 1:
+        raise ValueError("p and n_phases must be >= 1")
+    if mean_work <= 0 or cv < 0:
+        raise ValueError("bad work distribution parameters")
+    gen = resolve_rng(rng)
+    if distribution == "lognormal":
+        sigma = np.sqrt(np.log(1.0 + cv * cv))
+        mu = np.log(mean_work) - 0.5 * sigma * sigma
+        draws = gen.lognormal(mu, sigma, size=(n_phases, p))
+    elif distribution == "exponential":
+        draws = gen.exponential(mean_work, size=(n_phases, p))
+    elif distribution == "uniform":
+        half = np.sqrt(3.0) * cv * mean_work
+        draws = gen.uniform(mean_work - half, mean_work + half,
+                            size=(n_phases, p))
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    phase_times = draws.max(axis=1)
+    return {
+        "mean_phase_time": float(phase_times.mean()),
+        "slack_fraction": float(phase_times.mean() / mean_work - 1.0),
+        "efficiency": float(mean_work / phase_times.mean()),
+    }
+
+
+def barrier_slack_curve(
+    ps: list[int], cv: float = 0.2, rng: RngLike = 0, **kwargs
+) -> dict[str, np.ndarray]:
+    """Barrier efficiency vs worker count — the BSP scaling tax."""
+    if not ps:
+        raise ValueError("ps must be non-empty")
+    eff = [barrier_slack(p, cv=cv, rng=rng, **kwargs)["efficiency"] for p in ps]
+    return {
+        "workers": np.asarray(ps, dtype=float),
+        "efficiency": np.array(eff),
+    }

@@ -1,0 +1,202 @@
+"""Branch predictors.
+
+The ILP era the paper retires (Table 2) was built on speculation; its
+energy cost is part of why "current hardware must try to glean [intent]
+on its own ... at great energy expense" (Section 2.4).  These predictors
+feed the in-order/out-of-order core models and the E21 agenda bench,
+which charges prediction structures to the energy ledger.
+
+Implemented: static, last-value, bimodal (2-bit counters), gshare
+(global history xor PC), and a tournament chooser.  All share the
+:class:`BranchPredictor` interface: ``predict(pc) -> bool`` then
+``update(pc, taken)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class BranchPredictor(ABC):
+    """Common predict/update interface; tracks its own accuracy."""
+
+    def __init__(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abstractmethod
+    def _train(self, pc: int, taken: bool) -> None:
+        """Update internal state with the resolved outcome."""
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Score the last prediction for ``pc`` and train; returns
+        whether the prediction was correct."""
+        predicted = self.predict(pc)
+        correct = predicted == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        self._train(pc, taken)
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return float("nan")
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0
+
+
+class StaticPredictor(BranchPredictor):
+    """Always predicts one direction (default: taken)."""
+
+    def __init__(self, taken: bool = True) -> None:
+        super().__init__()
+        self._taken = taken
+
+    def predict(self, pc: int) -> bool:
+        return self._taken
+
+    def _train(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class LastValuePredictor(BranchPredictor):
+    """Predicts each branch repeats its previous outcome (1-bit)."""
+
+    def __init__(self, table_bits: int = 10) -> None:
+        super().__init__()
+        if table_bits < 1:
+            raise ValueError("table_bits must be >= 1")
+        self._mask = (1 << table_bits) - 1
+        self._table = np.ones(1 << table_bits, dtype=bool)
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[pc & self._mask])
+
+    def _train(self, pc: int, taken: bool) -> None:
+        self._table[pc & self._mask] = taken
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit saturating counters — the classic baseline."""
+
+    def __init__(self, table_bits: int = 10) -> None:
+        super().__init__()
+        if table_bits < 1:
+            raise ValueError("table_bits must be >= 1")
+        self._mask = (1 << table_bits) - 1
+        # Counters start weakly taken (2 of 0..3).
+        self._table = np.full(1 << table_bits, 2, dtype=np.int8)
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[pc & self._mask] >= 2)
+
+    def _train(self, pc: int, taken: bool) -> None:
+        idx = pc & self._mask
+        if taken:
+            self._table[idx] = min(3, self._table[idx] + 1)
+        else:
+            self._table[idx] = max(0, self._table[idx] - 1)
+
+
+class GSharePredictor(BranchPredictor):
+    """Global-history predictor: counters indexed by PC xor history."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        super().__init__()
+        if table_bits < 1 or history_bits < 0:
+            raise ValueError("bad gshare geometry")
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._table = np.full(1 << table_bits, 2, dtype=np.int8)
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._table[self._index(pc)] >= 2)
+
+    def _train(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        if taken:
+            self._table[idx] = min(3, self._table[idx] + 1)
+        else:
+            self._table[idx] = max(0, self._table[idx] - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class TournamentPredictor(BranchPredictor):
+    """Chooser between a local (bimodal) and global (gshare) component."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        super().__init__()
+        self._local = BimodalPredictor(table_bits)
+        self._global = GSharePredictor(table_bits, history_bits)
+        self._mask = (1 << table_bits) - 1
+        self._chooser = np.full(1 << table_bits, 2, dtype=np.int8)
+
+    def predict(self, pc: int) -> bool:
+        use_global = self._chooser[pc & self._mask] >= 2
+        return (
+            self._global.predict(pc) if use_global else self._local.predict(pc)
+        )
+
+    def _train(self, pc: int, taken: bool) -> None:
+        local_pred = self._local.predict(pc)
+        global_pred = self._global.predict(pc)
+        idx = pc & self._mask
+        if local_pred != global_pred:
+            if global_pred == taken:
+                self._chooser[idx] = min(3, self._chooser[idx] + 1)
+            else:
+                self._chooser[idx] = max(0, self._chooser[idx] - 1)
+        self._local._train(pc, taken)
+        self._global._train(pc, taken)
+
+
+@dataclass(frozen=True)
+class PredictorEvaluation:
+    """Accuracy of one predictor on one outcome stream."""
+
+    name: str
+    accuracy: float
+    mpki: float  # mispredictions per thousand instructions
+
+
+def evaluate_predictor(
+    predictor: BranchPredictor,
+    pcs: np.ndarray,
+    outcomes: np.ndarray,
+    instructions_per_branch: float = 6.0,
+) -> PredictorEvaluation:
+    """Run a (pc, outcome) stream through a predictor."""
+    if len(pcs) != len(outcomes):
+        raise ValueError("pcs and outcomes must have equal length")
+    if instructions_per_branch <= 0:
+        raise ValueError("instructions_per_branch must be positive")
+    predictor.reset_stats()
+    for pc, taken in zip(pcs, outcomes):
+        predictor.update(int(pc), bool(taken))
+    n = predictor.predictions
+    mpki = (
+        1000.0 * predictor.mispredictions / (n * instructions_per_branch)
+        if n
+        else float("nan")
+    )
+    return PredictorEvaluation(
+        name=type(predictor).__name__,
+        accuracy=predictor.accuracy,
+        mpki=mpki,
+    )

@@ -1,0 +1,252 @@
+"""DVFS governors (paper Section 2.1: "using user feedback to adjust
+voltage/frequency to save energy").
+
+A discrete-time model of a core with voltage/frequency states serving a
+bursty utilization trace.  Governors choose an operating point each
+interval; the simulator scores energy, and deadline/QoS violations
+(work left unserved in an interval).  Implemented governors:
+
+* :class:`RaceToIdle` — max frequency while work remains, deep idle
+  otherwise (the "run fast then sleep" school).
+* :class:`OnDemandGovernor` — utilization-tracking proportional
+  control, like the Linux governor of the era.
+* :class:`UserFeedbackGovernor` — the paper's idea: an external
+  satisfaction signal (e.g. UI latency annoyance) raises frequency only
+  when the user notices — modeled as a tolerance threshold on queued
+  work.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One V/f state."""
+
+    frequency_ghz: float
+    vdd_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0 or self.vdd_v <= 0:
+            raise ValueError("frequency and voltage must be positive")
+
+
+def default_opp_table() -> list[OperatingPoint]:
+    """A mobile-class DVFS ladder (frequency roughly tracks voltage)."""
+    return [
+        OperatingPoint(0.3, 0.60),
+        OperatingPoint(0.6, 0.70),
+        OperatingPoint(1.0, 0.80),
+        OperatingPoint(1.5, 0.90),
+        OperatingPoint(2.0, 1.00),
+    ]
+
+
+@dataclass(frozen=True)
+class DVFSCore:
+    """Power model over an OPP ladder: P = C_eff * V^2 * f + leak(V)."""
+
+    c_eff_f: float = 1e-9  # effective switched capacitance [F]
+    leakage_a_per_v: float = 0.2  # crude linear leakage current model
+    idle_power_w: float = 0.02
+    work_per_ghz_interval: float = 1.0  # work units served per interval at 1 GHz
+
+    def __post_init__(self) -> None:
+        if min(self.c_eff_f, self.leakage_a_per_v, self.idle_power_w) < 0:
+            raise ValueError("power parameters must be non-negative")
+        if self.work_per_ghz_interval <= 0:
+            raise ValueError("work rate must be positive")
+
+    def active_power_w(self, opp: OperatingPoint) -> float:
+        dynamic = self.c_eff_f * opp.vdd_v**2 * opp.frequency_ghz * 1e9
+        leak = self.leakage_a_per_v * opp.vdd_v**2
+        return dynamic + leak
+
+    def capacity(self, opp: OperatingPoint) -> float:
+        """Work units servable per interval at this point."""
+        return self.work_per_ghz_interval * opp.frequency_ghz
+
+
+class Governor(ABC):
+    """Chooses an OPP index given the current backlog and demand."""
+
+    def __init__(self, table: Sequence[OperatingPoint] | None = None) -> None:
+        self.table = list(table) if table is not None else default_opp_table()
+        if not self.table:
+            raise ValueError("need at least one operating point")
+
+    @abstractmethod
+    def choose(self, backlog: float, last_demand: float) -> int:
+        """Return the OPP index for the next interval."""
+
+
+class RaceToIdle(Governor):
+    def choose(self, backlog: float, last_demand: float) -> int:
+        return len(self.table) - 1 if backlog > 0 else 0
+
+
+class OnDemandGovernor(Governor):
+    """Pick the slowest point whose capacity covers recent demand plus
+    a margin of the backlog."""
+
+    def __init__(self, core: DVFSCore, table=None, margin: float = 1.2):
+        super().__init__(table)
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        self.core = core
+        self.margin = margin
+
+    def choose(self, backlog: float, last_demand: float) -> int:
+        needed = self.margin * last_demand + 0.5 * backlog
+        for i, opp in enumerate(self.table):
+            if self.core.capacity(opp) >= needed:
+                return i
+        return len(self.table) - 1
+
+
+class UserFeedbackGovernor(Governor):
+    """Stay slow until the backlog crosses the user's annoyance
+    threshold; then jump to max until it drains — the paper's
+    human-in-the-loop frequency control."""
+
+    def __init__(self, core: DVFSCore, table=None,
+                 annoyance_backlog: float = 6.0):
+        super().__init__(table)
+        if annoyance_backlog < 0:
+            raise ValueError("threshold must be non-negative")
+        self.core = core
+        self.annoyance_backlog = annoyance_backlog
+        self._boosting = False
+
+    def choose(self, backlog: float, last_demand: float) -> int:
+        if backlog > self.annoyance_backlog:
+            self._boosting = True
+        elif backlog < 0.25 * self.annoyance_backlog:
+            # Hysteresis: stop boosting once the queue has mostly
+            # drained (choose() sees post-arrival backlog, which is
+            # rarely exactly zero).
+            self._boosting = False
+        if self._boosting:
+            return len(self.table) - 1
+        # Cruise slow: the user has not complained, so queued work is
+        # acceptable — run the most efficient point that keeps up with
+        # *half* the recent demand and let the backlog absorb bursts.
+        for i, opp in enumerate(self.table):
+            if self.core.capacity(opp) >= 0.5 * last_demand:
+                return i
+        return len(self.table) - 1
+
+
+@dataclass
+class DVFSResult:
+    energy_j: float
+    served_work: float
+    violations: int  # intervals with backlog above the QoS bound
+    intervals: int
+    mean_backlog: float
+
+    @property
+    def energy_per_work_j(self) -> float:
+        if self.served_work == 0:
+            return float("inf")
+        return self.energy_j / self.served_work
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.intervals if self.intervals else float("nan")
+
+
+def simulate_governor(
+    governor: Governor,
+    core: DVFSCore,
+    demand: np.ndarray,
+    interval_s: float = 0.01,
+    qos_backlog_bound: float = 3.0,
+) -> DVFSResult:
+    """Serve a demand trace (work units per interval) under a governor."""
+    demand_arr = np.asarray(demand, dtype=float)
+    if np.any(demand_arr < 0):
+        raise ValueError("demand must be non-negative")
+    if interval_s <= 0 or qos_backlog_bound < 0:
+        raise ValueError("bad interval or QoS bound")
+    backlog = 0.0
+    energy = 0.0
+    served = 0.0
+    violations = 0
+    backlog_sum = 0.0
+    last_demand = 0.0
+    for d in demand_arr:
+        backlog += float(d)
+        idx = governor.choose(backlog, last_demand)
+        opp = governor.table[idx]
+        cap = core.capacity(opp)
+        work = min(backlog, cap)
+        backlog -= work
+        served += work
+        busy_frac = work / cap if cap > 0 else 0.0
+        energy += (
+            core.active_power_w(opp) * busy_frac
+            + core.idle_power_w * (1.0 - busy_frac)
+        ) * interval_s
+        if backlog > qos_backlog_bound:
+            violations += 1
+        backlog_sum += backlog
+        last_demand = float(d)
+    return DVFSResult(
+        energy_j=energy,
+        served_work=served,
+        violations=violations,
+        intervals=len(demand_arr),
+        mean_backlog=backlog_sum / max(len(demand_arr), 1),
+    )
+
+
+def bursty_demand(
+    n: int,
+    mean: float = 0.6,
+    burst_prob: float = 0.05,
+    burst_size: float = 4.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Mobile-style demand: light background load plus UI bursts."""
+    if n < 0 or mean < 0 or burst_size < 0:
+        raise ValueError("bad demand parameters")
+    if not 0.0 <= burst_prob <= 1.0:
+        raise ValueError("burst_prob must be in [0, 1]")
+    gen = resolve_rng(rng)
+    base = gen.exponential(mean, size=n)
+    bursts = (gen.random(n) < burst_prob) * gen.exponential(
+        burst_size, size=n
+    )
+    return base + bursts
+
+
+def governor_comparison(
+    n_intervals: int = 5000, rng: RngLike = 0
+) -> dict[str, dict[str, float]]:
+    """Energy vs QoS for the three governors on the same demand trace."""
+    core = DVFSCore()
+    demand = bursty_demand(n_intervals, rng=rng)
+    governors = {
+        "race_to_idle": RaceToIdle(),
+        "ondemand": OnDemandGovernor(core),
+        "user_feedback": UserFeedbackGovernor(core),
+    }
+    out = {}
+    for name, gov in governors.items():
+        res = simulate_governor(gov, core, demand)
+        out[name] = {
+            "energy_j": res.energy_j,
+            "energy_per_work_j": res.energy_per_work_j,
+            "violation_rate": res.violation_rate,
+            "mean_backlog": res.mean_backlog,
+        }
+    return out

@@ -1,0 +1,204 @@
+"""In-order scalar pipeline model.
+
+The "simple computational cores" the paper's many-core agenda calls for
+(Section 2.2, "streamlined many-core architectures").  The model is
+trace-driven but first-order: CPI = 1 + stall cycles from multi-cycle
+execution dependences, load-use delay, branch mispredictions, and cache
+misses.  It deliberately ignores structural hazards beyond a single
+issue slot — the canonical 5-stage abstraction.
+
+Outputs both performance (CPI) and an energy ledger (per-instruction
+front-end/execute/memory charges), so the same run feeds both columns of
+the paper's energy-first comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.energy import EnergyLedger
+from .branch import BranchPredictor, BimodalPredictor
+from .isa import DEFAULT_LATENCIES, Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class InOrderConfig:
+    """Parameters of the scalar pipeline."""
+
+    mispredict_penalty: int = 5
+    load_use_penalty: int = 1
+    miss_rate: float = 0.03  # fraction of memory ops missing the cache
+    miss_penalty: int = 50
+    energy_per_instr_j: float = 20e-12  # front-end + register file
+    energy_per_alu_j: float = 5e-12
+    energy_per_mem_j: float = 15e-12  # L1 access portion
+    energy_per_miss_j: float = 200e-12
+
+    def __post_init__(self) -> None:
+        if self.mispredict_penalty < 0 or self.load_use_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ValueError("miss_rate must be in [0, 1]")
+        if self.miss_penalty < 0:
+            raise ValueError("miss_penalty must be non-negative")
+        if min(self.energy_per_instr_j, self.energy_per_alu_j,
+               self.energy_per_mem_j, self.energy_per_miss_j) < 0:
+            raise ValueError("energies must be non-negative")
+
+
+@dataclass
+class InOrderResult:
+    """Outcome of one trace run."""
+
+    instructions: int
+    cycles: int
+    stall_cycles_exec: int
+    stall_cycles_branch: int
+    stall_cycles_memory: int
+    ledger: EnergyLedger = field(default_factory=EnergyLedger)
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions == 0:
+            return float("nan")
+        return self.cycles / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        cpi = self.cpi
+        return 1.0 / cpi if cpi > 0 else float("nan")
+
+    @property
+    def energy_per_instruction_j(self) -> float:
+        if self.instructions == 0:
+            return float("nan")
+        return self.ledger.total() / self.instructions
+
+
+class InOrderCore:
+    """Trace-driven scalar in-order core.
+
+    Deterministic given the trace and a (deterministic) miss schedule:
+    cache misses are assigned by a counter-based fraction rather than
+    random draws, so results are exactly reproducible and testable.
+    A real cache model can be substituted by passing ``miss_flags``.
+    """
+
+    def __init__(
+        self,
+        config: InOrderConfig = InOrderConfig(),
+        predictor: Optional[BranchPredictor] = None,
+    ) -> None:
+        self.config = config
+        self.predictor = predictor if predictor is not None else BimodalPredictor()
+
+    def run(
+        self,
+        trace: Sequence[Instruction],
+        miss_flags: Optional[Sequence[bool]] = None,
+    ) -> InOrderResult:
+        """Execute ``trace``; ``miss_flags[i]`` marks memory ops that
+        miss (aligned with the subsequence of memory instructions)."""
+        cfg = self.config
+        cycles = 0
+        stall_exec = 0
+        stall_branch = 0
+        stall_mem = 0
+        ledger = EnergyLedger()
+
+        # Scoreboard: cycle at which each register's value is ready.
+        ready = [0] * 32
+        mem_op_index = 0
+        miss_accumulator = 0.0
+
+        for instr in trace:
+            issue = cycles + 1  # one instruction per cycle baseline
+            # RAW hazard: wait for sources.
+            if instr.srcs:
+                src_ready = max(ready[s] for s in instr.srcs)
+                if src_ready > issue:
+                    stall_exec += src_ready - issue
+                    issue = src_ready
+            latency = instr.latency(DEFAULT_LATENCIES)
+
+            ledger.charge("frontend", cfg.energy_per_instr_j, ops=1)
+            if instr.is_memory:
+                ledger.charge("memory.l1", cfg.energy_per_mem_j)
+                if miss_flags is not None:
+                    missed = bool(miss_flags[mem_op_index])
+                else:
+                    miss_accumulator += cfg.miss_rate
+                    missed = miss_accumulator >= 1.0
+                    if missed:
+                        miss_accumulator -= 1.0
+                mem_op_index += 1
+                if missed:
+                    # Blocking cache: the in-order pipeline stalls for
+                    # the full miss, not just dependents.
+                    issue += cfg.miss_penalty
+                    stall_mem += cfg.miss_penalty
+                    ledger.charge("memory.miss", cfg.energy_per_miss_j)
+                if instr.opcode is Opcode.LOAD:
+                    latency += cfg.load_use_penalty
+            else:
+                ledger.charge("execute", cfg.energy_per_alu_j)
+
+            if instr.is_branch:
+                correct = self.predictor.update(
+                    pc=instr.pc, taken=bool(instr.taken)
+                )
+                if not correct:
+                    stall_branch += cfg.mispredict_penalty
+                    issue += cfg.mispredict_penalty
+
+            if instr.dst is not None:
+                ready[instr.dst] = issue + latency - 1
+            cycles = issue
+
+        return InOrderResult(
+            instructions=len(trace),
+            cycles=cycles,
+            stall_cycles_exec=stall_exec,
+            stall_cycles_branch=stall_branch,
+            stall_cycles_memory=stall_mem,
+            ledger=ledger,
+        )
+
+
+def analytic_cpi(
+    mix_load: float = 0.25,
+    mix_store: float = 0.10,
+    mix_branch: float = 0.15,
+    miss_rate: float = 0.03,
+    miss_penalty: float = 50.0,
+    mispredict_rate: float = 0.08,
+    mispredict_penalty: float = 5.0,
+    base_cpi: float = 1.1,
+) -> float:
+    """Closed-form CPI: base + memory stalls + branch stalls.
+
+    CPI = base
+        + (f_mem * m * penalty_mem)
+        + (f_branch * mp * penalty_branch)
+
+    The standard back-of-envelope model; the trace-driven core should
+    land near it, and tests cross-check the two.
+    """
+    for name, v in [
+        ("mix_load", mix_load), ("mix_store", mix_store),
+        ("mix_branch", mix_branch), ("miss_rate", miss_rate),
+        ("mispredict_rate", mispredict_rate),
+    ]:
+        if not 0.0 <= v <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1]")
+    if base_cpi < 1.0:
+        raise ValueError("base_cpi must be >= 1 for a scalar pipeline")
+    if miss_penalty < 0 or mispredict_penalty < 0:
+        raise ValueError("penalties must be non-negative")
+    f_mem = mix_load + mix_store
+    return (
+        base_cpi
+        + f_mem * miss_rate * miss_penalty
+        + mix_branch * mispredict_rate * mispredict_penalty
+    )

@@ -1,0 +1,105 @@
+"""A tiny RISC-style ISA for trace-driven core models.
+
+The paper's Table 2 contrasts "performance through software-invisible
+ILP" (20th century) with the energy-first era.  To *measure* that
+contrast we need programs; this module defines the minimal instruction
+vocabulary the trace generator (:mod:`repro.processor.program`) emits and
+the core models consume.
+
+Instructions are value objects; traces are lists or structured NumPy
+arrays of them.  Latencies are representative single-issue latencies in
+cycles and can be overridden per core model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class Opcode(Enum):
+    """Instruction classes, coarse enough for first-order CPI/ILP models."""
+
+    ALU = "alu"  # integer add/sub/logic
+    MUL = "mul"  # integer multiply
+    DIV = "div"  # integer divide
+    FPU = "fpu"  # floating add/mul
+    FMA = "fma"  # fused multiply-add
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+
+#: Default execution latencies [cycles].
+DEFAULT_LATENCIES = {
+    Opcode.ALU: 1,
+    Opcode.MUL: 3,
+    Opcode.DIV: 20,
+    Opcode.FPU: 4,
+    Opcode.FMA: 5,
+    Opcode.LOAD: 2,  # L1-hit latency; misses modeled by the memory system
+    Opcode.STORE: 1,
+    Opcode.BRANCH: 1,
+    Opcode.NOP: 1,
+}
+
+#: Architectural register count for generated traces.
+NUM_REGISTERS = 32
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction in a trace.
+
+    ``dst`` is None for stores/branches/nops.  ``address`` is the
+    memory address for loads/stores (None otherwise).  ``taken`` is the
+    branch outcome (None for non-branches).
+    """
+
+    opcode: Opcode
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = field(default=())
+    address: Optional[int] = None
+    taken: Optional[bool] = None
+    pc: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dst is not None and not 0 <= self.dst < NUM_REGISTERS:
+            raise ValueError(f"dst register {self.dst} out of range")
+        for src in self.srcs:
+            if not 0 <= src < NUM_REGISTERS:
+                raise ValueError(f"src register {src} out of range")
+        if self.opcode in (Opcode.LOAD, Opcode.STORE) and self.address is None:
+            raise ValueError(f"{self.opcode.value} requires an address")
+        if self.opcode is Opcode.BRANCH and self.taken is None:
+            raise ValueError("branch requires a taken outcome")
+        if self.pc < 0:
+            raise ValueError("pc must be non-negative")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode is Opcode.BRANCH
+
+    def latency(self, table: Optional[dict] = None) -> int:
+        """Execution latency under ``table`` (default table if None)."""
+        lookup = DEFAULT_LATENCIES if table is None else table
+        return lookup[self.opcode]
+
+
+def validate_trace(trace) -> int:
+    """Cheap structural validation of a trace; returns its length."""
+    n = 0
+    for instr in trace:
+        if not isinstance(instr, Instruction):
+            raise TypeError(
+                f"trace element {n} is {type(instr).__name__}, "
+                "expected Instruction"
+            )
+        n += 1
+    return n

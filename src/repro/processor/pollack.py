@@ -1,0 +1,106 @@
+"""Pollack's rule and core sizing economics.
+
+Pollack's observation — single-core performance grows roughly as the
+square root of its area/complexity — underpins both the Hill-Marty
+multicore models (:mod:`repro.parallel.hillmarty`) and the paper's call
+for "simpler, low-power cores" (Section 2.2): doubling a core's area
+buys ~41% more speed but ~100% more power, so under a power cap many
+small cores beat one big one whenever parallelism exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def core_performance(area: np.ndarray | float, exponent: float = 0.5) -> np.ndarray | float:
+    """Relative single-thread performance of a core of relative ``area``.
+
+    Normalized so area=1 gives performance=1 ("base core equivalent",
+    Hill-Marty's BCE).
+    """
+    area_arr = np.asarray(area, dtype=float)
+    if np.any(area_arr <= 0):
+        raise ValueError("area must be positive")
+    if not 0 < exponent <= 1:
+        raise ValueError("Pollack exponent must be in (0, 1]")
+    result = area_arr**exponent
+    return float(result) if np.isscalar(area) else result
+
+
+def core_power(
+    area: np.ndarray | float,
+    dynamic_fraction: float = 0.7,
+    dynamic_exponent: float = 1.0,
+    leakage_exponent: float = 1.0,
+) -> np.ndarray | float:
+    """Relative power of a core of relative ``area``.
+
+    Dynamic power tracks switched capacitance (~area); leakage tracks
+    total transistor count (~area).  Exponents exposed for sensitivity
+    studies (e.g. dynamic_exponent > 1 when bigger cores also clock
+    higher).
+    """
+    area_arr = np.asarray(area, dtype=float)
+    if np.any(area_arr <= 0):
+        raise ValueError("area must be positive")
+    if not 0.0 <= dynamic_fraction <= 1.0:
+        raise ValueError("dynamic_fraction must be in [0, 1]")
+    result = (
+        dynamic_fraction * area_arr**dynamic_exponent
+        + (1.0 - dynamic_fraction) * area_arr**leakage_exponent
+    )
+    return float(result) if np.isscalar(area) else result
+
+
+def efficiency_vs_area(
+    areas: np.ndarray, exponent: float = 0.5
+) -> dict[str, np.ndarray]:
+    """Performance, power, and perf/W across core sizes.
+
+    perf/W ~ area^(exponent - 1): strictly decreasing for exponent < 1 —
+    the quantitative case for small cores.
+    """
+    areas = np.asarray(areas, dtype=float)
+    perf = core_performance(areas, exponent)
+    power = core_power(areas)
+    return {
+        "area": areas,
+        "performance": np.asarray(perf),
+        "power": np.asarray(power),
+        "perf_per_watt": np.asarray(perf) / np.asarray(power),
+    }
+
+
+def equal_power_core_count(big_core_area: float) -> float:
+    """Number of base cores that fit in one big core's power budget.
+
+    A base core has unit power, so the count equals the big core's
+    relative power (~its area).
+    """
+    if big_core_area <= 0:
+        raise ValueError("area must be positive")
+    return float(core_power(big_core_area))
+
+
+def throughput_ratio_many_small_vs_one_big(
+    big_core_area: float,
+    parallel_fraction: float = 1.0,
+    pollack_exponent: float = 0.5,
+) -> float:
+    """Throughput of area-equivalent small cores over one big core.
+
+    With area A spent on one big core vs A unit cores: big does A^e,
+    small do f*A + (1-f)*1 work-rate under Amdahl with serial work on a
+    unit core.  Ratio > 1 means the multicore wins.
+    """
+    if big_core_area < 1:
+        raise ValueError("big core must be at least one base core")
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError("parallel_fraction must be in [0, 1]")
+    big = core_performance(big_core_area, pollack_exponent)
+    # Amdahl on n unit cores (speedup relative to one unit core):
+    n = big_core_area
+    f = parallel_fraction
+    small = 1.0 / ((1.0 - f) + f / n) if n > 0 else 1.0
+    return small / big

@@ -1,0 +1,136 @@
+"""Core power/energy model tied to the technology node database.
+
+Bridges the processor models to :mod:`repro.technology`: given a node
+and a core description (transistor count, activity, frequency), produce
+watts and joules-per-instruction, including the speculation overheads
+(fetch/decode/predict/window) that make big OoO cores energy-expensive —
+the quantitative half of the paper's "energy first" pivot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..technology.node import TechnologyNode, get_node
+
+
+@dataclass(frozen=True)
+class CoreDescriptor:
+    """A core's physical footprint and microarchitectural class.
+
+    ``overhead_fraction`` is the share of switched energy spent on
+    *instruction delivery and speculation* (fetch, decode, rename,
+    predict, wakeup/select) rather than useful execution — ~60-75% for
+    an aggressive OoO core, ~25-40% for a simple in-order core
+    (published breakdowns; e.g. Horowitz ISSCC'14 keynote numbers).
+    """
+
+    name: str
+    transistors: float
+    activity: float = 0.1
+    overhead_fraction: float = 0.6
+    ipc: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.transistors <= 0:
+            raise ValueError("transistors must be positive")
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        if not 0.0 <= self.overhead_fraction < 1.0:
+            raise ValueError("overhead_fraction must be in [0, 1)")
+        if self.ipc <= 0:
+            raise ValueError("ipc must be positive")
+
+
+#: Representative cores (transistor counts are order-of-magnitude).
+BIG_OOO_CORE = CoreDescriptor(
+    name="big-ooo", transistors=250e6, activity=0.12,
+    overhead_fraction=0.70, ipc=2.5,
+)
+LITTLE_INORDER_CORE = CoreDescriptor(
+    name="little-inorder", transistors=25e6, activity=0.10,
+    overhead_fraction=0.35, ipc=1.0,
+)
+MICROCONTROLLER_CORE = CoreDescriptor(
+    name="microcontroller", transistors=0.5e6, activity=0.08,
+    overhead_fraction=0.20, ipc=0.8,
+)
+
+
+@dataclass(frozen=True)
+class CorePowerReport:
+    """Power/energy figures for one core on one node."""
+
+    frequency_hz: float
+    dynamic_power_w: float
+    leakage_power_w: float
+    total_power_w: float
+    instructions_per_second: float
+    energy_per_instruction_j: float
+    useful_energy_per_instruction_j: float
+
+    @property
+    def ops_per_watt(self) -> float:
+        if self.total_power_w <= 0:
+            return float("inf")
+        return self.instructions_per_second / self.total_power_w
+
+
+class CorePowerModel:
+    """Evaluate a :class:`CoreDescriptor` on a :class:`TechnologyNode`."""
+
+    def __init__(self, node: TechnologyNode | str) -> None:
+        self.node = get_node(node) if isinstance(node, str) else node
+
+    def evaluate(
+        self,
+        core: CoreDescriptor,
+        frequency_hz: Optional[float] = None,
+        vdd_v: Optional[float] = None,
+    ) -> CorePowerReport:
+        """Power/energy at ``frequency_hz`` (default node nominal).
+
+        Voltage override scales dynamic power by (V/Vnom)^2 and
+        leakage by (V/Vnom); callers pairing low V with high f are on
+        their own (that's what the NTV model's error analysis is for).
+        """
+        node = self.node
+        f = node.max_frequency_ghz() * 1e9 if frequency_hz is None else frequency_hz
+        if f <= 0:
+            raise ValueError("frequency must be positive")
+        v_scale = 1.0
+        leak_scale = 1.0
+        if vdd_v is not None:
+            if vdd_v <= 0:
+                raise ValueError("vdd must be positive")
+            v_scale = (vdd_v / node.vdd_v) ** 2
+            leak_scale = vdd_v / node.vdd_v
+        dyn = node.dynamic_power_w(core.transistors, f, core.activity) * v_scale
+        leak = node.leakage_power_w(core.transistors) * leak_scale
+        total = dyn + leak
+        ips = core.ipc * f
+        epi = total / ips if ips > 0 else float("inf")
+        useful = epi * (1.0 - core.overhead_fraction)
+        return CorePowerReport(
+            frequency_hz=f,
+            dynamic_power_w=dyn,
+            leakage_power_w=leak,
+            total_power_w=total,
+            instructions_per_second=ips,
+            energy_per_instruction_j=epi,
+            useful_energy_per_instruction_j=useful,
+        )
+
+    def overhead_ratio(
+        self, big: CoreDescriptor, little: CoreDescriptor
+    ) -> float:
+        """Energy-per-instruction ratio big/little at nominal frequency.
+
+        The first-order argument for heterogeneous multicore: the same
+        instruction costs several times more on the big core.
+        """
+        return (
+            self.evaluate(big).energy_per_instruction_j
+            / self.evaluate(little).energy_per_instruction_j
+        )

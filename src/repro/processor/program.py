@@ -1,0 +1,283 @@
+"""Synthetic program/trace generation.
+
+Real SPEC-style traces are unavailable offline, so core and memory models
+run on synthetic traces with controlled statistics: instruction mix,
+register dependency distance, branch bias/patterns, and memory address
+locality.  These four knobs are what first-order CPI/ILP/cache behaviour
+actually depends on, which is why limit studies (Wall, 1991) were framed
+in exactly these terms.
+
+Address streams come in the canonical flavors (sequential, strided,
+random, Zipf-reuse) used by the cache and memory-energy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+from .isa import NUM_REGISTERS, Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of each instruction class; must sum to 1.
+
+    Defaults are a generic integer-code mix (loads ~25%, branches ~15%),
+    the textbook SPECint-like blend.
+    """
+
+    alu: float = 0.40
+    mul: float = 0.03
+    div: float = 0.01
+    fpu: float = 0.05
+    fma: float = 0.01
+    load: float = 0.25
+    store: float = 0.10
+    branch: float = 0.15
+
+    def __post_init__(self) -> None:
+        total = (
+            self.alu + self.mul + self.div + self.fpu + self.fma
+            + self.load + self.store + self.branch
+        )
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"mix must sum to 1, got {total}")
+        if min(
+            self.alu, self.mul, self.div, self.fpu, self.fma,
+            self.load, self.store, self.branch,
+        ) < 0:
+            raise ValueError("mix fractions must be non-negative")
+
+    def as_items(self) -> list[tuple[Opcode, float]]:
+        return [
+            (Opcode.ALU, self.alu),
+            (Opcode.MUL, self.mul),
+            (Opcode.DIV, self.div),
+            (Opcode.FPU, self.fpu),
+            (Opcode.FMA, self.fma),
+            (Opcode.LOAD, self.load),
+            (Opcode.STORE, self.store),
+            (Opcode.BRANCH, self.branch),
+        ]
+
+
+#: Compute-heavy mix for FP kernels (high FMA, low branch).
+FP_KERNEL_MIX = InstructionMix(
+    alu=0.20, mul=0.02, div=0.01, fpu=0.15, fma=0.25,
+    load=0.25, store=0.10, branch=0.02,
+)
+
+#: Pointer-chasing / control-heavy mix (big-data graph traversal).
+POINTER_CHASE_MIX = InstructionMix(
+    alu=0.30, mul=0.01, div=0.00, fpu=0.00, fma=0.00,
+    load=0.40, store=0.09, branch=0.20,
+)
+
+
+def generate_trace(
+    n: int,
+    mix: InstructionMix = InstructionMix(),
+    dependency_distance: float = 4.0,
+    branch_taken_bias: float = 0.6,
+    address_stream: Optional[np.ndarray] = None,
+    rng: RngLike = None,
+) -> list[Instruction]:
+    """Generate a synthetic dynamic trace of ``n`` instructions.
+
+    ``dependency_distance`` is the mean geometric gap (in instructions)
+    between a value's producer and consumer; small values serialize the
+    code, large values expose ILP.  Source registers are chosen to point
+    at the destinations of recent instructions accordingly.
+
+    ``address_stream`` supplies load/store addresses (cycled if shorter
+    than needed); default is a Zipf-reuse stream.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if dependency_distance <= 0:
+        raise ValueError("dependency_distance must be positive")
+    if not 0.0 <= branch_taken_bias <= 1.0:
+        raise ValueError("branch_taken_bias must be in [0, 1]")
+    gen = resolve_rng(rng)
+
+    opcodes, probs = zip(*[(op, p) for op, p in mix.as_items()])
+    probs_arr = np.asarray(probs)
+    probs_arr = probs_arr / probs_arr.sum()
+    choices = gen.choice(len(opcodes), size=n, p=probs_arr)
+
+    if address_stream is None:
+        address_stream = zipf_addresses(max(n, 1), rng=gen)
+    addr_idx = 0
+
+    # Ring of recent destination registers for dependency construction.
+    recent_dst: list[int] = []
+    trace: list[Instruction] = []
+    p_geom = min(1.0, 1.0 / dependency_distance)
+    # Static-branch pool: dynamic branches map onto a small set of
+    # "static" PCs (loop/if sites) so predictors can learn per-site bias.
+    n_static_branches = 32
+    branch_bias_per_site = gen.random(n_static_branches) * 0.6 + 0.3
+
+    for i in range(n):
+        opcode = opcodes[choices[i]]
+        srcs: tuple[int, ...] = ()
+        if opcode is not Opcode.NOP and recent_dst:
+            n_srcs = 2 if opcode in (Opcode.ALU, Opcode.MUL, Opcode.FPU) else (
+                3 if opcode is Opcode.FMA else 1
+            )
+            picked = []
+            for _ in range(n_srcs):
+                back = int(gen.geometric(p_geom))
+                if back <= len(recent_dst):
+                    picked.append(recent_dst[-back])
+                else:
+                    picked.append(int(gen.integers(NUM_REGISTERS)))
+            srcs = tuple(picked)
+
+        dst = None
+        address = None
+        taken = None
+        if opcode in (Opcode.ALU, Opcode.MUL, Opcode.DIV, Opcode.FPU,
+                      Opcode.FMA, Opcode.LOAD):
+            dst = int(gen.integers(NUM_REGISTERS))
+        if opcode in (Opcode.LOAD, Opcode.STORE):
+            address = int(address_stream[addr_idx % len(address_stream)])
+            addr_idx += 1
+        pc = i * 4
+        if opcode is Opcode.BRANCH:
+            site = int(gen.integers(n_static_branches))
+            pc = site * 4
+            # Mix the global bias with the per-site bias so streams have
+            # both predictable sites and global skew.
+            p_taken = 0.5 * branch_taken_bias + 0.5 * branch_bias_per_site[site]
+            taken = bool(gen.random() < p_taken)
+
+        trace.append(
+            Instruction(opcode=opcode, dst=dst, srcs=srcs,
+                        address=address, taken=taken, pc=pc)
+        )
+        if dst is not None:
+            recent_dst.append(dst)
+            if len(recent_dst) > 64:
+                recent_dst.pop(0)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Address streams
+# ---------------------------------------------------------------------------
+
+
+def sequential_addresses(
+    n: int, start: int = 0, stride: int = 8
+) -> np.ndarray:
+    """Unit-stride streaming access (STREAM-like), byte addresses."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    return start + stride * np.arange(n, dtype=np.int64)
+
+
+def strided_addresses(
+    n: int, stride_bytes: int, start: int = 0
+) -> np.ndarray:
+    """Fixed-stride access (column-major matrix walk)."""
+    if stride_bytes <= 0:
+        raise ValueError("stride must be positive")
+    return start + stride_bytes * np.arange(n, dtype=np.int64)
+
+
+def random_addresses(
+    n: int,
+    footprint_bytes: int = 1 << 24,
+    align: int = 8,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Uniform random access over a footprint (worst-case locality)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if footprint_bytes <= 0 or align <= 0:
+        raise ValueError("footprint and align must be positive")
+    gen = resolve_rng(rng)
+    slots = max(footprint_bytes // align, 1)
+    return (gen.integers(0, slots, size=n) * align).astype(np.int64)
+
+
+def zipf_addresses(
+    n: int,
+    unique: int = 4096,
+    exponent: float = 1.2,
+    line_bytes: int = 64,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Zipf-distributed reuse over ``unique`` cache lines.
+
+    The canonical model for skewed reuse (hot data structures); gives
+    realistic cache hit-rate curves.  Addresses are line-aligned and
+    hot lines are scattered across the address space (hashed) so that
+    popularity does not correlate with adjacency.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if unique <= 0 or line_bytes <= 0:
+        raise ValueError("unique and line_bytes must be positive")
+    if exponent <= 1.0:
+        raise ValueError("zipf exponent must exceed 1")
+    gen = resolve_rng(rng)
+    ranks = gen.zipf(exponent, size=n)
+    ranks = np.minimum(ranks, unique) - 1  # 0-based, clamped
+    # Hash rank -> line id so popular lines are not spatially adjacent.
+    scattered = (ranks * 2654435761) % unique
+    return (scattered * line_bytes).astype(np.int64)
+
+
+def working_set_addresses(
+    n: int,
+    working_set_bytes: int,
+    line_bytes: int = 64,
+    locality: float = 0.9,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Two-level locality: fraction ``locality`` of accesses hit a hot
+    eighth of the working set, the rest wander the whole set."""
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be in [0, 1]")
+    if working_set_bytes <= 0 or line_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    gen = resolve_rng(rng)
+    lines = max(working_set_bytes // line_bytes, 8)
+    hot_lines = max(lines // 8, 1)
+    hot = gen.random(n) < locality
+    ids = np.where(
+        hot,
+        gen.integers(0, hot_lines, size=n),
+        gen.integers(0, lines, size=n),
+    )
+    return (ids * line_bytes).astype(np.int64)
+
+
+def branch_outcome_stream(
+    n: int,
+    bias: float = 0.9,
+    pattern: Optional[Iterable[bool]] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Branch outcomes: biased Bernoulli, or a repeating pattern
+    (e.g. loop branches: ``[True]*k + [False]``)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if pattern is not None:
+        base = np.array(list(pattern), dtype=bool)
+        if base.size == 0:
+            raise ValueError("pattern must be non-empty")
+        reps = int(np.ceil(n / base.size))
+        return np.tile(base, reps)[:n]
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError("bias must be in [0, 1]")
+    gen = resolve_rng(rng)
+    return gen.random(n) < bias

@@ -1,0 +1,57 @@
+"""Sensor substrate: biometric signals, node energy, harvesting and
+intermittent computing, duty cycling, approximate computing
+(Section 2.1, Appendix A; experiments E14/E15).
+"""
+
+from .approximate import (
+    energy_quality_frontier,
+    precision_energy_scale,
+    precision_sweep,
+    quantize,
+    snr_db,
+    subsample_sweep,
+    unreliable_storage_noise,
+)
+from .duty import DutyCycleModel, lifetime_latency_tradeoff
+from .harvest import (
+    Harvester,
+    IntermittentConfig,
+    IntermittentResult,
+    checkpoint_sweep,
+    simulate_intermittent,
+)
+from .platform import SensorNode, filtering_tradeoff, pipeline_ledger
+from .signals import (
+    ECGConfig,
+    detector_quality,
+    event_rate,
+    synthetic_ecg,
+    threshold_detector,
+    zscore_detector,
+)
+
+__all__ = [
+    "DutyCycleModel",
+    "ECGConfig",
+    "Harvester",
+    "IntermittentConfig",
+    "IntermittentResult",
+    "SensorNode",
+    "checkpoint_sweep",
+    "detector_quality",
+    "energy_quality_frontier",
+    "event_rate",
+    "filtering_tradeoff",
+    "lifetime_latency_tradeoff",
+    "pipeline_ledger",
+    "precision_energy_scale",
+    "precision_sweep",
+    "quantize",
+    "simulate_intermittent",
+    "snr_db",
+    "subsample_sweep",
+    "synthetic_ecg",
+    "threshold_detector",
+    "unreliable_storage_noise",
+    "zscore_detector",
+]

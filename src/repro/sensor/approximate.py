@@ -1,0 +1,180 @@
+"""Approximate computing on sensor data (experiment E15).
+
+"Given that sensor data is inherently approximate, it opens the
+potential to effectively apply approximate computing techniques, which
+can lead to significant energy savings (and complexity reduction)"
+(Section 2.1); "approximate data types" (Section 2.4).
+
+Three mechanisms, each with an energy model and a measurable quality
+cost on real (synthetic) signals:
+
+* **Precision scaling** — quantize to b bits; multiplier energy scales
+  ~quadratically with operand width, adders/data movement linearly.
+* **Sampling reduction** — process every k-th sample (loop
+  perforation's signal-processing cousin).
+* **Approximate storage** — let a fraction of bits be unreliable
+  (drift-prone MLC cells / low-Vdd SRAM) and measure the SNR hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+
+
+def quantize(signal: np.ndarray, bits: int, full_scale: float = None) -> np.ndarray:
+    """Uniform mid-rise quantization to ``bits`` bits."""
+    if bits < 1 or bits > 32:
+        raise ValueError("bits must be in [1, 32]")
+    x = np.asarray(signal, dtype=float)
+    fs = float(np.max(np.abs(x))) if full_scale is None else full_scale
+    if fs <= 0:
+        return np.zeros_like(x)
+    levels = 2 ** (bits - 1)
+    step = fs / levels
+    return np.clip(np.round(x / step), -levels, levels - 1) * step
+
+
+def snr_db(reference: np.ndarray, approximate: np.ndarray) -> float:
+    """Signal-to-noise ratio of an approximation [dB]."""
+    ref = np.asarray(reference, dtype=float)
+    approx = np.asarray(approximate, dtype=float)
+    if ref.shape != approx.shape:
+        raise ValueError("shapes must match")
+    signal_power = float(np.mean(ref**2))
+    noise_power = float(np.mean((ref - approx) ** 2))
+    if noise_power == 0:
+        return float("inf")
+    if signal_power == 0:
+        return -float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def precision_energy_scale(
+    bits: int,
+    reference_bits: int = 16,
+    multiplier_fraction: float = 0.4,
+) -> float:
+    """Relative compute energy at ``bits`` vs ``reference_bits``.
+
+    Multiplier array energy ~ b^2; adders, registers, and movement ~ b.
+    """
+    if bits < 1 or reference_bits < 1:
+        raise ValueError("bit widths must be >= 1")
+    if not 0.0 <= multiplier_fraction <= 1.0:
+        raise ValueError("multiplier_fraction must be in [0, 1]")
+    quad = (bits / reference_bits) ** 2
+    lin = bits / reference_bits
+    return multiplier_fraction * quad + (1.0 - multiplier_fraction) * lin
+
+
+def precision_sweep(
+    signal: np.ndarray,
+    bit_widths=(4, 6, 8, 10, 12, 16),
+    reference_bits: int = 16,
+) -> dict[str, np.ndarray]:
+    """Energy vs quality across precisions (the E15 curve)."""
+    x = np.asarray(signal, dtype=float)
+    if x.size == 0:
+        raise ValueError("signal must be non-empty")
+    widths = list(bit_widths)
+    if not widths:
+        raise ValueError("need at least one bit width")
+    energies, quality = [], []
+    for b in widths:
+        approx = quantize(x, int(b))
+        energies.append(precision_energy_scale(int(b), reference_bits))
+        quality.append(snr_db(x, approx))
+    return {
+        "bits": np.asarray(widths, dtype=float),
+        "relative_energy": np.array(energies),
+        "snr_db": np.array(quality),
+    }
+
+
+def subsample_sweep(
+    signal: np.ndarray,
+    factors=(1, 2, 4, 8, 16),
+) -> dict[str, np.ndarray]:
+    """Energy vs quality for processing every k-th sample.
+
+    Quality is the SNR of the linear-interpolation reconstruction —
+    smooth biosignals tolerate aggressive subsampling, which is exactly
+    why "sensor data is inherently approximate" pays off.
+    """
+    x = np.asarray(signal, dtype=float)
+    if x.size < 4:
+        raise ValueError("signal too short")
+    ks = list(factors)
+    if not ks or any(k < 1 for k in ks):
+        raise ValueError("factors must be >= 1")
+    energies, quality = [], []
+    idx = np.arange(x.size)
+    for k in ks:
+        kept = idx[:: int(k)]
+        reconstructed = np.interp(idx, kept, x[kept])
+        energies.append(1.0 / k)
+        quality.append(snr_db(x, reconstructed))
+    return {
+        "factor": np.asarray(ks, dtype=float),
+        "relative_energy": np.array(energies),
+        "snr_db": np.array(quality),
+    }
+
+
+def unreliable_storage_noise(
+    signal: np.ndarray,
+    bit_error_rate: float,
+    bits: int = 12,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Flip stored bits at ``bit_error_rate``; return the corrupted signal.
+
+    Models approximate storage (low-refresh DRAM / drifting MLC): each
+    of the ``bits`` positions of each quantized sample flips
+    independently.  Errors in high-order bits hurt more — emergent, not
+    assumed.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError("bit_error_rate must be in [0, 1]")
+    if bits < 1 or bits > 31:
+        raise ValueError("bits must be in [1, 31]")
+    gen = resolve_rng(rng)
+    x = np.asarray(signal, dtype=float)
+    fs = float(np.max(np.abs(x))) or 1.0
+    levels = 2 ** (bits - 1)
+    step = fs / levels
+    codes = np.clip(np.round(x / step) + levels, 0, 2**bits - 1).astype(
+        np.int64
+    )
+    flips = gen.random((x.size, bits)) < bit_error_rate
+    flip_mask = np.zeros(x.size, dtype=np.int64)
+    for b in range(bits):
+        flip_mask |= flips[:, b].astype(np.int64) << b
+    corrupted = codes ^ flip_mask
+    return (corrupted - levels) * step
+
+
+def energy_quality_frontier(
+    signal: np.ndarray,
+    min_snr_db: float = 20.0,
+) -> dict[str, float]:
+    """Cheapest precision meeting a quality floor.
+
+    The approximate-computing deployment question: how much energy can
+    precision scaling save while keeping SNR above ``min_snr_db``?
+    """
+    sweep = precision_sweep(signal)
+    ok = sweep["snr_db"] >= min_snr_db
+    if not np.any(ok):
+        raise ValueError(
+            f"no precision in the sweep meets {min_snr_db} dB"
+        )
+    i = int(np.argmax(ok))  # first (cheapest) width meeting the floor
+    return {
+        "bits": float(sweep["bits"][i]),
+        "relative_energy": float(sweep["relative_energy"][i]),
+        "snr_db": float(sweep["snr_db"][i]),
+        "energy_saving": 1.0 - float(sweep["relative_energy"][i]),
+    }

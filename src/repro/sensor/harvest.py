@@ -1,0 +1,195 @@
+"""Energy harvesting and intermittent computing (paper Section 2.1).
+
+"This environment brings exciting new opportunities like designing
+systems that can leverage intermittent power (e.g., from harvested
+energy)."
+
+The simulator models a harvester charging a small capacitor; the node
+executes a task in chunks, checkpointing progress to NVM.  When the
+capacitor drains below the operating threshold, execution dies and
+resumes from the last checkpoint once recharged.  The classic
+intermittent-computing tradeoff falls out: frequent checkpoints waste
+energy, rare checkpoints waste re-executed work; forward progress peaks
+in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class Harvester:
+    """Stochastic power source (solar/RF-class)."""
+
+    mean_power_w: float = 2e-3
+    variability: float = 0.5  # coefficient of variation
+    blackout_prob: float = 0.05  # per interval: zero harvest
+
+    def __post_init__(self) -> None:
+        if self.mean_power_w <= 0:
+            raise ValueError("mean power must be positive")
+        if self.variability < 0:
+            raise ValueError("variability must be non-negative")
+        if not 0.0 <= self.blackout_prob <= 1.0:
+            raise ValueError("blackout_prob must be in [0, 1]")
+
+    def sample_power(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Harvest power per interval [W]."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        gen = resolve_rng(rng)
+        if self.variability == 0:
+            power = np.full(n, self.mean_power_w)
+        else:
+            sigma = np.sqrt(np.log(1 + self.variability**2))
+            mu = np.log(self.mean_power_w) - sigma**2 / 2
+            power = gen.lognormal(mu, sigma, size=n)
+        power[gen.random(n) < self.blackout_prob] = 0.0
+        return power
+
+
+@dataclass(frozen=True)
+class IntermittentConfig:
+    """Node capacitor + task parameters."""
+
+    capacitor_j: float = 1e-3
+    turn_on_j: float = 6e-4  # start executing above this
+    brown_out_j: float = 1e-4  # die below this
+    active_power_w: float = 5e-3
+    checkpoint_cost_j: float = 2e-5
+    work_per_interval_j: float = 5e-5  # energy for one work quantum
+    interval_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.capacitor_j <= 0:
+            raise ValueError("capacitor must be positive")
+        if not 0 <= self.brown_out_j < self.turn_on_j <= self.capacitor_j:
+            raise ValueError("need brown_out < turn_on <= capacitor")
+        if self.active_power_w <= 0 or self.interval_s <= 0:
+            raise ValueError("power and interval must be positive")
+        if self.checkpoint_cost_j < 0 or self.work_per_interval_j <= 0:
+            raise ValueError("bad checkpoint/work energies")
+
+
+@dataclass
+class IntermittentResult:
+    total_quanta_completed: int
+    committed_quanta: int
+    re_executed_quanta: int
+    checkpoints: int
+    power_failures: int
+    intervals: int
+
+    @property
+    def forward_progress_rate(self) -> float:
+        """Committed work quanta per interval."""
+        if self.intervals == 0:
+            return float("nan")
+        return self.committed_quanta / self.intervals
+
+    @property
+    def waste_fraction(self) -> float:
+        total = self.total_quanta_completed
+        if total == 0:
+            return 0.0
+        return self.re_executed_quanta / total
+
+
+def simulate_intermittent(
+    harvester: Harvester,
+    config: IntermittentConfig,
+    checkpoint_interval_quanta: int,
+    n_intervals: int = 20_000,
+    rng: RngLike = None,
+) -> IntermittentResult:
+    """Run the charge-execute-die-resume loop.
+
+    ``checkpoint_interval_quanta`` work quanta execute between
+    checkpoints; on a brown-out everything since the last checkpoint is
+    lost and re-executed after recharge.
+    """
+    if checkpoint_interval_quanta < 1:
+        raise ValueError("checkpoint interval must be >= 1")
+    if n_intervals < 1:
+        raise ValueError("need at least one interval")
+    gen = resolve_rng(rng)
+    harvest = harvester.sample_power(n_intervals, rng=gen) * config.interval_s
+
+    stored = 0.0
+    executing = False
+    uncommitted = 0
+    committed = 0
+    total_done = 0
+    re_executed = 0
+    checkpoints = 0
+    failures = 0
+
+    for i in range(n_intervals):
+        stored = min(stored + harvest[i], config.capacitor_j)
+        if not executing and stored >= config.turn_on_j:
+            executing = True
+        if not executing:
+            continue
+        # Execute one quantum if energy allows.
+        needed = config.work_per_interval_j
+        if stored - needed < config.brown_out_j:
+            # Brown-out: lose uncommitted work.
+            executing = False
+            failures += 1
+            re_executed += uncommitted
+            uncommitted = 0
+            continue
+        stored -= needed
+        uncommitted += 1
+        total_done += 1
+        if uncommitted >= checkpoint_interval_quanta:
+            if stored - config.checkpoint_cost_j >= config.brown_out_j:
+                stored -= config.checkpoint_cost_j
+                committed += uncommitted
+                uncommitted = 0
+                checkpoints += 1
+            else:
+                executing = False
+                failures += 1
+                re_executed += uncommitted
+                uncommitted = 0
+    return IntermittentResult(
+        total_quanta_completed=total_done,
+        committed_quanta=committed,
+        re_executed_quanta=re_executed,
+        checkpoints=checkpoints,
+        power_failures=failures,
+        intervals=n_intervals,
+    )
+
+
+def checkpoint_sweep(
+    intervals_quanta,
+    harvester: Harvester = Harvester(),
+    config: IntermittentConfig = IntermittentConfig(),
+    n_intervals: int = 20_000,
+    rng: RngLike = 0,
+) -> dict[str, np.ndarray]:
+    """Forward progress vs. checkpoint interval — the canonical
+    intermittent-computing U-curve (too often = overhead; too rarely =
+    lost work)."""
+    ks = list(intervals_quanta)
+    if not ks:
+        raise ValueError("need at least one interval setting")
+    progress, waste = [], []
+    for k in ks:
+        result = simulate_intermittent(
+            harvester, config, int(k), n_intervals=n_intervals, rng=rng
+        )
+        progress.append(result.forward_progress_rate)
+        waste.append(result.waste_fraction)
+    return {
+        "checkpoint_interval": np.asarray(ks, dtype=float),
+        "forward_progress": np.array(progress),
+        "waste_fraction": np.array(waste),
+    }

@@ -1,0 +1,209 @@
+"""Beyond-CMOS device candidates (paper Section 2.3).
+
+"As standard CMOS reaches fundamental scaling limits, the search
+continues for replacement circuit technologies (e.g., sub/near-threshold
+CMOS, QWFETs, TFETs, and QCAs) that have a winning combination of
+density, speed, power consumption, and reliability."
+
+A survey-shaped candidate table and the figure of merit that decides
+between them: the energy-delay frontier at matched throughput.  The
+steep-subthreshold devices (TFET-class) win the low-voltage/low-energy
+corner but lose peak speed; the model quantifies the crossover — the
+"winning combination" is workload-dependent, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceCandidate:
+    """First-order electrical personality of a switch technology.
+
+    ``subthreshold_slope_mv_dec`` bounds how sharply the device turns
+    off (60 mV/dec thermodynamic floor for thermionic transport; TFETs
+    tunnel below it).  ``on_current_rel`` scales drive strength (speed)
+    against the silicon baseline at the same voltage.
+    """
+
+    name: str
+    subthreshold_slope_mv_dec: float
+    on_current_rel: float
+    vdd_nominal_v: float
+    vth_v: float
+    cap_rel: float = 1.0  # switched capacitance vs CMOS
+    maturity: str = "research"
+
+    def __post_init__(self) -> None:
+        if self.subthreshold_slope_mv_dec <= 0:
+            raise ValueError("slope must be positive")
+        if self.on_current_rel <= 0 or self.cap_rel <= 0:
+            raise ValueError("relative currents/caps must be positive")
+        if not 0 < self.vth_v < self.vdd_nominal_v:
+            raise ValueError("need 0 < vth < vdd")
+
+    def delay_rel(self, vdd_v: float) -> float:
+        """Gate delay vs the CMOS baseline at its nominal point.
+
+        Above threshold: alpha-power-ish CV/I with I ~ Ion_rel *
+        (V - Vth)^1.3; below: exponential with the device's slope.
+        """
+        if vdd_v <= 0:
+            raise ValueError("vdd must be positive")
+        alpha = 1.3
+        if vdd_v > self.vth_v + 0.05:
+            drive = self.on_current_rel * (vdd_v - self.vth_v) ** alpha
+            return self.cap_rel * vdd_v / drive
+        boundary = self.vth_v + 0.05
+        base = self.cap_rel * boundary / (
+            self.on_current_rel * (boundary - self.vth_v) ** alpha
+        )
+        slope_v = self.subthreshold_slope_mv_dec / 1000.0
+        return base * 10.0 ** ((boundary - vdd_v) / slope_v)
+
+    @property
+    def ioff_rel(self) -> float:
+        """Off-state leakage current, relative: drive attenuated by the
+        sub-threshold decades between Vth and 0 at this device's slope.
+        The steep-slope devices' whole selling point lives here."""
+        return self.on_current_rel * 10.0 ** (
+            -self.vth_v / (self.subthreshold_slope_mv_dec / 1000.0)
+        )
+
+    #: Calibration constant setting CMOS-HP nominal leakage to ~25%.
+    _LEAK_WEIGHT = 300.0
+
+    def energy_rel(self, vdd_v: float) -> float:
+        """Energy per switch: C V^2 dynamic + leakage x (slow) delay.
+
+        Relative to CMOS-HP dynamic energy at 0.9 V.  The leakage term
+        is what stops leaky devices from riding V down: energy/op =
+        dynamic + Ioff x V x delay, and delay stretches at low V.
+        """
+        if vdd_v <= 0:
+            raise ValueError("vdd must be positive")
+        dynamic = self.cap_rel * vdd_v**2 / 0.81
+        leak = (
+            self._LEAK_WEIGHT * self.ioff_rel * vdd_v * self.delay_rel(vdd_v)
+        )
+        return dynamic + leak
+
+
+#: Survey-shaped candidates (relative personalities, not datasheets).
+CANDIDATES: Dict[str, DeviceCandidate] = {
+    "cmos_hp": DeviceCandidate(
+        name="cmos_hp", subthreshold_slope_mv_dec=90.0,
+        on_current_rel=1.0, vdd_nominal_v=0.9, vth_v=0.28,
+        maturity="production",
+    ),
+    "cmos_ntv": DeviceCandidate(
+        name="cmos_ntv", subthreshold_slope_mv_dec=80.0,
+        on_current_rel=0.8, vdd_nominal_v=0.5, vth_v=0.30,
+        maturity="production",
+    ),
+    "qwfet": DeviceCandidate(
+        # III-V quantum-well FET: big drive at low V, somewhat leaky.
+        name="qwfet", subthreshold_slope_mv_dec=90.0,
+        on_current_rel=2.5, vdd_nominal_v=0.6, vth_v=0.25,
+        cap_rel=0.8,
+    ),
+    "tfet": DeviceCandidate(
+        # Tunnel FET: sub-60 mV/dec slope => tiny Ioff, weak drive.
+        name="tfet", subthreshold_slope_mv_dec=35.0,
+        on_current_rel=0.15, vdd_nominal_v=0.35, vth_v=0.15,
+        cap_rel=0.9,
+    ),
+    "qca": DeviceCandidate(
+        # Quantum-dot cellular automata: ultra-low switching energy,
+        # orders-of-magnitude slower clocking in any near-term
+        # realization.
+        name="qca", subthreshold_slope_mv_dec=30.0,
+        on_current_rel=5e-4, vdd_nominal_v=0.2, vth_v=0.10,
+        cap_rel=0.05,
+    ),
+}
+
+
+def get_candidate(name: str) -> DeviceCandidate:
+    try:
+        return CANDIDATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown candidate {name!r}; available: {sorted(CANDIDATES)}"
+        ) from None
+
+
+def energy_delay_frontier(
+    candidate: DeviceCandidate,
+    vdd_lo: float = 0.1,
+    vdd_hi: float | None = None,
+    n: int = 40,
+) -> dict[str, np.ndarray]:
+    """(delay, energy) pairs along the device's voltage range."""
+    hi = candidate.vdd_nominal_v if vdd_hi is None else vdd_hi
+    if not 0 < vdd_lo < hi:
+        raise ValueError("need 0 < vdd_lo < vdd_hi")
+    if n < 2:
+        raise ValueError("need at least two points")
+    vdd = np.linspace(vdd_lo, hi, n)
+    return {
+        "vdd": vdd,
+        "delay_rel": np.array([candidate.delay_rel(v) for v in vdd]),
+        "energy_rel": np.array([candidate.energy_rel(v) for v in vdd]),
+    }
+
+
+def best_device_at_speed(
+    max_delay_rel: float,
+    candidates: Dict[str, DeviceCandidate] | None = None,
+) -> dict[str, float | str]:
+    """Lowest-energy candidate meeting a delay budget.
+
+    The paper-shaped outcome: relax the delay budget and the winner
+    flips from CMOS/QWFET (fast) to TFET-class (efficient).
+    """
+    if max_delay_rel <= 0:
+        raise ValueError("delay budget must be positive")
+    pool = candidates if candidates is not None else CANDIDATES
+    if not pool:
+        raise ValueError("no candidates supplied")
+    best_name = None
+    best_energy = np.inf
+    best_vdd = np.nan
+    for name, dev in pool.items():
+        frontier = energy_delay_frontier(dev)
+        ok = frontier["delay_rel"] <= max_delay_rel
+        if not np.any(ok):
+            continue
+        i = int(np.argmin(np.where(ok, frontier["energy_rel"], np.inf)))
+        if frontier["energy_rel"][i] < best_energy:
+            best_energy = float(frontier["energy_rel"][i])
+            best_name = name
+            best_vdd = float(frontier["vdd"][i])
+    if best_name is None:
+        raise ValueError(f"no device meets delay budget {max_delay_rel}")
+    return {
+        "device": best_name,
+        "energy_rel": best_energy,
+        "vdd_v": best_vdd,
+    }
+
+
+def crossover_table(
+    delay_budgets=(0.5, 1.0, 3.0, 10.0, 100.0, 1e4),
+) -> dict[float, str]:
+    """Winner per delay budget — the workload-dependence headline."""
+    budgets = list(delay_budgets)
+    if not budgets:
+        raise ValueError("need at least one budget")
+    out = {}
+    for b in budgets:
+        try:
+            out[float(b)] = str(best_device_at_speed(float(b))["device"])
+        except ValueError:
+            out[float(b)] = "none"
+    return out

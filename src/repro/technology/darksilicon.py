@@ -1,0 +1,184 @@
+"""Dark-silicon projection (paper Table 2 / Section 2.2).
+
+Once Dennard scaling ends, a fixed chip power budget can no longer light
+up every transistor at full frequency: each generation the *powerable*
+fraction shrinks (Esmaeilzadeh et al., ISCA 2011).  The paper's
+"energy first / specialization" agenda is the response — dark area is
+cheap, so spend it on rarely-active accelerators.
+
+:func:`dark_silicon_fraction` computes the powerable fraction for one
+node + budget; :func:`dark_silicon_series` sweeps the node table;
+:class:`DimmingStrategy` compares the classic escape valves (lower
+frequency, fewer cores, near-threshold, specialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .node import NODES, TechnologyNode
+
+
+def powered_fraction(
+    node: TechnologyNode,
+    area_mm2: float,
+    power_budget_w: float,
+    frequency_hz: Optional[float] = None,
+    activity: float = 0.1,
+) -> float:
+    """Fraction of the die that can run at ``frequency_hz`` within budget.
+
+    Leakage is charged for the whole die (power-gating is imperfect and
+    dark transistors still leak via caches and always-on logic is not
+    modeled separately — a deliberate first-order choice matching the
+    published dark-silicon analyses).  Clamped to [0, 1]; 0 means the
+    budget cannot even cover leakage.
+    """
+    if power_budget_w <= 0:
+        raise ValueError("power budget must be positive")
+    tx = node.transistors_for_area(area_mm2)
+    leak = node.leakage_power_w(tx)
+    if leak >= power_budget_w:
+        return 0.0
+    f = node.max_frequency_ghz() * 1e9 if frequency_hz is None else frequency_hz
+    dyn_full = node.dynamic_power_w(tx, f, activity)
+    if dyn_full == 0.0:
+        return 1.0
+    return float(min(1.0, (power_budget_w - leak) / dyn_full))
+
+
+def dark_silicon_fraction(
+    node: TechnologyNode,
+    area_mm2: float,
+    power_budget_w: float,
+    **kwargs,
+) -> float:
+    """1 - powered fraction: the share of the chip that must stay dark."""
+    return 1.0 - powered_fraction(node, area_mm2, power_budget_w, **kwargs)
+
+
+def dark_silicon_series(
+    nodes: Sequence[TechnologyNode] = NODES,
+    area_mm2: float = 300.0,
+    power_budget_w: float = 100.0,
+    start_year: int = 2004,
+    **kwargs,
+) -> dict[str, np.ndarray]:
+    """Dark fraction per node from ``start_year`` on (the post-Dennard era).
+
+    Defaults model a high-end 300 mm^2 die under a 100 W socket — the
+    canonical published setup.  Earlier nodes are excluded because the
+    question is ill-posed while Dennard scaling still held.
+    """
+    chosen = [n for n in nodes if n.year >= start_year]
+    if not chosen:
+        raise ValueError(f"no nodes at or after {start_year}")
+    years = np.array([n.year for n in chosen], dtype=float)
+    dark = np.array(
+        [
+            dark_silicon_fraction(n, area_mm2, power_budget_w, **kwargs)
+            for n in chosen
+        ]
+    )
+    return {"years": years, "dark_fraction": dark, "names": np.array([n.name for n in chosen])}
+
+
+class Dimming(Enum):
+    """Escape valves for the dark-silicon problem."""
+
+    NONE = "run fewer transistors at full speed"
+    FREQUENCY = "run everything, slower"
+    NTV_SPATIAL = "run everything near threshold"
+    SPECIALIZE = "spend dark area on accelerators"
+
+
+@dataclass(frozen=True)
+class DimmingOutcome:
+    """Throughput achieved by one strategy under the power budget."""
+
+    strategy: Dimming
+    relative_throughput: float
+    active_fraction: float
+    frequency_scale: float
+
+
+def compare_dimming_strategies(
+    node: TechnologyNode,
+    area_mm2: float = 300.0,
+    power_budget_w: float = 100.0,
+    activity: float = 0.1,
+    ntv_energy_gain: float = 4.0,
+    ntv_slowdown: float = 5.0,
+    accel_efficiency_gain: float = 50.0,
+    accel_coverage: float = 0.4,
+) -> list[DimmingOutcome]:
+    """Throughput under budget for each classic strategy, normalized to
+    the all-dark baseline (strategy NONE = light what fits, full speed).
+
+    * NONE: throughput ~ powered fraction x full frequency.
+    * FREQUENCY: voltage/frequency scale the whole die until it fits
+      (cubic power-in-frequency near nominal => f ~ budget^(1/3) for the
+      dynamic part); throughput ~ 1 x f_scale.
+    * NTV_SPATIAL: all transistors at near threshold: energy/op down
+      ``ntv_energy_gain``, speed down ``ntv_slowdown``.
+    * SPECIALIZE: the powered general-purpose fraction plus accelerators
+      that execute ``accel_coverage`` of the work ``accel_efficiency_gain``
+      more efficiently (coverage-limited, Amdahl-style).
+    """
+    base_fraction = powered_fraction(
+        node, area_mm2, power_budget_w, activity=activity
+    )
+    f_nom = node.max_frequency_ghz() * 1e9
+    tx = node.transistors_for_area(area_mm2)
+    leak = node.leakage_power_w(tx)
+    dyn_full = node.dynamic_power_w(tx, f_nom, activity)
+
+    outcomes = [
+        DimmingOutcome(Dimming.NONE, base_fraction, base_fraction, 1.0)
+    ]
+
+    # FREQUENCY: solve a*f^3 + leak = budget with a = dyn_full/f_nom^3
+    # (V tracks f near nominal => P_dyn ~ f^3).
+    headroom = max(power_budget_w - leak, 0.0)
+    f_scale = min(1.0, (headroom / dyn_full) ** (1.0 / 3.0)) if dyn_full else 1.0
+    outcomes.append(
+        DimmingOutcome(Dimming.FREQUENCY, f_scale, 1.0 if f_scale > 0 else 0.0, f_scale)
+    )
+
+    # NTV: energy/op / gain, speed / slowdown; fit as many ops as budget
+    # allows (usually all of them — NTV trades speed for breadth).
+    ntv_dyn_full = dyn_full / ntv_energy_gain / ntv_slowdown  # power at slow clock
+    ntv_fraction = (
+        min(1.0, headroom / ntv_dyn_full) if ntv_dyn_full > 0 else 1.0
+    )
+    outcomes.append(
+        DimmingOutcome(
+            Dimming.NTV_SPATIAL,
+            ntv_fraction / ntv_slowdown,
+            ntv_fraction,
+            1.0 / ntv_slowdown,
+        )
+    )
+
+    # SPECIALIZE: coverage c runs on accelerators at gain g (so its power
+    # cost is c/g per unit work), remainder on the powered GP fraction.
+    # Effective throughput via harmonic (Amdahl-for-energy) composition:
+    c, g = accel_coverage, accel_efficiency_gain
+    if not 0.0 <= c <= 1.0:
+        raise ValueError("accel_coverage must be in [0, 1]")
+    if g <= 0:
+        raise ValueError("accel_efficiency_gain must be positive")
+    # Energy per unit work, relative to GP: (1 - c) + c/g; budget buys
+    # proportionally more work.
+    energy_scale = (1.0 - c) + c / g
+    specialize_throughput = base_fraction / energy_scale
+    outcomes.append(
+        DimmingOutcome(
+            Dimming.SPECIALIZE, specialize_throughput, base_fraction, 1.0
+        )
+    )
+    return outcomes

@@ -1,0 +1,237 @@
+"""Technology-node database, 1985-2020.
+
+A :class:`TechnologyNode` captures the per-node electrical parameters the
+rest of the library derives energy, frequency, reliability, and density
+from.  The built-in :data:`NODES` table is *synthetic but
+historically shaped*: values follow public ITRS-style trajectories
+(constant-field "Dennard" scaling through ~90 nm, voltage plateau and
+leakage growth afterwards).  The table is the library's single source of
+truth; scaling-law code (:mod:`repro.technology.scaling`) reproduces its
+*shape* from first principles, and tests cross-check the two.
+
+This substitutes for the proprietary industry data behind the paper's
+Table 1 ("Moore's Law continues; Dennard scaling is gone") — see
+DESIGN.md section 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Electrical and density parameters for one CMOS process node.
+
+    Attributes
+    ----------
+    name:
+        Conventional node label, e.g. ``"90nm"``.
+    feature_nm:
+        Drawn feature size [nm].
+    year:
+        Approximate year of volume introduction.
+    vdd_v:
+        Nominal supply voltage [V].
+    vth_v:
+        Threshold voltage [V].
+    density_mtx_mm2:
+        Logic transistor density [million transistors / mm^2].
+    cap_per_tx_f:
+        Effective switched capacitance per transistor per cycle [F],
+        averaged over activity (used by ``switching_energy_j``).
+    leakage_w_per_mtx:
+        Static (subthreshold + gate) leakage power per million
+        transistors at nominal conditions [W].
+    delay_ps:
+        Fanout-of-4 inverter delay [ps] — the canonical logic-speed
+        metric; cycle time = FO4 delay x pipeline depth in FO4s.
+    fit_per_mbit:
+        Soft-error rate of SRAM on this node [FIT / Mbit]
+        (1 FIT = 1 failure per 1e9 device-hours).
+    """
+
+    name: str
+    feature_nm: float
+    year: int
+    vdd_v: float
+    vth_v: float
+    density_mtx_mm2: float
+    cap_per_tx_f: float
+    leakage_w_per_mtx: float
+    delay_ps: float
+    fit_per_mbit: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "feature_nm",
+            "vdd_v",
+            "vth_v",
+            "density_mtx_mm2",
+            "cap_per_tx_f",
+            "delay_ps",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.leakage_w_per_mtx < 0 or self.fit_per_mbit < 0:
+            raise ValueError("leakage and FIT must be non-negative")
+        if self.vth_v >= self.vdd_v:
+            raise ValueError("vth must be below vdd at nominal operation")
+
+    # -- derived quantities -------------------------------------------------
+
+    def switching_energy_j(self, vdd_v: Optional[float] = None) -> float:
+        """Dynamic energy per transistor switch, ``C * V^2`` [J]."""
+        v = self.vdd_v if vdd_v is None else vdd_v
+        if v <= 0:
+            raise ValueError("vdd must be positive")
+        return self.cap_per_tx_f * v * v
+
+    def max_frequency_ghz(self, pipeline_fo4: float = 25.0) -> float:
+        """Nominal clock for a pipeline of ``pipeline_fo4`` FO4s/stage."""
+        if pipeline_fo4 <= 0:
+            raise ValueError("pipeline depth in FO4 must be positive")
+        cycle_ps = self.delay_ps * pipeline_fo4
+        return 1000.0 / cycle_ps
+
+    def transistors_for_area(self, area_mm2: float) -> float:
+        """Transistor budget for a die of ``area_mm2`` [count]."""
+        if area_mm2 <= 0:
+            raise ValueError("area must be positive")
+        return self.density_mtx_mm2 * 1e6 * area_mm2
+
+    def dynamic_power_w(
+        self,
+        transistors: float,
+        frequency_hz: float,
+        activity: float = 0.1,
+    ) -> float:
+        """Dynamic power ``a * C * V^2 * f`` summed over transistors [W]."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity factor must be in [0, 1]")
+        if transistors < 0 or frequency_hz < 0:
+            raise ValueError("transistors and frequency must be non-negative")
+        return activity * self.switching_energy_j() * transistors * frequency_hz
+
+    def leakage_power_w(self, transistors: float) -> float:
+        """Static power for a given transistor count [W]."""
+        if transistors < 0:
+            raise ValueError("transistors must be non-negative")
+        return self.leakage_w_per_mtx * transistors / 1e6
+
+    def chip_power_w(
+        self,
+        area_mm2: float,
+        frequency_hz: Optional[float] = None,
+        activity: float = 0.1,
+    ) -> float:
+        """Total power of a full die at frequency (default: node max)."""
+        tx = self.transistors_for_area(area_mm2)
+        f = (
+            self.max_frequency_ghz() * 1e9
+            if frequency_hz is None
+            else frequency_hz
+        )
+        return self.dynamic_power_w(tx, f, activity) + self.leakage_power_w(tx)
+
+
+def _make_nodes() -> tuple[TechnologyNode, ...]:
+    """Build the historical node table.
+
+    Construction: start from a 1500 nm / 1985 anchor and apply ideal
+    constant-field (Dennard) scaling per generation through 90 nm
+    (s ~ 0.7: density x2, C x0.7, V x0.7, delay x0.7).  From 65 nm on,
+    voltage plateaus (the paper's "Dennard Scaling ... Gone"), delay
+    improves more slowly, and leakage per transistor stops falling.
+    FIT/Mbit follows the published shape: rising into the 130-65 nm
+    range, roughly flat per-bit afterwards (while chip-level SER keeps
+    rising with integration).
+    """
+    # (name, feature, year, vdd, vth, delay_ps, leak_w_per_mtx, fit_per_mbit)
+    rows = [
+        ("1500nm", 1500.0, 1985, 5.00, 0.90, 900.0, 1.5e-5, 20.0),
+        ("1000nm", 1000.0, 1989, 5.00, 0.85, 600.0, 1.5e-5, 40.0),
+        ("800nm", 800.0, 1993, 5.00, 0.80, 420.0, 1.6e-5, 70.0),
+        ("600nm", 600.0, 1995, 3.30, 0.70, 300.0, 1.8e-5, 120.0),
+        ("350nm", 350.0, 1997, 3.30, 0.60, 160.0, 2.0e-5, 220.0),
+        ("250nm", 250.0, 1998, 2.50, 0.50, 110.0, 3.0e-5, 350.0),
+        ("180nm", 180.0, 1999, 1.80, 0.45, 75.0, 6.0e-5, 500.0),
+        ("130nm", 130.0, 2001, 1.50, 0.40, 50.0, 1.5e-4, 700.0),
+        ("90nm", 90.0, 2004, 1.20, 0.35, 30.0, 5.0e-4, 900.0),
+        ("65nm", 65.0, 2006, 1.10, 0.32, 22.0, 1.2e-3, 1000.0),
+        ("45nm", 45.0, 2008, 1.00, 0.30, 17.0, 2.5e-3, 1050.0),
+        ("32nm", 32.0, 2010, 0.95, 0.29, 14.0, 4.0e-3, 1100.0),
+        # FinFET era: the fin geometry restored gate control, cutting
+        # per-transistor leakage sharply relative to planar trends.
+        ("22nm", 22.0, 2012, 0.90, 0.28, 12.0, 3.0e-3, 1100.0),
+        ("14nm", 14.0, 2014, 0.85, 0.27, 10.5, 2.5e-3, 1150.0),
+        ("10nm", 10.0, 2017, 0.80, 0.26, 9.0, 2.0e-3, 1150.0),
+        ("7nm", 7.0, 2018, 0.75, 0.25, 8.0, 1.8e-3, 1200.0),
+        ("5nm", 5.0, 2020, 0.70, 0.24, 7.0, 1.5e-3, 1200.0),
+    ]
+    base_density = 0.0026  # Mtx/mm^2 at 1500 nm (i386-class)
+    base_cap = 20e-15  # F per transistor at 1500 nm
+    nodes = []
+    for name, feat, year, vdd, vth, delay, leak, fit in rows:
+        shrink = 1500.0 / feat
+        nodes.append(
+            TechnologyNode(
+                name=name,
+                feature_nm=feat,
+                year=year,
+                vdd_v=vdd,
+                vth_v=vth,
+                density_mtx_mm2=base_density * shrink**2,
+                cap_per_tx_f=base_cap / shrink,
+                leakage_w_per_mtx=leak,
+                delay_ps=delay,
+                fit_per_mbit=fit,
+            )
+        )
+    return tuple(nodes)
+
+
+#: Historical node table, oldest first.
+NODES: tuple[TechnologyNode, ...] = _make_nodes()
+
+_BY_NAME = {n.name: n for n in NODES}
+
+
+def get_node(name: str) -> TechnologyNode:
+    """Look up a node by label, e.g. ``get_node("45nm")``."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown node {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def node_names() -> list[str]:
+    """Node labels, oldest first."""
+    return [n.name for n in NODES]
+
+
+def nodes_between(
+    first_year: int, last_year: int
+) -> list[TechnologyNode]:
+    """Nodes introduced within ``[first_year, last_year]`` inclusive."""
+    if last_year < first_year:
+        raise ValueError("last_year must be >= first_year")
+    return [n for n in NODES if first_year <= n.year <= last_year]
+
+
+def node_for_year(year: int) -> TechnologyNode:
+    """Most recent node available in ``year``."""
+    eligible = [n for n in NODES if n.year <= year]
+    if not eligible:
+        raise ValueError(f"no node available in {year} (earliest is 1985)")
+    return eligible[-1]
+
+
+def density_series(nodes: Iterable[TechnologyNode] = NODES) -> np.ndarray:
+    """Density [Mtx/mm^2] as an array, for plotting/benching."""
+    return np.array([n.density_mtx_mm2 for n in nodes], dtype=float)

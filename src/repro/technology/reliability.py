@@ -1,0 +1,254 @@
+"""Transistor reliability across nodes (paper Table 1, row 3).
+
+"The modest levels of transistor unreliability easily hidden (e.g., via
+ECC)" vs. "Transistor reliability worsening, no longer easy to hide."
+This module quantifies that row three ways:
+
+* **Soft errors** — chip-level SER rises with integration even as
+  per-bit rates flatten; :func:`chip_fit` composes node FIT/Mbit with
+  on-chip SRAM capacity, and :func:`ser_with_protection` applies
+  ECC/interleaving coverage factors.
+* **Parameter variation** — random dopant fluctuation makes threshold
+  voltage sigma grow as feature area shrinks (Pelgrom's law), spreading
+  per-core frequency/leakage; :func:`vth_sigma_mv` and
+  :func:`frequency_spread`.
+* **Aging** — NBTI-style threshold drift over years of stress;
+  :func:`nbti_vth_shift_mv` and the time-to-failure helpers.
+
+All failure-rate math uses the standard exponential/series-system
+assumptions; :class:`FailureModel` wraps the MTTF/availability algebra
+reused by the datacenter availability models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .node import NODES, TechnologyNode
+
+HOURS_PER_YEAR = 24 * 365.25
+
+#: 1 FIT = one failure per 1e9 device-hours.
+FIT_HOURS = 1e9
+
+
+def chip_fit(
+    node: TechnologyNode,
+    sram_mbit: float,
+    logic_fit: float = 50.0,
+) -> float:
+    """Chip-level soft-error FIT: SRAM FIT/Mbit x capacity + logic term.
+
+    ``logic_fit`` is a flat contribution from latches/combinational
+    logic (historically ~5-10% of the SRAM contribution; exposed so
+    studies can zero it).
+    """
+    if sram_mbit < 0 or logic_fit < 0:
+        raise ValueError("sram_mbit and logic_fit must be non-negative")
+    return node.fit_per_mbit * sram_mbit + logic_fit
+
+
+def fit_to_mttf_hours(fit: float) -> float:
+    """Mean time to failure [h] for a FIT rate (exponential model)."""
+    if fit < 0:
+        raise ValueError("FIT must be non-negative")
+    if fit == 0:
+        return math.inf
+    return FIT_HOURS / fit
+
+
+def fit_to_failures_per_year(fit: float) -> float:
+    """Expected failures per year at a given FIT."""
+    if fit < 0:
+        raise ValueError("FIT must be non-negative")
+    return fit * HOURS_PER_YEAR / FIT_HOURS
+
+
+def ser_with_protection(
+    raw_fit: float,
+    ecc_coverage: float = 0.99,
+    interleaving_factor: float = 1.0,
+) -> float:
+    """Residual FIT after ECC and physical interleaving.
+
+    ``ecc_coverage`` is the fraction of raw events corrected (SECDED
+    corrects all single-bit events; multi-bit upsets leak through).
+    ``interleaving_factor`` >= 1 divides the multi-bit escape rate by
+    spreading physically adjacent bits across words.
+    """
+    if not 0.0 <= ecc_coverage <= 1.0:
+        raise ValueError("ecc_coverage must be in [0, 1]")
+    if interleaving_factor < 1.0:
+        raise ValueError("interleaving_factor must be >= 1")
+    escaped = raw_fit * (1.0 - ecc_coverage)
+    return escaped / interleaving_factor
+
+
+def chip_fit_series(
+    nodes: Sequence[TechnologyNode] = NODES,
+    sram_mbit_at_first: float = 0.008,
+    sram_growth_per_node: float = 2.0,
+) -> dict[str, np.ndarray]:
+    """Chip SER trend as integration grows 2x per node.
+
+    This reproduces Table 1 row 3's *mechanism*: even with per-bit FIT
+    roughly flat at recent nodes, doubling on-chip SRAM per generation
+    makes raw chip-level SER climb relentlessly.
+    """
+    if sram_mbit_at_first <= 0 or sram_growth_per_node <= 0:
+        raise ValueError("SRAM capacity parameters must be positive")
+    years, raw, protected = [], [], []
+    for i, node in enumerate(nodes):
+        mbit = sram_mbit_at_first * sram_growth_per_node**i
+        fit = chip_fit(node, mbit)
+        years.append(node.year)
+        raw.append(fit)
+        protected.append(ser_with_protection(fit))
+    return {
+        "years": np.array(years, dtype=float),
+        "raw_fit": np.array(raw),
+        "protected_fit": np.array(protected),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parameter variation (Pelgrom scaling)
+# ---------------------------------------------------------------------------
+
+#: Pelgrom matching coefficient [mV * um]; typical bulk-CMOS value.
+PELGROM_AVT_MV_UM = 3.5
+
+
+def vth_sigma_mv(
+    node: TechnologyNode, avt_mv_um: float = PELGROM_AVT_MV_UM
+) -> float:
+    """Threshold-voltage sigma for a minimum-size device [mV].
+
+    Pelgrom: sigma_Vth = A_vt / sqrt(W * L); with W = 2L at minimum
+    size, area = 2 L^2.
+    """
+    if avt_mv_um <= 0:
+        raise ValueError("Pelgrom coefficient must be positive")
+    l_um = node.feature_nm / 1000.0
+    area_um2 = 2.0 * l_um * l_um
+    return avt_mv_um / math.sqrt(area_um2)
+
+
+def frequency_spread(
+    node: TechnologyNode,
+    sigma_multiplier: float = 3.0,
+    alpha: float = 1.3,
+) -> float:
+    """Fractional slowdown of a -N-sigma device vs. nominal.
+
+    Uses the alpha-power delay model: delay ~ V / (V - Vth)^alpha, so a
+    +k*sigma Vth device is slower.  Returns (slow_delay/nominal - 1).
+    """
+    if sigma_multiplier < 0:
+        raise ValueError("sigma multiplier must be non-negative")
+    sigma_v = vth_sigma_mv(node) / 1000.0
+    vth_slow = node.vth_v + sigma_multiplier * sigma_v
+    if vth_slow >= node.vdd_v:
+        return math.inf  # device effectively fails to switch
+    nominal = node.vdd_v / (node.vdd_v - node.vth_v) ** alpha
+    slow = node.vdd_v / (node.vdd_v - vth_slow) ** alpha
+    return slow / nominal - 1.0
+
+
+# ---------------------------------------------------------------------------
+# Aging (NBTI-style drift)
+# ---------------------------------------------------------------------------
+
+
+def nbti_vth_shift_mv(
+    years: float,
+    node: TechnologyNode,
+    prefactor_mv: float = 6.0,
+    time_exponent: float = 1.0 / 6.0,
+    field_exponent: float = 2.0,
+) -> float:
+    """Threshold shift after ``years`` of stress [mV].
+
+    Power-law NBTI model: dVth = A * E_ox^gamma * t^n, with the oxide
+    field proxied by Vdd / feature (thinner oxide at smaller nodes =>
+    higher field => faster aging).  Constants give the published-shape
+    ~20-50 mV/decade drift at recent nodes.
+    """
+    if years < 0:
+        raise ValueError("years must be non-negative")
+    if years == 0:
+        return 0.0
+    field_proxy = node.vdd_v / (node.feature_nm / 45.0)
+    hours = years * HOURS_PER_YEAR
+    return prefactor_mv * field_proxy**field_exponent * hours**time_exponent / (
+        HOURS_PER_YEAR**time_exponent
+    )
+
+
+def aging_guardband_fraction(
+    lifetime_years: float, node: TechnologyNode, alpha: float = 1.3
+) -> float:
+    """Frequency guardband a designer must reserve for end-of-life.
+
+    Computes the delay increase after NBTI drift at ``lifetime_years``
+    and returns it as a fraction of nominal cycle time.
+    """
+    shift_v = nbti_vth_shift_mv(lifetime_years, node) / 1000.0
+    vth_aged = node.vth_v + shift_v
+    if vth_aged >= node.vdd_v:
+        return math.inf
+    nominal = node.vdd_v / (node.vdd_v - node.vth_v) ** alpha
+    aged = node.vdd_v / (node.vdd_v - vth_aged) ** alpha
+    return aged / nominal - 1.0
+
+
+# ---------------------------------------------------------------------------
+# System-level failure algebra
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential failure model for one component."""
+
+    fit: float
+
+    def __post_init__(self) -> None:
+        if self.fit < 0:
+            raise ValueError("FIT must be non-negative")
+
+    @property
+    def mttf_hours(self) -> float:
+        return fit_to_mttf_hours(self.fit)
+
+    def reliability(self, hours: float) -> float:
+        """P(no failure by ``hours``)."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        return math.exp(-self.fit * hours / FIT_HOURS)
+
+    def series(self, other: "FailureModel") -> "FailureModel":
+        """Series composition: either failing fails the system."""
+        return FailureModel(self.fit + other.fit)
+
+
+def series_fit(fits: Sequence[float]) -> float:
+    """FIT of a series system (rates add)."""
+    if any(f < 0 for f in fits):
+        raise ValueError("FITs must be non-negative")
+    return float(sum(fits))
+
+
+def tmr_reliability(component_reliability: float) -> float:
+    """Reliability of triple-modular redundancy with perfect voting.
+
+    R_tmr = 3R^2 - 2R^3; better than simplex only when R > 0.5.
+    """
+    r = component_reliability
+    if not 0.0 <= r <= 1.0:
+        raise ValueError("reliability must be in [0, 1]")
+    return 3.0 * r * r - 2.0 * r**3

@@ -1,0 +1,226 @@
+"""Moore / Dennard / post-Dennard scaling laws (paper Table 1).
+
+Pure analytic models of how per-chip transistor count, frequency, and
+power evolve across process generations under three regimes:
+
+* **Ideal Dennard (constant field)** — dimensions, voltage, and delay all
+  shrink by ``s`` per generation; power density stays constant even as
+  transistor count doubles.  This is the "Late 20th Century" column.
+* **Post-Dennard (voltage plateau)** — dimensions shrink but voltage is
+  stuck near 1 V; per-transistor switching energy falls only as ``s``
+  (capacitance), not ``s^3``, so full-chip full-frequency power grows
+  ~2x per generation.  This is "The New Reality" column and the root of
+  the dark-silicon analysis in :mod:`repro.technology.darksilicon`.
+* **Observed** — whatever the node database recorded.
+
+All functions are vectorized over generation index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .node import NODES, TechnologyNode
+
+#: Classic generation shrink factor (linear dimension per generation).
+CLASSIC_SHRINK = 1.0 / np.sqrt(2.0)  # ~0.707 => 2x density
+
+
+@dataclass(frozen=True)
+class ScalingTrajectory:
+    """Per-generation relative factors, all normalized to generation 0."""
+
+    generations: np.ndarray  # integer generation index
+    transistors: np.ndarray  # per-chip count, relative
+    frequency: np.ndarray  # clock, relative
+    capacitance: np.ndarray  # per-transistor C, relative
+    vdd: np.ndarray  # supply voltage, relative
+    power: np.ndarray  # full-chip power at max frequency, relative
+
+    def power_density(self) -> np.ndarray:
+        """Power per unit area, relative (area constant per chip here)."""
+        return self.power
+
+
+def _check_generations(n_generations: int) -> np.ndarray:
+    if n_generations < 1:
+        raise ValueError("need at least one generation")
+    return np.arange(n_generations, dtype=float)
+
+
+def dennard_trajectory(
+    n_generations: int, shrink: float = CLASSIC_SHRINK
+) -> ScalingTrajectory:
+    """Ideal constant-field scaling.
+
+    Per generation: transistors x(1/s^2), f x(1/s), C xs, V xs.
+    Chip power = N * C * V^2 * f scales as
+    (1/s^2) * s * s^2 * (1/s) = 1 — constant.  "Near-constant
+    power/chip" (Table 1, left column).
+    """
+    if not 0 < shrink < 1:
+        raise ValueError("shrink factor must be in (0, 1)")
+    g = _check_generations(n_generations)
+    s = shrink**g
+    transistors = 1.0 / s**2
+    frequency = 1.0 / s
+    capacitance = s
+    vdd = s
+    power = transistors * capacitance * vdd**2 * frequency
+    return ScalingTrajectory(g, transistors, frequency, capacitance, vdd, power)
+
+
+def post_dennard_trajectory(
+    n_generations: int,
+    shrink: float = CLASSIC_SHRINK,
+    frequency_growth: float = 1.0,
+) -> ScalingTrajectory:
+    """Voltage-plateau scaling: the paper's "New Reality".
+
+    Transistor count still doubles (Moore continues), capacitance still
+    falls with ``s``, but V is flat and frequency grows only by the
+    optional ``frequency_growth`` factor per generation (default: flat,
+    the post-2004 clock plateau).  Chip power at full utilization then
+    grows as (1/s^2) * s = 1/s ~ 1.41x per generation — "not viable".
+    """
+    if not 0 < shrink < 1:
+        raise ValueError("shrink factor must be in (0, 1)")
+    if frequency_growth <= 0:
+        raise ValueError("frequency_growth must be positive")
+    g = _check_generations(n_generations)
+    s = shrink**g
+    transistors = 1.0 / s**2
+    frequency = frequency_growth**g
+    capacitance = s
+    vdd = np.ones_like(g)
+    power = transistors * capacitance * vdd**2 * frequency
+    return ScalingTrajectory(g, transistors, frequency, capacitance, vdd, power)
+
+
+def observed_trajectory(
+    nodes: Sequence[TechnologyNode] = NODES,
+) -> ScalingTrajectory:
+    """Relative factors straight from the node database.
+
+    Power here is full-die power at each node's nominal max frequency
+    for a fixed die area, normalized to the first node — i.e. what chip
+    power *would have done* had designers run every transistor flat out.
+    """
+    if len(nodes) < 1:
+        raise ValueError("need at least one node")
+    base = nodes[0]
+    g = np.arange(len(nodes), dtype=float)
+    transistors = np.array(
+        [n.density_mtx_mm2 / base.density_mtx_mm2 for n in nodes]
+    )
+    frequency = np.array(
+        [n.max_frequency_ghz() / base.max_frequency_ghz() for n in nodes]
+    )
+    capacitance = np.array([n.cap_per_tx_f / base.cap_per_tx_f for n in nodes])
+    vdd = np.array([n.vdd_v / base.vdd_v for n in nodes])
+    base_power = base.chip_power_w(area_mm2=100.0)
+    power = np.array(
+        [n.chip_power_w(area_mm2=100.0) / base_power for n in nodes]
+    )
+    return ScalingTrajectory(g, transistors, frequency, capacitance, vdd, power)
+
+
+def moores_law_transistors(
+    years: np.ndarray | Sequence[float],
+    doubling_period_years: float = 2.0,
+    base_year: float = 1985.0,
+    base_count: float = 275e3,
+) -> np.ndarray:
+    """Transistors per chip under a pure doubling cadence.
+
+    Default anchor is an i386-class 1985 die.  ``doubling_period_years``
+    of 1.5-2.0 spans the paper's "2x every 18-24 months".
+    """
+    if doubling_period_years <= 0:
+        raise ValueError("doubling period must be positive")
+    years_arr = np.asarray(years, dtype=float)
+    return base_count * 2.0 ** ((years_arr - base_year) / doubling_period_years)
+
+
+def utilization_wall(
+    transistor_growth: float = 2.0,
+    energy_per_switch_scaling: float = CLASSIC_SHRINK,
+    power_budget_growth: float = 1.0,
+    frequency_growth: float = 1.0,
+) -> float:
+    """Fraction of the *previous* generation's utilization sustainable
+    after one more generation, at fixed power.
+
+    utilization' = budget_growth / (tx_growth * energy_scaling * f_growth)
+
+    With post-Dennard defaults (2x transistors, energy x0.707, flat
+    budget and clock) this is 1/sqrt(2) ~ 0.707: ~30% more of the chip
+    goes dark each generation — Venkatesh et al.'s "utilization wall",
+    which the paper's specialization agenda responds to.
+    """
+    if min(
+        transistor_growth,
+        energy_per_switch_scaling,
+        power_budget_growth,
+        frequency_growth,
+    ) <= 0:
+        raise ValueError("all growth factors must be positive")
+    return power_budget_growth / (
+        transistor_growth * energy_per_switch_scaling * frequency_growth
+    )
+
+
+def power_gap_series(
+    n_generations: int, shrink: float = CLASSIC_SHRINK
+) -> np.ndarray:
+    """Ratio of post-Dennard to Dennard chip power per generation.
+
+    This is the quantitative content of Table 1's first two rows: how
+    much power headroom vanished once voltage stopped scaling.
+    """
+    dennard = dennard_trajectory(n_generations, shrink)
+    post = post_dennard_trajectory(n_generations, shrink)
+    return post.power / dennard.power
+
+
+def frequency_from_delay(
+    nodes: Sequence[TechnologyNode], pipeline_fo4: float = 25.0
+) -> np.ndarray:
+    """Clock [GHz] per node for a fixed pipeline depth in FO4s."""
+    return np.array([n.max_frequency_ghz(pipeline_fo4) for n in nodes])
+
+
+def dennard_breakdown_year(
+    nodes: Sequence[TechnologyNode] = NODES,
+    tolerance: float = 0.15,
+    voltage_scaling_threshold_v: float = 4.0,
+) -> int:
+    """Year Dennard (constant-field) voltage scaling ended.
+
+    Voltage scaling has three historical eras: constant-voltage (5 V,
+    through the early 1990s), constant-field (Vdd tracks feature size),
+    and the post-~2004 plateau.  We detect the start of the plateau: the
+    first node, within the voltage-scaling era (Vdd below
+    ``voltage_scaling_threshold_v``), from which Vdd shrinks at least
+    ``tolerance`` slower than feature size on *two consecutive*
+    transitions (one slow generation is noise; two is a regime change).
+    """
+    if len(nodes) < 3:
+        raise ValueError("need at least three nodes")
+
+    def violates(prev: TechnologyNode, cur: TechnologyNode) -> bool:
+        if prev.vdd_v > voltage_scaling_threshold_v:
+            return False  # still in the constant-voltage era
+        vdd_ratio = cur.vdd_v / prev.vdd_v
+        feature_ratio = cur.feature_nm / prev.feature_nm
+        return vdd_ratio > feature_ratio + tolerance
+
+    for i in range(1, len(nodes) - 1):
+        if violates(nodes[i - 1], nodes[i]) and violates(
+            nodes[i], nodes[i + 1]
+        ):
+            return nodes[i].year
+    raise ValueError("no breakdown detected within the node range")

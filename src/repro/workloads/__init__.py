@@ -1,0 +1,44 @@
+"""Workload substrate: synthetic kernels, big-data streams, human-network
+analytics graphs (paper Appendix A, experiments E14/E22).
+"""
+
+from .bigdata import (
+    StreamSpec,
+    arrival_trace,
+    edge_filtering_savings,
+    required_capacity,
+    store_vs_process_cost,
+)
+from .graphs import (
+    KernelReport,
+    analytics_pipeline,
+    community_graph,
+    detect_communities,
+    flag_anomalous_nodes,
+    influence_scores,
+    pipeline_total_ops,
+    population_graph,
+    social_graph,
+)
+from .kernels import KERNELS, KernelSpec, get_kernel, intensity_table
+
+__all__ = [
+    "KERNELS",
+    "KernelReport",
+    "KernelSpec",
+    "StreamSpec",
+    "analytics_pipeline",
+    "arrival_trace",
+    "community_graph",
+    "detect_communities",
+    "edge_filtering_savings",
+    "flag_anomalous_nodes",
+    "get_kernel",
+    "influence_scores",
+    "intensity_table",
+    "pipeline_total_ops",
+    "population_graph",
+    "required_capacity",
+    "social_graph",
+    "store_vs_process_cost",
+]

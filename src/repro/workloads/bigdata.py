@@ -1,0 +1,156 @@
+"""Streaming big-data workload generator (paper Appendix A, Table A.2).
+
+"Many streams produce data so rapidly that it is cost-prohibitive to
+store, and must be processed immediately."
+
+A stream is records/s x bytes/record x ops/record; the generator
+produces bursty arrival traces (compound-Poisson with diurnal
+modulation) and the sizing helpers answer the Table A.2 questions:
+can a given platform keep up, how much must be filtered at the edge,
+and what does the store-vs-process tradeoff cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import RngLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A data stream's steady-state statistics."""
+
+    records_per_s: float
+    bytes_per_record: float
+    ops_per_record: float
+    burstiness: float = 2.0  # peak-to-mean ratio
+    interesting_fraction: float = 0.01  # records worth keeping
+
+    def __post_init__(self) -> None:
+        if self.records_per_s <= 0 or self.bytes_per_record <= 0:
+            raise ValueError("rates and sizes must be positive")
+        if self.ops_per_record < 0:
+            raise ValueError("ops must be non-negative")
+        if self.burstiness < 1.0:
+            raise ValueError("burstiness (peak/mean) must be >= 1")
+        if not 0.0 <= self.interesting_fraction <= 1.0:
+            raise ValueError("interesting_fraction must be in [0, 1]")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.records_per_s * self.bytes_per_record
+
+    @property
+    def compute_ops_per_s(self) -> float:
+        return self.records_per_s * self.ops_per_record
+
+
+def arrival_trace(
+    spec: StreamSpec,
+    duration_s: float,
+    interval_s: float = 1.0,
+    diurnal: bool = True,
+    rng: RngLike = None,
+) -> dict[str, np.ndarray]:
+    """Per-interval record counts: Poisson base with burst modulation.
+
+    Diurnal modulation follows a 24-h sinusoid scaled so the peak hits
+    ``burstiness`` x mean — the standard WSC load-shape assumption.
+    """
+    if duration_s <= 0 or interval_s <= 0:
+        raise ValueError("durations must be positive")
+    gen = resolve_rng(rng)
+    n = int(np.ceil(duration_s / interval_s))
+    t = np.arange(n) * interval_s
+    base = spec.records_per_s * interval_s
+    if diurnal:
+        swing = (spec.burstiness - 1.0) / (spec.burstiness + 1.0)
+        modulation = 1.0 + swing * np.sin(2 * np.pi * t / 86400.0)
+        modulation *= spec.burstiness / modulation.max()
+    else:
+        modulation = np.ones(n)
+    lam = np.maximum(base * modulation, 1e-12)
+    counts = gen.poisson(lam)
+    return {"t": t, "records": counts, "rate": lam / interval_s}
+
+
+def required_capacity(
+    spec: StreamSpec, headroom: float = 1.2
+) -> dict[str, float]:
+    """Peak compute/bandwidth a platform needs to absorb the stream."""
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1")
+    peak = spec.burstiness * headroom
+    return {
+        "peak_ops_per_s": spec.compute_ops_per_s * peak,
+        "peak_bandwidth_bytes_per_s": spec.bandwidth_bytes_per_s * peak,
+        "storage_bytes_per_day": spec.bandwidth_bytes_per_s * 86400.0,
+    }
+
+
+def edge_filtering_savings(
+    spec: StreamSpec,
+    uplink_energy_per_bit_j: float = 50e-9,
+    filter_ops_per_record: float = 100.0,
+    compute_energy_per_op_j: float = 20e-12,
+) -> dict[str, float]:
+    """Energy of ship-everything vs filter-at-the-edge per second.
+
+    Table A.2's "providing sufficient on-sensor capability to filter
+    and process data where it is generated ... can be most
+    energy-efficient" as arithmetic.
+    """
+    if uplink_energy_per_bit_j < 0 or compute_energy_per_op_j < 0:
+        raise ValueError("energies must be non-negative")
+    if filter_ops_per_record < 0:
+        raise ValueError("filter ops must be non-negative")
+    bits_per_s = spec.bandwidth_bytes_per_s * 8.0
+    ship_all = uplink_energy_per_bit_j * bits_per_s
+    filter_cost = (
+        compute_energy_per_op_j * filter_ops_per_record * spec.records_per_s
+    )
+    ship_filtered = (
+        uplink_energy_per_bit_j * bits_per_s * spec.interesting_fraction
+    )
+    filtered_total = filter_cost + ship_filtered
+    return {
+        "ship_all_w": ship_all,
+        "filter_at_edge_w": filtered_total,
+        "saving_ratio": ship_all / filtered_total if filtered_total else float("inf"),
+        "filter_compute_share": (
+            filter_cost / filtered_total if filtered_total else 0.0
+        ),
+    }
+
+
+def store_vs_process_cost(
+    spec: StreamSpec,
+    storage_usd_per_gb_month: float = 0.02,
+    compute_usd_per_core_hour: float = 0.05,
+    core_ops_per_s: float = 1e9,
+    retention_days: float = 30.0,
+) -> dict[str, float]:
+    """Monthly dollars: archive the raw stream vs process-and-discard.
+
+    "Many streams produce data so rapidly that it is cost-prohibitive
+    to store" — this puts a price on it.
+    """
+    if min(storage_usd_per_gb_month, compute_usd_per_core_hour) < 0:
+        raise ValueError("prices must be non-negative")
+    if core_ops_per_s <= 0 or retention_days <= 0:
+        raise ValueError("core rate and retention must be positive")
+    gb_per_month = spec.bandwidth_bytes_per_s * 86400 * 30.44 / 1e9
+    stored_gb = gb_per_month * retention_days / 30.44
+    storage_cost = stored_gb * storage_usd_per_gb_month
+    cores = spec.compute_ops_per_s / core_ops_per_s
+    compute_cost = cores * compute_usd_per_core_hour * 24 * 30.44
+    return {
+        "store_usd_per_month": storage_cost,
+        "process_usd_per_month": compute_cost,
+        "store_over_process": (
+            storage_cost / compute_cost if compute_cost else float("inf")
+        ),
+    }

@@ -1,0 +1,125 @@
+"""Synthetic compute kernels with explicit op/byte footprints.
+
+The agenda experiments price whole workloads in operations and bytes
+moved; these kernel descriptors are the vocabulary.  Each kernel knows
+its arithmetic intensity (FLOPs per byte), instruction mix, and memory
+access pattern — enough for the roofline, cache, and energy models to
+agree about what "running it" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..processor.program import (
+    FP_KERNEL_MIX,
+    POINTER_CHASE_MIX,
+    InstructionMix,
+    random_addresses,
+    sequential_addresses,
+    zipf_addresses,
+)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A kernel's resource footprint per element processed."""
+
+    name: str
+    ops_per_element: float
+    bytes_per_element: float
+    mix: InstructionMix
+    address_maker: Callable[[int], np.ndarray]
+    parallel_fraction: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.ops_per_element <= 0 or self.bytes_per_element <= 0:
+            raise ValueError("footprints must be positive")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+
+    @property
+    def intensity_ops_per_byte(self) -> float:
+        return self.ops_per_element / self.bytes_per_element
+
+    def total_ops(self, n_elements: float) -> float:
+        if n_elements < 0:
+            raise ValueError("n_elements must be non-negative")
+        return self.ops_per_element * n_elements
+
+    def total_bytes(self, n_elements: float) -> float:
+        if n_elements < 0:
+            raise ValueError("n_elements must be non-negative")
+        return self.bytes_per_element * n_elements
+
+    def addresses(self, n: int) -> np.ndarray:
+        return self.address_maker(n)
+
+
+def _stream_addresses(n: int) -> np.ndarray:
+    return sequential_addresses(n, stride=8)
+
+
+def _stencil_addresses(n: int) -> np.ndarray:
+    # 2-D 5-point stencil on a 1k-wide grid: mostly unit stride plus
+    # two +-row strides, interleaved.
+    base = sequential_addresses(n, stride=8)
+    row = 1024 * 8
+    offsets = np.tile(np.array([0, -row, row, -8, 8]), n // 5 + 1)[:n]
+    return np.abs(base + offsets)
+
+
+def _graph_addresses(n: int) -> np.ndarray:
+    return zipf_addresses(n, unique=1 << 16, exponent=1.3, rng=7)
+
+
+def _random_addresses(n: int) -> np.ndarray:
+    return random_addresses(n, footprint_bytes=1 << 28, rng=11)
+
+
+#: Canonical kernel set, spanning the intensity spectrum.
+KERNELS: Dict[str, KernelSpec] = {
+    "stream_triad": KernelSpec(
+        name="stream_triad", ops_per_element=2.0, bytes_per_element=24.0,
+        mix=FP_KERNEL_MIX, address_maker=_stream_addresses,
+        parallel_fraction=0.999,
+    ),
+    "dense_matmul": KernelSpec(
+        # Blocked GEMM: O(b) ops per element loaded.
+        name="dense_matmul", ops_per_element=64.0, bytes_per_element=8.0,
+        mix=FP_KERNEL_MIX, address_maker=_stream_addresses,
+        parallel_fraction=0.999,
+    ),
+    "stencil_2d": KernelSpec(
+        name="stencil_2d", ops_per_element=10.0, bytes_per_element=48.0,
+        mix=FP_KERNEL_MIX, address_maker=_stencil_addresses,
+        parallel_fraction=0.99,
+    ),
+    "graph_traversal": KernelSpec(
+        name="graph_traversal", ops_per_element=4.0, bytes_per_element=64.0,
+        mix=POINTER_CHASE_MIX, address_maker=_graph_addresses,
+        parallel_fraction=0.95,
+    ),
+    "key_value_lookup": KernelSpec(
+        name="key_value_lookup", ops_per_element=6.0, bytes_per_element=128.0,
+        mix=POINTER_CHASE_MIX, address_maker=_random_addresses,
+        parallel_fraction=0.999,
+    ),
+}
+
+
+def get_kernel(name: str) -> KernelSpec:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+
+
+def intensity_table() -> dict[str, float]:
+    """Arithmetic intensity per kernel — roofline placement."""
+    return {k: v.intensity_ops_per_byte for k, v in KERNELS.items()}

@@ -1,0 +1,93 @@
+"""Tests for adaptive mobile-cloud offload under a varying uplink."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    DevicePlatform,
+    UplinkTrace,
+    Workload,
+    policy_comparison,
+    random_walk_uplink,
+    run_policy,
+)
+
+
+class TestUplinkTrace:
+    def test_shape_and_outages(self):
+        trace = random_walk_uplink(2000, outage_prob=0.1, rng=0)
+        assert len(trace) == 2000
+        assert np.mean(trace.bits_per_s == 0.0) > 0.05
+
+    def test_energy_rises_when_bandwidth_falls(self):
+        trace = random_walk_uplink(5000, outage_prob=0.0, rng=1)
+        bw, e = trace.bits_per_s, trace.energy_per_bit_j
+        # Inverse relationship: correlation of log-quantities negative.
+        mask = bw > 0
+        corr = np.corrcoef(np.log(bw[mask]), np.log(e[mask]))[0, 1]
+        assert corr < -0.9
+
+    def test_deterministic(self):
+        a = random_walk_uplink(100, rng=7)
+        b = random_walk_uplink(100, rng=7)
+        np.testing.assert_array_equal(a.bits_per_s, b.bits_per_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_uplink(0)
+        with pytest.raises(ValueError):
+            random_walk_uplink(10, outage_prob=2.0)
+        with pytest.raises(ValueError):
+            UplinkTrace(np.zeros(3), np.zeros(2))
+
+
+class TestPolicies:
+    def make_setup(self, n=200):
+        device = DevicePlatform()
+        uplink = random_walk_uplink(n, rng=0)
+        tasks = [Workload(ops=1e9, input_bits=1e6) for _ in range(n)]
+        return device, uplink, tasks
+
+    def test_static_policies_behave(self):
+        device, uplink, tasks = self.make_setup()
+        local = run_policy("always_local", device, tasks, uplink)
+        offload = run_policy("always_offload", device, tasks, uplink)
+        assert local.offloaded == 0
+        assert offload.offloaded + offload.failed_offloads == len(tasks)
+
+    def test_oracle_is_lower_bound(self):
+        device, uplink, tasks = self.make_setup()
+        oracle = run_policy("oracle", device, tasks, uplink)
+        for policy in ("always_local", "always_offload", "adaptive"):
+            other = run_policy(policy, device, tasks, uplink)
+            assert other.energy_j >= oracle.energy_j - 1e-9, policy
+
+    def test_adaptive_tracks_oracle(self):
+        out = policy_comparison(n_tasks=400, rng=0)
+        assert out["adaptive"]["energy_vs_oracle"] < 1.15
+        # And beats both static policies on this mixed workload.
+        assert (
+            out["adaptive"]["energy_j"] < out["always_local"]["energy_j"]
+        )
+        assert (
+            out["adaptive"]["energy_j"] < out["always_offload"]["energy_j"]
+        )
+
+    def test_outages_punish_blind_offloading(self):
+        out = policy_comparison(n_tasks=400, rng=0)
+        assert out["always_offload"]["failed_offloads"] > 0
+        assert out["oracle"]["failed_offloads"] == 0
+
+    def test_validation(self):
+        device, uplink, tasks = self.make_setup(10)
+        with pytest.raises(ValueError):
+            run_policy("psychic", device, tasks, uplink)
+        with pytest.raises(ValueError):
+            run_policy("oracle", device, [], uplink)
+        with pytest.raises(ValueError):
+            run_policy("adaptive", device, tasks, uplink,
+                       estimator_window=0)
+        with pytest.raises(ValueError):
+            policy_comparison(n_tasks=0)
+        with pytest.raises(ValueError):
+            policy_comparison(intensity_spread=(10.0, 5.0))

@@ -1,0 +1,177 @@
+"""Tests for the SIMT model and mobile-cloud offload (E20)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    CloudPlatform,
+    DevicePlatform,
+    SIMTModel,
+    Workload,
+    energy_breakeven_intensity,
+    local_energy_j,
+    local_latency_s,
+    offload_decision,
+    offload_energy_j,
+    offload_frontier,
+    offload_latency_s,
+    ridge_point,
+    roofline,
+    should_offload_energy,
+)
+
+
+class TestRoofline:
+    def test_bandwidth_bound_region(self):
+        out = roofline(0.5, peak_flops=1e12, bandwidth_bytes_per_s=100e9)
+        assert out == pytest.approx(50e9)
+
+    def test_compute_bound_region(self):
+        out = roofline(100.0, peak_flops=1e12, bandwidth_bytes_per_s=100e9)
+        assert out == pytest.approx(1e12)
+
+    def test_ridge_point(self):
+        r = ridge_point(1e12, 100e9)
+        assert r == pytest.approx(10.0)
+        assert roofline(r, 1e12, 100e9) == pytest.approx(1e12)
+
+    def test_vectorized_monotone(self):
+        out = roofline(np.array([0.1, 1.0, 10.0, 100.0]), 1e12, 100e9)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roofline(1.0, 0.0, 1e9)
+        with pytest.raises(ValueError):
+            roofline(-1.0, 1e12, 1e9)
+        with pytest.raises(ValueError):
+            ridge_point(1e12, 0.0)
+
+
+class TestSIMT:
+    def test_divergence_halves_worst_case(self):
+        m = SIMTModel()
+        assert m.divergence_efficiency(1.0, 1.0) == pytest.approx(0.5)
+        assert m.divergence_efficiency(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_coalescing(self):
+        m = SIMTModel(warp_width=32)
+        assert m.coalescing_factor(1) == 1.0
+        assert m.coalescing_factor(8) == 8.0
+        assert m.coalescing_factor(100) == 32.0  # capped at warp width
+
+    def test_strided_kernel_memory_bound(self):
+        m = SIMTModel()
+        fast = m.effective_throughput_ops(stride_elements=1)
+        slow = m.effective_throughput_ops(stride_elements=32)
+        assert slow < fast / 4
+
+    def test_compute_kernel_hits_peak(self):
+        m = SIMTModel(clock_hz=1e9, ops_per_warp_cycle=32)
+        out = m.effective_throughput_ops(
+            branch_fraction=0.0, divergence_prob=0.0, memory_fraction=0.0
+        )
+        assert out == pytest.approx(32e9)
+
+    def test_validation(self):
+        m = SIMTModel()
+        with pytest.raises(ValueError):
+            m.coalescing_factor(0)
+        with pytest.raises(ValueError):
+            m.divergence_efficiency(2.0, 0.5)
+        with pytest.raises(ValueError):
+            m.effective_throughput_ops(memory_fraction=1.5)
+        with pytest.raises(ValueError):
+            SIMTModel(warp_width=0)
+        with pytest.raises(ValueError):
+            m.efficiency_ops_per_watt(0.0)
+
+
+class TestOffload:
+    def make(self):
+        return DevicePlatform(), CloudPlatform()
+
+    def test_data_dense_tasks_stay_local(self):
+        # Raw sensor stream: 1 op/bit — shipping costs more than crunching.
+        device, _ = self.make()
+        work = Workload(ops=1e6, input_bits=1e6)
+        assert not should_offload_energy(device, work)
+
+    def test_compute_dense_tasks_offload(self):
+        device, _ = self.make()
+        work = Workload(ops=1e12, input_bits=1e6)  # 1e6 ops/bit
+        assert should_offload_energy(device, work)
+
+    def test_breakeven_intensity(self):
+        device, _ = self.make()
+        b = energy_breakeven_intensity(device)
+        # e_radio 100 nJ/bit over e_op 0.1 nJ/op = 1000 ops/bit.
+        assert b == pytest.approx(1000.0)
+        just_below = Workload(ops=b * 0.9 * 1e6, input_bits=1e6)
+        just_above = Workload(ops=b * 1.1 * 1e6, input_bits=1e6)
+        assert not should_offload_energy(device, just_below)
+        assert should_offload_energy(device, just_above)
+
+    def test_latency_components(self):
+        device, cloud = self.make()
+        work = Workload(ops=1e9, input_bits=5e6)
+        t = offload_latency_s(device, cloud, work)
+        expected = 5e6 / 5e6 + 0.05 + 1e9 / 1e11
+        assert t == pytest.approx(expected)
+        assert local_latency_s(device, work) == pytest.approx(1.0)
+
+    def test_decision_prefers_energy_within_deadline(self):
+        device, cloud = self.make()
+        work = Workload(ops=1e12, input_bits=1e6)
+        out = offload_decision(device, cloud, work, deadline_s=1e6)
+        assert out["choice"] == "offload"
+        assert out["energy_saving"] > 0
+
+    def test_decision_respects_deadline(self):
+        device, cloud = self.make()
+        # Offload would win on energy but misses a tight deadline
+        # because the uplink is slow.
+        slow_device = DevicePlatform(uplink_bits_per_s=1e4)
+        work = Workload(ops=1e12, input_bits=1e7)
+        # Local takes 1000 s; offload 1010 s.  A 1005 s deadline forces
+        # the energy-worse local choice.
+        out = offload_decision(slow_device, cloud, work, deadline_s=1005.0)
+        assert out["choice"] == "local"
+
+    def test_frontier_flips_once(self):
+        device, cloud = self.make()
+        out = offload_frontier(
+            device, cloud, np.geomspace(1.0, 1e6, 25)
+        )
+        wins = out["offload_wins"]
+        assert not wins[0] and wins[-1]
+        # Monotone flip: once offload wins, it keeps winning.
+        first_win = int(np.argmax(wins))
+        assert np.all(wins[first_win:])
+
+    def test_radio_idle_power_counts(self):
+        base = DevicePlatform()
+        leaky = DevicePlatform(radio_idle_power_w=1.0)
+        work = Workload(ops=1e9, input_bits=5e6)
+        assert offload_energy_j(leaky, work) > offload_energy_j(base, work)
+
+    def test_validation(self):
+        device, cloud = self.make()
+        with pytest.raises(ValueError):
+            Workload(ops=-1.0, input_bits=0.0)
+        with pytest.raises(ValueError):
+            DevicePlatform(uplink_bits_per_s=0.0)
+        with pytest.raises(ValueError):
+            CloudPlatform(rtt_s=-1.0)
+        with pytest.raises(ValueError):
+            offload_decision(device, cloud, Workload(1.0, 1.0), deadline_s=0.0)
+        with pytest.raises(ValueError):
+            offload_frontier(device, cloud, np.array([1.0]), input_bits=0.0)
+
+    def test_local_energy_linear_in_ops(self):
+        device, _ = self.make()
+        w1 = Workload(ops=1e6, input_bits=1.0)
+        w2 = Workload(ops=2e6, input_bits=1.0)
+        assert local_energy_j(device, w2) == pytest.approx(
+            2 * local_energy_j(device, w1)
+        )

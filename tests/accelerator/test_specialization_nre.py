@@ -1,0 +1,172 @@
+"""Tests for specialization economics and NRE models (E05/E09)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.accelerator import (
+    AcceleratorSpec,
+    accelerator_portfolio,
+    asic_nre_by_node,
+    breakeven_volume,
+    breakeven_volume_by_node,
+    cheapest_target,
+    cost_curves,
+    coverage_required,
+    default_targets,
+    energy_adjusted_cost,
+    heterogeneous_soc_energy,
+    mechanism_breakdown,
+    system_energy_gain,
+)
+
+
+class TestSystemGain:
+    def test_full_coverage_gives_full_gain(self):
+        assert system_energy_gain(100.0, 1.0) == pytest.approx(100.0)
+
+    def test_zero_coverage_gives_nothing(self):
+        assert system_energy_gain(100.0, 0.0) == pytest.approx(1.0)
+
+    def test_paper_lament_low_coverage(self):
+        # A 100x accelerator covering 30% of work: system gain ~1.4x —
+        # why "no known solutions exist ... for broad classes".
+        assert system_energy_gain(100.0, 0.3) == pytest.approx(1.42, abs=0.01)
+
+    def test_gain_bounded_by_amdahl(self):
+        # System gain can never exceed 1/(1-c).
+        assert system_energy_gain(1e9, 0.5) <= 2.0 + 1e-9
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_gain_between_1_and_g(self, g, c):
+        gain = system_energy_gain(g, c)
+        assert 1.0 - 1e-9 <= gain <= g + 1e-9
+
+    def test_coverage_required_inverts(self):
+        c = coverage_required(100.0, 5.0)
+        assert system_energy_gain(100.0, c) == pytest.approx(5.0)
+
+    def test_coverage_required_validation(self):
+        with pytest.raises(ValueError):
+            coverage_required(10.0, 50.0)  # above ceiling
+        with pytest.raises(ValueError):
+            coverage_required(10.0, 0.5)
+
+    def test_mechanism_breakdown_near_100x(self):
+        out = mechanism_breakdown()
+        assert 50.0 <= out["total"] <= 200.0
+        factors = [v for k, v in out.items() if k != "total"]
+        assert out["total"] == pytest.approx(np.prod(factors))
+
+
+class TestPortfolio:
+    def test_diminishing_returns(self):
+        out = accelerator_portfolio(10, energy_gain=100.0)
+        gains = out["system_energy_gain"]
+        assert np.all(np.diff(gains) > 0)  # each accelerator helps...
+        # ...but covers less and less of the workload (long tail).
+        marginal_coverage = np.diff(out["cumulative_coverage"])
+        assert np.all(np.diff(marginal_coverage) < 0)
+        # Ten 100x accelerators still deliver well under 10x system-wide.
+        assert gains[-1] < 10.0
+
+    def test_coverage_capped(self):
+        out = accelerator_portfolio(50, total_coverage=0.8)
+        assert out["cumulative_coverage"][-1] <= 0.8 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accelerator_portfolio(0)
+        with pytest.raises(ValueError):
+            accelerator_portfolio(5, total_coverage=0.0)
+
+    def test_soc_composition(self):
+        specs = [
+            AcceleratorSpec("video", 200.0, 50.0, 0.3),
+            AcceleratorSpec("crypto", 50.0, 20.0, 0.1),
+        ]
+        out = heterogeneous_soc_energy(specs)
+        assert out["coverage"] == pytest.approx(0.4)
+        assert 1.0 < out["system_gain"] < 200.0
+
+    def test_soc_overlap_rejected(self):
+        specs = [
+            AcceleratorSpec("a", 10.0, 10.0, 0.7),
+            AcceleratorSpec("b", 10.0, 10.0, 0.6),
+        ]
+        with pytest.raises(ValueError):
+            heterogeneous_soc_energy(specs)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", 0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", 1.0, 1.0, 1.5)
+
+
+class TestNRE:
+    def test_volume_ordering_fpga_cgra_asic(self):
+        # The canonical result: FPGA at low volume, CGRA in the middle,
+        # ASIC at high volume.
+        assert cheapest_target(1e3) == "fpga"
+        assert cheapest_target(1e5) == "cgra"
+        assert cheapest_target(1e7) == "asic"
+
+    def test_breakeven_formula(self):
+        t = default_targets()
+        v = breakeven_volume(t["asic"], t["fpga"])
+        # At the breakeven, costs match.
+        assert t["asic"].cost_per_unit(v) == pytest.approx(
+            t["fpga"].cost_per_unit(v)
+        )
+
+    def test_breakeven_inf_when_never_wins(self):
+        from repro.accelerator import ImplementationTarget
+
+        expensive = ImplementationTarget("x", nre_usd=1e6, unit_cost_usd=100.0,
+                                         energy_overhead=1.0)
+        cheap = ImplementationTarget("y", nre_usd=0.0, unit_cost_usd=1.0,
+                                     energy_overhead=1.0)
+        assert breakeven_volume(expensive, cheap) == float("inf")
+
+    def test_cost_curves_decreasing(self):
+        out = cost_curves([1e2, 1e4, 1e6])
+        for name in ("asic", "cgra", "fpga"):
+            assert np.all(np.diff(out[name]) < 0)
+
+    def test_nre_grows_per_node(self):
+        table = asic_nre_by_node()
+        values = list(table.values())
+        assert all(a < b for a, b in zip(values, values[1:]))
+        # Table 1 row 5: NRE at recent nodes is orders above 350 nm.
+        assert values[-1] > 50 * values[0]
+
+    def test_breakeven_volume_rises_per_node(self):
+        table = breakeven_volume_by_node()
+        values = list(table.values())
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_energy_adjusted_cost_penalizes_fpga_at_high_duty(self):
+        t = default_targets()
+        lifetime_ops = 1e17  # heavy-duty deployment
+        volume = 1e6
+        asic = energy_adjusted_cost(t["asic"], volume, lifetime_ops)
+        fpga = energy_adjusted_cost(t["fpga"], volume, lifetime_ops)
+        assert asic < fpga
+
+    def test_validation(self):
+        t = default_targets()["asic"]
+        with pytest.raises(ValueError):
+            t.cost_per_unit(0.0)
+        with pytest.raises(ValueError):
+            cost_curves([0.0])
+        with pytest.raises(ValueError):
+            asic_nre_by_node(growth_per_node=1.0)
+        with pytest.raises(KeyError):
+            asic_nre_by_node(start="12nm")
+        with pytest.raises(ValueError):
+            energy_adjusted_cost(t, 1e3, -1.0)

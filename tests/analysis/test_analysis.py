@@ -1,0 +1,149 @@
+"""Tests for tables, statistics, and the experiment registry."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    REGISTRY,
+    Experiment,
+    ExperimentRegistry,
+    bootstrap_ci,
+    format_table,
+    geometric_mean,
+    mean_confidence_interval,
+    paper_vs_measured,
+    relative_error,
+    within_factor,
+)
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        out = format_table(["a", "b"], [(1, 2.5), ("x", 3.0)])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        out = format_table(["x"], [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured(
+            "E99", "test claim", [("speed", 2.0, 1.9), ("note", "n/a", "ok")]
+        )
+        assert "[E99] test claim" in out
+        assert "speed" in out
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([10.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_mean_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, 400)
+        mean, lo, hi = mean_confidence_interval(data)
+        assert lo < mean < hi
+        assert lo < 5.0 < hi
+
+    def test_mean_ci_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_bootstrap_ci(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(2.0, 500)
+        point, lo, hi = bootstrap_ci(data, statistic=np.median, rng=0)
+        assert lo <= point <= hi
+        # Median of exp(2) is 2 ln 2 ~ 1.386.
+        assert lo < 2 * np.log(2) < hi
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_resamples=2)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_within_factor(self):
+        assert within_factor(95.0, 100.0, 1.5)
+        assert within_factor(150.0, 100.0, 1.5)
+        assert not within_factor(300.0, 100.0, 1.5)
+        assert not within_factor(10.0, 100.0, 2.0)
+        with pytest.raises(ValueError):
+            within_factor(1.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            within_factor(-1.0, 1.0, 2.0)
+
+
+class TestRegistry:
+    def make_experiment(self, eid="X1", holds=True):
+        return Experiment(
+            id=eid, title="t", paper_anchor="a", claim="c",
+            run=lambda: {"value": 1.0, "holds": holds},
+        )
+
+    def test_register_and_run(self):
+        reg = ExperimentRegistry()
+        reg.register(self.make_experiment())
+        assert reg.ids() == ["X1"]
+        results = reg.run_all()
+        assert results["X1"]["holds"]
+
+    def test_duplicate_rejected(self):
+        reg = ExperimentRegistry()
+        reg.register(self.make_experiment())
+        with pytest.raises(ValueError):
+            reg.register(self.make_experiment())
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            ExperimentRegistry().get("nope")
+
+    def test_missing_holds_rejected(self):
+        exp = Experiment(
+            id="X2", title="t", paper_anchor="a", claim="c",
+            run=lambda: {"value": 1.0},
+        )
+        with pytest.raises(ValueError):
+            exp.execute()
+
+    def test_summary_counts(self):
+        reg = ExperimentRegistry()
+        reg.register(self.make_experiment("A", holds=True))
+        reg.register(self.make_experiment("B", holds=False))
+        results = reg.run_all()
+        summary = reg.summary(results)
+        assert "1/2 claims hold" in summary
+
+
+class TestPaperRegistry:
+    def test_all_22_registered(self):
+        assert len(REGISTRY) == 22
+        assert REGISTRY.ids()[0] == "E01"
+        assert REGISTRY.ids()[-1] == "E22"
+
+    @pytest.mark.parametrize("eid", [f"E{i:02d}" for i in range(1, 23)])
+    def test_every_experiment_claim_holds(self, eid):
+        """The headline integration test: every reproduced paper claim
+        holds in shape."""
+        result = REGISTRY.get(eid).execute()
+        assert result["holds"], f"{eid}: {result}"

@@ -1,0 +1,11 @@
+"""Test-suite-wide configuration: deterministic hypothesis runs."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,  # bit-identical property runs, matching the
+    deadline=None,     # library's reproducibility policy
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,119 @@
+"""Tests for the agenda (full-system) model — E06/E21 machinery."""
+
+import pytest
+
+from repro.core import units
+from repro.core.agenda import (
+    PlatformClass,
+    SystemConfig,
+    agenda_comparison,
+    evaluate_system,
+    levers_to_close_gap,
+    paper_platforms,
+    platform_gap_table,
+    twentieth_century_design,
+    twenty_first_century_design,
+)
+from repro.processor import BIG_OOO_CORE, LITTLE_INORDER_CORE
+
+
+class TestPlatforms:
+    def test_four_classes_with_paper_envelopes(self):
+        platforms = paper_platforms()
+        assert set(platforms) == {
+            "sensor", "portable", "departmental", "datacenter"
+        }
+        assert platforms["portable"].power_budget_w == 10.0
+        assert platforms["datacenter"].target_ops == 1e18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlatformClass("bad", 0.0, 1.0)
+
+
+class TestEvaluateSystem:
+    def test_metrics_consistent(self):
+        metrics = evaluate_system(SystemConfig(), 10.0)
+        assert metrics["power_w"] <= 10.0 + 1e-9
+        assert metrics["throughput_ops"] == pytest.approx(
+            min(metrics["peak_ops"], metrics["power_limited_ops"])
+        )
+        assert metrics["energy_per_op_j"] == pytest.approx(
+            metrics["compute_energy_j"] + metrics["memory_energy_j"]
+        )
+
+    def test_more_cores_more_peak(self):
+        few = evaluate_system(SystemConfig(n_cores=1), 1000.0)
+        many = evaluate_system(SystemConfig(n_cores=32), 1000.0)
+        assert many["peak_ops"] > few["peak_ops"]
+
+    def test_accelerators_cut_energy(self):
+        plain = evaluate_system(SystemConfig(), 10.0)
+        accel = evaluate_system(
+            SystemConfig(accelerator_coverage=0.6, accelerator_gain=50.0),
+            10.0,
+        )
+        assert accel["energy_per_op_j"] < plain["energy_per_op_j"]
+
+    def test_ntv_cuts_energy_and_speed(self):
+        nominal = evaluate_system(SystemConfig(n_cores=64), 1e9)
+        ntv = evaluate_system(
+            SystemConfig(n_cores=64, near_threshold=True), 1e9
+        )
+        assert ntv["compute_energy_j"] < nominal["compute_energy_j"]
+        assert ntv["peak_ops"] < nominal["peak_ops"]
+
+    def test_memory_lever(self):
+        heavy = evaluate_system(SystemConfig(memory_bytes_per_op=2.0), 10.0)
+        light = evaluate_system(
+            SystemConfig(memory_bytes_per_op=2.0, memory_efficiency_gain=4.0),
+            10.0,
+        )
+        assert light["memory_energy_j"] == pytest.approx(
+            heavy["memory_energy_j"] / 4.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_system(SystemConfig(), 0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            SystemConfig(accelerator_coverage=1.5)
+        with pytest.raises(ValueError):
+            SystemConfig(memory_efficiency_gain=0.5)
+
+
+class TestTable2:
+    def test_designs_match_their_columns(self):
+        old = twentieth_century_design()
+        new = twenty_first_century_design()
+        assert old.core is BIG_OOO_CORE and old.n_cores == 1
+        assert new.core is LITTLE_INORDER_CORE and new.n_cores > 1
+        assert new.accelerator_coverage > 0
+
+    def test_energy_first_wins(self):
+        cmp = agenda_comparison()
+        assert cmp["efficiency_gain"] > 3.0
+        assert cmp["new_energy_per_op_j"] < cmp["old_energy_per_op_j"]
+
+    def test_gap_table_shape(self):
+        gaps = platform_gap_table()
+        for name, rec in gaps.items():
+            assert rec["gap"] > 1.0, name  # 2012 tech misses the target
+            assert rec["achieved_ops"] == pytest.approx(
+                rec["ops_per_watt"] * rec["power_budget_w"]
+            )
+        # Per-watt story is the same across classes (scale-out model).
+        opw = {round(v["ops_per_watt"]) for v in gaps.values()}
+        assert len(opw) == 1
+
+    def test_levers_monotone(self):
+        levers = levers_to_close_gap()
+        order = [
+            "baseline_little_core", "many_cores", "plus_specialization",
+            "plus_ntv", "plus_memory_efficiency",
+        ]
+        values = [levers[k] for k in order]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert levers["paper_target"] == units.PAPER_TARGET_OPS_PER_WATT

@@ -1,0 +1,177 @@
+"""Tests for design points and Pareto machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.design import (
+    DesignPoint,
+    Direction,
+    Metrics,
+    Objective,
+    best_under_budget,
+    dominated_fraction,
+    knee_point,
+    pareto_front,
+    pareto_mask,
+)
+
+MIN_E = Objective("energy_j", Direction.MINIMIZE)
+MAX_T = Objective("throughput_ops", Direction.MAXIMIZE)
+
+
+def dp(energy, throughput, **config):
+    return DesignPoint(
+        config=config or {"e": energy},
+        metrics=Metrics({"energy_j": energy, "throughput_ops": throughput}),
+    )
+
+
+class TestMetrics:
+    def test_mapping_protocol(self):
+        m = Metrics()
+        m["power_w"] = 3
+        assert m["power_w"] == 3.0
+        assert "power_w" in m
+        assert m.get("missing", -1.0) == -1.0
+
+    def test_derive_efficiency(self):
+        m = Metrics({"throughput_ops": 1e12, "power_w": 10.0})
+        m.derive_efficiency()
+        assert m["efficiency_ops_per_watt"] == pytest.approx(1e11)
+
+    def test_derive_efficiency_zero_power(self):
+        m = Metrics({"throughput_ops": 1e12, "power_w": 0.0})
+        m.derive_efficiency()
+        assert m["efficiency_ops_per_watt"] == 0.0
+
+    def test_unevaluated_point_raises(self):
+        p = DesignPoint(config={})
+        assert not p.is_evaluated()
+        with pytest.raises(ValueError):
+            p.metric("energy_j")
+
+
+class TestParetoFront:
+    def test_dominated_point_removed(self):
+        worse = dp(energy=2.0, throughput=1.0)
+        better = dp(energy=1.0, throughput=2.0)
+        front = pareto_front([worse, better], [MIN_E, MAX_T])
+        assert front == [better]
+
+    def test_tradeoff_points_all_kept(self):
+        pts = [dp(energy=float(i), throughput=float(i)) for i in range(1, 6)]
+        front = pareto_front(pts, [MIN_E, MAX_T])
+        assert len(front) == 5
+
+    def test_duplicate_points_all_kept(self):
+        a = dp(1.0, 1.0)
+        b = dp(1.0, 1.0)
+        front = pareto_front([a, b], [MIN_E, MAX_T])
+        assert len(front) == 2
+
+    def test_empty_and_validation(self):
+        assert pareto_front([], [MIN_E]) == []
+        with pytest.raises(ValueError):
+            pareto_front([dp(1, 1)], [])
+
+    def test_single_objective_collapses_to_min(self):
+        pts = [dp(e, 0.0) for e in (3.0, 1.0, 2.0)]
+        front = pareto_front(pts, [MIN_E])
+        assert [p.metric("energy_j") for p in front] == [1.0]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_property_front_is_mutually_nondominated(self, raw):
+        pts = [dp(e, t) for e, t in raw]
+        front = pareto_front(pts, [MIN_E, MAX_T])
+        assert front  # at least one survivor
+        for a in front:
+            for b in front:
+                strictly_better = (
+                    b.metric("energy_j") <= a.metric("energy_j")
+                    and b.metric("throughput_ops") >= a.metric("throughput_ops")
+                    and (
+                        b.metric("energy_j") < a.metric("energy_j")
+                        or b.metric("throughput_ops") > a.metric("throughput_ops")
+                    )
+                )
+                assert not strictly_better
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_every_point_dominated_by_front_member_or_on_front(
+        self, raw
+    ):
+        pts = [dp(e, t) for e, t in raw]
+        front = pareto_front(pts, [MIN_E, MAX_T])
+        for p in pts:
+            covered = any(
+                f.metric("energy_j") <= p.metric("energy_j")
+                and f.metric("throughput_ops") >= p.metric("throughput_ops")
+                for f in front
+            ) or p in front
+            assert covered
+
+
+class TestParetoMask:
+    def test_mask_on_matrix(self):
+        m = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        mask = pareto_mask(m)
+        assert mask.tolist() == [True, False, True]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pareto_mask(np.zeros(3))
+
+
+class TestKneeAndHelpers:
+    def test_knee_prefers_balanced(self):
+        extreme_a = dp(energy=0.0, throughput=0.0)
+        extreme_b = dp(energy=10.0, throughput=10.0)
+        balanced = dp(energy=1.0, throughput=9.0)
+        knee = knee_point([extreme_a, extreme_b, balanced], [MIN_E, MAX_T])
+        assert knee is balanced
+
+    def test_knee_empty_raises(self):
+        with pytest.raises(ValueError):
+            knee_point([], [MIN_E])
+
+    def test_dominated_fraction(self):
+        pts = [dp(1.0, 2.0), dp(2.0, 1.0)]  # second dominated
+        assert dominated_fraction(pts, [MIN_E, MAX_T]) == pytest.approx(0.5)
+        assert dominated_fraction([], [MIN_E]) == 0.0
+
+    def test_best_under_budget(self):
+        pts = [
+            dp(energy=1.0, throughput=10.0),
+            dp(energy=5.0, throughput=100.0),
+            dp(energy=20.0, throughput=1000.0),
+        ]
+        best = best_under_budget(
+            pts, maximize="throughput_ops", budgets={"energy_j": 6.0}
+        )
+        assert best is pts[1]
+
+    def test_best_under_budget_infeasible(self):
+        pts = [dp(energy=5.0, throughput=1.0)]
+        assert (
+            best_under_budget(pts, "throughput_ops", {"energy_j": 1.0}) is None
+        )

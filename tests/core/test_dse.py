@@ -1,0 +1,171 @@
+"""Tests for the design-space exploration driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import Direction, Metrics, Objective
+from repro.core.dse import (
+    ContinuousParam,
+    DiscreteParam,
+    Explorer,
+    grid_configs,
+    local_search,
+    random_configs,
+)
+
+
+def quadratic_evaluator(config):
+    # Minimum energy at x = 2; throughput rises with x.
+    x = config["x"]
+    return Metrics(
+        {
+            "energy_j": (x - 2.0) ** 2 + 1.0,
+            "throughput_ops": x,
+            "power_w": 1.0,
+        }
+    )
+
+
+class TestGridConfigs:
+    def test_cartesian_product(self):
+        params = [
+            DiscreteParam("a", (1, 2)),
+            DiscreteParam("b", ("x", "y", "z")),
+        ]
+        configs = list(grid_configs(params))
+        assert len(configs) == 6
+        assert {"a": 1, "b": "z"} in configs
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            list(grid_configs([DiscreteParam("a", (1,)), DiscreteParam("a", (2,))]))
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteParam("a", ())
+
+
+class TestRandomConfigs:
+    def test_count_and_bounds(self):
+        params = [ContinuousParam("x", 0.0, 4.0)]
+        configs = random_configs(params, 25, rng=0)
+        assert len(configs) == 25
+        assert all(0.0 <= c["x"] <= 4.0 for c in configs)
+
+    def test_log_scale_spans_decades(self):
+        params = [ContinuousParam("v", 1e3, 1e9, log_scale=True)]
+        configs = random_configs(params, 200, rng=0)
+        values = np.array([c["v"] for c in configs])
+        # Roughly uniform in log space: each decade populated.
+        decades = np.floor(np.log10(values)).astype(int)
+        assert set(decades) >= {3, 4, 5, 6, 7, 8}
+
+    def test_log_scale_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousParam("v", 0.0, 1.0, log_scale=True)
+        with pytest.raises(ValueError):
+            ContinuousParam("v", 2.0, 1.0)
+
+    def test_deterministic_given_seed(self):
+        params = [ContinuousParam("x", 0.0, 1.0)]
+        a = random_configs(params, 10, rng=5)
+        b = random_configs(params, 10, rng=5)
+        assert a == b
+
+
+class TestExplorer:
+    def test_grid_sweep_evaluates_all(self):
+        explorer = Explorer(quadratic_evaluator)
+        result = explorer.grid([DiscreteParam("x", (0.0, 1.0, 2.0, 3.0))])
+        assert len(result.points) == 4
+        assert not result.failures
+        best = result.best("energy_j", maximize=False)
+        assert best.config["x"] == 2.0
+
+    def test_efficiency_auto_derived(self):
+        explorer = Explorer(quadratic_evaluator)
+        result = explorer.grid([DiscreteParam("x", (4.0,))])
+        assert result.points[0].metric(
+            "efficiency_ops_per_watt"
+        ) == pytest.approx(4.0)
+
+    def test_failures_captured_not_raised(self):
+        def sometimes_fails(config):
+            if config["x"] < 0:
+                raise ValueError("infeasible corner")
+            return quadratic_evaluator(config)
+
+        explorer = Explorer(sometimes_fails)
+        result = explorer.grid([DiscreteParam("x", (-1.0, 1.0))])
+        assert len(result.points) == 1
+        assert len(result.failures) == 1
+        assert "infeasible" in result.failures[0][1]
+
+    def test_non_metrics_return_raises(self):
+        explorer = Explorer(lambda cfg: {"oops": 1})
+        with pytest.raises(TypeError):
+            explorer.grid([DiscreteParam("x", (1.0,))])
+
+    def test_front_and_columns(self):
+        explorer = Explorer(quadratic_evaluator)
+        result = explorer.grid([DiscreteParam("x", (0.0, 2.0, 4.0))])
+        front = result.front(
+            [
+                Objective("energy_j", Direction.MINIMIZE),
+                Objective("throughput_ops", Direction.MAXIMIZE),
+            ]
+        )
+        assert 1 <= len(front) <= 3
+        col = result.column("throughput_ops")
+        np.testing.assert_allclose(col, [0.0, 2.0, 4.0])
+        assert result.config_column("x") == [0.0, 2.0, 4.0]
+
+    def test_label_key(self):
+        explorer = Explorer(quadratic_evaluator, label_key="x")
+        result = explorer.grid([DiscreteParam("x", (7.0,))])
+        assert result.points[0].label == "7.0"
+
+    def test_best_on_empty_raises(self):
+        explorer = Explorer(quadratic_evaluator)
+        result = explorer.run([])
+        with pytest.raises(ValueError):
+            result.best("energy_j")
+
+
+class TestLocalSearch:
+    def test_finds_quadratic_minimum(self):
+        params = [ContinuousParam("x", -10.0, 10.0)]
+        point = local_search(
+            quadratic_evaluator,
+            start={"x": -8.0},
+            params=params,
+            metric="energy_j",
+            maximize=False,
+            iterations=400,
+            rng=0,
+        )
+        assert point.metric("energy_j") < 1.2  # near global min of 1.0
+        assert abs(point.config["x"] - 2.0) < 0.5
+
+    def test_clamps_to_bounds(self):
+        params = [ContinuousParam("x", 0.0, 1.0)]
+        point = local_search(
+            lambda c: Metrics({"m": c["x"]}),
+            start={"x": 0.5},
+            params=params,
+            metric="m",
+            maximize=True,
+            iterations=200,
+            rng=1,
+        )
+        assert 0.0 <= point.config["x"] <= 1.0
+        assert point.config["x"] > 0.9
+
+    def test_unknown_start_key_rejected(self):
+        with pytest.raises(KeyError):
+            local_search(
+                quadratic_evaluator,
+                start={"y": 0.0},
+                params=[ContinuousParam("x", 0.0, 1.0)],
+                metric="energy_j",
+            )

@@ -1,0 +1,165 @@
+"""Tests for the hierarchical energy ledger."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.core.energy import (
+    EnergyCost,
+    EnergyLedger,
+    combine_ledgers,
+    energy_delay_product,
+    energy_delay_squared,
+)
+
+
+class TestCharging:
+    def test_total_accumulates(self):
+        led = EnergyLedger()
+        led.charge("a", 1.0)
+        led.charge("a", 2.0)
+        led.charge("b", 4.0)
+        assert led.total() == pytest.approx(7.0)
+        assert led.total("a") == pytest.approx(3.0)
+
+    def test_prefix_matching_is_component_wise(self):
+        led = EnergyLedger()
+        led.charge("mem.dram", 1.0)
+        led.charge("memx", 10.0)
+        # "mem" must not match "memx".
+        assert led.total("mem") == pytest.approx(1.0)
+
+    def test_validation(self):
+        led = EnergyLedger()
+        with pytest.raises(ValueError):
+            led.charge("a", -1.0)
+        with pytest.raises(ValueError):
+            led.charge("a", 1.0, ops=-1)
+        with pytest.raises(ValueError):
+            led.charge("", 1.0)
+
+    def test_ops_tracking(self):
+        led = EnergyLedger()
+        led.charge("compute.fma", 1e-12, ops=10)
+        led.charge("compute.add", 1e-12, ops=5)
+        assert led.ops("compute") == 15
+        assert led.ops() == 15
+
+
+class TestBreakdown:
+    def test_depth_one_groups_top_level(self):
+        led = EnergyLedger()
+        led.charge("memory.dram.read", 1.0)
+        led.charge("memory.cache.l1", 2.0)
+        led.charge("compute.fma", 3.0)
+        bd = led.breakdown(1)
+        assert bd == {"memory": 3.0, "compute": 3.0}
+
+    def test_depth_two(self):
+        led = EnergyLedger()
+        led.charge("memory.dram.read", 1.0)
+        led.charge("memory.dram.write", 2.0)
+        bd = led.breakdown(2)
+        assert bd == {"memory.dram": 3.0}
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().breakdown(0)
+
+    def test_report_mentions_total(self):
+        led = EnergyLedger()
+        led.charge("compute", 1.0)
+        assert "TOTAL" in led.report()
+
+
+class TestMergeAndCombine:
+    def test_merge_with_prefix(self):
+        sub = EnergyLedger()
+        sub.charge("link", 2.0, ops=3)
+        top = EnergyLedger()
+        top.merge(sub, prefix="noc")
+        assert top.total("noc.link") == pytest.approx(2.0)
+        assert top.ops("noc") == 3
+
+    def test_combine_ledgers(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.charge("x", 1.0)
+        b.charge("y", 2.0)
+        merged = combine_ledgers({"compute": a, "memory": b})
+        assert merged.total() == pytest.approx(3.0)
+        assert merged.total("memory.y") == pytest.approx(2.0)
+
+    def test_reset(self):
+        led = EnergyLedger()
+        led.charge("a", 1.0, ops=1)
+        led.reset()
+        assert led.total() == 0.0
+        assert led.ops() == 0
+        assert led.accounts() == []
+
+
+class TestEfficiency:
+    def test_ops_per_watt(self):
+        led = EnergyLedger()
+        led.charge("compute", 1e-9, ops=100)
+        assert led.efficiency_ops_per_watt() == pytest.approx(1e11)
+        assert led.meets_paper_target()
+
+    def test_below_target(self):
+        led = EnergyLedger()
+        led.charge("compute", 1.0, ops=int(units.GIGA))
+        assert not led.meets_paper_target()
+
+    def test_zero_energy_edge_cases(self):
+        led = EnergyLedger()
+        assert led.efficiency_ops_per_watt() == 0.0
+        led.charge("free", 0.0, ops=5)
+        assert led.efficiency_ops_per_watt() == float("inf")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a.x", "a.y", "b.z"]),
+                st.floats(min_value=0, max_value=1e3),
+            ),
+            max_size=30,
+        )
+    )
+    def test_property_total_equals_sum_of_breakdown(self, charges):
+        led = EnergyLedger()
+        for account, energy in charges:
+            led.charge(account, energy)
+        assert led.total() == pytest.approx(
+            sum(led.breakdown(1).values()), abs=1e-9
+        )
+        assert led.total() == pytest.approx(
+            led.total("a") + led.total("b"), abs=1e-9
+        )
+
+
+class TestEnergyCost:
+    def test_total_energy(self):
+        cost = EnergyCost("core", per_event_j=2e-12, leakage_w=1e-3)
+        assert cost.total_energy(1000, 2.0) == pytest.approx(
+            2e-9 + 2e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyCost("bad", per_event_j=-1.0)
+        cost = EnergyCost("core", per_event_j=1.0)
+        with pytest.raises(ValueError):
+            cost.dynamic_energy(-1)
+        with pytest.raises(ValueError):
+            cost.idle_energy(-1.0)
+
+
+class TestFusedMetrics:
+    def test_edp_and_ed2p(self):
+        assert energy_delay_product(2.0, 3.0) == pytest.approx(6.0)
+        assert energy_delay_squared(2.0, 3.0) == pytest.approx(18.0)
+        with pytest.raises(ValueError):
+            energy_delay_product(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            energy_delay_squared(1.0, -1.0)

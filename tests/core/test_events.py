@@ -1,0 +1,166 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import PeriodicSource, Simulator
+
+
+def record(log):
+    def cb(sim, payload):
+        log.append((sim.now, payload))
+
+    return cb
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, record(log), "c")
+        sim.schedule(1.0, record(log), "a")
+        sim.schedule(2.0, record(log), "b")
+        sim.run()
+        assert [p for _, p in log] == ["a", "b", "c"]
+        assert [t for t, _ in log] == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for name in "abcd":
+            sim.schedule(5.0, record(log), name)
+        sim.run()
+        assert [p for _, p in log] == list("abcd")
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_property_execution_times_nondecreasing(self, delays):
+        sim = Simulator()
+        log = []
+        for d in delays:
+            sim.schedule(d, record(log), None)
+        sim.run()
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class TestScheduling:
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, record([]))
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        log = []
+        sim.schedule_at(12.5, record(log), "x")
+        with pytest.raises(ValueError):
+            sim.schedule_at(9.0, record(log))
+        sim.run()
+        assert log == [(12.5, "x")]
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        log = []
+
+        def chain(s, depth):
+            log.append(s.now)
+            if depth > 0:
+                s.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert log == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        token = sim.schedule(1.0, record(log), "dead")
+        sim.schedule(2.0, record(log), "live")
+        token.cancel()
+        sim.run()
+        assert [p for _, p in log] == ["live"]
+        assert sim.stats.events_cancelled == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        token = sim.schedule(1.0, record([]))
+        sim.schedule(2.0, record([]))
+        token.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunControl:
+    def test_until_horizon_inclusive(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, record(log), "in")
+        sim.schedule(2.0, record(log), "at")
+        sim.schedule(3.0, record(log), "beyond")
+        sim.run(until=2.0)
+        assert [p for _, p in log] == ["in", "at"]
+        assert sim.now == 2.0
+        sim.run()  # resumes
+        assert [p for _, p in log] == ["in", "at", "beyond"]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(float(i), record(log), i)
+        sim.run(max_events=4)
+        assert len(log) == 4
+
+    def test_stats_counts(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), record([]))
+        stats = sim.run()
+        assert stats.events_executed == 5
+        assert stats.end_time == 4.0
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested(s, _):
+            with pytest.raises(RuntimeError):
+                s.run()
+
+        sim.schedule(0.0, nested)
+        sim.run()
+
+    def test_len_counts_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, record([]))
+        sim.schedule(2.0, record([]))
+        assert len(sim) == 2
+
+
+class TestPeriodicSource:
+    def test_fires_at_period(self):
+        sim = Simulator()
+        log = []
+        src = PeriodicSource(period=2.0, callback=record(log), payload="tick")
+        src.start(sim)
+        sim.run(until=7.0)
+        assert [t for t, _ in log] == [0.0, 2.0, 4.0, 6.0]
+        assert src.fires == 4
+
+    def test_stop_after(self):
+        sim = Simulator()
+        log = []
+        src = PeriodicSource(
+            period=1.0, callback=record(log), stop_after=2.5
+        )
+        src.start(sim)
+        sim.run(until=100.0)
+        assert [t for t, _ in log] == [0.0, 1.0, 2.0]
+
+    def test_bad_period(self):
+        sim = Simulator()
+        src = PeriodicSource(period=0.0, callback=record([]))
+        with pytest.raises(ValueError):
+            src.start(sim)

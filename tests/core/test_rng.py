@@ -1,0 +1,98 @@
+"""Tests for the seeded RNG policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import rng as rng_mod
+from repro.core.rng import resolve_rng, sobol_like_grid, spawn_rngs, stream_for
+
+
+class TestResolveRng:
+    def test_none_is_deterministic(self):
+        a = resolve_rng(None).random(8)
+        b = resolve_rng(None).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(7).random(8)
+        b = resolve_rng(7).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).random(8)
+        b = resolve_rng(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(3)
+        assert resolve_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(11)
+        out = resolve_rng(seq)
+        assert isinstance(out, np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_spawned_streams_are_distinct(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random(16) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestStreamFor:
+    def test_stable_across_calls(self):
+        a = stream_for(42, "server", 17).random(4)
+        b = stream_for(42, "server", 17).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_keys_give_distinct_streams(self):
+        a = stream_for(42, "server", 1).random(4)
+        b = stream_for(42, "server", 2).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_none_seed_uses_default(self):
+        a = stream_for(None, "x").random(4)
+        b = stream_for(rng_mod.DEFAULT_SEED, "x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLatinHypercube:
+    def test_shape_and_bounds(self):
+        pts = sobol_like_grid([0.0, 10.0], [1.0, 20.0], 50, rng=0)
+        assert pts.shape == (50, 2)
+        assert np.all(pts[:, 0] >= 0.0) and np.all(pts[:, 0] <= 1.0)
+        assert np.all(pts[:, 1] >= 10.0) and np.all(pts[:, 1] <= 20.0)
+
+    def test_stratification(self):
+        # Each of the n slices in each dimension holds exactly one point.
+        n = 40
+        pts = sobol_like_grid([0.0], [1.0], n, rng=1)
+        bins = np.floor(pts[:, 0] * n).astype(int)
+        assert sorted(bins) == list(range(n))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sobol_like_grid([0.0], [1.0, 2.0], 5)
+        with pytest.raises(ValueError):
+            sobol_like_grid([1.0], [0.0], 5)
+        with pytest.raises(ValueError):
+            sobol_like_grid([0.0], [1.0], 0)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(0, 2**31 - 1))
+    def test_property_points_within_box(self, n, seed):
+        pts = sobol_like_grid([-2.0, 5.0], [3.0, 5.0], n, rng=seed)
+        assert np.all(pts[:, 0] >= -2.0) and np.all(pts[:, 0] <= 3.0)
+        # Degenerate dimension collapses to the single value.
+        np.testing.assert_allclose(pts[:, 1], 5.0)

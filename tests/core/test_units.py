@@ -1,0 +1,93 @@
+"""Unit/constant sanity for :mod:`repro.core.units`."""
+
+import math
+
+import pytest
+
+from repro.core import units
+
+
+class TestPrefixes:
+    def test_prefix_ladder_is_consistent(self):
+        assert units.KILO * units.MILLI == pytest.approx(1.0)
+        assert units.GIGA == pytest.approx(units.MEGA * units.KILO)
+        assert units.TERA / units.GIGA == pytest.approx(units.KILO)
+        assert units.EXA == pytest.approx(1e18)
+
+    def test_binary_prefixes(self):
+        assert units.MIB == units.KIB**2
+        assert units.GIB == 2**30
+
+
+class TestPaperTargets:
+    def test_all_platform_targets_reduce_to_100_gops_per_watt(self):
+        # Section 2.2: exa-op@10MW == peta-op@10kW == tera-op@10W ==
+        # giga-op@10mW == 1e11 ops/s/W.
+        for cls, power in units.PAPER_POWER_ENVELOPES.items():
+            ops = units.PAPER_THROUGHPUT_TARGETS[cls]
+            assert ops / power == pytest.approx(
+                units.PAPER_TARGET_OPS_PER_WATT
+            ), cls
+
+    def test_target_is_10x_above_2012_mobile(self):
+        ratio = (
+            units.PAPER_TARGET_OPS_PER_WATT
+            / units.PAPER_CIRCA_2012_MOBILE_OPS_PER_WATT
+        )
+        assert ratio == pytest.approx(10.0)
+
+    def test_five_nines_downtime_is_about_five_minutes(self):
+        downtime = units.downtime_seconds_per_year(units.FIVE_NINES)
+        assert 300 <= downtime <= 320  # "all but five minutes per year"
+
+
+class TestConverters:
+    def test_db_round_trip(self):
+        for ratio in (0.5, 1.0, 2.0, 100.0):
+            assert units.from_db(units.db(ratio)) == pytest.approx(ratio)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+        with pytest.raises(ValueError):
+            units.db(-3.0)
+
+    def test_ops_per_watt_inversion(self):
+        assert units.joules_per_op(1e11) == pytest.approx(1e-11)
+        assert units.ops_per_watt(1e-11) == pytest.approx(1e11)
+        with pytest.raises(ValueError):
+            units.joules_per_op(0.0)
+        with pytest.raises(ValueError):
+            units.ops_per_watt(-1.0)
+
+    def test_availability_round_trip(self):
+        a = 0.999
+        down = units.downtime_seconds_per_year(a)
+        assert units.availability_from_downtime(down) == pytest.approx(a)
+
+    def test_availability_bounds(self):
+        with pytest.raises(ValueError):
+            units.downtime_seconds_per_year(1.5)
+        with pytest.raises(ValueError):
+            units.availability_from_downtime(-1.0)
+        # Huge downtime clamps at zero availability, not negative.
+        assert units.availability_from_downtime(1e12) == 0.0
+
+    def test_thermal_voltage_magnitude(self):
+        # kT/q at room temperature is ~25.85 mV.
+        assert units.THERMAL_VOLTAGE_300K == pytest.approx(0.02585, rel=1e-3)
+
+
+class TestSiFormat:
+    def test_selects_correct_prefix(self):
+        assert units.si_format(3.2e9, "op/s") == "3.2 Gop/s"
+        assert units.si_format(5e-12, "J") == "5 pJ"
+        assert units.si_format(10e-3, "W") == "10 mW"
+
+    def test_handles_zero_and_nonfinite(self):
+        assert units.si_format(0.0, "J") == "0 J"
+        assert "inf" in units.si_format(math.inf, "J")
+
+    def test_handles_tiny_values(self):
+        out = units.si_format(1e-20, "J")
+        assert "a" in out  # falls through to atto

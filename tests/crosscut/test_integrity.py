@@ -1,0 +1,74 @@
+"""Tests for the tamper-proof-memory overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.crosscut import (
+    IntegrityTreeConfig,
+    overhead_vs_arity,
+    overhead_vs_cache_hit_rate,
+    secure_access_overhead,
+)
+
+
+class TestGeometry:
+    def test_default_tree_shape(self):
+        cfg = IntegrityTreeConfig()
+        assert cfg.n_lines == pytest.approx(2**27)  # 8 GiB / 64 B
+        assert cfg.n_counter_blocks == pytest.approx(2**24)
+        assert cfg.tree_levels == 8  # log8(2^24)
+
+    def test_storage_overhead_sgx_class(self):
+        # SGX-class designs pay ~25% metadata; the model should land
+        # in that band.
+        cfg = IntegrityTreeConfig()
+        assert 0.2 <= cfg.storage_overhead_fraction <= 0.35
+
+    def test_wider_tree_is_shallower(self):
+        narrow = IntegrityTreeConfig(tree_arity=2)
+        wide = IntegrityTreeConfig(tree_arity=32)
+        assert wide.tree_levels < narrow.tree_levels
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntegrityTreeConfig(tree_arity=1)
+        with pytest.raises(ValueError):
+            IntegrityTreeConfig(metadata_cache_hit_rate=1.5)
+        with pytest.raises(ValueError):
+            IntegrityTreeConfig(protected_bytes=0.0)
+
+
+class TestOverheads:
+    def test_perfect_metadata_cache_nearly_free(self):
+        cfg = IntegrityTreeConfig(metadata_cache_hit_rate=1.0)
+        out = secure_access_overhead(cfg)
+        assert out["bandwidth_overhead"] == pytest.approx(0.0)
+        # Only the crypto pipeline latency remains.
+        assert out["latency_overhead"] == pytest.approx(
+            cfg.crypto_latency_ns / 60.0
+        )
+
+    def test_no_cache_pays_the_full_walk(self):
+        cfg = IntegrityTreeConfig(metadata_cache_hit_rate=0.0)
+        out = secure_access_overhead(cfg)
+        assert out["bandwidth_overhead"] == pytest.approx(
+            1.0 + cfg.tree_levels
+        )
+
+    def test_hit_rate_sweep_monotone(self):
+        out = overhead_vs_cache_hit_rate(np.array([0.0, 0.5, 0.9, 1.0]))
+        assert np.all(np.diff(out["latency_overhead"]) < 0)
+        assert np.all(np.diff(out["bandwidth_overhead"]) < 0)
+
+    def test_arity_sweep(self):
+        out = overhead_vs_arity((2, 8, 32))
+        assert np.all(np.diff(out["tree_levels"]) < 0)
+        assert np.all(np.diff(out["latency_overhead"]) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            secure_access_overhead(dram_latency_ns=0.0)
+        with pytest.raises(ValueError):
+            overhead_vs_cache_hit_rate(np.array([2.0]))
+        with pytest.raises(ValueError):
+            overhead_vs_arity(())

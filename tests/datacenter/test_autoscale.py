@@ -1,0 +1,99 @@
+"""Tests for cluster autoscaling vs energy proportionality."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter import (
+    AutoscaleConfig,
+    ServerPowerModel,
+    diurnal_load,
+    policy_energy_comparison,
+    provision,
+)
+
+
+class TestDiurnalLoad:
+    def test_shape(self):
+        load = diurnal_load(rng=0)
+        assert load.size == 288
+        # Peak is well above the trough (~5x by default).
+        assert load.max() > 3 * load.min()
+        assert np.all(load >= 0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(diurnal_load(rng=1), diurnal_load(rng=1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_load(n_intervals=1)
+        with pytest.raises(ValueError):
+            diurnal_load(trough_fraction=0.0)
+        with pytest.raises(ValueError):
+            diurnal_load(noise=-1.0)
+
+
+class TestProvisioning:
+    def test_static_never_overloads(self):
+        res = provision("static_peak", diurnal_load(rng=0))
+        assert res.overloaded_intervals == 0
+        assert res.boots == 0
+
+    def test_autoscale_saves_energy(self):
+        load = diurnal_load(rng=0)
+        static = provision("static_peak", load)
+        auto = provision("autoscale", load)
+        assert auto.energy_j < static.energy_j
+        assert auto.mean_servers < static.mean_servers
+
+    def test_autoscale_lag_costs_qos(self):
+        # With a long reaction lag and a fast-moving load, the
+        # autoscaler trails the ramp and overloads.
+        load = diurnal_load(n_intervals=96, noise=0.15, rng=2)
+        slow = provision(
+            "autoscale", load,
+            config=AutoscaleConfig(reaction_intervals=8, headroom=1.05),
+        )
+        assert slow.overloaded_intervals > 0
+
+    def test_proportional_hw_matches_autoscale_without_risk(self):
+        out = policy_energy_comparison(rng=0)
+        assert out["proportional_hw"]["energy_vs_static"] < 0.85
+        assert out["proportional_hw"]["overload_rate"] == 0.0
+        assert (
+            out["proportional_hw"]["energy_j"]
+            < 1.1 * out["autoscale"]["energy_j"]
+        )
+
+    def test_boot_energy_charged(self):
+        load = diurnal_load(rng=0)
+        cheap = provision(
+            "autoscale", load, config=AutoscaleConfig(boot_energy_j=0.0)
+        )
+        dear = provision(
+            "autoscale", load, config=AutoscaleConfig(boot_energy_j=1e6)
+        )
+        assert dear.energy_j > cheap.energy_j
+        assert dear.boots == cheap.boots > 0
+
+    def test_zero_lag_tracks_exactly(self):
+        load = diurnal_load(rng=0)
+        res = provision(
+            "autoscale", load,
+            config=AutoscaleConfig(reaction_intervals=0, headroom=1.2),
+        )
+        assert res.overloaded_intervals == 0
+
+    def test_validation(self):
+        load = diurnal_load(rng=0)
+        with pytest.raises(ValueError):
+            provision("carrier_pigeon", load)
+        with pytest.raises(ValueError):
+            provision("autoscale", np.array([]))
+        with pytest.raises(ValueError):
+            provision("autoscale", np.array([-1.0]))
+        with pytest.raises(ValueError):
+            provision("autoscale", load, interval_s=0.0)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(server_capacity_rps=0.0)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(headroom=0.9)

@@ -1,0 +1,250 @@
+"""Tests for the cluster simulator, power models, availability, and TCO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import (
+    Balancer,
+    ClusterConfig,
+    ClusterSimulator,
+    DatacenterPowerModel,
+    RedundancyCostModel,
+    ServerPowerModel,
+    TCOModel,
+    availability_from_nines,
+    datacenter_ops_within_budget,
+    downtime_minutes_per_year,
+    erlang_c,
+    k_of_n_availability,
+    mm1_mean_latency,
+    mmc_mean_latency,
+    nines,
+    paper_five_nines_check,
+    parallel_availability,
+    replicas_for_target,
+    series_availability,
+    utilization_latency_tradeoff,
+)
+
+
+class TestQueueingClosedForms:
+    def test_mm1(self):
+        assert mm1_mean_latency(0.5, 1.0) == pytest.approx(2.0)
+        assert mm1_mean_latency(1.0, 1.0) == float("inf")
+
+    def test_erlang_c_limits(self):
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)  # M/M/1: P(queue)=rho
+        assert erlang_c(4, 4.0) == 1.0  # saturated
+        assert erlang_c(10, 0.01) < 1e-10  # nearly idle
+
+    def test_mmc_approaches_mm1_with_one_server(self):
+        assert mmc_mean_latency(0.7, 1.0, 1) == pytest.approx(
+            mm1_mean_latency(0.7, 1.0)
+        )
+
+    def test_more_servers_less_waiting(self):
+        # Same utilization, more servers: better latency (pooling).
+        l4 = mmc_mean_latency(0.7 * 4, 1.0, 4)
+        l16 = mmc_mean_latency(0.7 * 16, 1.0, 16)
+        assert l16 < l4
+
+    def test_tradeoff_curve_monotone(self):
+        out = utilization_latency_tradeoff(np.array([0.3, 0.6, 0.9, 0.97]))
+        assert np.all(np.diff(out["mean_latency"]) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1_mean_latency(0.0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            utilization_latency_tradeoff(np.array([1.0]))
+
+
+class TestClusterSimulator:
+    def test_matches_mm1(self):
+        sim = ClusterSimulator(ClusterConfig(n_servers=1))
+        res = sim.run(arrival_rate=0.6, n_requests=60_000, rng=0)
+        assert res.mean_latency == pytest.approx(
+            mm1_mean_latency(0.6, 1.0), rel=0.1
+        )
+
+    def test_jsq_close_to_mmc(self):
+        # JSQ approximates the single-queue M/M/c pooling behaviour.
+        sim = ClusterSimulator(
+            ClusterConfig(n_servers=8, balancer=Balancer.JSQ)
+        )
+        res = sim.run(arrival_rate=6.0, n_requests=40_000, rng=0)
+        assert res.mean_latency == pytest.approx(
+            mmc_mean_latency(6.0, 1.0, 8), rel=0.25
+        )
+
+    def test_balancer_quality_ordering(self):
+        # At high load: JSQ <= power-of-two <= random on mean latency.
+        results = {}
+        for b in (Balancer.RANDOM, Balancer.POWER_OF_TWO, Balancer.JSQ):
+            sim = ClusterSimulator(ClusterConfig(n_servers=16, balancer=b))
+            results[b] = sim.run(14.0, 30_000, rng=1).mean_latency
+        assert results[Balancer.JSQ] <= results[Balancer.POWER_OF_TWO]
+        assert (
+            results[Balancer.POWER_OF_TWO] < results[Balancer.RANDOM]
+        )
+
+    def test_stragglers_inflate_p99(self):
+        clean = ClusterSimulator(ClusterConfig(n_servers=8)).run(
+            4.0, 20_000, rng=2
+        )
+        slow = ClusterSimulator(
+            ClusterConfig(n_servers=8, slow_server_fraction=0.25,
+                          slow_factor=10.0)
+        ).run(4.0, 20_000, rng=2)
+        assert slow.p99 > 2 * clean.p99
+
+    def test_utilization_reported(self):
+        res = ClusterSimulator(ClusterConfig(n_servers=4)).run(
+            2.0, 20_000, rng=3
+        )
+        assert 0.3 < res.utilization < 0.7  # offered 0.5
+
+    def test_validation(self):
+        sim = ClusterSimulator()
+        with pytest.raises(ValueError):
+            sim.run(0.0, 10)
+        with pytest.raises(ValueError):
+            sim.run(1.0, 0)
+        with pytest.raises(ValueError):
+            ClusterConfig(n_servers=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(slow_server_fraction=1.5)
+
+
+class TestServerPower:
+    def test_idle_and_peak_endpoints(self):
+        m = ServerPowerModel(idle_w=100.0, peak_w=300.0)
+        assert float(m.power_w(0.0)) == 100.0
+        assert float(m.power_w(1.0)) == 300.0
+
+    def test_proportionality_index(self):
+        perfect = ServerPowerModel(idle_w=0.0, peak_w=300.0)
+        poor = ServerPowerModel(idle_w=250.0, peak_w=300.0)
+        assert perfect.energy_proportionality_index() == 1.0
+        assert poor.energy_proportionality_index() < 0.2
+
+    def test_efficiency_peaks_at_high_utilization(self):
+        m = ServerPowerModel()
+        eff = m.efficiency_ops_per_joule(np.array([0.1, 0.5, 1.0]), 1e12)
+        assert np.all(np.diff(eff) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel(idle_w=400.0, peak_w=300.0)
+        m = ServerPowerModel()
+        with pytest.raises(ValueError):
+            m.power_w(1.5)
+
+    def test_datacenter_budget(self):
+        out = datacenter_ops_within_budget(
+            1e12, ServerPowerModel(), budget_w=10e6
+        )
+        assert out["total_ops_per_s"] < 1e18  # 2012 servers miss exa-op
+        assert out["required_gain_for_exaop"] > 10.0
+
+    def test_facility_model(self):
+        dc = DatacenterPowerModel(pue=2.0, provisioned_it_w=1e6)
+        assert dc.facility_power_w(1e6) == 2e6
+        assert dc.max_servers(ServerPowerModel(peak_w=500.0)) == 2000
+        with pytest.raises(ValueError):
+            DatacenterPowerModel(pue=0.9)
+
+
+class TestAvailability:
+    def test_series_parallel(self):
+        assert series_availability([0.9, 0.9]) == pytest.approx(0.81)
+        assert parallel_availability([0.9, 0.9]) == pytest.approx(0.99)
+
+    def test_k_of_n(self):
+        # 1-of-2 equals parallel; 2-of-2 equals series.
+        assert k_of_n_availability(1, 2, 0.9) == pytest.approx(0.99)
+        assert k_of_n_availability(2, 2, 0.9) == pytest.approx(0.81)
+
+    def test_replicas_for_target(self):
+        n = replicas_for_target(0.99999, 0.99)
+        assert n == 3  # 1 - 0.01^3 = 0.999999 >= five nines
+        assert replicas_for_target(0.9, 0.99) == 1
+
+    def test_nines_round_trip(self):
+        for k in (2.0, 3.0, 5.0):
+            assert nines(availability_from_nines(k)) == pytest.approx(k)
+
+    def test_paper_five_nines_sentence(self):
+        out = paper_five_nines_check()
+        # "all but five minutes per year"
+        assert out["downtime_minutes_per_year"] == pytest.approx(5.26, abs=0.05)
+
+    def test_cost_of_nines_staircase(self):
+        model = RedundancyCostModel(component_availability=0.99)
+        curve = model.cost_of_nines_curve([2, 4, 6, 8])
+        assert np.all(np.diff(curve["cost_usd"]) >= 0)
+        assert curve["replicas"][-1] > curve["replicas"][0]
+
+    def test_commodity_parts_reach_five_nines_cheaply(self):
+        # Table A.2's hope: five 9s "where the cost is only a few
+        # dollars" — replication of cheap parts achieves the nines.
+        model = RedundancyCostModel(
+            component_availability=0.99, unit_cost_usd=5.0,
+            coordination_cost_usd=2.0,
+        )
+        out = model.cost_for_target(availability_from_nines(5.0))
+        assert out["achieved_nines"] >= 5.0
+        assert out["cost_usd"] < 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_availability([])
+        with pytest.raises(ValueError):
+            parallel_availability([1.5])
+        with pytest.raises(ValueError):
+            k_of_n_availability(3, 2, 0.9)
+        with pytest.raises(ValueError):
+            nines(2.0)
+        with pytest.raises(ValueError):
+            availability_from_nines(-1.0)
+
+    @given(st.floats(min_value=0.5, max_value=0.999), st.integers(1, 10))
+    @settings(max_examples=30)
+    def test_property_parallel_improves(self, a, n):
+        avail = parallel_availability([a] * n)
+        assert avail >= a - 1e-12
+        assert 0.0 <= avail <= 1.0
+
+
+class TestTCO:
+    def test_breakdown_sums(self):
+        tco = TCOModel()
+        bd = tco.breakdown()
+        assert bd["total"] == pytest.approx(
+            bd["server_capex"] + bd["facility_capex"] + bd["energy"]
+            + bd["opex"]
+        )
+
+    def test_cost_per_request_scales_inverse(self):
+        tco = TCOModel()
+        assert tco.cost_per_request_usd(1000.0) == pytest.approx(
+            tco.cost_per_request_usd(100.0) / 10.0
+        )
+
+    def test_energy_share_grows_with_power_price(self):
+        cheap = TCOModel(electricity_usd_per_kwh=0.03)
+        dear = TCOModel(electricity_usd_per_kwh=0.30)
+        assert dear.energy_cost_share() > cheap.energy_cost_share()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TCOModel(n_servers=0)
+        with pytest.raises(ValueError):
+            TCOModel(average_power_w_per_server=400.0,
+                     provisioned_w_per_server=300.0)
+        with pytest.raises(ValueError):
+            TCOModel().cost_per_request_usd(0.0)

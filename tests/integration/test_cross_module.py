@@ -1,0 +1,178 @@
+"""Integration tests: the substrates composed, as the agenda uses them."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiscreteParam,
+    Direction,
+    EnergyLedger,
+    Explorer,
+    Objective,
+    combine_ledgers,
+)
+from repro.core.agenda import SystemConfig, evaluate_system
+from repro.crosscut import SECDED, TaintTracker, address_range_policy, random_word
+from repro.datacenter import (
+    ClusterConfig,
+    ClusterSimulator,
+    hedging_effectiveness,
+    lognormal_latency,
+)
+from repro.memory import Cache, CacheConfig, MESIBus, CoherenceConfig, MemoryHierarchy
+from repro.processor import (
+    BIG_OOO_CORE,
+    LITTLE_INORDER_CORE,
+    InOrderConfig,
+    InOrderCore,
+    generate_trace,
+)
+from repro.workloads import get_kernel
+from repro.accelerator import ridge_point, roofline
+
+
+class TestCoreWithRealCache:
+    """The in-order core fed by real cache outcomes, not a flat rate."""
+
+    def test_cache_derived_miss_flags_slow_the_core(self):
+        trace = generate_trace(4000, rng=0)
+        memory_ops = [i for i in trace if i.is_memory]
+        cache = Cache(CacheConfig(size_bytes=4 * 1024, associativity=4))
+        miss_flags = [
+            not cache.access(int(i.address), i.opcode.value == "store")
+            for i in memory_ops
+        ]
+        core = InOrderCore(InOrderConfig(miss_rate=0.0))
+        with_cache = core.run(trace, miss_flags=miss_flags)
+        perfect = InOrderCore(InOrderConfig(miss_rate=0.0)).run(
+            trace, miss_flags=[False] * len(memory_ops)
+        )
+        measured_miss_rate = float(np.mean(miss_flags))
+        assert measured_miss_rate > 0.01
+        assert with_cache.cpi > perfect.cpi
+        # CPI inflation tracks the measured miss rate to first order.
+        expected = perfect.cpi + measured_miss_rate * 0.35 * 50
+        assert with_cache.cpi == pytest.approx(expected, rel=0.5)
+
+    def test_bigger_cache_means_faster_core(self):
+        trace = generate_trace(4000, rng=1)
+        memory_ops = [i for i in trace if i.is_memory]
+
+        def cpi_with(cache_kb):
+            cache = Cache(
+                CacheConfig(size_bytes=cache_kb * 1024, associativity=8)
+            )
+            flags = [
+                not cache.access(int(i.address)) for i in memory_ops
+            ]
+            return InOrderCore(InOrderConfig(miss_rate=0.0)).run(
+                trace, miss_flags=flags
+            ).cpi
+
+        assert cpi_with(64) <= cpi_with(2)
+
+
+class TestLedgerComposition:
+    """Subsystem ledgers merge into one system-level energy picture."""
+
+    def test_hierarchy_and_coherence_ledgers_combine(self):
+        from repro.memory import sharing_pattern_trace
+        from repro.processor import zipf_addresses
+
+        hierarchy = MemoryHierarchy()
+        h_result = hierarchy.run_trace(zipf_addresses(3000, rng=0))
+
+        bus = MESIBus(CoherenceConfig(n_cores=4))
+        bus.run_trace(sharing_pattern_trace("migratory", 4, 16, 2000, rng=0))
+
+        system = combine_ledgers(
+            {"memory": h_result.ledger, "coherence": bus.ledger}
+        )
+        assert system.total() == pytest.approx(
+            h_result.ledger.total() + bus.ledger.total()
+        )
+        breakdown = system.breakdown(1)
+        assert set(breakdown) == {"memory", "coherence"}
+
+
+class TestSecurityReliabilityPipeline:
+    """Trace -> taint tracking + ECC-protected storage, end to end."""
+
+    def test_tainted_word_survives_ecc_round_trip(self):
+        trace = generate_trace(300, rng=2)
+        policy = address_range_policy((0, 1 << 16), (1 << 30, 1 << 31))
+        tracker = TaintTracker(policy)
+        ift = tracker.run(trace)
+        assert ift.instructions == 300
+
+        # Store a "tainted" register image through SECDED with an
+        # injected soft error: data integrity is preserved.
+        code = SECDED(64)
+        word = random_word(rng=3)
+        decoded, status = code.inject_and_decode(word, 1, rng=4)
+        assert status == "corrected"
+        np.testing.assert_array_equal(decoded, word)
+
+
+class TestDatacenterComposition:
+    def test_cluster_tail_then_hedging(self):
+        """Measured cluster p99 feeds the hedging decision."""
+        sim = ClusterSimulator(
+            ClusterConfig(n_servers=16, slow_server_fraction=0.1,
+                          slow_factor=8.0)
+        )
+        res = sim.run(arrival_rate=10.0, n_requests=20_000, rng=0)
+        tail_ratio = res.p99 / res.p50
+        assert tail_ratio > 3.0  # stragglers create a real tail
+        hedge = hedging_effectiveness(
+            lognormal_latency(res.p50, 0.6), fanout=50,
+            n_requests=2000, rng=0,
+        )
+        assert hedge["p99_reduction"] > 0.2
+
+
+class TestWorkloadToPlatform:
+    def test_kernel_intensity_places_on_roofline(self):
+        peak = 1e12
+        bw = 100e9
+        ridge = ridge_point(peak, bw)
+        gemm = get_kernel("dense_matmul")
+        triad = get_kernel("stream_triad")
+        assert gemm.intensity_ops_per_byte > ridge / 2
+        assert triad.intensity_ops_per_byte < ridge
+        gemm_rate = roofline(gemm.intensity_ops_per_byte, peak, bw)
+        triad_rate = roofline(triad.intensity_ops_per_byte, peak, bw)
+        assert gemm_rate > 5 * triad_rate
+
+    def test_agenda_dse_grid_is_pareto_consistent(self):
+        def evaluate(cfg):
+            system = SystemConfig(
+                node_name="22nm",
+                core=cfg["core"],
+                n_cores=cfg["n_cores"],
+                accelerator_coverage=cfg["coverage"],
+            )
+            return evaluate_system(system, 10.0)
+
+        explorer = Explorer(evaluate)
+        result = explorer.grid(
+            [
+                DiscreteParam("core", (BIG_OOO_CORE, LITTLE_INORDER_CORE)),
+                DiscreteParam("n_cores", (1, 8, 64)),
+                DiscreteParam("coverage", (0.0, 0.5)),
+            ]
+        )
+        assert len(result.points) == 12
+        front = result.front(
+            [
+                Objective("throughput_ops", Direction.MAXIMIZE),
+                Objective("energy_per_op_j", Direction.MINIMIZE),
+            ]
+        )
+        assert 1 <= len(front) <= 12
+        # Every evaluated point respects the envelope.
+        for p in result.points:
+            assert p.metric("power_w") <= 10.0 + 1e-9
+        # The frontier contains the single best-efficiency point.
+        best = result.best("efficiency_ops_per_watt")
+        assert any(p.config == best.config for p in front)

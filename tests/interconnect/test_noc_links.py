@@ -1,0 +1,191 @@
+"""Tests for the NoC simulator and link energy models."""
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.interconnect import (
+    ElectricalLink,
+    MeshNoC,
+    NoCConfig,
+    PhotonicLink,
+    TSVLink,
+    latency_vs_load,
+    link_technology_sweep,
+    photonic_crossover_distance_mm,
+    poisson_injection_times,
+    stacking_comparison,
+    uniform_random_pairs,
+)
+
+
+class TestNoCBasics:
+    def test_single_packet_latency_is_hops_times_hop_latency(self):
+        cfg = NoCConfig(width=4, height=4, router_delay_cycles=2,
+                        link_delay_cycles=1)
+        noc = MeshNoC(cfg)
+        res = noc.run([((0, 0), (3, 0))])  # 3 hops
+        assert len(res.delivered) == 1
+        assert res.delivered[0].latency == pytest.approx(3 * 3)
+
+    def test_all_packets_delivered_at_low_load(self):
+        cfg = NoCConfig(width=4, height=4)
+        pairs = uniform_random_pairs(300, 4, 4, rng=0)
+        times = poisson_injection_times(300, 0.5, rng=0)
+        res = MeshNoC(cfg).run(pairs, injection_times=times)
+        assert len(res.delivered) == 300
+        assert res.dropped == 0
+
+    def test_energy_proportional_to_hops(self):
+        cfg = NoCConfig(width=8, height=8)
+        noc = MeshNoC(cfg)
+        short = noc.run([((0, 0), (1, 0))])
+        long = noc.run([((0, 0), (7, 7))])  # 14 hops
+        per_hop = cfg.energy_per_hop_router_j + cfg.energy_per_hop_link_j
+        assert short.ledger.total() == pytest.approx(per_hop)
+        assert long.ledger.total() == pytest.approx(14 * per_hop)
+
+    def test_contention_increases_latency(self):
+        cfg = NoCConfig(width=4, height=1)
+        noc = MeshNoC(cfg)
+        # Ten packets down the same line at once must serialize.
+        pairs = [((0, 0), (3, 0))] * 10
+        res = noc.run(pairs)
+        latencies = sorted(p.latency for p in res.delivered)
+        assert latencies[-1] > latencies[0]
+
+    def test_latency_rises_with_load(self):
+        curve = latency_vs_load(
+            NoCConfig(width=4, height=4),
+            rates=[0.05, 0.5, 1.2],
+            n_packets=1000,
+        )
+        lat = curve["mean_latency"]
+        assert lat[2] > lat[0] * 1.3
+
+    def test_validation(self):
+        noc = MeshNoC(NoCConfig(width=4, height=4))
+        with pytest.raises(ValueError):
+            noc.run([((0, 0), (9, 9))])
+        with pytest.raises(ValueError):
+            noc.run([((1, 1), (1, 1))])
+        with pytest.raises(ValueError):
+            noc.run([((0, 0), (1, 0))], injection_times=np.zeros(2))
+        with pytest.raises(ValueError):
+            NoCConfig(width=0)
+        with pytest.raises(ValueError):
+            NoCConfig(router_delay_cycles=0)
+        with pytest.raises(ValueError):
+            latency_vs_load(NoCConfig(), rates=[])
+
+    def test_result_statistics(self):
+        noc = MeshNoC(NoCConfig(width=4, height=4))
+        pairs = uniform_random_pairs(100, 4, 4, rng=1)
+        res = noc.run(pairs)
+        assert res.p99_latency >= res.mean_latency
+        assert res.mean_hops >= 1.0
+        assert res.energy_per_packet_j() > 0
+        assert res.throughput_packets_per_cycle > 0
+
+
+class TestElectricalLink:
+    def test_energy_linear_in_distance(self):
+        link = ElectricalLink()
+        assert link.energy_per_bit_j(10.0) == pytest.approx(
+            10 * link.energy_per_bit_j(1.0)
+        )
+
+    def test_off_chip_tax(self):
+        on = ElectricalLink(off_chip=False)
+        off = ElectricalLink(off_chip=True)
+        assert off.energy_per_bit_j(1.0) > on.energy_per_bit_j(1.0) + 1e-12
+
+    def test_latency_components(self):
+        link = ElectricalLink(bandwidth_gbps=64.0)
+        # Serialization of 64 bits at 64 Gbps = 1 ns; ToF tiny at 1 mm.
+        lat = link.latency_s(1.0, bits=64)
+        assert lat == pytest.approx(1e-9, rel=0.05)
+
+    def test_power_scales_with_utilization(self):
+        link = ElectricalLink(off_chip=True)
+        assert link.power_w(10.0, 1.0) == pytest.approx(
+            2 * link.power_w(10.0, 0.5)
+        )
+
+    def test_validation(self):
+        link = ElectricalLink()
+        with pytest.raises(ValueError):
+            link.energy_per_bit_j(-1.0)
+        with pytest.raises(ValueError):
+            link.power_w(1.0, utilization=2.0)
+        with pytest.raises(ValueError):
+            ElectricalLink(bandwidth_gbps=0.0)
+
+
+class TestPhotonicLink:
+    def test_distance_independence(self):
+        link = PhotonicLink()
+        assert link.energy_per_bit_j(1.0, 0.5) == pytest.approx(
+            link.energy_per_bit_j(100.0, 0.5)
+        )
+
+    def test_low_utilization_penalty(self):
+        link = PhotonicLink()
+        assert link.energy_per_bit_j(1.0, 0.01) > 10 * link.energy_per_bit_j(
+            1.0, 1.0
+        )
+
+    def test_time_of_flight_uses_group_index(self):
+        link = PhotonicLink(group_index=4.2)
+        tof = link.latency_s(300.0, bits=0)
+        assert tof == pytest.approx(0.3 * 4.2 / units.SPEED_OF_LIGHT)
+
+    def test_crossover_against_on_chip_wire(self):
+        # Photonics should win beyond a few mm on chip at decent
+        # utilization — the "exploited among or even on chips" regime.
+        d = photonic_crossover_distance_mm(
+            ElectricalLink(off_chip=False), PhotonicLink(), utilization=0.8
+        )
+        assert 1.0 < d < 50.0
+
+    def test_crossover_zero_when_photonics_always_wins(self):
+        d = photonic_crossover_distance_mm(
+            ElectricalLink(off_chip=True), PhotonicLink(), utilization=1.0
+        )
+        assert d == 0.0
+
+    def test_validation(self):
+        link = PhotonicLink()
+        with pytest.raises(ValueError):
+            link.energy_per_bit_j(1.0, utilization=0.0)
+        with pytest.raises(ValueError):
+            PhotonicLink(group_index=0.5)
+
+
+class TestTSVAndStacking:
+    def test_tsv_vastly_cheaper_than_board(self):
+        out = stacking_comparison()
+        ratio = (
+            out["off_chip"]["energy_per_access_j"]
+            / out["tsv_3d"]["energy_per_access_j"]
+        )
+        assert ratio > 10.0  # the 3D-stacking headline
+
+    def test_tsv_latency_serialization(self):
+        tsv = TSVLink(bandwidth_gbps=1024.0)
+        assert tsv.latency_s(bits=1024) == pytest.approx(1e-9)
+
+    def test_sweep_shapes(self):
+        out = link_technology_sweep(np.array([1.0, 10.0, 100.0]))
+        assert np.all(np.diff(out["electrical_j_per_bit"]) > 0)
+        assert np.allclose(
+            out["photonic_j_per_bit"], out["photonic_j_per_bit"][0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TSVLink(length_um=0.0)
+        with pytest.raises(ValueError):
+            stacking_comparison(bits_per_access=0)
+        with pytest.raises(ValueError):
+            link_technology_sweep(np.array([-1.0]))

@@ -1,0 +1,170 @@
+"""Tests for topologies and traffic patterns."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import (
+    average_hops,
+    bisection_width,
+    bit_complement_pairs,
+    crossbar,
+    diameter,
+    fat_tree,
+    hotspot_pairs,
+    make_pattern,
+    mesh2d,
+    neighbor_pairs,
+    poisson_injection_times,
+    ring,
+    topology_summary,
+    torus2d,
+    transpose_pairs,
+    uniform_random_pairs,
+    xy_route,
+)
+
+
+class TestTopologies:
+    def test_mesh_structure(self):
+        g = mesh2d(4, 4)
+        assert g.number_of_nodes() == 16
+        assert g.number_of_edges() == 24  # 2*4*3
+        assert diameter(g) == 6
+
+    def test_torus_shrinks_diameter(self):
+        assert diameter(torus2d(6, 6)) < diameter(mesh2d(6, 6))
+
+    def test_ring_diameter(self):
+        assert diameter(ring(8)) == 4
+
+    def test_crossbar_single_hop(self):
+        g = crossbar(8)
+        assert diameter(g) == 1
+        assert g.number_of_edges() == 8 * 7 // 2
+
+    def test_fat_tree_connects_all_leaves(self):
+        g = fat_tree(8)
+        for a in range(8):
+            for b in range(8):
+                assert nx.has_path(g, a, b)
+
+    def test_fat_tree_capacity_doubles_per_level(self):
+        g = fat_tree(8, arity=2)
+        caps = {
+            g.edges[e]["capacity"] for e in g.edges
+        }
+        assert caps == {1.0, 2.0, 4.0}
+
+    def test_average_hops_ordering(self):
+        # crossbar < torus < mesh < ring at the same node count.
+        n = 16
+        hops = {
+            "crossbar": average_hops(crossbar(n)),
+            "torus": average_hops(torus2d(4, 4)),
+            "mesh": average_hops(mesh2d(4, 4)),
+            "ring": average_hops(ring(n)),
+        }
+        assert hops["crossbar"] < hops["torus"] < hops["mesh"] < hops["ring"]
+
+    def test_bisection_width(self):
+        # A 4x4 mesh cut down the middle severs 4 links.
+        assert bisection_width(mesh2d(4, 4)) == 4
+        # Ring bisection is 2.
+        assert bisection_width(ring(8)) == 2
+
+    def test_summary_fields(self):
+        s = topology_summary(mesh2d(3, 3))
+        assert s["nodes"] == 9
+        assert s["max_degree"] == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mesh2d(0, 4)
+        with pytest.raises(ValueError):
+            torus2d(2, 4)
+        with pytest.raises(ValueError):
+            ring(2)
+        with pytest.raises(ValueError):
+            crossbar(1)
+        with pytest.raises(ValueError):
+            fat_tree(1)
+
+
+class TestXYRoute:
+    def test_route_endpoints_and_length(self):
+        path = xy_route((0, 0), (3, 2))
+        assert path[0] == (0, 0)
+        assert path[-1] == (3, 2)
+        assert len(path) == 6  # 3 + 2 hops
+
+    def test_x_before_y(self):
+        path = xy_route((0, 0), (2, 2))
+        assert path[:3] == [(0, 0), (1, 0), (2, 0)]
+
+    def test_self_route(self):
+        assert xy_route((1, 1), (1, 1)) == [(1, 1)]
+
+    @given(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)),
+        st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    )
+    def test_property_route_is_minimal_and_adjacent(self, src, dst):
+        path = xy_route(src, dst)
+        manhattan = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        assert len(path) == manhattan + 1
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+class TestTrafficPatterns:
+    def test_uniform_no_self_loops(self):
+        pairs = uniform_random_pairs(500, 4, 4, rng=0)
+        assert len(pairs) == 500
+        assert all(s != d for s, d in pairs)
+
+    def test_transpose(self):
+        pairs = transpose_pairs(100, 4, 4, rng=0)
+        assert all(d == (s[1], s[0]) for s, d in pairs)
+        with pytest.raises(ValueError):
+            transpose_pairs(10, 4, 3)
+
+    def test_bit_complement(self):
+        pairs = bit_complement_pairs(100, 4, 4, rng=0)
+        assert all(d == (3 - s[0], 3 - s[1]) for s, d in pairs)
+
+    def test_hotspot_concentration(self):
+        pairs = hotspot_pairs(1000, 4, 4, hot_fraction=0.5, rng=0)
+        hs = (2, 2)
+        frac = sum(d == hs for _, d in pairs) / len(pairs)
+        assert frac > 0.4
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_pairs(10, 4, 4, hotspot=(9, 9))
+        with pytest.raises(ValueError):
+            hotspot_pairs(10, 4, 4, hot_fraction=1.5)
+
+    def test_neighbor_single_hop_torus(self):
+        pairs = neighbor_pairs(100, 4, 4, rng=0)
+        assert all(d[0] == (s[0] + 1) % 4 and d[1] == s[1] for s, d in pairs)
+
+    def test_dispatch(self):
+        pairs = make_pattern("uniform", 10, 4, 4, rng=0)
+        assert len(pairs) == 10
+        with pytest.raises(KeyError):
+            make_pattern("quantum-entangled", 10, 4, 4)
+
+    def test_poisson_times_monotone(self):
+        times = poisson_injection_times(100, 0.5, rng=0)
+        assert np.all(np.diff(times) > 0)
+        # Mean gap ~ 1/rate.
+        assert np.mean(np.diff(times)) == pytest.approx(2.0, rel=0.4)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_injection_times(10, 0.0)
+        with pytest.raises(ValueError):
+            poisson_injection_times(-1, 1.0)

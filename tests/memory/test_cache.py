@@ -1,0 +1,172 @@
+"""Tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Cache, CacheConfig, stack_distance_hit_rate
+from repro.processor import sequential_addresses, zipf_addresses
+
+
+def small_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig(size_bytes=size, associativity=assoc, line_bytes=line))
+
+
+class TestConfig:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100, line_bytes=64)  # not multiple
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_bytes=60)  # not pow2
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, line_bytes=64, associativity=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64, line_bytes=64, associativity=1)
+
+    def test_n_sets(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=8)
+        assert cfg.n_sets == 64
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True  # same line
+        assert c.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        # 2-way set: fill both ways, touch the first, insert a third;
+        # the second (LRU) must be evicted.
+        c = small_cache(size=1024, assoc=2, line=64)  # 8 sets
+        set_stride = 8 * 64  # same set every 512 bytes
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.access(a)
+        c.access(b)
+        c.access(a)  # refresh a
+        c.access(d)  # evicts b
+        assert c.access(a) is True
+        assert c.access(b) is False
+
+    def test_writeback_on_dirty_eviction(self):
+        c = small_cache(size=1024, assoc=1, line=64)  # direct-mapped, 16 sets
+        stride = 16 * 64
+        c.access(0, is_write=True)  # dirty
+        c.access(stride)  # evicts dirty line
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = small_cache(size=1024, assoc=1, line=64)
+        stride = 16 * 64
+        c.access(0, is_write=False)
+        c.access(stride)
+        assert c.stats.writebacks == 0
+
+    def test_write_no_allocate(self):
+        cfg = CacheConfig(
+            size_bytes=1024, associativity=2, write_back=False,
+            write_allocate=False,
+        )
+        c = Cache(cfg)
+        c.access(0, is_write=True)  # miss, no fill
+        assert c.access(0, is_write=False) is False
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            small_cache().access(-1)
+
+    def test_reset(self):
+        c = small_cache()
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0) is False  # cold again
+
+
+class TestTraceRuns:
+    def test_sequential_within_capacity_hits_after_warmup(self):
+        c = Cache(CacheConfig(size_bytes=4096, line_bytes=64, associativity=4))
+        addrs = np.tile(sequential_addresses(64, stride=64), 10)
+        stats = c.run_trace(addrs)
+        # 64 lines exactly fill the cache: 64 cold misses, rest hits.
+        assert stats.misses == 64
+        assert stats.hits == 64 * 9
+
+    def test_thrashing_working_set(self):
+        c = Cache(CacheConfig(size_bytes=4096, line_bytes=64, associativity=4))
+        # 128 lines > 64-line capacity, cyclic: pure LRU thrashing.
+        addrs = np.tile(sequential_addresses(128, stride=64), 5)
+        stats = c.run_trace(addrs)
+        assert stats.hit_rate == 0.0
+
+    def test_writes_length_mismatch(self):
+        c = small_cache()
+        with pytest.raises(ValueError):
+            c.run_trace(np.zeros(3, dtype=np.int64), writes=np.zeros(2, dtype=bool))
+
+    def test_hit_rate_increases_with_size(self):
+        addrs = zipf_addresses(20000, unique=4096, rng=0)
+        rates = []
+        for size_kb in (4, 16, 64, 256):
+            c = Cache(CacheConfig(size_bytes=size_kb * 1024, associativity=8))
+            rates.append(c.run_trace(addrs).hit_rate)
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))
+
+
+class TestInvariants:
+    def test_hits_plus_misses_equals_accesses(self):
+        c = small_cache()
+        addrs = zipf_addresses(5000, rng=1)
+        stats = c.run_trace(addrs)
+        assert stats.hits + stats.misses == stats.accesses == 5000
+
+    def test_contents_bounded_by_capacity(self):
+        c = Cache(CacheConfig(size_bytes=2048, line_bytes=64, associativity=2))
+        c.run_trace(zipf_addresses(3000, rng=2))
+        assert len(c.contents()) <= 2048 // 64
+
+    def test_resident_line_always_hits(self):
+        c = small_cache(size=2048, assoc=4)
+        c.run_trace(zipf_addresses(1000, rng=3))
+        for line_addr in list(c.contents())[:10]:
+            assert c.access(line_addr) is True
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                 max_size=300),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_accounting_and_capacity(self, addresses, assoc):
+        c = Cache(CacheConfig(size_bytes=64 * 8 * assoc,
+                              line_bytes=64, associativity=assoc))
+        for a in addresses:
+            c.access(a)
+        assert c.stats.hits + c.stats.misses == len(addresses)
+        assert len(c.contents()) <= 8 * assoc
+        # Unique lines touched bounds the number of misses from below.
+        unique_lines = len({a >> 6 for a in addresses})
+        assert c.stats.misses >= min(unique_lines, 1)
+
+
+class TestStackDistance:
+    def test_agrees_with_fully_associative_simulator(self):
+        addrs = zipf_addresses(8000, unique=512, rng=0)
+        capacity = 128  # lines
+        c = Cache(
+            CacheConfig(size_bytes=capacity * 64, line_bytes=64,
+                        associativity=capacity)  # fully associative
+        )
+        sim_rate = c.run_trace(addrs).hit_rate
+        analytic = stack_distance_hit_rate(addrs, capacity_lines=capacity)
+        assert analytic == pytest.approx(sim_rate, abs=1e-9)
+
+    def test_repeat_stream_all_hits_after_first(self):
+        addrs = np.zeros(100, dtype=np.int64)
+        assert stack_distance_hit_rate(addrs, 16) == pytest.approx(0.99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stack_distance_hit_rate(np.zeros(3, dtype=np.int64), 0)

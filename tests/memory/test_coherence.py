@@ -1,0 +1,142 @@
+"""Tests for the MESI coherence protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    CoherenceConfig,
+    MESI,
+    MESIBus,
+    sharing_pattern_trace,
+)
+
+
+@pytest.fixture
+def bus():
+    return MESIBus(CoherenceConfig(n_cores=4))
+
+
+class TestStateTransitions:
+    def test_first_read_gets_exclusive(self, bus):
+        assert bus.read(0, 0x100) is MESI.EXCLUSIVE
+
+    def test_second_reader_shares(self, bus):
+        bus.read(0, 0x100)
+        assert bus.read(1, 0x100) is MESI.SHARED
+        assert bus.state(0, 0x100) is MESI.SHARED
+
+    def test_silent_e_to_m_upgrade(self, bus):
+        bus.read(0, 0x100)
+        txns_before = bus.stats.data_transactions + bus.stats.upgrades
+        assert bus.write(0, 0x100) is MESI.MODIFIED
+        assert bus.stats.data_transactions + bus.stats.upgrades == txns_before
+
+    def test_write_invalidates_sharers(self, bus):
+        bus.read(0, 0x100)
+        bus.read(1, 0x100)
+        bus.read(2, 0x100)
+        bus.write(3, 0x100)
+        assert bus.stats.invalidations == 3
+        for core in (0, 1, 2):
+            assert bus.state(core, 0x100) is MESI.INVALID
+        assert bus.state(3, 0x100) is MESI.MODIFIED
+
+    def test_read_of_modified_line_flushes(self, bus):
+        bus.write(0, 0x200)
+        assert bus.read(1, 0x200) is MESI.SHARED
+        assert bus.stats.writebacks == 1
+        assert bus.stats.cache_to_cache == 1
+        assert bus.state(0, 0x200) is MESI.SHARED
+
+    def test_shared_write_is_upgrade_not_rdx(self, bus):
+        bus.read(0, 0x300)
+        bus.read(1, 0x300)
+        bus.write(0, 0x300)
+        assert bus.stats.upgrades == 1
+
+    def test_eviction_of_modified_writes_back(self, bus):
+        bus.write(0, 0x400)
+        assert bus.evict(0, 0x400) is True
+        assert bus.state(0, 0x400) is MESI.INVALID
+
+    def test_eviction_of_clean_is_silent(self, bus):
+        bus.read(0, 0x400)
+        assert bus.evict(0, 0x400) is False
+
+    def test_core_range_checked(self, bus):
+        with pytest.raises(ValueError):
+            bus.read(7, 0x0)
+        with pytest.raises(ValueError):
+            bus.write(-1, 0x0)
+
+
+class TestInvariants:
+    def test_invariants_after_patterned_traces(self):
+        for pattern in ("private", "producer_consumer", "migratory",
+                        "read_shared", "contended"):
+            bus = MESIBus(CoherenceConfig(n_cores=4))
+            bus.run_trace(
+                sharing_pattern_trace(pattern, 4, 32, 2000, rng=0)
+            )
+            bus.check_invariants()  # must not raise
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.integers(0, 7),
+                st.booleans(),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_swmr_holds_under_random_traces(self, trace):
+        bus = MESIBus(CoherenceConfig(n_cores=4))
+        bus.run_trace(trace)
+        bus.check_invariants()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.booleans()),
+            min_size=1, max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_access_outcome_states(self, trace):
+        bus = MESIBus(CoherenceConfig(n_cores=4))
+        for core, line, is_write in trace:
+            if is_write:
+                assert bus.write(core, line) is MESI.MODIFIED
+            else:
+                # Read hit on own dirty line stays Modified; otherwise
+                # the line lands Exclusive or Shared.
+                assert bus.read(core, line) is not MESI.INVALID
+
+
+class TestTrafficPatterns:
+    def test_private_data_no_invalidations(self):
+        bus = MESIBus(CoherenceConfig(n_cores=4))
+        bus.run_trace(sharing_pattern_trace("private", 4, 32, 3000, rng=0))
+        assert bus.stats.invalidations == 0
+
+    def test_contended_line_pings(self):
+        bus = MESIBus(CoherenceConfig(n_cores=4))
+        bus.run_trace(sharing_pattern_trace("contended", 4, 1, 2000, rng=0))
+        # Nearly every write by a different core invalidates the holder.
+        assert bus.stats.invalidations > 1000
+
+    def test_read_shared_no_writebacks(self):
+        bus = MESIBus(CoherenceConfig(n_cores=4))
+        bus.run_trace(sharing_pattern_trace("read_shared", 4, 16, 2000, rng=0))
+        assert bus.stats.writebacks == 0
+
+    def test_energy_charged_per_txn(self):
+        bus = MESIBus(CoherenceConfig(n_cores=2, energy_per_bus_txn_j=1.0))
+        bus.read(0, 0)  # one bus read
+        assert bus.ledger.total() == pytest.approx(1.0)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            sharing_pattern_trace("nonsense", 4, 8, 10)

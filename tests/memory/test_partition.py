@@ -1,0 +1,117 @@
+"""Tests for utility-based shared-cache partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    TenantTrace,
+    miss_curve,
+    partition_outcome,
+    shared_vs_partitioned,
+    utility_based_partition,
+)
+from repro.processor import (
+    random_addresses,
+    sequential_addresses,
+    zipf_addresses,
+)
+
+
+def reuse_tenant(n=4000, seed=0):
+    return TenantTrace("reuse", zipf_addresses(n, unique=512, rng=seed))
+
+
+def stream_tenant(n=4000):
+    return TenantTrace("stream", sequential_addresses(n, stride=64))
+
+
+class TestMissCurve:
+    def test_monotone_in_capacity(self):
+        curve = miss_curve(
+            zipf_addresses(4000, unique=512, rng=0), [32, 64, 128, 256, 512]
+        )
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_stream_flat_at_zero(self):
+        curve = miss_curve(
+            sequential_addresses(4000, stride=64), [32, 128, 512]
+        )
+        assert np.all(curve < 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            miss_curve(np.zeros(3, dtype=np.int64), [])
+        with pytest.raises(ValueError):
+            miss_curve(np.zeros(3, dtype=np.int64), [0])
+
+
+class TestUCP:
+    def test_reuse_tenant_gets_the_ways(self):
+        allocation = utility_based_partition(
+            [reuse_tenant(), stream_tenant()], total_ways=8
+        )
+        assert allocation["reuse"] >= 6
+        assert allocation["stream"] >= 1
+        assert sum(allocation.values()) == 8
+
+    def test_symmetric_tenants_split_evenly_ish(self):
+        a = TenantTrace("a", zipf_addresses(4000, unique=512, rng=1))
+        b = TenantTrace("b", zipf_addresses(4000, unique=512, rng=2))
+        allocation = utility_based_partition([a, b], total_ways=8)
+        assert abs(allocation["a"] - allocation["b"]) <= 2
+
+    def test_every_tenant_guaranteed_a_way(self):
+        tenants = [
+            stream_tenant(),
+            TenantTrace("s2", sequential_addresses(2000, stride=128)),
+        ]
+        allocation = utility_based_partition(tenants, total_ways=4)
+        assert min(allocation.values()) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utility_based_partition([reuse_tenant()], total_ways=0)
+        with pytest.raises(ValueError):
+            utility_based_partition([], total_ways=4)
+        with pytest.raises(ValueError):
+            utility_based_partition(
+                [reuse_tenant(), reuse_tenant()], total_ways=4
+            )  # duplicate names
+        with pytest.raises(ValueError):
+            TenantTrace("empty", np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            partition_outcome([reuse_tenant()], {})
+
+
+class TestSharedVsPartitioned:
+    def test_partitioning_protects_the_reuse_tenant(self):
+        out = shared_vs_partitioned(
+            [reuse_tenant(6000), stream_tenant(6000)],
+            total_ways=8, rng=0,
+        )
+        assert out["partitioned"]["reuse"] > out["shared"]["reuse"]
+
+    def test_thrasher_loses_nothing_it_had(self):
+        out = shared_vs_partitioned(
+            [reuse_tenant(6000), stream_tenant(6000)],
+            total_ways=8, rng=0,
+        )
+        # The stream never hits anyway; isolation costs it ~nothing.
+        assert out["partitioned"]["stream"] <= out["shared"]["stream"] + 0.02
+
+    def test_random_antagonist(self):
+        out = shared_vs_partitioned(
+            [
+                reuse_tenant(5000),
+                TenantTrace(
+                    "rand",
+                    random_addresses(5000, footprint_bytes=1 << 26, rng=3),
+                ),
+            ],
+            total_ways=8, rng=1,
+        )
+        assert out["partitioned"]["reuse"] >= out["shared"]["reuse"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shared_vs_partitioned([], total_ways=4)

@@ -1,0 +1,86 @@
+"""Tests for the processing-in-memory model (Section 2.2 'in-place
+computation')."""
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    BulkOp,
+    PIMSystem,
+    host_energy_j,
+    host_time_s,
+    intensity_crossover_ops_per_byte,
+    pim_comparison,
+    pim_energy_j,
+    pim_time_s,
+    pim_wins_energy,
+)
+
+
+class TestEnergies:
+    def test_scan_belongs_in_memory(self):
+        # Low ops/byte, tiny result: the transport saving dominates.
+        system = PIMSystem()
+        scan = BulkOp(bytes_scanned=1 << 30, ops_per_byte=0.1,
+                      result_fraction=0.001)
+        assert pim_wins_energy(system, scan)
+        assert pim_energy_j(system, scan) < 0.2 * host_energy_j(system, scan)
+
+    def test_compute_dense_belongs_on_the_core(self):
+        system = PIMSystem()
+        gemm = BulkOp(bytes_scanned=1 << 30, ops_per_byte=100.0)
+        assert not pim_wins_energy(system, gemm)
+
+    def test_crossover_formula_consistent_with_decisions(self):
+        system = PIMSystem()
+        cross = intensity_crossover_ops_per_byte(system, result_fraction=0.01)
+        below = BulkOp(1 << 28, cross * 0.9, result_fraction=0.01)
+        above = BulkOp(1 << 28, cross * 1.1, result_fraction=0.01)
+        assert pim_wins_energy(system, below)
+        assert not pim_wins_energy(system, above)
+
+    def test_large_results_erode_pim(self):
+        system = PIMSystem()
+        small = BulkOp(1 << 28, 1.0, result_fraction=0.001)
+        large = BulkOp(1 << 28, 1.0, result_fraction=0.9)
+        gain_small = host_energy_j(system, small) / pim_energy_j(system, small)
+        gain_large = host_energy_j(system, large) / pim_energy_j(system, large)
+        assert gain_small > gain_large
+
+    def test_cheap_pim_ops_always_win(self):
+        system = PIMSystem(pim_energy_per_op_j=1e-12)
+        assert intensity_crossover_ops_per_byte(system) == float("inf")
+
+
+class TestTimes:
+    def test_scan_faster_in_memory(self):
+        # Internal row bandwidth >> external link bandwidth.
+        system = PIMSystem()
+        scan = BulkOp(1 << 30, 0.05, result_fraction=0.001)
+        assert pim_time_s(system, scan) < host_time_s(system, scan)
+
+    def test_host_time_components(self):
+        system = PIMSystem()
+        op = BulkOp(bytes_scanned=system.link_bytes_per_s, ops_per_byte=0.0)
+        assert host_time_s(system, op) == pytest.approx(1.0)
+
+
+class TestSweep:
+    def test_single_crossover(self):
+        out = pim_comparison()
+        wins = out["pim_wins_energy"]
+        assert wins[0] and not wins[-1]
+        flip = int(np.argmin(wins))
+        assert not wins[flip:].any()  # once host wins, it keeps winning
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BulkOp(0.0, 1.0)
+        with pytest.raises(ValueError):
+            BulkOp(1.0, 1.0, result_fraction=2.0)
+        with pytest.raises(ValueError):
+            PIMSystem(host_ops_per_s=0.0)
+        with pytest.raises(ValueError):
+            intensity_crossover_ops_per_byte(PIMSystem(), result_fraction=-1.0)
+        with pytest.raises(ValueError):
+            pim_comparison(intensities=())

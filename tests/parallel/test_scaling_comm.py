@@ -1,0 +1,104 @@
+"""Tests for communication-aware 1,000-way parallelism (experiment E08)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CommunicationModel,
+    energy_constrained_throughput,
+    optimal_parallelism,
+    required_comm_reduction_for_target,
+)
+
+
+class TestCommunicationModel:
+    def test_comm_energy_grows_with_cores(self):
+        m = CommunicationModel()
+        e = m.comm_energy_per_op_j(np.array([1, 64, 1024]))
+        assert np.all(np.diff(e) > 0)
+
+    def test_mesh_distance_scaling(self):
+        m = CommunicationModel(distance_exponent=0.5)
+        e1 = m.comm_energy_per_op_j(16)
+        e2 = m.comm_energy_per_op_j(64)
+        assert e2 / e1 == pytest.approx(2.0)  # sqrt(4)
+
+    def test_comm_eventually_dominates(self):
+        # The paper's claim: communication energy outgrows computation.
+        m = CommunicationModel()
+        n_big = 10_000
+        assert m.comm_energy_per_op_j(n_big) > 10 * m.compute_energy_per_op_j
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(compute_energy_per_op_j=-1.0)
+        with pytest.raises(ValueError):
+            CommunicationModel(traffic_fraction=1.5)
+        m = CommunicationModel()
+        with pytest.raises(ValueError):
+            m.comm_energy_per_op_j(0)
+
+
+class TestEnergyConstrainedThroughput:
+    def test_rises_then_falls(self):
+        ns = np.array([1, 10, 100, 461, 5000, 50000], dtype=float)
+        thr = energy_constrained_throughput(ns, power_budget_w=10.0)
+        peak = np.argmax(thr)
+        assert 0 < peak < len(ns) - 1
+        assert thr[-1] < thr[peak]
+
+    def test_power_ceiling_binds_at_scale(self):
+        m = CommunicationModel()
+        n = 50_000
+        thr = energy_constrained_throughput(np.array([n]), 10.0, m)
+        assert thr[0] == pytest.approx(10.0 / m.energy_per_op_j(n), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_constrained_throughput(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            energy_constrained_throughput(np.array([0.5]), 1.0)
+
+
+class TestOptimalParallelism:
+    def test_finite_optimum_under_default_model(self):
+        out = optimal_parallelism(10.0)
+        assert 50 <= out["n_optimal"] <= 5000
+        # At the optimum, communication dominates the energy budget —
+        # the paper's "communication energy will outgrow computation".
+        assert out["comm_energy_share"] > 0.5
+
+    def test_bigger_budget_more_parallelism(self):
+        small = optimal_parallelism(1.0)["n_optimal"]
+        big = optimal_parallelism(100.0)["n_optimal"]
+        assert big > small
+
+    def test_cheaper_communication_more_parallelism(self):
+        expensive = optimal_parallelism(10.0)["n_optimal"]
+        cheap_model = CommunicationModel(comm_energy_per_op_base_j=0.5e-12)
+        cheap = optimal_parallelism(10.0, cheap_model)["n_optimal"]
+        assert cheap > expensive
+
+
+class TestRequiredReduction:
+    def test_reaching_beyond_current_optimum_needs_reduction(self):
+        base = optimal_parallelism(10.0)["n_optimal"]
+        target = base * 4
+        factor = required_comm_reduction_for_target(target, 10.0)
+        assert factor > 1.5
+
+    def test_already_reachable_target_needs_nothing(self):
+        factor = required_comm_reduction_for_target(2.0, 10.0)
+        assert factor == pytest.approx(1.0, abs=0.1)
+
+    def test_amdahl_limited_target_impossible(self):
+        # With f = 0.9 the speedup ceiling is 10; no communication
+        # reduction makes 1000-way optimal.
+        factor = required_comm_reduction_for_target(
+            1000.0, 10.0, parallel_fraction=0.9
+        )
+        assert factor == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_comm_reduction_for_target(0.5, 10.0)

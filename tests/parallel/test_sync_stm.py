@@ -1,0 +1,159 @@
+"""Tests for lock/barrier models and transactional memory (E16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    LockModel,
+    STMSimulator,
+    Transaction,
+    barrier_slack,
+    barrier_slack_curve,
+    generate_transactions,
+    global_lock_makespan,
+    tm_vs_lock_comparison,
+)
+
+
+class TestLockModel:
+    def test_throughput_linear_then_flat(self):
+        lock = LockModel(compute_time=1.0, critical_time=0.1)
+        thr = lock.throughput(np.array([1, 5, 11, 50]))
+        assert thr[1] == pytest.approx(5 * thr[0])
+        assert thr[2] == pytest.approx(thr[3])  # saturated
+
+    def test_saturation_point(self):
+        lock = LockModel(compute_time=0.9, critical_time=0.1)
+        assert lock.saturation_threads() == pytest.approx(10.0)
+
+    def test_longer_critical_section_saturates_earlier(self):
+        a = LockModel(compute_time=1.0, critical_time=0.05)
+        b = LockModel(compute_time=1.0, critical_time=0.5)
+        assert b.saturation_threads() < a.saturation_threads()
+
+    def test_utilization_capped_at_one(self):
+        lock = LockModel()
+        assert lock.utilization(1000) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LockModel(critical_time=0.0)
+        with pytest.raises(ValueError):
+            LockModel().throughput(0)
+
+
+class TestBarrierSlack:
+    def test_slack_grows_with_workers(self):
+        s2 = barrier_slack(2, cv=0.3, rng=0)["slack_fraction"]
+        s64 = barrier_slack(64, cv=0.3, rng=0)["slack_fraction"]
+        assert s64 > s2 > 0.0
+
+    def test_no_variance_no_slack(self):
+        out = barrier_slack(16, cv=0.0, distribution="uniform", rng=0)
+        assert out["slack_fraction"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_efficiency_curve_decreasing(self):
+        curve = barrier_slack_curve([2, 8, 32, 128], cv=0.25, rng=0)
+        assert np.all(np.diff(curve["efficiency"]) < 0)
+
+    def test_distributions(self):
+        for dist in ("lognormal", "exponential", "uniform"):
+            out = barrier_slack(8, cv=0.2, distribution=dist, rng=0)
+            assert out["efficiency"] <= 1.0
+        with pytest.raises(ValueError):
+            barrier_slack(8, distribution="cauchy")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barrier_slack(0)
+        with pytest.raises(ValueError):
+            barrier_slack(4, mean_work=0.0)
+        with pytest.raises(ValueError):
+            barrier_slack_curve([])
+
+
+class TestSTM:
+    def test_disjoint_transactions_scale_linearly(self):
+        txns = [
+            Transaction(read_set=frozenset({i}), write_set=frozenset({i + 1000}),
+                        duration=1.0)
+            for i in range(64)
+        ]
+        stats = STMSimulator(n_threads=8).run(txns)
+        assert stats.aborts == 0
+        assert stats.makespan == pytest.approx(8.0)
+
+    def test_single_thread_serializes(self):
+        txns = generate_transactions(20, rng=0)
+        stats = STMSimulator(n_threads=1).run(txns)
+        assert stats.makespan == pytest.approx(
+            sum(t.duration for t in txns)
+        )
+        assert stats.aborts == 0  # no concurrency, no conflicts
+
+    def test_conflicts_cause_aborts(self):
+        txns = generate_transactions(200, hot_fraction=0.9, rng=1)
+        stats = STMSimulator(n_threads=8).run(txns, rng=1)
+        assert stats.aborts > 0
+        assert stats.wasted_time > 0
+
+    def test_all_transactions_commit(self):
+        txns = generate_transactions(150, hot_fraction=0.7, rng=2)
+        stats = STMSimulator(n_threads=4).run(txns, rng=2)
+        assert stats.commits == 150
+
+    def test_abort_rate_rises_with_conflict(self):
+        rates = []
+        for hf in (0.0, 0.5, 0.95):
+            cmp = tm_vs_lock_comparison([8], hot_fraction=hf, rng=3)
+            rates.append(float(cmp["abort_rate"][0]))
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_tm_beats_lock_at_low_conflict(self):
+        cmp = tm_vs_lock_comparison([8], hot_fraction=0.0, rng=4)
+        assert float(cmp["tm_speedup_vs_lock"][0]) > 4.0
+
+    def test_conflict_erodes_tm_advantage(self):
+        low = tm_vs_lock_comparison([8], hot_fraction=0.0, rng=5)
+        high = tm_vs_lock_comparison([8], hot_fraction=0.95, rng=5)
+        assert (
+            float(high["tm_speedup_vs_lock"][0])
+            < float(low["tm_speedup_vs_lock"][0])
+        )
+
+    def test_commit_history_serializable(self):
+        # In this simulator, commit-time validation guarantees that a
+        # committed transaction saw no writes committed during its
+        # window — we verify via the stats invariant commits+aborts
+        # attempts and that useful time equals committed durations.
+        txns = generate_transactions(100, hot_fraction=0.4, rng=6)
+        stats = STMSimulator(n_threads=4).run(txns, rng=6)
+        assert stats.useful_time == pytest.approx(
+            sum(t.duration for t in txns)
+        )
+
+    def test_global_lock_makespan(self):
+        txns = [Transaction(frozenset(), frozenset(), duration=2.0)] * 5
+        assert global_lock_makespan(txns) == pytest.approx(10.0)
+
+    @given(st.integers(1, 8), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=10, deadline=None)
+    def test_property_all_commit_and_makespan_bounded(self, threads, hf):
+        txns = generate_transactions(40, hot_fraction=hf, rng=7)
+        stats = STMSimulator(n_threads=threads).run(txns, rng=7)
+        assert stats.commits == 40
+        # Makespan at least the serial time / threads.
+        serial = sum(t.duration for t in txns)
+        assert stats.makespan >= serial / threads - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STMSimulator(0)
+        with pytest.raises(ValueError):
+            Transaction(frozenset(), frozenset(), duration=0.0)
+        with pytest.raises(ValueError):
+            generate_transactions(10, hot_fraction=2.0)
+        with pytest.raises(ValueError):
+            tm_vs_lock_comparison([])

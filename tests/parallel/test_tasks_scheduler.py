@@ -1,0 +1,157 @@
+"""Tests for task DAGs and the work-stealing scheduler."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    SchedulerConfig,
+    WorkStealingScheduler,
+    chain_graph,
+    critical_path,
+    fork_join_graph,
+    greedy_bound,
+    make_task_graph,
+    parallelism,
+    random_dag,
+    span,
+    speedup_curve,
+    total_work,
+)
+
+
+class TestTaskGraphs:
+    def test_make_and_measure(self):
+        g = make_task_graph(
+            edges=[(0, 2), (1, 2)], work={0: 1.0, 1: 2.0, 2: 3.0}
+        )
+        assert total_work(g) == 6.0
+        assert span(g) == 5.0  # 2 -> 3 path
+        assert parallelism(g) == pytest.approx(1.2)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            make_task_graph(edges=[(0, 1), (1, 0)], work={0: 1.0, 1: 1.0})
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            make_task_graph(edges=[(0, 9)], work={0: 1.0})
+
+    def test_nonpositive_work_rejected(self):
+        with pytest.raises(ValueError):
+            make_task_graph(edges=[], work={0: 0.0})
+
+    def test_chain_has_no_parallelism(self):
+        g = chain_graph(10)
+        assert span(g) == total_work(g)
+        assert parallelism(g) == pytest.approx(1.0)
+
+    def test_fork_join_metrics(self):
+        g = fork_join_graph(16, levels=1, work=1.0, serial_work=1.0)
+        assert total_work(g) == 18.0  # 2 serial + 16 parallel
+        assert span(g) == 3.0
+
+    def test_critical_path_realizes_span(self):
+        g = random_dag(60, 0.08, rng=0)
+        path = critical_path(g)
+        path_work = sum(g.nodes[n]["work"] for n in path)
+        assert path_work == pytest.approx(span(g))
+        # Path must be a real path in the graph.
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    def test_greedy_bound_sane(self):
+        g = fork_join_graph(8, levels=2)
+        lo, hi = greedy_bound(g, 4)
+        assert lo <= hi
+        assert lo >= span(g)
+        with pytest.raises(ValueError):
+            greedy_bound(g, 0)
+
+    def test_generators_validate(self):
+        with pytest.raises(ValueError):
+            fork_join_graph(0)
+        with pytest.raises(ValueError):
+            random_dag(0)
+        with pytest.raises(ValueError):
+            random_dag(5, edge_probability=2.0)
+        with pytest.raises(ValueError):
+            chain_graph(0)
+
+
+class TestWorkStealing:
+    def test_single_worker_serializes(self):
+        g = fork_join_graph(8, levels=2)
+        res = WorkStealingScheduler(SchedulerConfig(n_workers=1)).run(g)
+        assert res.makespan == pytest.approx(total_work(g))
+
+    def test_within_graham_bounds(self):
+        for seed, p in [(0, 2), (1, 4), (2, 8)]:
+            g = random_dag(120, 0.05, rng=seed)
+            res = WorkStealingScheduler(
+                SchedulerConfig(n_workers=p, steal_cost=0.01, rng=seed)
+            ).run(g)
+            assert res.within_greedy_bounds(g, slack=1.3), (seed, p)
+
+    def test_chain_gains_nothing_from_workers(self):
+        g = chain_graph(30)
+        r1 = WorkStealingScheduler(SchedulerConfig(n_workers=1)).run(g)
+        r8 = WorkStealingScheduler(SchedulerConfig(n_workers=8)).run(g)
+        assert r8.makespan >= r1.makespan * 0.99
+
+    def test_embarrassingly_parallel_scales(self):
+        g = fork_join_graph(64, levels=1, work=1.0, serial_work=0.01)
+        curve = speedup_curve(g, [1, 2, 4, 8], steal_cost=0.001)
+        s = curve["speedup"]
+        assert s[1] > 1.7 and s[2] > 3.2 and s[3] > 5.5
+
+    def test_all_tasks_complete_exactly_once(self):
+        g = random_dag(80, 0.06, rng=3)
+        res = WorkStealingScheduler(SchedulerConfig(n_workers=4)).run(g)
+        assert set(res.task_finish) == set(g.nodes)
+
+    def test_precedence_respected(self):
+        g = random_dag(60, 0.1, rng=4)
+        res = WorkStealingScheduler(SchedulerConfig(n_workers=4)).run(g)
+        finish = res.task_finish
+        for u, v in g.edges:
+            # v cannot finish before u finishes plus v's own work...
+            # (worker clocks are independent, but ready-time ordering
+            # means v was *popped* after u completed on some worker; we
+            # check the weaker sane property v finishes after u starts.)
+            assert finish[v] >= finish[u] - g.nodes[u]["work"]
+
+    def test_steal_cost_hurts(self):
+        g = fork_join_graph(32, levels=4, work=0.5)
+        cheap = WorkStealingScheduler(
+            SchedulerConfig(n_workers=8, steal_cost=0.0)
+        ).run(g)
+        dear = WorkStealingScheduler(
+            SchedulerConfig(n_workers=8, steal_cost=2.0)
+        ).run(g)
+        assert dear.makespan >= cheap.makespan
+
+    def test_utilization_bounded(self):
+        g = random_dag(100, 0.05, rng=5)
+        res = WorkStealingScheduler(SchedulerConfig(n_workers=4)).run(g)
+        assert 0.0 < res.utilization <= 1.0
+
+    @given(st.integers(1, 8), st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_property_makespan_at_least_lower_bound(self, p, seed):
+        g = random_dag(40, 0.08, rng=seed)
+        res = WorkStealingScheduler(
+            SchedulerConfig(n_workers=p, steal_cost=0.05, rng=seed)
+        ).run(g)
+        lo, _ = greedy_bound(g, p)
+        assert res.makespan >= lo - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(steal_cost=-1.0)
+        with pytest.raises(ValueError):
+            speedup_curve(chain_graph(3), [])

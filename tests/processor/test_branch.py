@@ -1,0 +1,132 @@
+"""Tests for branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import resolve_rng
+from repro.processor import (
+    BimodalPredictor,
+    GSharePredictor,
+    LastValuePredictor,
+    StaticPredictor,
+    TournamentPredictor,
+    branch_outcome_stream,
+    evaluate_predictor,
+)
+
+
+def per_site_biased_stream(n_sites=16, n=20000, seed=0):
+    """Each site strongly biased (taken or not-taken), random order."""
+    gen = resolve_rng(seed)
+    site_bias = np.where(gen.random(n_sites) < 0.5, 0.05, 0.95)
+    sites = gen.integers(0, n_sites, size=n)
+    outcomes = gen.random(n) < site_bias[sites]
+    return sites * 4, outcomes
+
+
+def loop_pattern_stream(n=9000):
+    """Single site executing a TTTN loop pattern (period 4)."""
+    outcomes = branch_outcome_stream(n, pattern=[True, True, True, False])
+    pcs = np.zeros(n, dtype=int)
+    return pcs, outcomes
+
+
+class TestStatic:
+    def test_matches_global_bias(self):
+        pcs = np.zeros(10000, dtype=int)
+        outs = branch_outcome_stream(10000, bias=0.7, rng=0)
+        ev = evaluate_predictor(StaticPredictor(taken=True), pcs, outs)
+        assert ev.accuracy == pytest.approx(0.7, abs=0.02)
+
+    def test_not_taken_variant(self):
+        pcs = np.zeros(1000, dtype=int)
+        outs = np.zeros(1000, dtype=bool)
+        ev = evaluate_predictor(StaticPredictor(taken=False), pcs, outs)
+        assert ev.accuracy == 1.0
+
+
+class TestBimodal:
+    def test_learns_per_site_bias(self):
+        pcs, outs = per_site_biased_stream()
+        static = evaluate_predictor(StaticPredictor(), pcs.copy(), outs)
+        bimodal = evaluate_predictor(BimodalPredictor(), pcs, outs)
+        assert bimodal.accuracy > 0.9
+        assert bimodal.accuracy > static.accuracy + 0.2
+
+    def test_counters_are_hysteretic(self):
+        # A single anomalous outcome must not flip a saturated counter.
+        p = BimodalPredictor()
+        for _ in range(4):
+            p.update(0, True)
+        p.update(0, False)  # one not-taken
+        assert p.predict(0) is True
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_bits=0)
+
+
+class TestGShare:
+    def test_learns_patterns_bimodal_cannot(self):
+        pcs, outs = loop_pattern_stream()
+        bimodal = evaluate_predictor(BimodalPredictor(), pcs.copy(), outs)
+        gshare = evaluate_predictor(GSharePredictor(), pcs, outs)
+        # TTTN: bimodal saturates taken => 75%; gshare learns the period.
+        assert bimodal.accuracy == pytest.approx(0.75, abs=0.02)
+        assert gshare.accuracy > 0.95
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(table_bits=0)
+
+
+class TestLastValue:
+    def test_perfect_on_constant_streams(self):
+        pcs = np.zeros(100, dtype=int)
+        outs = np.ones(100, dtype=bool)
+        ev = evaluate_predictor(LastValuePredictor(), pcs, outs)
+        assert ev.accuracy == 1.0
+
+    def test_half_on_alternating(self):
+        pcs = np.zeros(1000, dtype=int)
+        outs = np.array([i % 2 == 0 for i in range(1000)])
+        ev = evaluate_predictor(LastValuePredictor(), pcs, outs)
+        assert ev.accuracy < 0.1  # always one step behind
+
+
+class TestTournament:
+    def test_tracks_best_component(self):
+        # Pattern stream (gshare's home turf): tournament ~ gshare.
+        pcs, outs = loop_pattern_stream()
+        tournament = evaluate_predictor(TournamentPredictor(), pcs.copy(), outs)
+        assert tournament.accuracy > 0.9
+        # Per-site-bias stream (bimodal's home turf): also high.
+        pcs2, outs2 = per_site_biased_stream(seed=3)
+        tournament2 = evaluate_predictor(TournamentPredictor(), pcs2, outs2)
+        assert tournament2.accuracy > 0.88
+
+
+class TestEvaluationHarness:
+    def test_mpki(self):
+        pcs = np.zeros(1000, dtype=int)
+        outs = np.ones(1000, dtype=bool)
+        ev = evaluate_predictor(
+            StaticPredictor(taken=False), pcs, outs,
+            instructions_per_branch=5.0,
+        )
+        # All 1000 branches mispredicted over 5000 instructions = 200 MPKI.
+        assert ev.mpki == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor(
+                StaticPredictor(), np.zeros(3), np.zeros(2, dtype=bool)
+            )
+        with pytest.raises(ValueError):
+            evaluate_predictor(
+                StaticPredictor(), np.zeros(2), np.zeros(2, dtype=bool),
+                instructions_per_branch=0.0,
+            )
+
+    def test_accuracy_nan_before_any_prediction(self):
+        assert np.isnan(StaticPredictor().accuracy)

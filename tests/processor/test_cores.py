@@ -1,0 +1,252 @@
+"""Tests for the in-order and out-of-order core models."""
+
+import numpy as np
+import pytest
+
+from repro.processor import (
+    BIG_OOO_CORE,
+    LITTLE_INORDER_CORE,
+    MICROCONTROLLER_CORE,
+    CoreDescriptor,
+    CorePowerModel,
+    InOrderConfig,
+    InOrderCore,
+    Instruction,
+    Opcode,
+    WindowConfig,
+    analytic_cpi,
+    core_performance,
+    core_power,
+    efficiency_vs_area,
+    equal_power_core_count,
+    generate_trace,
+    ilp_vs_window,
+    marginal_ipc_gain,
+    schedule_trace,
+    throughput_ratio_many_small_vs_one_big,
+    window_energy_cost,
+)
+
+
+def alu_chain(n, dependent=True):
+    """n ALU ops, either a serial chain or fully independent."""
+    trace = []
+    for i in range(n):
+        srcs = (0,) if dependent else ()
+        trace.append(Instruction(Opcode.ALU, dst=0 if dependent else i % 32,
+                                 srcs=srcs, pc=i * 4))
+    return trace
+
+
+class TestInOrder:
+    def test_independent_alu_stream_cpi_one(self):
+        trace = [Instruction(Opcode.ALU, dst=i % 32, pc=i * 4) for i in range(100)]
+        res = InOrderCore(InOrderConfig(miss_rate=0.0)).run(trace)
+        assert res.cpi == pytest.approx(1.0, abs=0.01)
+
+    def test_dependent_divs_are_slow(self):
+        trace = []
+        for i in range(50):
+            trace.append(Instruction(Opcode.DIV, dst=1, srcs=(1,), pc=i * 4))
+        res = InOrderCore(InOrderConfig(miss_rate=0.0)).run(trace)
+        assert res.cpi > 15.0  # ~div latency each
+
+    def test_miss_rate_adds_stalls(self):
+        trace = generate_trace(3000, rng=0)
+        clean = InOrderCore(InOrderConfig(miss_rate=0.0)).run(trace)
+        missy = InOrderCore(InOrderConfig(miss_rate=0.10)).run(trace)
+        assert missy.cpi > clean.cpi + 0.5
+        assert missy.stall_cycles_memory > 0
+
+    def test_explicit_miss_flags(self):
+        trace = [
+            Instruction(Opcode.LOAD, dst=1, address=0, pc=0),
+            Instruction(Opcode.LOAD, dst=2, address=64, pc=4),
+        ]
+        cfg = InOrderConfig(miss_rate=0.0, miss_penalty=100)
+        all_hit = InOrderCore(cfg).run(trace, miss_flags=[False, False])
+        one_miss = InOrderCore(cfg).run(trace, miss_flags=[True, False])
+        assert one_miss.cycles >= all_hit.cycles + 100
+
+    def test_energy_accounting(self):
+        trace = generate_trace(1000, rng=0)
+        res = InOrderCore().run(trace)
+        assert res.ledger.ops() == 1000
+        assert res.energy_per_instruction_j > 0
+        assert res.ledger.total("memory") > 0
+
+    def test_determinism(self):
+        trace = generate_trace(1000, rng=3)
+        a = InOrderCore().run(trace)
+        b = InOrderCore().run(trace)
+        assert a.cycles == b.cycles
+
+    def test_ipc_cpi_inverse(self):
+        trace = generate_trace(500, rng=0)
+        res = InOrderCore().run(trace)
+        assert res.ipc == pytest.approx(1.0 / res.cpi)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            InOrderConfig(miss_rate=1.5)
+        with pytest.raises(ValueError):
+            InOrderConfig(mispredict_penalty=-1)
+
+
+class TestAnalyticCPI:
+    def test_formula(self):
+        cpi = analytic_cpi(
+            mix_load=0.2, mix_store=0.1, mix_branch=0.2,
+            miss_rate=0.1, miss_penalty=100.0,
+            mispredict_rate=0.05, mispredict_penalty=10.0,
+            base_cpi=1.0,
+        )
+        assert cpi == pytest.approx(1.0 + 0.3 * 0.1 * 100 + 0.2 * 0.05 * 10)
+
+    def test_agrees_with_simulation_shape(self):
+        # The trace-driven core under matching parameters lands within
+        # ~35% of the closed form (their stall models differ slightly).
+        trace = generate_trace(20000, rng=0)
+        sim = InOrderCore(InOrderConfig(miss_rate=0.03)).run(trace)
+        closed = analytic_cpi(miss_rate=0.03, base_cpi=1.3)
+        assert sim.cpi == pytest.approx(closed, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic_cpi(base_cpi=0.5)
+        with pytest.raises(ValueError):
+            analytic_cpi(miss_rate=2.0)
+
+
+class TestSuperscalar:
+    def test_serial_chain_ipc_bounded_by_latency(self):
+        trace = alu_chain(200, dependent=True)
+        res = schedule_trace(trace, WindowConfig(window=64, width=8))
+        assert res.ipc <= 1.05  # serialized by the dependence chain
+
+    def test_independent_stream_hits_width(self):
+        trace = alu_chain(4000, dependent=False)
+        res = schedule_trace(trace, WindowConfig(window=256, width=4))
+        assert res.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_ilp_curve_monotone_and_saturating(self):
+        trace = generate_trace(6000, dependency_distance=16.0, rng=0)
+        curve = ilp_vs_window(trace)
+        ipc = curve["ipc"]
+        assert np.all(np.diff(ipc) >= -1e-9)  # monotone nondecreasing
+        gains = marginal_ipc_gain(curve)
+        # Early doublings help much more than late ones.
+        assert gains[0] > gains[-1]
+        assert gains[-1] == pytest.approx(1.0, abs=0.02)  # saturated
+
+    def test_wider_machine_never_slower(self):
+        trace = generate_trace(3000, rng=1)
+        narrow = schedule_trace(trace, WindowConfig(window=64, width=1))
+        wide = schedule_trace(trace, WindowConfig(window=64, width=8))
+        assert wide.ipc >= narrow.ipc
+
+    def test_mispredictions_reduce_ipc(self):
+        from repro.processor import BimodalPredictor
+
+        trace = generate_trace(5000, rng=2)
+        perfect = schedule_trace(trace, WindowConfig(window=128, width=4))
+        real = schedule_trace(
+            trace, WindowConfig(window=128, width=4),
+            predictor=BimodalPredictor(),
+        )
+        assert real.ipc < perfect.ipc
+
+    def test_empty_trace(self):
+        res = schedule_trace([], WindowConfig())
+        assert res.instructions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowConfig(window=0)
+        with pytest.raises(ValueError):
+            ilp_vs_window([], windows=())
+        with pytest.raises(ValueError):
+            marginal_ipc_gain({"ipc": np.array([1.0])})
+
+    def test_window_energy_superlinear(self):
+        e32 = window_energy_cost(32)
+        e256 = window_energy_cost(256)
+        assert e256 > 8 * e32  # superlinear: 8x window, >8x energy
+        with pytest.raises(ValueError):
+            window_energy_cost(0)
+
+
+class TestPollack:
+    def test_sqrt_rule(self):
+        assert core_performance(4.0) == pytest.approx(2.0)
+        assert core_performance(1.0) == pytest.approx(1.0)
+
+    def test_power_linear(self):
+        assert core_power(4.0) == pytest.approx(4.0)
+
+    def test_perf_per_watt_decreasing(self):
+        out = efficiency_vs_area(np.array([1.0, 2.0, 4.0, 8.0]))
+        assert np.all(np.diff(out["perf_per_watt"]) < 0)
+
+    def test_equal_power_core_count(self):
+        assert equal_power_core_count(4.0) == pytest.approx(4.0)
+
+    def test_multicore_wins_when_parallel(self):
+        ratio = throughput_ratio_many_small_vs_one_big(
+            big_core_area=16.0, parallel_fraction=0.99
+        )
+        assert ratio > 1.0
+
+    def test_big_core_wins_when_serial(self):
+        ratio = throughput_ratio_many_small_vs_one_big(
+            big_core_area=16.0, parallel_fraction=0.2
+        )
+        assert ratio < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            core_performance(-1.0)
+        with pytest.raises(ValueError):
+            core_performance(1.0, exponent=1.5)
+        with pytest.raises(ValueError):
+            throughput_ratio_many_small_vs_one_big(0.5)
+
+
+class TestCorePower:
+    def test_big_core_costs_more_per_instruction(self):
+        model = CorePowerModel("22nm")
+        ratio = model.overhead_ratio(BIG_OOO_CORE, LITTLE_INORDER_CORE)
+        assert ratio > 2.0  # the heterogeneity argument
+
+    def test_voltage_scaling_reduces_power(self):
+        model = CorePowerModel("22nm")
+        nominal = model.evaluate(LITTLE_INORDER_CORE)
+        scaled = model.evaluate(LITTLE_INORDER_CORE, vdd_v=0.6)
+        assert scaled.total_power_w < nominal.total_power_w
+
+    def test_microcontroller_power_tiny(self):
+        model = CorePowerModel("45nm")
+        report = model.evaluate(MICROCONTROLLER_CORE, frequency_hz=50e6)
+        assert report.total_power_w < 0.05  # tens of mW at most
+
+    def test_report_fields_consistent(self):
+        model = CorePowerModel("22nm")
+        r = model.evaluate(LITTLE_INORDER_CORE)
+        assert r.total_power_w == pytest.approx(
+            r.dynamic_power_w + r.leakage_power_w
+        )
+        assert r.energy_per_instruction_j == pytest.approx(
+            r.total_power_w / r.instructions_per_second
+        )
+        assert r.useful_energy_per_instruction_j < r.energy_per_instruction_j
+
+    def test_validation(self):
+        model = CorePowerModel("22nm")
+        with pytest.raises(ValueError):
+            model.evaluate(LITTLE_INORDER_CORE, frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            model.evaluate(LITTLE_INORDER_CORE, vdd_v=-1.0)
+        with pytest.raises(ValueError):
+            CoreDescriptor("bad", transistors=0.0)
+        with pytest.raises(ValueError):
+            CoreDescriptor("bad", transistors=1e6, overhead_fraction=1.0)

@@ -1,0 +1,115 @@
+"""Tests for the DVFS governors."""
+
+import numpy as np
+import pytest
+
+from repro.processor import (
+    DVFSCore,
+    OnDemandGovernor,
+    OperatingPoint,
+    RaceToIdle,
+    UserFeedbackGovernor,
+    bursty_demand,
+    default_opp_table,
+    governor_comparison,
+    simulate_governor,
+)
+
+
+class TestModels:
+    def test_opp_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(1.0, -1.0)
+
+    def test_power_grows_up_the_ladder(self):
+        core = DVFSCore()
+        powers = [core.active_power_w(o) for o in default_opp_table()]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_energy_per_work_grows_up_the_ladder(self):
+        # The whole point of DVFS: slow points are more efficient.
+        core = DVFSCore()
+        epw = [
+            core.active_power_w(o) / core.capacity(o)
+            for o in default_opp_table()
+        ]
+        assert all(a < b for a, b in zip(epw, epw[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DVFSCore(c_eff_f=-1.0)
+        with pytest.raises(ValueError):
+            RaceToIdle(table=[])
+
+
+class TestGovernors:
+    def test_race_to_idle_extremes(self):
+        gov = RaceToIdle()
+        assert gov.choose(backlog=1.0, last_demand=0.0) == len(gov.table) - 1
+        assert gov.choose(backlog=0.0, last_demand=5.0) == 0
+
+    def test_ondemand_tracks_demand(self):
+        core = DVFSCore()
+        gov = OnDemandGovernor(core)
+        low = gov.choose(backlog=0.0, last_demand=0.1)
+        high = gov.choose(backlog=0.0, last_demand=1.8)
+        assert high > low
+        with pytest.raises(ValueError):
+            OnDemandGovernor(core, margin=0.5)
+
+    def test_user_feedback_boost_hysteresis(self):
+        core = DVFSCore()
+        gov = UserFeedbackGovernor(core, annoyance_backlog=4.0)
+        assert gov.choose(backlog=5.0, last_demand=1.0) == len(gov.table) - 1
+        # Still boosting above the floor...
+        assert gov.choose(backlog=2.0, last_demand=1.0) == len(gov.table) - 1
+        # ...stops below a quarter of the threshold.
+        assert gov.choose(backlog=0.5, last_demand=0.2) < len(gov.table) - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserFeedbackGovernor(DVFSCore(), annoyance_backlog=-1.0)
+
+
+class TestSimulation:
+    def test_all_work_served_eventually(self):
+        core = DVFSCore()
+        demand = bursty_demand(2000, rng=0)
+        res = simulate_governor(RaceToIdle(), core, demand)
+        # Max capacity 2.0 vs mean demand <1: nearly everything served.
+        assert res.served_work >= 0.98 * demand.sum()
+
+    def test_energy_ordering(self):
+        out = governor_comparison(n_intervals=3000, rng=0)
+        # User-feedback is cheapest (tolerates backlog); race-to-idle
+        # pays the high-V tax; ondemand sits between.
+        assert (
+            out["user_feedback"]["energy_j"]
+            < out["ondemand"]["energy_j"]
+            < out["race_to_idle"]["energy_j"]
+        )
+
+    def test_qos_energy_tradeoff(self):
+        out = governor_comparison(n_intervals=3000, rng=0)
+        # The cheap governor violates the strict bound more often.
+        assert (
+            out["user_feedback"]["violation_rate"]
+            > out["race_to_idle"]["violation_rate"]
+        )
+
+    def test_deterministic(self):
+        a = governor_comparison(n_intervals=500, rng=3)
+        b = governor_comparison(n_intervals=500, rng=3)
+        assert a == b
+
+    def test_validation(self):
+        core = DVFSCore()
+        with pytest.raises(ValueError):
+            simulate_governor(RaceToIdle(), core, np.array([-1.0]))
+        with pytest.raises(ValueError):
+            simulate_governor(RaceToIdle(), core, np.array([1.0]),
+                              interval_s=0.0)
+        with pytest.raises(ValueError):
+            bursty_demand(10, burst_prob=2.0)

@@ -1,0 +1,179 @@
+"""Tests for the ISA and trace generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.processor import (
+    FP_KERNEL_MIX,
+    POINTER_CHASE_MIX,
+    Instruction,
+    InstructionMix,
+    Opcode,
+    branch_outcome_stream,
+    generate_trace,
+    random_addresses,
+    sequential_addresses,
+    strided_addresses,
+    validate_trace,
+    working_set_addresses,
+    zipf_addresses,
+)
+
+
+class TestInstruction:
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, dst=1)
+        Instruction(Opcode.LOAD, dst=1, address=64)  # ok
+
+    def test_branch_requires_outcome(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRANCH)
+        Instruction(Opcode.BRANCH, taken=True)  # ok
+
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ALU, dst=99)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ALU, dst=1, srcs=(50,))
+
+    def test_flags(self):
+        load = Instruction(Opcode.LOAD, dst=1, address=0)
+        assert load.is_memory and not load.is_branch
+        br = Instruction(Opcode.BRANCH, taken=False)
+        assert br.is_branch and not br.is_memory
+
+    def test_latency_lookup(self):
+        assert Instruction(Opcode.DIV, dst=0).latency() == 20
+        assert Instruction(Opcode.ALU, dst=0).latency({Opcode.ALU: 7}) == 7
+
+    def test_validate_trace(self):
+        trace = [Instruction(Opcode.ALU, dst=0), Instruction(Opcode.NOP)]
+        assert validate_trace(trace) == 2
+        with pytest.raises(TypeError):
+            validate_trace([Instruction(Opcode.NOP), "not-an-instruction"])
+
+
+class TestInstructionMix:
+    def test_default_sums_to_one(self):
+        InstructionMix()  # must not raise
+        FP_KERNEL_MIX, POINTER_CHASE_MIX  # prebuilt mixes valid
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(alu=0.9)  # total > 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix(alu=0.55, mul=-0.12, div=0.01, fpu=0.05,
+                           fma=0.01, load=0.25, store=0.10, branch=0.15)
+
+
+class TestGenerateTrace:
+    def test_length_and_determinism(self):
+        a = generate_trace(200, rng=7)
+        b = generate_trace(200, rng=7)
+        assert len(a) == 200
+        assert a == b
+
+    def test_mix_fractions_respected(self):
+        trace = generate_trace(20000, rng=0)
+        frac_load = sum(i.opcode is Opcode.LOAD for i in trace) / len(trace)
+        frac_branch = sum(i.is_branch for i in trace) / len(trace)
+        assert frac_load == pytest.approx(0.25, abs=0.02)
+        assert frac_branch == pytest.approx(0.15, abs=0.02)
+
+    def test_memory_ops_have_addresses(self):
+        trace = generate_trace(500, rng=1)
+        assert all(
+            i.address is not None for i in trace if i.is_memory
+        )
+        assert all(i.taken is not None for i in trace if i.is_branch)
+
+    def test_branch_sites_limited(self):
+        trace = generate_trace(2000, rng=2)
+        branch_pcs = {i.pc for i in trace if i.is_branch}
+        assert len(branch_pcs) <= 32
+
+    def test_dependency_distance_controls_ilp(self):
+        # Tight dependencies produce more chained sources on recent dsts;
+        # verified indirectly via the ILP study elsewhere; here check
+        # parameter validation only.
+        with pytest.raises(ValueError):
+            generate_trace(10, dependency_distance=0.0)
+        with pytest.raises(ValueError):
+            generate_trace(10, branch_taken_bias=2.0)
+        with pytest.raises(ValueError):
+            generate_trace(-1)
+
+    def test_empty_trace(self):
+        assert generate_trace(0) == []
+
+
+class TestAddressStreams:
+    def test_sequential(self):
+        addrs = sequential_addresses(5, start=100, stride=8)
+        np.testing.assert_array_equal(addrs, [100, 108, 116, 124, 132])
+
+    def test_strided(self):
+        addrs = strided_addresses(4, stride_bytes=4096)
+        assert addrs[1] - addrs[0] == 4096
+
+    def test_random_within_footprint(self):
+        addrs = random_addresses(1000, footprint_bytes=1 << 16, rng=0)
+        assert addrs.max() < 1 << 16
+        assert addrs.min() >= 0
+        assert np.all(addrs % 8 == 0)
+
+    def test_zipf_skew(self):
+        addrs = zipf_addresses(50000, unique=1024, rng=0)
+        _, counts = np.unique(addrs, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # Hot line takes a disproportionate share.
+        assert counts[0] > 10 * counts[len(counts) // 2]
+        assert np.all(addrs % 64 == 0)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_addresses(10, exponent=1.0)
+        with pytest.raises(ValueError):
+            zipf_addresses(10, unique=0)
+
+    def test_working_set_locality(self):
+        addrs = working_set_addresses(
+            20000, working_set_bytes=1 << 20, locality=0.9, rng=0
+        )
+        hot_bound = (1 << 20) // 8
+        hot_frac = np.mean(addrs < hot_bound)
+        assert hot_frac > 0.85
+
+    def test_working_set_validation(self):
+        with pytest.raises(ValueError):
+            working_set_addresses(10, 1024, locality=1.5)
+
+
+class TestBranchStreams:
+    def test_bias(self):
+        outcomes = branch_outcome_stream(20000, bias=0.8, rng=0)
+        assert np.mean(outcomes) == pytest.approx(0.8, abs=0.02)
+
+    def test_pattern(self):
+        outcomes = branch_outcome_stream(7, pattern=[True, True, False])
+        assert outcomes.tolist() == [True, True, False, True, True, False, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            branch_outcome_stream(10, bias=1.5)
+        with pytest.raises(ValueError):
+            branch_outcome_stream(10, pattern=[])
+        with pytest.raises(ValueError):
+            branch_outcome_stream(-1)
+
+    @given(st.floats(min_value=0, max_value=1), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25)
+    def test_property_outcomes_boolean(self, bias, seed):
+        outcomes = branch_outcome_stream(64, bias=bias, rng=seed)
+        assert outcomes.dtype == bool
+        assert len(outcomes) == 64

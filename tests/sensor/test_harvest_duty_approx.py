@@ -1,0 +1,205 @@
+"""Tests for harvesting/intermittent computing, duty cycling, approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensor import (
+    DutyCycleModel,
+    Harvester,
+    IntermittentConfig,
+    checkpoint_sweep,
+    energy_quality_frontier,
+    lifetime_latency_tradeoff,
+    precision_energy_scale,
+    precision_sweep,
+    quantize,
+    simulate_intermittent,
+    snr_db,
+    subsample_sweep,
+    synthetic_ecg,
+    unreliable_storage_noise,
+)
+
+
+class TestHarvester:
+    def test_mean_power_approximate(self):
+        h = Harvester(mean_power_w=2e-3, variability=0.3, blackout_prob=0.0)
+        power = h.sample_power(50_000, rng=0)
+        assert power.mean() == pytest.approx(2e-3, rel=0.05)
+
+    def test_blackouts(self):
+        h = Harvester(blackout_prob=0.2)
+        power = h.sample_power(10_000, rng=1)
+        assert np.mean(power == 0.0) == pytest.approx(0.2, abs=0.02)
+
+    def test_deterministic_source(self):
+        h = Harvester(variability=0.0, blackout_prob=0.0)
+        power = h.sample_power(100, rng=2)
+        np.testing.assert_allclose(power, h.mean_power_w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Harvester(mean_power_w=0.0)
+        with pytest.raises(ValueError):
+            Harvester(blackout_prob=1.5)
+        with pytest.raises(ValueError):
+            Harvester().sample_power(-1)
+
+
+class TestIntermittent:
+    def test_progress_made_under_good_harvest(self):
+        h = Harvester(mean_power_w=10e-3, variability=0.1, blackout_prob=0.0)
+        result = simulate_intermittent(
+            h, IntermittentConfig(), checkpoint_interval_quanta=5,
+            n_intervals=5000, rng=0,
+        )
+        assert result.committed_quanta > 0
+        assert result.forward_progress_rate > 0
+
+    def test_no_harvest_no_progress(self):
+        h = Harvester(mean_power_w=1e-9, variability=0.0, blackout_prob=0.0)
+        result = simulate_intermittent(
+            h, IntermittentConfig(), 5, n_intervals=2000, rng=0
+        )
+        assert result.committed_quanta == 0
+
+    def test_checkpoint_interval_tradeoff(self):
+        sweep = checkpoint_sweep([1, 2, 5, 10, 50], n_intervals=6000, rng=0)
+        progress = sweep["forward_progress"]
+        # Some interior or small interval beats the extreme settings:
+        # too-rare checkpointing loses everything to brown-outs.
+        assert progress.max() > 0
+        assert progress[-1] < progress.max()
+        # Waste grows with checkpoint interval.
+        waste = sweep["waste_fraction"]
+        assert waste[-1] > waste[0]
+
+    def test_accounting_invariants(self):
+        h = Harvester(rng=None) if False else Harvester()
+        result = simulate_intermittent(
+            h, IntermittentConfig(), 3, n_intervals=4000, rng=1
+        )
+        # Committed + lost (re-executed) + still-uncommitted = total.
+        assert result.committed_quanta + result.re_executed_quanta <= (
+            result.total_quanta_completed
+        )
+        assert 0.0 <= result.waste_fraction <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_intermittent(Harvester(), IntermittentConfig(), 0)
+        with pytest.raises(ValueError):
+            IntermittentConfig(brown_out_j=0.9e-3, turn_on_j=0.5e-3)
+        with pytest.raises(ValueError):
+            checkpoint_sweep([])
+
+
+class TestDutyCycle:
+    def test_average_power_monotone_in_rate(self):
+        m = DutyCycleModel()
+        rates = [0.01, 0.1, 1.0, 10.0]
+        powers = [m.average_power_w(r) for r in rates]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_lifetime_latency_tradeoff(self):
+        m = DutyCycleModel()
+        out = lifetime_latency_tradeoff(m, np.array([0.1, 1.0, 10.0]))
+        assert np.all(np.diff(out["lifetime_days"]) < 0)
+        assert np.all(np.diff(out["detection_latency_s"]) < 0)
+
+    def test_max_wake_rate_inversion(self):
+        m = DutyCycleModel()
+        battery = 1200.0
+        rate = m.max_wake_rate_for_lifetime(100.0, battery)
+        assert rate > 0
+        # Achieved lifetime at that rate meets the target.
+        assert m.lifetime_days(rate, battery) == pytest.approx(100.0, rel=0.01)
+
+    def test_impossible_lifetime_gives_zero(self):
+        m = DutyCycleModel(sleep_power_w=1e-3)
+        assert m.max_wake_rate_for_lifetime(1e6, 1.0) == 0.0
+
+    def test_validation(self):
+        m = DutyCycleModel()
+        with pytest.raises(ValueError):
+            m.average_power_w(-1.0)
+        with pytest.raises(ValueError):
+            m.average_power_w(1000.0)  # duty > 100%
+        with pytest.raises(ValueError):
+            DutyCycleModel(sleep_power_w=1.0, active_power_w=0.5)
+        with pytest.raises(ValueError):
+            lifetime_latency_tradeoff(m, np.array([0.0]))
+
+
+class TestApproximate:
+    def test_quantize_round_trip_high_precision(self):
+        signal = np.sin(np.linspace(0, 10, 500))
+        q16 = quantize(signal, 16)
+        assert snr_db(signal, q16) > 80.0
+
+    def test_snr_falls_with_fewer_bits(self):
+        signal = np.sin(np.linspace(0, 10, 500))
+        snrs = [snr_db(signal, quantize(signal, b)) for b in (4, 8, 12)]
+        assert snrs[0] < snrs[1] < snrs[2]
+
+    def test_snr_6db_per_bit_rule(self):
+        rng = np.random.default_rng(0)
+        signal = rng.uniform(-1, 1, 20_000)
+        s8 = snr_db(signal, quantize(signal, 8, full_scale=1.0))
+        s10 = snr_db(signal, quantize(signal, 10, full_scale=1.0))
+        assert (s10 - s8) == pytest.approx(12.0, abs=1.5)
+
+    def test_energy_scale(self):
+        # Halving width: quadratic part 4x cheaper, linear part 2x.
+        rel = precision_energy_scale(8, 16, multiplier_fraction=1.0)
+        assert rel == pytest.approx(0.25)
+        rel_lin = precision_energy_scale(8, 16, multiplier_fraction=0.0)
+        assert rel_lin == pytest.approx(0.5)
+
+    def test_precision_sweep_monotone(self):
+        trace = synthetic_ecg(30.0, rng=0)
+        out = precision_sweep(trace["signal"])
+        assert np.all(np.diff(out["relative_energy"]) > 0)
+        assert np.all(np.diff(out["snr_db"]) > 0)
+
+    def test_frontier_meets_floor(self):
+        trace = synthetic_ecg(30.0, rng=0)
+        out = energy_quality_frontier(trace["signal"], min_snr_db=25.0)
+        assert out["snr_db"] >= 25.0
+        assert 0.0 < out["energy_saving"] < 1.0
+
+    def test_frontier_impossible_floor(self):
+        trace = synthetic_ecg(5.0, rng=0)
+        with pytest.raises(ValueError):
+            energy_quality_frontier(trace["signal"], min_snr_db=1e6)
+
+    def test_subsampling_smooth_signal_cheap(self):
+        t = np.linspace(0, 5, 4000)
+        smooth = np.sin(2 * np.pi * 1.0 * t)
+        out = subsample_sweep(smooth, factors=(1, 4, 16))
+        assert out["snr_db"][1] > 30.0  # 4x subsample nearly lossless
+
+    def test_unreliable_storage_degrades_gracefully(self):
+        trace = synthetic_ecg(20.0, rng=0)
+        signal = trace["signal"]
+        clean = unreliable_storage_noise(signal, 0.0, rng=0)
+        assert snr_db(signal, clean) > 40.0  # only quantization error
+        noisy = unreliable_storage_noise(signal, 1e-3, rng=0)
+        very_noisy = unreliable_storage_noise(signal, 1e-1, rng=0)
+        assert snr_db(signal, noisy) > snr_db(signal, very_noisy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros(4), 0)
+        with pytest.raises(ValueError):
+            snr_db(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            precision_energy_scale(0)
+        with pytest.raises(ValueError):
+            precision_sweep(np.zeros(0))
+        with pytest.raises(ValueError):
+            subsample_sweep(np.zeros(2))
+        with pytest.raises(ValueError):
+            unreliable_storage_noise(np.zeros(4), 2.0)

@@ -1,0 +1,163 @@
+"""Tests for biometric signals and the sensor-node energy model (E14)."""
+
+import numpy as np
+import pytest
+
+from repro.sensor import (
+    ECGConfig,
+    SensorNode,
+    detector_quality,
+    event_rate,
+    filtering_tradeoff,
+    pipeline_ledger,
+    synthetic_ecg,
+    threshold_detector,
+    zscore_detector,
+)
+
+
+class TestECG:
+    def test_shape_and_determinism(self):
+        a = synthetic_ecg(10.0, rng=0)
+        b = synthetic_ecg(10.0, rng=0)
+        assert a["signal"].size == 2500  # 10 s at 250 Hz
+        np.testing.assert_array_equal(a["signal"], b["signal"])
+
+    def test_beats_present(self):
+        out = synthetic_ecg(10.0, rng=1)
+        # ~70 bpm: expect ~11-12 beats; count upward 0.6-crossings
+        # (noise std 0.03 cannot re-cross the threshold mid-beat).
+        above = out["signal"] > 0.6
+        beats = np.sum(above[1:] & ~above[:-1])
+        assert 8 <= beats <= 15
+
+    def test_anomalies_marked(self):
+        clean = synthetic_ecg(30.0, anomaly_rate=0.0, rng=2)
+        assert not clean["anomaly_mask"].any()
+        dirty = synthetic_ecg(30.0, anomaly_rate=0.3, rng=2)
+        assert dirty["anomaly_mask"].any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_ecg(0.0)
+        with pytest.raises(ValueError):
+            synthetic_ecg(1.0, anomaly_rate=2.0)
+        with pytest.raises(ValueError):
+            ECGConfig(sample_rate_hz=0.0)
+
+
+class TestDetectors:
+    def test_threshold_detector(self):
+        signal = np.array([0.1, 0.9, -1.2, 0.0])
+        out = threshold_detector(signal, 0.8)
+        assert out.tolist() == [False, True, True, False]
+        with pytest.raises(ValueError):
+            threshold_detector(signal, 0.0)
+
+    def test_zscore_flags_outliers(self):
+        rng = np.random.default_rng(0)
+        signal = rng.normal(0, 1.0, 2000)
+        signal[1000] = 30.0
+        out = zscore_detector(signal, window=200, z=6.0)
+        assert out[1000]
+        assert out.sum() < 10  # few false alarms
+
+    def test_zscore_anomalous_beats_detected(self):
+        trace = synthetic_ecg(120.0, anomaly_rate=0.1, rng=3)
+        detections = zscore_detector(trace["signal"])
+        q = detector_quality(detections, trace["anomaly_mask"])
+        assert q["precision"] > 0.5
+        assert q["recall"] > 0.1  # catches a meaningful share
+
+    def test_zscore_validation(self):
+        with pytest.raises(ValueError):
+            zscore_detector(np.zeros(10), window=1)
+        with pytest.raises(ValueError):
+            zscore_detector(np.zeros(10), z=0.0)
+        assert zscore_detector(np.zeros(0)).size == 0
+
+    def test_quality_metrics(self):
+        pred = np.array([True, True, False, False])
+        true = np.array([True, False, True, False])
+        q = detector_quality(pred, true)
+        assert q["precision"] == 0.5
+        assert q["recall"] == 0.5
+        with pytest.raises(ValueError):
+            detector_quality(pred, true[:2])
+
+    def test_event_rate_merges_bursts(self):
+        mask = np.zeros(1000, dtype=bool)
+        mask[100:110] = True  # one event
+        mask[500:505] = True  # another
+        assert event_rate(mask) == 2
+        assert event_rate(np.zeros(10, dtype=bool)) == 0
+        with pytest.raises(ValueError):
+            event_rate(mask, min_gap=0)
+
+
+class TestSensorNode:
+    def test_raw_transmission_dominated_by_radio(self):
+        node = SensorNode()
+        e = node.transmit_raw_energy_j(10_000)
+        radio_only = node.radio_energy_per_bit_j * 10_000 * node.bits_per_sample
+        assert e > radio_only  # radio + sense + bursts
+        assert radio_only / e > 0.8  # radio dominates
+
+    def test_filtering_cheaper_when_events_rare(self):
+        node = SensorNode()
+        raw = node.transmit_raw_energy_j(100_000)
+        filtered = node.filter_locally_energy_j(
+            100_000, ops_per_sample=50, n_events=10
+        )
+        assert raw > 10 * filtered
+
+    def test_filtering_not_free_when_everything_is_an_event(self):
+        node = SensorNode()
+        raw = node.transmit_raw_energy_j(1000)
+        filtered = node.filter_locally_energy_j(
+            1000, ops_per_sample=50, n_events=1000, bits_per_event=256
+        )
+        assert filtered > raw  # transmitting events costs more than raw
+
+    def test_lifetime(self):
+        node = SensorNode(battery_j=86400.0)
+        assert node.lifetime_days(1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            node.lifetime_days(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorNode(bits_per_sample=0)
+        with pytest.raises(ValueError):
+            SensorNode(battery_j=0.0)
+        node = SensorNode()
+        with pytest.raises(ValueError):
+            node.transmit_raw_energy_j(-1)
+        with pytest.raises(ValueError):
+            node.filter_locally_energy_j(10, 1.0, -1)
+
+
+class TestFilteringTradeoff:
+    def test_paper_shape_big_energy_win(self):
+        out = filtering_tradeoff(duration_s=600.0, rng=0)
+        # "the energy required to communicate data often outweighs that
+        # of computation": local filtering wins by >10x.
+        assert out["energy_ratio"] > 10.0
+        assert out["filtered_lifetime_days"] > 10 * out["raw_lifetime_days"]
+
+    def test_detector_still_useful(self):
+        out = filtering_tradeoff(duration_s=600.0, rng=0)
+        assert out["precision"] > 0.5
+        assert out["recall"] > 0.05
+
+    def test_ledger_itemization(self):
+        node = SensorNode()
+        ledger = pipeline_ledger(node, 1000, 50.0, 5)
+        assert ledger.total() == pytest.approx(
+            node.filter_locally_energy_j(1000, 50.0, 5), rel=1e-9
+        )
+        assert set(ledger.breakdown(1)) == {"sense", "compute", "radio"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            filtering_tradeoff(duration_s=0.0)

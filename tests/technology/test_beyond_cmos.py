@@ -1,0 +1,92 @@
+"""Tests for the beyond-CMOS device candidates (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.technology import (
+    CANDIDATES,
+    DeviceCandidate,
+    best_device_at_speed,
+    crossover_table,
+    energy_delay_frontier,
+    get_candidate,
+)
+
+
+class TestCandidates:
+    def test_lookup(self):
+        assert get_candidate("tfet").name == "tfet"
+        with pytest.raises(KeyError):
+            get_candidate("spintronics")
+
+    def test_tfet_beats_thermionic_floor(self):
+        # The defining TFET property: slope below 60 mV/dec.
+        assert get_candidate("tfet").subthreshold_slope_mv_dec < 60.0
+        assert get_candidate("cmos_hp").subthreshold_slope_mv_dec >= 60.0
+
+    def test_steep_slope_means_low_leakage(self):
+        assert get_candidate("tfet").ioff_rel < get_candidate("cmos_hp").ioff_rel
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceCandidate("bad", subthreshold_slope_mv_dec=0.0,
+                            on_current_rel=1.0, vdd_nominal_v=1.0,
+                            vth_v=0.3)
+        with pytest.raises(ValueError):
+            DeviceCandidate("bad", subthreshold_slope_mv_dec=60.0,
+                            on_current_rel=1.0, vdd_nominal_v=0.2,
+                            vth_v=0.3)
+
+
+class TestFrontier:
+    def test_delay_explodes_below_threshold(self):
+        dev = get_candidate("cmos_hp")
+        assert dev.delay_rel(0.15) > 100 * dev.delay_rel(0.9)
+
+    def test_energy_has_interior_minimum(self):
+        # Leakage stops the V^2 ride: energy is U-shaped in Vdd.
+        dev = get_candidate("cmos_hp")
+        f = energy_delay_frontier(dev, vdd_lo=0.15, vdd_hi=0.9, n=60)
+        i = int(np.argmin(f["energy_rel"]))
+        assert 0 < i < len(f["vdd"]) - 1
+
+    def test_frontier_validation(self):
+        dev = get_candidate("tfet")
+        with pytest.raises(ValueError):
+            energy_delay_frontier(dev, vdd_lo=0.5, vdd_hi=0.2)
+        with pytest.raises(ValueError):
+            energy_delay_frontier(dev, n=1)
+        with pytest.raises(ValueError):
+            dev.delay_rel(0.0)
+        with pytest.raises(ValueError):
+            dev.energy_rel(-1.0)
+
+
+class TestSelection:
+    def test_fast_corner_goes_to_high_drive(self):
+        out = best_device_at_speed(1.0)
+        assert out["device"] in ("qwfet", "cmos_hp")
+
+    def test_relaxed_corner_goes_to_steep_slope(self):
+        out = best_device_at_speed(100.0)
+        assert out["device"] in ("tfet", "qca")
+
+    def test_winner_changes_across_the_spectrum(self):
+        # The paper's point: no single "winning combination".
+        table = crossover_table((1.0, 10.0, 50.0, 1e4))
+        winners = set(table.values()) - {"none"}
+        assert len(winners) >= 3
+
+    def test_energy_improves_as_budget_relaxes(self):
+        tight = best_device_at_speed(2.0)["energy_rel"]
+        loose = best_device_at_speed(1000.0)["energy_rel"]
+        assert loose < tight
+
+    def test_impossible_budget(self):
+        with pytest.raises(ValueError):
+            best_device_at_speed(1e-6)
+        with pytest.raises(ValueError):
+            best_device_at_speed(0.0)
+        assert crossover_table((1e-6,))[1e-6] == "none"
+        with pytest.raises(ValueError):
+            crossover_table(())

@@ -1,0 +1,96 @@
+"""Tests for the CPU-DB attribution study (paper claim E02)."""
+
+import numpy as np
+import pytest
+
+from repro.technology import (
+    PROCESSORS,
+    ProcessorRecord,
+    attribute,
+    attribution_series,
+    frequency_series,
+    paper_claim_check,
+)
+
+
+class TestRecords:
+    def test_records_chronological(self):
+        years = [r.year for r in PROCESSORS]
+        assert years == sorted(years)
+        assert years[0] == 1985 and years[-1] == 2012
+
+    def test_frequency_derivation(self):
+        r = PROCESSORS[0]
+        expected = 1000.0 / (r.node.delay_ps * r.fo4_per_cycle)
+        assert r.frequency_ghz == pytest.approx(expected)
+
+    def test_1985_record_runs_at_tens_of_mhz(self):
+        assert 0.005 <= PROCESSORS[0].frequency_ghz <= 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorRecord("bad", 2000, "90nm", fo4_per_cycle=0.0, ipc=1.0)
+        with pytest.raises(ValueError):
+            ProcessorRecord("bad", 2000, "90nm", fo4_per_cycle=20.0, ipc=1.0, cores=0)
+
+    def test_throughput_includes_cores(self):
+        r = PROCESSORS[-1]
+        assert r.throughput_perf == pytest.approx(
+            r.single_thread_perf * r.cores
+        )
+
+
+class TestClockPlateau:
+    def test_clock_peaks_then_plateaus(self):
+        fs = frequency_series()
+        ghz = fs["ghz"]
+        # Monotone growth through 2004...
+        idx_2004 = list(fs["years"]).index(2004.0)
+        assert np.all(np.diff(ghz[: idx_2004 + 1]) > 0)
+        # ...then never again grows at the pre-2004 pace: post-2004
+        # clocks all stay within ~1.5x of the 2004 value.
+        assert np.all(ghz[idx_2004:] <= 1.5 * ghz[idx_2004])
+        # And the plateau sits in the real 2-4 GHz band.
+        assert 2.0 <= ghz[-1] <= 4.0
+
+
+class TestAttribution:
+    def test_decomposition_is_exact(self):
+        a = attribute(PROCESSORS[0], PROCESSORS[-1])
+        assert a.consistent()
+
+    def test_identity_attribution(self):
+        a = attribute(PROCESSORS[3], PROCESSORS[3])
+        assert a.total_gain == pytest.approx(1.0)
+        assert a.technology_gain == pytest.approx(1.0)
+        assert a.architecture_gain == pytest.approx(1.0)
+
+    def test_paper_claims(self):
+        claims = paper_claim_check()
+        # "architecture credited with ~80x improvement since 1985"
+        assert 60.0 <= claims["architecture_gain"] <= 100.0
+        # "apportioned computer performance growth roughly equally
+        # between technology and architecture"
+        assert 0.8 <= claims["log_split_arch_over_tech"] <= 1.25
+        assert claims["total_gain"] == pytest.approx(
+            claims["architecture_gain"] * claims["technology_gain"]
+        )
+
+    def test_series_monotone_years(self):
+        series = attribution_series()
+        assert np.all(np.diff(series["years"]) > 0)
+        assert series["total"][0] == pytest.approx(1.0)
+        # Cumulative gains only grow for this database.
+        assert np.all(np.diff(series["total"]) > 0)
+
+    def test_series_consistency(self):
+        series = attribution_series()
+        np.testing.assert_allclose(
+            series["total"],
+            series["technology"] * series["architecture"],
+            rtol=1e-9,
+        )
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            attribution_series([])

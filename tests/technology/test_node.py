@@ -1,0 +1,135 @@
+"""Tests for the technology-node database."""
+
+import numpy as np
+import pytest
+
+from repro.technology import (
+    NODES,
+    TechnologyNode,
+    density_series,
+    get_node,
+    node_for_year,
+    node_names,
+    nodes_between,
+)
+
+
+class TestDatabaseShape:
+    def test_nodes_ordered_oldest_first(self):
+        years = [n.year for n in NODES]
+        assert years == sorted(years)
+        features = [n.feature_nm for n in NODES]
+        assert features == sorted(features, reverse=True)
+
+    def test_density_doubles_roughly_per_node(self):
+        dens = density_series()
+        growth = dens[1:] / dens[:-1]
+        # Each shrink step multiplies density by (feature ratio)^2;
+        # steps vary but all grow and average near 2x.
+        assert np.all(growth > 1.0)
+        assert 1.5 <= np.exp(np.mean(np.log(growth))) <= 3.0
+
+    def test_vdd_monotone_nonincreasing(self):
+        vdds = [n.vdd_v for n in NODES]
+        assert all(a >= b for a, b in zip(vdds, vdds[1:]))
+
+    def test_delay_monotone_decreasing(self):
+        delays = [n.delay_ps for n in NODES]
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+    def test_moore_holds_across_database(self):
+        # Paper Table 1: transistor count still 2x every 18-24 months.
+        first, last = NODES[0], NODES[-1]
+        growth = last.density_mtx_mm2 / first.density_mtx_mm2
+        years = last.year - first.year
+        implied_doubling_months = 12 * years / np.log2(growth)
+        assert 18 <= implied_doubling_months <= 30
+
+    def test_switching_energy_falls_generation_over_generation(self):
+        energies = [n.switching_energy_j() for n in NODES]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+
+class TestLookups:
+    def test_get_node(self):
+        node = get_node("45nm")
+        assert node.feature_nm == 45.0
+        assert node.year == 2008
+
+    def test_get_node_unknown(self):
+        with pytest.raises(KeyError, match="unknown node"):
+            get_node("3nm")
+
+    def test_node_names_sorted_by_age(self):
+        names = node_names()
+        assert names[0] == "1500nm"
+        assert names[-1] == "5nm"
+
+    def test_nodes_between(self):
+        span = nodes_between(2004, 2012)
+        assert [n.name for n in span] == ["90nm", "65nm", "45nm", "32nm", "22nm"]
+        with pytest.raises(ValueError):
+            nodes_between(2012, 2004)
+
+    def test_node_for_year(self):
+        assert node_for_year(2005).name == "90nm"
+        assert node_for_year(1985).name == "1500nm"
+        with pytest.raises(ValueError):
+            node_for_year(1980)
+
+
+class TestDerivedQuantities:
+    def test_max_frequency_plausible(self):
+        # 22 nm at 25 FO4/cycle should land in the ~3-4 GHz band.
+        f = get_node("22nm").max_frequency_ghz(25.0)
+        assert 2.5 <= f <= 4.5
+
+    def test_frequency_scales_inverse_with_pipeline(self):
+        node = get_node("90nm")
+        assert node.max_frequency_ghz(10.0) == pytest.approx(
+            2.5 * node.max_frequency_ghz(25.0)
+        )
+
+    def test_dynamic_power_linear_in_frequency_and_activity(self):
+        node = get_node("45nm")
+        p1 = node.dynamic_power_w(1e9, 1e9, activity=0.1)
+        assert node.dynamic_power_w(1e9, 2e9, activity=0.1) == pytest.approx(2 * p1)
+        assert node.dynamic_power_w(1e9, 1e9, activity=0.2) == pytest.approx(2 * p1)
+
+    def test_chip_power_magnitude(self):
+        # A 100 mm^2 die at 45 nm running flat out: tens to ~200 W.
+        power = get_node("45nm").chip_power_w(100.0)
+        assert 10.0 <= power <= 400.0
+
+    def test_transistors_for_area(self):
+        node = get_node("22nm")
+        tx = node.transistors_for_area(160.0)
+        # Ivy-Bridge-class: ~1-3 billion transistors.
+        assert 5e8 <= tx <= 5e9
+
+    def test_validation(self):
+        node = get_node("45nm")
+        with pytest.raises(ValueError):
+            node.max_frequency_ghz(0.0)
+        with pytest.raises(ValueError):
+            node.transistors_for_area(-1.0)
+        with pytest.raises(ValueError):
+            node.dynamic_power_w(1e9, 1e9, activity=1.5)
+        with pytest.raises(ValueError):
+            node.leakage_power_w(-1.0)
+        with pytest.raises(ValueError):
+            node.switching_energy_j(0.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(
+                name="bad", feature_nm=0.0, year=2000, vdd_v=1.0,
+                vth_v=0.3, density_mtx_mm2=1.0, cap_per_tx_f=1e-15,
+                leakage_w_per_mtx=0.0, delay_ps=10.0, fit_per_mbit=100.0,
+            )
+        with pytest.raises(ValueError):
+            TechnologyNode(
+                name="bad", feature_nm=45.0, year=2000, vdd_v=0.2,
+                vth_v=0.3, density_mtx_mm2=1.0, cap_per_tx_f=1e-15,
+                leakage_w_per_mtx=0.0, delay_ps=10.0, fit_per_mbit=100.0,
+            )

@@ -1,0 +1,168 @@
+"""Tests for near-threshold voltage and dark-silicon models (E10/E12)."""
+
+import numpy as np
+import pytest
+
+from repro.technology import (
+    Dimming,
+    NTVModel,
+    compare_dimming_strategies,
+    dark_silicon_fraction,
+    dark_silicon_series,
+    effective_energy_sweep,
+    get_node,
+    powered_fraction,
+)
+
+
+@pytest.fixture
+def model():
+    return NTVModel(get_node("45nm"))
+
+
+class TestNTVEnergy:
+    def test_dynamic_energy_quadratic_in_vdd(self, model):
+        e1 = model.dynamic_energy_per_op(0.5)[0]
+        e2 = model.dynamic_energy_per_op(1.0)[0]
+        assert e2 == pytest.approx(4.0 * e1)
+
+    def test_energy_is_u_shaped(self, model):
+        vdd = np.linspace(0.25, model.node.vdd_v, 80)
+        energy = model.energy_per_op(vdd)
+        i_min = int(np.argmin(energy))
+        assert 0 < i_min < len(vdd) - 1  # interior minimum
+        # Minimum lies near/below threshold + ~0.25 V.
+        assert vdd[i_min] < model.node.vth_v + 0.30
+
+    def test_ntv_saves_meaningful_energy(self, model):
+        v_opt = model.optimal_vdd()
+        gain = (
+            model.energy_per_op(model.node.vdd_v)[0]
+            / model.energy_per_op(v_opt)[0]
+        )
+        # Paper: "tremendous potential to reduce power" — we model the
+        # canonical ~2-5x energy/op reduction at the optimum.
+        assert 1.8 <= gain <= 6.0
+
+    def test_delay_explodes_below_threshold(self, model):
+        sub = model.relative_delay(model.node.vth_v - 0.05)[0]
+        near = model.relative_delay(model.node.vth_v + 0.1)[0]
+        assert sub > 10 * near
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.energy_per_op(0.0)
+        with pytest.raises(ValueError):
+            NTVModel(get_node("45nm"), alpha=-1.0)
+        with pytest.raises(ValueError):
+            NTVModel(get_node("45nm"), subthreshold_slope_mv_dec=30.0)
+        with pytest.raises(ValueError):
+            NTVModel(get_node("45nm"), leakage_fraction_nominal=1.0)
+        with pytest.raises(ValueError):
+            model.optimal_vdd(lo=1.0, hi=0.5)
+
+
+class TestNTVReliability:
+    def test_error_rate_rises_as_vdd_falls(self, model):
+        rates = model.timing_error_rate(np.array([0.45, 0.6, 0.9, 1.0]))
+        assert rates[0] > rates[1] > rates[3]
+        assert rates[3] < 1e-6  # nominal operation is effectively clean
+
+    def test_error_rate_is_probability(self, model):
+        rates = model.timing_error_rate(np.linspace(0.31, 1.0, 30))
+        assert np.all(rates >= 0.0) and np.all(rates <= 1.0)
+
+    def test_effective_optimum_at_or_above_raw_optimum(self, model):
+        sweep = effective_energy_sweep("45nm", vdd_lo=0.3)
+        v_raw = sweep["vdd"][int(np.argmin(sweep["energy_per_op"]))]
+        v_eff = sweep["vdd"][
+            int(np.argmin(sweep["effective_energy_per_op"]))
+        ]
+        assert v_eff >= v_raw  # resilience pushes the optimum up
+
+    def test_recovery_overhead_increases_effective_energy(self, model):
+        v = 0.5
+        cheap = model.effective_energy_per_op(v, recovery_overhead=0.0)[0]
+        costly = model.effective_energy_per_op(v, recovery_overhead=100.0)[0]
+        assert costly >= cheap
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.timing_error_rate(0.5, guardband=-0.1)
+        with pytest.raises(ValueError):
+            model.timing_error_rate(0.5, paths=0.0)
+        with pytest.raises(ValueError):
+            model.effective_energy_per_op(0.5, recovery_overhead=-1.0)
+
+
+class TestDarkSilicon:
+    def test_dennard_era_chip_fully_powered(self):
+        # A 1995-era die under a generous budget lights everything.
+        frac = powered_fraction(get_node("600nm"), 100.0, 50.0)
+        assert frac == 1.0
+
+    def test_modern_chip_mostly_dark(self):
+        frac = powered_fraction(get_node("14nm"), 300.0, 100.0)
+        assert frac < 0.5
+
+    def test_dark_fraction_complement(self):
+        node = get_node("32nm")
+        assert dark_silicon_fraction(node, 300.0, 100.0) == pytest.approx(
+            1.0 - powered_fraction(node, 300.0, 100.0)
+        )
+
+    def test_series_monotone_growth(self):
+        series = dark_silicon_series()
+        dark = series["dark_fraction"]
+        assert np.all(np.diff(dark) >= -1e-12)
+        assert dark[0] < 0.1
+        assert dark[-1] > 0.8
+
+    def test_bigger_budget_less_dark(self):
+        node = get_node("22nm")
+        small = powered_fraction(node, 300.0, 50.0)
+        big = powered_fraction(node, 300.0, 200.0)
+        assert big > small
+
+    def test_validation(self):
+        node = get_node("22nm")
+        with pytest.raises(ValueError):
+            powered_fraction(node, 300.0, 0.0)
+        with pytest.raises(ValueError):
+            dark_silicon_series(start_year=2050)
+
+
+class TestDimmingStrategies:
+    def test_all_strategies_reported(self):
+        outs = compare_dimming_strategies(get_node("22nm"))
+        assert {o.strategy for o in outs} == set(Dimming)
+
+    def test_specialization_beats_naive_dark(self):
+        outs = {o.strategy: o for o in compare_dimming_strategies(get_node("22nm"))}
+        assert (
+            outs[Dimming.SPECIALIZE].relative_throughput
+            > outs[Dimming.NONE].relative_throughput
+        )
+
+    def test_specialization_grows_with_coverage(self):
+        lo = {
+            o.strategy: o
+            for o in compare_dimming_strategies(
+                get_node("22nm"), accel_coverage=0.1
+            )
+        }[Dimming.SPECIALIZE]
+        hi = {
+            o.strategy: o
+            for o in compare_dimming_strategies(
+                get_node("22nm"), accel_coverage=0.9
+            )
+        }[Dimming.SPECIALIZE]
+        assert hi.relative_throughput > lo.relative_throughput
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_dimming_strategies(get_node("22nm"), accel_coverage=1.5)
+        with pytest.raises(ValueError):
+            compare_dimming_strategies(
+                get_node("22nm"), accel_efficiency_gain=0.0
+            )

@@ -1,0 +1,162 @@
+"""Tests for the reliability models (paper Table 1 row 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.technology import (
+    NODES,
+    FailureModel,
+    aging_guardband_fraction,
+    chip_fit,
+    chip_fit_series,
+    fit_to_failures_per_year,
+    fit_to_mttf_hours,
+    frequency_spread,
+    get_node,
+    nbti_vth_shift_mv,
+    ser_with_protection,
+    series_fit,
+    tmr_reliability,
+    vth_sigma_mv,
+)
+
+
+class TestChipFit:
+    def test_scales_with_sram(self):
+        node = get_node("45nm")
+        small = chip_fit(node, sram_mbit=1.0, logic_fit=0.0)
+        big = chip_fit(node, sram_mbit=10.0, logic_fit=0.0)
+        assert big == pytest.approx(10 * small)
+
+    def test_logic_term_added(self):
+        node = get_node("45nm")
+        assert chip_fit(node, 0.0, logic_fit=42.0) == pytest.approx(42.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chip_fit(get_node("45nm"), -1.0)
+
+    def test_series_rises_over_time(self):
+        """Table 1 row 3: raw chip SER worsens across the decades."""
+        series = chip_fit_series()
+        raw = series["raw_fit"]
+        assert raw[-1] > 100 * raw[0]
+        # Protection helps but the protected trend still climbs.
+        prot = series["protected_fit"]
+        assert np.all(prot <= raw)
+        assert prot[-1] > prot[0]
+
+
+class TestProtection:
+    def test_ecc_reduces_fit(self):
+        assert ser_with_protection(1000.0, ecc_coverage=0.99) == pytest.approx(10.0)
+
+    def test_interleaving_divides_escapes(self):
+        base = ser_with_protection(1000.0, ecc_coverage=0.9)
+        inter = ser_with_protection(1000.0, ecc_coverage=0.9, interleaving_factor=4.0)
+        assert inter == pytest.approx(base / 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ser_with_protection(100.0, ecc_coverage=1.5)
+        with pytest.raises(ValueError):
+            ser_with_protection(100.0, interleaving_factor=0.5)
+
+
+class TestFitConversions:
+    def test_mttf(self):
+        assert fit_to_mttf_hours(1e9) == pytest.approx(1.0)
+        assert fit_to_mttf_hours(0.0) == math.inf
+
+    def test_failures_per_year(self):
+        # 114155 FIT ~ one failure per year.
+        per_year = fit_to_failures_per_year(1e9 / (24 * 365.25))
+        assert per_year == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_to_mttf_hours(-1.0)
+        with pytest.raises(ValueError):
+            fit_to_failures_per_year(-1.0)
+
+
+class TestVariation:
+    def test_sigma_grows_as_features_shrink(self):
+        sigmas = [vth_sigma_mv(n) for n in NODES]
+        assert all(a < b for a, b in zip(sigmas, sigmas[1:]))
+
+    def test_pelgrom_inverse_sqrt_area(self):
+        n45, n90 = get_node("45nm"), get_node("90nm")
+        # Halving L doubles sigma (area scales L^2).
+        assert vth_sigma_mv(n45) == pytest.approx(2.0 * vth_sigma_mv(n90))
+
+    def test_frequency_spread_grows_at_small_nodes(self):
+        spread_old = frequency_spread(get_node("180nm"))
+        spread_new = frequency_spread(get_node("22nm"))
+        assert spread_new > spread_old
+        assert spread_old > 0.0
+
+    def test_spread_inf_when_vth_exceeds_vdd(self):
+        node = get_node("5nm")
+        assert frequency_spread(node, sigma_multiplier=100.0) == math.inf
+
+
+class TestAging:
+    def test_drift_grows_with_time(self):
+        node = get_node("32nm")
+        shifts = [nbti_vth_shift_mv(t, node) for t in (0.0, 1.0, 5.0, 10.0)]
+        assert shifts[0] == 0.0
+        assert all(a < b for a, b in zip(shifts, shifts[1:]))
+
+    def test_sublinear_in_time(self):
+        node = get_node("32nm")
+        one = nbti_vth_shift_mv(1.0, node)
+        ten = nbti_vth_shift_mv(10.0, node)
+        assert ten < 10 * one
+
+    def test_smaller_nodes_age_faster(self):
+        assert nbti_vth_shift_mv(5.0, get_node("22nm")) > nbti_vth_shift_mv(
+            5.0, get_node("180nm")
+        )
+
+    def test_guardband_positive_and_reasonable(self):
+        gb = aging_guardband_fraction(10.0, get_node("45nm"))
+        assert 0.0 < gb < 1.0
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(ValueError):
+            nbti_vth_shift_mv(-1.0, get_node("45nm"))
+
+
+class TestFailureAlgebra:
+    def test_reliability_decays(self):
+        fm = FailureModel(fit=1000.0)
+        assert fm.reliability(0.0) == 1.0
+        assert fm.reliability(1e6) < 1.0
+
+    def test_series_composition(self):
+        a, b = FailureModel(100.0), FailureModel(200.0)
+        assert a.series(b).fit == 300.0
+        assert series_fit([100.0, 200.0, 300.0]) == 600.0
+
+    def test_tmr_better_above_half(self):
+        assert tmr_reliability(0.9) > 0.9
+        assert tmr_reliability(0.3) < 0.3
+        assert tmr_reliability(1.0) == pytest.approx(1.0)
+        assert tmr_reliability(0.5) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_property_tmr_in_unit_interval(self, r):
+        assert 0.0 <= tmr_reliability(r) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(-1.0)
+        with pytest.raises(ValueError):
+            tmr_reliability(1.5)
+        with pytest.raises(ValueError):
+            FailureModel(1.0).reliability(-1.0)

@@ -1,0 +1,164 @@
+"""Tests for Moore/Dennard/post-Dennard scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro.technology import (
+    CLASSIC_SHRINK,
+    dennard_breakdown_year,
+    dennard_trajectory,
+    frequency_from_delay,
+    moores_law_transistors,
+    nodes_between,
+    observed_trajectory,
+    post_dennard_trajectory,
+    power_gap_series,
+    utilization_wall,
+)
+from repro.technology.node import NODES
+
+
+class TestDennardTrajectory:
+    def test_constant_power(self):
+        traj = dennard_trajectory(10)
+        np.testing.assert_allclose(traj.power, 1.0, rtol=1e-9)
+
+    def test_transistors_double_per_generation(self):
+        traj = dennard_trajectory(5)
+        np.testing.assert_allclose(
+            traj.transistors, [1, 2, 4, 8, 16], rtol=1e-9
+        )
+
+    def test_frequency_grows(self):
+        traj = dennard_trajectory(5)
+        assert np.all(np.diff(traj.frequency) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dennard_trajectory(0)
+        with pytest.raises(ValueError):
+            dennard_trajectory(5, shrink=1.5)
+
+
+class TestPostDennardTrajectory:
+    def test_power_grows_sqrt2_per_generation(self):
+        traj = post_dennard_trajectory(6)
+        growth = traj.power[1:] / traj.power[:-1]
+        np.testing.assert_allclose(growth, np.sqrt(2.0), rtol=1e-9)
+
+    def test_vdd_flat(self):
+        traj = post_dennard_trajectory(4)
+        np.testing.assert_allclose(traj.vdd, 1.0)
+
+    def test_frequency_growth_knob(self):
+        traj = post_dennard_trajectory(3, frequency_growth=1.1)
+        np.testing.assert_allclose(traj.frequency, [1.0, 1.1, 1.21])
+        with pytest.raises(ValueError):
+            post_dennard_trajectory(3, frequency_growth=0.0)
+
+    def test_power_gap_widens_monotonically(self):
+        gap = power_gap_series(8)
+        assert gap[0] == pytest.approx(1.0)
+        assert np.all(np.diff(gap) > 0)
+        # After 6 generations the gap is 2^3 = 8x.
+        assert gap[6] == pytest.approx(2.0**3, rel=1e-9)
+
+
+class TestObservedTrajectory:
+    def test_normalized_to_first_node(self):
+        traj = observed_trajectory()
+        assert traj.transistors[0] == pytest.approx(1.0)
+        assert traj.power[0] == pytest.approx(1.0)
+
+    def test_switching_energy_improves_slower_after_dennard(self):
+        # Under constant-field scaling, C*V^2 falls ~s^3 (~0.35x) per
+        # generation; once voltage plateaus it falls only ~s (~0.7x).
+        nodes_dennard = nodes_between(1995, 2004)
+        nodes_post = nodes_between(2006, 2020)
+        def per_gen_energy_ratio(nodes):
+            e = np.array([n.switching_energy_j() for n in nodes])
+            return np.exp(np.mean(np.log(e[1:] / e[:-1])))
+        assert per_gen_energy_ratio(nodes_dennard) < 0.55
+        assert per_gen_energy_ratio(nodes_post) > 0.55
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            observed_trajectory([])
+
+
+class TestMooresLaw:
+    def test_doubling(self):
+        counts = moores_law_transistors([1985, 1987, 1989])
+        assert counts[1] / counts[0] == pytest.approx(2.0)
+        assert counts[2] / counts[0] == pytest.approx(4.0)
+
+    def test_paper_band(self):
+        # 2x per 18-24 months => 27 years gives between 2^13.5 and 2^18.
+        growth_slow = moores_law_transistors([2012], doubling_period_years=2.0)
+        growth_fast = moores_law_transistors([2012], doubling_period_years=1.5)
+        base = moores_law_transistors([1985])
+        assert growth_slow[0] / base[0] == pytest.approx(2.0**13.5)
+        assert growth_fast[0] / base[0] == pytest.approx(2.0**18.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moores_law_transistors([2000], doubling_period_years=0.0)
+
+
+class TestUtilizationWall:
+    def test_post_dennard_default_is_inverse_sqrt2(self):
+        assert utilization_wall() == pytest.approx(1.0 / np.sqrt(2.0))
+
+    def test_dennard_case_holds_utilization(self):
+        # With voltage scaling, energy/switch falls s^3 ~ 0.354, so
+        # utilization is preserved: 1 / (2 * 0.354) ~ 1.41 >= 1.
+        dennard = utilization_wall(
+            energy_per_switch_scaling=CLASSIC_SHRINK**3
+        )
+        assert dennard > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utilization_wall(transistor_growth=0.0)
+
+
+class TestBreakdownDetection:
+    def test_breakdown_year_in_paper_window(self):
+        # The paper dates the end of Dennard scaling to the mid-2000s.
+        year = dennard_breakdown_year()
+        assert 2004 <= year <= 2008
+
+    def test_pure_dennard_nodes_never_break(self):
+        # Construct an ideally scaled node list: no breakdown.
+        from repro.technology.node import TechnologyNode
+
+        nodes = []
+        feat, vdd = 600.0, 3.3
+        for year in range(1995, 2011, 2):
+            nodes.append(
+                TechnologyNode(
+                    name=f"{feat:.0f}nm", feature_nm=feat, year=year,
+                    vdd_v=vdd, vth_v=vdd * 0.2, density_mtx_mm2=1.0,
+                    cap_per_tx_f=1e-15, leakage_w_per_mtx=1e-4,
+                    delay_ps=100.0, fit_per_mbit=100.0,
+                )
+            )
+            feat *= 0.7
+            vdd *= 0.7
+        with pytest.raises(ValueError, match="no breakdown"):
+            dennard_breakdown_year(nodes)
+
+    def test_needs_three_nodes(self):
+        with pytest.raises(ValueError):
+            dennard_breakdown_year(NODES[:2])
+
+
+class TestFrequencySeries:
+    def test_frequency_from_delay_monotone(self):
+        freqs = frequency_from_delay(NODES)
+        assert np.all(np.diff(freqs) > 0)
+
+    def test_pipeline_depth_scales(self):
+        shallow = frequency_from_delay(NODES, pipeline_fo4=50.0)
+        deep = frequency_from_delay(NODES, pipeline_fo4=25.0)
+        np.testing.assert_allclose(deep, 2.0 * shallow)

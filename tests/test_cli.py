@@ -1,0 +1,24 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_subset_runs_and_exits_zero(self, capsys):
+        code = main(["E07"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E07" in out
+        assert "1/1 claims hold" in out
+
+    def test_verbose_prints_values(self, capsys):
+        code = main(["E13", "--verbose"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "five_nines_downtime_minutes" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["E99"])

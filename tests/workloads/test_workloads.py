@@ -1,0 +1,183 @@
+"""Tests for kernels, big-data streams, and graph analytics (E22)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    KERNELS,
+    StreamSpec,
+    analytics_pipeline,
+    arrival_trace,
+    community_graph,
+    detect_communities,
+    edge_filtering_savings,
+    flag_anomalous_nodes,
+    get_kernel,
+    influence_scores,
+    intensity_table,
+    pipeline_total_ops,
+    required_capacity,
+    social_graph,
+    store_vs_process_cost,
+)
+
+
+class TestKernels:
+    def test_registry_and_lookup(self):
+        assert "stream_triad" in KERNELS
+        k = get_kernel("dense_matmul")
+        assert k.intensity_ops_per_byte == pytest.approx(8.0)
+        with pytest.raises(KeyError):
+            get_kernel("quantum_annealer")
+
+    def test_intensity_spectrum(self):
+        table = intensity_table()
+        # GEMM is compute-dense; graph traversal is memory-dense.
+        assert table["dense_matmul"] > 10 * table["graph_traversal"]
+
+    def test_totals(self):
+        k = get_kernel("stream_triad")
+        assert k.total_ops(1000) == pytest.approx(2000.0)
+        assert k.total_bytes(1000) == pytest.approx(24_000.0)
+        with pytest.raises(ValueError):
+            k.total_ops(-1)
+
+    def test_address_streams_usable(self):
+        for name, k in KERNELS.items():
+            addrs = k.addresses(256)
+            assert len(addrs) == 256, name
+            assert np.all(addrs >= 0), name
+
+    def test_validation(self):
+        from repro.workloads import KernelSpec
+        from repro.processor import FP_KERNEL_MIX
+
+        with pytest.raises(ValueError):
+            KernelSpec("bad", 0.0, 1.0, FP_KERNEL_MIX, lambda n: np.zeros(n))
+
+
+class TestBigData:
+    def spec(self):
+        return StreamSpec(
+            records_per_s=1e5, bytes_per_record=200.0,
+            ops_per_record=50.0, burstiness=3.0,
+            interesting_fraction=0.01,
+        )
+
+    def test_derived_rates(self):
+        s = self.spec()
+        assert s.bandwidth_bytes_per_s == pytest.approx(2e7)
+        assert s.compute_ops_per_s == pytest.approx(5e6)
+
+    def test_arrival_trace_statistics(self):
+        s = self.spec()
+        out = arrival_trace(s, duration_s=3600.0, diurnal=False, rng=0)
+        mean_rate = out["records"].mean()
+        assert mean_rate == pytest.approx(1e5, rel=0.02)
+
+    def test_diurnal_peaks(self):
+        s = self.spec()
+        out = arrival_trace(s, duration_s=86400.0, interval_s=600.0, rng=0)
+        peak = out["rate"].max()
+        assert peak == pytest.approx(3e5, rel=0.05)  # burstiness 3x
+
+    def test_required_capacity(self):
+        s = self.spec()
+        cap = required_capacity(s, headroom=1.5)
+        assert cap["peak_ops_per_s"] == pytest.approx(5e6 * 3.0 * 1.5)
+        with pytest.raises(ValueError):
+            required_capacity(s, headroom=0.5)
+
+    def test_edge_filtering_savings(self):
+        s = self.spec()
+        out = edge_filtering_savings(s)
+        # 1% interesting: filtering wins big.
+        assert out["saving_ratio"] > 5.0
+        assert 0.0 <= out["filter_compute_share"] <= 1.0
+
+    def test_store_vs_process(self):
+        s = self.spec()
+        out = store_vs_process_cost(s)
+        assert out["store_usd_per_month"] > 0
+        assert out["process_usd_per_month"] > 0
+        with pytest.raises(ValueError):
+            store_vs_process_cost(s, core_ops_per_s=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamSpec(records_per_s=0.0, bytes_per_record=1.0,
+                       ops_per_record=1.0)
+        with pytest.raises(ValueError):
+            StreamSpec(records_per_s=1.0, bytes_per_record=1.0,
+                       ops_per_record=1.0, burstiness=0.5)
+        s = self.spec()
+        with pytest.raises(ValueError):
+            arrival_trace(s, duration_s=0.0)
+
+
+class TestGraphAnalytics:
+    def test_social_graph_heavy_tail(self):
+        g = social_graph(2000, attachment=3, rng=0)
+        degrees = np.array([d for _, d in g.degree])
+        assert degrees.max() > 10 * np.median(degrees)
+
+    def test_community_graph_recoverable(self):
+        g = community_graph(4, 30, p_in=0.4, p_out=0.002, rng=0)
+        report = detect_communities(g, rng=0)
+        sizes = sorted(len(c) for c in report.result)
+        # Label propagation should find roughly the 4 planted blocks.
+        assert 2 <= len(sizes) <= 8
+        assert sizes[-1] >= 20
+
+    def test_influence_scores_sum_to_one_ish(self):
+        g = social_graph(500, rng=1)
+        report = influence_scores(g)
+        total = sum(report.result.values())
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_influence_hubs_score_high(self):
+        g = social_graph(1000, rng=2)
+        report = influence_scores(g)
+        scores = report.result
+        top_node = max(scores, key=scores.get)
+        degrees = dict(g.degree)
+        # The top-ranked node is among the highest-degree nodes.
+        assert degrees[top_node] >= np.percentile(
+            list(degrees.values()), 99
+        )
+
+    def test_anomaly_flags_hubs(self):
+        g = nx.star_graph(100)  # node 0 is a perfect hub
+        report = flag_anomalous_nodes(g)
+        assert 0 in report.result
+
+    def test_work_accounting(self):
+        g = social_graph(500, rng=3)
+        report = influence_scores(g, iterations=10)
+        assert report.edge_traversals == pytest.approx(
+            2.0 * g.number_of_edges() * 10
+        )
+        assert report.ops_estimate > report.edge_traversals
+
+    def test_pipeline(self):
+        reports = analytics_pipeline(n_people=400, rng=0)
+        assert set(reports) == {"influence", "communities", "anomalies"}
+        assert pipeline_total_ops(reports) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            social_graph(2)
+        with pytest.raises(ValueError):
+            community_graph(0, 10)
+        g = social_graph(50, rng=0)
+        with pytest.raises(ValueError):
+            influence_scores(g, iterations=0)
+        with pytest.raises(ValueError):
+            influence_scores(g, damping=1.0)
+        with pytest.raises(ValueError):
+            detect_communities(g, max_rounds=0)
+        with pytest.raises(ValueError):
+            flag_anomalous_nodes(g, z_threshold=0.0)
+        with pytest.raises(ValueError):
+            influence_scores(nx.Graph())
