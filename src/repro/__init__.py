@@ -14,7 +14,8 @@ paper's 10 mW / 10 W / 10 kW / 10 MW platform envelopes.
 Subpackages
 -----------
 core
-    Discrete-event kernel, energy ledger, Pareto/DSE machinery, agenda.
+    Discrete-event kernel + cross-layer instrumentation, energy ledger,
+    Pareto/DSE machinery, agenda.
 technology
     Moore/Dennard scaling, node database, CPU-DB attribution, reliability,
     near-threshold voltage, dark silicon.
@@ -25,8 +26,8 @@ memory
     Caches, hierarchies, MESI coherence, DRAM, NVM (PCM/STT-RAM/...),
     wear leveling, compression, per-access energy.
 interconnect
-    Topologies, cycle-approximate NoC, traffic, electrical/photonic/3D
-    link energy models.
+    Topologies, event-driven mesh NoC (on the shared kernel), traffic,
+    electrical/photonic/3D link energy models.
 parallel
     Amdahl/Gustafson/Hill-Marty laws, communication-aware scaling,
     task DAGs, work stealing, synchronization, transactional memory.

@@ -2,9 +2,10 @@
 
 Usage::
 
-    python -m repro               # run all 22 experiments, print summary
-    python -m repro E07 E21       # run a subset
-    python -m repro --verbose     # include each experiment's raw numbers
+    python -m repro                  # run all 22 experiments, print summary
+    python -m repro E07 E21          # run a subset
+    python -m repro --verbose        # include each experiment's raw numbers
+    python -m repro E07 --instrument # also print kernel metrics/quantiles
 """
 
 from __future__ import annotations
@@ -29,9 +30,21 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", "-v", action="store_true",
         help="print each experiment's measured values",
     )
+    parser.add_argument(
+        "--instrument", action="store_true",
+        help=(
+            "enable the session metrics registry: kernel-hosted "
+            "simulators report per-component counters, gauges, and "
+            "latency quantiles after the runs"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from .analysis import REGISTRY
+    from .core import instrument
+
+    if args.instrument:
+        instrument.enable_session()
 
     only = args.experiments or None
     try:
@@ -40,6 +53,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
         return 2
     print(REGISTRY.summary(results))
+    if args.instrument:
+        report = instrument.default_registry().report()
+        if report:
+            print("\nKernel metrics (per component):")
+            print(report)
     if args.verbose:
         for eid in sorted(results):
             print(f"\n[{eid}] {REGISTRY.get(eid).claim}")

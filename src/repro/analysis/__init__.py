@@ -11,7 +11,7 @@ from .stats import (
     relative_error,
     within_factor,
 )
-from .tables import format_table, paper_vs_measured
+from .tables import format_table, metrics_table, paper_vs_measured
 
 __all__ = [
     "Experiment",
@@ -21,6 +21,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "mean_confidence_interval",
+    "metrics_table",
     "paper_vs_measured",
     "register_all",
     "relative_error",

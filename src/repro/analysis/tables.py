@@ -53,6 +53,34 @@ def format_table(
     return "\n".join(lines)
 
 
+def metrics_table(registry, title: str = "Kernel metrics") -> str:
+    """Render a :class:`~repro.core.instrument.MetricsRegistry` snapshot.
+
+    One row per instrument — counters and gauges show their value,
+    histograms their count and p50/p99 — so experiment scripts can drop
+    kernel instrumentation next to their paper tables.
+    """
+    rows = []
+    for name, snap in registry.snapshot().items():
+        if snap["type"] == "counter":
+            rows.append((name, "counter", str(snap["value"]), "", ""))
+        elif snap["type"] == "gauge":
+            rows.append((name, "gauge", units.si_format(snap["value"]), "", ""))
+        else:
+            rows.append(
+                (
+                    name,
+                    "histogram",
+                    str(snap["count"]),
+                    units.si_format(snap["p50"]),
+                    units.si_format(snap["p99"]),
+                )
+            )
+    return format_table(
+        ["metric", "kind", "count/value", "p50", "p99"], rows, title=title
+    )
+
+
 def paper_vs_measured(
     experiment_id: str,
     claim: str,

@@ -5,7 +5,10 @@ These are the shared primitives every paper-facing model builds on:
 * :mod:`repro.core.units` — SI constants plus the paper's platform
   power/throughput targets.
 * :mod:`repro.core.rng` — seeded, stream-splitting RNG policy.
-* :mod:`repro.core.events` — deterministic discrete-event kernel.
+* :mod:`repro.core.events` — deterministic discrete-event kernel, the
+  single simulation substrate every event-driven model runs on.
+* :mod:`repro.core.instrument` — counters/gauges/quantile histograms and
+  trace sinks threaded through the kernel and every migrated simulator.
 * :mod:`repro.core.energy` — hierarchical energy ledger ("energy first").
 * :mod:`repro.core.design` / :mod:`repro.core.dse` — design points,
   Pareto frontiers, and sweep drivers.
@@ -41,12 +44,31 @@ from .energy import (
     energy_delay_product,
     energy_delay_squared,
 )
-from .events import CancelToken, Event, PeriodicSource, SimStats, Simulator
+from .events import (
+    CancelToken,
+    Event,
+    PeriodicSource,
+    SimModel,
+    SimStats,
+    Simulator,
+    trace_events,
+)
+from .instrument import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceSink,
+    default_registry,
+    disable_session,
+    enable_session,
+)
 from .rng import DEFAULT_SEED, resolve_rng, spawn_rngs, stream_for
 
 __all__ = [
     "CancelToken",
     "ContinuousParam",
+    "Counter",
     "DEFAULT_SEED",
     "DesignPoint",
     "Direction",
@@ -55,15 +77,23 @@ __all__ = [
     "EnergyLedger",
     "Event",
     "Explorer",
+    "Gauge",
+    "Histogram",
     "Metrics",
+    "MetricsRegistry",
     "Objective",
     "PeriodicSource",
+    "SimModel",
     "SimStats",
     "Simulator",
     "SweepResult",
+    "TraceSink",
     "best_under_budget",
     "combine_ledgers",
+    "default_registry",
+    "disable_session",
     "dominated_fraction",
+    "enable_session",
     "energy_delay_product",
     "energy_delay_squared",
     "grid_configs",
@@ -75,4 +105,5 @@ __all__ = [
     "resolve_rng",
     "spawn_rngs",
     "stream_for",
+    "trace_events",
 ]

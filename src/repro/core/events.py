@@ -1,8 +1,12 @@
-"""Discrete-event simulation kernel.
+"""Discrete-event simulation kernel — the shared substrate.
 
-A minimal, fast event loop shared by the cycle-approximate simulators in
-the library (NoC routers, datacenter cluster, intermittent sensor
-execution).  Design points:
+Every event-driven simulator in the library runs on this kernel: the
+datacenter cluster queues (:mod:`repro.datacenter.cluster`), kernel-path
+hedging (:mod:`repro.datacenter.hedging`), autoscaling fleet dynamics
+(:mod:`repro.datacenter.autoscale`), the mesh NoC
+(:mod:`repro.interconnect.noc`), and the intermittent/duty-cycled sensor
+models (:mod:`repro.sensor.harvest`, :mod:`repro.sensor.duty`).  Design
+points:
 
 * Events are ``(time, sequence, callback, payload)`` tuples in a binary
   heap.  The monotonically increasing sequence number makes ordering
@@ -11,6 +15,20 @@ execution).  Design points:
 * Callbacks may schedule further events; the kernel runs until the queue
   drains, a time horizon passes, or an event budget is exhausted.
 * No global state: a :class:`Simulator` instance owns its clock.
+* **Observability**: each simulator carries a
+  :class:`~repro.core.instrument.MetricsRegistry` (``sim.metrics``) for
+  per-component counters/gauges/quantile histograms, plus probe hooks
+  (:meth:`Simulator.add_probe`) called after every executed event and
+  periodic samplers (:meth:`Simulator.sample_every`).  With
+  instrumentation disabled the hot path pays only one emptiness check
+  per event.
+* **Fault injection**: because all simulators share the one event loop,
+  :class:`repro.crosscut.faults.KernelFaultInjector` can drive faults
+  into any model through the same scheduling interface.
+
+Models plug in through the :class:`SimModel` protocol — ``bind(sim)``,
+``reset()``, ``finish()`` — so generic machinery (fault injectors,
+samplers, reporters) can treat them uniformly.
 """
 
 from __future__ import annotations
@@ -18,14 +36,17 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Protocol, runtime_checkable
+
+from .instrument import MetricsRegistry, default_registry
 
 EventCallback = Callable[["Simulator", Any], None]
+ProbeCallback = Callable[["Simulator", "Event"], None]
 
 
 @dataclass(frozen=True)
 class Event:
-    """A scheduled event (exposed for introspection/testing)."""
+    """A scheduled event (exposed for introspection/testing/probes)."""
 
     time: float
     seq: int
@@ -59,6 +80,25 @@ class SimStats:
     end_time: float = 0.0
 
 
+@runtime_checkable
+class SimModel(Protocol):
+    """Protocol for components that live on the event kernel.
+
+    ``bind(sim)`` attaches the model to a simulator (acquire metrics
+    scopes, stash the handle); ``reset()`` clears per-run state so a
+    model can be reused across runs; ``finish()`` flushes end-of-run
+    summary metrics.  :meth:`Simulator.attach` calls ``bind`` and
+    records the model so samplers/fault injectors can enumerate the
+    components of a simulation.
+    """
+
+    def bind(self, sim: "Simulator") -> None: ...
+
+    def reset(self) -> None: ...
+
+    def finish(self) -> None: ...
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -75,12 +115,22 @@ class Simulator:
     [(1.0, 'early'), (2.0, 'late')]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, CancelToken, EventCallback, Any]] = []
         self._seq = itertools.count()
         self._running = False
         self.stats = SimStats()
+        #: Instrumentation registry; defaults to the process session
+        #: registry (a shared no-op unless ``--instrument``-style code
+        #: called :func:`repro.core.instrument.enable_session`).
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._probes: List[ProbeCallback] = []
+        self.models: List[SimModel] = []
 
     @property
     def now(self) -> float:
@@ -90,6 +140,77 @@ class Simulator:
     def __len__(self) -> int:
         """Number of pending (possibly cancelled) events."""
         return len(self._heap)
+
+    # -- model / probe registration ---------------------------------------
+
+    def attach(self, model: SimModel) -> SimModel:
+        """Bind a :class:`SimModel` to this simulator and track it."""
+        model.bind(self)
+        self.models.append(model)
+        return model
+
+    def finish_models(self) -> None:
+        """Call ``finish()`` on every attached model (end-of-run flush)."""
+        for model in self.models:
+            model.finish()
+
+    def add_probe(self, probe: ProbeCallback) -> ProbeCallback:
+        """Register ``probe(sim, event)``, called after each executed event.
+
+        Probes are the kernel's observation point: tracing, event-type
+        accounting, and fault triggers all hang off this hook.  With no
+        probes registered the per-event cost is a single emptiness
+        check.
+        """
+        self._probes.append(probe)
+        return probe
+
+    def remove_probe(self, probe: ProbeCallback) -> None:
+        self._probes.remove(probe)
+
+    def sample_every(
+        self,
+        period: float,
+        sampler: Callable[["Simulator"], None],
+        initial_delay: Optional[float] = None,
+    ) -> CancelToken:
+        """Run ``sampler(sim)`` every ``period`` until cancelled.
+
+        The standard way to feed gauges (queue depth, stored energy)
+        without touching model hot paths.  Returns the token for the
+        *chain*: cancelling it stops all future samples.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        pending: list[CancelToken] = []
+
+        class _ChainToken(CancelToken):
+            """Cancels the whole chain, including the pending firing."""
+
+            __slots__ = ()
+
+            def cancel(self) -> None:
+                CancelToken.cancel(self)
+                if pending:
+                    pending[-1].cancel()
+
+        chain = _ChainToken()
+
+        def _tick(sim: "Simulator", _payload: Any) -> None:
+            if chain.cancelled:
+                return
+            sampler(sim)
+            if not chain.cancelled:  # the sampler itself may cancel
+                pending[:] = [sim.schedule(period, _tick)]
+
+        pending[:] = [
+            self.schedule(
+                period if initial_delay is None else initial_delay, _tick
+            )
+        ]
+        return chain
+
+    # -- scheduling --------------------------------------------------------
 
     def schedule(
         self,
@@ -138,13 +259,18 @@ class Simulator:
     def step(self) -> bool:
         """Execute the single next live event; return False if drained."""
         while self._heap:
-            time, _seq, token, callback, payload = heapq.heappop(self._heap)
+            time, seq, token, callback, payload = heapq.heappop(self._heap)
             if token.cancelled:
                 self.stats.events_cancelled += 1
                 continue
             self._now = time
             callback(self, payload)
             self.stats.events_executed += 1
+            if self._probes:
+                event = Event(time=time, seq=seq, callback=callback,
+                              payload=payload)
+                for probe in self._probes:
+                    probe(self, event)
             return True
         return False
 
@@ -181,12 +307,38 @@ class Simulator:
         return self.stats
 
 
+def trace_events(sim: Simulator, category: str = "kernel") -> ProbeCallback:
+    """Attach a probe that mirrors every executed event into the trace
+    sink of ``sim.metrics`` (no-op sink unless tracing is enabled).
+
+    Returns the probe so callers can :meth:`Simulator.remove_probe` it.
+    """
+    metrics = sim.metrics
+
+    def _probe(s: Simulator, event: Event) -> None:
+        name = getattr(event.callback, "__qualname__", repr(event.callback))
+        metrics.trace(event.time, category, name, event.payload)
+
+    return sim.add_probe(_probe)
+
+
 @dataclass
 class PeriodicSource:
-    """Helper that re-schedules itself every ``period`` until ``stop_after``.
+    """Helper that re-schedules itself every ``period``.
 
-    Used by traffic generators and sensor duty cycles.  The callback
-    receives the simulator and this source's ``payload``.
+    Used by traffic generators, sensor duty cycles, and autoscaler
+    ticks.  The callback receives the simulator and this source's
+    ``payload``.
+
+    Stopping
+    --------
+    * ``stop_after`` is an **inclusive** deadline: a firing stamped
+      exactly at ``stop_after`` still runs; the first firing strictly
+      beyond it is suppressed (and nothing further is scheduled).
+    * :meth:`stop` cancels the pending firing immediately via the
+      kernel's :class:`CancelToken` (lazy deletion — the dead event is
+      discarded when it surfaces).  :meth:`start` also returns that
+      token for callers that prefer to hold it directly.
     """
 
     period: float
@@ -194,15 +346,31 @@ class PeriodicSource:
     payload: Any = None
     stop_after: Optional[float] = None
     fires: int = field(default=0, init=False)
+    _token: Optional[CancelToken] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
-    def start(self, sim: Simulator, initial_delay: float = 0.0) -> None:
+    def start(self, sim: Simulator, initial_delay: float = 0.0) -> CancelToken:
         if self.period <= 0:
             raise ValueError(f"period must be positive, got {self.period}")
-        sim.schedule(initial_delay, self._fire)
+        self._token = sim.schedule(initial_delay, self._fire)
+        return self._token
+
+    def stop(self) -> None:
+        """Cancel the pending firing; the source goes quiet immediately."""
+        if self._token is not None:
+            self._token.cancel()
+            self._token = None
+
+    @property
+    def active(self) -> bool:
+        """True while a future firing is scheduled."""
+        return self._token is not None and not self._token.cancelled
 
     def _fire(self, sim: Simulator, _payload: Any) -> None:
         if self.stop_after is not None and sim.now > self.stop_after:
+            self._token = None
             return
         self.callback(sim, self.payload)
         self.fires += 1
-        sim.schedule(self.period, self._fire)
+        self._token = sim.schedule(self.period, self._fire)

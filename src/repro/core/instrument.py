@@ -1,0 +1,394 @@
+"""Cross-layer instrumentation: counters, gauges, quantile histograms,
+and structured trace events shared by every simulator.
+
+The paper's agenda ("21st Century Computer Architecture") leans on
+event-driven simulation for its quantitative claims, and the lesson of
+long-lived architecture simulators (gem5's unified stats/probe system)
+is that a *single* metrics substrate — not per-model ad-hoc counters —
+is what keeps a growing simulator trustworthy.  This module provides
+that substrate:
+
+* :class:`Counter` — monotonically increasing event counts.
+* :class:`Gauge` — last-value samples (queue depths, stored energy).
+* :class:`Histogram` — streaming distribution summary with bounded
+  memory: exact count/sum/min/max plus a fixed-size deterministic
+  reservoir for quantiles.
+* :class:`TraceSink` — bounded buffer of structured trace events for
+  post-mortem debugging and visualisation.
+* :class:`MetricsRegistry` — the factory/namespace that owns them all.
+
+**Near-zero overhead when disabled**: a disabled registry hands out
+shared null instruments whose mutators are empty methods, so model code
+can instrument unconditionally (``self.stats.requests.inc()``) without
+guarding every call site.  The event kernel's hot path adds only a
+single attribute check per event (see :mod:`repro.core.events`).
+
+A process-wide *session* registry supports the CLI's ``--instrument``
+flag: models default to :func:`default_registry`, which is the shared
+null registry unless a session has been enabled.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "TraceEvent",
+    "TraceSink",
+    "default_registry",
+    "disable_session",
+    "enable_session",
+]
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-value metric (queue depth, stored joules, fleet size)."""
+
+    __slots__ = ("name", "value", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.samples += 1
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value, "samples": self.samples}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming distribution summary with bounded memory.
+
+    Tracks exact ``count``/``sum``/``min``/``max`` and keeps a
+    fixed-size uniform random reservoir (Vitter's algorithm R) for
+    quantile estimates.  The reservoir's RNG is a private xorshift64
+    seeded from the metric name, so identical runs produce identical
+    quantile estimates without touching any NumPy stream the models
+    depend on for their own reproducibility.
+    """
+
+    __slots__ = (
+        "name", "count", "total", "min", "max", "_reservoir", "_capacity",
+        "_rng_state", "_sorted_cache",
+    )
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._capacity = capacity
+        self._reservoir: list[float] = []
+        # Seed from the name so streams are stable per metric.
+        self._rng_state = (hash(name) & 0xFFFFFFFFFFFFFFFF) or 0x9E3779B97F4A7C15
+        self._sorted_cache: Optional[list[float]] = None
+
+    def _next_rand(self) -> int:
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._rng_state = x
+        return x
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._sorted_cache = None
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+        else:
+            j = self._next_rand() % self.count
+            if j < self._capacity:
+                self._reservoir[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return float("nan")
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._reservoir)
+        data = self._sorted_cache
+        idx = q * (len(data) - 1)
+        lo = int(math.floor(idx))
+        hi = int(math.ceil(idx))
+        if lo == hi:
+            return data[lo]
+        frac = idx - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+TraceEvent = Tuple[float, str, str, Any]
+"""A structured trace record: ``(time, category, name, payload)``."""
+
+
+class TraceSink:
+    """Bounded in-memory buffer of :data:`TraceEvent` records.
+
+    Oldest events are evicted first once ``capacity`` is reached, so a
+    long simulation keeps the *tail* of its history — the part that
+    explains how it ended up in its final state.
+    """
+
+    __slots__ = ("capacity", "_events", "dropped")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, time: float, category: str, name: str, payload: Any = None) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append((time, category, name, payload))
+
+    def events(self, category: Optional[str] = None) -> list[TraceEvent]:
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e[1] == category]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class ScopedMetrics:
+    """A per-component view onto a registry (names share one prefix)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(f"{self._prefix}.{name}")
+
+    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}.{name}", capacity)
+
+    def trace(self, time: float, name: str, payload: Any = None) -> None:
+        self._registry.trace(time, self._prefix, name, payload)
+
+
+class MetricsRegistry:
+    """Factory and namespace for all instruments of one simulation.
+
+    ``enabled=False`` (the shared :data:`NULL_REGISTRY`) returns null
+    instruments from every factory method, making instrumentation calls
+    in model code effectively free; check :attr:`enabled` only around
+    genuinely expensive preparation (building a payload dict, say), not
+    around plain ``inc``/``observe`` calls.
+    """
+
+    _NULL_COUNTER = _NullCounter("null")
+    _NULL_GAUGE = _NullGauge("null")
+    _NULL_HISTOGRAM = _NullHistogram("null")
+
+    def __init__(self, enabled: bool = True, trace_capacity: int = 0) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.trace_sink: Optional[TraceSink] = (
+            TraceSink(trace_capacity) if (enabled and trace_capacity) else None
+        )
+
+    # -- factories ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return self._NULL_COUNTER
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return self._NULL_GAUGE
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+        if not self.enabled:
+            return self._NULL_HISTOGRAM
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(name, capacity)
+            return h
+
+    def scoped(self, prefix: str) -> ScopedMetrics:
+        """Per-component namespace, e.g. ``registry.scoped("cluster")``."""
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        return ScopedMetrics(self, prefix)
+
+    def trace(self, time: float, category: str, name: str, payload: Any = None) -> None:
+        if self.trace_sink is not None:
+            self.trace_sink.emit(time, category, name, payload)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All instruments as a plain nested dict (stable key order)."""
+        out: dict = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].snapshot()
+        for name in sorted(self._gauges):
+            out[name] = self._gauges[name].snapshot()
+        for name in sorted(self._histograms):
+            out[name] = self._histograms[name].snapshot()
+        return out
+
+    def report(self) -> str:
+        """Human-readable metrics table (the CLI's --instrument output)."""
+        lines = []
+        fmt = "{:.4g}".format
+        for name, snap in self.snapshot().items():
+            if snap["type"] == "counter":
+                lines.append(f"  {name:<44s} {snap['value']}")
+            elif snap["type"] == "gauge":
+                lines.append(f"  {name:<44s} {fmt(snap['value'])}")
+            else:
+                lines.append(
+                    f"  {name:<44s} n={snap['count']} mean={fmt(snap['mean'])}"
+                    f" p50={fmt(snap['p50'])} p90={fmt(snap['p90'])}"
+                    f" p99={fmt(snap['p99'])} max={fmt(snap['max'])}"
+                )
+        if self.trace_sink is not None:
+            lines.append(
+                f"  [trace] {len(self.trace_sink)} events buffered"
+                f" ({self.trace_sink.dropped} dropped)"
+            )
+        if not lines:
+            return "  (no instruments registered)"
+        return "\n".join(lines)
+
+    def merge_counts(self, pairs: Iterable[tuple[str, int]]) -> None:
+        """Bulk-add counter deltas (used by models that batch locally)."""
+        for name, delta in pairs:
+            self.counter(name).inc(delta)
+
+
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+"""Shared disabled registry; every factory method returns a null
+instrument and ``trace`` is a no-op."""
+
+_session: Optional[MetricsRegistry] = None
+
+
+def enable_session(trace_capacity: int = 0) -> MetricsRegistry:
+    """Install a process-wide live registry (CLI ``--instrument``).
+
+    Simulators constructed without an explicit ``metrics=`` argument
+    report into the session registry from then on.  Returns it so the
+    caller can print :meth:`MetricsRegistry.report` afterwards.
+    """
+    global _session
+    _session = MetricsRegistry(enabled=True, trace_capacity=trace_capacity)
+    return _session
+
+
+def disable_session() -> None:
+    """Drop the session registry; models fall back to the null registry."""
+    global _session
+    _session = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The session registry if enabled, else the shared null registry."""
+    return _session if _session is not None else NULL_REGISTRY

@@ -5,6 +5,8 @@ information-flow tracking, QoS partitioning (Section 2.4, E03/E19).
 from .ecc import SECDED, random_word, residual_error_rate
 from .faults import (
     CampaignResult,
+    FaultTarget,
+    KernelFaultInjector,
     Outcome,
     execute_registers,
     injection_campaign,
@@ -41,8 +43,10 @@ from .qos import (
 __all__ = [
     "Application",
     "CampaignResult",
+    "FaultTarget",
     "IFTResult",
     "IntegrityTreeConfig",
+    "KernelFaultInjector",
     "Outcome",
     "ProtectionScheme",
     "SECDED",

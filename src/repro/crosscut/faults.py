@@ -1,22 +1,32 @@
 """Fault-injection framework (paper Section 2.4 "Verifiability and
 Reliability").
 
-Injects single-bit flips into the architectural register state of the
-tiny-ISA in-order core mid-trace and classifies outcomes the standard
-way: **masked** (architectural state converges to the golden run),
-**SDC** — silent data corruption (run completes, final state differs),
-or **detected** (a checker caught it).  The E19 experiment layers
-checkers from :mod:`repro.crosscut.invariants` on top.
+Two layers:
+
+* **Architectural**: single-bit flips into the register state of the
+  tiny-ISA in-order core mid-trace, classified the standard way —
+  **masked** (architectural state converges to the golden run), **SDC**
+  — silent data corruption (run completes, final state differs), or
+  **detected** (a checker caught it).  The E19 experiment layers
+  checkers from :mod:`repro.crosscut.invariants` on top.
+* **System-level**: :class:`KernelFaultInjector` schedules random fault
+  events on the shared event kernel and drives them into any model that
+  implements ``inject_fault(sim, rng)`` (the cluster degrades a server,
+  the NoC stalls a link, ...).  Because every simulator in the library
+  runs on the one kernel, any of them gets fault injection without
+  bespoke plumbing — the "ilities" as a cross-cutting layer, as the
+  paper demands.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..core.events import Simulator
 from ..core.rng import RngLike, resolve_rng
 from ..processor.isa import Instruction, NUM_REGISTERS, Opcode
 
@@ -150,3 +160,100 @@ def injection_campaign(
         else:
             counts[Outcome.SDC] += 1
     return CampaignResult(outcomes=counts)
+
+
+@runtime_checkable
+class FaultTarget(Protocol):
+    """Anything the kernel injector can shoot at.
+
+    ``inject_fault`` applies one transient fault to the model's state at
+    the simulator's current time (the cluster degrades a random server,
+    the NoC stalls a random link, ...) and is responsible for scheduling
+    its own recovery if the fault heals.
+    """
+
+    def inject_fault(self, sim: Simulator, rng: np.random.Generator) -> None: ...
+
+
+class KernelFaultInjector:
+    """Poisson fault process over the shared event kernel.
+
+    Faults arrive with exponential interarrival times (``mean_interval``
+    apart on average) and each one is delivered to a registered target,
+    chosen uniformly when there are several.  Targets only need the
+    :class:`FaultTarget` protocol, so any kernel-hosted model gains
+    fault injection without bespoke plumbing.
+
+    Usage::
+
+        sim = Simulator()
+        injector = KernelFaultInjector(mean_interval=50.0, rng=7)
+        injector.register(cluster)
+        injector.arm(sim, horizon=1_000.0)
+        cluster.run(..., sim=sim)
+
+    ``arm`` pre-schedules the whole fault train inside ``horizon`` so
+    the injector composes with models that drive ``sim.run`` themselves;
+    injections are counted and traced through ``sim.metrics``.
+    """
+
+    def __init__(
+        self, mean_interval: float, rng: RngLike = None
+    ) -> None:
+        if mean_interval <= 0:
+            raise ValueError("mean fault interval must be positive")
+        self.mean_interval = float(mean_interval)
+        self.rng = resolve_rng(rng)
+        self.targets: List[FaultTarget] = []
+        self.injected = 0
+        self._tokens: list = []
+
+    def register(self, target: FaultTarget) -> None:
+        if not isinstance(target, FaultTarget):
+            raise TypeError(
+                f"{type(target).__name__} does not implement inject_fault()"
+            )
+        self.targets.append(target)
+
+    def _fire(self, sim: Simulator, _payload) -> None:
+        if not self.targets:
+            return
+        idx = (
+            int(self.rng.integers(len(self.targets)))
+            if len(self.targets) > 1
+            else 0
+        )
+        target = self.targets[idx]
+        target.inject_fault(sim, self.rng)
+        self.injected += 1
+        stats = sim.metrics.scoped("faults")
+        stats.counter("injected").inc()
+        stats.trace(sim.now, "inject", type(target).__name__)
+
+    def arm(self, sim: Simulator, horizon: float) -> int:
+        """Pre-schedule the fault train on ``sim`` within ``horizon``.
+
+        Returns the number of fault events scheduled.  Call
+        :meth:`disarm` to cancel any that have not yet fired.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        t = sim.now
+        scheduled = 0
+        while True:
+            t += float(self.rng.exponential(self.mean_interval))
+            if t > sim.now + horizon:
+                break
+            self._tokens.append(sim.schedule_at(t, self._fire))
+            scheduled += 1
+        return scheduled
+
+    def disarm(self) -> int:
+        """Cancel every still-pending fault event; returns how many."""
+        cancelled = 0
+        for token in self._tokens:
+            if not token.cancelled:
+                token.cancel()
+                cancelled += 1
+        self._tokens.clear()
+        return cancelled

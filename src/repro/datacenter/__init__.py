@@ -6,6 +6,7 @@ experiments E06/E07/E13/E22).
 from .autoscale import (
     AutoscaleConfig,
     ProvisioningResult,
+    autoscale_fleet_trace,
     diurnal_load,
     policy_energy_comparison,
     provision,
@@ -34,6 +35,7 @@ from .cluster import (
 from .hedging import (
     hedged_request_latencies,
     hedging_effectiveness,
+    kernel_hedged_latencies,
     tied_request_latencies,
 )
 from .latency import (
@@ -69,6 +71,7 @@ __all__ = [
     "RedundancyCostModel",
     "ServerPowerModel",
     "TCOModel",
+    "autoscale_fleet_trace",
     "availability_from_nines",
     "datacenter_ops_within_budget",
     "diurnal_load",
@@ -79,6 +82,7 @@ __all__ = [
     "hedged_request_latencies",
     "hedging_effectiveness",
     "k_of_n_availability",
+    "kernel_hedged_latencies",
     "lognormal_latency",
     "median_inflation",
     "mm1_mean_latency",

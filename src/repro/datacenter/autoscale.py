@@ -17,14 +17,24 @@ three provisioning policies and scores energy and violated intervals:
 The published-shape result: better energy proportionality in hardware
 buys most of what aggressive autoscaling buys, without the reaction-lag
 QoS risk.
+
+The autoscaler's time dynamics (provisioning ticks, the reaction lag
+between "desired" and "active" fleet) run on the shared event kernel
+(:class:`repro.core.events.Simulator`): each interval is a
+:class:`~repro.core.events.PeriodicSource` tick and each delayed fleet
+change is a scheduled activation event, so the policy composes with the
+kernel's instrumentation and fault hooks.  The static policies have no
+dynamics and stay closed-form.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from ..core.events import PeriodicSource, Simulator
 from .power import ServerPowerModel
 
 
@@ -111,20 +121,73 @@ def provision(
         fleet = np.full(load.size, peak_servers)
         return _serve(load, fleet, proportional, config, interval_s, boots=0)
     if policy == "autoscale":
-        desired = np.maximum(
-            np.ceil(load * config.headroom / config.server_capacity_rps),
-            config.min_servers,
-        ).astype(int)
-        lag = config.reaction_intervals
-        fleet = np.empty(load.size, dtype=int)
-        fleet[: lag + 1] = desired[0]
-        if lag:
-            fleet[lag:] = desired[:-lag] if lag <= load.size else desired[0]
-        else:
-            fleet = desired.copy()
+        fleet = autoscale_fleet_trace(load, config, interval_s)
         boots = int(np.sum(np.maximum(np.diff(fleet), 0)))
         return _serve(load, fleet, server, config, interval_s, boots=boots)
     raise ValueError(f"unknown policy {policy!r}")
+
+
+def autoscale_fleet_trace(
+    load_rps: np.ndarray,
+    config: AutoscaleConfig = AutoscaleConfig(),
+    interval_s: float = 300.0,
+    sim: Optional[Simulator] = None,
+) -> np.ndarray:
+    """Active-fleet trace under the reactive policy, on the event kernel.
+
+    Each interval tick records the currently active fleet, then requests
+    a resize to the interval's desired size; the resize activates
+    ``reaction_intervals`` ticks later (a scheduled kernel event), which
+    is the provisioning lag.  With zero lag resizes apply immediately.
+    """
+    load = np.asarray(load_rps, dtype=float)
+    if load.size == 0 or np.any(load < 0):
+        raise ValueError("load trace must be non-empty and non-negative")
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    desired = np.maximum(
+        np.ceil(load * config.headroom / config.server_capacity_rps),
+        config.min_servers,
+    ).astype(int)
+    lag = config.reaction_intervals
+
+    kernel = sim if sim is not None else Simulator()
+    stats = kernel.metrics.scoped("autoscale")
+    fleet_gauge = stats.gauge("fleet")
+    resizes = stats.counter("resizes")
+    fleet = np.empty(load.size, dtype=int)
+    active = [int(desired[0])]
+    index = [0]
+
+    def activate(s: Simulator, size: int) -> None:
+        if size != active[0]:
+            resizes.inc()
+        active[0] = size
+
+    def tick(s: Simulator, _payload) -> None:
+        i = index[0]
+        index[0] += 1
+        fleet[i] = active[0]
+        fleet_gauge.set(active[0])
+        if lag == 0:
+            # No provisioning delay: the resize lands within the tick.
+            if i + 1 < load.size:
+                activate(s, int(desired[i + 1]))
+        else:
+            # Half an interval early so the activation is unambiguously
+            # ordered before the tick that reads it, independent of
+            # float rounding in the tick chain.
+            s.schedule((lag - 0.5) * interval_s, activate, int(desired[i]))
+
+    if lag == 0:
+        active[0] = int(desired[0])
+    source = PeriodicSource(period=interval_s, callback=tick)
+    source.start(kernel)
+    # Half-interval slack so accumulated float addition cannot drop the
+    # final tick (see sensor.harvest for the same idiom).
+    kernel.run(until=(load.size - 0.5) * interval_s)
+    source.stop()
+    return fleet
 
 
 def diurnal_load(

@@ -1,20 +1,27 @@
 """Warehouse-scale cluster queueing simulator.
 
 An event-driven multi-server queueing model on the core simulation
-kernel: Poisson arrivals, per-server queues, pluggable load-balancing
-policies (random, round-robin, join-shortest-queue, power-of-two
-choices), and optional server heterogeneity/stragglers.  Validated
-against M/M/1 and M/M/c closed forms, it underpins the datacenter
-experiments (E07's queueing tail, E22's analytics cluster).
+kernel (:class:`repro.core.events.Simulator`): Poisson arrivals,
+per-server FCFS queues, pluggable load-balancing policies (random,
+round-robin, join-shortest-queue, power-of-two choices), and optional
+server heterogeneity/stragglers.  Arrivals and completions are kernel
+events, so the simulator composes with the shared instrumentation
+(per-component counters and latency quantiles on ``sim.metrics``) and
+with :class:`repro.crosscut.faults.KernelFaultInjector` (transient
+server degradation).  Validated against M/M/1 and M/M/c closed forms,
+it underpins the datacenter experiments (E07's queueing tail, E22's
+analytics cluster).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from enum import Enum
+from typing import Optional
+
 import numpy as np
 
+from ..core.events import Simulator
 from ..core.rng import RngLike, resolve_rng
 
 
@@ -67,70 +74,150 @@ class ClusterResult:
 
 
 class ClusterSimulator:
-    """Event-driven FCFS multi-queue cluster.
+    """Event-driven FCFS multi-queue cluster (a kernel :class:`SimModel`).
 
-    Each server is an independent FCFS queue; completion times are
-    computed by the standard Lindley recursion per server, which is
-    exact for this model and much faster than a generic event loop.
+    Each server is an independent FCFS queue.  Requests arrive as kernel
+    events; the balancer picks a server at arrival time; the completion
+    is scheduled at ``max(now, server_free) + service`` (exact for FCFS,
+    so no per-request occupancy events are needed) and decrements the
+    server's queue length when it fires — which is what makes
+    join-shortest-queue and power-of-two see live queue depths.
+
+    Because the per-request random draws (balancer choice, service time)
+    happen in arrival order, results are reproducible for a given seed
+    regardless of how completions interleave.
     """
 
     def __init__(self, config: ClusterConfig = ClusterConfig()) -> None:
         self.config = config
+        self._sim: Optional[Simulator] = None
+        self._stats = None
+        self._rates: Optional[np.ndarray] = None
+        self._free_at: Optional[np.ndarray] = None
+        self._qlen: Optional[np.ndarray] = None
+        self.faults_injected = 0
+
+    # -- SimModel protocol -------------------------------------------------
+
+    def bind(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._stats = sim.metrics.scoped("cluster")
+
+    def reset(self) -> None:
+        cfg = self.config
+        self._rates = np.full(cfg.n_servers, cfg.service_rate)
+        n_slow = int(round(cfg.slow_server_fraction * cfg.n_servers))
+        if n_slow:
+            self._rates[:n_slow] /= cfg.slow_factor
+        self._free_at = np.zeros(cfg.n_servers)
+        self._qlen = np.zeros(cfg.n_servers, dtype=np.int64)
+        self.faults_injected = 0
+
+    def finish(self) -> None:
+        if self._stats is not None and self._qlen is not None:
+            self._stats.gauge("queued_at_end").set(int(self._qlen.sum()))
+
+    # -- fault-injection hook ----------------------------------------------
+
+    def inject_fault(self, sim: Simulator, rng: np.random.Generator) -> str:
+        """Transiently degrade one random server (kernel fault hook).
+
+        The chosen server's service rate drops by ``slow_factor`` (at
+        least 4x) for ten mean service times, then recovers — the
+        "limping server" mode behind the paper's tail-at-scale argument.
+        Returns a short description for the fault log.
+        """
+        if self._rates is None:
+            raise RuntimeError("inject_fault before reset()")
+        server = int(rng.integers(self.config.n_servers))
+        factor = max(self.config.slow_factor, 4.0)
+        duration = 10.0 / self.config.service_rate
+        self._rates[server] /= factor
+
+        def _recover(s: Simulator, srv: int) -> None:
+            self._rates[srv] *= factor
+
+        sim.schedule(duration, _recover, server)
+        self.faults_injected += 1
+        self._stats.counter("faults").inc()
+        return f"server {server} degraded {factor:g}x for {duration:g}s"
+
+    # -- the simulation ----------------------------------------------------
 
     def run(
         self,
         arrival_rate: float,
         n_requests: int,
         rng: RngLike = None,
+        sim: Optional[Simulator] = None,
     ) -> ClusterResult:
+        """Simulate ``n_requests`` Poisson arrivals at ``arrival_rate``.
+
+        Pass ``sim`` to run on a caller-owned kernel (shared metrics,
+        armed fault injectors, co-simulated models); otherwise a private
+        one is created.
+        """
         cfg = self.config
         if arrival_rate <= 0:
             raise ValueError("arrival rate must be positive")
         if n_requests < 1:
             raise ValueError("need at least one request")
         gen = resolve_rng(rng)
+        kernel = sim if sim is not None else Simulator()
+        kernel.attach(self)
+        self.reset()
+        stats = self._stats
+        arrived = stats.counter("requests")
+        completed = stats.counter("completions")
+        lat_hist = stats.histogram("latency_s")
 
         arrivals = np.cumsum(gen.exponential(1.0 / arrival_rate, n_requests))
-        rates = np.full(cfg.n_servers, cfg.service_rate)
-        n_slow = int(round(cfg.slow_server_fraction * cfg.n_servers))
-        if n_slow:
-            rates[:n_slow] /= cfg.slow_factor
-
-        # Per-server state: time the server frees up, queue length.
-        free_at = np.zeros(cfg.n_servers)
-        qlen = np.zeros(cfg.n_servers, dtype=np.int64)
-        # Completion events to decrement queue lengths for JSQ.
-        completions: list[tuple[float, int]] = []
+        rates = self._rates
+        free_at = self._free_at
+        qlen = self._qlen
         latencies = np.empty(n_requests)
-        busy_time = 0.0
-        rr = 0
+        busy = [0.0]  # total service time, closed over by callbacks
+        rr = [0]
 
-        for i in range(n_requests):
-            t = arrivals[i]
-            while completions and completions[0][0] <= t:
-                _, server = heapq.heappop(completions)
-                qlen[server] -= 1
+        def complete(s: Simulator, server: int) -> None:
+            qlen[server] -= 1
+            completed.inc()
+
+        def arrive(s: Simulator, i: int) -> None:
+            t = s.now
+            arrived.inc()
             if cfg.balancer is Balancer.RANDOM:
-                s = int(gen.integers(cfg.n_servers))
+                srv = int(gen.integers(cfg.n_servers))
             elif cfg.balancer is Balancer.ROUND_ROBIN:
-                s = rr
-                rr = (rr + 1) % cfg.n_servers
+                srv = rr[0]
+                rr[0] = (rr[0] + 1) % cfg.n_servers
             elif cfg.balancer is Balancer.JSQ:
-                s = int(np.argmin(qlen))
+                srv = int(np.argmin(qlen))
             else:  # POWER_OF_TWO
                 a, b = gen.integers(cfg.n_servers, size=2)
-                s = int(a if qlen[a] <= qlen[b] else b)
-            service = gen.exponential(1.0 / rates[s])
-            start = max(t, free_at[s])
+                srv = int(a if qlen[a] <= qlen[b] else b)
+            service = gen.exponential(1.0 / rates[srv])
+            start = max(t, free_at[srv])
             finish = start + service
-            free_at[s] = finish
-            qlen[s] += 1
-            heapq.heappush(completions, (finish, s))
+            free_at[srv] = finish
+            qlen[srv] += 1
+            # Completion scheduled before the next arrival so a tie
+            # (completion stamped exactly at an arrival) resolves
+            # completion-first, matching the FCFS accounting.
+            s.schedule_at(finish, complete, srv)
             latencies[i] = finish - t
-            busy_time += service
+            lat_hist.observe(finish - t)
+            busy[0] += service
+            if i + 1 < n_requests:
+                s.schedule_at(arrivals[i + 1], arrive, i + 1)
+
+        kernel.schedule_at(arrivals[0], arrive, 0)
+        kernel.run()
+        self.finish()
 
         makespan = max(float(free_at.max()), float(arrivals[-1]))
-        utilization = busy_time / (makespan * cfg.n_servers)
+        utilization = busy[0] / (makespan * cfg.n_servers)
+        stats.gauge("utilization").set(utilization)
         return ClusterResult(latencies=latencies, utilization=utilization)
 
 

@@ -12,12 +12,22 @@ half.
 * **Tied** — send two immediately, cancel the loser on first dequeue;
   modeled as min-of-two with a small cancellation overhead and full 2x
   load.
+
+Two implementations of hedging live here.  The vectorized Monte Carlo
+(:func:`hedged_request_latencies`) is the closed-form-fast path; the
+event path (:func:`kernel_hedged_latencies`) plays the same policy out
+on the shared kernel — the hedge timer is a scheduled event, and
+whichever reply loses the race is *actually cancelled* through the
+kernel's :class:`~repro.core.events.CancelToken`, which is the
+mechanism real tail-tolerant RPC layers need.  The two agree sample for
+sample, which is the cross-validation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.events import Simulator
 from ..core.rng import RngLike, resolve_rng
 from .latency import LatencyDistribution
 
@@ -49,6 +59,82 @@ def hedged_request_latencies(
         "baseline": primary,
         "extra_load_fraction": extra_load,
         "trigger_ms": trigger,
+    }
+
+
+def kernel_hedged_latencies(
+    dist: LatencyDistribution,
+    n_requests: int,
+    trigger_quantile: float = 0.95,
+    rng: RngLike = None,
+    sim: Simulator | None = None,
+) -> dict[str, np.ndarray | float]:
+    """Hedged requests as real events on the shared kernel.
+
+    Per request: the primary reply is a scheduled completion; a hedge
+    timer fires at the trigger delay and, if the primary is still
+    outstanding, launches a backup reply.  First completion wins and
+    cancels both the loser's completion event and (if still pending)
+    the hedge timer — exercising the kernel's lazy cancellation exactly
+    the way a tail-tolerant RPC layer would.
+
+    Draws primary and backup samples in the same stream order as
+    :func:`hedged_request_latencies`, so the resulting latencies match
+    the vectorized path sample for sample.
+    """
+    if n_requests < 1:
+        raise ValueError("need at least one request")
+    if not 0.0 < trigger_quantile < 1.0:
+        raise ValueError("trigger quantile must be in (0, 1)")
+    gen = resolve_rng(rng)
+    trigger = float(dist.quantile(trigger_quantile)[0])
+    primary = dist.sample(n_requests, rng=gen)
+    backup = dist.sample(n_requests, rng=gen)
+
+    kernel = sim if sim is not None else Simulator()
+    stats = kernel.metrics.scoped("hedging")
+    hedges_ctr = stats.counter("hedges_launched")
+    cancel_ctr = stats.counter("losers_cancelled")
+    lat_hist = stats.histogram("latency_ms")
+    latencies = np.empty(n_requests)
+    hedged_count = [0]
+
+    def launch(s: Simulator, i: int) -> None:
+        start = s.now
+        outstanding: dict[str, object] = {}
+
+        def finish(s2: Simulator, which: str) -> None:
+            outstanding.pop(which, None)
+            latencies[i] = s2.now - start
+            lat_hist.observe(latencies[i])
+            # Cancel the race losers still in flight (the hedge timer
+            # and/or the other reply) through the kernel.
+            for token in outstanding.values():
+                token.cancel()
+                cancel_ctr.inc()
+            outstanding.clear()
+
+        def hedge(s2: Simulator, _payload) -> None:
+            outstanding.pop("hedge", None)
+            hedged_count[0] += 1
+            hedges_ctr.inc()
+            outstanding["backup"] = s2.schedule(
+                float(backup[i]), finish, "backup"
+            )
+
+        outstanding["primary"] = s.schedule(float(primary[i]), finish, "primary")
+        outstanding["hedge"] = s.schedule(trigger, hedge)
+
+    # Requests are independent; stagger starts by the trigger so the
+    # kernel interleaves many outstanding requests (a realistic load).
+    for i in range(n_requests):
+        kernel.schedule_at(i * trigger, launch, i)
+    kernel.run()
+
+    return {
+        "latencies": latencies,
+        "trigger_ms": trigger,
+        "extra_load_fraction": hedged_count[0] / n_requests,
     }
 
 

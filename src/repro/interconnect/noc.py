@@ -6,6 +6,13 @@ the canonical NoC behaviours: low-load latency ~ hop count x router
 delay, queueing growth with injection rate, and saturation throughput
 differences between traffic patterns.
 
+The simulator runs on the shared event kernel
+(:class:`repro.core.events.Simulator`): packet injections and link
+departures are scheduled events rather than a hand-rolled per-cycle
+loop, so idle stretches cost nothing, per-component counters/latency
+quantiles land on ``sim.metrics``, and the kernel's fault hooks can
+stall links mid-flight (:meth:`MeshNoC.inject_fault`).
+
 Energy: every hop charges router + link energy to a ledger, connecting
 the NoC to the paper's "energy is largely spent moving data" argument
 (experiments E04/E21).
@@ -20,6 +27,7 @@ from typing import Deque, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.energy import EnergyLedger
+from ..core.events import Simulator
 from .topology import xy_route
 
 Coord = Tuple[int, int]
@@ -105,27 +113,82 @@ class NoCResult:
         return self.ledger.total() / len(self.delivered)
 
 
-class MeshNoC:
-    """Cycle-stepped mesh NoC with per-link FIFO queues.
+class _LinkState:
+    """FIFO queue plus serialization state for one directed link."""
 
-    Each directed link serves one packet per ``hop_latency`` cycles
-    (modeled as: at each simulation step of one cycle, every link may
-    advance one packet whose arrival there is at least ``hop_latency``
-    old).  Simple store-and-forward — latency per uncontended hop is
-    exactly ``hop_latency``.
+    __slots__ = ("queue", "next_free", "busy")
+
+    def __init__(self) -> None:
+        self.queue: Deque[tuple[float, Packet]] = deque()  # (ready, packet)
+        self.next_free = 0.0  # earliest cycle the link may forward again
+        self.busy = False  # a departure event is scheduled
+
+
+class MeshNoC:
+    """Event-driven mesh NoC with per-link FIFO queues (a kernel model).
+
+    Each directed link serves one packet per cycle; a packet becomes
+    eligible to depart ``hop_latency - 1`` cycles after arriving at the
+    link and lands at the next router one cycle after departing, so an
+    uncontended hop costs exactly ``hop_latency``.  Departures are
+    kernel events (one per hop) rather than a per-cycle poll of every
+    link, which is both faster at low load and what lets the shared
+    instrumentation/fault machinery observe the NoC like any other
+    simulator.
     """
 
     def __init__(self, config: NoCConfig = NoCConfig()) -> None:
         self.config = config
+        self._sim: Optional[Simulator] = None
+        self._stats = None
+        self._links: Dict[Link, _LinkState] = {}
+        self.faults_injected = 0
+
+    # -- SimModel protocol -------------------------------------------------
+
+    def bind(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._stats = sim.metrics.scoped("noc")
+
+    def reset(self) -> None:
+        self._links = {}
+        self.faults_injected = 0
+
+    def finish(self) -> None:
+        if self._stats is not None:
+            backlog = sum(len(ls.queue) for ls in self._links.values())
+            self._stats.gauge("queued_at_end").set(backlog)
+
+    # -- fault-injection hook ----------------------------------------------
+
+    def inject_fault(self, sim: Simulator, rng: np.random.Generator) -> str:
+        """Stall one random active link (kernel fault hook).
+
+        Models a transient link fault requiring retransmission: the
+        link's next-free cycle is pushed out by 10 hop latencies.
+        """
+        if not self._links:
+            return "no active links; fault absorbed"
+        links = sorted(self._links)  # deterministic order for the draw
+        link = links[int(rng.integers(len(links)))]
+        penalty = 10.0 * self.config.hop_latency
+        state = self._links[link]
+        state.next_free = max(state.next_free, sim.now) + penalty
+        self.faults_injected += 1
+        self._stats.counter("faults").inc()
+        return f"link {link[0]}->{link[1]} stalled {penalty:g} cycles"
 
     def run(
         self,
         pairs: Sequence[tuple[Coord, Coord]],
         injection_times: Optional[np.ndarray] = None,
         max_cycles: int = 200_000,
+        sim: Optional[Simulator] = None,
     ) -> NoCResult:
         """Inject packets (``pairs[i]`` at ``injection_times[i]``, default
-        all at cycle 0 back-to-back per source) and run to drain."""
+        all at cycle 0 back-to-back per source) and run to drain (or to
+        the ``max_cycles`` horizon; undelivered packets count as
+        dropped).  Pass ``sim`` to share a caller-owned kernel."""
         cfg = self.config
         if injection_times is None:
             injection_arr = np.zeros(len(pairs))
@@ -144,55 +207,79 @@ class MeshNoC:
                        route=xy_route(src, dst))
             )
 
-        # Per-link queue of (ready_cycle, packet).
-        queues: Dict[Link, Deque[tuple[float, Packet]]] = {}
-        pending = sorted(packets, key=lambda p: p.injected_at)
-        pending_idx = 0
+        kernel = sim if sim is not None else Simulator()
+        kernel.attach(self)
+        self.reset()
+        stats = self._stats
+        injected_ctr = stats.counter("packets_injected")
+        hops_ctr = stats.counter("hops_forwarded")
+        lat_hist = stats.histogram("packet_latency_cycles")
+
+        links = self._links
         ledger = EnergyLedger()
         delivered: list[Packet] = []
-        cycle = 0.0
         hop_lat = cfg.hop_latency
-        in_flight = 0
+        last_delivery = [0.0]
 
-        def enqueue(packet: Packet, now: float) -> None:
-            nonlocal in_flight
+        def schedule_departure(s: Simulator, link: Link, state: _LinkState) -> None:
+            ready, _packet = state.queue[0]
+            depart = max(ready, state.next_free, s.now)
+            state.busy = True
+            s.schedule_at(depart, forward, link)
+
+        def forward(s: Simulator, link: Link) -> None:
+            state = links[link]
+            state.busy = False
+            if not state.queue:
+                return
+            ready, packet = state.queue[0]
+            # A fault may have pushed next_free past this departure;
+            # reschedule rather than forwarding early.
+            if state.next_free > s.now:
+                schedule_departure(s, link, state)
+                return
+            state.queue.popleft()
+            state.next_free = s.now + 1.0
+            ledger.charge("noc.router", cfg.energy_per_hop_router_j, ops=1)
+            ledger.charge("noc.link", cfg.energy_per_hop_link_j)
+            hops_ctr.inc()
+            packet.hop_index += 1
+            if packet.hop_index == len(packet.route) - 1:
+                packet.delivered_at = s.now + 1.0
+                delivered.append(packet)
+                last_delivery[0] = max(last_delivery[0], packet.delivered_at)
+                lat_hist.observe(packet.latency)
+            else:
+                enqueue(s, packet, s.now + 1.0)
+            if state.queue:
+                schedule_departure(s, link, state)
+
+        def enqueue(s: Simulator, packet: Packet, now: float) -> None:
             link = (packet.route[packet.hop_index],
                     packet.route[packet.hop_index + 1])
-            queues.setdefault(link, deque()).append((now, packet))
-            in_flight += 1
+            state = links.get(link)
+            if state is None:
+                state = links[link] = _LinkState()
+            state.queue.append((now + hop_lat - 1.0, packet))
+            if not state.busy:
+                schedule_departure(s, link, state)
 
-        while (pending_idx < len(pending) or in_flight) and cycle < max_cycles:
-            # Inject everything due this cycle.
-            while (
-                pending_idx < len(pending)
-                and pending[pending_idx].injected_at <= cycle
-            ):
-                enqueue(pending[pending_idx], cycle)
-                pending_idx += 1
+        def inject(s: Simulator, packet: Packet) -> None:
+            injected_ctr.inc()
+            enqueue(s, packet, s.now)
 
-            # Each link forwards at most one sufficiently-old packet.
-            for link in list(queues):
-                q = queues[link]
-                if not q:
-                    continue
-                arrived, packet = q[0]
-                if cycle - arrived + 1 < hop_lat:
-                    continue
-                q.popleft()
-                in_flight -= 1
-                ledger.charge("noc.router", cfg.energy_per_hop_router_j, ops=1)
-                ledger.charge("noc.link", cfg.energy_per_hop_link_j)
-                packet.hop_index += 1
-                if packet.hop_index == len(packet.route) - 1:
-                    packet.delivered_at = cycle + 1
-                    delivered.append(packet)
-                else:
-                    enqueue(packet, cycle + 1)
-            cycle += 1.0
+        for packet in packets:
+            # Injections align to the next cycle boundary (the model is
+            # cycle-approximate even though the kernel clock is a float).
+            kernel.schedule_at(float(np.ceil(packet.injected_at)), inject,
+                               packet)
+        kernel.run(until=float(max_cycles))
+        self.finish()
 
-        dropped = (len(pending) - pending_idx) + in_flight
+        dropped = len(packets) - len(delivered)
+        cycles = last_delivery[0] if dropped == 0 else float(max_cycles)
         return NoCResult(
-            delivered=delivered, dropped=dropped, cycles=cycle, ledger=ledger
+            delivered=delivered, dropped=dropped, cycles=cycles, ledger=ledger
         )
 
     def _check_coord(self, c: Coord) -> None:

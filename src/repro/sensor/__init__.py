@@ -12,10 +12,11 @@ from .approximate import (
     subsample_sweep,
     unreliable_storage_noise,
 )
-from .duty import DutyCycleModel, lifetime_latency_tradeoff
+from .duty import DutyCycleModel, lifetime_latency_tradeoff, simulate_duty_cycle
 from .harvest import (
     Harvester,
     IntermittentConfig,
+    IntermittentNode,
     IntermittentResult,
     checkpoint_sweep,
     simulate_intermittent,
@@ -35,6 +36,7 @@ __all__ = [
     "ECGConfig",
     "Harvester",
     "IntermittentConfig",
+    "IntermittentNode",
     "IntermittentResult",
     "SensorNode",
     "checkpoint_sweep",
@@ -47,6 +49,7 @@ __all__ = [
     "precision_energy_scale",
     "precision_sweep",
     "quantize",
+    "simulate_duty_cycle",
     "simulate_intermittent",
     "snr_db",
     "subsample_sweep",

@@ -11,14 +11,22 @@ resumes from the last checkpoint once recharged.  The classic
 intermittent-computing tradeoff falls out: frequent checkpoints waste
 energy, rare checkpoints waste re-executed work; forward progress peaks
 in between.
+
+Time advances on the shared event kernel: each harvest interval is a
+:class:`repro.core.events.PeriodicSource` tick on a
+:class:`repro.core.events.Simulator`, so the node's charge state,
+checkpoints, and power failures are observable through the kernel's
+instrumentation like every other simulator in the library.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from ..core.events import PeriodicSource, Simulator
 from ..core.rng import RngLike, resolve_rng
 
 
@@ -100,18 +108,112 @@ class IntermittentResult:
         return self.re_executed_quanta / total
 
 
+class IntermittentNode:
+    """Charge-execute-die-resume state machine (a kernel model).
+
+    Each tick of the driving :class:`PeriodicSource` is one harvest
+    interval: charge the capacitor, execute a work quantum if above the
+    brown-out floor, checkpoint every ``checkpoint_interval_quanta``
+    quanta.  State lives on the instance so fault injectors and
+    samplers can observe (or perturb) it mid-run.
+    """
+
+    def __init__(
+        self,
+        harvester: Harvester,
+        config: IntermittentConfig,
+        checkpoint_interval_quanta: int,
+        harvest_j: np.ndarray,
+    ) -> None:
+        if checkpoint_interval_quanta < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.harvester = harvester
+        self.config = config
+        self.checkpoint_interval_quanta = checkpoint_interval_quanta
+        self._harvest_j = harvest_j
+        self._stats = None
+        self.reset()
+
+    # -- SimModel protocol -------------------------------------------------
+
+    def bind(self, sim: Simulator) -> None:
+        self._stats = sim.metrics.scoped("sensor.intermittent")
+
+    def reset(self) -> None:
+        self.stored_j = 0.0
+        self.executing = False
+        self.uncommitted = 0
+        self.committed = 0
+        self.total_done = 0
+        self.re_executed = 0
+        self.checkpoints = 0
+        self.failures = 0
+        self.ticks = 0
+
+    def finish(self) -> None:
+        if self._stats is not None:
+            self._stats.counter("checkpoints").inc(self.checkpoints)
+            self._stats.counter("power_failures").inc(self.failures)
+            self._stats.counter("quanta_committed").inc(self.committed)
+            self._stats.gauge("stored_j").set(self.stored_j)
+
+    def _brown_out(self) -> None:
+        self.executing = False
+        self.failures += 1
+        self.re_executed += self.uncommitted
+        self.uncommitted = 0
+
+    def tick(self, sim: Simulator, _payload=None) -> None:
+        config = self.config
+        harvest = self._harvest_j[self.ticks]
+        self.ticks += 1
+        self.stored_j = min(self.stored_j + harvest, config.capacitor_j)
+        if not self.executing and self.stored_j >= config.turn_on_j:
+            self.executing = True
+        if not self.executing:
+            return
+        # Execute one quantum if energy allows.
+        needed = config.work_per_interval_j
+        if self.stored_j - needed < config.brown_out_j:
+            self._brown_out()  # lose uncommitted work
+            return
+        self.stored_j -= needed
+        self.uncommitted += 1
+        self.total_done += 1
+        if self.uncommitted >= self.checkpoint_interval_quanta:
+            if self.stored_j - config.checkpoint_cost_j >= config.brown_out_j:
+                self.stored_j -= config.checkpoint_cost_j
+                self.committed += self.uncommitted
+                self.uncommitted = 0
+                self.checkpoints += 1
+            else:
+                self._brown_out()
+
+    def result(self, n_intervals: int) -> IntermittentResult:
+        return IntermittentResult(
+            total_quanta_completed=self.total_done,
+            committed_quanta=self.committed,
+            re_executed_quanta=self.re_executed,
+            checkpoints=self.checkpoints,
+            power_failures=self.failures,
+            intervals=n_intervals,
+        )
+
+
 def simulate_intermittent(
     harvester: Harvester,
     config: IntermittentConfig,
     checkpoint_interval_quanta: int,
     n_intervals: int = 20_000,
     rng: RngLike = None,
+    sim: Optional[Simulator] = None,
 ) -> IntermittentResult:
-    """Run the charge-execute-die-resume loop.
+    """Run the charge-execute-die-resume loop on the event kernel.
 
     ``checkpoint_interval_quanta`` work quanta execute between
     checkpoints; on a brown-out everything since the last checkpoint is
-    lost and re-executed after recharge.
+    lost and re-executed after recharge.  Pass ``sim`` to co-simulate
+    with other kernel models or to collect instrumentation.
     """
     if checkpoint_interval_quanta < 1:
         raise ValueError("checkpoint interval must be >= 1")
@@ -120,52 +222,20 @@ def simulate_intermittent(
     gen = resolve_rng(rng)
     harvest = harvester.sample_power(n_intervals, rng=gen) * config.interval_s
 
-    stored = 0.0
-    executing = False
-    uncommitted = 0
-    committed = 0
-    total_done = 0
-    re_executed = 0
-    checkpoints = 0
-    failures = 0
-
-    for i in range(n_intervals):
-        stored = min(stored + harvest[i], config.capacitor_j)
-        if not executing and stored >= config.turn_on_j:
-            executing = True
-        if not executing:
-            continue
-        # Execute one quantum if energy allows.
-        needed = config.work_per_interval_j
-        if stored - needed < config.brown_out_j:
-            # Brown-out: lose uncommitted work.
-            executing = False
-            failures += 1
-            re_executed += uncommitted
-            uncommitted = 0
-            continue
-        stored -= needed
-        uncommitted += 1
-        total_done += 1
-        if uncommitted >= checkpoint_interval_quanta:
-            if stored - config.checkpoint_cost_j >= config.brown_out_j:
-                stored -= config.checkpoint_cost_j
-                committed += uncommitted
-                uncommitted = 0
-                checkpoints += 1
-            else:
-                executing = False
-                failures += 1
-                re_executed += uncommitted
-                uncommitted = 0
-    return IntermittentResult(
-        total_quanta_completed=total_done,
-        committed_quanta=committed,
-        re_executed_quanta=re_executed,
-        checkpoints=checkpoints,
-        power_failures=failures,
-        intervals=n_intervals,
+    kernel = sim if sim is not None else Simulator()
+    node = IntermittentNode(
+        harvester, config, checkpoint_interval_quanta, harvest
     )
+    kernel.attach(node)
+    source = PeriodicSource(period=config.interval_s, callback=node.tick)
+    source.start(kernel)
+    # Tick i fires at ~i * interval_s (accumulated float addition), so
+    # put the horizon half an interval past the last tick: exactly
+    # n_intervals fire regardless of rounding.
+    kernel.run(until=(n_intervals - 0.5) * config.interval_s)
+    source.stop()
+    node.finish()
+    return node.result(n_intervals)
 
 
 def checkpoint_sweep(
