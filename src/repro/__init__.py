@@ -37,6 +37,10 @@ accelerator
 datacenter
     Tail latency at scale, hedged requests, cluster queueing simulation,
     power provisioning, availability, TCO.
+exec
+    Experiment execution engine: job graphs with deterministic seeds,
+    serial/multiprocess runners with timeout+retry fault containment,
+    content-addressed on-disk result cache, structured run reports.
 sensor
     Sensor-node energy, energy harvesting and intermittent computing,
     duty cycling, approximate computing, synthetic biometric signals.
@@ -50,12 +54,15 @@ analysis
     Experiment registry, table renderers, statistics helpers.
 """
 
-from . import (
+__version__ = "1.1.0"
+
+from . import (  # noqa: E402 - __version__ must exist before subpackages load
     accelerator,
     analysis,
     core,
     crosscut,
     datacenter,
+    exec,  # noqa: A004 - deliberate: the execution-engine subpackage
     interconnect,
     memory,
     parallel,
@@ -65,14 +72,13 @@ from . import (
     workloads,
 )
 
-__version__ = "1.0.0"
-
 __all__ = [
     "accelerator",
     "analysis",
     "core",
     "crosscut",
     "datacenter",
+    "exec",
     "interconnect",
     "memory",
     "parallel",

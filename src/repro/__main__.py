@@ -2,16 +2,31 @@
 
 Usage::
 
-    python -m repro                  # run all 22 experiments, print summary
-    python -m repro E07 E21          # run a subset
-    python -m repro --verbose        # include each experiment's raw numbers
-    python -m repro E07 --instrument # also print kernel metrics/quantiles
+    python -m repro                    # run all 22 experiments, print summary
+    python -m repro E07 E21            # run a subset (space-separated)
+    python -m repro E07,E21            # ...or comma-separated
+    python -m repro --jobs 4           # fan out over 4 worker processes
+    python -m repro --cache .cache     # reuse results across runs
+    python -m repro --retries 2        # retry failing experiments twice
+    python -m repro --timeout 60       # per-experiment timeout (seconds)
+    python -m repro --verbose          # include each experiment's raw numbers
+    python -m repro E07 --instrument   # also print kernel metrics/quantiles
+
+Experiments run through :mod:`repro.exec`: a raising, hanging, or
+crashing experiment becomes a FAILED/TIMEOUT row and the sweep still
+completes.  With ``--jobs N > 1`` each experiment runs in its own
+worker process (required for ``--timeout`` to interrupt a hung one).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _expand_ids(tokens: list[str]) -> list[str]:
+    """Split comma-separated id lists: ``["E07,E21", "E03"]`` -> 3 ids."""
+    return [tok for arg in tokens for tok in arg.split(",") if tok]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,11 +39,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="*", metavar="EID",
-        help="experiment ids (E01-E22); default: all",
+        help="experiment ids (E01-E22), space- or comma-separated; default: all",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="content-addressed result cache directory; reruns become ~free",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="retry a failing experiment up to K times with backoff (default 0)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help=(
+            "per-experiment timeout in seconds; with --jobs > 1 a hung "
+            "experiment's worker is terminated"
+        ),
     )
     parser.add_argument(
         "--verbose", "-v", action="store_true",
-        help="print each experiment's measured values",
+        help="print each experiment's measured values and the per-job report",
     )
     parser.add_argument(
         "--instrument", action="store_true",
@@ -39,6 +73,12 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
 
     from .analysis import REGISTRY
     from .core import instrument
@@ -46,18 +86,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.instrument:
         instrument.enable_session()
 
-    only = args.experiments or None
+    only = _expand_ids(args.experiments) or None
     try:
-        results = REGISTRY.run_all(only=only)
+        results = REGISTRY.run_all(
+            only=only,
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            retries=args.retries,
+            timeout_s=args.timeout,
+        )
     except KeyError as exc:
         parser.error(str(exc))
         return 2
     print(REGISTRY.summary(results))
+    report = REGISTRY.last_report
+    if report is not None:
+        print(f"-- exec: {report.one_line()}")
+        if args.verbose:
+            print("\nPer-job execution report:")
+            print(report.summary())
     if args.instrument:
-        report = instrument.default_registry().report()
-        if report:
+        metrics_report = instrument.default_registry().report()
+        if metrics_report:
             print("\nKernel metrics (per component):")
-            print(report)
+            print(metrics_report)
     if args.verbose:
         for eid in sorted(results):
             print(f"\n[{eid}] {REGISTRY.get(eid).claim}")

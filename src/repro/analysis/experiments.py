@@ -11,7 +11,10 @@ pytest-benchmark timing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec import ResultCache, Runner, RunReport
 
 
 @dataclass(frozen=True)
@@ -34,10 +37,19 @@ class Experiment:
 
 
 class ExperimentRegistry:
-    """Ordered collection of experiments with run-and-summarize."""
+    """Ordered collection of experiments with run-and-summarize.
+
+    ``run_all`` executes through :mod:`repro.exec`: experiments are
+    jobs in a dependency-free graph, so a raising experiment becomes a
+    FAILED row instead of aborting the sweep, ``jobs > 1`` fans out
+    over worker processes, and ``cache_dir`` makes reruns ~free.  The
+    engine's structured :class:`~repro.exec.RunReport` for the most
+    recent sweep is kept on :attr:`last_report`.
+    """
 
     def __init__(self) -> None:
         self._experiments: Dict[str, Experiment] = {}
+        self.last_report: Optional["RunReport"] = None
 
     def register(self, experiment: Experiment) -> Experiment:
         if experiment.id in self._experiments:
@@ -61,22 +73,79 @@ class ExperimentRegistry:
         return len(self._experiments)
 
     def run_all(
-        self, only: Optional[list[str]] = None
+        self,
+        only: Optional[list[str]] = None,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        retries: int = 0,
+        timeout_s: Optional[float] = None,
+        runner: Optional["Runner"] = None,
+        cache: Optional["ResultCache"] = None,
     ) -> dict[str, dict]:
-        chosen = only if only is not None else self.ids()
-        results = {}
+        """Run experiments through the execution engine.
+
+        A raising (or, with a process runner, crashing/hanging)
+        experiment is contained: its row reports ``holds=False`` with a
+        ``status`` of FAILED/TIMEOUT and an ``error`` message, and every
+        other experiment still completes.  Unknown ids raise ``KeyError``
+        up front, before anything runs.
+        """
+        from ..exec import (
+            ExecutionEngine,
+            Job,
+            JobGraph,
+            JobStatus,
+            ProcessPoolRunner,
+            ResultCache,
+            SerialRunner,
+        )
+
+        chosen = list(dict.fromkeys(only)) if only is not None else self.ids()
+        graph = JobGraph()
         for eid in chosen:
-            results[eid] = self.get(eid).execute()
+            graph.add(Job(id=eid, fn=self.get(eid).execute))
+        if runner is None:
+            runner = ProcessPoolRunner(jobs) if jobs > 1 else SerialRunner()
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(cache_dir)
+        engine = ExecutionEngine(
+            runner=runner,
+            cache=cache,
+            default_retries=retries,
+            default_timeout_s=timeout_s,
+        )
+        report = engine.run(graph)
+        self.last_report = report
+        results: dict[str, dict] = {}
+        for eid in chosen:
+            record = report[eid]
+            if record.status is JobStatus.SUCCEEDED:
+                results[eid] = dict(record.result)
+            else:
+                results[eid] = {
+                    "holds": False,
+                    "status": record.status.value.upper(),
+                    "error": record.error,
+                }
         return results
 
     def summary(self, results: dict[str, dict]) -> str:
-        lines = [f"{'id':<6}{'holds':<7}title"]
+        lines = [f"{'id':<6}{'holds':<9}title"]
+        n_failed = 0
         for eid in sorted(results):
             exp = self.get(eid)
-            holds = results[eid].get("holds")
-            lines.append(f"{eid:<6}{str(bool(holds)):<7}{exp.title}")
+            row = results[eid]
+            status = row.get("status")
+            if status in ("FAILED", "TIMEOUT", "SKIPPED"):
+                n_failed += 1
+                lines.append(f"{eid:<6}{status:<9}{exp.title}")
+            else:
+                lines.append(f"{eid:<6}{str(bool(row.get('holds'))):<9}{exp.title}")
         n_ok = sum(bool(r.get("holds")) for r in results.values())
         lines.append(f"-- {n_ok}/{len(results)} claims hold")
+        if n_failed:
+            lines.append(f"-- {n_failed} experiment(s) did not complete")
         return "\n".join(lines)
 
 

@@ -14,14 +14,18 @@ composes the relevant subsystem models into Metrics.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from .design import DesignPoint, EvaluateFn, Metrics, Objective, pareto_front
 from .rng import RngLike, resolve_rng, sobol_like_grid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec import ResultCache, Runner, RunReport
 
 
 @dataclass(frozen=True)
@@ -54,10 +58,16 @@ class DiscreteParam:
 
 @dataclass
 class SweepResult:
-    """Evaluated design points plus bookkeeping from one exploration."""
+    """Evaluated design points plus bookkeeping from one exploration.
+
+    ``report`` carries the engine's :class:`~repro.exec.RunReport`
+    (per-config status, attempts, cache provenance) when the sweep ran
+    through :mod:`repro.exec`; it is ``None`` for plain serial sweeps.
+    """
 
     points: list[DesignPoint] = field(default_factory=list)
     failures: list[tuple[Dict[str, Any], str]] = field(default_factory=list)
+    report: Optional["RunReport"] = None
 
     def front(self, objectives: Sequence[Objective]) -> list[DesignPoint]:
         return pareto_front(self.points, objectives)
@@ -110,6 +120,22 @@ def random_configs(
     return configs
 
 
+def _evaluate_to_values(evaluate: EvaluateFn, config: Dict[str, Any]) -> Dict[str, float]:
+    """Engine-side evaluator wrapper: Metrics in, plain JSON-able dict out.
+
+    Module-level so ``functools.partial(_evaluate_to_values, evaluate)``
+    survives pickling for process runners, and returning ``dict`` (not
+    :class:`Metrics`) keeps sweep results cacheable as JSON artifacts.
+    """
+    metrics = evaluate(dict(config))
+    if not isinstance(metrics, Metrics):
+        raise TypeError(
+            f"evaluator must return Metrics, got {type(metrics).__name__}"
+        )
+    metrics.derive_efficiency()
+    return dict(metrics.values)
+
+
 class Explorer:
     """Evaluate configurations against a model, collecting results.
 
@@ -117,6 +143,13 @@ class Explorer:
     errors are captured per-config (not raised) so a sweep over a space
     with infeasible corners still completes; failures are reported in
     :attr:`SweepResult.failures`.
+
+    By default configs are evaluated serially in-process.  Pass a
+    :class:`repro.exec.Runner` (e.g. ``ProcessPoolRunner(4)``) and/or a
+    :class:`repro.exec.ResultCache` to fan the sweep out over worker
+    processes with fault containment and artifact reuse; in that mode a
+    raising evaluator — of *any* exception type — becomes a failure row
+    rather than an exception.
     """
 
     def __init__(self, evaluate: EvaluateFn, label_key: Optional[str] = None):
@@ -128,7 +161,14 @@ class Explorer:
             return str(config[self._label_key])
         return ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
 
-    def run(self, configs: Iterable[Dict[str, Any]]) -> SweepResult:
+    def run(
+        self,
+        configs: Iterable[Dict[str, Any]],
+        runner: Optional["Runner"] = None,
+        cache: Optional["ResultCache"] = None,
+    ) -> SweepResult:
+        if runner is not None or cache is not None:
+            return self._run_engine(configs, runner, cache)
         result = SweepResult()
         for config in configs:
             try:
@@ -151,16 +191,58 @@ class Explorer:
             )
         return result
 
-    def grid(self, params: Sequence[DiscreteParam]) -> SweepResult:
-        return self.run(grid_configs(params))
+    def _run_engine(
+        self,
+        configs: Iterable[Dict[str, Any]],
+        runner: Optional["Runner"],
+        cache: Optional["ResultCache"],
+    ) -> SweepResult:
+        """Sweep through :mod:`repro.exec` (parallel/cached/contained)."""
+        from ..exec import ExecutionEngine, Job, JobGraph, JobStatus
+
+        config_list = [dict(c) for c in configs]
+        evaluate_job = functools.partial(_evaluate_to_values, self._evaluate)
+        graph = JobGraph(
+            Job(id=f"cfg-{i:06d}", fn=evaluate_job, config=cfg)
+            for i, cfg in enumerate(config_list)
+        )
+        engine = ExecutionEngine(runner=runner, cache=cache)
+        report = engine.run(graph)
+        result = SweepResult(report=report)
+        for i, cfg in enumerate(config_list):
+            record = report[f"cfg-{i:06d}"]
+            if record.status is JobStatus.SUCCEEDED:
+                metrics = Metrics(
+                    {k: float(v) for k, v in record.result.items()}
+                )
+                result.points.append(
+                    DesignPoint(config=cfg, metrics=metrics, label=self._label(cfg))
+                )
+            else:
+                result.failures.append(
+                    (cfg, record.error or record.status.value)
+                )
+        return result
+
+    def grid(
+        self,
+        params: Sequence[DiscreteParam],
+        runner: Optional["Runner"] = None,
+        cache: Optional["ResultCache"] = None,
+    ) -> SweepResult:
+        return self.run(grid_configs(params), runner=runner, cache=cache)
 
     def random(
         self,
         params: Sequence[ContinuousParam],
         n: int,
         rng: RngLike = None,
+        runner: Optional["Runner"] = None,
+        cache: Optional["ResultCache"] = None,
     ) -> SweepResult:
-        return self.run(random_configs(params, n, rng=rng))
+        return self.run(
+            random_configs(params, n, rng=rng), runner=runner, cache=cache
+        )
 
 
 def local_search(

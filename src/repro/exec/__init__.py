@@ -1,0 +1,50 @@
+"""repro.exec — parallel, cached, fault-tolerant experiment execution.
+
+The paper's agenda is checked by *sweeps* — 22 claim experiments, grid
+and Latin-hypercube design-space explorations, ablation benchmarks —
+and sweeps only stay usable at scale with a standardized runner.  This
+subsystem is that runner, the layer every sweep-shaped workload in the
+library sits on:
+
+* :mod:`repro.exec.job` — :class:`Job`/:class:`JobGraph`: picklable
+  callables with explicit dependencies and deterministic per-job seeds.
+* :mod:`repro.exec.runners` — one :class:`Runner` protocol, two
+  backends: in-process :class:`SerialRunner` and multiprocessing
+  :class:`ProcessPoolRunner` with per-job timeout and worker-crash
+  containment.
+* :mod:`repro.exec.cache` — :class:`ResultCache`: content-addressed
+  on-disk JSON artifacts keyed by callable + canonical config +
+  library version; corruption is a miss, never a crash.
+* :mod:`repro.exec.engine` — :class:`ExecutionEngine`: dependency
+  release, cache consultation, bounded retry with exponential backoff,
+  and a structured :class:`RunReport`.
+
+Consumers: ``ExperimentRegistry.run_all`` (the CLI's ``--jobs/--cache/
+--retries`` flags), ``Explorer.run`` for DSE sweeps, and
+``benchmarks/bench_exec_engine.py``.
+"""
+
+from .cache import ResultCache, cache_key, canonicalize, repro_version
+from .engine import ExecutionEngine, JobRecord, JobStatus, RunReport, run_jobs
+from .job import Job, JobGraph, callable_name, derive_seed
+from .runners import Attempt, ProcessPoolRunner, Runner, SerialRunner
+
+__all__ = [
+    "Attempt",
+    "ExecutionEngine",
+    "Job",
+    "JobGraph",
+    "JobRecord",
+    "JobStatus",
+    "ProcessPoolRunner",
+    "ResultCache",
+    "RunReport",
+    "Runner",
+    "SerialRunner",
+    "cache_key",
+    "callable_name",
+    "canonicalize",
+    "derive_seed",
+    "repro_version",
+    "run_jobs",
+]

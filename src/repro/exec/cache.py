@@ -1,0 +1,206 @@
+"""Content-addressed on-disk result cache for the execution engine.
+
+A finished job's result is stored as a small JSON artifact whose path
+is derived from a stable SHA-256 key over three ingredients:
+
+* the job callable's dotted name (:func:`repro.exec.job.callable_name`),
+* the *canonicalized* job config (key order normalized, NumPy scalars
+  coerced to plain Python, tuples to lists), and
+* the library version — bumping ``repro.__version__`` invalidates every
+  artifact at once, the blunt-but-safe answer to "the models changed".
+
+Layout (git-style two-character sharding to keep directories small)::
+
+    <root>/<key[:2]>/<key>.json
+
+Failure semantics: a missing, truncated, or otherwise unreadable
+artifact is a *miss*, never an exception — the job simply reruns and
+the artifact is rewritten (writes are atomic via ``os.replace``).
+Results that cannot be represented as JSON are counted as ``rejected``
+and simply not cached.  Hit/miss/corrupt/write counters are kept both
+as plain attributes (for reports) and as ``exec.cache.*`` counters in
+the instrumentation registry (PR-1 substrate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..core.instrument import MetricsRegistry, default_registry
+
+__all__ = ["ResultCache", "cache_key", "canonicalize", "repro_version"]
+
+
+def repro_version() -> str:
+    """The library version used in cache keys (lazy import: no cycles)."""
+    import repro
+
+    return str(getattr(repro, "__version__", "0"))
+
+
+def canonicalize(obj: Any, strict: bool = False) -> Any:
+    """Normalize a value into a stable, JSON-representable form.
+
+    Mappings are sorted by (stringified) key, tuples/lists/sets become
+    lists (sets sorted by their JSON rendering), and NumPy scalars are
+    collapsed through ``.item()`` / ``float()``.  Unknown objects fall
+    back to ``repr`` so *hashing* never fails — at worst an exotic
+    config value hashes by its repr.  With ``strict=True`` (used for
+    cached *results*, where a repr round-trip would be a lie) unknown
+    objects raise ``TypeError`` instead.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):  # covers np.float64, which subclasses float
+        return float(obj)
+    if isinstance(obj, Mapping):
+        return {str(k): canonicalize(obj[k], strict) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v, strict) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonicalize(v, strict) for v in obj]
+        return sorted(items, key=lambda v: json.dumps(v, sort_keys=True, default=repr))
+    item = getattr(obj, "item", None)
+    if callable(item):
+        try:
+            return canonicalize(item(), strict)
+        except (TypeError, ValueError):
+            pass
+    if strict:
+        raise TypeError(f"value of type {type(obj).__name__} is not JSON-cacheable")
+    return repr(obj)
+
+
+def cache_key(
+    fn_name: str,
+    config: Optional[Mapping[str, Any]],
+    version: str,
+) -> str:
+    """SHA-256 hex key over callable name + canonical config + version."""
+    payload = json.dumps(
+        {
+            "fn": fn_name,
+            "config": canonicalize(config) if config is not None else None,
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk artifact store with miss-on-corruption semantics."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        version: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.version = version if version is not None else repro_version()
+        self._metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+        self.rejected = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        registry = self._metrics if self._metrics is not None else default_registry()
+        registry.counter(f"exec.cache.{name}").inc()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+            "rejected": self.rejected,
+        }
+
+    # -- addressing --------------------------------------------------------
+
+    def key_for(
+        self, fn_name: str, config: Optional[Mapping[str, Any]]
+    ) -> str:
+        return cache_key(fn_name, config, self.version)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read/write --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """Full artifact dict on hit; ``None`` on miss or corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                artifact = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            self._count("miss")
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError, ValueError):
+            # Truncated/garbled artifact: treat as a miss so the job
+            # reruns and rewrites it.
+            self.corrupt += 1
+            self.misses += 1
+            self._count("corrupt")
+            self._count("miss")
+            return None
+        if (
+            not isinstance(artifact, dict)
+            or "result" not in artifact
+            or artifact.get("key") != key
+        ):
+            self.corrupt += 1
+            self.misses += 1
+            self._count("corrupt")
+            self._count("miss")
+            return None
+        self.hits += 1
+        self._count("hit")
+        return artifact
+
+    def put(
+        self,
+        key: str,
+        fn_name: str,
+        config: Optional[Mapping[str, Any]],
+        result: Any,
+        wall_time_s: float = 0.0,
+    ) -> bool:
+        """Atomically write an artifact; ``False`` if not JSON-able."""
+        try:
+            artifact = {
+                "key": key,
+                "fn": fn_name,
+                "config": canonicalize(config) if config is not None else None,
+                "version": self.version,
+                "result": canonicalize(result, strict=True),
+                "wall_time_s": float(wall_time_s),
+                "created_at": time.time(),
+            }
+            payload = json.dumps(artifact, sort_keys=True)
+        except (TypeError, ValueError):
+            self.rejected += 1
+            self._count("rejected")
+            return False
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+        self.writes += 1
+        self._count("write")
+        return True

@@ -1,0 +1,403 @@
+"""The execution engine: dependency-aware, cached, fault-tolerant.
+
+:class:`ExecutionEngine` drives a :class:`~repro.exec.job.JobGraph`
+through a :class:`~repro.exec.runners.Runner`:
+
+1. Jobs become *ready* when every dependency has SUCCEEDED; the cache
+   (if configured) is consulted first, and a hit completes the job
+   without dispatching it.
+2. A failed attempt is retried up to the job's (or engine's) retry
+   budget with exponential backoff; a job that exhausts its budget is
+   recorded FAILED (error/crash) or TIMEOUT — the sweep always
+   finishes.
+3. A job whose dependency ends non-SUCCEEDED is SKIPPED, transitively.
+4. The outcome is a :class:`RunReport`: per-job status, attempts, wall
+   time, and cache provenance, plus whole-run counters mirrored into
+   the instrumentation registry (``exec.jobs.*``).
+
+The engine is backend-agnostic: the same loop runs a serial in-process
+sweep and a multiprocess one, which is what keeps failure semantics
+identical across ``--jobs 1`` and ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..core.instrument import MetricsRegistry, default_registry
+from ..core.rng import DEFAULT_SEED
+from .cache import ResultCache
+from .job import Job, JobGraph, callable_name, derive_seed
+from .runners import (
+    ATTEMPT_OK,
+    ATTEMPT_TIMEOUT,
+    Attempt,
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+)
+
+__all__ = ["ExecutionEngine", "JobRecord", "JobStatus", "RunReport", "run_jobs"]
+
+
+class JobStatus(Enum):
+    """Terminal state of one job in a run."""
+
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    SKIPPED = "skipped"
+
+
+@dataclass
+class JobRecord:
+    """Everything the report knows about one finished job."""
+
+    job_id: str
+    status: JobStatus
+    result: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    wall_time_s: float = 0.0
+    cached: bool = False
+    cache_key: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is JobStatus.SUCCEEDED
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of one engine run."""
+
+    records: Dict[str, JobRecord] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, job_id: str) -> JobRecord:
+        return self.records[job_id]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def counts(self) -> Dict[str, int]:
+        out = {status.value: 0 for status in JobStatus}
+        for record in self.records.values():
+            out[record.status.value] += 1
+        return out
+
+    def succeeded(self) -> list[JobRecord]:
+        return [r for r in self.records.values() if r.ok]
+
+    def failed(self) -> list[JobRecord]:
+        return [r for r in self.records.values() if not r.ok]
+
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records.values() if r.cached)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records.values())
+
+    def result(self, job_id: str) -> Any:
+        record = self.records[job_id]
+        if not record.ok:
+            raise RuntimeError(
+                f"job {job_id!r} did not succeed "
+                f"({record.status.value}: {record.error})"
+            )
+        return record.result
+
+    def one_line(self) -> str:
+        counts = self.counts()
+        parts = [f"{len(self.records)} jobs"]
+        for status in JobStatus:
+            if counts[status.value]:
+                parts.append(f"{counts[status.value]} {status.value}")
+        if self.cache_stats:
+            parts.append(
+                f"cache {self.cache_stats.get('hits', 0)} hit"
+                f" / {self.cache_stats.get('misses', 0) } miss"
+            )
+        parts.append(f"{self.wall_time_s:.2f}s")
+        return ", ".join(parts)
+
+    def summary(self) -> str:
+        """Fixed-width per-job table (CLI ``--verbose`` output)."""
+        lines = [
+            f"{'job':<12}{'status':<11}{'attempts':<9}{'cache':<7}"
+            f"{'wall_s':<9}error"
+        ]
+        for job_id in self.records:
+            r = self.records[job_id]
+            lines.append(
+                f"{job_id:<12}{r.status.value:<11}{r.attempts:<9}"
+                f"{'hit' if r.cached else '-':<7}{r.wall_time_s:<9.3f}"
+                f"{r.error or ''}"
+            )
+        lines.append("-- " + self.one_line())
+        return "\n".join(lines)
+
+
+class ExecutionEngine:
+    """Schedules a job graph over a runner, with cache and retries."""
+
+    def __init__(
+        self,
+        runner: Optional[Runner] = None,
+        cache: Optional[ResultCache] = None,
+        base_seed: int = DEFAULT_SEED,
+        default_timeout_s: Optional[float] = None,
+        default_retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        poll_interval_s: float = 0.005,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if default_retries < 0:
+            raise ValueError("default_retries must be non-negative")
+        if backoff_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff must be non-negative")
+        self.runner: Runner = runner if runner is not None else SerialRunner()
+        self.cache = cache
+        self.base_seed = base_seed
+        self.default_timeout_s = default_timeout_s
+        self.default_retries = default_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.poll_interval_s = poll_interval_s
+        self._metrics = metrics
+
+    # -- policy resolution -------------------------------------------------
+
+    def _effective_config(self, job: Job) -> Optional[dict]:
+        config = dict(job.config) if job.config is not None else None
+        if job.seed_key is not None:
+            config = dict(config or {})
+            config[job.seed_key] = derive_seed(self.base_seed, job.id)
+        return config
+
+    def _effective_timeout(self, job: Job) -> Optional[float]:
+        return job.timeout_s if job.timeout_s is not None else self.default_timeout_s
+
+    def _effective_retries(self, job: Job) -> int:
+        return job.retries if job.retries is not None else self.default_retries
+
+    def _backoff(self, failed_attempts: int) -> float:
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** (failed_attempts - 1)))
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, graph: JobGraph) -> RunReport:
+        registry = self._metrics if self._metrics is not None else default_registry()
+        order = graph.topo_order()
+        dependents = graph.dependents()
+        remaining_deps = {jid: len(graph.get(jid).deps) for jid in order}
+        configs: Dict[str, Optional[dict]] = {}
+        keys: Dict[str, Optional[str]] = {}
+        attempts: Dict[str, int] = {jid: 0 for jid in order}
+        records: Dict[str, JobRecord] = {}
+        ready: list[str] = [jid for jid in order if remaining_deps[jid] == 0]
+        retry_at: Dict[str, float] = {}
+        running: set[str] = set()
+        start = time.perf_counter()
+
+        def config_for(jid: str) -> Optional[dict]:
+            if jid not in configs:
+                configs[jid] = self._effective_config(graph.get(jid))
+            return configs[jid]
+
+        def key_for(jid: str) -> Optional[str]:
+            if self.cache is None:
+                return None
+            if jid not in keys:
+                keys[jid] = self.cache.key_for(
+                    callable_name(graph.get(jid).fn), config_for(jid)
+                )
+            return keys[jid]
+
+        def finish(jid: str, record: JobRecord) -> None:
+            records[jid] = record
+            registry.counter(f"exec.jobs.{record.status.value}").inc()
+            if record.status is JobStatus.SUCCEEDED:
+                registry.histogram("exec.job.wall_s").observe(record.wall_time_s)
+                for child in dependents[jid]:
+                    remaining_deps[child] -= 1
+                    if remaining_deps[child] == 0 and child not in records:
+                        ready.append(child)
+            else:
+                skip_dependents(jid, record.status.value)
+
+        def skip_dependents(jid: str, why: str) -> None:
+            for child in dependents[jid]:
+                if child in records:
+                    continue
+                child_record = JobRecord(
+                    job_id=child,
+                    status=JobStatus.SKIPPED,
+                    error=f"dependency {jid!r} {why}",
+                    attempts=attempts[child],
+                )
+                records[child] = child_record
+                registry.counter("exec.jobs.skipped").inc()
+                if child in ready:
+                    ready.remove(child)
+                retry_at.pop(child, None)
+                skip_dependents(child, "was skipped")
+
+        def dispatch(jid: str) -> None:
+            job = graph.get(jid)
+            config = config_for(jid)
+            if attempts[jid] == 0:
+                key = key_for(jid)
+                if key is not None:
+                    artifact = self.cache.get(key)  # type: ignore[union-attr]
+                    if artifact is not None:
+                        finish(
+                            jid,
+                            JobRecord(
+                                job_id=jid,
+                                status=JobStatus.SUCCEEDED,
+                                result=artifact["result"],
+                                attempts=0,
+                                wall_time_s=float(artifact.get("wall_time_s", 0.0)),
+                                cached=True,
+                                cache_key=key,
+                            ),
+                        )
+                        return
+            attempts[jid] += 1
+            try:
+                self.runner.submit(job, config, self._effective_timeout(job))
+            except Exception as exc:  # submission itself failed (e.g. pickling)
+                finish(
+                    jid,
+                    JobRecord(
+                        job_id=jid,
+                        status=JobStatus.FAILED,
+                        error=f"submit failed: {type(exc).__name__}: {exc}",
+                        attempts=attempts[jid],
+                    ),
+                )
+                return
+            running.add(jid)
+
+        def absorb(attempt: Attempt) -> None:
+            jid = attempt.job_id
+            running.discard(jid)
+            job = graph.get(jid)
+            if attempt.status == ATTEMPT_OK:
+                key = key_for(jid)
+                if key is not None:
+                    self.cache.put(  # type: ignore[union-attr]
+                        key,
+                        callable_name(job.fn),
+                        config_for(jid),
+                        attempt.result,
+                        attempt.duration_s,
+                    )
+                finish(
+                    jid,
+                    JobRecord(
+                        job_id=jid,
+                        status=JobStatus.SUCCEEDED,
+                        result=attempt.result,
+                        attempts=attempts[jid],
+                        wall_time_s=attempt.duration_s,
+                        cache_key=key,
+                    ),
+                )
+                return
+            if attempts[jid] <= self._effective_retries(job):
+                registry.counter("exec.jobs.retried").inc()
+                retry_at[jid] = time.perf_counter() + self._backoff(attempts[jid])
+                return
+            status = (
+                JobStatus.TIMEOUT
+                if attempt.status == ATTEMPT_TIMEOUT
+                else JobStatus.FAILED
+            )
+            finish(
+                jid,
+                JobRecord(
+                    job_id=jid,
+                    status=status,
+                    error=attempt.error,
+                    attempts=attempts[jid],
+                    wall_time_s=attempt.duration_s,
+                    cache_key=key_for(jid),
+                ),
+            )
+
+        try:
+            while len(records) < len(order):
+                progressed = False
+                now = time.perf_counter()
+                for jid in [j for j, t in retry_at.items() if now >= t]:
+                    del retry_at[jid]
+                    ready.append(jid)
+                while ready and self.runner.capacity() > 0:
+                    dispatch(ready.pop(0))
+                    progressed = True
+                for attempt in self.runner.poll():
+                    if attempt.job_id in attempts and attempt.job_id not in records:
+                        absorb(attempt)
+                        progressed = True
+                if progressed:
+                    continue
+                if running:
+                    time.sleep(self.poll_interval_s)
+                elif retry_at:
+                    wait = min(retry_at.values()) - time.perf_counter()
+                    time.sleep(max(0.0, min(wait, 0.1)))
+                elif ready:
+                    # capacity() == 0 with nothing running: runner bug.
+                    raise RuntimeError("runner reports no capacity while idle")
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        "engine stalled with unfinished jobs: "
+                        f"{sorted(set(order) - set(records))}"
+                    )
+        finally:
+            self.runner.shutdown()
+
+        report = RunReport(
+            records={jid: records[jid] for jid in order},
+            wall_time_s=time.perf_counter() - start,
+            cache_stats=self.cache.stats() if self.cache is not None else {},
+        )
+        return report
+
+
+def run_jobs(
+    graph: JobGraph,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    retries: int = 0,
+    timeout_s: Optional[float] = None,
+    base_seed: int = DEFAULT_SEED,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RunReport:
+    """One-call convenience: build runner + cache, run the graph.
+
+    ``jobs > 1`` selects the :class:`ProcessPoolRunner`; ``cache_dir``
+    enables the on-disk result cache.  This is the entry point the CLI
+    and the experiment registry share.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    runner: Runner = ProcessPoolRunner(jobs) if jobs > 1 else SerialRunner()
+    cache = ResultCache(cache_dir, metrics=metrics) if cache_dir is not None else None
+    engine = ExecutionEngine(
+        runner=runner,
+        cache=cache,
+        base_seed=base_seed,
+        default_timeout_s=timeout_s,
+        default_retries=retries,
+        metrics=metrics,
+    )
+    return engine.run(graph)

@@ -1,0 +1,269 @@
+"""Execution backends: one protocol, serial and multiprocessing runners.
+
+The engine (:mod:`repro.exec.engine`) owns scheduling, caching, and
+retry policy; a runner only executes *attempts*.  The protocol is
+deliberately poll-based — ``submit`` starts work, ``poll`` reaps
+finished :class:`Attempt` records — so the engine can multiplex cache
+hits, retry backoff, and dependency release over any backend.
+
+* :class:`SerialRunner` runs jobs in-process, one at a time.  It is the
+  zero-dependency fallback and the only backend that can execute
+  closures/lambdas under the ``spawn`` start method.  It cannot
+  interrupt a running job, so timeouts are enforced *post hoc*: a job
+  that ran past its deadline is classified ``timeout`` after the fact.
+* :class:`ProcessPoolRunner` runs each attempt in its own
+  ``multiprocessing.Process`` with a result pipe.  This buys real fault
+  containment: a worker that raises reports ``error``; a worker that
+  segfaults or ``os._exit``-s is detected by its exit code and reported
+  as ``crash``; a worker that hangs past the job deadline is terminated
+  and reported as ``timeout``.  A bad job can never take down the
+  sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Protocol, runtime_checkable
+
+from .job import Job, invoke
+
+__all__ = ["Attempt", "ProcessPoolRunner", "Runner", "SerialRunner"]
+
+#: Attempt status values handed back by runners.  The engine maps these
+#: to final job statuses after retry policy is applied.
+ATTEMPT_OK = "ok"
+ATTEMPT_ERROR = "error"
+ATTEMPT_TIMEOUT = "timeout"
+ATTEMPT_CRASH = "crash"
+
+
+@dataclass
+class Attempt:
+    """Outcome of one execution attempt of one job."""
+
+    job_id: str
+    status: str
+    result: Any = None
+    error: Optional[str] = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == ATTEMPT_OK
+
+
+@runtime_checkable
+class Runner(Protocol):
+    """What the engine needs from an execution backend."""
+
+    def capacity(self) -> int:
+        """Free worker slots right now (0 means: do not submit)."""
+        ...
+
+    def active(self) -> int:
+        """Attempts currently executing."""
+        ...
+
+    def submit(
+        self, job: Job, config: Optional[Mapping[str, Any]], timeout_s: Optional[float]
+    ) -> None:
+        """Begin one attempt.  ``config``/``timeout_s`` are the engine's
+        resolved values (seed injected, defaults applied)."""
+        ...
+
+    def poll(self) -> List[Attempt]:
+        """Reap every attempt that has finished since the last poll."""
+        ...
+
+    def shutdown(self) -> None:
+        """Stop outstanding work and release resources."""
+        ...
+
+
+class SerialRunner:
+    """In-process, one-job-at-a-time backend (and closure-safe fallback)."""
+
+    def __init__(self) -> None:
+        self._done: List[Attempt] = []
+
+    def capacity(self) -> int:
+        return 1
+
+    def active(self) -> int:
+        return 0
+
+    def submit(
+        self, job: Job, config: Optional[Mapping[str, Any]], timeout_s: Optional[float]
+    ) -> None:
+        start = time.perf_counter()
+        try:
+            result = invoke(job.fn, config)
+            status: str = ATTEMPT_OK
+            error: Optional[str] = None
+        except Exception as exc:  # fault containment: any job error is data
+            result = None
+            status = ATTEMPT_ERROR
+            error = f"{type(exc).__name__}: {exc}"
+        duration = time.perf_counter() - start
+        if timeout_s is not None and duration > timeout_s:
+            # In-process code cannot be interrupted; classify after the
+            # fact so serial and parallel sweeps agree on semantics.
+            status = ATTEMPT_TIMEOUT
+            result = None
+            error = (
+                f"exceeded timeout of {timeout_s}s (ran {duration:.3f}s; "
+                "serial runner enforces timeouts post hoc)"
+            )
+        self._done.append(Attempt(job.id, status, result, error, duration))
+
+    def poll(self) -> List[Attempt]:
+        done, self._done = self._done, []
+        return done
+
+    def shutdown(self) -> None:
+        self._done.clear()
+
+
+def _child_main(conn, fn, config) -> None:
+    """Worker entry point: run the job, ship (status, result, error)."""
+    try:
+        result = invoke(fn, config)
+        payload = (ATTEMPT_OK, result, None)
+    except BaseException as exc:  # noqa: BLE001 - must never escape the child
+        payload = (ATTEMPT_ERROR, None, f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable result: report, don't crash
+        try:
+            conn.send(
+                (
+                    ATTEMPT_ERROR,
+                    None,
+                    f"result not transferable: {type(exc).__name__}: {exc}",
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    job: Job
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+    timeout_s: Optional[float]
+
+
+class ProcessPoolRunner:
+    """One process per attempt, up to ``max_workers`` concurrently.
+
+    Spawning a fresh process per attempt (rather than reusing a worker
+    pool) is what makes containment simple and airtight: terminating a
+    hung or crashed attempt never poisons a shared worker, and the
+    parent never blocks on a wedged child.  Attempt startup cost is a
+    ``fork`` on POSIX — negligible next to any simulation worth
+    parallelizing.
+    """
+
+    def __init__(self, max_workers: int, start_method: Optional[str] = None) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._ctx = mp.get_context(start_method)
+        self._running: Dict[str, _Running] = {}
+
+    def capacity(self) -> int:
+        return self.max_workers - len(self._running)
+
+    def active(self) -> int:
+        return len(self._running)
+
+    def submit(
+        self, job: Job, config: Optional[Mapping[str, Any]], timeout_s: Optional[float]
+    ) -> None:
+        if job.id in self._running:
+            raise RuntimeError(f"job {job.id!r} is already running")
+        if self.capacity() <= 0:
+            raise RuntimeError("no free worker slots; poll() first")
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_child_main,
+            args=(child_conn, job.fn, config),
+            name=f"repro-exec-{job.id}",
+            daemon=True,
+        )
+        started = time.perf_counter()
+        process.start()
+        child_conn.close()  # the parent only reads
+        deadline = started + timeout_s if timeout_s is not None else None
+        self._running[job.id] = _Running(
+            job, process, parent_conn, started, deadline, timeout_s
+        )
+
+    def _reap(self, run: _Running, now: float) -> Optional[Attempt]:
+        job_id = run.job.id
+        if run.conn.poll():
+            try:
+                status, result, error = run.conn.recv()
+            except (EOFError, OSError):
+                status, result, error = (
+                    ATTEMPT_CRASH,
+                    None,
+                    "worker closed its result pipe without reporting",
+                )
+            run.process.join(5.0)
+            return Attempt(job_id, status, result, error, now - run.started)
+        if not run.process.is_alive():
+            # Died without sending a result: a hard crash (segfault,
+            # os._exit, OOM kill).  Contained as a failed attempt.
+            code = run.process.exitcode
+            return Attempt(
+                job_id,
+                ATTEMPT_CRASH,
+                None,
+                f"worker exited with code {code} before reporting a result",
+                now - run.started,
+            )
+        if run.deadline is not None and now > run.deadline:
+            run.process.terminate()
+            run.process.join(1.0)
+            if run.process.is_alive():  # pragma: no cover - stubborn child
+                run.process.kill()
+                run.process.join(1.0)
+            return Attempt(
+                job_id,
+                ATTEMPT_TIMEOUT,
+                None,
+                f"exceeded timeout of {run.timeout_s}s; worker terminated",
+                now - run.started,
+            )
+        return None
+
+    def poll(self) -> List[Attempt]:
+        done: List[Attempt] = []
+        now = time.perf_counter()
+        for job_id, run in list(self._running.items()):
+            attempt = self._reap(run, now)
+            if attempt is not None:
+                run.conn.close()
+                del self._running[job_id]
+                done.append(attempt)
+        return done
+
+    def shutdown(self) -> None:
+        for run in self._running.values():
+            if run.process.is_alive():
+                run.process.terminate()
+        for run in self._running.values():
+            run.process.join(1.0)
+            if run.process.is_alive():  # pragma: no cover - stubborn child
+                run.process.kill()
+                run.process.join(1.0)
+            run.conn.close()
+        self._running.clear()

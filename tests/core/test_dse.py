@@ -132,6 +132,126 @@ class TestExplorer:
             result.best("energy_j")
 
 
+class TestDeterminism:
+    """Satellite coverage: same seed => identical outputs, bit for bit."""
+
+    def test_random_configs_deterministic_across_calls(self):
+        params = [
+            ContinuousParam("x", 0.0, 4.0),
+            ContinuousParam("v", 1e2, 1e6, log_scale=True),
+        ]
+        a = random_configs(params, 32, rng=1234)
+        b = random_configs(params, 32, rng=1234)
+        assert a == b  # exact float equality, not approx
+
+    def test_random_configs_seed_changes_output(self):
+        params = [ContinuousParam("x", 0.0, 4.0)]
+        assert random_configs(params, 16, rng=1) != random_configs(params, 16, rng=2)
+
+    def test_random_configs_deterministic_with_seed_sequence(self):
+        params = [ContinuousParam("x", 0.0, 1.0)]
+        a = random_configs(params, 8, rng=np.random.SeedSequence(7))
+        b = random_configs(params, 8, rng=np.random.SeedSequence(7))
+        assert a == b
+
+    def test_local_search_deterministic_given_seed(self):
+        params = [ContinuousParam("x", -10.0, 10.0), ContinuousParam("y", 0.0, 5.0)]
+
+        def evaluate(config):
+            return Metrics(
+                {"energy_j": (config["x"] - 2.0) ** 2 + config["y"] ** 2 + 1.0}
+            )
+
+        kwargs = dict(
+            start={"x": -8.0, "y": 4.0},
+            params=params,
+            metric="energy_j",
+            maximize=False,
+            iterations=150,
+        )
+        a = local_search(evaluate, rng=42, **kwargs)
+        b = local_search(evaluate, rng=42, **kwargs)
+        assert a.config == b.config  # identical trajectory, identical winner
+        assert a.metrics.values == b.metrics.values
+
+    def test_local_search_seed_changes_trajectory(self):
+        params = [ContinuousParam("x", -10.0, 10.0)]
+        kwargs = dict(
+            start={"x": -8.0},
+            params=params,
+            metric="energy_j",
+            maximize=False,
+            iterations=25,
+        )
+        a = local_search(quadratic_evaluator, rng=1, **kwargs)
+        b = local_search(quadratic_evaluator, rng=2, **kwargs)
+        assert a.config != b.config
+
+
+class TestExplorerEngine:
+    """Explorer sweeps routed through repro.exec."""
+
+    def test_engine_sweep_matches_serial(self):
+        from repro.exec import SerialRunner
+
+        params = [DiscreteParam("x", (0.0, 1.0, 2.0, 3.0))]
+        explorer = Explorer(quadratic_evaluator)
+        serial = explorer.grid(params)
+        engined = explorer.grid(params, runner=SerialRunner())
+        assert len(engined.points) == len(serial.points)
+        for a, b in zip(serial.points, engined.points):
+            assert a.config == b.config
+            assert a.metrics.values == pytest.approx(b.metrics.values)
+        assert engined.report is not None and engined.report.ok
+
+    def test_engine_sweep_derives_efficiency(self):
+        from repro.exec import SerialRunner
+
+        explorer = Explorer(quadratic_evaluator)
+        result = explorer.grid(
+            [DiscreteParam("x", (4.0,))], runner=SerialRunner()
+        )
+        assert result.points[0].metric("efficiency_ops_per_watt") == pytest.approx(4.0)
+
+    def test_engine_sweep_contains_any_exception(self):
+        from repro.exec import SerialRunner
+
+        def fragile(config):
+            if config["x"] > 1:
+                raise OSError("engine must contain non-Value errors too")
+            return quadratic_evaluator(config)
+
+        explorer = Explorer(fragile)
+        result = explorer.run(
+            [{"x": 0.0}, {"x": 2.0}], runner=SerialRunner()
+        )
+        assert len(result.points) == 1
+        assert len(result.failures) == 1
+        assert "OSError" in result.failures[0][1]
+
+    def test_engine_sweep_with_cache(self, tmp_path):
+        from repro.exec import ResultCache, SerialRunner
+
+        params = [DiscreteParam("x", (0.0, 1.0, 2.0))]
+        explorer = Explorer(quadratic_evaluator)
+        explorer.grid(params, runner=SerialRunner(), cache=ResultCache(tmp_path))
+        warm = explorer.grid(
+            params, runner=SerialRunner(), cache=ResultCache(tmp_path)
+        )
+        assert warm.report.cache_hits() == 3
+        best = warm.best("energy_j", maximize=False)
+        assert best.config["x"] == 2.0
+
+    def test_cache_only_implies_engine_path(self, tmp_path):
+        from repro.exec import ResultCache
+
+        explorer = Explorer(quadratic_evaluator)
+        result = explorer.grid(
+            [DiscreteParam("x", (1.0,))], cache=ResultCache(tmp_path)
+        )
+        assert result.report is not None
+
+
 class TestLocalSearch:
     def test_finds_quadratic_minimum(self):
         params = [ContinuousParam("x", -10.0, 10.0)]

@@ -1,0 +1,153 @@
+"""Tests for the content-addressed result cache.
+
+Covers the satellite requirements: a corrupted/truncated artifact is a
+miss (and gets rewritten, not crashed on), and the cache key changes
+when the library version changes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.instrument import MetricsRegistry
+from repro.exec import ResultCache, cache_key, canonicalize, repro_version
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", version="1.test")
+
+
+class TestCanonicalize:
+    def test_key_order_normalized(self):
+        assert canonicalize({"b": 1, "a": 2}) == {"a": 2, "b": 1}
+
+    def test_tuples_become_lists(self):
+        assert canonicalize((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_numpy_scalars_collapsed(self):
+        out = canonicalize({"x": np.float64(1.5), "n": np.int32(3), "b": np.bool_(True)})
+        assert out == {"b": True, "n": 3, "x": 1.5}
+        assert type(out["x"]) is float and type(out["n"]) is int
+
+    def test_sets_sorted(self):
+        assert canonicalize({3, 1, 2}) == [1, 2, 3]
+
+    def test_exotic_objects_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "Weird()"
+
+        assert canonicalize(Weird()) == "Weird()"
+
+
+class TestCacheKey:
+    def test_config_order_irrelevant(self):
+        a = cache_key("m.f", {"x": 1, "y": 2}, "1.0")
+        b = cache_key("m.f", {"y": 2, "x": 1}, "1.0")
+        assert a == b
+
+    def test_config_value_changes_key(self):
+        assert cache_key("m.f", {"x": 1}, "1.0") != cache_key("m.f", {"x": 2}, "1.0")
+
+    def test_fn_name_changes_key(self):
+        assert cache_key("m.f", {"x": 1}, "1.0") != cache_key("m.g", {"x": 1}, "1.0")
+
+    def test_version_changes_key(self):
+        """Bumping repro.__version__ invalidates every artifact."""
+        assert cache_key("m.f", {"x": 1}, "1.0") != cache_key("m.f", {"x": 1}, "1.1")
+
+    def test_default_version_is_repro_version(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.version == repro_version()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, cache):
+        key = cache.key_for("m.f", {"x": 1})
+        assert cache.get(key) is None
+        assert cache.put(key, "m.f", {"x": 1}, {"value": 2.0}, wall_time_s=0.5)
+        artifact = cache.get(key)
+        assert artifact["result"] == {"value": 2.0}
+        assert artifact["wall_time_s"] == 0.5
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "corrupt": 0, "writes": 1, "rejected": 0,
+        }
+
+    def test_numpy_results_cacheable(self, cache):
+        key = cache.key_for("m.f", None)
+        assert cache.put(key, "m.f", None, {"holds": np.bool_(True), "v": np.float64(1)})
+        assert cache.get(key)["result"] == {"holds": True, "v": 1.0}
+
+    def test_unserializable_result_rejected_not_raised(self, cache):
+        key = cache.key_for("m.f", None)
+        assert not cache.put(key, "m.f", None, {"bad": object()})
+        assert cache.rejected == 1
+        assert cache.get(key) is None  # nothing was written
+
+    def test_corrupted_artifact_is_miss_and_rewritten(self, cache):
+        key = cache.key_for("m.f", {"x": 1})
+        cache.put(key, "m.f", {"x": 1}, {"value": 1.0})
+        path = cache.path_for(key)
+        path.write_text("{ this is not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        # The job reruns and rewrites the artifact; subsequent gets hit.
+        assert cache.put(key, "m.f", {"x": 1}, {"value": 1.0})
+        assert cache.get(key)["result"] == {"value": 1.0}
+
+    def test_truncated_artifact_is_miss(self, cache):
+        key = cache.key_for("m.f", {"x": 1})
+        cache.put(key, "m.f", {"x": 1}, {"value": 1.0})
+        path = cache.path_for(key)
+        payload = path.read_text(encoding="utf-8")
+        path.write_text(payload[: len(payload) // 2], encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_wrong_key_inside_artifact_is_miss(self, cache):
+        """An artifact whose recorded key mismatches its path is corrupt."""
+        key = cache.key_for("m.f", {"x": 1})
+        cache.put(key, "m.f", {"x": 1}, {"value": 1.0})
+        path = cache.path_for(key)
+        artifact = json.loads(path.read_text(encoding="utf-8"))
+        artifact["key"] = "0" * 64
+        path.write_text(json.dumps(artifact), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_artifact_missing_result_is_miss(self, cache):
+        key = cache.key_for("m.f", None)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"key": key}), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_version_partitions_artifacts(self, tmp_path):
+        """Same root, different versions: no cross-version hits."""
+        old = ResultCache(tmp_path, version="1.0")
+        new = ResultCache(tmp_path, version="2.0")
+        key_old = old.key_for("m.f", {"x": 1})
+        key_new = new.key_for("m.f", {"x": 1})
+        assert key_old != key_new
+        old.put(key_old, "m.f", {"x": 1}, {"value": 1.0})
+        assert new.get(key_new) is None
+
+    def test_sharded_layout(self, cache):
+        key = cache.key_for("m.f", None)
+        cache.put(key, "m.f", None, {"v": 1})
+        assert cache.path_for(key).parent.name == key[:2]
+
+    def test_instrument_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, version="1.0", metrics=registry)
+        key = cache.key_for("m.f", None)
+        cache.get(key)
+        cache.put(key, "m.f", None, {"v": 1})
+        cache.get(key)
+        snap = registry.snapshot()
+        assert snap["exec.cache.miss"]["value"] == 1
+        assert snap["exec.cache.write"]["value"] == 1
+        assert snap["exec.cache.hit"]["value"] == 1

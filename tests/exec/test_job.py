@@ -1,0 +1,120 @@
+"""Tests for the job model and job graph."""
+
+import functools
+
+import pytest
+
+from repro.exec import Job, JobGraph, callable_name, derive_seed
+
+
+def sample_job():
+    return {"ok": True}
+
+
+class TestJob:
+    def test_valid_job(self):
+        job = Job(id="a", fn=sample_job, deps=["b", "c"])
+        assert job.deps == ("b", "c")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id="", fn=sample_job)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            Job(id="a", fn=42)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id="a", fn=sample_job, timeout_s=0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id="a", fn=sample_job, retries=-1)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id="a", fn=sample_job, deps=("a",))
+
+
+class TestCallableName:
+    def test_plain_function(self):
+        assert callable_name(sample_job).endswith("test_job.sample_job")
+
+    def test_partial_unwrapped(self):
+        wrapped = functools.partial(sample_job)
+        assert callable_name(wrapped) == callable_name(sample_job)
+
+    def test_nested_partial(self):
+        wrapped = functools.partial(functools.partial(sample_job))
+        assert callable_name(wrapped) == callable_name(sample_job)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(0x21C3, "E07") == derive_seed(0x21C3, "E07")
+
+    def test_distinct_per_job(self):
+        seeds = {derive_seed(0x21C3, f"job-{i}") for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_distinct_per_base_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_range(self):
+        s = derive_seed(0, "x")
+        assert 0 <= s < 2**63
+
+
+class TestJobGraph:
+    def test_duplicate_id_rejected(self):
+        graph = JobGraph([Job(id="a", fn=sample_job)])
+        with pytest.raises(ValueError):
+            graph.add(Job(id="a", fn=sample_job))
+
+    def test_unknown_dep_rejected(self):
+        graph = JobGraph([Job(id="a", fn=sample_job, deps=("ghost",))])
+        with pytest.raises(ValueError, match="ghost"):
+            graph.topo_order()
+
+    def test_cycle_detected(self):
+        graph = JobGraph(
+            [
+                Job(id="a", fn=sample_job, deps=("b",)),
+                Job(id="b", fn=sample_job, deps=("a",)),
+            ]
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            graph.topo_order()
+
+    def test_topo_respects_deps(self):
+        graph = JobGraph(
+            [
+                Job(id="c", fn=sample_job, deps=("a", "b")),
+                Job(id="b", fn=sample_job, deps=("a",)),
+                Job(id="a", fn=sample_job),
+            ]
+        )
+        order = graph.topo_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topo_deterministic_insertion_order(self):
+        graph = JobGraph([Job(id=f"j{i}", fn=sample_job) for i in range(5)])
+        assert graph.topo_order() == [f"j{i}" for i in range(5)]
+
+    def test_add_call_and_contains(self):
+        graph = JobGraph()
+        graph.add_call("a", sample_job)
+        assert "a" in graph and len(graph) == 1
+        assert graph.get("a").fn is sample_job
+        with pytest.raises(KeyError):
+            graph.get("nope")
+
+    def test_dependents(self):
+        graph = JobGraph(
+            [
+                Job(id="a", fn=sample_job),
+                Job(id="b", fn=sample_job, deps=("a",)),
+            ]
+        )
+        assert graph.dependents()["a"] == ["b"]

@@ -1,0 +1,165 @@
+"""Tests for the serial and multiprocessing runner backends."""
+
+import os
+import time
+
+import pytest
+
+from repro.exec import Job, ProcessPoolRunner, Runner, SerialRunner
+
+
+def ok_job():
+    return {"value": 42}
+
+
+def config_job(config):
+    return {"doubled": config["x"] * 2}
+
+
+def raising_job():
+    raise RuntimeError("injected fault")
+
+
+def hanging_job():
+    time.sleep(30)
+
+
+def crashing_job():
+    os._exit(7)  # simulates a segfault / OOM kill: no exception, no result
+
+
+def unpicklable_result_job():
+    return lambda: None
+
+
+def _drain(runner, timeout_s=10.0):
+    """Poll until every submitted attempt is reaped."""
+    deadline = time.monotonic() + timeout_s
+    done = []
+    while runner.active() and time.monotonic() < deadline:
+        done.extend(runner.poll())
+        time.sleep(0.005)
+    done.extend(runner.poll())
+    return done
+
+
+class TestSerialRunner:
+    def test_protocol_conformance(self):
+        assert isinstance(SerialRunner(), Runner)
+        assert isinstance(ProcessPoolRunner(1), Runner)
+
+    def test_success(self):
+        runner = SerialRunner()
+        runner.submit(Job(id="a", fn=ok_job), None, None)
+        (attempt,) = runner.poll()
+        assert attempt.ok and attempt.result == {"value": 42}
+        assert runner.poll() == []
+
+    def test_config_passed(self):
+        runner = SerialRunner()
+        runner.submit(Job(id="a", fn=config_job), {"x": 3}, None)
+        (attempt,) = runner.poll()
+        assert attempt.result == {"doubled": 6}
+
+    def test_error_contained(self):
+        runner = SerialRunner()
+        runner.submit(Job(id="a", fn=raising_job), None, None)
+        (attempt,) = runner.poll()
+        assert attempt.status == "error"
+        assert "injected fault" in attempt.error
+
+    def test_post_hoc_timeout(self):
+        """Serial can't interrupt; an overrun is classified after the fact."""
+        runner = SerialRunner()
+        runner.submit(Job(id="a", fn=lambda: time.sleep(0.05)), None, 0.01)
+        (attempt,) = runner.poll()
+        assert attempt.status == "timeout"
+
+    def test_closures_allowed(self):
+        """The serial fallback must handle unpicklable callables."""
+        captured = {"x": 5}
+        runner = SerialRunner()
+        runner.submit(Job(id="a", fn=lambda: captured["x"]), None, None)
+        (attempt,) = runner.poll()
+        assert attempt.result == 5
+
+
+class TestProcessPoolRunner:
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(0)
+
+    def test_success_roundtrip(self):
+        runner = ProcessPoolRunner(2)
+        runner.submit(Job(id="a", fn=config_job), {"x": 21}, None)
+        (attempt,) = _drain(runner)
+        assert attempt.ok and attempt.result == {"doubled": 42}
+        runner.shutdown()
+
+    def test_worker_error_contained(self):
+        runner = ProcessPoolRunner(1)
+        runner.submit(Job(id="a", fn=raising_job), None, None)
+        (attempt,) = _drain(runner)
+        assert attempt.status == "error"
+        assert "injected fault" in attempt.error
+        runner.shutdown()
+
+    def test_worker_crash_contained(self):
+        """A worker dying without reporting must not raise in the parent."""
+        runner = ProcessPoolRunner(1)
+        runner.submit(Job(id="a", fn=crashing_job), None, None)
+        (attempt,) = _drain(runner)
+        assert attempt.status == "crash"
+        runner.shutdown()
+
+    def test_hung_worker_terminated_on_timeout(self):
+        runner = ProcessPoolRunner(1)
+        start = time.monotonic()
+        runner.submit(Job(id="a", fn=hanging_job), None, 0.3)
+        (attempt,) = _drain(runner)
+        assert attempt.status == "timeout"
+        assert time.monotonic() - start < 10.0  # nowhere near the 30s sleep
+        assert runner.active() == 0
+        runner.shutdown()
+
+    def test_unpicklable_result_reported_as_error(self):
+        runner = ProcessPoolRunner(1)
+        runner.submit(Job(id="a", fn=unpicklable_result_job), None, None)
+        (attempt,) = _drain(runner)
+        assert attempt.status == "error"
+        assert "not transferable" in attempt.error
+        runner.shutdown()
+
+    def test_capacity_accounting(self):
+        runner = ProcessPoolRunner(2)
+        assert runner.capacity() == 2
+        runner.submit(Job(id="a", fn=hanging_job), None, 5.0)
+        assert runner.capacity() == 1 and runner.active() == 1
+        with pytest.raises(RuntimeError):
+            runner.submit(Job(id="a", fn=ok_job), None, None)  # duplicate id
+        runner.shutdown()
+        assert runner.active() == 0
+
+    def test_overcommit_rejected(self):
+        runner = ProcessPoolRunner(1)
+        runner.submit(Job(id="a", fn=hanging_job), None, 5.0)
+        with pytest.raises(RuntimeError):
+            runner.submit(Job(id="b", fn=ok_job), None, None)
+        runner.shutdown()
+
+    def test_parallel_wall_time(self):
+        """4 sleep-bound jobs on 4 workers finish ~concurrently."""
+        runner = ProcessPoolRunner(4)
+        start = time.monotonic()
+        for i in range(4):
+            runner.submit(Job(id=f"j{i}", fn=sleep_job), {"s": 0.25}, None)
+        attempts = _drain(runner)
+        wall = time.monotonic() - start
+        assert len(attempts) == 4 and all(a.ok for a in attempts)
+        assert wall < 0.25 * 4 * 0.8  # clearly faster than serial
+        runner.shutdown()
+
+
+def sleep_job(config):
+    time.sleep(config["s"])
+    return {"slept": config["s"]}
