@@ -1,13 +1,22 @@
 """Content-addressed on-disk result cache for the execution engine.
 
 A finished job's result is stored as a small JSON artifact whose path
-is derived from a stable SHA-256 key over three ingredients:
+is derived from a stable SHA-256 key over four ingredients:
 
+* the job id (when keyed through the engine) — two jobs with the same
+  callable and config are still distinct work items, e.g. registry
+  experiments that all run through ``Experiment.execute``,
 * the job callable's dotted name (:func:`repro.exec.job.callable_name`),
 * the *canonicalized* job config (key order normalized, NumPy scalars
-  coerced to plain Python, tuples to lists), and
+  coerced to plain Python, arrays hashed by full content, tuples to
+  lists), and
 * the library version — bumping ``repro.__version__`` invalidates every
   artifact at once, the blunt-but-safe answer to "the models changed".
+
+Config values that cannot be canonicalized (arbitrary objects whose
+identity lives in ``repr``) raise ``TypeError`` rather than hashing
+unstably; the engine reacts by running such jobs *uncached* (counted as
+``unkeyable``), never by crashing the sweep.
 
 Layout (git-style two-character sharding to keep directories small)::
 
@@ -48,11 +57,16 @@ def canonicalize(obj: Any, strict: bool = False) -> Any:
 
     Mappings are sorted by (stringified) key, tuples/lists/sets become
     lists (sets sorted by their JSON rendering), and NumPy scalars are
-    collapsed through ``.item()`` / ``float()``.  Unknown objects fall
-    back to ``repr`` so *hashing* never fails — at worst an exotic
-    config value hashes by its repr.  With ``strict=True`` (used for
-    cached *results*, where a repr round-trip would be a lie) unknown
-    objects raise ``TypeError`` instead.
+    collapsed through ``.item()`` / ``float()``.  Anything else raises
+    ``TypeError`` — never a ``repr`` fallback, whose memory addresses
+    make keys unstable across runs and whose truncated array rendering
+    can alias two *different* configs to one key.
+
+    With ``strict=False`` (config hashing) array-likes are additionally
+    expanded by full content via ``.tolist()``.  ``strict=True`` is for
+    cached *results*, where silently turning an array into a list would
+    hand warm reruns a different type than cold runs; such results are
+    rejected from the cache instead.
     """
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
@@ -64,26 +78,41 @@ def canonicalize(obj: Any, strict: bool = False) -> Any:
         return [canonicalize(v, strict) for v in obj]
     if isinstance(obj, (set, frozenset)):
         items = [canonicalize(v, strict) for v in obj]
-        return sorted(items, key=lambda v: json.dumps(v, sort_keys=True, default=repr))
+        return sorted(items, key=lambda v: json.dumps(v, sort_keys=True))
     item = getattr(obj, "item", None)
     if callable(item):
         try:
             return canonicalize(item(), strict)
         except (TypeError, ValueError):
             pass
-    if strict:
-        raise TypeError(f"value of type {type(obj).__name__} is not JSON-cacheable")
-    return repr(obj)
+    if not strict:
+        tolist = getattr(obj, "tolist", None)
+        if callable(tolist):
+            try:
+                return canonicalize(tolist(), strict)
+            except (TypeError, ValueError):
+                pass
+    raise TypeError(f"value of type {type(obj).__name__} is not JSON-cacheable")
 
 
 def cache_key(
     fn_name: str,
     config: Optional[Mapping[str, Any]],
     version: str,
+    job_id: Optional[str] = None,
 ) -> str:
-    """SHA-256 hex key over callable name + canonical config + version."""
+    """SHA-256 hex key over job id + callable name + config + version.
+
+    ``job_id`` disambiguates jobs that share a callable and config —
+    without it, e.g., every registry experiment (all bound to
+    ``Experiment.execute`` with no config) would collapse onto one
+    artifact and warm reruns would hand experiments each other's
+    results.  Raises ``TypeError`` if the config cannot be
+    canonicalized into a stable form.
+    """
     payload = json.dumps(
         {
+            "job": job_id,
             "fn": fn_name,
             "config": canonicalize(config) if config is not None else None,
             "version": version,
@@ -112,6 +141,7 @@ class ResultCache:
         self.corrupt = 0
         self.writes = 0
         self.rejected = 0
+        self.unkeyable = 0
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -126,14 +156,33 @@ class ResultCache:
             "corrupt": self.corrupt,
             "writes": self.writes,
             "rejected": self.rejected,
+            "unkeyable": self.unkeyable,
         }
 
     # -- addressing --------------------------------------------------------
 
     def key_for(
-        self, fn_name: str, config: Optional[Mapping[str, Any]]
+        self,
+        fn_name: str,
+        config: Optional[Mapping[str, Any]],
+        job_id: Optional[str] = None,
     ) -> str:
-        return cache_key(fn_name, config, self.version)
+        return cache_key(fn_name, config, self.version, job_id)
+
+    def try_key_for(
+        self,
+        fn_name: str,
+        config: Optional[Mapping[str, Any]],
+        job_id: Optional[str] = None,
+    ) -> Optional[str]:
+        """Like :meth:`key_for`, but an unhashable config yields ``None``
+        (the job runs uncached) instead of raising — the engine's path."""
+        try:
+            return self.key_for(fn_name, config, job_id)
+        except TypeError:
+            self.unkeyable += 1
+            self._count("unkeyable")
+            return None
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -179,8 +228,15 @@ class ResultCache:
         config: Optional[Mapping[str, Any]],
         result: Any,
         wall_time_s: float = 0.0,
-    ) -> bool:
-        """Atomically write an artifact; ``False`` if not JSON-able."""
+    ) -> Optional[dict]:
+        """Atomically write an artifact; ``None`` if not JSON-able.
+
+        On success the return value is the artifact dict that was
+        stored, whose ``"result"`` entry is the *canonical JSON form*
+        of the result (tuples are lists, dict keys are strings).  The
+        engine hands that form to the caller on the cold path too, so
+        cold and warm runs of a cached job always agree on types.
+        """
         try:
             artifact = {
                 "key": key,
@@ -195,7 +251,7 @@ class ResultCache:
         except (TypeError, ValueError):
             self.rejected += 1
             self._count("rejected")
-            return False
+            return None
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -203,4 +259,4 @@ class ResultCache:
         os.replace(tmp, path)
         self.writes += 1
         self._count("write")
-        return True
+        return artifact

@@ -5,7 +5,13 @@ through a :class:`~repro.exec.runners.Runner`:
 
 1. Jobs become *ready* when every dependency has SUCCEEDED; the cache
    (if configured) is consulted first, and a hit completes the job
-   without dispatching it.
+   without dispatching it.  Cache keys are salted with the job id, so
+   two jobs sharing a callable and config never share an artifact; a
+   job whose config cannot be canonicalized simply runs uncached.
+   JSON fidelity contract: whenever a job's result goes through the
+   cache, the engine reports the *canonical JSON form* (tuples become
+   lists, dict keys become strings) on the cold write path as well as
+   on warm hits, so reruns never see differently-typed results.
 2. A failed attempt is retried up to the job's (or engine's) retry
    budget with exponential backoff; a job that exhausts its budget is
    recorded FAILED (error/crash) or TIMEOUT — the sweep always
@@ -215,8 +221,8 @@ class ExecutionEngine:
             if self.cache is None:
                 return None
             if jid not in keys:
-                keys[jid] = self.cache.key_for(
-                    callable_name(graph.get(jid).fn), config_for(jid)
+                keys[jid] = self.cache.try_key_for(
+                    callable_name(graph.get(jid).fn), config_for(jid), job_id=jid
                 )
             return keys[jid]
 
@@ -291,21 +297,27 @@ class ExecutionEngine:
             running.discard(jid)
             job = graph.get(jid)
             if attempt.status == ATTEMPT_OK:
+                result = attempt.result
                 key = key_for(jid)
                 if key is not None:
-                    self.cache.put(  # type: ignore[union-attr]
+                    artifact = self.cache.put(  # type: ignore[union-attr]
                         key,
                         callable_name(job.fn),
                         config_for(jid),
                         attempt.result,
                         attempt.duration_s,
                     )
+                    if artifact is not None:
+                        # Hand back what a warm hit would hand back (the
+                        # JSON-canonical form) so cold and warm runs of a
+                        # cached job agree on result types.
+                        result = artifact["result"]
                 finish(
                     jid,
                     JobRecord(
                         job_id=jid,
                         status=JobStatus.SUCCEEDED,
-                        result=attempt.result,
+                        result=result,
                         attempts=attempts[jid],
                         wall_time_s=attempt.duration_s,
                         cache_key=key,

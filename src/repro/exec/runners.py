@@ -177,6 +177,9 @@ class ProcessPoolRunner:
         self.max_workers = max_workers
         self._ctx = mp.get_context(start_method)
         self._running: Dict[str, _Running] = {}
+        # Children that reported a result but had not exited when reaped;
+        # joined opportunistically so poll() never blocks on a lingerer.
+        self._zombies: List[Any] = []
 
     def capacity(self) -> int:
         return self.max_workers - len(self._running)
@@ -217,7 +220,6 @@ class ProcessPoolRunner:
                     None,
                     "worker closed its result pipe without reporting",
                 )
-            run.process.join(5.0)
             return Attempt(job_id, status, result, error, now - run.started)
         if not run.process.is_alive():
             # Died without sending a result: a hard crash (segfault,
@@ -245,7 +247,22 @@ class ProcessPoolRunner:
             )
         return None
 
+    def _retire(self, process: Any) -> None:
+        """Non-blocking reap: join if already exited, else park as zombie."""
+        process.join(0)
+        if process.is_alive():
+            self._zombies.append(process)
+
+    def _sweep_zombies(self) -> None:
+        still_alive = []
+        for process in self._zombies:
+            process.join(0)
+            if process.is_alive():
+                still_alive.append(process)
+        self._zombies = still_alive
+
     def poll(self) -> List[Attempt]:
+        self._sweep_zombies()
         done: List[Attempt] = []
         now = time.perf_counter()
         for job_id, run in list(self._running.items()):
@@ -253,17 +270,21 @@ class ProcessPoolRunner:
             if attempt is not None:
                 run.conn.close()
                 del self._running[job_id]
+                self._retire(run.process)
                 done.append(attempt)
         return done
 
     def shutdown(self) -> None:
+        processes = [run.process for run in self._running.values()] + self._zombies
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(1.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(1.0)
         for run in self._running.values():
-            if run.process.is_alive():
-                run.process.terminate()
-        for run in self._running.values():
-            run.process.join(1.0)
-            if run.process.is_alive():  # pragma: no cover - stubborn child
-                run.process.kill()
-                run.process.join(1.0)
             run.conn.close()
         self._running.clear()
+        self._zombies.clear()

@@ -34,12 +34,20 @@ class TestCanonicalize:
     def test_sets_sorted(self):
         assert canonicalize({3, 1, 2}) == [1, 2, 3]
 
-    def test_exotic_objects_fall_back_to_repr(self):
-        class Weird:
-            def __repr__(self):
-                return "Weird()"
+    def test_arrays_hashed_by_full_content(self):
+        """No truncated-repr aliasing: big arrays canonicalize elementwise."""
+        a = np.zeros(10_000)
+        b = np.zeros(10_000)
+        b[5_000] = 1.0  # identical truncated repr, different content
+        assert canonicalize(a) != canonicalize(b)
+        assert canonicalize(np.array([1, 2, 3])) == [1, 2, 3]
 
-        assert canonicalize(Weird()) == "Weird()"
+    def test_exotic_objects_raise_not_repr(self):
+        """Default reprs embed memory addresses: unstable, so rejected."""
+        with pytest.raises(TypeError):
+            canonicalize(object())
+        with pytest.raises(TypeError):
+            cache_key("m.f", {"x": object()}, "1.0")
 
 
 class TestCacheKey:
@@ -58,6 +66,25 @@ class TestCacheKey:
         """Bumping repro.__version__ invalidates every artifact."""
         assert cache_key("m.f", {"x": 1}, "1.0") != cache_key("m.f", {"x": 1}, "1.1")
 
+    def test_job_id_changes_key(self):
+        """Same callable + config under different job ids: distinct
+        artifacts (e.g. every registry experiment runs Experiment.execute)."""
+        assert cache_key("m.f", None, "1.0", job_id="E01") != cache_key(
+            "m.f", None, "1.0", job_id="E02"
+        )
+
+    def test_array_content_changes_key(self):
+        a = np.zeros(10_000)
+        b = np.zeros(10_000)
+        b[5_000] = 1.0
+        assert cache_key("m.f", {"w": a}, "1.0") != cache_key("m.f", {"w": b}, "1.0")
+
+    def test_unkeyable_config_counted_and_none(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1.0")
+        assert cache.try_key_for("m.f", {"x": object()}, job_id="j") is None
+        assert cache.unkeyable == 1
+        assert cache.try_key_for("m.f", {"x": 1}, job_id="j") is not None
+
     def test_default_version_is_repro_version(self, tmp_path):
         cache = ResultCache(tmp_path)
         assert cache.version == repro_version()
@@ -72,8 +99,16 @@ class TestResultCache:
         assert artifact["result"] == {"value": 2.0}
         assert artifact["wall_time_s"] == 0.5
         assert cache.stats() == {
-            "hits": 1, "misses": 1, "corrupt": 0, "writes": 1, "rejected": 0,
+            "hits": 1, "misses": 1, "corrupt": 0, "writes": 1,
+            "rejected": 0, "unkeyable": 0,
         }
+
+    def test_put_returns_stored_canonical_artifact(self, cache):
+        """The cold path reports exactly what a warm hit would report."""
+        key = cache.key_for("m.f", None)
+        artifact = cache.put(key, "m.f", None, {"t": (1, 2)})
+        assert artifact["result"] == {"t": [1, 2]}
+        assert cache.get(key)["result"] == artifact["result"]
 
     def test_numpy_results_cacheable(self, cache):
         key = cache.key_for("m.f", None)

@@ -31,6 +31,10 @@ def raising_job():
     raise ValueError("always fails")
 
 
+def tuple_result_job():
+    return {"pair": (1, 2)}
+
+
 def hanging_job():
     time.sleep(30)
 
@@ -244,6 +248,53 @@ class TestEngineCache:
             self._graph()
         )
         assert final.cache_hits() == 3
+
+    def test_same_fn_same_config_distinct_jobs_distinct_artifacts(self, tmp_path):
+        """Jobs sharing a callable and config must not share a cache key.
+
+        This is the registry shape: every experiment is a bound
+        Experiment.execute with config=None.  Warm reruns must hand each
+        job its *own* result, not the first job's.
+        """
+
+        def build():
+            return JobGraph(
+                [
+                    Job(id="j0", fn=config_echo, config={"x": 0}, seed_key="seed"),
+                    Job(id="j1", fn=config_echo, config={"x": 0}, seed_key="seed"),
+                ]
+            )
+
+        cold = ExecutionEngine(cache=ResultCache(tmp_path, version="t")).run(build())
+        assert cold.ok and cold.cache_hits() == 0
+        # Distinct derived seeds → distinct results; a shared artifact
+        # would have completed j1 from j0's cached (or just-written) row.
+        assert cold.result("j0") != cold.result("j1")
+        warm = ExecutionEngine(cache=ResultCache(tmp_path, version="t")).run(build())
+        assert warm.cache_hits() == 2
+        assert warm.result("j0") == cold.result("j0")
+        assert warm.result("j1") == cold.result("j1")
+
+    def test_unkeyable_config_runs_uncached_not_crash(self, tmp_path):
+        cache = ResultCache(tmp_path, version="t")
+        graph = JobGraph([Job(id="odd", fn=len, config={"x": object()})])
+        report = ExecutionEngine(cache=cache).run(graph)
+        assert report["odd"].ok
+        assert report["odd"].cache_key is None
+        assert cache.unkeyable == 1
+        assert cache.writes == 0
+
+    def test_cold_and_warm_results_agree_on_types(self, tmp_path):
+        """A cached job's cold run reports the JSON-canonical result."""
+
+        def build():
+            return JobGraph([Job(id="t", fn=tuple_result_job)])
+
+        cold = ExecutionEngine(cache=ResultCache(tmp_path, version="t")).run(build())
+        warm = ExecutionEngine(cache=ResultCache(tmp_path, version="t")).run(build())
+        assert warm.cache_hits() == 1
+        assert cold.result("t") == {"pair": [1, 2]}  # tuple → list, cold too
+        assert cold.result("t") == warm.result("t")
 
     def test_failed_jobs_not_cached(self, tmp_path):
         cache = ResultCache(tmp_path, version="t")

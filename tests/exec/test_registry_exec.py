@@ -17,6 +17,14 @@ def run_good():
     return {"value": 1.0, "holds": True}
 
 
+def run_value_a():
+    return {"value": 1.0, "which": "A", "holds": True}
+
+
+def run_value_b():
+    return {"value": 2.0, "which": "B", "holds": True}
+
+
 def run_bad():
     raise RuntimeError("experiment blew up")
 
@@ -101,8 +109,24 @@ class TestRegistrySweepModes:
 
     def test_cached_rerun_hits_everything(self, tmp_path):
         subset = ["E01", "E13"]
-        REGISTRY.run_all(only=subset, cache_dir=str(tmp_path))
+        cold = REGISTRY.run_all(only=subset, cache_dir=str(tmp_path))
         assert REGISTRY.last_report.cache_hits() == 0
         warm = REGISTRY.run_all(only=subset, cache_dir=str(tmp_path))
         assert REGISTRY.last_report.cache_hits() == len(subset)
         assert all(warm[eid]["holds"] for eid in subset)
+        # Hit counts are not enough: each experiment must get its own
+        # artifact back, not another experiment's.
+        assert warm == cold
+
+    def test_each_experiment_gets_its_own_cached_result(self, tmp_path):
+        """All experiments share the Experiment.execute callable with no
+        config; per-job cache-key salting must keep artifacts distinct."""
+        reg = ExperimentRegistry()
+        reg.register(_experiment("XA", run_value_a))
+        reg.register(_experiment("XB", run_value_b))
+        cold = reg.run_all(cache_dir=str(tmp_path))
+        assert cold["XA"]["which"] == "A" and cold["XB"]["which"] == "B"
+        warm = reg.run_all(cache_dir=str(tmp_path))
+        assert reg.last_report.cache_hits() == 2
+        assert warm == cold
+        assert warm["XA"]["value"] == 1.0 and warm["XB"]["value"] == 2.0

@@ -32,6 +32,15 @@ def unpicklable_result_job():
     return lambda: None
 
 
+def lingering_job():
+    """Returns promptly but leaves a non-daemon thread keeping the child
+    process alive well after the result is sent."""
+    import threading
+
+    threading.Thread(target=time.sleep, args=(2.0,), daemon=False).start()
+    return {"value": 1}
+
+
 def _drain(runner, timeout_s=10.0):
     """Poll until every submitted attempt is reaped."""
     deadline = time.monotonic() + timeout_s
@@ -147,7 +156,19 @@ class TestProcessPoolRunner:
             runner.submit(Job(id="b", fn=ok_job), None, None)
         runner.shutdown()
 
-    def test_parallel_wall_time(self):
+    def test_lingering_child_does_not_block_poll(self):
+        """A child that stays alive after sending its result must not
+        stall poll(); it is parked as a zombie and reaped later."""
+        runner = ProcessPoolRunner(1)
+        runner.submit(Job(id="a", fn=lingering_job), None, None)
+        start = time.monotonic()
+        (attempt,) = _drain(runner)
+        reap_wall = time.monotonic() - start
+        assert attempt.ok and attempt.result == {"value": 1}
+        # The child lingers ~2s; the old inline join(5.0) blocked here.
+        assert reap_wall < 1.0
+        assert runner.capacity() == 1  # slot freed even though child lives
+        runner.shutdown()
         """4 sleep-bound jobs on 4 workers finish ~concurrently."""
         runner = ProcessPoolRunner(4)
         start = time.monotonic()
