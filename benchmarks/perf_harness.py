@@ -1,0 +1,219 @@
+"""Measurement core for the performance harness (PR3).
+
+Every number the repo publishes about its own speed flows through this
+module so that "before" and "after" are always measured the same way:
+
+* **warmup + best-of-N medians** — each configuration runs once to warm
+  allocators/caches/bytecode, then ``repeats`` timed runs; the median is
+  reported.  Single cold runs (the pre-PR3 bench's methodology) were
+  30-50% noisy run-to-run.
+* **two timed regions, never mixed** — *drain* rates time ``sim.run()``
+  over a pre-loaded queue (the historical bench_kernel_throughput
+  semantics, and where the PR3 run-loop rewrite shows up); *end-to-end*
+  rates time scheduling plus the drain (where ``cancellable=False`` and
+  ``schedule_many`` show up).
+* **feature detection** — configurations that exercise PR3 APIs probe
+  for them and skip when absent, so the identical harness can time a
+  pre-PR3 kernel checkout for honest before/after tables.
+
+Used by ``bench_kernel_throughput.py`` (pytest) and ``perf_smoke.py``
+(CLI that records ``BENCH_PR3.json`` and gates CI).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.events import Simulator
+from repro.core.instrument import MetricsRegistry
+
+N_EVENTS = 200_000
+DEFAULT_REPEATS = 5
+DEFAULT_EXPERIMENT_REPEATS = 3
+# The kernel-bound experiments PR3 targets: the three slowest pre-PR3
+# (E14 sensor pipeline, E19 fault campaign, E11 NVM lifetime) plus two
+# event-kernel-heavy ones (E07 tail-at-scale, E22 analytics cluster).
+EXPERIMENT_IDS = ("E07", "E11", "E14", "E19", "E22")
+
+
+def best_of(
+    fn: Callable[[], object], repeats: int = DEFAULT_REPEATS, warmup: int = 1
+) -> float:
+    """Median wall-clock seconds of ``repeats`` runs after ``warmup``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+_times_cache: Optional[list[float]] = None
+
+
+def _times() -> list[float]:
+    global _times_cache
+    if _times_cache is None:
+        _times_cache = [float(i) for i in range(N_EVENTS)]
+    return _times_cache
+
+
+def _noop(s: Simulator, payload) -> None:
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Drain configurations: build() returns a loaded simulator; the timed
+# region is sim.run() only — raw event-dispatch throughput.
+# ---------------------------------------------------------------------------
+
+
+def build_bare() -> Simulator:
+    """The tentpole configuration: no instrumentation, default tokens."""
+    sim = Simulator()
+    sched = sim.schedule_at
+    for t in _times():
+        sched(t, _noop)
+    return sim
+
+
+def build_disabled_registry() -> Simulator:
+    """Null registry: callbacks instrument, the registry eats it."""
+    sim = Simulator()
+    ctr = sim.metrics.scoped("bench").counter("events")
+
+    def cb(s: Simulator, payload) -> None:
+        ctr.inc()
+
+    sched = sim.schedule_at
+    for t in _times():
+        sched(t, cb)
+    return sim
+
+
+def build_live_instruments() -> Simulator:
+    sim = Simulator(metrics=MetricsRegistry())
+    stats = sim.metrics.scoped("bench")
+    ctr = stats.counter("events")
+    hist = stats.histogram("times")
+
+    def cb(s: Simulator, payload) -> None:
+        ctr.inc()
+        hist.observe(s.now)
+
+    sched = sim.schedule_at
+    for t in _times():
+        sched(t, cb)
+    return sim
+
+
+def build_kernel_probe() -> Simulator:
+    sim = Simulator(metrics=MetricsRegistry())
+    ctr = sim.metrics.counter("probe.events")
+    sim.add_probe(lambda s, ev: ctr.inc())
+    sched = sim.schedule_at
+    for t in _times():
+        sched(t, _noop)
+    return sim
+
+
+DRAIN_CONFIGS: Dict[str, Callable[[], Simulator]] = {
+    "bare": build_bare,
+    "disabled_registry": build_disabled_registry,
+    "live_instruments": build_live_instruments,
+    "kernel_probe": build_kernel_probe,
+}
+
+
+def measure_drain(
+    repeats: int = DEFAULT_REPEATS,
+    configs: Optional[Dict[str, Callable[[], Simulator]]] = None,
+) -> Dict[str, float]:
+    """Events/second through ``sim.run()`` per configuration.
+
+    The queue is rebuilt (untimed) before every timed drain, so each
+    repeat dispatches exactly N_EVENTS fresh events.
+    """
+    rates: Dict[str, float] = {}
+    for name, build in (configs or DRAIN_CONFIGS).items():
+        build().run()  # warmup
+        times = []
+        for _ in range(repeats):
+            sim = build()
+            start = time.perf_counter()
+            sim.run()
+            times.append(time.perf_counter() - start)
+        rates[name] = N_EVENTS / statistics.median(times)
+    return rates
+
+
+# ---------------------------------------------------------------------------
+# End-to-end configurations: the timed region covers scheduling AND the
+# drain — where the cancellable=False and schedule_many fast paths pay.
+# ---------------------------------------------------------------------------
+
+
+def run_loop_token() -> None:
+    build_bare().run()
+
+
+def run_loop_no_token() -> None:
+    """PR3 fast path: ``cancellable=False`` skips token allocation."""
+    sim = Simulator()
+    sched = sim.schedule_at
+    for t in _times():
+        sched(t, _noop, cancellable=False)
+    sim.run()
+
+
+def run_schedule_many() -> None:
+    """PR3 batch API: one call bulk-loads the in-order lane."""
+    sim = Simulator()
+    sim.schedule_many(_times(), _noop)
+    sim.run()
+
+
+END_TO_END_CONFIGS: Dict[str, Callable[[], None]] = {
+    "loop_token": run_loop_token,
+    "loop_no_token": run_loop_no_token,
+    "schedule_many": run_schedule_many,
+}
+
+
+def measure_end_to_end(
+    repeats: int = DEFAULT_REPEATS,
+    configs: Optional[Dict[str, Callable[[], None]]] = None,
+) -> Dict[str, float]:
+    """Events/second including scheduling cost, per configuration.
+
+    Configurations whose kernel API is missing (older checkouts) are
+    skipped rather than failed, so before/after runs stay comparable.
+    """
+    rates: Dict[str, float] = {}
+    for name, fn in (configs or END_TO_END_CONFIGS).items():
+        try:
+            fn()  # warmup doubles as the feature probe
+        except (TypeError, AttributeError):
+            continue
+        rates[name] = N_EVENTS / best_of(fn, repeats=repeats, warmup=0)
+    return rates
+
+
+def measure_experiments(
+    ids: Iterable[str] = EXPERIMENT_IDS,
+    repeats: int = DEFAULT_EXPERIMENT_REPEATS,
+) -> Dict[str, float]:
+    """Median end-to-end wall seconds per registry experiment."""
+    from repro.analysis import REGISTRY
+
+    walls: Dict[str, float] = {}
+    for eid in ids:
+        experiment = REGISTRY.get(eid)
+        walls[eid] = best_of(experiment.execute, repeats=repeats, warmup=1)
+    return walls

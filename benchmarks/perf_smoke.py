@@ -1,0 +1,148 @@
+"""Perf smoke CLI: measure kernel + experiment speed, gate regressions.
+
+Measures event-kernel throughput (all configurations in
+``perf_harness.KERNEL_CONFIGS``) and end-to-end wall time for the
+kernel-bound experiments, writes the result as JSON, and — when given a
+baseline file — fails (exit 1) if anything regressed by more than
+``--max-regression`` (default 30%).
+
+Usage::
+
+    python benchmarks/perf_smoke.py --output bench.json
+    python benchmarks/perf_smoke.py --baseline BENCH_PR3.json \
+        --output bench.json            # CI gate
+    python benchmarks/perf_smoke.py --skip-experiments --repeats 3
+
+The committed ``BENCH_PR3.json`` at the repo root is the reference
+trajectory: its ``pre_pr3`` section was measured on the pre-PR3 kernel
+with this same harness (via a stashed checkout), its ``current``
+section on the PR3 kernel; the CI gate compares fresh numbers against
+``current``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+import perf_harness  # noqa: E402
+
+
+def run_measurements(
+    repeats: int, experiment_repeats: int, skip_experiments: bool
+) -> dict:
+    result = {
+        "meta": {
+            "harness": "benchmarks/perf_smoke.py",
+            "n_events": perf_harness.N_EVENTS,
+            "repeats": repeats,
+            "experiment_repeats": experiment_repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "kernel_drain_events_per_s": perf_harness.measure_drain(
+            repeats=repeats
+        ),
+        "kernel_end_to_end_events_per_s": perf_harness.measure_end_to_end(
+            repeats=repeats
+        ),
+    }
+    if not skip_experiments:
+        result["experiments_wall_s"] = perf_harness.measure_experiments(
+            repeats=experiment_repeats
+        )
+    return result
+
+
+def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Regression messages; empty means the gate passes.
+
+    Throughput must not drop, wall time must not grow, by more than
+    ``max_regression`` (a fraction, e.g. 0.30).
+    """
+    failures = []
+    for family in ("kernel_drain_events_per_s", "kernel_end_to_end_events_per_s"):
+        base_kernel = baseline.get(family, {})
+        for name, rate in current.get(family, {}).items():
+            base = base_kernel.get(name)
+            if base and rate < base * (1.0 - max_regression):
+                failures.append(
+                    f"{family}[{name}]: {rate:,.0f} ev/s vs baseline "
+                    f"{base:,.0f} ({rate / base - 1.0:+.0%})"
+                )
+    base_exp = baseline.get("experiments_wall_s", {})
+    for eid, wall in current.get("experiments_wall_s", {}).items():
+        base = base_exp.get(eid)
+        if base and wall > base * (1.0 + max_regression):
+            failures.append(
+                f"experiment[{eid}]: {wall:.3f}s vs baseline "
+                f"{base:.3f}s ({wall / base - 1.0:+.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON to gate against (BENCH_PR3.json or a prior --output)",
+    )
+    parser.add_argument("--max-regression", type=float, default=0.30)
+    parser.add_argument(
+        "--repeats", type=int, default=perf_harness.DEFAULT_REPEATS
+    )
+    parser.add_argument(
+        "--experiment-repeats",
+        type=int,
+        default=perf_harness.DEFAULT_EXPERIMENT_REPEATS,
+    )
+    parser.add_argument("--skip-experiments", action="store_true")
+    args = parser.parse_args(argv)
+
+    current = run_measurements(
+        args.repeats, args.experiment_repeats, args.skip_experiments
+    )
+
+    print("kernel drain events/s:")
+    for name, rate in current["kernel_drain_events_per_s"].items():
+        print(f"  {name:20s} {rate:>12,.0f}")
+    print("kernel schedule+drain events/s:")
+    for name, rate in current["kernel_end_to_end_events_per_s"].items():
+        print(f"  {name:20s} {rate:>12,.0f}")
+    for eid, wall in current.get("experiments_wall_s", {}).items():
+        print(f"  {eid} wall: {wall:.3f}s")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        # BENCH_PR3.json nests the reference numbers under "current";
+        # a raw --output file is already flat.
+        reference = baseline.get("current", baseline)
+        failures = compare(current, reference, args.max_regression)
+        if failures:
+            print(
+                f"PERF REGRESSION (> {args.max_regression:.0%} "
+                f"vs {args.baseline}):"
+            )
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"perf gate passed (within {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,28 @@ hedging (:mod:`repro.datacenter.hedging`), autoscaling fleet dynamics
 models (:mod:`repro.sensor.harvest`, :mod:`repro.sensor.duty`).  Design
 points:
 
-* Events are ``(time, sequence, callback, payload)`` tuples in a binary
-  heap.  The monotonically increasing sequence number makes ordering
-  total and deterministic even when timestamps tie, which matters for
-  reproducibility of coherence races and queueing ties.
+* Events are ``(time, sequence, token, callback, payload)`` tuples in a
+  binary heap.  The monotonically increasing sequence number makes
+  ordering total and deterministic even when timestamps tie, which
+  matters for reproducibility of coherence races and queueing ties.
+  Because every entry's ``(time, sequence)`` key is unique, the executed
+  order is a pure function of the *set* of scheduled events — never of
+  the heap's internal layout — so batch loading (:meth:`Simulator.
+  schedule_many`) cannot perturb determinism.
 * Callbacks may schedule further events; the kernel runs until the queue
   drains, a time horizon passes, or an event budget is exhausted.
+* **Hot path**: the event queue is two lanes.  In-order schedules (bulk
+  arrival trains via :meth:`Simulator.schedule_many`, self-chaining
+  sources whose next firing never precedes the previous tail) land in a
+  *sorted lane* popped by index in O(1); out-of-order schedules fall
+  back to the binary heap.  Each pop takes the global ``(time, seq)``
+  minimum of the two lane heads, so the executed order is byte-identical
+  to a single heap — only cheaper.  :meth:`Simulator.run` drains in one
+  tight loop (single head scan per event, locally aliased ``heappop``),
+  the common fire-and-forget case skips :class:`CancelToken` allocation
+  entirely (``schedule(..., cancellable=False)``), and ``sim.stats`` is
+  synchronized when ``run`` returns (and on exceptions), not per event —
+  use a probe for live event counting.
 * No global state: a :class:`Simulator` instance owns its clock.
 * **Observability**: each simulator carries a
   :class:`~repro.core.instrument.MetricsRegistry` (``sim.metrics``) for
@@ -35,6 +51,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Protocol, runtime_checkable
 
@@ -44,7 +61,7 @@ EventCallback = Callable[["Simulator", Any], None]
 ProbeCallback = Callable[["Simulator", "Event"], None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A scheduled event (exposed for introspection/testing/probes)."""
 
@@ -69,6 +86,26 @@ class CancelToken:
 
     def cancel(self) -> None:
         self.cancelled = True
+
+
+class _ChainToken(CancelToken):
+    """Token for a :meth:`Simulator.sample_every` chain.
+
+    Cancelling it also cancels the chain's single pending firing; the
+    one reused ``_tick`` closure re-arms ``pending`` each period, so a
+    long-lived sampler allocates one token per tick and nothing else.
+    """
+
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: Optional[CancelToken] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self.pending is not None:
+            self.pending.cancel()
 
 
 @dataclass
@@ -121,7 +158,15 @@ class Simulator:
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._now = float(start_time)
+        #: Out-of-order lane: a binary heap of (time, seq, token, cb, payload).
         self._heap: list[tuple[float, int, CancelToken, EventCallback, Any]] = []
+        #: In-order lane: entries sorted by (time, seq), consumed by index.
+        #: Schedules whose time is >= the lane tail append here in O(1)
+        #: and pop in O(1); everything else falls back to the heap.  Pops
+        #: always take the global (time, seq) minimum of both lane heads,
+        #: so the merged order equals a single heap's.
+        self._lane: list[tuple[float, int, CancelToken, EventCallback, Any]] = []
+        self._lane_pos = 0
         self._seq = itertools.count()
         self._running = False
         self.stats = SimStats()
@@ -138,8 +183,28 @@ class Simulator:
         return self._now
 
     def __len__(self) -> int:
-        """Number of pending (possibly cancelled) events."""
-        return len(self._heap)
+        """Number of pending entries, **including** lazily-cancelled events.
+
+        Cancellation is lazy (tokens are marked, dead entries are only
+        discarded when they surface at a queue head), so ``len(sim)``
+        over-counts by however many cancelled events have not yet been
+        purged.  Use :meth:`pending_live` for the exact number of events
+        that will still fire.
+        """
+        return len(self._heap) + len(self._lane) - self._lane_pos
+
+    def pending_live(self) -> int:
+        """Number of pending events that are *not* cancelled (O(n))."""
+        live = sum(
+            1 for _t, _s, token, _cb, _p in self._heap
+            if token is None or not token.cancelled
+        )
+        lane = self._lane
+        for i in range(self._lane_pos, len(lane)):
+            token = lane[i][2]
+            if token is None or not token.cancelled:
+                live += 1
+        return live
 
     # -- model / probe registration ---------------------------------------
 
@@ -182,18 +247,6 @@ class Simulator:
         """
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
-        pending: list[CancelToken] = []
-
-        class _ChainToken(CancelToken):
-            """Cancels the whole chain, including the pending firing."""
-
-            __slots__ = ()
-
-            def cancel(self) -> None:
-                CancelToken.cancel(self)
-                if pending:
-                    pending[-1].cancel()
-
         chain = _ChainToken()
 
         def _tick(sim: "Simulator", _payload: Any) -> None:
@@ -201,13 +254,11 @@ class Simulator:
                 return
             sampler(sim)
             if not chain.cancelled:  # the sampler itself may cancel
-                pending[:] = [sim.schedule(period, _tick)]
+                chain.pending = sim.schedule(period, _tick)
 
-        pending[:] = [
-            self.schedule(
-                period if initial_delay is None else initial_delay, _tick
-            )
-        ]
+        chain.pending = self.schedule(
+            period if initial_delay is None else initial_delay, _tick
+        )
         return chain
 
     # -- scheduling --------------------------------------------------------
@@ -217,15 +268,24 @@ class Simulator:
         delay: float,
         callback: EventCallback,
         payload: Any = None,
-    ) -> CancelToken:
-        """Schedule ``callback(sim, payload)`` at ``now + delay``."""
+        cancellable: bool = True,
+    ) -> Optional[CancelToken]:
+        """Schedule ``callback(sim, payload)`` at ``now + delay``.
+
+        ``cancellable=False`` is the fire-and-forget fast path: it skips
+        the per-event :class:`CancelToken` allocation (the common case —
+        arrival trains, completions, self-rescheduling ticks) and
+        returns ``None``.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        token = CancelToken()
-        heapq.heappush(
-            self._heap,
-            (self._now + delay, next(self._seq), token, callback, payload),
-        )
+        token = CancelToken() if cancellable else None
+        entry = (self._now + delay, next(self._seq), token, callback, payload)
+        lane = self._lane
+        if not lane or entry[0] >= lane[-1][0]:
+            lane.append(entry)  # in-order: O(1) append, O(1) pop later
+        else:
+            heapq.heappush(self._heap, entry)
         return token
 
     def schedule_at(
@@ -233,46 +293,149 @@ class Simulator:
         time: float,
         callback: EventCallback,
         payload: Any = None,
-    ) -> CancelToken:
-        """Schedule at an absolute timestamp ``time >= now``."""
+        cancellable: bool = True,
+    ) -> Optional[CancelToken]:
+        """Schedule at an absolute timestamp ``time >= now``.
+
+        ``cancellable=False`` skips token allocation and returns
+        ``None`` (see :meth:`schedule`).
+        """
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        token = CancelToken()
-        heapq.heappush(
-            self._heap, (float(time), next(self._seq), token, callback, payload)
-        )
+        token = CancelToken() if cancellable else None
+        entry = (float(time), next(self._seq), token, callback, payload)
+        lane = self._lane
+        if not lane or entry[0] >= lane[-1][0]:
+            lane.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
         return token
+
+    def schedule_many(
+        self,
+        times,
+        callback: EventCallback,
+        payloads=None,
+    ) -> int:
+        """Bulk-schedule ``callback`` at absolute ``times`` (fire-and-forget).
+
+        ``payloads``, when given, pairs one payload with each timestamp
+        (lengths must match).  Events are non-cancellable; sequence
+        numbers are assigned in iteration order, so ties break exactly
+        as if each event had been scheduled with :meth:`schedule_at` in
+        a loop.  Returns the number of events scheduled.
+
+        Fast paths: a nondecreasing batch whose first timestamp does not
+        precede the in-order lane's tail extends the lane in O(n) and
+        will pop in O(1) per event; a large out-of-order batch is merged
+        into the heap with one ``heapify``.  Either way the executed
+        order is identical — ``(time, seq)`` keys are unique, so pop
+        order never depends on which lane holds an entry.
+        """
+        now = self._now
+        heap = self._heap
+        next_seq = self._seq.__next__
+        entries: list[tuple[float, int, None, EventCallback, Any]] = []
+        append = entries.append
+        prev = -math.inf
+        in_order = True
+        if payloads is None:
+            for t in times:
+                t = float(t)
+                if t < now:
+                    raise ValueError(
+                        f"cannot schedule at {t} before current time {now}"
+                    )
+                if t < prev:
+                    in_order = False
+                prev = t
+                append((t, next_seq(), None, callback, None))
+        else:
+            for t, payload in zip(times, payloads, strict=True):
+                t = float(t)
+                if t < now:
+                    raise ValueError(
+                        f"cannot schedule at {t} before current time {now}"
+                    )
+                if t < prev:
+                    in_order = False
+                prev = t
+                append((t, next_seq(), None, callback, payload))
+        if not entries:
+            return 0
+        lane = self._lane
+        if in_order and (not lane or entries[0][0] >= lane[-1][0]):
+            lane.extend(entries)  # stays sorted: O(n) load, O(1) pops
+        elif len(entries) * 4 > len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)  # O(n+m) beats m pushes for large m
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+        return len(entries)
+
+    def _next_entry(self, pop: bool):
+        """The next live event across both lanes (or ``None`` if drained).
+
+        Purges cancelled entries from whichever lane surfaces them,
+        counting them in ``stats``; pops the returned entry iff ``pop``.
+        """
+        if self._running:
+            # run() holds the lane consumption index in a local; mutating
+            # it from a callback would desync the drain loop.
+            raise RuntimeError(
+                "peek_time()/step() cannot be called while run() is active"
+            )
+        heap = self._heap
+        lane = self._lane
+        while True:
+            pos = self._lane_pos
+            lane_head = lane[pos] if pos < len(lane) else None
+            if heap and (lane_head is None or heap[0] < lane_head):
+                entry = heap[0]
+                from_heap = True
+            elif lane_head is not None:
+                entry = lane_head
+                from_heap = False
+            else:
+                if pos and not self._running:
+                    lane.clear()  # fully consumed: reclaim
+                    self._lane_pos = 0
+                return None
+            token = entry[2]
+            if (token is not None and token.cancelled) or pop:
+                if from_heap:
+                    heapq.heappop(heap)
+                else:
+                    self._lane_pos = pos + 1
+            if token is not None and token.cancelled:
+                self.stats.events_cancelled += 1
+                continue
+            return entry
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if drained."""
-        while self._heap:
-            time, _seq, token, _cb, _payload = self._heap[0]
-            if token.cancelled:
-                heapq.heappop(self._heap)
-                self.stats.events_cancelled += 1
-                continue
-            return time
-        return None
+        entry = self._next_entry(pop=False)
+        return None if entry is None else entry[0]
 
     def step(self) -> bool:
         """Execute the single next live event; return False if drained."""
-        while self._heap:
-            time, seq, token, callback, payload = heapq.heappop(self._heap)
-            if token.cancelled:
-                self.stats.events_cancelled += 1
-                continue
-            self._now = time
-            callback(self, payload)
-            self.stats.events_executed += 1
-            if self._probes:
-                event = Event(time=time, seq=seq, callback=callback,
-                              payload=payload)
-                for probe in self._probes:
-                    probe(self, event)
-            return True
-        return False
+        entry = self._next_entry(pop=True)
+        if entry is None:
+            return False
+        time, seq, _token, callback, payload = entry
+        self._now = time
+        callback(self, payload)
+        self.stats.events_executed += 1
+        if self._probes:
+            event = Event(time=time, seq=seq, callback=callback,
+                          payload=payload)
+            for probe in self._probes:
+                probe(self, event)
+        return True
 
     def run(
         self,
@@ -284,25 +447,109 @@ class Simulator:
         ``until`` is inclusive: events stamped exactly at ``until`` run.
         On a horizon stop the clock advances to ``until`` so back-to-back
         ``run`` calls behave like one longer run.
+
+        The drain is one tight loop: each event costs a single heap pop
+        (plus one head peek when a horizon/budget is set), with
+        ``heappop``/the heap/the probe list held in locals.  ``stats``
+        counters accumulate in locals and synchronize when ``run``
+        returns — including on an exception escaping a callback — so
+        code that needs per-event counts live should use a probe.
         """
         if self._running:
             raise RuntimeError("simulator is already running (re-entrant run)")
         self._running = True
-        executed_this_run = 0
+        heap = self._heap
+        lane = self._lane
+        pos = self._lane_pos
+        heappop = heapq.heappop
+        probes = self._probes
+        executed = 0
+        cancelled = 0
         try:
-            while True:
-                if max_events is not None and executed_this_run >= max_events:
-                    break
-                next_time = self.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = max(self._now, until)
-                    break
-                self.step()
-                executed_this_run += 1
+            if until is None and max_events is None:
+                # Fastest path: unconditional drain, merged two-lane pop.
+                # The lane is append-only while running (schedule/
+                # schedule_many only ever append or heappush), so the
+                # local consumption index cannot desync.
+                while True:
+                    if pos < len(lane):
+                        if heap and heap[0] < lane[pos]:
+                            entry = heappop(heap)
+                        else:
+                            entry = lane[pos]
+                            pos += 1
+                            # Amortized compaction: self-chaining sims
+                            # append one event per pop, so the consumed
+                            # prefix would otherwise grow without bound.
+                            if pos >= 262144 and pos * 2 >= len(lane):
+                                del lane[:pos]
+                                pos = 0
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        break
+                    token = entry[2]
+                    if token is not None and token.cancelled:
+                        cancelled += 1
+                        continue
+                    self._now = entry[0]
+                    callback = entry[3]
+                    callback(self, entry[4])
+                    executed += 1
+                    if probes:
+                        event = Event(time=entry[0], seq=entry[1],
+                                      callback=callback, payload=entry[4])
+                        for probe in probes:
+                            probe(self, event)
+            else:
+                while True:
+                    if max_events is not None and executed >= max_events:
+                        break
+                    lane_head = lane[pos] if pos < len(lane) else None
+                    if heap and (lane_head is None or heap[0] < lane_head):
+                        entry = heap[0]
+                        from_heap = True
+                    elif lane_head is not None:
+                        entry = lane_head
+                        from_heap = False
+                    else:
+                        break
+                    token = entry[2]
+                    if token is not None and token.cancelled:
+                        if from_heap:
+                            heappop(heap)
+                        else:
+                            pos += 1
+                        cancelled += 1
+                        continue
+                    time = entry[0]
+                    if until is not None and time > until:
+                        if until > self._now:
+                            self._now = until
+                        break
+                    if from_heap:
+                        heappop(heap)
+                    else:
+                        pos += 1
+                        if pos >= 262144 and pos * 2 >= len(lane):
+                            del lane[:pos]
+                            pos = 0
+                    self._now = time
+                    callback = entry[3]
+                    callback(self, entry[4])
+                    executed += 1
+                    if probes:
+                        event = Event(time=time, seq=entry[1],
+                                      callback=callback, payload=entry[4])
+                        for probe in probes:
+                            probe(self, event)
         finally:
             self._running = False
+            if pos:
+                del lane[:pos]  # compact the consumed prefix
+            self._lane_pos = 0
+            self.stats.events_executed += executed
+            self.stats.events_cancelled += cancelled
         self.stats.end_time = self._now
         return self.stats
 
@@ -322,7 +569,7 @@ def trace_events(sim: Simulator, category: str = "kernel") -> ProbeCallback:
     return sim.add_probe(_probe)
 
 
-@dataclass
+@dataclass(slots=True)
 class PeriodicSource:
     """Helper that re-schedules itself every ``period``.
 

@@ -34,6 +34,8 @@ import math
 from collections import deque
 from typing import Any, Deque, Dict, Iterable, Optional, Tuple
 
+import numpy as np
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -142,6 +144,46 @@ class Histogram:
             if j < self._capacity:
                 self._reservoir[j] = value
 
+    def observe_many(self, values) -> None:
+        """Vectorized bulk :meth:`observe` for models that batch.
+
+        Matches the scalar loop exactly for ``count``, ``min``/``max``,
+        and the quantile reservoir (same xorshift stream, same
+        replacement decisions); ``total`` is accumulated with one
+        vectorized sum, which can differ from sequential scalar adds in
+        the last ulp.
+        """
+        arr = np.asarray(values, dtype=float).ravel()
+        n = arr.size
+        if n == 0:
+            return
+        self._sorted_cache = None
+        self.total += float(arr.sum())
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        res = self._reservoir
+        cap = self._capacity
+        start = 0
+        if len(res) < cap:
+            # Fill phase draws no randomness, exactly like observe().
+            take = min(cap - len(res), n)
+            res.extend(arr[:take].tolist())
+            self.count += take
+            start = take
+        if start < n:
+            count = self.count
+            nr = self._next_rand
+            for v in arr[start:].tolist():
+                count += 1
+                j = nr() % count
+                if j < cap:
+                    res[j] = v
+            self.count = count
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
@@ -199,6 +241,9 @@ class _NullHistogram(Histogram):
     __slots__ = ()
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
 

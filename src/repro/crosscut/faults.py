@@ -37,10 +37,13 @@ class Outcome(Enum):
     DETECTED = "detected"
 
 
+_MASK = (1 << 20) - 1
+
+
 def execute_registers(
     trace: Sequence[Instruction],
     flip: Optional[tuple[int, int, int]] = None,
-    checker: Optional[Callable[[np.ndarray], bool]] = None,
+    checker: Optional[Callable[[Sequence[int]], bool]] = None,
 ) -> tuple[np.ndarray, bool]:
     """Architectural register-file interpreter for the tiny ISA.
 
@@ -51,33 +54,46 @@ def execute_registers(
     ``checker``, if given, is called on the register file after every
     instruction; returning False signals detection.
 
-    Returns (final_registers, detected).
+    The register file is kept as plain Python ints on the hot path
+    (every stored value is non-negative, fits in int64, and the 20-bit
+    result mask makes this bit-identical to int64 arithmetic), so the
+    checker receives the **live register list** — it must not mutate
+    it, and should copy if it retains state.
+
+    Returns (final_registers as int64 array, detected).
     """
-    regs = np.arange(1, NUM_REGISTERS + 1, dtype=np.int64)  # nonzero init
+    regs: list[int] = list(range(1, NUM_REGISTERS + 1))  # nonzero init
     detected = False
+    flip_idx = flip[0] if flip is not None else -1
+    mask = _MASK
     for i, instr in enumerate(trace):
-        if flip is not None and i == flip[0]:
+        if i == flip_idx:
             _, reg, bit = flip
             if not 0 <= reg < NUM_REGISTERS:
                 raise ValueError("flip register out of range")
             if not 0 <= bit < 63:
                 raise ValueError("flip bit out of range")
-            regs[reg] ^= np.int64(1) << bit
-        srcs = [regs[s] for s in instr.srcs] or [np.int64(i)]
-        a = srcs[0]
-        b = srcs[1] if len(srcs) > 1 else np.int64(1)
-        mask = np.int64((1 << 20) - 1)
-        if instr.opcode is Opcode.ALU:
+            regs[reg] ^= 1 << bit
+        srcs = instr.srcs
+        n_srcs = len(srcs)
+        if n_srcs:
+            a = regs[srcs[0]]
+            b = regs[srcs[1]] if n_srcs > 1 else 1
+        else:
+            a = i
+            b = 1
+        opcode = instr.opcode
+        if opcode is Opcode.ALU:
             value = (a + b) & mask
-        elif instr.opcode is Opcode.MUL:
+        elif opcode is Opcode.MUL:
             value = (a * b) & mask
-        elif instr.opcode is Opcode.DIV:
+        elif opcode is Opcode.DIV:
             value = a // (abs(b) + 1)
-        elif instr.opcode in (Opcode.FPU, Opcode.FMA):
-            c = srcs[2] if len(srcs) > 2 else np.int64(3)
+        elif opcode is Opcode.FPU or opcode is Opcode.FMA:
+            c = regs[srcs[2]] if n_srcs > 2 else 3
             value = (a * b + c) & mask
-        elif instr.opcode is Opcode.LOAD:
-            value = np.int64(instr.address or 0) & mask
+        elif opcode is Opcode.LOAD:
+            value = (instr.address or 0) & mask
         else:
             value = None
         if instr.dst is not None and value is not None:
@@ -85,7 +101,7 @@ def execute_registers(
         if checker is not None and not checker(regs):
             detected = True
             break
-    return regs, detected
+    return np.array(regs, dtype=np.int64), detected
 
 
 @dataclass

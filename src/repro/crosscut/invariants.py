@@ -45,47 +45,55 @@ class ProtectionScheme:
 
 def range_invariant_checker(
     bound: int = 1 << 31,
-) -> Callable[[np.ndarray], bool]:
+) -> Callable[[Sequence[int]], bool]:
     """Checks every register stays within software-declared bounds.
 
     A bit flip in a high-order bit blows past the bound immediately;
     low-order flips escape — exactly the partial-coverage behaviour of
     real invariant checkers.
+
+    Runs after every instruction, so it works on the interpreter's
+    plain-int register list directly (no per-step array construction).
     """
     if bound <= 0:
         raise ValueError("bound must be positive")
+    neg_bound = -bound
 
-    def check(regs: np.ndarray) -> bool:
-        return bool(np.all(np.abs(regs) < bound))
+    def check(regs) -> bool:
+        return neg_bound < min(regs) and max(regs) < bound
 
     return check
 
 
 def relation_invariant_checker(
     max_jump: int = 1 << 24,
-) -> Callable[[np.ndarray], bool]:
+) -> Callable[[Sequence[int]], bool]:
     """Checks state-change magnitude between observations (a temporal
     invariant: values evolve smoothly in this workload class)."""
     if max_jump <= 0:
         raise ValueError("max_jump must be positive")
     previous: list = [None]
 
-    def check(regs: np.ndarray) -> bool:
+    def check(regs) -> bool:
+        prev = previous[0]
         ok = True
-        if previous[0] is not None:
-            ok = bool(np.all(np.abs(regs - previous[0]) < max_jump))
-        previous[0] = regs.copy()
+        if prev is not None:
+            for r, p in zip(regs, prev):
+                d = r - p
+                if d >= max_jump or -d >= max_jump:
+                    ok = False
+                    break
+        previous[0] = list(regs)
         return ok
 
     return check
 
 
-def dmr_checker_factory() -> Callable[[np.ndarray], bool]:
+def dmr_checker_factory() -> Callable[[Sequence[int]], bool]:
     """DMR modeled as a perfect checker (duplicate always disagrees on
     any corrupted state)."""
-    golden: list = [None]
 
-    def check(regs: np.ndarray) -> bool:
+    def check(regs) -> bool:
         # In a real DMR the duplicate pipeline recomputes; here, the
         # campaign substitutes outcome-level perfection: handled in
         # compare_protection_schemes via full-coverage accounting.

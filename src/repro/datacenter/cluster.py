@@ -92,9 +92,12 @@ class ClusterSimulator:
         self.config = config
         self._sim: Optional[Simulator] = None
         self._stats = None
-        self._rates: Optional[np.ndarray] = None
-        self._free_at: Optional[np.ndarray] = None
-        self._qlen: Optional[np.ndarray] = None
+        # Server state lives in plain Python lists: the per-arrival hot
+        # path indexes them thousands of times, and list indexing beats
+        # NumPy scalar indexing by a wide margin at size ~n_servers.
+        self._rates: Optional[list[float]] = None
+        self._free_at: Optional[list[float]] = None
+        self._qlen: Optional[list[int]] = None
         self.faults_injected = 0
 
     # -- SimModel protocol -------------------------------------------------
@@ -105,17 +108,19 @@ class ClusterSimulator:
 
     def reset(self) -> None:
         cfg = self.config
-        self._rates = np.full(cfg.n_servers, cfg.service_rate)
         n_slow = int(round(cfg.slow_server_fraction * cfg.n_servers))
-        if n_slow:
-            self._rates[:n_slow] /= cfg.slow_factor
-        self._free_at = np.zeros(cfg.n_servers)
-        self._qlen = np.zeros(cfg.n_servers, dtype=np.int64)
+        self._rates = [
+            cfg.service_rate / cfg.slow_factor if i < n_slow
+            else cfg.service_rate
+            for i in range(cfg.n_servers)
+        ]
+        self._free_at = [0.0] * cfg.n_servers
+        self._qlen = [0] * cfg.n_servers
         self.faults_injected = 0
 
     def finish(self) -> None:
         if self._stats is not None and self._qlen is not None:
-            self._stats.gauge("queued_at_end").set(int(self._qlen.sum()))
+            self._stats.gauge("queued_at_end").set(int(sum(self._qlen)))
 
     # -- fault-injection hook ----------------------------------------------
 
@@ -172,51 +177,68 @@ class ClusterSimulator:
         lat_hist = stats.histogram("latency_s")
 
         arrivals = np.cumsum(gen.exponential(1.0 / arrival_rate, n_requests))
+        arrival_times = arrivals.tolist()
+        # Pre-draw the per-request randomness in batches (balancer choice
+        # and a unit-exponential service draw scaled by the server's
+        # *current* rate at arrival time, so transient faults still bite).
+        service_units = gen.standard_exponential(n_requests).tolist()
+        balancer = cfg.balancer
+        n_servers = cfg.n_servers
+        if balancer is Balancer.RANDOM:
+            choices = gen.integers(n_servers, size=n_requests).tolist()
+        elif balancer is Balancer.POWER_OF_TWO:
+            pairs = gen.integers(n_servers, size=(n_requests, 2)).tolist()
         rates = self._rates
         free_at = self._free_at
         qlen = self._qlen
         latencies = np.empty(n_requests)
-        busy = [0.0]  # total service time, closed over by callbacks
-        rr = [0]
+        busy = 0.0
+        rr = 0
 
         def complete(s: Simulator, server: int) -> None:
             qlen[server] -= 1
-            completed.inc()
 
         def arrive(s: Simulator, i: int) -> None:
+            nonlocal busy, rr
             t = s.now
-            arrived.inc()
-            if cfg.balancer is Balancer.RANDOM:
-                srv = int(gen.integers(cfg.n_servers))
-            elif cfg.balancer is Balancer.ROUND_ROBIN:
-                srv = rr[0]
-                rr[0] = (rr[0] + 1) % cfg.n_servers
-            elif cfg.balancer is Balancer.JSQ:
-                srv = int(np.argmin(qlen))
+            if balancer is Balancer.RANDOM:
+                srv = choices[i]
+            elif balancer is Balancer.ROUND_ROBIN:
+                srv = rr
+                rr = (rr + 1) % n_servers
+            elif balancer is Balancer.JSQ:
+                srv = qlen.index(min(qlen))
             else:  # POWER_OF_TWO
-                a, b = gen.integers(cfg.n_servers, size=2)
-                srv = int(a if qlen[a] <= qlen[b] else b)
-            service = gen.exponential(1.0 / rates[srv])
-            start = max(t, free_at[srv])
-            finish = start + service
+                a, b = pairs[i]
+                srv = a if qlen[a] <= qlen[b] else b
+            service = service_units[i] / rates[srv]
+            f = free_at[srv]
+            finish = (t if t > f else f) + service
             free_at[srv] = finish
             qlen[srv] += 1
             # Completion scheduled before the next arrival so a tie
             # (completion stamped exactly at an arrival) resolves
             # completion-first, matching the FCFS accounting.
-            s.schedule_at(finish, complete, srv)
+            s.schedule_at(finish, complete, srv, cancellable=False)
             latencies[i] = finish - t
-            lat_hist.observe(finish - t)
-            busy[0] += service
+            busy += service
             if i + 1 < n_requests:
-                s.schedule_at(arrivals[i + 1], arrive, i + 1)
+                s.schedule_at(
+                    arrival_times[i + 1], arrive, i + 1, cancellable=False
+                )
 
-        kernel.schedule_at(arrivals[0], arrive, 0)
+        kernel.schedule_at(arrival_times[0], arrive, 0, cancellable=False)
         kernel.run()
+        # Every arrival runs and every request completes (the kernel
+        # drains), so the counters batch to exact totals and the
+        # latency histogram sees the same values in the same order.
+        arrived.inc(n_requests)
+        completed.inc(n_requests)
+        lat_hist.observe_many(latencies)
         self.finish()
 
-        makespan = max(float(free_at.max()), float(arrivals[-1]))
-        utilization = busy[0] / (makespan * cfg.n_servers)
+        makespan = max(max(free_at), float(arrivals[-1]))
+        utilization = busy / (makespan * cfg.n_servers)
         stats.gauge("utilization").set(utilization)
         return ClusterResult(latencies=latencies, utilization=utilization)
 

@@ -18,10 +18,42 @@ total writes absorbed before any frame exceeds the endurance budget.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 import numpy as np
 
 from ..core.rng import RngLike, resolve_rng
+
+
+def _apply_frames(
+    frames: np.ndarray, wear: np.ndarray, endurance: float
+) -> tuple[int, bool]:
+    """Apply a batch of frame writes to ``wear``, stopping exactly at the
+    first write that pushes any frame to ``>= endurance``.
+
+    Returns ``(n_applied, crossed)``; ``wear`` is updated in place with
+    precisely the applied prefix, matching a scalar write-by-write loop.
+    """
+    if frames.size == 0:
+        return 0, False
+    counts = np.bincount(frames, minlength=wear.size)
+    crossing = np.nonzero((counts > 0) & (wear + counts >= endurance))[0]
+    if crossing.size == 0:
+        wear += counts
+        return frames.size, False
+    # Exact first-crossing write: frame f crosses on its need_f-th
+    # occurrence, where need_f writes close the gap to the endurance.
+    k_stop = frames.size
+    for f in crossing:
+        need = int(math.ceil(endurance - wear[f]))
+        if need < 1:
+            need = 1
+        k = int(np.nonzero(frames == f)[0][need - 1])
+        if k < k_stop:
+            k_stop = k
+    applied = k_stop + 1
+    wear += np.bincount(frames[:applied], minlength=wear.size)
+    return applied, True
 
 
 class WearLeveler(ABC):
@@ -39,6 +71,25 @@ class WearLeveler(ABC):
     def on_write(self, logical: int) -> int:
         """Record a write; returns the physical frame written."""
         return self.physical(logical)
+
+    def write_stream(
+        self, logicals: np.ndarray, wear: np.ndarray, endurance: float
+    ) -> tuple[int, bool]:
+        """Apply a batch of logical writes against a ``wear`` array.
+
+        Equivalent to calling :meth:`on_write` per element and stopping
+        at the first write that brings a frame to ``>= endurance``;
+        returns ``(n_applied, crossed)``.  Subclasses override this with
+        vectorized closed forms; this base version is the scalar loop.
+        """
+        applied = 0
+        for logical in logicals:
+            frame = self.on_write(int(logical))
+            wear[frame] += 1
+            applied += 1
+            if wear[frame] >= endurance:
+                return applied, True
+        return applied, False
 
     @property
     def extra_frames(self) -> int:
@@ -58,6 +109,16 @@ class NoWearLeveling(WearLeveler):
         if not 0 <= logical < self.n_lines:
             raise ValueError("logical line out of range")
         return logical
+
+    def write_stream(
+        self, logicals: np.ndarray, wear: np.ndarray, endurance: float
+    ) -> tuple[int, bool]:
+        frames = np.asarray(logicals, dtype=np.int64)
+        if frames.size and (
+            int(frames.min()) < 0 or int(frames.max()) >= self.n_lines
+        ):
+            raise ValueError("logical line out of range")
+        return _apply_frames(frames, wear, endurance)
 
 
 class StartGapWearLeveling(WearLeveler):
@@ -115,6 +176,50 @@ class StartGapWearLeveling(WearLeveler):
         else:
             self._gap -= 1
 
+    def write_stream(
+        self, logicals: np.ndarray, wear: np.ndarray, endurance: float
+    ) -> tuple[int, bool]:
+        """Closed-form batched Start-Gap.
+
+        Write ``i`` of the batch (0-based) sees the state after
+        ``m_i = (c0 + i) // interval`` gap movements, where ``c0`` is
+        the pre-batch write counter.  The gap walks ``gap0, gap0-1, …,
+        0, n, n-1, …`` so ``gap_i = (gap0 - m_i) mod (n+1)``, and Start
+        advances once per full sweep:
+        ``start_i = (start0 + (m_i + n - gap0) // (n+1)) mod n``.
+        Frame mapping and post-batch state match the scalar
+        :meth:`on_write` loop exactly, including a gap move triggered by
+        the endurance-crossing write itself.
+        """
+        logicals = np.asarray(logicals, dtype=np.int64)
+        n = self.n_lines
+        if logicals.size and (
+            int(logicals.min()) < 0 or int(logicals.max()) >= n
+        ):
+            raise ValueError("logical line out of range")
+        if logicals.size == 0:
+            return 0, False
+        interval = self.gap_interval
+        c0 = self._writes_since_move
+        gap0 = self._gap
+        start0 = self._start
+        moves = (c0 + np.arange(logicals.size, dtype=np.int64)) // interval
+        gap = (gap0 - moves) % (n + 1)
+        wraps = (moves + (n - gap0)) // (n + 1)
+        start = (start0 + wraps) % n
+        pos = (logicals + start) % n
+        frames = pos + (pos >= gap)
+        applied, crossed = _apply_frames(frames, wear, endurance)
+        # Advance state by exactly the applied prefix.
+        total_moves = (c0 + applied) // interval
+        self._writes_since_move = (c0 + applied) % interval
+        self._migrations += int(total_moves)
+        self._gap = int((gap0 - total_moves) % (n + 1))
+        self._start = int(
+            (start0 + (total_moves + (n - gap0)) // (n + 1)) % n
+        )
+        return applied, crossed
+
 
 class TableWearLeveling(WearLeveler):
     """Idealized table-driven leveling: every ``interval`` writes, swap
@@ -145,17 +250,56 @@ class TableWearLeveling(WearLeveler):
         self._since_swap += 1
         if self._since_swap >= self.interval:
             self._since_swap = 0
-            hot_frame = int(np.argmax(self._frame_writes))
-            cold_frame = int(np.argmin(self._frame_writes))
-            if hot_frame != cold_frame:
-                hot_logical = int(np.nonzero(self._map == hot_frame)[0][0])
-                cold_logical = int(np.nonzero(self._map == cold_frame)[0][0])
-                self._map[hot_logical], self._map[cold_logical] = (
-                    cold_frame,
-                    hot_frame,
-                )
-                self._migrations += 2
+            self._maybe_swap()
         return frame
+
+    def _maybe_swap(self) -> None:
+        hot_frame = int(np.argmax(self._frame_writes))
+        cold_frame = int(np.argmin(self._frame_writes))
+        if hot_frame != cold_frame:
+            hot_logical = int(np.nonzero(self._map == hot_frame)[0][0])
+            cold_logical = int(np.nonzero(self._map == cold_frame)[0][0])
+            self._map[hot_logical], self._map[cold_logical] = (
+                cold_frame,
+                hot_frame,
+            )
+            self._migrations += 2
+
+    def write_stream(
+        self, logicals: np.ndarray, wear: np.ndarray, endurance: float
+    ) -> tuple[int, bool]:
+        """Batched table leveling: the map is constant between swaps, so
+        the stream is applied one inter-swap segment at a time.
+
+        A swap triggered by the endurance-crossing write still executes
+        (the scalar ``on_write`` swaps before the caller sees the wear),
+        so state matches the scalar loop exactly.
+        """
+        logicals = np.asarray(logicals, dtype=np.int64)
+        n = self.n_lines
+        if logicals.size and (
+            int(logicals.min()) < 0 or int(logicals.max()) >= n
+        ):
+            raise ValueError("logical line out of range")
+        applied_total = 0
+        pos = 0
+        size = logicals.size
+        while pos < size:
+            seg_len = min(self.interval - self._since_swap, size - pos)
+            frames = self._map[logicals[pos:pos + seg_len]]
+            applied, crossed = _apply_frames(frames, wear, endurance)
+            self._frame_writes += np.bincount(
+                frames[:applied], minlength=n
+            )
+            self._since_swap += applied
+            applied_total += applied
+            if self._since_swap >= self.interval:
+                self._since_swap = 0
+                self._maybe_swap()
+            if crossed:
+                return applied_total, True
+            pos += seg_len
+        return applied_total, False
 
 
 def lifetime_writes(
@@ -195,12 +339,10 @@ def lifetime_writes(
             gen.integers(0, n_hot, size=size),
             gen.integers(0, n, size=size),
         )
-        for logical in logicals:
-            frame = leveler.on_write(int(logical))
-            wear[frame] += 1
-            total += 1
-            if wear[frame] >= endurance:
-                return _lifetime_summary(total, wear, endurance, frames, leveler)
+        applied, crossed = leveler.write_stream(logicals, wear, endurance)
+        total += applied
+        if crossed:
+            break
     return _lifetime_summary(total, wear, endurance, frames, leveler)
 
 

@@ -164,3 +164,132 @@ class TestPeriodicSource:
         src = PeriodicSource(period=0.0, callback=record([]))
         with pytest.raises(ValueError):
             src.start(sim)
+
+
+class TestFastPaths:
+    """The PR3 hot-path APIs: cancellable=False and schedule_many."""
+
+    def test_non_cancellable_returns_no_token(self):
+        sim = Simulator()
+        log = []
+        assert sim.schedule(1.0, record(log), "a", cancellable=False) is None
+        assert sim.schedule_at(2.0, record(log), "b", cancellable=False) is None
+        sim.run()
+        assert [p for _, p in log] == ["a", "b"]
+
+    def test_schedule_many_matches_loop_order(self):
+        times = [0.0, 1.0, 1.0, 3.0, 7.5]
+        loop_log, many_log = [], []
+        sim = Simulator()
+        for i, t in enumerate(times):
+            sim.schedule_at(t, record(loop_log), i, cancellable=False)
+        sim.run()
+        sim2 = Simulator()
+        assert sim2.schedule_many(times, record(many_log), payloads=range(5)) == 5
+        sim2.run()
+        assert many_log == loop_log
+
+    def test_schedule_many_out_of_order_batch(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_many([5.0, 1.0, 3.0, 0.5], record(log), payloads="abcd")
+        sim.run()
+        assert [p for _, p in log] == ["d", "b", "c", "a"]
+        assert [t for t, _ in log] == [0.5, 1.0, 3.0, 5.0]
+
+    def test_schedule_many_interleaves_with_singles(self):
+        # Batch into the lane, singles into the heap and lane: the merge
+        # must still fire in global (time, insertion) order.
+        sim = Simulator()
+        log = []
+        sim.schedule_many([2.0, 4.0, 6.0], record(log), payloads="ABC")
+        sim.schedule_at(3.0, record(log), "x")   # behind lane tail -> heap
+        sim.schedule_at(6.0, record(log), "y")   # tie: after batch's C
+        sim.schedule_at(1.0, record(log), "z")
+        sim.run()
+        assert [p for _, p in log] == ["z", "A", "x", "B", "C", "y"]
+
+    def test_schedule_many_rejects_past_and_mismatch(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, record([]), cancellable=False)
+        sim.run()
+        assert sim.now == 1.0
+        with pytest.raises(ValueError):
+            sim.schedule_many([0.5], record([]))
+        with pytest.raises(ValueError):
+            sim.schedule_many([2.0, 3.0], record([]), payloads=[1])
+
+    def test_schedule_many_empty(self):
+        sim = Simulator()
+        assert sim.schedule_many([], record([])) == 0
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_callbacks_can_bulk_schedule(self):
+        sim = Simulator()
+        log = []
+
+        def fanout(s, _):
+            s.schedule_many([s.now + 1.0, s.now + 2.0], record(log), payloads="ab")
+
+        sim.schedule(1.0, fanout)
+        sim.run()
+        assert [(t, p) for t, p in log] == [(2.0, "a"), (3.0, "b")]
+
+
+class TestPendingCounts:
+    """__len__ over-counts cancelled entries by design; pending_live is exact."""
+
+    def test_len_counts_cancelled_until_purged(self):
+        sim = Simulator()
+        tok = sim.schedule(1.0, record([]))
+        sim.schedule(2.0, record([]))
+        tok.cancel()
+        # The cancelled entry is still queued (lazy cancellation) ...
+        assert len(sim) == 2
+        assert sim.pending_live() == 1
+        # ... and purging it at the head reconciles the two counts.
+        assert sim.peek_time() == 2.0
+        assert len(sim) == 1
+        assert sim.pending_live() == 1
+
+    def test_cancelled_head_in_heap_and_lane(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, record([]), cancellable=False)
+        tok_heap = sim.schedule_at(1.0, record([]))  # behind tail -> heap
+        tok_lane = sim.schedule_at(5.0, record([]))
+        tok_heap.cancel()
+        tok_lane.cancel()
+        assert len(sim) == 3
+        assert sim.pending_live() == 1
+        stats = sim.run()
+        assert stats.events_executed == 1
+        assert stats.events_cancelled == 2
+        assert len(sim) == 0 and sim.pending_live() == 0
+
+
+class TestRunGuards:
+    def test_peek_and_step_rejected_mid_run(self):
+        sim = Simulator()
+        errors = []
+
+        def probe_kernel(s, _):
+            for fn in (s.peek_time, s.step):
+                try:
+                    fn()
+                except RuntimeError:
+                    errors.append(fn.__name__)
+
+        sim.schedule(1.0, probe_kernel)
+        sim.run()
+        assert errors == ["peek_time", "step"]
+
+    def test_step_drains_mixed_lanes(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_many([2.0, 4.0], record(log), payloads="AB")
+        sim.schedule_at(3.0, record(log), "x")
+        while sim.step():
+            pass
+        assert [p for _, p in log] == ["A", "x", "B"]
+        assert sim.now == 4.0

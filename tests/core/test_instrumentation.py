@@ -9,6 +9,7 @@ accounting, and run(until=..., max_events=...) across back-to-back
 runs.
 """
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -327,3 +328,60 @@ class TestKernelProperties:
         two.run()  # drain the rest
         assert log_two == log_one
         assert two.stats.events_executed == one.stats.events_executed
+
+
+class TestObserveMany:
+    """The vectorized histogram path must match scalar observe exactly."""
+
+    def _pairs(self, capacity, values):
+        # Same name => same xorshift seed, so replacement decisions of
+        # the two paths are comparable element for element.
+        scalar = Histogram("h", capacity=capacity)
+        batched = Histogram("h", capacity=capacity)
+        for v in values:
+            scalar.observe(float(v))
+        batched.observe_many(np.asarray(values, dtype=float))
+        return scalar, batched
+
+    def test_matches_scalar_below_capacity(self):
+        rng = np.random.default_rng(11)
+        values = rng.exponential(2.0, 100)
+        scalar, batched = self._pairs(4096, values)
+        assert batched.count == scalar.count
+        assert batched.min == scalar.min
+        assert batched.max == scalar.max
+        assert batched._reservoir == scalar._reservoir
+        assert batched.total == pytest.approx(scalar.total, rel=1e-12)
+
+    def test_matches_scalar_through_reservoir_replacement(self):
+        # Past capacity the xorshift replacement stream must stay
+        # identical, element for element, to the scalar path.
+        rng = np.random.default_rng(12)
+        values = rng.normal(10.0, 3.0, 500)
+        scalar, batched = self._pairs(64, values)
+        assert batched.count == scalar.count
+        assert batched._reservoir == scalar._reservoir
+        assert batched.quantile(0.5) == scalar.quantile(0.5)
+
+    def test_batches_compose_with_scalar_calls(self):
+        rng = np.random.default_rng(13)
+        values = rng.random(300)
+        scalar = Histogram("h", capacity=32)
+        mixed = Histogram("h", capacity=32)
+        for v in values:
+            scalar.observe(float(v))
+        for v in values[:50]:
+            mixed.observe(float(v))
+        mixed.observe_many(values[50:250])
+        mixed.observe_many(values[250:])
+        assert mixed.count == scalar.count
+        assert mixed._reservoir == scalar._reservoir
+
+    def test_empty_batch_is_noop(self):
+        h = Histogram("h")
+        h.observe_many(np.array([]))
+        assert h.count == 0
+
+    def test_null_histogram_accepts_batches(self):
+        null = NULL_REGISTRY.histogram("x")
+        null.observe_many(np.arange(5.0))  # must not raise or record

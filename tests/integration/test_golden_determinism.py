@@ -1,0 +1,157 @@
+"""Golden determinism suite (PR3).
+
+The PR3 kernel overhaul (two-lane queue, token-free scheduling,
+``schedule_many``) and the vectorized model fast paths are pure
+performance work: for a fixed seed, every simulator must execute the
+**byte-identical event stream** it executed before.  These tests pin
+that down by hashing the executed stream — ``(repr(time), seq,
+callback.__qualname__)`` per event, observed through a kernel probe —
+plus the kernel's :class:`SimStats`, against recorded goldens.
+
+If a change to the kernel or a model alters any golden here, it changed
+observable scheduling behaviour, not just speed; that is either a bug
+or a semantic change that must be called out (and these constants
+re-recorded) explicitly.
+
+The hashes deliberately cover only the kernel-visible stream (times,
+sequence numbers, callback identities) and SimStats — not histogram or
+reservoir internals, which may legitimately differ in iteration detail.
+"""
+
+import hashlib
+
+from repro.core.events import Simulator
+from repro.datacenter.cluster import Balancer, ClusterConfig, ClusterSimulator
+from repro.datacenter.hedging import kernel_hedged_latencies
+from repro.datacenter.latency import lognormal_latency
+from repro.interconnect.noc import MeshNoC, NoCConfig
+from repro.interconnect.traffic import make_pattern, poisson_injection_times
+from repro.sensor.harvest import (
+    Harvester,
+    IntermittentConfig,
+    simulate_intermittent,
+)
+
+
+def _probed_sim() -> tuple[Simulator, "hashlib._Hash"]:
+    """A simulator whose executed event stream feeds a sha256."""
+    sim = Simulator()
+    digest = hashlib.sha256()
+
+    def probe(s: Simulator, event) -> None:
+        name = getattr(event.callback, "__qualname__", repr(event.callback))
+        digest.update(f"{event.time!r}|{event.seq}|{name}\n".encode())
+
+    sim.add_probe(probe)
+    return sim, digest
+
+
+def _run_cluster() -> tuple[str, int, int, float]:
+    sim, digest = _probed_sim()
+    cluster = ClusterSimulator(
+        ClusterConfig(
+            n_servers=8,
+            balancer=Balancer.JSQ,
+            slow_server_fraction=0.25,
+            slow_factor=3.0,
+        )
+    )
+    cluster.run(arrival_rate=6.0, n_requests=400, rng=123, sim=sim)
+    s = sim.stats
+    return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
+
+
+def _run_hedging() -> tuple[str, int, int, float]:
+    sim, digest = _probed_sim()
+    dist = lognormal_latency(median_ms=10.0, sigma=0.8)
+    kernel_hedged_latencies(dist, 300, trigger_quantile=0.9, rng=7, sim=sim)
+    s = sim.stats
+    return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
+
+
+def _run_noc() -> tuple[str, int, int, float]:
+    sim, digest = _probed_sim()
+    cfg = NoCConfig(width=4, height=4)
+    pairs = make_pattern("uniform", 300, cfg.width, cfg.height, rng=5)
+    times = poisson_injection_times(300, rate_per_cycle=0.8, rng=5)
+    MeshNoC(cfg).run(pairs, injection_times=times, sim=sim)
+    s = sim.stats
+    return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
+
+
+def _run_harvest() -> tuple[str, int, int, float]:
+    sim, digest = _probed_sim()
+    simulate_intermittent(
+        Harvester(),
+        IntermittentConfig(),
+        checkpoint_interval_quanta=10,
+        n_intervals=2_000,
+        rng=3,
+        sim=sim,
+    )
+    s = sim.stats
+    return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
+
+
+GOLDENS = {
+    "cluster": (
+        "ce2ead1222bef72dfa908b509f620d1e44f080b1cf987f4764efabed28188c4c",
+        800,
+        0,
+        66.6637403322754,
+    ),
+    "hedging": (
+        "11bbfc192507de5916e35458abef532afe7910eb2fe34f9998a47802fa81ab6c",
+        619,
+        300,
+        8345.870129856996,
+    ),
+    "noc": (
+        "2c4b7b9a76d9571785843293efa2f11e19553e1ac9fc098ecab5e751080100ab",
+        1102,
+        0,
+        379.0,
+    ),
+    "harvest": (
+        "8eacc8b8ba8b493a4b75e03c6b1c2f93334e48e580803565ecc51cb1892fc9e0",
+        2000,
+        0,
+        19.995,
+    ),
+}
+
+_RUNNERS = {
+    "cluster": _run_cluster,
+    "hedging": _run_hedging,
+    "noc": _run_noc,
+    "harvest": _run_harvest,
+}
+
+
+def test_cluster_stream_matches_golden():
+    assert _run_cluster() == GOLDENS["cluster"]
+
+
+def test_hedging_stream_matches_golden():
+    assert _run_hedging() == GOLDENS["hedging"]
+
+
+def test_noc_stream_matches_golden():
+    assert _run_noc() == GOLDENS["noc"]
+
+
+def test_harvest_stream_matches_golden():
+    assert _run_harvest() == GOLDENS["harvest"]
+
+
+def test_streams_reproducible_run_to_run():
+    """Same seed, fresh kernel => identical stream, independent of goldens."""
+    for name, runner in _RUNNERS.items():
+        assert runner() == runner(), f"{name} stream not reproducible"
+
+
+if __name__ == "__main__":
+    # Regeneration helper:
+    #   PYTHONPATH=src python tests/integration/test_golden_determinism.py
+    for name, runner in _RUNNERS.items():
+        print(f'    "{name}": {runner()!r},')

@@ -204,3 +204,65 @@ class TestWearLeveling:
             lifetime_writes(NoWearLeveling(8), endurance=0.0)
         with pytest.raises(ValueError):
             lifetime_writes(NoWearLeveling(8), endurance=10, hot_fraction=2.0)
+
+
+class TestWriteStreamEquivalence:
+    """The vectorized write_stream closed forms must match the scalar
+    on_write loop exactly — applied counts, crossing flag, wear arrays,
+    and every piece of internal remapping state."""
+
+    @staticmethod
+    def _scalar_reference(leveler, logicals, wear, endurance):
+        applied = 0
+        for logical in logicals:
+            frame = leveler.on_write(int(logical))
+            wear[frame] += 1
+            applied += 1
+            if wear[frame] >= endurance:
+                return applied, True
+        return applied, False
+
+    def _assert_equivalent(self, make_leveler, n_lines, seed):
+        rng = np.random.default_rng(seed)
+        fast = make_leveler()
+        ref = make_leveler()
+        n_frames = n_lines + fast.extra_frames
+        wear_fast = np.zeros(n_frames)
+        wear_ref = np.zeros(n_frames)
+        endurance = float(rng.integers(50, 400))
+        for _ in range(8):
+            batch = rng.integers(0, n_lines, size=int(rng.integers(1, 600)))
+            got = fast.write_stream(batch, wear_fast, endurance)
+            want = self._scalar_reference(ref, batch, wear_ref, endurance)
+            assert got == want
+            np.testing.assert_array_equal(wear_fast, wear_ref)
+            assert fast.migration_writes == ref.migration_writes
+            for lg in range(n_lines):
+                assert fast.physical(lg) == ref.physical(lg)
+            if got[1]:
+                break
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_no_leveling(self, seed):
+        self._assert_equivalent(lambda: NoWearLeveling(64), 64, seed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_start_gap(self, seed):
+        self._assert_equivalent(
+            lambda: StartGapWearLeveling(64, gap_interval=7), 64, seed
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_table(self, seed):
+        self._assert_equivalent(
+            lambda: TableWearLeveling(64, interval=50), 64, seed
+        )
+
+    def test_crossing_stops_mid_batch(self):
+        lev = NoWearLeveling(4)
+        wear = np.zeros(4)
+        applied, crossed = lev.write_stream(
+            np.array([0, 1, 0, 0, 2]), wear, endurance=2.0
+        )
+        assert (applied, crossed) == (3, True)
+        np.testing.assert_array_equal(wear, [2.0, 1.0, 0.0, 0.0])
