@@ -217,3 +217,153 @@ def measure_experiments(
         experiment = REGISTRY.get(eid)
         walls[eid] = best_of(experiment.execute, repeats=repeats, warmup=1)
     return walls
+
+
+# ---------------------------------------------------------------------------
+# Resilience measurements (PR4): checkpoint overhead, resume-vs-restart
+# payoff, and watchdog hang-detection latency.  Published via
+# ``benchmarks/resilience_smoke.py`` into BENCH_PR4.json.
+# ---------------------------------------------------------------------------
+
+DEFAULT_CHECKPOINTS = 4
+
+
+def measure_checkpoint_overhead(
+    repeats: int = DEFAULT_REPEATS, n_checkpoints: int = DEFAULT_CHECKPOINTS
+) -> Dict[str, float]:
+    """Bare-drain cost of an armed CheckpointManager, as a fraction.
+
+    Times the N_EVENTS bare drain with and without a
+    ``CheckpointManager`` taking ``n_checkpoints`` evenly spaced
+    mid-run snapshots (keep=1, the resume-from-latest configuration).
+    A mid-run snapshot is O(pending events), so the cadence — not the
+    mechanism — sets the cost; this is the honest price of "you can
+    always resume from at most 1/n of the run ago".
+    """
+    from repro.resilience import CheckpointManager
+
+    period = float(N_EVENTS) / (n_checkpoints + 1)
+
+    def plain() -> float:
+        sim = build_bare()
+        start = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - start
+
+    def checkpointed() -> float:
+        sim = build_bare()
+        manager = CheckpointManager(period=period, keep=1)
+        manager.arm(sim)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        assert manager.taken >= n_checkpoints
+        return elapsed
+
+    plain()  # warmup
+    base = statistics.median([plain() for _ in range(repeats)])
+    with_ckpt = statistics.median([checkpointed() for _ in range(repeats)])
+    return {
+        "bare_drain_s": base,
+        "checkpointed_drain_s": with_ckpt,
+        "n_checkpoints": float(n_checkpoints),
+        "overhead_fraction": (with_ckpt - base) / base,
+    }
+
+
+def measure_resume_vs_restart(
+    repeats: int = DEFAULT_REPEATS,
+    crash_fraction: float = 0.7,
+    n_checkpoints: int = DEFAULT_CHECKPOINTS,
+) -> Dict[str, float]:
+    """Wall time to finish after a crash: resume vs restart-from-zero.
+
+    A run crashes ``crash_fraction`` of the way through the drain.
+    *Restart* pays the full drain again; *resume* restores the last
+    periodic checkpoint and replays only the tail.  ``time_saved_
+    fraction`` is what checkpointing buys back.
+    """
+    from repro.resilience import (
+        CheckpointManager, SimulatedCrash, schedule_crash,
+    )
+
+    period = float(N_EVENTS) / (n_checkpoints + 1)
+    crash_at = crash_fraction * N_EVENTS
+
+    def full_run() -> float:
+        sim = build_bare()
+        start = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - start
+
+    def resumed_tail() -> float:
+        sim = build_bare()
+        manager = CheckpointManager(period=period, keep=1)
+        manager.arm(sim)
+        token = schedule_crash(sim, at=crash_at)
+        try:
+            sim.run()
+        except SimulatedCrash:
+            pass
+        else:  # pragma: no cover - crash must fire
+            raise AssertionError("crash event did not fire")
+        sim.restore(manager.latest)
+        token.cancel()
+        start = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - start
+
+    full_run()  # warmup
+    restart = statistics.median([full_run() for _ in range(repeats)])
+    resume = statistics.median([resumed_tail() for _ in range(repeats)])
+    return {
+        "restart_s": restart,
+        "resume_s": resume,
+        "crash_fraction": crash_fraction,
+        "time_saved_fraction": (restart - resume) / restart,
+    }
+
+
+def _beat_then_hang_job():  # pragma: no cover - runs in a worker process
+    from repro.exec.heartbeat import heartbeat
+
+    heartbeat(1.0)
+    time.sleep(600)
+
+
+def measure_hang_detection(
+    wall_timeout_s: float = 40.0, hang_timeout_s: float = 0.5
+) -> Dict[str, float]:
+    """Watchdog latency: wall seconds to classify a silent worker hung.
+
+    The worker heartbeats once and goes silent; without the watchdog it
+    would burn the full ``wall_timeout_s``.  ``detection_fraction_of_
+    timeout`` is the PR4 acceptance number (must be well under 0.25).
+    """
+    from repro.exec import Job, ProcessPoolRunner
+    from repro.exec.runners import ATTEMPT_HUNG
+
+    runner = ProcessPoolRunner(1)
+    try:
+        start = time.perf_counter()
+        runner.submit(
+            Job(id="hang-probe", fn=_beat_then_hang_job),
+            None,
+            wall_timeout_s,
+            hang_timeout_s,
+        )
+        attempts = []
+        while not attempts and time.perf_counter() - start < wall_timeout_s:
+            attempts.extend(runner.poll())
+            time.sleep(0.005)
+        detect_s = time.perf_counter() - start
+        status = attempts[0].status if attempts else "undetected"
+    finally:
+        runner.shutdown()
+    assert status == ATTEMPT_HUNG, f"expected hung, got {status}"
+    return {
+        "wall_timeout_s": wall_timeout_s,
+        "hang_timeout_s": hang_timeout_s,
+        "detection_s": detect_s,
+        "detection_fraction_of_timeout": detect_s / wall_timeout_s,
+    }

@@ -1,0 +1,153 @@
+"""Resilience benchmark smoke: checkpoint overhead, resume value, hang detection.
+
+Measures the three PR4 acceptance criteria and gates them:
+
+* periodic checkpointing adds <= 5% overhead to a bare 200k-event drain;
+* resuming from the last checkpoint after a 70%-point crash beats a
+  cold restart (``time_saved_fraction > 0``);
+* the watchdog classifies a beat-then-silent worker as hung in < 25%
+  of the wall-clock timeout.
+
+Writes the measurements as ``BENCH_PR4.json`` (same meta style as
+``BENCH_PR3.json``); with ``--baseline`` it instead gates the fresh run
+against a committed baseline's criteria so CI catches regressions.
+
+Usage::
+
+    python benchmarks/resilience_smoke.py --output BENCH_PR4.json
+    python benchmarks/resilience_smoke.py --baseline BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+from perf_harness import (  # noqa: E402
+    N_EVENTS,
+    measure_checkpoint_overhead,
+    measure_hang_detection,
+    measure_resume_vs_restart,
+)
+
+#: Acceptance thresholds (ISSUE.md, PR4).
+MAX_OVERHEAD_FRACTION = 0.05
+MIN_TIME_SAVED_FRACTION = 0.0
+MAX_DETECTION_FRACTION = 0.25
+
+
+def run_all(repeats: int) -> dict:
+    return {
+        "checkpoint_overhead": measure_checkpoint_overhead(repeats=repeats),
+        "resume_vs_restart": measure_resume_vs_restart(repeats=repeats),
+        "hang_detection": measure_hang_detection(),
+    }
+
+
+def gate(results: dict) -> list[str]:
+    """Return a list of human-readable criterion failures (empty = pass)."""
+    failures = []
+    overhead = results["checkpoint_overhead"]["overhead_fraction"]
+    if overhead > MAX_OVERHEAD_FRACTION:
+        failures.append(
+            f"checkpoint overhead {overhead:.1%} exceeds "
+            f"{MAX_OVERHEAD_FRACTION:.0%} of bare drain"
+        )
+    saved = results["resume_vs_restart"]["time_saved_fraction"]
+    if saved <= MIN_TIME_SAVED_FRACTION:
+        failures.append(
+            f"resume saved {saved:.1%} vs restart (must be positive)"
+        )
+    detect = results["hang_detection"]["detection_fraction_of_timeout"]
+    if detect >= MAX_DETECTION_FRACTION:
+        failures.append(
+            f"hang detected at {detect:.1%} of wall timeout "
+            f"(must be < {MAX_DETECTION_FRACTION:.0%})"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write results JSON here (e.g. BENCH_PR4.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="gate this run against a committed baseline "
+                             "(criteria are absolute, so the baseline is "
+                             "informational context in the failure report)")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args()
+
+    results = run_all(args.repeats)
+
+    ckpt = results["checkpoint_overhead"]
+    print("checkpoint overhead on bare drain:")
+    print(f"  bare          {ckpt['bare_drain_s']*1e3:8.2f} ms")
+    print(f"  checkpointed  {ckpt['checkpointed_drain_s']*1e3:8.2f} ms"
+          f"  ({ckpt['n_checkpoints']:g} checkpoints)")
+    print(f"  overhead      {ckpt['overhead_fraction']:8.1%}")
+    print("resume vs restart after 70%-point crash:")
+    print(f"  restart       {results['resume_vs_restart']['restart_s']*1e3:8.2f} ms")
+    print(f"  resume        {results['resume_vs_restart']['resume_s']*1e3:8.2f} ms")
+    print(f"  time saved    {results['resume_vs_restart']['time_saved_fraction']:8.1%}")
+    print("watchdog hang detection:")
+    print(f"  detected in   {results['hang_detection']['detection_s']:8.2f} s"
+          f"  ({results['hang_detection']['detection_fraction_of_timeout']:.1%}"
+          f" of the {results['hang_detection']['wall_timeout_s']:g}s timeout)")
+
+    if args.output:
+        payload = {
+            "meta": {
+                "harness": "benchmarks/resilience_smoke.py",
+                "description": (
+                    "PR4 resilience criteria: periodic checkpointing must "
+                    "cost <=5% on a bare drain, crash-resume must beat a "
+                    "cold restart, and the watchdog must classify a hung "
+                    "worker in <25% of the wall timeout.  CI re-measures "
+                    "and gates each run against these absolute thresholds."
+                ),
+                "n_events": N_EVENTS,
+                "criteria": {
+                    "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+                    "min_time_saved_fraction": MIN_TIME_SAVED_FRACTION,
+                    "max_detection_fraction": MAX_DETECTION_FRACTION,
+                },
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "current": results,
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, allow_nan=False)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            base = json.load(fh)["current"]
+        print(
+            "baseline overhead "
+            f"{base['checkpoint_overhead']['overhead_fraction']:.1%}, "
+            f"saved {base['resume_vs_restart']['time_saved_fraction']:.1%}, "
+            "detection "
+            f"{base['hang_detection']['detection_fraction_of_timeout']:.1%}"
+        )
+
+    failures = gate(results)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("resilience gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,11 @@ Experiments run through :mod:`repro.exec`: a raising, hanging, or
 crashing experiment becomes a FAILED/TIMEOUT row and the sweep still
 completes.  With ``--jobs N > 1`` each experiment runs in its own
 worker process (required for ``--timeout`` to interrupt a hung one).
+
+Subcommands::
+
+    python -m repro resilience ...     # fleet-wide fault campaign
+                                       # (see repro.resilience.campaign)
 """
 
 from __future__ import annotations
@@ -30,6 +35,11 @@ def _expand_ids(tokens: list[str]) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "resilience":
+        from .resilience.campaign import main as resilience_main
+
+        return resilience_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -45,8 +45,12 @@ from .energy import (
     energy_delay_squared,
 )
 from .events import (
+    SNAPSHOT_VERSION,
     CancelToken,
+    Checkpointable,
     Event,
+    FunctionCheckpoint,
+    KernelSnapshot,
     PeriodicSource,
     SimModel,
     SimStats,
@@ -67,6 +71,7 @@ from .rng import DEFAULT_SEED, resolve_rng, spawn_rngs, stream_for
 
 __all__ = [
     "CancelToken",
+    "Checkpointable",
     "ContinuousParam",
     "Counter",
     "DEFAULT_SEED",
@@ -77,12 +82,15 @@ __all__ = [
     "EnergyLedger",
     "Event",
     "Explorer",
+    "FunctionCheckpoint",
     "Gauge",
     "Histogram",
+    "KernelSnapshot",
     "Metrics",
     "MetricsRegistry",
     "Objective",
     "PeriodicSource",
+    "SNAPSHOT_VERSION",
     "SimModel",
     "SimStats",
     "Simulator",

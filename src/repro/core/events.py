@@ -41,6 +41,13 @@ points:
 * **Fault injection**: because all simulators share the one event loop,
   :class:`repro.crosscut.faults.KernelFaultInjector` can drive faults
   into any model through the same scheduling interface.
+* **Checkpoint/restart**: :meth:`Simulator.snapshot` captures the clock,
+  both event lanes, the sequence counter, cancellation flags, exact
+  stats, and the state of every registered :class:`Checkpointable`;
+  :meth:`Simulator.restore` rolls all of it back, and a resumed run
+  replays the identical event stream.  Snapshots cost nothing on the
+  per-event hot path — mid-run accounting is derived structurally from
+  the sequence counter (see :meth:`Simulator.snapshot`).
 
 Models plug in through the :class:`SimModel` protocol — ``bind(sim)``,
 ``reset()``, ``finish()`` — so generic machinery (fault injectors,
@@ -52,13 +59,19 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import weakref
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Protocol, runtime_checkable
+from typing import Any, Callable, List, Optional, Protocol, Tuple, runtime_checkable
 
 from .instrument import MetricsRegistry, default_registry
 
 EventCallback = Callable[["Simulator", Any], None]
 ProbeCallback = Callable[["Simulator", "Event"], None]
+
+#: Version tag written into every :class:`KernelSnapshot`; bump when the
+#: snapshot layout changes so stale snapshots are rejected loudly.
+SNAPSHOT_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,15 +90,28 @@ class CancelToken:
     Cancellation marks the token; the kernel discards cancelled events
     when they reach the head of the heap (the standard lazy-deletion
     idiom, O(1) cancel without heap surgery).
+
+    Queue-backed tokens also carry their event's sequence number and the
+    owning simulator's cancel log, so ``cancel()`` records the seq in
+    O(1).  That log is what lets :meth:`Simulator.snapshot` capture the
+    cancelled-pending set without scanning every pending entry — the
+    scan was O(pending) per snapshot and dominated checkpoint overhead
+    on large queues.
     """
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_log", "_seq")
 
-    def __init__(self) -> None:
+    def __init__(self, log: Optional[set] = None, seq: int = -1) -> None:
         self.cancelled = False
+        self._log = log
+        self._seq = seq
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._log is not None:
+            self._log.add(self._seq)
 
 
 class _ChainToken(CancelToken):
@@ -115,6 +141,161 @@ class SimStats:
     events_executed: int = 0
     events_cancelled: int = 0
     end_time: float = 0.0
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """Protocol for state that participates in kernel snapshots.
+
+    ``snapshot_state()`` returns an opaque value capturing the object's
+    mutable simulation state *by value* (copy anything that will mutate
+    after the snapshot); ``restore_state(state)`` rolls the object back
+    to exactly that state.  ``restore_state`` must be repeatable: the
+    same snapshot may be restored more than once, so it must not consume
+    or alias the saved value destructively.
+
+    Models implementing both methods are auto-registered by
+    :meth:`Simulator.attach`; run-local closure state registers through
+    :meth:`Simulator.register_checkpointable`, typically via
+    :class:`FunctionCheckpoint`.
+    """
+
+    def snapshot_state(self) -> Any: ...
+
+    def restore_state(self, state: Any) -> None: ...
+
+
+class FunctionCheckpoint:
+    """Adapter pairing two closures into a :class:`Checkpointable`.
+
+    The model ``run()`` functions keep their hot state in locals and
+    closures (``nonlocal`` counters, lists aliased by event callbacks).
+    A ``FunctionCheckpoint`` created inside such a function can read and
+    rebind that state directly, which lets a model join checkpointing
+    without moving anything off its fast path::
+
+        def _snap():             # copy-by-value
+            return (busy, list(qlen))
+        def _restore(state):
+            nonlocal busy
+            busy = state[0]
+            qlen[:] = state[1]
+        sim.register_checkpointable(FunctionCheckpoint(_snap, _restore))
+    """
+
+    __slots__ = ("_snapshot_fn", "_restore_fn")
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Any],
+        restore_fn: Callable[[Any], None],
+    ) -> None:
+        self._snapshot_fn = snapshot_fn
+        self._restore_fn = restore_fn
+
+    def snapshot_state(self) -> Any:
+        return self._snapshot_fn()
+
+    def restore_state(self, state: Any) -> None:
+        self._restore_fn(state)
+
+
+class KernelSnapshot:
+    """A restorable point-in-time capture of a :class:`Simulator`.
+
+    Holds the clock, the sequence counter, every pending event entry
+    (with each entry's cancellation flag as of snapshot time), exact
+    :class:`SimStats`, and one ``(object, state)`` pair per registered
+    :class:`Checkpointable`.  Event entries reference live callback and
+    token objects, so a snapshot is restorable **within the process that
+    took it** — cross-process durability is layered above the kernel
+    (see ``repro.resilience``), which persists model- and job-level
+    state instead of closures.
+
+    Copy-on-write: the in-order lane is append-only while a run drains,
+    so a mid-run snapshot records a ``(lane, start, end)`` *view* of the
+    pending tail instead of copying it (the copy was O(pending) and
+    dominated checkpoint overhead on large queues).  The view is
+    materialized into a private list the first time :attr:`entries` is
+    read — or by the kernel, just before it compacts the lane (see
+    ``Simulator._flush_lazy_snapshots``).  A snapshot evicted from a
+    bounded ring before either happens never pays for the copy at all.
+    """
+
+    __slots__ = (
+        "version", "label", "now", "next_seq", "burned", "_entries",
+        "cancelled_seqs", "events_executed", "events_cancelled", "states",
+        "_lane_ref", "_lane_start", "_lane_end", "__weakref__",
+    )
+
+    def __init__(
+        self,
+        *,
+        version: int,
+        label: Optional[str],
+        now: float,
+        next_seq: int,
+        burned: int,
+        entries: List[tuple],
+        cancelled_seqs: frozenset,
+        events_executed: int,
+        events_cancelled: int,
+        states: List[Tuple[Any, Any]],
+        lane_ref: Optional[list] = None,
+        lane_start: int = 0,
+        lane_end: int = 0,
+    ) -> None:
+        #: Snapshot layout version (checked by restore()).
+        self.version = version
+        self.label = label
+        self.now = now
+        #: Value the sequence counter restarts from on restore.
+        self.next_seq = next_seq
+        #: Sequence numbers consumed by ``snapshot()`` itself (see
+        #: :meth:`Simulator.snapshot`); needed for exact executed-count
+        #: accounting across repeated snapshots.
+        self.burned = burned
+        # Heap-lane entries (always copied eagerly: the heap mutates in
+        # place); the in-order-lane tail rides in the lazy view.
+        self._entries = entries
+        #: Seqs of pending entries whose token was cancelled at snapshot
+        #: time; restore() resets every pending token's flag from this
+        #: set.  May contain stale seqs of already-executed events whose
+        #: token was cancelled late; those never match a pending entry,
+        #: so they are inert on restore.
+        self.cancelled_seqs = cancelled_seqs
+        self.events_executed = events_executed
+        self.events_cancelled = events_cancelled
+        #: ``(checkpointable, state)`` pairs, in registration order.
+        self.states = states
+        self._lane_ref = lane_ref
+        self._lane_start = lane_start
+        self._lane_end = lane_end
+
+    def materialize(self) -> None:
+        """Detach from the live lane by copying the viewed tail (idempotent)."""
+        lane = self._lane_ref
+        if lane is not None:
+            self._entries = self._entries + lane[self._lane_start:self._lane_end]
+            self._lane_ref = None
+
+    @property
+    def entries(self) -> List[tuple]:
+        """Pending entries from both lanes, each ``(time, seq, token,
+        cb, payload)``.  Reading this materializes a lazy snapshot."""
+        self.materialize()
+        return self._entries
+
+    @property
+    def pending(self) -> int:
+        """Number of pending entries captured (including cancelled).
+
+        Computable without materializing the lazy lane view.
+        """
+        n = len(self._entries)
+        if self._lane_ref is not None:
+            n += self._lane_end - self._lane_start
+        return n
 
 
 @runtime_checkable
@@ -176,6 +357,46 @@ class Simulator:
         self.metrics = metrics if metrics is not None else default_registry()
         self._probes: List[ProbeCallback] = []
         self.models: List[SimModel] = []
+        #: Objects whose state rides along in kernel snapshots.
+        self._checkpointables: List[Checkpointable] = []
+        #: Seq numbers consumed by snapshot() itself (never assigned to
+        #: an event); tracked so executed-count accounting stays exact.
+        self._burned = 0
+        #: Seqs of cancelled-but-still-queued events, maintained eagerly
+        #: by CancelToken.cancel() and pruned when purges discard the
+        #: entry.  snapshot() reads this instead of scanning every
+        #: pending entry.  The object identity is stable for the
+        #: simulator's lifetime (tokens hold a reference), so restore()
+        #: mutates it in place.
+        self._cancel_log: set[int] = set()
+        #: Weak refs to copy-on-write snapshots still viewing ``_lane``;
+        #: materialized (copied out) just before any lane compaction
+        #: invalidates their indices.  Snapshots evicted from a bounded
+        #: ring die here silently and never pay for the copy.
+        self._lazy_snaps: list[weakref.ref[KernelSnapshot]] = []
+        #: Heap entries parked by run()'s bulk-lane mode (see run()):
+        #: still pending, just held out of the heap so the inner drain
+        #: can detect new schedules with a bare truthiness check.
+        #: Always empty outside run(); snapshot() counts these as
+        #: pending alongside the heap.
+        self._parked: list[tuple[float, int, Any, EventCallback, Any]] = []
+
+    def _flush_lazy_snapshots(self) -> None:
+        """Materialize outstanding copy-on-write snapshots.
+
+        Called before every lane compaction (``del lane[:pos]`` /
+        ``lane.clear()``): those shift or drop lane indices, so any
+        snapshot still holding a ``(lane, start, end)`` view must copy
+        its tail out first.  Appends never invalidate a view, so the
+        hot scheduling paths stay flush-free.
+        """
+        snaps = self._lazy_snaps
+        if snaps:
+            for ref in snaps:
+                snap = ref()
+                if snap is not None:
+                    snap.materialize()
+            snaps.clear()
 
     @property
     def now(self) -> float:
@@ -209,10 +430,27 @@ class Simulator:
     # -- model / probe registration ---------------------------------------
 
     def attach(self, model: SimModel) -> SimModel:
-        """Bind a :class:`SimModel` to this simulator and track it."""
+        """Bind a :class:`SimModel` to this simulator and track it.
+
+        Models that also implement :class:`Checkpointable` are
+        auto-registered for kernel snapshots.
+        """
         model.bind(self)
         self.models.append(model)
+        if isinstance(model, Checkpointable):
+            self.register_checkpointable(model)
         return model
+
+    def register_checkpointable(self, obj: Checkpointable) -> Checkpointable:
+        """Include ``obj``'s state in every subsequent :meth:`snapshot`.
+
+        Registration is idempotent per object (identity-deduplicated),
+        so models that re-register on every ``run()`` call don't snapshot
+        the same state twice.
+        """
+        if not any(existing is obj for existing in self._checkpointables):
+            self._checkpointables.append(obj)
+        return obj
 
     def finish_models(self) -> None:
         """Call ``finish()`` on every attached model (end-of-run flush)."""
@@ -279,8 +517,9 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        token = CancelToken() if cancellable else None
-        entry = (self._now + delay, next(self._seq), token, callback, payload)
+        seq = next(self._seq)
+        token = CancelToken(self._cancel_log, seq) if cancellable else None
+        entry = (self._now + delay, seq, token, callback, payload)
         lane = self._lane
         if not lane or entry[0] >= lane[-1][0]:
             lane.append(entry)  # in-order: O(1) append, O(1) pop later
@@ -304,14 +543,42 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        token = CancelToken() if cancellable else None
-        entry = (float(time), next(self._seq), token, callback, payload)
+        seq = next(self._seq)
+        token = CancelToken(self._cancel_log, seq) if cancellable else None
+        entry = (float(time), seq, token, callback, payload)
         lane = self._lane
         if not lane or entry[0] >= lane[-1][0]:
             lane.append(entry)
         else:
             heapq.heappush(self._heap, entry)
         return token
+
+    def schedule_tagged(
+        self,
+        delay: float,
+        callback: EventCallback,
+        payload: Any = None,
+    ) -> Tuple[CancelToken, int]:
+        """Like :meth:`schedule`, but also return the event's sequence
+        number: ``(token, seq)``.
+
+        An event that knows its own ``(time, seq)`` key knows its exact
+        position in the total execution order, which is what a mid-run
+        :meth:`snapshot` needs to split the in-order lane into consumed
+        and pending halves without any per-event bookkeeping.  This is
+        how ``repro.resilience.CheckpointManager`` schedules its ticks.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        seq = next(self._seq)
+        token = CancelToken(self._cancel_log, seq)
+        entry = (self._now + delay, seq, token, callback, payload)
+        lane = self._lane
+        if not lane or entry[0] >= lane[-1][0]:
+            lane.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        return token, seq
 
     def schedule_many(
         self,
@@ -402,6 +669,7 @@ class Simulator:
                 from_heap = False
             else:
                 if pos and not self._running:
+                    self._flush_lazy_snapshots()
                     lane.clear()  # fully consumed: reclaim
                     self._lane_pos = 0
                 return None
@@ -413,6 +681,7 @@ class Simulator:
                     self._lane_pos = pos + 1
             if token is not None and token.cancelled:
                 self.stats.events_cancelled += 1
+                self._cancel_log.discard(entry[1])
                 continue
             return entry
 
@@ -463,18 +732,72 @@ class Simulator:
         pos = self._lane_pos
         heappop = heapq.heappop
         probes = self._probes
+        stats_obj = self.stats
         executed = 0
-        cancelled = 0
         try:
             if until is None and max_events is None:
                 # Fastest path: unconditional drain, merged two-lane pop.
                 # The lane is append-only while running (schedule/
                 # schedule_many only ever append or heappush), so the
                 # local consumption index cannot desync.
+                parked = self._parked
+                heappush = heapq.heappush
                 while True:
                     if pos < len(lane):
-                        if heap and heap[0] < lane[pos]:
-                            entry = heappop(heap)
+                        if heap:
+                            if heap[0] < lane[pos]:
+                                entry = heappop(heap)
+                            elif len(heap) <= 8:
+                                # Bulk-lane mode: a small far-off heap
+                                # (e.g. one pending checkpoint tick)
+                                # would otherwise tax EVERY lane pop
+                                # with a tuple compare.  Park the heap
+                                # in a side list (still visible to
+                                # mid-run snapshot()), binary-search
+                                # how far the lane runs before the
+                                # parked head, and drain that stretch
+                                # with only a heap-emptiness check per
+                                # event — any schedule into the (now
+                                # empty) heap makes it truthy, which
+                                # breaks the loop before the next pop,
+                                # preserving exact (time, seq) order.
+                                while heap:
+                                    parked.append(heappop(heap))
+                                boundary = bisect_left(
+                                    lane, parked[0], pos
+                                )
+                                while pos < boundary:
+                                    entry = lane[pos]
+                                    pos += 1
+                                    token = entry[2]
+                                    if token is not None and token.cancelled:
+                                        stats_obj.events_cancelled += 1
+                                        self._cancel_log.discard(entry[1])
+                                        continue
+                                    self._now = entry[0]
+                                    callback = entry[3]
+                                    callback(self, entry[4])
+                                    executed += 1
+                                    if probes:
+                                        event = Event(
+                                            time=entry[0], seq=entry[1],
+                                            callback=callback,
+                                            payload=entry[4],
+                                        )
+                                        for probe in probes:
+                                            probe(self, event)
+                                    if heap:
+                                        break
+                                while parked:
+                                    heappush(heap, parked.pop())
+                                if pos >= 262144 and pos * 2 >= len(lane):
+                                    self._flush_lazy_snapshots()
+                                    del lane[:pos]
+                                    pos = 0
+                                continue
+                            else:
+                                entry = lane[pos]
+                                pos += 1
                         else:
                             entry = lane[pos]
                             pos += 1
@@ -482,6 +805,7 @@ class Simulator:
                             # append one event per pop, so the consumed
                             # prefix would otherwise grow without bound.
                             if pos >= 262144 and pos * 2 >= len(lane):
+                                self._flush_lazy_snapshots()
                                 del lane[:pos]
                                 pos = 0
                     elif heap:
@@ -490,7 +814,12 @@ class Simulator:
                         break
                     token = entry[2]
                     if token is not None and token.cancelled:
-                        cancelled += 1
+                        # Purge accounting is live (not batched in a local)
+                        # so a mid-run snapshot() can read an exact count;
+                        # purges are off the hot path, so this costs
+                        # nothing on cancel-free drains.
+                        stats_obj.events_cancelled += 1
+                        self._cancel_log.discard(entry[1])
                         continue
                     self._now = entry[0]
                     callback = entry[3]
@@ -520,7 +849,8 @@ class Simulator:
                             heappop(heap)
                         else:
                             pos += 1
-                        cancelled += 1
+                        stats_obj.events_cancelled += 1
+                        self._cancel_log.discard(entry[1])
                         continue
                     time = entry[0]
                     if until is not None and time > until:
@@ -532,6 +862,7 @@ class Simulator:
                     else:
                         pos += 1
                         if pos >= 262144 and pos * 2 >= len(lane):
+                            self._flush_lazy_snapshots()
                             del lane[:pos]
                             pos = 0
                     self._now = time
@@ -545,13 +876,164 @@ class Simulator:
                             probe(self, event)
         finally:
             self._running = False
+            if self._parked:
+                # A callback raised out of bulk-lane mode: the parked
+                # heap entries are still pending — put them back.
+                for entry in self._parked:
+                    heapq.heappush(heap, entry)
+                del self._parked[:]
             if pos:
+                self._flush_lazy_snapshots()
                 del lane[:pos]  # compact the consumed prefix
             self._lane_pos = 0
-            self.stats.events_executed += executed
-            self.stats.events_cancelled += cancelled
-        self.stats.end_time = self._now
-        return self.stats
+            stats_obj.events_executed += executed
+        stats_obj.end_time = self._now
+        return stats_obj
+
+    # -- checkpoint / restart ---------------------------------------------
+
+    def snapshot(
+        self,
+        label: Optional[str] = None,
+        *,
+        current_seq: Optional[int] = None,
+    ) -> KernelSnapshot:
+        """Capture a restorable :class:`KernelSnapshot` of this simulator.
+
+        Works both between runs and **mid-run, from inside an event
+        callback** — the latter requires ``current_seq``, the sequence
+        number of the event currently executing (obtain it by scheduling
+        the checkpoint event with :meth:`schedule_tagged`).  Pop order is
+        the global ``(time, seq)`` minimum across both lanes, so every
+        entry with key <= ``(now, current_seq)`` has been consumed and
+        every entry above it is pending; a binary search on that key
+        recovers the lane split exactly, with zero per-event cost on
+        uncheckpointed runs.
+
+        Accounting: ``snapshot()`` consumes one sequence number (a
+        deterministic side effect — a run that takes checkpoints and a
+        crash-resume run replay the identical seq stream).  The executed
+        count is derived structurally — every seq ever issued is either
+        executed, purged-as-cancelled, still pending, or burned by a
+        snapshot — so mid-run snapshots get exact :class:`SimStats`
+        without the run loop syncing counters per event.
+
+        The snapshot holds live object references (callbacks, tokens,
+        payloads); it is valid within this process only.
+        """
+        nxt = next(self._seq)
+        self._seq = itertools.count(nxt + 1)
+        prior_burned = self._burned
+        self._burned = prior_burned + 1
+        lane = self._lane
+        if self._running:
+            if current_seq is None:
+                raise RuntimeError(
+                    "mid-run snapshot() requires current_seq (the executing "
+                    "event's sequence number; schedule checkpoint events "
+                    "via schedule_tagged, as CheckpointManager does)"
+                )
+            key = (self._now, current_seq)
+            lo, hi = 0, len(lane)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if (lane[mid][0], lane[mid][1]) <= key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            pos = lo
+        else:
+            pos = self._lane_pos
+        # Copy-on-write: only the (small, mutated-in-place) heap is
+        # copied now; the lane tail is recorded as a (lane, start, end)
+        # view and copied lazily — on first entries access or just
+        # before a lane compaction (see _flush_lazy_snapshots).  This
+        # makes snapshot() O(heap + cancelled) instead of O(pending),
+        # which is what keeps periodic-checkpoint overhead low on
+        # large-queue drains.
+        heap_part = list(self._heap)
+        if self._parked:
+            # run()'s bulk-lane mode holds heap entries in a side list;
+            # they are pending all the same.
+            heap_part += self._parked
+        n_pending = len(heap_part) + (len(lane) - pos)
+        # O(cancelled), not O(pending): the cancel log is maintained
+        # eagerly by CancelToken.cancel() and pruned on purge.  A token
+        # cancelled *after* its event already fired can leave a stale
+        # seq here; restore() only applies the set to pending entries,
+        # so stale seqs are inert.
+        cancelled_seqs = frozenset(self._cancel_log)
+        created = nxt - prior_burned
+        executed = created - n_pending - self.stats.events_cancelled
+        snap = KernelSnapshot(
+            version=SNAPSHOT_VERSION,
+            label=label,
+            now=self._now,
+            next_seq=nxt + 1,
+            burned=prior_burned + 1,
+            entries=heap_part,
+            cancelled_seqs=cancelled_seqs,
+            events_executed=executed,
+            events_cancelled=self.stats.events_cancelled,
+            states=[
+                (obj, obj.snapshot_state()) for obj in self._checkpointables
+            ],
+            lane_ref=lane,
+            lane_start=pos,
+            lane_end=len(lane),
+        )
+        snaps = self._lazy_snaps
+        if len(snaps) >= 64:  # drop refs to ring-evicted snapshots
+            snaps[:] = [ref for ref in snaps if ref() is not None]
+        snaps.append(weakref.ref(snap))
+        return snap
+
+    def restore(self, snap: KernelSnapshot) -> None:
+        """Roll this simulator back to ``snap``.
+
+        Rebuilds the pending-event structure, resets every pending
+        token's cancellation flag to its snapshot-time value, restores
+        the clock / sequence counter / stats, and calls
+        ``restore_state`` on each captured :class:`Checkpointable`.
+        Restoring the same snapshot more than once is supported.  A
+        subsequent ``run()`` replays exactly the event stream the
+        original run executed after the snapshot point (same seeds
+        assumed), which is the determinism guarantee the golden
+        crash-resume tests pin.
+        """
+        if self._running:
+            raise RuntimeError("cannot restore() while run() is active")
+        if snap.version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {snap.version} != kernel "
+                f"SNAPSHOT_VERSION {SNAPSHOT_VERSION}"
+            )
+        self._now = snap.now
+        self._seq = itertools.count(snap.next_seq)
+        self._burned = snap.burned
+        cancelled_seqs = snap.cancelled_seqs
+        for entry in snap.entries:
+            token = entry[2]
+            if token is not None:
+                token.cancelled = entry[1] in cancelled_seqs
+        # Tokens alias the cancel log by reference, so reset it in
+        # place to the snapshot-time set.
+        self._cancel_log.clear()
+        self._cancel_log.update(cancelled_seqs)
+        # Rebuild into the sorted in-order lane (ties impossible: seqs
+        # are unique, so sorted() never compares tokens).  Replay then
+        # drains through the O(1)-pop lane fast path instead of paying
+        # a heap pop per event — this is what makes resume-after-crash
+        # cheaper than restart in the resilience benchmarks.
+        self._heap = []
+        del self._parked[:]  # always empty outside run(); belt and braces
+        self._lane = sorted(snap.entries)
+        self._lane_pos = 0
+        self.stats.events_executed = snap.events_executed
+        self.stats.events_cancelled = snap.events_cancelled
+        self.stats.end_time = snap.now
+        for obj, state in snap.states:
+            obj.restore_state(state)
 
 
 def trace_events(sim: Simulator, category: str = "kernel") -> ProbeCallback:

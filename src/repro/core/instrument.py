@@ -379,6 +379,31 @@ class MetricsRegistry:
             out[name] = self._histograms[name].snapshot()
         return out
 
+    def health(self, prefix: str = "resilience") -> dict:
+        """Flat name->value view of counters/gauges under one prefix.
+
+        The resilience layer publishes its operational signals
+        (``resilience.checkpoints_taken``, ``resilience.checkpoint_
+        pending_events``, the exec engine's ``exec.jobs.resumed``, ...)
+        as ordinary instruments; this accessor is the one-call health
+        read-out the campaign CLI embeds in its report.  Histograms are
+        summarised by their snapshot dict.
+        """
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        dot = prefix + "."
+        out: dict = {}
+        for name, ctr in self._counters.items():
+            if name == prefix or name.startswith(dot):
+                out[name] = ctr.value
+        for name, gauge in self._gauges.items():
+            if name == prefix or name.startswith(dot):
+                out[name] = gauge.value
+        for name, hist in self._histograms.items():
+            if name == prefix or name.startswith(dot):
+                out[name] = hist.snapshot()
+        return dict(sorted(out.items()))
+
     def report(self) -> str:
         """Human-readable metrics table (the CLI's --instrument output)."""
         lines = []

@@ -141,6 +141,7 @@ def injection_campaign(
         Callable[[], Callable[[np.ndarray], bool]]
     ] = None,
     rng: RngLike = None,
+    flips: Optional[Sequence[tuple[int, int, int]]] = None,
 ) -> CampaignResult:
     """Random single-bit-flip campaign against a trace.
 
@@ -149,22 +150,35 @@ def injection_campaign(
     ``checker_factory`` for stateful checkers (a fresh instance is
     built per injection so state cannot leak between runs); a plain
     ``checker`` is reused and must be stateless.
+
+    Pass ``flips`` — an explicit sequence of (instruction_index,
+    register, bit) triples — for a deterministic campaign whose
+    outcomes are known by construction (e.g. classification tests);
+    it overrides ``n_injections`` and draws nothing from ``rng``.
     """
-    if n_injections < 1:
+    if flips is None and n_injections < 1:
         raise ValueError("need at least one injection")
     if not trace:
         raise ValueError("trace must be non-empty")
     if checker is not None and checker_factory is not None:
         raise ValueError("pass either checker or checker_factory, not both")
+    if flips is not None:
+        flips = [tuple(int(x) for x in f) for f in flips]
+        if not flips:
+            raise ValueError("flips must be non-empty when given")
+        n_injections = len(flips)
     gen = resolve_rng(rng)
     golden, _ = execute_registers(trace)
     counts: dict = {o: 0 for o in Outcome}
-    for _ in range(n_injections):
-        flip = (
-            int(gen.integers(len(trace))),
-            int(gen.integers(NUM_REGISTERS)),
-            int(gen.integers(31)),
-        )
+    for k in range(n_injections):
+        if flips is not None:
+            flip = flips[k]
+        else:
+            flip = (
+                int(gen.integers(len(trace))),
+                int(gen.integers(NUM_REGISTERS)),
+                int(gen.integers(31)),
+            )
         run_checker = checker_factory() if checker_factory else checker
         final, detected = execute_registers(
             trace, flip=flip, checker=run_checker
@@ -223,6 +237,26 @@ class KernelFaultInjector:
         self.targets: List[FaultTarget] = []
         self.injected = 0
         self._tokens: list = []
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        """True between a successful :meth:`arm` and :meth:`disarm`."""
+        return self._armed
+
+    # -- Checkpointable protocol -------------------------------------------
+    #
+    # The injector's RNG advances on every fault delivery, so a kernel
+    # restore must roll it back too — otherwise replayed fault events
+    # would pick different targets/parameters than the original run and
+    # crash-resume determinism would break.
+
+    def snapshot_state(self):
+        return (self.rng.bit_generator.state, self.injected)
+
+    def restore_state(self, state) -> None:
+        self.rng.bit_generator.state = state[0]
+        self.injected = state[1]
 
     def register(self, target: FaultTarget) -> None:
         if not isinstance(target, FaultTarget):
@@ -250,10 +284,20 @@ class KernelFaultInjector:
         """Pre-schedule the fault train on ``sim`` within ``horizon``.
 
         Returns the number of fault events scheduled.  Call
-        :meth:`disarm` to cancel any that have not yet fired.
+        :meth:`disarm` to cancel any that have not yet fired.  Arming
+        twice without a disarm in between raises: it would schedule a
+        second, overlapping fault train and double the effective rate.
         """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
+        if self._armed:
+            raise RuntimeError(
+                "KernelFaultInjector is already armed; call disarm() "
+                "before re-arming (a second arm() would schedule a "
+                "duplicate fault train)"
+            )
+        self._armed = True
+        sim.register_checkpointable(self)
         t = sim.now
         scheduled = 0
         while True:
@@ -265,11 +309,16 @@ class KernelFaultInjector:
         return scheduled
 
     def disarm(self) -> int:
-        """Cancel every still-pending fault event; returns how many."""
+        """Cancel every still-pending fault event; returns how many.
+
+        Idempotent: a second disarm (or a disarm before any arm) is a
+        no-op returning 0.
+        """
         cancelled = 0
         for token in self._tokens:
             if not token.cancelled:
                 token.cancel()
                 cancelled += 1
         self._tokens.clear()
+        self._armed = False
         return cancelled

@@ -126,13 +126,17 @@ def compare_protection_schemes(
     n_injections: int = 300,
     schemes: Sequence[ProtectionScheme] | None = None,
     rng: RngLike = 0,
+    flips: Sequence[tuple[int, int, int]] | None = None,
 ) -> dict[str, dict[str, float]]:
     """Run the fault campaign under each scheme (E19's table).
 
     DMR is scored analytically (full coverage of non-masked faults);
     invariant schemes run their checkers live.  Reports SDC rate,
     coverage, energy overhead, and the efficiency figure of merit
-    (SDC reduction per unit energy overhead).
+    (SDC reduction per unit energy overhead).  ``flips`` pins every
+    scheme to the same explicit flip set (deterministic comparisons);
+    each scheme already reuses ``rng`` from the same seed, so schemes
+    see identical flip sequences either way.
     """
     chosen = list(schemes) if schemes is not None else default_schemes()
     if not chosen:
@@ -142,7 +146,7 @@ def compare_protection_schemes(
     for scheme in chosen:
         if scheme.name == "dmr":
             base = baseline or injection_campaign(
-                trace, n_injections, checker=None, rng=rng
+                trace, n_injections, checker=None, rng=rng, flips=flips
             )
             sdc = 0.0
             detected = base.rate(Outcome.SDC)
@@ -151,6 +155,7 @@ def compare_protection_schemes(
             result = injection_campaign(
                 trace, n_injections,
                 checker_factory=scheme.checker_factory, rng=rng,
+                flips=flips,
             )
             if scheme.name == "none":
                 baseline = result

@@ -21,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.events import Simulator
+from ..core.events import FunctionCheckpoint, Simulator
 from ..core.rng import RngLike, resolve_rng
 
 
@@ -228,6 +228,34 @@ class ClusterSimulator:
                 )
 
         kernel.schedule_at(arrival_times[0], arrive, 0, cancellable=False)
+
+        # Checkpoint support: all mutable run state lives in the closure
+        # (nonlocal counters) and in lists the pending events alias, so a
+        # FunctionCheckpoint can copy it out and write it back in place —
+        # nothing on the arrival/completion hot path changes.
+        def _ckpt_snapshot():
+            return (
+                busy,
+                rr,
+                list(rates),
+                list(free_at),
+                list(qlen),
+                latencies.copy(),
+                self.faults_injected,
+            )
+
+        def _ckpt_restore(state):
+            nonlocal busy, rr
+            busy, rr = state[0], state[1]
+            rates[:] = state[2]
+            free_at[:] = state[3]
+            qlen[:] = state[4]
+            latencies[:] = state[5]
+            self.faults_injected = state[6]
+
+        kernel.register_checkpointable(
+            FunctionCheckpoint(_ckpt_snapshot, _ckpt_restore)
+        )
         kernel.run()
         # Every arrival runs and every request completes (the kernel
         # drains), so the counters batch to exact totals and the

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.events import Simulator
+from ..core.events import FunctionCheckpoint, Simulator
 from ..core.rng import RngLike, resolve_rng
 from .latency import LatencyDistribution
 
@@ -134,6 +134,10 @@ def kernel_hedged_latencies(
         hedged_count += 1
         req.backup = s.schedule(backup_t[req.i], finish_backup, req)
 
+    # Live request objects in launch order; checkpoint state rolls their
+    # token slots back (the tokens' cancelled flags are kernel state).
+    requests: list[_Request] = []
+
     def launch(s: Simulator, i: int) -> None:
         req = _Request()
         req.i = i
@@ -142,6 +146,7 @@ def kernel_hedged_latencies(
         req.hedge = None
         req.primary = s.schedule(primary_t[i], finish_primary, req)
         req.hedge = s.schedule(trigger, hedge, req)
+        requests.append(req)
 
     # Requests are independent; stagger starts by the trigger so the
     # kernel interleaves many outstanding requests (a realistic load).
@@ -151,6 +156,34 @@ def kernel_hedged_latencies(
         [i * trigger for i in range(n_requests)],
         launch,
         payloads=range(n_requests),
+    )
+
+    def _ckpt_snapshot():
+        return (
+            hedged_count,
+            cancelled_count,
+            latencies.copy(),
+            len(requests),
+            [(r.primary, r.hedge, r.backup) for r in requests],
+        )
+
+    def _ckpt_restore(state):
+        nonlocal hedged_count, cancelled_count
+        hedged_count, cancelled_count = state[0], state[1]
+        latencies[:] = state[2]
+        # Requests launched after the snapshot are garbage (their events
+        # were discarded by the kernel restore; replay recreates them);
+        # pre-snapshot requests keep identity — pending events reference
+        # them — and get their token slots rolled back.  The tokens'
+        # cancelled flags themselves are restored by the kernel.
+        del requests[state[3]:]
+        for req, (primary, hedge_tok, backup) in zip(requests, state[4]):
+            req.primary = primary
+            req.hedge = hedge_tok
+            req.backup = backup
+
+    kernel.register_checkpointable(
+        FunctionCheckpoint(_ckpt_snapshot, _ckpt_restore)
     )
     kernel.run()
     hedges_ctr.inc(hedged_count)

@@ -18,6 +18,9 @@ library sits on:
 * :mod:`repro.exec.engine` — :class:`ExecutionEngine`: dependency
   release, cache consultation, bounded retry with exponential backoff,
   and a structured :class:`RunReport`.
+* :mod:`repro.exec.heartbeat` — :func:`heartbeat`: worker liveness +
+  progress reporting over the result pipe; powers the pool runner's
+  hang watchdog and the engine's lost-progress retry accounting.
 
 Consumers: ``ExperimentRegistry.run_all`` (the CLI's ``--jobs/--cache/
 --retries`` flags), ``Explorer.run`` for DSE sweeps, and
@@ -26,6 +29,7 @@ Consumers: ``ExperimentRegistry.run_all`` (the CLI's ``--jobs/--cache/
 
 from .cache import ResultCache, cache_key, canonicalize, repro_version
 from .engine import ExecutionEngine, JobRecord, JobStatus, RunReport, run_jobs
+from .heartbeat import emit_sim_heartbeats, heartbeat
 from .job import Job, JobGraph, callable_name, derive_seed
 from .runners import Attempt, ProcessPoolRunner, Runner, SerialRunner
 
@@ -45,6 +49,8 @@ __all__ = [
     "callable_name",
     "canonicalize",
     "derive_seed",
+    "emit_sim_heartbeats",
+    "heartbeat",
     "repro_version",
     "run_jobs",
 ]

@@ -15,7 +15,13 @@ through a :class:`~repro.exec.runners.Runner`:
 2. A failed attempt is retried up to the job's (or engine's) retry
    budget with exponential backoff; a job that exhausts its budget is
    recorded FAILED (error/crash) or TIMEOUT — the sweep always
-   finishes.
+   finishes.  The budget meters *lost progress*, not attempts: a
+   failed/hung/crashed attempt that advanced the job's heartbeat
+   progress high-water mark (because the job checkpoints and resumes,
+   see ``repro.resilience``) is resumed for free, up to ``max_resumes``;
+   only attempts that replayed without gaining ground are charged.
+   With ``hang_timeout_s`` set, a worker that stops heartbeating is
+   killed and resumed long before its wall-clock deadline.
 3. A job whose dependency ends non-SUCCEEDED is SKIPPED, transitively.
 4. The outcome is a :class:`RunReport`: per-job status, attempts, wall
    time, and cache provenance, plus whole-run counters mirrored into
@@ -28,6 +34,7 @@ identical across ``--jobs 1`` and ``--jobs N``.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -70,6 +77,9 @@ class JobRecord:
     wall_time_s: float = 0.0
     cached: bool = False
     cache_key: Optional[str] = None
+    #: Free retries granted because the failed attempt had advanced the
+    #: job's progress high-water mark (watchdog resume).
+    resumes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -163,11 +173,18 @@ class ExecutionEngine:
         backoff_cap_s: float = 2.0,
         poll_interval_s: float = 0.005,
         metrics: Optional[MetricsRegistry] = None,
+        hang_timeout_s: Optional[float] = None,
+        checkpoint_root: Optional[str] = None,
+        max_resumes: int = 8,
     ) -> None:
         if default_retries < 0:
             raise ValueError("default_retries must be non-negative")
         if backoff_s < 0 or backoff_cap_s < 0:
             raise ValueError("backoff must be non-negative")
+        if hang_timeout_s is not None and hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be positive")
+        if max_resumes < 0:
+            raise ValueError("max_resumes must be non-negative")
         self.runner: Runner = runner if runner is not None else SerialRunner()
         self.cache = cache
         self.base_seed = base_seed
@@ -177,6 +194,16 @@ class ExecutionEngine:
         self.backoff_cap_s = backoff_cap_s
         self.poll_interval_s = poll_interval_s
         self._metrics = metrics
+        #: Watchdog: kill a worker whose heartbeats go silent this long.
+        self.hang_timeout_s = hang_timeout_s
+        #: Directory handed to jobs that declare a ``checkpoint_key``;
+        #: the per-job path is injected into the submitted config *after*
+        #: cache-key computation, so where a job checkpoints never
+        #: changes what result it is keyed under.
+        self.checkpoint_root = checkpoint_root
+        #: Safety cap on free (progress-backed) resumes per job, so a
+        #: job that inches forward forever cannot pin the sweep.
+        self.max_resumes = max_resumes
 
     # -- policy resolution -------------------------------------------------
 
@@ -206,6 +233,13 @@ class ExecutionEngine:
         configs: Dict[str, Optional[dict]] = {}
         keys: Dict[str, Optional[str]] = {}
         attempts: Dict[str, int] = {jid: 0 for jid in order}
+        #: Failed attempts charged against the retry budget (attempts
+        #: that lost no progress).
+        charged: Dict[str, int] = {jid: 0 for jid in order}
+        #: Free progress-backed retries granted so far.
+        resumes: Dict[str, int] = {jid: 0 for jid in order}
+        #: Highest heartbeat progress any attempt of the job reported.
+        progress_hwm: Dict[str, float] = {}
         records: Dict[str, JobRecord] = {}
         ready: list[str] = [jid for jid in order if remaining_deps[jid] == 0]
         retry_at: Dict[str, float] = {}
@@ -216,6 +250,23 @@ class ExecutionEngine:
             if jid not in configs:
                 configs[jid] = self._effective_config(graph.get(jid))
             return configs[jid]
+
+        def submit_config_for(jid: str) -> Optional[dict]:
+            # The checkpoint path is injected only into what the worker
+            # receives — never into config_for(), which cache keys and
+            # cache artifacts are computed from.
+            config = config_for(jid)
+            job = graph.get(jid)
+            if job.checkpoint_key is None or self.checkpoint_root is None:
+                return config
+            safe = "".join(
+                c if c.isalnum() or c in "-_." else "_" for c in jid
+            )
+            config = dict(config or {})
+            config[job.checkpoint_key] = os.path.join(
+                self.checkpoint_root, safe
+            )
+            return config
 
         def key_for(jid: str) -> Optional[str]:
             if self.cache is None:
@@ -257,7 +308,6 @@ class ExecutionEngine:
 
         def dispatch(jid: str) -> None:
             job = graph.get(jid)
-            config = config_for(jid)
             if attempts[jid] == 0:
                 key = key_for(jid)
                 if key is not None:
@@ -278,7 +328,19 @@ class ExecutionEngine:
                         return
             attempts[jid] += 1
             try:
-                self.runner.submit(job, config, self._effective_timeout(job))
+                if self.hang_timeout_s is not None:
+                    self.runner.submit(
+                        job,
+                        submit_config_for(jid),
+                        self._effective_timeout(job),
+                        self.hang_timeout_s,
+                    )
+                else:
+                    # Three-argument form keeps pre-watchdog Runner
+                    # implementations working when no watchdog is asked.
+                    self.runner.submit(
+                        job, submit_config_for(jid), self._effective_timeout(job)
+                    )
             except Exception as exc:  # submission itself failed (e.g. pickling)
                 finish(
                     jid,
@@ -296,6 +358,11 @@ class ExecutionEngine:
             jid = attempt.job_id
             running.discard(jid)
             job = graph.get(jid)
+            made_progress = attempt.progress is not None and (
+                jid not in progress_hwm or attempt.progress > progress_hwm[jid]
+            )
+            if made_progress:
+                progress_hwm[jid] = attempt.progress  # type: ignore[assignment]
             if attempt.status == ATTEMPT_OK:
                 result = attempt.result
                 key = key_for(jid)
@@ -321,12 +388,23 @@ class ExecutionEngine:
                         attempts=attempts[jid],
                         wall_time_s=attempt.duration_s,
                         cache_key=key,
+                        resumes=resumes[jid],
                     ),
                 )
                 return
-            if attempts[jid] <= self._effective_retries(job):
+            if made_progress and resumes[jid] < self.max_resumes:
+                # The attempt died/hung/timed out but moved the job's
+                # progress high-water mark: the job checkpointed ground
+                # we will not lose, so resuming it is free — the retry
+                # budget meters lost progress, not attempts.
+                resumes[jid] += 1
+                registry.counter("exec.jobs.resumed").inc()
+                retry_at[jid] = time.perf_counter() + self.backoff_s
+                return
+            if charged[jid] < self._effective_retries(job):
+                charged[jid] += 1
                 registry.counter("exec.jobs.retried").inc()
-                retry_at[jid] = time.perf_counter() + self._backoff(attempts[jid])
+                retry_at[jid] = time.perf_counter() + self._backoff(charged[jid])
                 return
             status = (
                 JobStatus.TIMEOUT
@@ -342,6 +420,7 @@ class ExecutionEngine:
                     attempts=attempts[jid],
                     wall_time_s=attempt.duration_s,
                     cache_key=key_for(jid),
+                    resumes=resumes[jid],
                 ),
             )
 
@@ -393,12 +472,16 @@ def run_jobs(
     timeout_s: Optional[float] = None,
     base_seed: int = DEFAULT_SEED,
     metrics: Optional[MetricsRegistry] = None,
+    hang_timeout_s: Optional[float] = None,
+    checkpoint_root: Optional[str] = None,
 ) -> RunReport:
     """One-call convenience: build runner + cache, run the graph.
 
     ``jobs > 1`` selects the :class:`ProcessPoolRunner`; ``cache_dir``
-    enables the on-disk result cache.  This is the entry point the CLI
-    and the experiment registry share.
+    enables the on-disk result cache; ``hang_timeout_s`` arms the
+    heartbeat watchdog and ``checkpoint_root`` gives checkpointing jobs
+    a durable home.  This is the entry point the CLI and the experiment
+    registry share.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -411,5 +494,7 @@ def run_jobs(
         default_timeout_s=timeout_s,
         default_retries=retries,
         metrics=metrics,
+        hang_timeout_s=hang_timeout_s,
+        checkpoint_root=checkpoint_root,
     )
     return engine.run(graph)

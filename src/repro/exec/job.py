@@ -72,6 +72,12 @@ class Job:
     ``seed_key``, when set, asks the engine to inject the job's derived
     seed into the config under that key before execution (and before
     cache-key computation, so different seeds are distinct artifacts).
+    ``checkpoint_key``, when set, asks the engine to inject a per-job
+    durable checkpoint path (under the engine's ``checkpoint_root``)
+    into the config under that key — *after* cache-key computation,
+    since where a job checkpoints must not change its artifact identity.
+    The job function is expected to save/resume its own progress there
+    (see :class:`repro.resilience.JobCheckpointStore`).
     """
 
     id: str
@@ -81,6 +87,7 @@ class Job:
     timeout_s: Optional[float] = None
     retries: Optional[int] = None
     seed_key: Optional[str] = None
+    checkpoint_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.id or not isinstance(self.id, str):

@@ -15,9 +15,21 @@ hits, retry backoff, and dependency release over any backend.
   ``multiprocessing.Process`` with a result pipe.  This buys real fault
   containment: a worker that raises reports ``error``; a worker that
   segfaults or ``os._exit``-s is detected by its exit code and reported
-  as ``crash``; a worker that hangs past the job deadline is terminated
-  and reported as ``timeout``.  A bad job can never take down the
-  sweep.
+  as ``crash`` immediately (never waiting out the wall-clock timeout);
+  a worker that hangs past the job deadline is terminated and reported
+  as ``timeout``.  A bad job can never take down the sweep.
+
+Watchdog heartbeats
+-------------------
+The result pipe carries tagged messages: ``("hb", progress)`` beats
+emitted by the job via :func:`repro.exec.heartbeat.heartbeat`, then one
+``("res", status, result, error)`` terminal message.  Once a worker has
+emitted at least one beat, silence longer than ``hang_timeout_s``
+classifies it as ``hung`` — detected in a fraction of the wall-clock
+timeout — and it is killed; the engine then resumes the job from its
+last durable checkpoint instead of waiting out the deadline and
+restarting from scratch.  Jobs that never beat keep plain wall-clock
+timeout semantics, so the watchdog is strictly opt-in per job function.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Protocol, runtime_checkable
 
+from . import heartbeat as _heartbeat
 from .job import Job, invoke
 
 __all__ = ["Attempt", "ProcessPoolRunner", "Runner", "SerialRunner"]
@@ -37,6 +50,11 @@ ATTEMPT_OK = "ok"
 ATTEMPT_ERROR = "error"
 ATTEMPT_TIMEOUT = "timeout"
 ATTEMPT_CRASH = "crash"
+ATTEMPT_HUNG = "hung"
+
+#: Pipe message tags (worker -> parent).
+_MSG_HEARTBEAT = "hb"
+_MSG_RESULT = "res"
 
 
 @dataclass
@@ -48,6 +66,12 @@ class Attempt:
     result: Any = None
     error: Optional[str] = None
     duration_s: float = 0.0
+    #: Last heartbeat progress value the attempt reported (None if the
+    #: job never beat).  The engine's lost-progress retry accounting
+    #: keys off this.
+    progress: Optional[float] = None
+    #: Number of heartbeats received from this attempt.
+    heartbeats: int = 0
 
     @property
     def ok(self) -> bool:
@@ -67,10 +91,17 @@ class Runner(Protocol):
         ...
 
     def submit(
-        self, job: Job, config: Optional[Mapping[str, Any]], timeout_s: Optional[float]
+        self,
+        job: Job,
+        config: Optional[Mapping[str, Any]],
+        timeout_s: Optional[float],
+        hang_timeout_s: Optional[float] = None,
     ) -> None:
         """Begin one attempt.  ``config``/``timeout_s`` are the engine's
-        resolved values (seed injected, defaults applied)."""
+        resolved values (seed injected, defaults applied).
+        ``hang_timeout_s`` arms the heartbeat watchdog: after the first
+        beat, silence longer than this classifies the attempt ``hung``.
+        Backends without preemption may ignore it."""
         ...
 
     def poll(self) -> List[Attempt]:
@@ -95,9 +126,23 @@ class SerialRunner:
         return 0
 
     def submit(
-        self, job: Job, config: Optional[Mapping[str, Any]], timeout_s: Optional[float]
+        self,
+        job: Job,
+        config: Optional[Mapping[str, Any]],
+        timeout_s: Optional[float],
+        hang_timeout_s: Optional[float] = None,
     ) -> None:
+        # In-process jobs cannot be preempted, so hang_timeout_s cannot
+        # be enforced; beats are still recorded so progress-aware retry
+        # accounting works identically under both backends.
+        beats = {"count": 0, "progress": None}
+
+        def _record(progress: float) -> None:
+            beats["count"] += 1
+            beats["progress"] = progress
+
         start = time.perf_counter()
+        _heartbeat.install_emitter(_record)
         try:
             result = invoke(job.fn, config)
             status: str = ATTEMPT_OK
@@ -106,6 +151,8 @@ class SerialRunner:
             result = None
             status = ATTEMPT_ERROR
             error = f"{type(exc).__name__}: {exc}"
+        finally:
+            _heartbeat.clear_emitter()
         duration = time.perf_counter() - start
         if timeout_s is not None and duration > timeout_s:
             # In-process code cannot be interrupted; classify after the
@@ -116,7 +163,17 @@ class SerialRunner:
                 f"exceeded timeout of {timeout_s}s (ran {duration:.3f}s; "
                 "serial runner enforces timeouts post hoc)"
             )
-        self._done.append(Attempt(job.id, status, result, error, duration))
+        self._done.append(
+            Attempt(
+                job.id,
+                status,
+                result,
+                error,
+                duration,
+                progress=beats["progress"],
+                heartbeats=beats["count"],
+            )
+        )
 
     def poll(self) -> List[Attempt]:
         done, self._done = self._done, []
@@ -127,18 +184,28 @@ class SerialRunner:
 
 
 def _child_main(conn, fn, config) -> None:
-    """Worker entry point: run the job, ship (status, result, error)."""
+    """Worker entry point: beat via the pipe, then ship the result.
+
+    Installs the heartbeat emitter before invoking the job, so any
+    ``heartbeat(progress)`` call inside the job function becomes a
+    ``("hb", progress)`` message to the parent; the terminal message is
+    ``("res", status, result, error)``.
+    """
+    _heartbeat.install_emitter(
+        lambda progress: conn.send((_MSG_HEARTBEAT, progress))
+    )
     try:
         result = invoke(fn, config)
-        payload = (ATTEMPT_OK, result, None)
+        payload = (_MSG_RESULT, ATTEMPT_OK, result, None)
     except BaseException as exc:  # noqa: BLE001 - must never escape the child
-        payload = (ATTEMPT_ERROR, None, f"{type(exc).__name__}: {exc}")
+        payload = (_MSG_RESULT, ATTEMPT_ERROR, None, f"{type(exc).__name__}: {exc}")
     try:
         conn.send(payload)
     except Exception as exc:  # unpicklable result: report, don't crash
         try:
             conn.send(
                 (
+                    _MSG_RESULT,
                     ATTEMPT_ERROR,
                     None,
                     f"result not transferable: {type(exc).__name__}: {exc}",
@@ -158,6 +225,11 @@ class _Running:
     started: float
     deadline: Optional[float]
     timeout_s: Optional[float]
+    hang_timeout_s: Optional[float] = None
+    #: perf_counter of the most recent heartbeat (None until the first).
+    last_beat: Optional[float] = None
+    beats: int = 0
+    progress: Optional[float] = None
 
 
 class ProcessPoolRunner:
@@ -188,7 +260,11 @@ class ProcessPoolRunner:
         return len(self._running)
 
     def submit(
-        self, job: Job, config: Optional[Mapping[str, Any]], timeout_s: Optional[float]
+        self,
+        job: Job,
+        config: Optional[Mapping[str, Any]],
+        timeout_s: Optional[float],
+        hang_timeout_s: Optional[float] = None,
     ) -> None:
         if job.id in self._running:
             raise RuntimeError(f"job {job.id!r} is already running")
@@ -206,44 +282,126 @@ class ProcessPoolRunner:
         child_conn.close()  # the parent only reads
         deadline = started + timeout_s if timeout_s is not None else None
         self._running[job.id] = _Running(
-            job, process, parent_conn, started, deadline, timeout_s
+            job,
+            process,
+            parent_conn,
+            started,
+            deadline,
+            timeout_s,
+            hang_timeout_s=hang_timeout_s,
         )
 
+    def _attempt(
+        self,
+        run: _Running,
+        status: str,
+        result: Any,
+        error: Optional[str],
+        now: float,
+    ) -> Attempt:
+        return Attempt(
+            run.job.id,
+            status,
+            result,
+            error,
+            now - run.started,
+            progress=run.progress,
+            heartbeats=run.beats,
+        )
+
+    def _kill(self, run: _Running) -> None:
+        run.process.terminate()
+        run.process.join(1.0)
+        if run.process.is_alive():  # pragma: no cover - stubborn child
+            run.process.kill()
+            run.process.join(1.0)
+
     def _reap(self, run: _Running, now: float) -> Optional[Attempt]:
-        job_id = run.job.id
-        if run.conn.poll():
+        # Liveness is sampled *before* draining the pipe: if the worker
+        # is already dead here, everything it ever sent is in the pipe,
+        # so "drained the pipe and found no result" proves it died
+        # without reporting.  (Checking in the other order races against
+        # a child that sends its result and exits between the two
+        # checks, misclassifying a clean finish as a crash.)
+        alive = run.process.is_alive()
+        pipe_broken = False
+        while True:
             try:
-                status, result, error = run.conn.recv()
+                if not run.conn.poll():
+                    break
+                message = run.conn.recv()
             except (EOFError, OSError):
-                status, result, error = (
-                    ATTEMPT_CRASH,
-                    None,
-                    "worker closed its result pipe without reporting",
-                )
-            return Attempt(job_id, status, result, error, now - run.started)
-        if not run.process.is_alive():
-            # Died without sending a result: a hard crash (segfault,
-            # os._exit, OOM kill).  Contained as a failed attempt.
+                pipe_broken = True
+                break
+            if (
+                isinstance(message, tuple)
+                and len(message) == 2
+                and message[0] == _MSG_HEARTBEAT
+            ):
+                run.beats += 1
+                run.progress = message[1]
+                run.last_beat = now
+                continue
+            if (
+                isinstance(message, tuple)
+                and len(message) == 4
+                and message[0] == _MSG_RESULT
+            ):
+                _tag, status, result, error = message
+                return self._attempt(run, status, result, error, now)
+            return self._attempt(
+                run,
+                ATTEMPT_CRASH,
+                None,
+                f"unrecognized worker message {message!r}",
+                now,
+            )
+        if not alive:
+            # Died without a result: a hard crash (segfault, os._exit,
+            # OOM kill).  Classified immediately on this poll — a dead
+            # child never waits out the wall-clock timeout.
             code = run.process.exitcode
-            return Attempt(
-                job_id,
+            return self._attempt(
+                run,
                 ATTEMPT_CRASH,
                 None,
                 f"worker exited with code {code} before reporting a result",
-                now - run.started,
+                now,
+            )
+        if pipe_broken:
+            return self._attempt(
+                run,
+                ATTEMPT_CRASH,
+                None,
+                "worker closed its result pipe without reporting",
+                now,
+            )
+        if (
+            run.hang_timeout_s is not None
+            and run.last_beat is not None
+            and now - run.last_beat > run.hang_timeout_s
+        ):
+            # The watchdog only fires on jobs that have proven they
+            # beat; silence from a never-beating job means "does not
+            # participate", not "hung".
+            self._kill(run)
+            return self._attempt(
+                run,
+                ATTEMPT_HUNG,
+                None,
+                f"no heartbeat for {now - run.last_beat:.3f}s "
+                f"(hang timeout {run.hang_timeout_s}s, "
+                f"last progress {run.progress!r}); worker killed",
+                now,
             )
         if run.deadline is not None and now > run.deadline:
-            run.process.terminate()
-            run.process.join(1.0)
-            if run.process.is_alive():  # pragma: no cover - stubborn child
-                run.process.kill()
-                run.process.join(1.0)
-            return Attempt(
-                job_id,
+            self._kill(run)
+            return self._attempt(
+                run,
                 ATTEMPT_TIMEOUT,
                 None,
                 f"exceeded timeout of {run.timeout_s}s; worker terminated",
-                now - run.started,
+                now,
             )
         return None
 

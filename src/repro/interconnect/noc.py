@@ -27,7 +27,7 @@ from typing import Deque, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.energy import EnergyLedger
-from ..core.events import Simulator
+from ..core.events import FunctionCheckpoint, Simulator
 from .topology import xy_route
 
 Coord = Tuple[int, int]
@@ -292,6 +292,44 @@ class MeshNoC:
         # a time-sorted workload bulk-loads the kernel's in-order lane.
         kernel.schedule_many(
             np.ceil(injection_arr).tolist(), inject, payloads=packets
+        )
+
+        # Checkpoint support.  Pending departure events carry _LinkState
+        # objects as payloads, so restore must roll the *same* state
+        # objects back in place (and prune links created after the
+        # snapshot); packets are likewise shared by identity.
+        def _ckpt_snapshot():
+            return (
+                last_delivery,
+                hops,
+                injected,
+                len(delivered),
+                [(p.hop_index, p.delivered_at) for p in packets],
+                [
+                    (link, state, list(state.queue), state.next_free,
+                     state.busy)
+                    for link, state in links.items()
+                ],
+                self.faults_injected,
+            )
+
+        def _ckpt_restore(saved):
+            nonlocal last_delivery, hops, injected
+            last_delivery, hops, injected = saved[0], saved[1], saved[2]
+            del delivered[saved[3]:]
+            for packet, (hop_index, delivered_at) in zip(packets, saved[4]):
+                packet.hop_index = hop_index
+                packet.delivered_at = delivered_at
+            links.clear()
+            for link, state, queue, next_free, busy in saved[5]:
+                state.queue = deque(queue)
+                state.next_free = next_free
+                state.busy = busy
+                links[link] = state
+            self.faults_injected = saved[6]
+
+        kernel.register_checkpointable(
+            FunctionCheckpoint(_ckpt_snapshot, _ckpt_restore)
         )
         kernel.run(until=float(max_cycles))
         # Per-hop/injection accounting batches exactly: the locals count

@@ -1,0 +1,46 @@
+"""repro.resilience — checkpoint/restart, watchdog resume, fault campaigns.
+
+The paper's cross-cutting "ilities" agenda (Section 2.4) demands that
+reliability mechanisms span the stack.  This package is that layer for
+the library itself:
+
+* :mod:`repro.resilience.checkpoint` — periodic in-process kernel
+  snapshots (:class:`CheckpointManager`, the substrate of the golden
+  crash-resume determinism guarantee) and durable cross-process job
+  progress (:class:`JobCheckpointStore`, the substrate of watchdog
+  resume in :mod:`repro.exec`).
+* :mod:`repro.resilience.campaign` — fleet-wide fault-campaign
+  orchestration over every :class:`~repro.crosscut.faults.FaultTarget`
+  model, producing a machine-readable :class:`ResilienceReport`
+  (``python -m repro resilience``).
+"""
+
+from .campaign import (
+    ALL_MODELS,
+    DEFAULT_INTENSITIES,
+    ResilienceReport,
+    architectural_campaign,
+    campaign_job,
+    run_campaign,
+)
+from .checkpoint import (
+    STORE_VERSION,
+    CheckpointManager,
+    JobCheckpointStore,
+    SimulatedCrash,
+    schedule_crash,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "CheckpointManager",
+    "DEFAULT_INTENSITIES",
+    "JobCheckpointStore",
+    "ResilienceReport",
+    "STORE_VERSION",
+    "SimulatedCrash",
+    "architectural_campaign",
+    "campaign_job",
+    "run_campaign",
+    "schedule_crash",
+]

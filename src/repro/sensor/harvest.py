@@ -149,6 +149,7 @@ class IntermittentNode:
         self.checkpoints = 0
         self.failures = 0
         self.ticks = 0
+        self.faults_injected = 0
 
     def finish(self) -> None:
         if self._stats is not None:
@@ -156,6 +157,55 @@ class IntermittentNode:
             self._stats.counter("power_failures").inc(self.failures)
             self._stats.counter("quanta_committed").inc(self.committed)
             self._stats.gauge("stored_j").set(self.stored_j)
+
+    # -- Checkpointable protocol -------------------------------------------
+
+    def snapshot_state(self):
+        return (
+            self.stored_j,
+            self.executing,
+            self.uncommitted,
+            self.committed,
+            self.total_done,
+            self.re_executed,
+            self.checkpoints,
+            self.failures,
+            self.ticks,
+            self.faults_injected,
+        )
+
+    def restore_state(self, state) -> None:
+        (
+            self.stored_j,
+            self.executing,
+            self.uncommitted,
+            self.committed,
+            self.total_done,
+            self.re_executed,
+            self.checkpoints,
+            self.failures,
+            self.ticks,
+            self.faults_injected,
+        ) = state
+
+    # -- fault-injection hook ----------------------------------------------
+
+    def inject_fault(self, sim: Simulator, rng) -> str:
+        """Transient energy fault: lose a random fraction of stored charge.
+
+        Models a harvesting glitch / capacitor leakage burst.  If the
+        drain pulls the node below the brown-out floor while executing,
+        uncommitted work is lost exactly as on a natural power failure.
+        """
+        fraction = float(rng.uniform(0.5, 1.0))
+        lost = self.stored_j * fraction
+        self.stored_j -= lost
+        if self.executing and self.stored_j < self.config.brown_out_j:
+            self._brown_out()
+        self.faults_injected += 1
+        if self._stats is not None:
+            self._stats.counter("faults").inc()
+        return f"energy drain {fraction:.0%} ({lost:.2e} J lost)"
 
     def _brown_out(self) -> None:
         self.executing = False

@@ -1,0 +1,188 @@
+"""Fault-injector lifecycle guards and deterministic outcome classification.
+
+PR4 satellites: the :class:`KernelFaultInjector` arm/disarm guard (a
+double arm would silently double the fault rate), its RNG's
+participation in kernel checkpoint/restore (replayed fault events must
+redraw identical parameters), and a classification test for
+:func:`injection_campaign` built on *constructed* flips whose outcomes
+are known a priori — plus the checker-mutation hazard that motivates
+the "checkers must not mutate the live register list" contract in
+``execute_registers``.
+"""
+
+import pytest
+
+from repro.core.events import FunctionCheckpoint, Simulator
+from repro.crosscut.faults import (
+    KernelFaultInjector,
+    Outcome,
+    execute_registers,
+    injection_campaign,
+)
+from repro.crosscut.invariants import range_invariant_checker
+from repro.processor.isa import Instruction, Opcode
+
+
+class RecordingTarget:
+    """FaultTarget that logs each delivery's rng draw."""
+
+    def __init__(self):
+        self.hits = []
+
+    def inject_fault(self, sim, rng):
+        self.hits.append((round(sim.now, 9), float(rng.uniform())))
+
+
+class TestInjectorLifecycle:
+    def test_double_arm_raises(self):
+        sim = Simulator()
+        injector = KernelFaultInjector(mean_interval=5.0, rng=1)
+        injector.register(RecordingTarget())
+        assert not injector.armed
+        injector.arm(sim, horizon=100.0)
+        assert injector.armed
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm(sim, horizon=100.0)
+
+    def test_disarm_is_idempotent_and_allows_rearm(self):
+        sim = Simulator()
+        injector = KernelFaultInjector(mean_interval=5.0, rng=1)
+        injector.register(RecordingTarget())
+        scheduled = injector.arm(sim, horizon=100.0)
+        assert injector.disarm() == scheduled
+        assert injector.disarm() == 0  # second disarm: no-op
+        assert not injector.armed
+        injector.arm(sim, horizon=100.0)  # legal again after disarm
+        assert injector.armed
+
+    def test_disarm_before_arm_is_a_noop(self):
+        injector = KernelFaultInjector(mean_interval=5.0)
+        assert injector.disarm() == 0
+
+    def test_bad_target_rejected(self):
+        injector = KernelFaultInjector(mean_interval=5.0)
+        with pytest.raises(TypeError, match="inject_fault"):
+            injector.register(object())
+
+
+class TestInjectorCheckpointing:
+    def test_restore_replays_identical_fault_train(self):
+        """The injector's RNG advances on every delivery, so it rides
+        in kernel snapshots: a restored run must redraw the identical
+        per-fault parameters, or crash-resume determinism breaks."""
+        sim = Simulator()
+        target = RecordingTarget()
+        injector = KernelFaultInjector(mean_interval=3.0, rng=42)
+        injector.register(target)
+        # The hit log is state too: roll it back with the kernel.
+        sim.register_checkpointable(FunctionCheckpoint(
+            lambda: len(target.hits),
+            lambda n: target.hits.__delitem__(slice(n, None)),
+        ))
+        injector.arm(sim, horizon=60.0)  # arm() registers the injector
+        snap = sim.snapshot(label="pre-run")
+
+        sim.run()
+        first = list(target.hits)
+        assert injector.injected == len(first) > 3
+
+        sim.restore(snap)
+        assert target.hits == []
+        assert injector.injected == 0
+        sim.run()
+        assert target.hits == first
+        assert injector.injected == len(first)
+
+
+# -- deterministic classification -------------------------------------------
+#
+# regs start as [1, 2, 3, ..., 32] (regs[i] = i + 1).  The two-ALU
+# trace below makes each outcome constructible:
+#   i0: r0 <- r1 + r2   (= 5)
+#   i1: r3 <- r0 + r1   (= 7)
+
+_TRACE = [
+    Instruction(opcode=Opcode.ALU, dst=0, srcs=(1, 2)),
+    Instruction(opcode=Opcode.ALU, dst=3, srcs=(0, 1)),
+]
+
+#: Flip r0 before i0: i0 overwrites r0 without reading it -> MASKED.
+_MASKED_FLIP = (0, 0, 4)
+#: Flip r10 (never read, never written) -> survives to the end -> SDC.
+_SDC_FLIP = (0, 10, 3)
+#: Flip a high bit of r10: busts the 2^20 range invariant -> DETECTED.
+_HIGH_FLIP = (0, 10, 40)
+
+
+class TestDeterministicClassification:
+    def test_masked_flip(self):
+        result = injection_campaign(_TRACE, flips=[_MASKED_FLIP])
+        assert result.outcomes[Outcome.MASKED] == 1
+
+    def test_sdc_flip(self):
+        result = injection_campaign(_TRACE, flips=[_SDC_FLIP])
+        assert result.outcomes[Outcome.SDC] == 1
+
+    def test_detected_flip(self):
+        result = injection_campaign(
+            _TRACE,
+            flips=[_HIGH_FLIP],
+            checker=range_invariant_checker(bound=1 << 20),
+        )
+        assert result.outcomes[Outcome.DETECTED] == 1
+
+    def test_mixed_flips_partition_exactly(self):
+        result = injection_campaign(
+            _TRACE,
+            flips=[_MASKED_FLIP, _SDC_FLIP, _HIGH_FLIP, _MASKED_FLIP],
+            checker=range_invariant_checker(bound=1 << 20),
+        )
+        assert result.outcomes == {
+            Outcome.MASKED: 2, Outcome.SDC: 1, Outcome.DETECTED: 1,
+        }
+        assert result.total == 4
+
+    def test_flips_override_is_rng_free(self):
+        """Explicit flips draw nothing from rng: any seed, same answer."""
+        a = injection_campaign(_TRACE, flips=[_SDC_FLIP], rng=0)
+        b = injection_campaign(_TRACE, flips=[_SDC_FLIP], rng=999)
+        assert a.outcomes == b.outcomes
+
+    def test_empty_flips_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            injection_campaign(_TRACE, flips=[])
+
+
+class TestCheckerMutationHazard:
+    """``execute_registers`` hands checkers the *live* register list
+    (keeping the hot path copy-free).  These tests pin down both sides
+    of that contract: a well-behaved checker leaves classification
+    intact, and a mutating checker visibly corrupts it — which is why
+    the docstring forbids mutation."""
+
+    def test_read_only_checker_preserves_masking(self):
+        result = injection_campaign(
+            _TRACE,
+            flips=[_MASKED_FLIP],
+            checker=range_invariant_checker(bound=1 << 20),
+        )
+        assert result.outcomes[Outcome.MASKED] == 1
+
+    def test_mutating_checker_corrupts_classification(self):
+        def vandal(regs):
+            regs[20] = 0  # mutates the live register file
+            return True
+
+        result = injection_campaign(_TRACE, flips=[_MASKED_FLIP], checker=vandal)
+        # The flip itself is masked, but the checker's write survives
+        # into the final state, so the run misclassifies as SDC.
+        assert result.outcomes[Outcome.SDC] == 1
+
+    def test_mutation_visible_in_final_registers(self):
+        def vandal(regs):
+            regs[20] = 0
+            return True
+
+        final, detected = execute_registers(_TRACE, checker=vandal)
+        assert not detected
+        assert final[20] == 0  # golden value would be 21
