@@ -11,6 +11,8 @@ Usage::
     python -m repro --timeout 60       # per-experiment timeout (seconds)
     python -m repro --verbose          # include each experiment's raw numbers
     python -m repro E07 --instrument   # also print kernel metrics/quantiles
+    python -m repro E07 --trace        # span-trace the sweep's workers
+    python -m repro E07 --profile      # + sampling sim-profiler
 
 Experiments run through :mod:`repro.exec`: a raising, hanging, or
 crashing experiment becomes a FAILED/TIMEOUT row and the sweep still
@@ -21,6 +23,8 @@ Subcommands::
 
     python -m repro resilience ...     # fleet-wide fault campaign
                                        # (see repro.resilience.campaign)
+    python -m repro obs ...            # observability sweep + exporters
+                                       # (see repro.obs.cli)
 """
 
 from __future__ import annotations
@@ -40,6 +44,10 @@ def main(argv: list[str] | None = None) -> int:
         from .resilience.campaign import main as resilience_main
 
         return resilience_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from .obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -82,6 +90,20 @@ def main(argv: list[str] | None = None) -> int:
             "latency quantiles after the runs"
         ),
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "capture span traces + metrics in every worker and print "
+            "the merged per-experiment span summary after the sweep"
+        ),
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "also run the sampling sim-profiler in every worker "
+            "(implies --trace) and print the top collapsed stacks"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -95,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.instrument:
         instrument.enable_session()
+    telemetry = None
+    if args.trace or args.profile:
+        from .obs.telemetry import TelemetryOptions
+
+        telemetry = TelemetryOptions(
+            profile_period=16 if args.profile else 0,
+        )
 
     only = _expand_ids(args.experiments) or None
     try:
@@ -104,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache,
             retries=args.retries,
             timeout_s=args.timeout,
+            telemetry=telemetry,
         )
     except KeyError as exc:
         parser.error(str(exc))
@@ -120,6 +150,23 @@ def main(argv: list[str] | None = None) -> int:
         if metrics_report:
             print("\nKernel metrics (per component):")
             print(metrics_report)
+    if telemetry is not None and report is not None and report.telemetry:
+        from .obs.spans import span_stream_digest
+        from .obs.telemetry import payload_spans
+
+        merged = report.telemetry
+        print("\nSpan traces (per experiment):")
+        for job_id in sorted(merged["spans"]):
+            records = payload_spans({"spans": merged["spans"][job_id]})
+            digest = span_stream_digest(records)
+            print(f"  {job_id:<6} {len(records):>6} spans  sha256 {digest[:16]}")
+        if merged["spans_dropped"]:
+            print(f"  ({merged['spans_dropped']} spans dropped at capacity)")
+        if args.profile and merged["profile"]:
+            top = sorted(merged["profile"].items(), key=lambda kv: -kv[1])[:10]
+            print("\nTop profile stacks (samples):")
+            for stack, count in top:
+                print(f"  {count:>8}  {stack}")
     if args.verbose:
         for eid in sorted(results):
             print(f"\n[{eid}] {REGISTRY.get(eid).claim}")

@@ -82,6 +82,7 @@ class ExperimentRegistry:
         timeout_s: Optional[float] = None,
         runner: Optional["Runner"] = None,
         cache: Optional["ResultCache"] = None,
+        telemetry: Optional[object] = None,
     ) -> dict[str, dict]:
         """Run experiments through the execution engine.
 
@@ -90,6 +91,11 @@ class ExperimentRegistry:
         ``status`` of FAILED/TIMEOUT and an ``error`` message, and every
         other experiment still completes.  Unknown ids raise ``KeyError``
         up front, before anything runs.
+
+        ``telemetry`` (a :class:`repro.obs.telemetry.TelemetryOptions`)
+        makes every worker capture metrics/spans/profile; the merged
+        result lands on ``self.last_report.telemetry`` (the CLI's
+        ``--trace``/``--profile`` flags route through this).
         """
         from ..exec import (
             ExecutionEngine,
@@ -114,6 +120,7 @@ class ExperimentRegistry:
             cache=cache,
             default_retries=retries,
             default_timeout_s=timeout_s,
+            telemetry=telemetry,
         )
         report = engine.run(graph)
         self.last_report = report

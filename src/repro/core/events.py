@@ -317,6 +317,30 @@ class SimModel(Protocol):
     def finish(self) -> None: ...
 
 
+_INIT_HOOKS: List[Callable[["Simulator"], None]] = []
+
+
+def add_init_hook(hook: Callable[["Simulator"], None]) -> Callable[["Simulator"], None]:
+    """Register ``hook(sim)`` to run at the end of every ``Simulator()``.
+
+    This is the attachment point for process-wide observability (the
+    session tracer registers its span sink as a checkpointable on each
+    new simulator, the sim-profiler attaches its probe) without the
+    kernel importing any of it.  Hooks run in registration order; with
+    none registered the constructor pays a single emptiness check.
+    """
+    _INIT_HOOKS.append(hook)
+    return hook
+
+
+def remove_init_hook(hook: Callable[["Simulator"], None]) -> None:
+    """Unregister a hook added by :func:`add_init_hook` (missing is a no-op)."""
+    try:
+        _INIT_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -380,6 +404,9 @@ class Simulator:
         #: Always empty outside run(); snapshot() counts these as
         #: pending alongside the heap.
         self._parked: list[tuple[float, int, Any, EventCallback, Any]] = []
+        if _INIT_HOOKS:
+            for hook in list(_INIT_HOOKS):
+                hook(self)
 
     def _flush_lazy_snapshots(self) -> None:
         """Materialize outstanding copy-on-write snapshots.
@@ -411,13 +438,23 @@ class Simulator:
         over-counts by however many cancelled events have not yet been
         purged.  Use :meth:`pending_live` for the exact number of events
         that will still fire.
+
+        Both counts include entries parked by ``run()``'s bulk-lane mode
+        (still pending, just held out of the heap) and are exact between
+        runs; from *inside* a callback they may additionally include
+        already-consumed lane entries, because the run loop keeps its
+        lane cursor in a local until it returns.
         """
-        return len(self._heap) + len(self._lane) - self._lane_pos
+        return len(self._heap) + len(self._parked) + len(self._lane) - self._lane_pos
 
     def pending_live(self) -> int:
         """Number of pending events that are *not* cancelled (O(n))."""
         live = sum(
             1 for _t, _s, token, _cb, _p in self._heap
+            if token is None or not token.cancelled
+        )
+        live += sum(
+            1 for _t, _s, token, _cb, _p in self._parked
             if token is None or not token.cancelled
         )
         lane = self._lane
@@ -426,6 +463,19 @@ class Simulator:
             if token is None or not token.cancelled:
                 live += 1
         return live
+
+    def __repr__(self) -> str:
+        """Debugging summary; ``live`` is the count that will actually fire.
+
+        ``pending`` is ``len(self)`` (lazily-cancelled entries included),
+        ``live`` is :meth:`pending_live` — shown separately because the
+        two legitimately disagree while cancellations await purge.
+        """
+        return (
+            f"<Simulator t={self._now:g} pending={len(self)}"
+            f" live={self.pending_live()}"
+            f" executed={self.stats.events_executed}>"
+        )
 
     # -- model / probe registration ---------------------------------------
 
@@ -734,6 +784,14 @@ class Simulator:
         probes = self._probes
         stats_obj = self.stats
         executed = 0
+        # Span tracing costs one attribute probe per run() call, never
+        # per event: with no tracer attached the drain below is untouched.
+        tracer = getattr(self.metrics, "tracer", None)
+        run_span = (
+            tracer.begin("kernel.run", sim_time=self._now, category="kernel")
+            if tracer is not None else None
+        )
+        completed = False
         try:
             if until is None and max_events is None:
                 # Fastest path: unconditional drain, merged two-lane pop.
@@ -874,6 +932,7 @@ class Simulator:
                                       callback=callback, payload=entry[4])
                         for probe in probes:
                             probe(self, event)
+            completed = True
         finally:
             self._running = False
             if self._parked:
@@ -887,6 +946,13 @@ class Simulator:
                 del lane[:pos]  # compact the consumed prefix
             self._lane_pos = 0
             stats_obj.events_executed += executed
+            if run_span is not None:
+                tracer.end(
+                    run_span,
+                    sim_time=self._now,
+                    status="ok" if completed else "error",
+                    events=executed,
+                )
         stats_obj.end_time = self._now
         return stats_obj
 

@@ -44,9 +44,11 @@ __all__ = [
     "NULL_REGISTRY",
     "TraceEvent",
     "TraceSink",
+    "current_session",
     "default_registry",
     "disable_session",
     "enable_session",
+    "install_session",
 ]
 
 
@@ -217,6 +219,46 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    # -- mergeable state (cross-process telemetry) -------------------------
+
+    def to_state(self) -> dict:
+        """Serializable state for shipping across a process boundary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "capacity": self._capacity,
+            "reservoir": list(self._reservoir),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`to_state` into this one.
+
+        ``count``/``total`` add and ``min``/``max`` combine exactly, so
+        the merge is associative and commutative for those fields.  The
+        quantile reservoirs are merged as a sorted multiset; when the
+        union exceeds capacity it is reduced by a deterministic
+        systematic subsample over the sorted values, which keeps the
+        merge commutative (the sorted union is order-free) and
+        associative as long as the union stays within capacity.
+        """
+        if not state["count"]:
+            return
+        self.count += state["count"]
+        self.total += state["total"]
+        if state["min"] < self.min:
+            self.min = state["min"]
+        if state["max"] > self.max:
+            self.max = state["max"]
+        combined = sorted(self._reservoir + [float(v) for v in state["reservoir"]])
+        m = len(combined)
+        cap = self._capacity
+        if m > cap:
+            combined = [combined[int((i + 0.5) * m / cap)] for i in range(cap)]
+        self._reservoir = combined
+        self._sorted_cache = None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self.count})"
 
@@ -326,6 +368,10 @@ class MetricsRegistry:
         self.trace_sink: Optional[TraceSink] = (
             TraceSink(trace_capacity) if (enabled and trace_capacity) else None
         )
+        # Optional span tracer (see repro.obs.spans).  The kernel reads
+        # this once per run() call — not per event — so a None tracer
+        # costs one getattr per drain.
+        self.tracer: Optional[Any] = None
 
     # -- factories ---------------------------------------------------------
 
@@ -433,6 +479,68 @@ class MetricsRegistry:
         for name, delta in pairs:
             self.counter(name).inc(delta)
 
+    # -- mergeable state (cross-process telemetry) -------------------------
+
+    @staticmethod
+    def _gauge_key(value: float) -> float:
+        # NaN (the unset value) sorts below every real sample.
+        return -math.inf if math.isnan(value) else value
+
+    def to_state(self) -> dict:
+        """Picklable/JSON-able state of every instrument, stable order.
+
+        The inverse is :meth:`merge_state`; together they let worker
+        processes ship their registries over the result pipe and the
+        engine fold them into one report deterministically.
+        """
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {
+                n: {"value": self._gauges[n].value, "samples": self._gauges[n].samples}
+                for n in sorted(self._gauges)
+            },
+            "histograms": {
+                n: self._histograms[n].to_state() for n in sorted(self._histograms)
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`to_state` into this one.
+
+        Merge semantics are conflict-free and order-independent:
+
+        * counters add;
+        * gauges keep the maximum observed value (NaN counts as unset)
+          and sum their sample counts — across processes there is no
+          meaningful "last" value, so the merged gauge reads as the peak
+          across contributors;
+        * histograms merge exactly for count/total/min/max and by
+          deterministic sorted-multiset union for the quantile
+          reservoir (see :meth:`Histogram.merge_state`).
+
+        Names are visited in sorted order so repeated merges create
+        instruments in a stable order.
+        """
+        for name in sorted(state.get("counters", ())):
+            self.counter(name).inc(state["counters"][name])
+        for name in sorted(state.get("gauges", ())):
+            st = state["gauges"][name]
+            g = self.gauge(name)
+            if st["samples"]:
+                if g.samples == 0 or self._gauge_key(st["value"]) > self._gauge_key(g.value):
+                    g.value = float(st["value"])
+                g.samples += st["samples"]
+        for name in sorted(state.get("histograms", ())):
+            st = state["histograms"][name]
+            self.histogram(name, capacity=st["capacity"]).merge_state(st)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRegistry":
+        """A fresh enabled registry rebuilt from :meth:`to_state`."""
+        reg = cls(enabled=True)
+        reg.merge_state(state)
+        return reg
+
 
 NULL_REGISTRY = MetricsRegistry(enabled=False)
 """Shared disabled registry; every factory method returns a null
@@ -457,6 +565,25 @@ def disable_session() -> None:
     """Drop the session registry; models fall back to the null registry."""
     global _session
     _session = None
+
+
+def install_session(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Swap in a specific session registry, returning the previous one.
+
+    Worker processes use this to scope a private registry around one job
+    attempt (``prev = install_session(mine) ... install_session(prev)``)
+    so telemetry from the job never leaks into — or picks up — whatever
+    session the surrounding process had.
+    """
+    global _session
+    prev = _session
+    _session = registry
+    return prev
+
+
+def current_session() -> Optional[MetricsRegistry]:
+    """The installed session registry, or None when instrumentation is off."""
+    return _session
 
 
 def default_registry() -> MetricsRegistry:

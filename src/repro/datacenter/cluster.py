@@ -175,6 +175,11 @@ class ClusterSimulator:
         arrived = stats.counter("requests")
         completed = stats.counter("completions")
         lat_hist = stats.histogram("latency_s")
+        # Span tracing: one attribute probe per run, hoisted out of the
+        # arrival hot path; per-request spans are emitted *completed* at
+        # arrival time (the finish instant is known then), which is what
+        # lets them replay identically after a checkpoint restore.
+        tracer = getattr(kernel.metrics, "tracer", None)
 
         arrivals = np.cumsum(gen.exponential(1.0 / arrival_rate, n_requests))
         arrival_times = arrivals.tolist()
@@ -222,6 +227,8 @@ class ClusterSimulator:
             s.schedule_at(finish, complete, srv, cancellable=False)
             latencies[i] = finish - t
             busy += service
+            if tracer is not None:
+                tracer.emit("cluster.request", t, finish, i=i, server=srv)
             if i + 1 < n_requests:
                 s.schedule_at(
                     arrival_times[i + 1], arrive, i + 1, cancellable=False
@@ -256,7 +263,12 @@ class ClusterSimulator:
         kernel.register_checkpointable(
             FunctionCheckpoint(_ckpt_snapshot, _ckpt_restore)
         )
-        kernel.run()
+        if tracer is not None:
+            with tracer.span("cluster.run", sim=kernel, category="model",
+                             requests=n_requests, servers=cfg.n_servers):
+                kernel.run()
+        else:
+            kernel.run()
         # Every arrival runs and every request completes (the kernel
         # drains), so the counters batch to exact totals and the
         # latency histogram sees the same values in the same order.

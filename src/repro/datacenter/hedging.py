@@ -96,6 +96,10 @@ def kernel_hedged_latencies(
     hedges_ctr = stats.counter("hedges_launched")
     cancel_ctr = stats.counter("losers_cancelled")
     lat_hist = stats.histogram("latency_ms")
+    # Per-request spans are emitted completed at the winning reply, so
+    # they carry the full arrival->completion interval and replay
+    # identically after a checkpoint restore.
+    tracer = getattr(kernel.metrics, "tracer", None)
     latencies = np.empty(n_requests)
     primary_t = primary.tolist()
     backup_t = backup.tolist()
@@ -110,6 +114,7 @@ def kernel_hedged_latencies(
     def finish_primary(s: Simulator, req: _Request) -> None:
         nonlocal cancelled_count
         latencies[req.i] = s.now - req.start
+        hedged = req.hedge is None  # hedge timer already fired
         # Cancel the race loser still in flight (the hedge timer if it
         # has not fired, else the backup reply) through the kernel.
         if req.hedge is not None:
@@ -120,6 +125,9 @@ def kernel_hedged_latencies(
             req.backup.cancel()
             req.backup = None
             cancelled_count += 1
+        if tracer is not None:
+            tracer.emit("hedge.request", req.start, s.now,
+                        i=req.i, winner="primary", hedged=hedged)
 
     def finish_backup(s: Simulator, req: _Request) -> None:
         nonlocal cancelled_count
@@ -127,6 +135,9 @@ def kernel_hedged_latencies(
         req.primary.cancel()
         req.primary = None
         cancelled_count += 1
+        if tracer is not None:
+            tracer.emit("hedge.request", req.start, s.now,
+                        i=req.i, winner="backup", hedged=True)
 
     def hedge(s: Simulator, req: _Request) -> None:
         nonlocal hedged_count
@@ -185,7 +196,12 @@ def kernel_hedged_latencies(
     kernel.register_checkpointable(
         FunctionCheckpoint(_ckpt_snapshot, _ckpt_restore)
     )
-    kernel.run()
+    if tracer is not None:
+        with tracer.span("hedging.run", sim=kernel, category="model",
+                         requests=n_requests):
+            kernel.run()
+    else:
+        kernel.run()
     hedges_ctr.inc(hedged_count)
     cancel_ctr.inc(cancelled_count)
     # Batched in request order (not completion order): same multiset of

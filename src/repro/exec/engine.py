@@ -93,6 +93,10 @@ class RunReport:
     records: Dict[str, JobRecord] = field(default_factory=dict)
     wall_time_s: float = 0.0
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Merged cross-process telemetry (metrics state, per-job span
+    #: streams, profile) when the engine ran with ``telemetry=``;
+    #: see :func:`repro.obs.telemetry.merge_job_telemetry`.
+    telemetry: Optional[dict] = None
 
     def __getitem__(self, job_id: str) -> JobRecord:
         return self.records[job_id]
@@ -176,6 +180,7 @@ class ExecutionEngine:
         hang_timeout_s: Optional[float] = None,
         checkpoint_root: Optional[str] = None,
         max_resumes: int = 8,
+        telemetry: Optional[Any] = None,
     ) -> None:
         if default_retries < 0:
             raise ValueError("default_retries must be non-negative")
@@ -204,6 +209,10 @@ class ExecutionEngine:
         #: Safety cap on free (progress-backed) resumes per job, so a
         #: job that inches forward forever cannot pin the sweep.
         self.max_resumes = max_resumes
+        #: :class:`repro.obs.telemetry.TelemetryOptions` (or None).
+        #: When set, every attempt captures metrics/spans/profile in its
+        #: worker and the report carries the deterministic merge.
+        self.telemetry = telemetry
 
     # -- policy resolution -------------------------------------------------
 
@@ -227,7 +236,10 @@ class ExecutionEngine:
 
     def run(self, graph: JobGraph) -> RunReport:
         registry = self._metrics if self._metrics is not None else default_registry()
+        tracer = getattr(registry, "tracer", None)
         order = graph.topo_order()
+        #: Latest telemetry payload per job (worker "tel" frames).
+        job_telemetry: Dict[str, Optional[dict]] = {}
         dependents = graph.dependents()
         remaining_deps = {jid: len(graph.get(jid).deps) for jid in order}
         configs: Dict[str, Optional[dict]] = {}
@@ -280,6 +292,14 @@ class ExecutionEngine:
         def finish(jid: str, record: JobRecord) -> None:
             records[jid] = record
             registry.counter(f"exec.jobs.{record.status.value}").inc()
+            if tracer is not None:
+                tracer.emit(
+                    "exec.job", None, None, category="exec",
+                    status="ok" if record.status is JobStatus.SUCCEEDED
+                    else "error",
+                    job=jid, job_status=record.status.value,
+                    attempts=record.attempts, cached=record.cached,
+                )
             if record.status is JobStatus.SUCCEEDED:
                 registry.histogram("exec.job.wall_s").observe(record.wall_time_s)
                 for child in dependents[jid]:
@@ -327,20 +347,18 @@ class ExecutionEngine:
                         )
                         return
             attempts[jid] += 1
+            extras: Dict[str, Any] = {}
+            if self.hang_timeout_s is not None:
+                extras["hang_timeout_s"] = self.hang_timeout_s
+            if self.telemetry is not None:
+                extras["telemetry"] = self.telemetry
             try:
-                if self.hang_timeout_s is not None:
-                    self.runner.submit(
-                        job,
-                        submit_config_for(jid),
-                        self._effective_timeout(job),
-                        self.hang_timeout_s,
-                    )
-                else:
-                    # Three-argument form keeps pre-watchdog Runner
-                    # implementations working when no watchdog is asked.
-                    self.runner.submit(
-                        job, submit_config_for(jid), self._effective_timeout(job)
-                    )
+                # Bare three-argument form keeps pre-watchdog/-telemetry
+                # Runner implementations working when neither is asked.
+                self.runner.submit(
+                    job, submit_config_for(jid), self._effective_timeout(job),
+                    **extras,
+                )
             except Exception as exc:  # submission itself failed (e.g. pickling)
                 finish(
                     jid,
@@ -358,6 +376,8 @@ class ExecutionEngine:
             jid = attempt.job_id
             running.discard(jid)
             job = graph.get(jid)
+            if attempt.telemetry is not None:
+                job_telemetry[jid] = attempt.telemetry
             made_progress = attempt.progress is not None and (
                 jid not in progress_hwm or attempt.progress > progress_hwm[jid]
             )
@@ -461,6 +481,16 @@ class ExecutionEngine:
             wall_time_s=time.perf_counter() - start,
             cache_stats=self.cache.stats() if self.cache is not None else {},
         )
+        if self.telemetry is not None:
+            # Merge once, after the run, in sorted job order — never at
+            # absorb time, which follows nondeterministic pool timing.
+            from ..obs.telemetry import merge_job_telemetry
+
+            report.telemetry = merge_job_telemetry(
+                {jid: job_telemetry.get(jid) for jid in order}
+            )
+            if registry.enabled:
+                registry.merge_state(report.telemetry["metrics"])
         return report
 
 
@@ -474,14 +504,16 @@ def run_jobs(
     metrics: Optional[MetricsRegistry] = None,
     hang_timeout_s: Optional[float] = None,
     checkpoint_root: Optional[str] = None,
+    telemetry: Optional[Any] = None,
 ) -> RunReport:
     """One-call convenience: build runner + cache, run the graph.
 
     ``jobs > 1`` selects the :class:`ProcessPoolRunner`; ``cache_dir``
     enables the on-disk result cache; ``hang_timeout_s`` arms the
     heartbeat watchdog and ``checkpoint_root`` gives checkpointing jobs
-    a durable home.  This is the entry point the CLI and the experiment
-    registry share.
+    a durable home; ``telemetry`` captures per-worker metrics/spans and
+    merges them into ``report.telemetry``.  This is the entry point the
+    CLI and the experiment registry share.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -496,5 +528,6 @@ def run_jobs(
         metrics=metrics,
         hang_timeout_s=hang_timeout_s,
         checkpoint_root=checkpoint_root,
+        telemetry=telemetry,
     )
     return engine.run(graph)

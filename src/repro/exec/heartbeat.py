@@ -4,8 +4,11 @@ Job functions call :func:`heartbeat` as they make progress.  Inside a
 :class:`~repro.exec.runners.ProcessPoolRunner` worker, the runner has
 installed an emitter that forwards each beat — a monotonically
 nondecreasing ``progress`` float, typically simulated time or completed
-reps — up the job's result pipe as a ``("hb", progress)`` message.  The
-parent's poll loop uses beats two ways:
+reps — up the job's result pipe as a ``("hb", progress)`` message.  (The
+same pipe carries the attempt's telemetry as a single optional
+``("tel", payload)`` frame just before the final ``("res", ...)`` frame
+when the run has :class:`~repro.obs.telemetry.TelemetryOptions`
+enabled.)  The parent's poll loop uses beats two ways:
 
 * **hang detection** — once a job has emitted at least one beat, silence
   longer than ``hang_timeout_s`` classifies the worker as ``hung`` and

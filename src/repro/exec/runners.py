@@ -19,11 +19,15 @@ hits, retry backoff, and dependency release over any backend.
   a worker that hangs past the job deadline is terminated and reported
   as ``timeout``.  A bad job can never take down the sweep.
 
-Watchdog heartbeats
--------------------
+Watchdog heartbeats and telemetry
+---------------------------------
 The result pipe carries tagged messages: ``("hb", progress)`` beats
-emitted by the job via :func:`repro.exec.heartbeat.heartbeat`, then one
-``("res", status, result, error)`` terminal message.  Once a worker has
+emitted by the job via :func:`repro.exec.heartbeat.heartbeat`, an
+optional ``("tel", payload)`` telemetry frame (the worker's metrics
+registry, span buffer, and profile — see :mod:`repro.obs.telemetry`)
+sent just before the terminal message when the engine requested
+telemetry, then one ``("res", status, result, error)`` terminal
+message.  Once a worker has
 emitted at least one beat, silence longer than ``hang_timeout_s``
 classifies it as ``hung`` — detected in a fraction of the wall-clock
 timeout — and it is killed; the engine then resumes the job from its
@@ -55,6 +59,7 @@ ATTEMPT_HUNG = "hung"
 #: Pipe message tags (worker -> parent).
 _MSG_HEARTBEAT = "hb"
 _MSG_RESULT = "res"
+_MSG_TELEMETRY = "tel"
 
 
 @dataclass
@@ -72,6 +77,9 @@ class Attempt:
     progress: Optional[float] = None
     #: Number of heartbeats received from this attempt.
     heartbeats: int = 0
+    #: Telemetry payload from the worker's ("tel", ...) frame (None when
+    #: telemetry was not requested or the worker died before sending it).
+    telemetry: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -96,12 +104,17 @@ class Runner(Protocol):
         config: Optional[Mapping[str, Any]],
         timeout_s: Optional[float],
         hang_timeout_s: Optional[float] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         """Begin one attempt.  ``config``/``timeout_s`` are the engine's
         resolved values (seed injected, defaults applied).
         ``hang_timeout_s`` arms the heartbeat watchdog: after the first
         beat, silence longer than this classifies the attempt ``hung``.
-        Backends without preemption may ignore it."""
+        ``telemetry`` (a :class:`repro.obs.telemetry.TelemetryOptions`)
+        asks the attempt to capture metrics/spans/profile and attach the
+        payload to its :class:`Attempt`.  Backends without preemption
+        may ignore ``hang_timeout_s``; both extras are keyword-optional
+        so pre-existing runners keep working."""
         ...
 
     def poll(self) -> List[Attempt]:
@@ -131,6 +144,7 @@ class SerialRunner:
         config: Optional[Mapping[str, Any]],
         timeout_s: Optional[float],
         hang_timeout_s: Optional[float] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         # In-process jobs cannot be preempted, so hang_timeout_s cannot
         # be enforced; beats are still recorded so progress-aware retry
@@ -141,6 +155,15 @@ class SerialRunner:
             beats["count"] += 1
             beats["progress"] = progress
 
+        tel_scope = None
+        if telemetry is not None:
+            # A fresh capture scope per attempt (saving whatever session
+            # surrounded it) so the serial execution of a job produces
+            # the same span stream as a pool worker's pristine process.
+            from ..obs import telemetry as _obs_telemetry
+
+            tel_scope = _obs_telemetry.begin_worker(telemetry)
+        tel_payload = None
         start = time.perf_counter()
         _heartbeat.install_emitter(_record)
         try:
@@ -153,6 +176,8 @@ class SerialRunner:
             error = f"{type(exc).__name__}: {exc}"
         finally:
             _heartbeat.clear_emitter()
+            if tel_scope is not None:
+                tel_payload = tel_scope.finish()
         duration = time.perf_counter() - start
         if timeout_s is not None and duration > timeout_s:
             # In-process code cannot be interrupted; classify after the
@@ -172,6 +197,7 @@ class SerialRunner:
                 duration,
                 progress=beats["progress"],
                 heartbeats=beats["count"],
+                telemetry=tel_payload,
             )
         )
 
@@ -183,22 +209,34 @@ class SerialRunner:
         self._done.clear()
 
 
-def _child_main(conn, fn, config) -> None:
+def _child_main(conn, fn, config, telemetry=None) -> None:
     """Worker entry point: beat via the pipe, then ship the result.
 
     Installs the heartbeat emitter before invoking the job, so any
     ``heartbeat(progress)`` call inside the job function becomes a
-    ``("hb", progress)`` message to the parent; the terminal message is
-    ``("res", status, result, error)``.
+    ``("hb", progress)`` message to the parent.  When the engine
+    requested telemetry, a ``("tel", payload)`` frame with the worker's
+    captured metrics/spans/profile precedes the terminal
+    ``("res", status, result, error)`` message.
     """
     _heartbeat.install_emitter(
         lambda progress: conn.send((_MSG_HEARTBEAT, progress))
     )
+    tel_scope = None
+    if telemetry is not None:
+        from ..obs import telemetry as _obs_telemetry
+
+        tel_scope = _obs_telemetry.begin_worker(telemetry)
     try:
         result = invoke(fn, config)
         payload = (_MSG_RESULT, ATTEMPT_OK, result, None)
     except BaseException as exc:  # noqa: BLE001 - must never escape the child
         payload = (_MSG_RESULT, ATTEMPT_ERROR, None, f"{type(exc).__name__}: {exc}")
+    if tel_scope is not None:
+        try:
+            conn.send((_MSG_TELEMETRY, tel_scope.finish()))
+        except Exception:  # telemetry must never sink the result
+            pass
     try:
         conn.send(payload)
     except Exception as exc:  # unpicklable result: report, don't crash
@@ -230,6 +268,8 @@ class _Running:
     last_beat: Optional[float] = None
     beats: int = 0
     progress: Optional[float] = None
+    #: Telemetry payload from the worker's ("tel", ...) frame.
+    telemetry: Optional[dict] = None
 
 
 class ProcessPoolRunner:
@@ -265,6 +305,7 @@ class ProcessPoolRunner:
         config: Optional[Mapping[str, Any]],
         timeout_s: Optional[float],
         hang_timeout_s: Optional[float] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         if job.id in self._running:
             raise RuntimeError(f"job {job.id!r} is already running")
@@ -273,7 +314,7 @@ class ProcessPoolRunner:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_child_main,
-            args=(child_conn, job.fn, config),
+            args=(child_conn, job.fn, config, telemetry),
             name=f"repro-exec-{job.id}",
             daemon=True,
         )
@@ -307,6 +348,7 @@ class ProcessPoolRunner:
             now - run.started,
             progress=run.progress,
             heartbeats=run.beats,
+            telemetry=run.telemetry,
         )
 
     def _kill(self, run: _Running) -> None:
@@ -341,6 +383,13 @@ class ProcessPoolRunner:
                 run.beats += 1
                 run.progress = message[1]
                 run.last_beat = now
+                continue
+            if (
+                isinstance(message, tuple)
+                and len(message) == 2
+                and message[0] == _MSG_TELEMETRY
+            ):
+                run.telemetry = message[1]
                 continue
             if (
                 isinstance(message, tuple)

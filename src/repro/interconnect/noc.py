@@ -226,6 +226,9 @@ class MeshNoC:
         injected_ctr = stats.counter("packets_injected")
         hops_ctr = stats.counter("hops_forwarded")
         lat_hist = stats.histogram("packet_latency_cycles")
+        # One attribute probe per run; per-packet spans are emitted
+        # completed at delivery (checkpoint-replay safe).
+        tracer = getattr(kernel.metrics, "tracer", None)
 
         links = self._links
         ledger = EnergyLedger()
@@ -267,6 +270,9 @@ class MeshNoC:
                 delivered.append(packet)
                 if at > last_delivery:
                     last_delivery = at
+                if tracer is not None:
+                    tracer.emit("noc.packet", packet.injected_at, at,
+                                hops=packet.hop_index)
             else:
                 enqueue(s, packet, s.now + 1.0)
             if state.queue:
@@ -331,7 +337,12 @@ class MeshNoC:
         kernel.register_checkpointable(
             FunctionCheckpoint(_ckpt_snapshot, _ckpt_restore)
         )
-        kernel.run(until=float(max_cycles))
+        if tracer is not None:
+            with tracer.span("noc.run", sim=kernel, category="model",
+                             packets=len(packets)):
+                kernel.run(until=float(max_cycles))
+        else:
+            kernel.run(until=float(max_cycles))
         # Per-hop/injection accounting batches exactly: the locals count
         # only callbacks that actually executed inside the horizon.
         injected_ctr.inc(injected)

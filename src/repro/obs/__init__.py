@@ -1,0 +1,55 @@
+"""repro.obs — end-to-end observability for the simulation stack.
+
+Four pieces, layered over :mod:`repro.core.instrument`:
+
+* :mod:`~repro.obs.spans` — structured span tracing (sim-time +
+  wall-time clocks, parent/child nesting, bounded checkpointable sink);
+* :mod:`~repro.obs.profile` — a sampling sim-profiler attributing
+  executed events to callback sites, rendered as collapsed stacks;
+* :mod:`~repro.obs.telemetry` — per-worker capture scopes and the
+  deterministic cross-process merge the exec engine performs;
+* :mod:`~repro.obs.export` — Prometheus text and canonical JSON.
+
+The CLI entry point is ``python -m repro obs`` (see
+:mod:`repro.obs.cli`, imported lazily by ``__main__`` to keep this
+package free of exec imports).
+"""
+
+from .export import canonical_json, registry_state_to_prometheus
+from .profile import SimProfiler
+from .spans import (
+    DEFAULT_SPAN_CAPACITY,
+    SpanRecord,
+    SpanSink,
+    Tracer,
+    attach_tracer,
+    canonical_spans,
+    maybe_span,
+    span_stream_digest,
+)
+from .telemetry import (
+    TelemetryOptions,
+    WorkerTelemetry,
+    begin_worker,
+    merge_job_telemetry,
+    payload_spans,
+)
+
+__all__ = [
+    "DEFAULT_SPAN_CAPACITY",
+    "SimProfiler",
+    "SpanRecord",
+    "SpanSink",
+    "TelemetryOptions",
+    "Tracer",
+    "WorkerTelemetry",
+    "attach_tracer",
+    "begin_worker",
+    "canonical_json",
+    "canonical_spans",
+    "maybe_span",
+    "merge_job_telemetry",
+    "payload_spans",
+    "registry_state_to_prometheus",
+    "span_stream_digest",
+]

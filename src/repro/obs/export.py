@@ -1,0 +1,100 @@
+"""Exporters: Prometheus text exposition and canonical JSON.
+
+Both operate on the *state* form (``MetricsRegistry.to_state()`` / the
+merged telemetry blob), which is what crosses process boundaries, so
+the exported artifact is identical whether it came from a live registry
+or a merged per-run report.
+
+Prometheus: counters become ``<prefix>_<name>_total``, gauges plain
+gauges, histograms are rendered as summaries (p50/p90/p99 from the
+quantile reservoir) plus ``_sum``/``_count``/``_min``/``_max``.  Metric
+names have dots/dashes folded to underscores per the exposition format.
+
+Canonical JSON: keys sorted, non-finite floats serialized as ``null``
+(strict JSON has no NaN/Infinity), newline-terminated — so two runs
+that produced the same state produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, List, Mapping
+
+from repro.core.instrument import Histogram
+
+__all__ = ["canonical_json", "registry_state_to_prometheus"]
+
+
+def _sanitize_name(name: str) -> str:
+    out = []
+    for ch in name:
+        if ch.isalnum() or ch == "_":
+            out.append(ch)
+        else:
+            out.append("_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def registry_state_to_prometheus(state: Mapping, prefix: str = "repro") -> str:
+    """Render a ``MetricsRegistry.to_state()`` dict as Prometheus text."""
+    lines: List[str] = []
+    for name in sorted(state.get("counters", ())):
+        metric = f"{prefix}_{_sanitize_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(state['counters'][name])}")
+    for name in sorted(state.get("gauges", ())):
+        st = state["gauges"][name]
+        metric = f"{prefix}_{_sanitize_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(st['value'])}")
+    for name in sorted(state.get("histograms", ())):
+        st = state["histograms"][name]
+        metric = f"{prefix}_{_sanitize_name(name)}"
+        # Rebuild a histogram to reuse the exact quantile interpolation.
+        hist = Histogram(name, capacity=max(1, st["capacity"]))
+        hist.merge_state(st)
+        lines.append(f"# TYPE {metric} summary")
+        for q in (0.5, 0.9, 0.99):
+            lines.append(f'{metric}{{quantile="{q}"}} {_fmt(hist.quantile(q))}')
+        lines.append(f"{metric}_sum {_fmt(st['total'])}")
+        lines.append(f"{metric}_count {st['count']}")
+        if st["count"]:
+            lines.append(f"{metric}_min {_fmt(st['min'])}")
+            lines.append(f"{metric}_max {_fmt(st['max'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _sanitize_json(obj: Any) -> Any:
+    """Recursively make ``obj`` strict-JSON-safe and canonically ordered."""
+    if isinstance(obj, dict):
+        return {str(k): _sanitize_json(obj[k])
+                for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [_sanitize_json(v) for v in obj]
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    # NumPy scalars and other number-likes.
+    if hasattr(obj, "item"):
+        return _sanitize_json(obj.item())
+    return str(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, NaN/Inf -> null, trailing newline."""
+    return json.dumps(_sanitize_json(obj), indent=2, sort_keys=True,
+                      allow_nan=False) + "\n"

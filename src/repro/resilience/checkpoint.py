@@ -150,9 +150,23 @@ class CheckpointManager:
         self._token, self._pending_seq = sim.schedule_tagged(
             self.period, self._tick
         )
+        # Count *before* snapshotting: the manager's snapshot_state then
+        # carries the post-tick count, so a restore rolls ``taken`` back
+        # to exactly the number of checkpoint marks in the (also
+        # checkpointable) span sink — resumed runs continue the mark
+        # sequence instead of re-issuing the last number.
+        self.taken += 1
+        tracer = getattr(sim.metrics, "tracer", None)
+        if tracer is not None:
+            # Spans ride checkpoints: emitted *before* the snapshot so
+            # the mark is captured inside it.  A restore truncates the
+            # span sink back to exactly this point, and since the
+            # consumed tick never replays, emitting after the snapshot
+            # would lose the mark on every resumed run.
+            tracer.emit("resilience.checkpoint", sim.now, sim.now,
+                        taken=self.taken)
         snap = sim.snapshot(label=f"t={sim.now:g}", current_seq=my_seq)
         self.snapshots.append(snap)
-        self.taken += 1
         scope = sim.metrics.scoped("resilience")
         scope.counter("checkpoints_taken").inc()
         scope.gauge("checkpoint_pending_events").set(snap.pending)

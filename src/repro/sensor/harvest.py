@@ -132,12 +132,14 @@ class IntermittentNode:
         self.checkpoint_interval_quanta = checkpoint_interval_quanta
         self._harvest_j = harvest_j
         self._stats = None
+        self._tracer = None
         self.reset()
 
     # -- SimModel protocol -------------------------------------------------
 
     def bind(self, sim: Simulator) -> None:
         self._stats = sim.metrics.scoped("sensor.intermittent")
+        self._tracer = getattr(sim.metrics, "tracer", None)
 
     def reset(self) -> None:
         self.stored_j = 0.0
@@ -201,17 +203,22 @@ class IntermittentNode:
         lost = self.stored_j * fraction
         self.stored_j -= lost
         if self.executing and self.stored_j < self.config.brown_out_j:
-            self._brown_out()
+            self._brown_out(sim.now)
         self.faults_injected += 1
         if self._stats is not None:
             self._stats.counter("faults").inc()
         return f"energy drain {fraction:.0%} ({lost:.2e} J lost)"
 
-    def _brown_out(self) -> None:
+    def _brown_out(self, now: Optional[float] = None) -> None:
         self.executing = False
         self.failures += 1
-        self.re_executed += self.uncommitted
+        lost = self.uncommitted
+        self.re_executed += lost
         self.uncommitted = 0
+        if self._tracer is not None and now is not None:
+            # Zero-length mark in sim-time; attrs are pure model state,
+            # so the span replays identically after a restore.
+            self._tracer.emit("harvest.brownout", now, now, lost_quanta=lost)
 
     def tick(self, sim: Simulator, _payload=None) -> None:
         config = self.config
@@ -225,7 +232,7 @@ class IntermittentNode:
         # Execute one quantum if energy allows.
         needed = config.work_per_interval_j
         if self.stored_j - needed < config.brown_out_j:
-            self._brown_out()  # lose uncommitted work
+            self._brown_out(sim.now)  # lose uncommitted work
             return
         self.stored_j -= needed
         self.uncommitted += 1
@@ -236,8 +243,12 @@ class IntermittentNode:
                 self.committed += self.uncommitted
                 self.uncommitted = 0
                 self.checkpoints += 1
+                if self._tracer is not None:
+                    self._tracer.emit("harvest.commit", sim.now, sim.now,
+                                      committed=self.committed,
+                                      checkpoints=self.checkpoints)
             else:
-                self._brown_out()
+                self._brown_out(sim.now)
 
     def result(self, n_intervals: int) -> IntermittentResult:
         return IntermittentResult(
@@ -279,10 +290,17 @@ def simulate_intermittent(
     kernel.attach(node)
     source = PeriodicSource(period=config.interval_s, callback=node.tick)
     source.start(kernel)
+    tracer = getattr(kernel.metrics, "tracer", None)
+    horizon = (n_intervals - 0.5) * config.interval_s
     # Tick i fires at ~i * interval_s (accumulated float addition), so
     # put the horizon half an interval past the last tick: exactly
     # n_intervals fire regardless of rounding.
-    kernel.run(until=(n_intervals - 0.5) * config.interval_s)
+    if tracer is not None:
+        with tracer.span("harvest.run", sim=kernel, category="model",
+                         intervals=n_intervals):
+            kernel.run(until=horizon)
+    else:
+        kernel.run(until=horizon)
     source.stop()
     node.finish()
     return node.result(n_intervals)

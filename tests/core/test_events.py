@@ -293,3 +293,90 @@ class TestRunGuards:
             pass
         assert [p for _, p in log] == ["A", "x", "B"]
         assert sim.now == 4.0
+
+
+class TestPendingCountsIncludeParked:
+    """Events parked by run()'s bulk-lane mode stay visible (PR5 fix:
+    ``__len__`` previously missed ``_parked``, disagreeing with
+    ``pending_live`` mid-run)."""
+
+    def test_len_and_live_count_parked_entries(self):
+        sim = Simulator()
+
+        def noop(s, p):
+            pass
+
+        seen = {}
+
+        def check(s, p):
+            seen["parked"] = len(s._parked)
+            seen["len"] = len(s)
+            seen["live"] = s.pending_live()
+
+        for i in range(1, 21):
+            # The checker is a *lane* event so it observes mid-stretch
+            # state (parked entries rejoin the heap between stretches).
+            sim.schedule_at(float(i), check if i == 5 else noop)
+        sim.schedule_at(15.5, noop)  # behind the lane tail -> heap
+        sim.run()
+        assert seen["parked"] == 1, "far-off heap entry was not parked"
+        # run() keeps its lane cursor in a local, so mid-run both counts
+        # still include the consumed lane prefix (20 lane + 1 parked) —
+        # but they agree with each other, parked entry included.  Before
+        # the PR5 fix ``len`` read 20 while ``pending_live`` read 21.
+        assert seen["len"] == seen["live"] == 21
+
+    def test_parked_cancelled_entry_counted_by_len_not_live(self):
+        sim = Simulator()
+
+        def noop(s, p):
+            pass
+
+        seen = {}
+
+        def check(s, p):
+            seen["parked"] = len(s._parked)
+            seen["len"] = len(s)
+            seen["live"] = s.pending_live()
+
+        for i in range(1, 21):
+            sim.schedule_at(float(i), check if i == 5 else noop)
+        token = sim.schedule_at(15.5, noop)
+        token.cancel()
+        sim.run()
+        assert seen["parked"] == 1
+        assert seen["len"] == 21  # cancelled-but-unpurged still pending
+        assert seen["live"] == 20  # ...but not live, even while parked
+
+
+class TestRepr:
+    def test_repr_shows_pending_live_and_executed(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, record(log), "a")
+        tok = sim.schedule(2.0, record(log), "b")
+        tok.cancel()
+        assert repr(sim) == "<Simulator t=0 pending=2 live=1 executed=0>"
+        sim.run()
+        assert repr(sim) == "<Simulator t=1 pending=0 live=0 executed=1>"
+
+
+class TestInitHooks:
+    def test_hook_fires_for_new_simulators_until_removed(self):
+        from repro.core import events as events_mod
+
+        born = []
+        hook = born.append
+        events_mod.add_init_hook(hook)
+        try:
+            sim = Simulator()
+            assert born == [sim]
+        finally:
+            events_mod.remove_init_hook(hook)
+        Simulator()
+        assert born == [sim]
+
+    def test_removing_unknown_hook_is_noop(self):
+        from repro.core import events as events_mod
+
+        events_mod.remove_init_hook(lambda s: None)

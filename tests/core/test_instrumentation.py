@@ -385,3 +385,59 @@ class TestObserveMany:
     def test_null_histogram_accepts_batches(self):
         null = NULL_REGISTRY.histogram("x")
         null.observe_many(np.arange(5.0))  # must not raise or record
+
+
+class TestSessionInstallRestore:
+    """install_session/current_session (PR5): the primitive worker
+    telemetry uses to scope a private registry around one job attempt."""
+
+    def test_install_returns_previous_and_restores(self):
+        outer = MetricsRegistry()
+        inner = MetricsRegistry()
+        prev0 = instrument.install_session(outer)
+        try:
+            assert instrument.current_session() is outer
+            prev = instrument.install_session(inner)
+            assert prev is outer
+            assert instrument.current_session() is inner
+            assert instrument.default_registry() is inner
+            instrument.install_session(prev)
+            assert instrument.current_session() is outer
+        finally:
+            instrument.install_session(prev0)
+
+    def test_install_none_clears_session(self):
+        prev = instrument.install_session(MetricsRegistry())
+        try:
+            instrument.install_session(None)
+            assert instrument.current_session() is None
+            assert instrument.default_registry() is NULL_REGISTRY
+        finally:
+            instrument.install_session(prev)
+
+
+class TestStateRoundTrip:
+    """to_state/merge_state smoke coverage (deep properties live in
+    tests/obs/test_merge_properties.py)."""
+
+    def test_to_state_orders_names(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        reg.histogram("m").observe(1.0)
+        state = reg.to_state()
+        assert list(state["counters"]) == ["a", "z"]
+        assert state["histograms"]["m"]["count"] == 1
+
+    def test_from_state_rebuilds_equivalent_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe_many([1.0, 2.0, 3.0])
+        clone = MetricsRegistry.from_state(reg.to_state())
+        assert clone.to_state() == reg.to_state()
+        assert clone.histogram("h").quantile(0.5) == 2.0
+
+    def test_registry_tracer_slot_defaults_to_none(self):
+        assert MetricsRegistry().tracer is None
+        assert NULL_REGISTRY.tracer is None

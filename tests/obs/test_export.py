@@ -1,0 +1,102 @@
+"""Exporter tests: Prometheus exposition text and canonical JSON."""
+
+import json
+import math
+
+import numpy as np
+
+from repro.core.instrument import MetricsRegistry
+from repro.obs.export import canonical_json, registry_state_to_prometheus
+
+
+def _state():
+    reg = MetricsRegistry(enabled=True)
+    reg.scoped("noc").counter("hops").inc(42)
+    reg.gauge("queue.depth").set(3.5)
+    hist = reg.histogram("lat.s")
+    for v in range(1, 101):
+        hist.observe(float(v))
+    return reg.to_state()
+
+
+class TestPrometheus:
+    def test_counter_gauge_summary_rendering(self):
+        text = registry_state_to_prometheus(_state())
+        assert "# TYPE repro_noc_hops_total counter" in text
+        assert "repro_noc_hops_total 42" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 3.5" in text
+        assert "# TYPE repro_lat_s summary" in text
+        assert 'repro_lat_s{quantile="0.5"}' in text
+        assert "repro_lat_s_sum 5050.0" in text
+        assert "repro_lat_s_count 100" in text
+        assert "repro_lat_s_min 1.0" in text
+        assert "repro_lat_s_max 100.0" in text
+        assert text.endswith("\n")
+
+    def test_dots_and_dashes_sanitized(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a.b-c/d").inc()
+        text = registry_state_to_prometheus(reg.to_state())
+        assert "repro_a_b_c_d_total 1" in text
+
+    def test_leading_digit_prefixed(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("99s").inc()
+        assert "repro__99s_total" in registry_state_to_prometheus(reg.to_state())
+
+    def test_nan_gauge_renders_prometheus_nan(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g")  # unset: NaN
+        text = registry_state_to_prometheus(reg.to_state())
+        assert "repro_g NaN" in text
+
+    def test_empty_histogram_skips_min_max(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("h")
+        text = registry_state_to_prometheus(reg.to_state())
+        assert "repro_h_count 0" in text
+        assert "repro_h_min" not in text
+        # Empty quantiles are NaN, rendered as Prometheus NaN.
+        assert 'repro_h{quantile="0.5"} NaN' in text
+
+    def test_empty_state_is_empty_string(self):
+        assert registry_state_to_prometheus({}) == ""
+
+    def test_custom_prefix(self):
+        text = registry_state_to_prometheus(_state(), prefix="x")
+        assert "x_noc_hops_total" in text
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_and_trailing_newline(self):
+        out = canonical_json({"b": 1, "a": 2})
+        assert out.index('"a"') < out.index('"b"')
+        assert out.endswith("\n")
+
+    def test_deterministic_across_insertion_orders(self):
+        assert canonical_json({"a": 1, "b": [2, 3]}) == canonical_json(
+            {"b": [2, 3], "a": 1}
+        )
+
+    def test_non_finite_floats_become_null(self):
+        parsed = json.loads(canonical_json(
+            {"nan": math.nan, "inf": math.inf, "ninf": -math.inf, "ok": 1.5}
+        ))
+        assert parsed == {"nan": None, "inf": None, "ninf": None, "ok": 1.5}
+
+    def test_numpy_scalars_and_tuples_serialized(self):
+        parsed = json.loads(canonical_json(
+            {"n": np.float64(2.5), "i": np.int64(3), "t": (1, 2)}
+        ))
+        assert parsed == {"n": 2.5, "i": 3, "t": [1, 2]}
+
+    def test_non_string_keys_coerced_and_sorted(self):
+        parsed = json.loads(canonical_json({2: "b", 1: "a"}))
+        assert parsed == {"1": "a", "2": "b"}
+
+    def test_registry_state_round_trips(self):
+        state = _state()
+        parsed = json.loads(canonical_json(state))
+        assert parsed["counters"]["noc.hops"] == 42
+        assert parsed["histograms"]["lat.s"]["count"] == 100

@@ -1,0 +1,201 @@
+"""Golden-trace suite (PR5 satellite): span streams are part of the
+reproducibility contract.
+
+Two layers of pinning:
+
+1. **Straight-run goldens** — for each seeded kernel model, the sha256
+   of the full canonical span stream (model + kernel + sim categories,
+   wall-clock excluded) recorded through an attached tracer.  These are
+   the observability twin of the executed-event-stream goldens in
+   ``tests/integration/test_golden_determinism.py``: if one moves, the
+   observable behaviour changed, not just the timing.
+2. **Crash+resume equivalence** — a run that crashes mid-flight and
+   resumes from the last checkpoint must emit the *identical*
+   ``"sim"``-category span stream as a run that never crashed
+   (lifecycle spans legitimately differ: the resumed run has an extra
+   ``kernel.run``).  This extends the PR4 determinism guarantee to the
+   telemetry channel: a resumed experiment's trace *is* the
+   experiment's trace.
+
+Regenerate the goldens after an intentional semantic change with::
+
+    PYTHONPATH=src python tests/obs/test_golden_traces.py
+"""
+
+import pytest
+
+from repro.core.events import Simulator
+from repro.core.instrument import MetricsRegistry
+from repro.datacenter.cluster import Balancer, ClusterConfig, ClusterSimulator
+from repro.datacenter.hedging import kernel_hedged_latencies
+from repro.datacenter.latency import lognormal_latency
+from repro.interconnect.noc import MeshNoC, NoCConfig
+from repro.interconnect.traffic import make_pattern, poisson_injection_times
+from repro.obs.spans import attach_tracer, canonical_spans, span_stream_digest
+from repro.resilience import CheckpointManager, SimulatedCrash
+from repro.sensor.harvest import (
+    Harvester,
+    IntermittentConfig,
+    simulate_intermittent,
+)
+
+
+def _traced_sim():
+    sim = Simulator(metrics=MetricsRegistry(enabled=True))
+    return sim, attach_tracer(sim)
+
+
+def _model_cluster(sim):
+    ClusterSimulator(ClusterConfig(
+        n_servers=8,
+        balancer=Balancer.JSQ,
+        slow_server_fraction=0.25,
+        slow_factor=3.0,
+    )).run(arrival_rate=6.0, n_requests=400, rng=123, sim=sim)
+
+
+def _model_hedging(sim):
+    dist = lognormal_latency(median_ms=10.0, sigma=0.8)
+    kernel_hedged_latencies(dist, 300, trigger_quantile=0.9, rng=7, sim=sim)
+
+
+_NOC_CFG = NoCConfig(width=4, height=4)
+
+
+def _model_noc(sim):
+    pairs = make_pattern("uniform", 300, _NOC_CFG.width, _NOC_CFG.height, rng=5)
+    times = poisson_injection_times(300, rate_per_cycle=0.8, rng=5)
+    MeshNoC(_NOC_CFG).run(pairs, injection_times=times, sim=sim)
+
+
+def _model_harvest(sim):
+    simulate_intermittent(
+        Harvester(),
+        IntermittentConfig(),
+        checkpoint_interval_quanta=10,
+        n_intervals=2_000,
+        rng=3,
+        sim=sim,
+    )
+
+
+_MODELS = {
+    "cluster": _model_cluster,
+    "hedging": _model_hedging,
+    "noc": _model_noc,
+    "harvest": _model_harvest,
+}
+
+
+def _run_traced(name) -> tuple[str, int]:
+    sim, tracer = _traced_sim()
+    _MODELS[name](sim)
+    records = tracer.sink.records()
+    return span_stream_digest(records), len(records)
+
+
+#: (full-stream sha256, span count) per seeded model.
+GOLDEN_TRACES = {
+    "cluster": (
+        "a475df33dc9735ae9bd8ba2467bcead387944ef5f2c27c52838f48ad9ff36f8d",
+        402,
+    ),
+    "hedging": (
+        "a8394987fc40bd14fe5fc60a3b434bdebaea9361eaf56cfe2f40152b53a5576e",
+        302,
+    ),
+    "noc": (
+        "f01ff68e07169ce87cde1638e2f0c2c785fbee18d6bb0a6dca344d0b73bb7852",
+        302,
+    ),
+    "harvest": (
+        "c0b6849cde10248baecd5498fa521b2e7de3997388ea3a49542818b552c54a05",
+        102,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_MODELS))
+def test_straight_run_trace_matches_golden(name):
+    assert _run_traced(name) == GOLDEN_TRACES[name]
+
+
+def test_traces_reproducible_run_to_run():
+    for name in _MODELS:
+        assert _run_traced(name) == _run_traced(name), name
+
+
+# -- crash + resume ---------------------------------------------------------
+
+
+def _crash_once(sim, box):
+    if box["armed"]:
+        box["armed"] = False
+        raise SimulatedCrash(f"injected crash at t={sim.now:g}")
+
+
+def _run_with_crash(model_fn, period, crash_at, armed, resume_until):
+    """One traced run; the crash event is scheduled (armed or disarmed)
+    in both variants so sequence numbers stay aligned."""
+    sim, tracer = _traced_sim()
+    mgr = CheckpointManager(period=period, keep=2)
+    mgr.arm(sim)
+    sim.schedule_at(crash_at, _crash_once, {"armed": armed})
+    if not armed:
+        model_fn(sim)
+    else:
+        with pytest.raises(SimulatedCrash):
+            model_fn(sim)
+        assert mgr.taken > 0
+        sim.restore(mgr.latest)
+        if resume_until is None:
+            sim.run()
+        else:
+            sim.run(until=resume_until)
+    return tracer.sink.records()
+
+
+_CRASH_PARAMS = {
+    "cluster": dict(period=10.0, crash_at=35.0, resume_until=None),
+    "hedging": dict(period=1000.0, crash_at=4500.0, resume_until=None),
+    "noc": dict(period=60.0, crash_at=210.0, resume_until=200_000.0),
+    "harvest": dict(period=3.0, crash_at=11.0,
+                    resume_until=(2_000 - 0.5) * 0.01),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_MODELS))
+def test_crash_resume_sim_spans_equal_straight_run(name):
+    params = _CRASH_PARAMS[name]
+    straight = _run_with_crash(_MODELS[name], armed=False, **params)
+    resumed = _run_with_crash(_MODELS[name], armed=True, **params)
+    straight_sim = canonical_spans(straight, ["sim"])
+    resumed_sim = canonical_spans(resumed, ["sim"])
+    assert resumed_sim == straight_sim
+    assert span_stream_digest(resumed, ["sim"]) == span_stream_digest(
+        straight, ["sim"]
+    )
+    # Lifecycle span counts also line up: the crashed drain's
+    # ``kernel.run`` span is emitted after the snapshot point, so the
+    # restore truncates it out of the sink, and only the resume drain's
+    # span remains — matching the straight run's single drain.
+    straight_kernel = [r for r in straight if r.category == "kernel"]
+    resumed_kernel = [r for r in resumed if r.category == "kernel"]
+    assert len(resumed_kernel) == len(straight_kernel)
+    assert all(r.status == "ok" for r in resumed_kernel)
+
+
+def test_checkpoint_spans_present_and_replayed(name="cluster"):
+    params = _CRASH_PARAMS[name]
+    resumed = _run_with_crash(_MODELS[name], armed=True, **params)
+    marks = [r for r in resumed if r.name == "resilience.checkpoint"]
+    assert marks, "checkpoint ticks must leave trace marks"
+    taken = [dict(r.attrs)["taken"] for r in marks]
+    assert taken == sorted(set(taken)), "restore must not duplicate marks"
+
+
+if __name__ == "__main__":
+    # Regeneration helper:
+    #   PYTHONPATH=src python tests/obs/test_golden_traces.py
+    for name in _MODELS:
+        print(f'    "{name}": {_run_traced(name)!r},')

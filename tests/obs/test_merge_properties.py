@@ -1,0 +1,157 @@
+"""Property-based tests for cross-process metric merge (PR5 satellite).
+
+The engine folds worker registries together with
+:meth:`MetricsRegistry.merge_state`; for the merged report to be
+independent of pool scheduling the merge must be **commutative**, and
+for multi-level merges (worker -> engine -> fleet) it must be
+**associative**.  These properties are exercised over randomly drawn
+registry states.
+
+Draws use integer-valued floats so float-addition round-off cannot
+muddy exact equality: associativity of the *merge rules* is what is
+under test, not IEEE addition.  Histogram reservoirs stay under
+capacity in the associativity draw (the documented regime where the
+sorted-multiset union is exact); commutativity holds at any size.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrument import Histogram, MetricsRegistry
+
+names = st.sampled_from(["a", "b", "c", "lat", "q"])
+int_floats = st.integers(-1000, 1000).map(float)
+
+
+@st.composite
+def registry_states(draw, max_hist_values=20, hist_capacity=4096):
+    """A random ``MetricsRegistry.to_state()`` blob, built organically."""
+    reg = MetricsRegistry(enabled=True)
+    for name in draw(st.lists(names, max_size=3, unique=True)):
+        reg.counter(name).inc(draw(st.integers(0, 10_000)))
+    for name in draw(st.lists(names, max_size=3, unique=True)):
+        reg.gauge(f"g.{name}").set(draw(int_floats))
+    for name in draw(st.lists(names, max_size=2, unique=True)):
+        hist = reg.histogram(f"h.{name}", capacity=hist_capacity)
+        for value in draw(st.lists(int_floats, max_size=max_hist_values)):
+            hist.observe(value)
+    return reg.to_state()
+
+
+def merge(*states: dict) -> dict:
+    out = MetricsRegistry(enabled=True)
+    for state in states:
+        out.merge_state(state)
+    return out.to_state()
+
+
+@given(registry_states(), registry_states())
+@settings(max_examples=60, deadline=None)
+def test_merge_commutative(a, b):
+    assert merge(a, b) == merge(b, a)
+
+
+@given(registry_states(), registry_states(), registry_states())
+@settings(max_examples=60, deadline=None)
+def test_merge_associative(a, b, c):
+    assert merge(merge(a, b), c) == merge(a, merge(b, c))
+
+
+@given(registry_states())
+@settings(max_examples=30, deadline=None)
+def test_empty_state_is_identity(a):
+    empty = MetricsRegistry(enabled=True).to_state()
+    assert merge(a, empty) == merge(empty, a) == merge(a)
+
+
+@given(registry_states())
+@settings(max_examples=30, deadline=None)
+def test_round_trip_through_from_state(a):
+    assert MetricsRegistry.from_state(a).to_state() == merge(a)
+
+
+@given(st.lists(int_floats, min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_reservoir_deterministic_for_fixed_name_and_order(values):
+    """Same metric name + same observation order => identical state,
+    including the (seeded-xorshift) reservoir."""
+
+    def build():
+        h = Histogram("lat", capacity=32)
+        for v in values:
+            h.observe(v)
+        return h.to_state()
+
+    assert build() == build()
+
+
+@given(st.lists(int_floats, min_size=1, max_size=50),
+       st.lists(int_floats, min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_histogram_merge_exact_for_count_total_min_max(xs, ys):
+    h = Histogram("lat", capacity=8)  # small: reservoir subsampling active
+    for v in xs:
+        h.observe(v)
+    h.merge_state(_hist_state(ys))
+    assert h.count == len(xs) + len(ys)
+    assert h.total == sum(xs) + sum(ys)
+    assert h.min == min(xs + ys)
+    assert h.max == max(xs + ys)
+    assert len(h.to_state()["reservoir"]) <= 8
+
+
+def _hist_state(values, capacity=8):
+    h = Histogram("lat", capacity=capacity)
+    for v in values:
+        h.observe(v)
+    return h.to_state()
+
+
+def test_gauge_merge_keeps_peak_and_sums_samples():
+    a = MetricsRegistry(enabled=True)
+    a.gauge("depth").set(3.0)
+    a.gauge("depth").set(1.0)  # last value 1.0, samples 2
+    b = MetricsRegistry(enabled=True)
+    b.gauge("depth").set(7.0)
+    merged = merge(a.to_state(), b.to_state())
+    assert merged["gauges"]["depth"] == {"value": 7.0, "samples": 3}
+
+
+def test_gauge_nan_never_beats_a_real_value():
+    a = MetricsRegistry(enabled=True)
+    a.gauge("g").set(float("nan"))
+    b = MetricsRegistry(enabled=True)
+    b.gauge("g").set(-5.0)
+    for first, second in [(a, b), (b, a)]:
+        merged = merge(first.to_state(), second.to_state())
+        assert merged["gauges"]["g"]["value"] == -5.0
+        assert merged["gauges"]["g"]["samples"] == 2
+
+
+def test_gauge_all_nan_merge_stays_nan():
+    a = MetricsRegistry(enabled=True)
+    a.gauge("g").set(float("nan"))
+    merged = merge(a.to_state(), a.to_state())
+    assert math.isnan(merged["gauges"]["g"]["value"])
+    assert merged["gauges"]["g"]["samples"] == 2
+
+
+def test_unset_gauge_does_not_overwrite():
+    a = MetricsRegistry(enabled=True)
+    a.gauge("g")  # created, never set: samples == 0
+    b = MetricsRegistry(enabled=True)
+    b.gauge("g").set(2.0)
+    merged = merge(b.to_state(), a.to_state())
+    assert merged["gauges"]["g"] == {"value": 2.0, "samples": 1}
+
+
+def test_merged_instrument_order_is_sorted_and_stable():
+    a = MetricsRegistry(enabled=True)
+    a.counter("z").inc()
+    b = MetricsRegistry(enabled=True)
+    b.counter("a").inc()
+    ab = merge(a.to_state(), b.to_state())
+    ba = merge(b.to_state(), a.to_state())
+    assert list(ab["counters"]) == list(ba["counters"]) == ["a", "z"]

@@ -1,0 +1,116 @@
+"""Unit tests for the sampling sim-profiler."""
+
+import pytest
+
+from repro.core.events import Simulator
+from repro.core.instrument import MetricsRegistry
+from repro.obs.profile import SimProfiler
+
+
+def _noop(sim, payload):
+    pass
+
+
+def _drive(profiler: SimProfiler, n_events: int) -> Simulator:
+    sim = Simulator(metrics=MetricsRegistry(enabled=True))
+    profiler.attach(sim)
+    for i in range(n_events):
+        sim.schedule(float(i + 1), _noop)
+    sim.run()
+    return sim
+
+
+class TestSampling:
+    def test_period_one_counts_every_event(self):
+        prof = SimProfiler(period=1)
+        _drive(prof, 10)
+        (frames,) = prof.samples
+        assert prof.samples[frames] == 10
+        assert prof.event_weight(frames) == 10
+
+    def test_period_n_samples_every_nth(self):
+        prof = SimProfiler(period=4)
+        _drive(prof, 10)
+        (frames,) = prof.samples
+        assert prof.samples[frames] == 2  # events 4 and 8
+        assert prof.event_weight(frames) == 8
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            SimProfiler(period=0)
+
+    def test_detach_stops_sampling(self):
+        prof = SimProfiler(period=1)
+        sim = _drive(prof, 3)
+        prof.detach(sim)
+        sim.schedule(100.0, _noop)
+        sim.run()
+        (frames,) = prof.samples
+        assert prof.samples[frames] == 3
+
+    def test_sim_time_charged_between_samples(self):
+        prof = SimProfiler(period=1)
+        _drive(prof, 4)  # events at t=1..4
+        (frames,) = prof.sim_time
+        assert prof.sim_time[frames] == pytest.approx(3.0)  # t=1 -> t=4
+
+
+class TestFrames:
+    def test_closure_renders_as_stack(self):
+        def outer():
+            def inner(sim, payload):
+                pass
+            return inner
+
+        prof = SimProfiler(period=1)
+        sim = Simulator(metrics=MetricsRegistry(enabled=True))
+        prof.attach(sim)
+        sim.schedule(1.0, outer())
+        sim.run()
+        (frames,) = prof.samples
+        # qualname "...test_closure_renders_as_stack.<locals>.outer.<locals>
+        # .inner" splits into one frame per lexical nesting level.
+        assert frames[-2:] == ("outer", "inner")
+        assert frames[-3].endswith("test_closure_renders_as_stack")
+        assert ";" in prof.collapsed()
+
+    def test_unhashable_callback_is_profiled_uncached(self):
+        class Cb:
+            __hash__ = None  # type: ignore[assignment]
+
+            def __call__(self, sim, payload):
+                pass
+
+        prof = SimProfiler(period=1)
+        sim = Simulator(metrics=MetricsRegistry(enabled=True))
+        prof.attach(sim)
+        sim.schedule(1.0, Cb())
+        sim.run()
+        (frames,) = prof.samples
+        assert frames[-1] == "Cb"
+
+
+class TestOutput:
+    def test_stacks_and_merge_round_trip(self):
+        a = SimProfiler(period=1)
+        _drive(a, 5)
+        b = SimProfiler(period=1)
+        _drive(b, 3)
+        b.merge(a.stacks())
+        (frames,) = b.samples
+        assert b.samples[frames] == 8
+
+    def test_collapsed_weights(self):
+        prof = SimProfiler(period=2)
+        _drive(prof, 4)
+        line_samples = prof.collapsed("samples")
+        line_events = prof.collapsed("events")
+        assert line_samples.endswith(" 2")
+        assert line_events.endswith(" 4")
+        assert prof.collapsed("sim_time")  # nonempty, integer microunits
+        with pytest.raises(ValueError):
+            prof.collapsed("bogus")
+
+    def test_merged_collapsed_is_sorted_text(self):
+        text = SimProfiler.merged_collapsed({"b;y": 2, "a;x": 1})
+        assert text.splitlines() == ["a;x 1", "b;y 2"]

@@ -1,0 +1,227 @@
+"""Unit tests for repro.obs.spans: records, sink, tracer, attachment."""
+
+import math
+
+import pytest
+
+from repro.core.events import Simulator
+from repro.core.instrument import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import (
+    SpanRecord,
+    SpanSink,
+    Tracer,
+    attach_tracer,
+    canonical_spans,
+    maybe_span,
+    span_stream_digest,
+)
+
+
+def _tracer(capacity: int = 64) -> Tracer:
+    """Tracer with a deterministic (counting) wall clock."""
+    ticks = iter(range(10_000))
+    return Tracer(sink=SpanSink(capacity), wall_clock=lambda: float(next(ticks)))
+
+
+class TestSpanRecord:
+    def test_canonical_excludes_wall_times(self):
+        a = SpanRecord("n", "sim", "", 1.0, 2.0, 10.0, 11.0, "ok", ())
+        b = SpanRecord("n", "sim", "", 1.0, 2.0, 99.0, 123.0, "ok", ())
+        assert a.canonical() == b.canonical()
+
+    def test_dict_round_trip(self):
+        rec = SpanRecord("n", "model", "p", 0.5, 2.5, 1.0, 2.0, "error",
+                         (("k", 3), ("z", "v")))
+        assert SpanRecord.from_dict(rec.to_dict()) == rec
+
+    def test_canonical_distinguishes_float_precision(self):
+        a = SpanRecord("n", "sim", "", 0.1 + 0.2, None, 0, 0, "ok", ())
+        b = SpanRecord("n", "sim", "", 0.3, None, 0, 0, "ok", ())
+        assert a.canonical() != b.canonical()
+
+
+class TestSpanSink:
+    def test_bounded_with_drop_accounting(self):
+        sink = SpanSink(capacity=3)
+        for i in range(5):
+            sink.emit(SpanRecord(f"s{i}", "sim", "", float(i), float(i),
+                                 0.0, 0.0, "ok", ()))
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [r.name for r in sink.records()] == ["s2", "s3", "s4"]
+
+    def test_category_filter_and_clear(self):
+        sink = SpanSink(capacity=8)
+        sink.emit(SpanRecord("a", "sim", "", 0, 0, 0, 0, "ok", ()))
+        sink.emit(SpanRecord("b", "kernel", "", 0, 0, 0, 0, "ok", ()))
+        assert [r.name for r in sink.records("sim")] == ["a"]
+        sink.clear()
+        assert len(sink) == 0 and sink.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SpanSink(capacity=0)
+
+    def test_restore_truncates_to_snapshot_point(self):
+        sink = SpanSink(capacity=16)
+        rec = lambda i: SpanRecord(f"s{i}", "sim", "", 0, 0, 0, 0, "ok", ())  # noqa: E731
+        sink.emit(rec(0))
+        sink.emit(rec(1))
+        state = sink.snapshot_state()
+        sink.emit(rec(2))
+        sink.emit(rec(3))
+        sink.restore_state(state)
+        assert [r.name for r in sink.records()] == ["s0", "s1"]
+
+    def test_restore_after_ring_wrap_is_best_effort(self):
+        sink = SpanSink(capacity=2)
+        rec = lambda i: SpanRecord(f"s{i}", "sim", "", 0, 0, 0, 0, "ok", ())  # noqa: E731
+        sink.emit(rec(0))
+        state = sink.snapshot_state()
+        for i in range(1, 4):
+            sink.emit(rec(i))  # wraps: s0 evicted, exact prefix gone
+        sink.restore_state(state)
+        # Keeps what it has rather than fabricating history.
+        assert sink.dropped == 0
+        assert len(sink) == 2
+
+
+class TestTracer:
+    def test_nesting_provides_parent_names(self):
+        tr = _tracer()
+        with tr.span("outer"):
+            assert tr.current_parent() == "outer"
+            with tr.span("inner"):
+                tr.emit("leaf", 1.0, 2.0)
+        by_name = {r.name: r for r in tr.sink.records()}
+        assert by_name["leaf"].parent == "inner"
+        assert by_name["inner"].parent == "outer"
+        assert by_name["outer"].parent == ""
+        # Children complete (and land in the sink) before their parents.
+        assert [r.name for r in tr.sink.records()] == ["leaf", "inner", "outer"]
+
+    def test_span_records_error_status_on_exception(self):
+        tr = _tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        (rec,) = tr.sink.records()
+        assert rec.status == "error"
+        assert tr.current_parent() == ""  # stack unwound
+
+    def test_out_of_order_end_does_not_corrupt_stack(self):
+        tr = _tracer()
+        a = tr.begin("a")
+        b = tr.begin("b")
+        tr.end(a)  # ended under b: removed from mid-stack
+        assert tr.current_parent() == "b"
+        tr.end(b)
+        assert tr.current_parent() == ""
+
+    def test_end_merges_and_sorts_attrs(self):
+        tr = _tracer()
+        h = tr.begin("s", z=1, a=2)
+        rec = tr.end(h, m=3)
+        assert rec.attrs == (("a", 2), ("z", 1), ("m", 3))
+
+    def test_emit_uses_zero_length_wall_interval(self):
+        tr = _tracer()
+        rec = tr.emit("mark", 5.0, 5.0)
+        assert rec.t0_wall == rec.t1_wall
+        assert rec.category == "sim"
+
+    def test_sim_argument_supplies_sim_times(self):
+        tr = _tracer()
+        sim = Simulator(metrics=MetricsRegistry(enabled=True))
+        sim.schedule(1.5, lambda s, p: None)
+        with tr.span("drain", sim=sim, category="model"):
+            sim.run()
+        (rec,) = tr.sink.records()
+        assert rec.t0_sim == 0.0 and rec.t1_sim == 1.5
+
+
+class TestAttachTracer:
+    def test_refuses_null_registry(self):
+        sim = Simulator()  # no session -> NULL_REGISTRY
+        if sim.metrics is not NULL_REGISTRY:
+            pytest.skip("a session registry is active")
+        with pytest.raises(ValueError, match="NULL registry"):
+            attach_tracer(sim)
+
+    def test_attaches_and_rides_checkpoints(self):
+        sim = Simulator(metrics=MetricsRegistry(enabled=True))
+        tracer = attach_tracer(sim)
+        assert sim.metrics.tracer is tracer
+        tracer.emit("before", 0.0, 0.0)
+        snap = sim.snapshot()
+        tracer.emit("after", 1.0, 1.0)
+        sim.restore(snap)
+        assert [r.name for r in tracer.sink.records()] == ["before"]
+
+    def test_kernel_run_span_emitted(self):
+        sim = Simulator(metrics=MetricsRegistry(enabled=True))
+        tracer = attach_tracer(sim)
+        sim.schedule(1.0, lambda s, p: None)
+        sim.run()
+        (rec,) = tracer.sink.records("kernel")
+        assert rec.name == "kernel.run"
+        assert rec.status == "ok"
+        assert dict(rec.attrs)["events"] == 1
+
+    def test_kernel_run_span_error_status_on_raise(self):
+        sim = Simulator(metrics=MetricsRegistry(enabled=True))
+        tracer = attach_tracer(sim)
+
+        def boom(s, p):
+            raise ValueError("x")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(ValueError):
+            sim.run()
+        (rec,) = tracer.sink.records("kernel")
+        assert rec.status == "error"
+
+
+class TestMaybeSpan:
+    def test_none_tracer_is_inert(self):
+        with maybe_span(None, "whatever"):
+            pass  # no tracer, no sink, no error
+
+    def test_real_tracer_records(self):
+        tr = _tracer()
+        with maybe_span(tr, "phase", category="model"):
+            pass
+        (rec,) = tr.sink.records()
+        assert (rec.name, rec.category) == ("phase", "model")
+
+
+class TestDigest:
+    def _records(self):
+        tr = _tracer()
+        with tr.span("run", category="model"):
+            tr.emit("req", 0.25, 1.5, i=0)
+            tr.emit("req", 0.5, 2.0, i=1)
+        return tr.sink.records()
+
+    def test_digest_stable_across_wall_clocks(self):
+        assert (span_stream_digest(self._records())
+                == span_stream_digest(self._records()))
+
+    def test_digest_sensitive_to_attrs_and_times(self):
+        base = self._records()
+        tr = _tracer()
+        with tr.span("run", category="model"):
+            tr.emit("req", 0.25, 1.5, i=0)
+            tr.emit("req", 0.5, 2.0, i=2)  # differs
+        assert span_stream_digest(base) != span_stream_digest(tr.sink.records())
+
+    def test_category_filter(self):
+        recs = self._records()
+        sim_only = canonical_spans(recs, categories=["sim"])
+        assert len(sim_only) == 2
+        assert span_stream_digest(recs, ["sim"]) != span_stream_digest(recs)
+
+    def test_nan_sim_time_is_representable(self):
+        tr = _tracer()
+        tr.emit("odd", math.nan, None)
+        assert span_stream_digest(tr.sink.records())  # no raise
