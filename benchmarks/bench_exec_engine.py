@@ -12,9 +12,17 @@ Demonstrates the three properties the `repro.exec` subsystem promises:
    injected hanging job both leave the sweep completed, marked
    FAILED/TIMEOUT respectively.
 
+4. **Backend scale-out** (PR6) — the same sweep dispatched to 4
+   elastic loopback socket workers beats serial by >= 2.5x while
+   producing a byte-identical ``RunReport.digest()``; the array
+   backend completes the sweep through batch manifests.
+
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_exec_engine.py -q -s``.
+Run ``PYTHONPATH=src python benchmarks/bench_exec_engine.py`` to write
+the machine-readable backend comparison to ``BENCH_PR6.json``.
 """
 
+import json
 import time
 
 from repro.analysis import REGISTRY
@@ -26,6 +34,7 @@ from repro.exec import (
     JobStatus,
     ProcessPoolRunner,
     SerialRunner,
+    make_backend,
 )
 
 N_SWEEP_JOBS = 8
@@ -140,3 +149,115 @@ def test_fault_containment():
     assert report["inj-hang"].status is JobStatus.TIMEOUT
     assert counts["succeeded"] == N_SWEEP_JOBS  # every healthy job completed
     assert wall < 30.0  # nowhere near the injected 60s hang
+
+
+def _run_backend(name, jobs, cache_dir=None):
+    """Time one backend over the standard sweep; return (report, wall_s)."""
+    from repro.exec import ResultCache
+
+    backend = make_backend(name, jobs=jobs, cache_dir=cache_dir)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    t0 = time.perf_counter()
+    report = ExecutionEngine(runner=backend, cache=cache).run(_sweep_graph())
+    return report, time.perf_counter() - t0
+
+
+def test_socket_scaleout():
+    """4 loopback socket workers must beat serial by >= 2.5x (PR6)."""
+    serial, serial_wall = _run_backend("serial", 1)
+    socket_report, socket_wall = _run_backend("socket", WORKERS)
+    assert serial.ok and socket_report.ok
+    speedup = serial_wall / socket_wall
+    print()
+    print(
+        format_table(
+            ["backend", "wall_s", "speedup"],
+            [
+                ("serial", f"{serial_wall:.3f}", "1.00x"),
+                (f"socket ({WORKERS} workers)", f"{socket_wall:.3f}",
+                 f"{speedup:.2f}x"),
+            ],
+            title=f"Socket scale-out: {N_SWEEP_JOBS} jobs x {JOB_SECONDS}s",
+        )
+    )
+    # Scale-out must not change the science: identical digests.
+    assert socket_report.digest() == serial.digest()
+    assert speedup >= 2.5, (
+        f"expected >= 2.5x with {WORKERS} socket workers, got {speedup:.2f}x"
+    )
+
+
+def test_all_backends_complete_and_agree():
+    """Every make_backend() backend finishes the sweep with one digest."""
+    digests = {}
+    for name, jobs in [("serial", 1), ("pool", WORKERS),
+                       ("socket", WORKERS), ("array", 2)]:
+        report, _wall = _run_backend(name, jobs)
+        assert report.ok, f"{name}: {report.one_line()}"
+        assert report.backend == name
+        digests[name] = report.digest()
+    assert len(set(digests.values())) == 1, digests
+
+
+def main(output="BENCH_PR6.json"):
+    """Write the machine-readable backend comparison (CI artifact)."""
+    cells = [("serial", 1), ("pool", WORKERS), ("socket", WORKERS),
+             ("array", 2)]
+    results = {}
+    serial_wall = None
+    for name, jobs in cells:
+        report, wall = _run_backend(name, jobs)
+        if name == "serial":
+            serial_wall = wall
+        # Warm rerun against a per-backend cache: hit-rate check.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            _cold, _ = _run_backend(name, jobs, cache_dir=cache_dir)
+            warm, warm_wall = _run_backend(name, jobs, cache_dir=cache_dir)
+        results[name] = {
+            "jobs": jobs,
+            "wall_s": round(wall, 4),
+            "speedup_vs_serial": round(serial_wall / wall, 3),
+            "ok": report.ok,
+            "digest": report.digest(),
+            "warm_cache_hits": warm.cache_stats.get("hits", 0),
+            "warm_cache_misses": warm.cache_stats.get("misses", 0),
+            "warm_wall_s": round(warm_wall, 4),
+        }
+    digests = {r["digest"] for r in results.values()}
+    payload = {
+        "benchmark": "bench_exec_engine.backends",
+        "n_jobs": N_SWEEP_JOBS,
+        "job_seconds": JOB_SECONDS,
+        "workers": WORKERS,
+        "digests_identical": len(digests) == 1,
+        "socket_speedup_target": 2.5,
+        "socket_speedup_met": (
+            results["socket"]["speedup_vs_serial"] >= 2.5
+        ),
+        "backends": results,
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        format_table(
+            ["backend", "wall_s", "speedup", "warm hits"],
+            [
+                (name, f"{r['wall_s']:.3f}",
+                 f"{r['speedup_vs_serial']:.2f}x", r["warm_cache_hits"])
+                for name, r in results.items()
+            ],
+            title=f"Backend comparison ({N_SWEEP_JOBS} jobs x {JOB_SECONDS}s)"
+            f" -> {output}",
+        )
+    )
+    return 0 if payload["digests_identical"] and payload[
+        "socket_speedup_met"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(*sys.argv[1:]))

@@ -1,0 +1,139 @@
+"""Loopback socket-backend smoke test (CI's socket-smoke job).
+
+Scenario: a sweep of checkpointing jobs runs on two loopback socket
+workers; one worker is killed while busy.  The sweep must still
+complete with every job succeeded — the killed worker's job resumes
+*for free* from its durable checkpoint on the surviving worker (the
+engine's progress-backed resume, riding the heartbeat high-water mark
+shipped in the crash attempt).
+
+Run: ``PYTHONPATH=src python benchmarks/socket_smoke.py [report.json]``.
+Exits 0 on success and writes a machine-readable report for the CI
+artifact upload.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.exec import ExecutionEngine, Job, JobGraph
+from repro.exec.backends.socket_worker import SocketWorkerBackend
+from repro.exec.heartbeat import heartbeat
+
+N_JOBS = 6
+STEPS = 25
+STEP_SECONDS = 0.03
+
+
+def checkpointing_job(config):
+    """Step through work, persisting progress after every step."""
+    path = config["checkpoint_path"]
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    done = 0
+    if os.path.exists(path):
+        with open(path) as fh:
+            done = int(fh.read().strip() or 0)
+    for step in range(done, config["steps"]):
+        heartbeat(progress=float(step + 1))
+        time.sleep(STEP_SECONDS)
+        with open(path, "w") as fh:
+            fh.write(str(step + 1))
+    return {"steps": config["steps"], "resumed_from": done}
+
+
+class _KillOneWorker:
+    """Runner shim: kill one busy spawned worker partway into the sweep."""
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.killed_pid = None
+        self._armed_at = time.perf_counter()
+
+    def __getattr__(self, name):
+        return getattr(self.backend, name)
+
+    def poll(self):
+        if (
+            self.killed_pid is None
+            and time.perf_counter() - self._armed_at > 0.3
+        ):
+            busy = [
+                w for w in self.backend.describe()["workers"]
+                if w["busy_with"]
+            ]
+            if busy:
+                pid = busy[0]["pid"]
+                for proc in self.backend.spawned_processes():
+                    if proc.pid == pid and proc.is_alive():
+                        proc.kill()
+                        self.killed_pid = pid
+        return self.backend.poll()
+
+
+def main(output="socket_smoke_report.json"):
+    backend = SocketWorkerBackend(spawn=2)
+    shim = _KillOneWorker(backend)
+    graph = JobGraph()
+    for i in range(N_JOBS):
+        graph.add(Job(
+            id=f"smoke-{i}",
+            fn=checkpointing_job,
+            config={"steps": STEPS},
+            checkpoint_key="checkpoint_path",
+        ))
+    with tempfile.TemporaryDirectory() as checkpoint_root:
+        t0 = time.perf_counter()
+        engine = ExecutionEngine(
+            runner=shim,
+            checkpoint_root=checkpoint_root,
+            hang_timeout_s=10.0,
+        )
+        report = engine.run(graph)
+        wall = time.perf_counter() - t0
+
+    resumes = sum(r.resumes for r in report.records.values())
+    rows = {
+        jid: {
+            "status": record.status.value,
+            "attempts": record.attempts,
+            "resumes": record.resumes,
+            "resumed_from": (record.result or {}).get("resumed_from"),
+        }
+        for jid, record in report.records.items()
+    }
+    ok = (
+        report.ok
+        and shim.killed_pid is not None
+        and resumes >= 1
+        and backend.workers_lost >= 1
+    )
+    payload = {
+        "benchmark": "socket_smoke",
+        "ok": ok,
+        "sweep_completed": report.ok,
+        "worker_killed_pid": shim.killed_pid,
+        "workers_joined": backend.workers_joined,
+        "workers_lost": backend.workers_lost,
+        "free_resumes": resumes,
+        "wall_s": round(wall, 3),
+        "one_line": report.one_line(),
+        "jobs": rows,
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"socket smoke: {report.one_line()}")
+    print(
+        f"  worker killed: pid {shim.killed_pid}; "
+        f"workers lost: {backend.workers_lost}; free resumes: {resumes}"
+    )
+    print(f"  report -> {output}")
+    if not ok:
+        print("SMOKE FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -19,12 +19,20 @@ crashing experiment becomes a FAILED/TIMEOUT row and the sweep still
 completes.  With ``--jobs N > 1`` each experiment runs in its own
 worker process (required for ``--timeout`` to interrupt a hung one).
 
+Backends: ``--backend {serial,pool,socket,array}`` picks how the sweep
+executes (default: serial, or a process pool with ``--jobs N > 1``).
+``--backend socket`` spawns ``--jobs`` loopback socket workers;
+external workers on other hosts/terminals attach with::
+
+    python -m repro workers --connect HOST:PORT [--count N] [--name W]
+
 Subcommands::
 
     python -m repro resilience ...     # fleet-wide fault campaign
                                        # (see repro.resilience.campaign)
     python -m repro obs ...            # observability sweep + exporters
                                        # (see repro.obs.cli)
+    python -m repro workers ...        # attach socket sweep workers
 """
 
 from __future__ import annotations
@@ -38,6 +46,56 @@ def _expand_ids(tokens: list[str]) -> list[str]:
     return [tok for arg in tokens for tok in arg.split(",") if tok]
 
 
+def _workers_main(argv: list[str]) -> int:
+    """``python -m repro workers``: attach pull-model socket workers."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro workers",
+        description=(
+            "Attach elastic sweep workers to a running socket-backend "
+            "coordinator (a sweep started with --backend socket).  Each "
+            "worker connects over TCP, pulls jobs, and streams tagged "
+            "heartbeat/telemetry/result frames back; workers may join "
+            "and leave mid-sweep."
+        ),
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address printed by the sweep (e.g. 127.0.0.1:45123)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=1, metavar="N",
+        help="number of worker processes to run (default 1)",
+    )
+    parser.add_argument(
+        "--name", default=None, metavar="W",
+        help="worker name prefix for logs and frames (default: host-pid)",
+    )
+    args = parser.parse_args(argv)
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    if args.count < 1:
+        parser.error("--count must be >= 1")
+    address = (host, int(port_text))
+
+    from .exec.backends.socket_worker import spawn_local_worker, worker_main
+
+    if args.count == 1:
+        return worker_main(address, name=args.name)
+    procs = [
+        spawn_local_worker(
+            address,
+            name=f"{args.name}-{i}" if args.name else None,
+        )
+        for i in range(args.count)
+    ]
+    code = 0
+    for proc in procs:
+        proc.join()
+        code = code or (proc.exitcode or 0)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "resilience":
@@ -48,6 +106,8 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "workers":
+        return _workers_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(
@@ -62,6 +122,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes for the sweep (default 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "pool", "socket", "array"),
+        default=None, metavar="B",
+        help=(
+            "execution backend: serial, pool, socket (elastic TCP "
+            "workers; --jobs sets how many loopback workers to spawn, "
+            "attach more with 'python -m repro workers'), or array "
+            "(batch array-task manifests); default: serial, or pool "
+            "when --jobs > 1"
+        ),
     )
     parser.add_argument(
         "--cache", metavar="DIR", default=None,
@@ -125,6 +196,19 @@ def main(argv: list[str] | None = None) -> int:
             profile_period=16 if args.profile else 0,
         )
 
+    runner = None
+    if args.backend is not None:
+        from .exec.backends import make_backend
+
+        runner = make_backend(args.backend, jobs=args.jobs, cache_dir=args.cache)
+        address = getattr(runner, "address", None)
+        if address is not None:
+            print(
+                f"-- socket coordinator on {address[0]}:{address[1]} "
+                f"(attach workers: python -m repro workers "
+                f"--connect {address[0]}:{address[1]})"
+            )
+
     only = _expand_ids(args.experiments) or None
     try:
         results = REGISTRY.run_all(
@@ -134,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
             retries=args.retries,
             timeout_s=args.timeout,
             telemetry=telemetry,
+            runner=runner,
         )
     except KeyError as exc:
         parser.error(str(exc))

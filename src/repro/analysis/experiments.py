@@ -83,6 +83,7 @@ class ExperimentRegistry:
         runner: Optional["Runner"] = None,
         cache: Optional["ResultCache"] = None,
         telemetry: Optional[object] = None,
+        backend: Optional[str] = None,
     ) -> dict[str, dict]:
         """Run experiments through the execution engine.
 
@@ -96,6 +97,12 @@ class ExperimentRegistry:
         makes every worker capture metrics/spans/profile; the merged
         result lands on ``self.last_report.telemetry`` (the CLI's
         ``--trace``/``--profile`` flags route through this).
+
+        ``backend`` names an execution backend (``serial``/``pool``/
+        ``socket``/``array``, built via
+        :func:`repro.exec.backends.make_backend` with ``jobs`` as its
+        parallelism — the CLI's ``--backend`` flag); an explicit
+        ``runner`` wins over it.
         """
         from ..exec import (
             ExecutionEngine,
@@ -111,6 +118,10 @@ class ExperimentRegistry:
         graph = JobGraph()
         for eid in chosen:
             graph.add(Job(id=eid, fn=self.get(eid).execute))
+        if runner is None and backend is not None:
+            from ..exec.backends import make_backend
+
+            runner = make_backend(backend, jobs=jobs, cache_dir=cache_dir)
         if runner is None:
             runner = ProcessPoolRunner(jobs) if jobs > 1 else SerialRunner()
         if cache is None and cache_dir is not None:

@@ -166,7 +166,17 @@ class Explorer:
         configs: Iterable[Dict[str, Any]],
         runner: Optional["Runner"] = None,
         cache: Optional["ResultCache"] = None,
+        backend: Optional[str] = None,
+        jobs: int = 1,
     ) -> SweepResult:
+        """Evaluate every config; ``runner``/``cache``/``backend`` route
+        the sweep through :mod:`repro.exec` (an explicit ``runner`` wins
+        over ``backend``, which names one of ``serial``/``pool``/
+        ``socket``/``array`` built with ``jobs`` as its parallelism)."""
+        if runner is None and backend is not None:
+            from ..exec.backends import make_backend
+
+            runner = make_backend(backend, jobs=jobs)
         if runner is not None or cache is not None:
             return self._run_engine(configs, runner, cache)
         result = SweepResult()

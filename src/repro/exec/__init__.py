@@ -9,9 +9,16 @@ library sits on:
 * :mod:`repro.exec.job` — :class:`Job`/:class:`JobGraph`: picklable
   callables with explicit dependencies and deterministic per-job seeds.
 * :mod:`repro.exec.runners` — one :class:`Runner` protocol, two
-  backends: in-process :class:`SerialRunner` and multiprocessing
+  local backends: in-process :class:`SerialRunner` and multiprocessing
   :class:`ProcessPoolRunner` with per-job timeout and worker-crash
   containment.
+* :mod:`repro.exec.backends` — the routed multi-backend layer: the
+  :class:`Backend` capability protocol, the elastic TCP
+  :class:`SocketWorkerBackend` (``python -m repro workers`` attaches
+  external workers), the batch :class:`ArrayBackend` (array-task
+  manifests), and :class:`BackendRouter` placing jobs per an explicit
+  :class:`RoutingPolicy`.  :func:`make_backend` builds any of them by
+  name — the CLI's ``--backend`` flag.
 * :mod:`repro.exec.cache` — :class:`ResultCache`: content-addressed
   on-disk JSON artifacts keyed by callable + canonical config +
   library version; corruption is a miss, never a crash.
@@ -27,6 +34,18 @@ Consumers: ``ExperimentRegistry.run_all`` (the CLI's ``--jobs/--cache/
 ``benchmarks/bench_exec_engine.py``.
 """
 
+from .backends import (
+    ArrayBackend,
+    Backend,
+    BackendCapabilities,
+    BackendRouter,
+    RoutingError,
+    RoutingPolicy,
+    SocketWorkerBackend,
+    available_backends,
+    capabilities_of,
+    make_backend,
+)
 from .cache import ResultCache, cache_key, canonicalize, repro_version
 from .engine import ExecutionEngine, JobRecord, JobStatus, RunReport, run_jobs
 from .heartbeat import emit_sim_heartbeats, heartbeat
@@ -34,7 +53,11 @@ from .job import Job, JobGraph, callable_name, derive_seed
 from .runners import Attempt, ProcessPoolRunner, Runner, SerialRunner
 
 __all__ = [
+    "ArrayBackend",
     "Attempt",
+    "Backend",
+    "BackendCapabilities",
+    "BackendRouter",
     "ExecutionEngine",
     "Job",
     "JobGraph",
@@ -42,15 +65,21 @@ __all__ = [
     "JobStatus",
     "ProcessPoolRunner",
     "ResultCache",
+    "RoutingError",
+    "RoutingPolicy",
     "RunReport",
     "Runner",
     "SerialRunner",
+    "SocketWorkerBackend",
+    "available_backends",
     "cache_key",
     "callable_name",
     "canonicalize",
+    "capabilities_of",
     "derive_seed",
     "emit_sim_heartbeats",
     "heartbeat",
+    "make_backend",
     "repro_version",
     "run_jobs",
 ]

@@ -1,0 +1,188 @@
+"""BackendRouter: one Runner facade over many capability-described backends.
+
+The router is itself a :class:`~repro.exec.runners.Runner`, so the
+:class:`~repro.exec.engine.ExecutionEngine` drives it unmodified — the
+engine keeps owning caching, retries, dependency release and telemetry
+merge, while the router owns *placement*: each submitted job is routed
+to one named backend according to an explicit
+:class:`RoutingPolicy`.
+
+Routing is decided per job, in three steps:
+
+1. **Locality filter** — only backends whose advertised
+   :attr:`~repro.exec.backends.base.BackendCapabilities.locality` tags
+   cover the job's ``locality`` tags are candidates.  With
+   ``strict_locality`` (the default) a job no backend can place raises
+   :class:`RoutingError` at submit time, which the engine records as a
+   FAILED row — misrouting is a visible outcome, never a silent
+   fallback.
+2. **Watchdog filter** — when the engine armed a hang watchdog for the
+   job, backends without live heartbeats (e.g. the array backend) are
+   excluded *if* any heartbeat-capable candidate exists.
+3. **Load order** — among the survivors, the backend with the most free
+   capacity wins; ties break by the policy's ``prefer`` order, then by
+   name.  Elastic backends (``max_parallelism == 0``) count their free
+   queue slots, so a saturated pool naturally spills onto attached
+   socket workers.
+
+``plan()`` previews the same decision for a whole graph without
+executing anything (the CLI's dry-run and the tests use it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..job import Job, JobGraph
+from ..runners import Attempt, Runner
+from .base import BackendCapabilities, capabilities_of
+
+__all__ = ["BackendRouter", "RoutingError", "RoutingPolicy"]
+
+
+class RoutingError(RuntimeError):
+    """No backend satisfies a job's placement requirements."""
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """Explicit, inspectable placement rules for a router."""
+
+    #: Tie-break preference order of backend names; unlisted backends
+    #: rank after listed ones, alphabetically.
+    prefer: Tuple[str, ...] = ()
+    #: A job whose locality tags no backend covers fails loudly at
+    #: submit (False: fall back to considering every backend).
+    strict_locality: bool = True
+    #: With the watchdog armed, skip heartbeat-blind backends when a
+    #: heartbeat-capable one is available.
+    require_heartbeat_for_watchdog: bool = True
+
+    def rank(self, name: str) -> Tuple[int, str]:
+        try:
+            return (self.prefer.index(name), name)
+        except ValueError:
+            return (len(self.prefer), name)
+
+
+class BackendRouter:
+    """Route each job of a sweep onto one of several named backends."""
+
+    def __init__(
+        self,
+        backends: Mapping[str, Runner],
+        policy: Optional[RoutingPolicy] = None,
+    ) -> None:
+        if not backends:
+            raise ValueError("router needs at least one backend")
+        self.backends: Dict[str, Runner] = dict(backends)
+        self.policy = policy if policy is not None else RoutingPolicy()
+        #: Where each in-flight or completed job was placed (job id ->
+        #: backend name); provenance for reports and tests.
+        self.placements: Dict[str, str] = {}
+
+    # -- placement ---------------------------------------------------------
+
+    def _caps(self) -> Dict[str, BackendCapabilities]:
+        return {name: capabilities_of(b) for name, b in self.backends.items()}
+
+    def route(self, job: Job, hang_timeout_s: Optional[float] = None) -> str:
+        """Name of the backend this job should run on (pure decision)."""
+        caps = self._caps()
+        candidates = [
+            name for name, cap in caps.items() if cap.satisfies(job.locality)
+        ]
+        if not candidates:
+            if self.policy.strict_locality:
+                raise RoutingError(
+                    f"job {job.id!r} requires locality {job.locality!r}; "
+                    f"no backend satisfies it (have: "
+                    + ", ".join(
+                        f"{n}={caps[n].locality!r}" for n in sorted(caps)
+                    )
+                    + ")"
+                )
+            candidates = list(caps)
+        if (
+            hang_timeout_s is not None
+            and self.policy.require_heartbeat_for_watchdog
+        ):
+            beating = [n for n in candidates if caps[n].supports_heartbeat]
+            if beating:
+                candidates = beating
+
+        def score(name: str) -> Tuple[int, Tuple[int, str]]:
+            # Most free capacity first; policy order breaks ties.
+            return (-self.backends[name].capacity(), self.policy.rank(name))
+
+        return min(candidates, key=score)
+
+    def plan(self, graph: JobGraph) -> Dict[str, List[str]]:
+        """Dry-run placement for a whole graph: backend name -> job ids.
+
+        A static preview (capacities sampled once per job, nothing
+        submitted); the live run may differ as load shifts, which is
+        the point of routing at submit time.
+        """
+        out: Dict[str, List[str]] = {name: [] for name in self.backends}
+        for jid in graph.topo_order():
+            out[self.route(graph.get(jid))].append(jid)
+        return out
+
+    # -- Runner protocol (what the engine drives) --------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        caps = self._caps().values()
+        locality: set[str] = set()
+        for cap in caps:
+            locality.update(cap.locality)
+        parallel = 0
+        for cap in caps:
+            if cap.max_parallelism == 0:
+                parallel = 0  # any elastic member makes the router elastic
+                break
+            parallel += cap.max_parallelism
+        return BackendCapabilities(
+            name="router",
+            max_parallelism=parallel,
+            supports_heartbeat=any(c.supports_heartbeat for c in caps),
+            supports_preemption=any(c.supports_preemption for c in caps),
+            locality=tuple(sorted(locality)),
+            description="routes per job over: "
+            + ", ".join(sorted(self.backends)),
+        )
+
+    def capacity(self) -> int:
+        return sum(b.capacity() for b in self.backends.values())
+
+    def active(self) -> int:
+        return sum(b.active() for b in self.backends.values())
+
+    def submit(
+        self,
+        job: Job,
+        config: Optional[Mapping[str, Any]],
+        timeout_s: Optional[float],
+        hang_timeout_s: Optional[float] = None,
+        telemetry: Optional[Any] = None,
+    ) -> None:
+        name = self.route(job, hang_timeout_s=hang_timeout_s)
+        backend = self.backends[name]
+        extras: Dict[str, Any] = {}
+        if hang_timeout_s is not None:
+            extras["hang_timeout_s"] = hang_timeout_s
+        if telemetry is not None:
+            extras["telemetry"] = telemetry
+        backend.submit(job, config, timeout_s, **extras)
+        self.placements[job.id] = name
+
+    def poll(self) -> List[Attempt]:
+        done: List[Attempt] = []
+        for backend in self.backends.values():
+            done.extend(backend.poll())
+        return done
+
+    def shutdown(self) -> None:
+        for backend in self.backends.values():
+            backend.shutdown()

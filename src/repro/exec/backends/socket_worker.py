@@ -1,0 +1,647 @@
+"""Socket-worker backend: elastic pull-model workers over TCP loopback.
+
+The coordinator (:class:`SocketWorkerBackend`) binds a loopback port and
+accepts worker registrations at any time during a sweep — workers are
+*elastic*: they join late, leave early, and die mid-job without taking
+the sweep down.  Scheduling is a pull model, which is work stealing in
+its simplest honest form: every submitted attempt lands in one shared
+queue, and whichever worker goes idle first takes the next job — a fast
+worker drains the queue while a slow one is still busy, with no static
+partitioning to re-balance.
+
+Each worker connection speaks the versioned tagged-frame protocol of
+:mod:`repro.exec.backends.frames`; the ``hb``/``tel``/``res`` frames a
+job emits are byte-for-byte the same payloads the process-pool runner
+ships over its pipe, so the engine's watchdog, progress-aware retry and
+telemetry merge work identically over sockets and pipes:
+
+* ``hello``  worker -> coordinator: registration (name, pid, host).
+* ``job``    coordinator -> worker: one attempt (fn, config, timeouts).
+* ``hb``     worker -> coordinator: ``heartbeat(progress)`` relay.
+* ``tel``    worker -> coordinator: telemetry payload before the result.
+* ``res``    worker -> coordinator: ``(status, result, error)``.
+* ``bye``    either direction: orderly leave.
+
+Failure model (rides PR4's watchdog + checkpoint machinery):
+
+* A worker that dies mid-job (connection lost) produces an
+  ``ATTEMPT_CRASH`` attempt carrying the progress high-water mark from
+  its heartbeats — the engine's lost-progress accounting then grants a
+  *free* resume, and the replacement attempt (any other worker) picks
+  up from the job's durable checkpoint.  Worker death mid-sweep is
+  free, modulo the work since the last checkpoint.
+* A worker whose heartbeats go silent past ``hang_timeout_s`` is
+  *dropped* (socket closed; a locally spawned worker process is also
+  killed) and the attempt classified ``hung``, long before the
+  wall-clock deadline.
+* Wall-clock timeouts are enforced coordinator-side the same way.
+
+Workers attach either in-process-tree (``spawn=N`` forks N local worker
+processes — the loopback mode benchmarks and CI use) or externally:
+``python -m repro workers --connect HOST:PORT`` from another shell,
+container, or an SSH tunnel (``ssh -L``) on another machine sharing the
+result-cache/checkpoint filesystem.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from ..job import Job, invoke
+from ..runners import (
+    ATTEMPT_CRASH,
+    ATTEMPT_ERROR,
+    ATTEMPT_HUNG,
+    ATTEMPT_OK,
+    ATTEMPT_TIMEOUT,
+    Attempt,
+)
+from . import frames as _frames
+from .base import BackendCapabilities
+
+__all__ = [
+    "SocketWorkerBackend",
+    "spawn_local_worker",
+    "worker_main",
+]
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+
+def worker_main(
+    address: tuple[str, int],
+    name: Optional[str] = None,
+    connect_timeout_s: float = 10.0,
+) -> int:
+    """One worker process: register, pull jobs, stream frames, repeat.
+
+    Returns 0 on an orderly ``bye``; raises on protocol violations (a
+    version-mismatched coordinator fails loud on the first frame).
+    Jobs run in this process one at a time; a job that raises reports
+    ``error`` and the worker lives on, while a job that kills the
+    process entirely is observed by the coordinator as a lost
+    connection and classified ``crash`` there.
+    """
+    sock = socket.create_connection(address, timeout=connect_timeout_s)
+    sock.settimeout(None)
+    me = name or f"worker-{socket.gethostname()}-{os.getpid()}"
+    _frames.send_frame(
+        sock,
+        _frames.TAG_HELLO,
+        {"name": me, "pid": os.getpid(), "host": socket.gethostname()},
+    )
+    try:
+        while True:
+            frame = _frames.recv_frame(sock)
+            if frame is None:
+                return 0
+            tag, payload = frame
+            if tag == _frames.TAG_BYE:
+                return 0
+            if tag != _frames.TAG_JOB:
+                continue  # graceful unknown-tag skip
+            _execute_one(sock, payload)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _execute_one(sock: socket.socket, spec: Mapping[str, Any]) -> None:
+    """Run one job spec, streaming hb/tel frames, ending with res."""
+    # Import from the module, not the package: ``repro.exec`` re-exports
+    # ``heartbeat`` the *function*, shadowing the submodule attribute.
+    from ..heartbeat import clear_emitter, install_emitter
+
+    install_emitter(
+        lambda progress: _frames.send_frame(sock, _frames.TAG_HEARTBEAT, progress)
+    )
+    tel_scope = None
+    if spec.get("telemetry") is not None:
+        from ...obs import telemetry as _obs_telemetry
+
+        tel_scope = _obs_telemetry.begin_worker(spec["telemetry"])
+    try:
+        result = invoke(spec["fn"], spec.get("config"))
+        payload = (ATTEMPT_OK, result, None)
+    except BaseException as exc:  # noqa: BLE001 - a job error is data
+        payload = (ATTEMPT_ERROR, None, f"{type(exc).__name__}: {exc}")
+    finally:
+        clear_emitter()
+        if tel_scope is not None:
+            try:
+                _frames.send_frame(sock, _frames.TAG_TELEMETRY, tel_scope.finish())
+            except Exception:  # telemetry must never sink the result
+                pass
+    try:
+        _frames.send_frame(sock, _frames.TAG_RESULT, payload)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        _frames.send_frame(
+            sock,
+            _frames.TAG_RESULT,
+            (
+                ATTEMPT_ERROR,
+                None,
+                f"result not transferable: {type(exc).__name__}: {exc}",
+            ),
+        )
+
+
+def spawn_local_worker(
+    address: tuple[str, int], name: Optional[str] = None
+) -> mp.Process:
+    """Fork one loopback worker process attached to ``address``."""
+    process = mp.get_context().Process(
+        target=worker_main,
+        args=(address, name),
+        name=name or "repro-socket-worker",
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+# --------------------------------------------------------------------------
+# Coordinator side
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """One submitted attempt waiting for (or assigned to) a worker."""
+
+    job: Job
+    payload: bytes  # pre-pickled job frame body (pickle errors surface at submit)
+    timeout_s: Optional[float]
+    hang_timeout_s: Optional[float]
+    started: float = 0.0
+    deadline: Optional[float] = None
+    last_beat: Optional[float] = None
+    beats: int = 0
+    progress: Optional[float] = None
+    telemetry: Optional[dict] = None
+
+
+@dataclass
+class _WorkerConn:
+    """Coordinator-side state for one registered worker."""
+
+    wid: int
+    sock: socket.socket
+    name: str = "?"
+    pid: Optional[int] = None
+    host: str = "?"
+    current: Optional[_Pending] = None
+    dropped: bool = False
+    jobs_done: int = 0
+    thread: Optional[threading.Thread] = field(default=None, repr=False)
+
+
+class SocketWorkerBackend:
+    """Coordinator for elastic socket workers (the ``socket`` backend).
+
+    ``spawn=N`` forks N loopback workers immediately; external workers
+    may additionally register at any time via ``python -m repro workers
+    --connect host:port``.  ``capacity()`` is queue-based: the engine
+    may submit every ready job at once and idle workers pull from the
+    shared queue (work stealing by construction).  If *no* worker is
+    attached for ``no_worker_timeout_s`` while jobs are queued, the
+    queued attempts fail as crashes rather than stranding the engine.
+    """
+
+    def __init__(
+        self,
+        spawn: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = 100_000,
+        no_worker_timeout_s: float = 30.0,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        if spawn < 0:
+            raise ValueError(f"spawn must be non-negative, got {spawn}")
+        self.no_worker_timeout_s = no_worker_timeout_s
+        self.max_queue = max_queue
+        self._metrics = metrics
+        self._lock = threading.RLock()
+        self._queue: Deque[_Pending] = deque()
+        self._queued_ids: set[str] = set()
+        self._assigned: Dict[str, _WorkerConn] = {}  # job id -> worker
+        self._done: List[Attempt] = []
+        self._workers: Dict[int, _WorkerConn] = {}
+        self._spawned: List[mp.Process] = []
+        self._next_wid = 0
+        self._closing = False
+        self.unknown_skipped = 0
+        self.workers_joined = 0
+        self.workers_lost = 0
+        self._no_worker_since: Optional[float] = time.perf_counter()
+
+        self._listener = socket.create_server((host, port), backlog=16)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-socket-accept", daemon=True
+        )
+        self._accept_thread.start()
+        for i in range(spawn):
+            self._spawned.append(
+                spawn_local_worker(self.address, name=f"loopback-{i}")
+            )
+
+    # -- Backend protocol --------------------------------------------------
+
+    def capabilities(self) -> BackendCapabilities:
+        with self._lock:
+            attached = len(self._workers)
+        return BackendCapabilities(
+            name="socket",
+            max_parallelism=0,  # elastic: whoever is registered right now
+            supports_heartbeat=True,
+            supports_preemption=True,  # a hung/overdue worker is dropped
+            locality=("local", "socket"),
+            description=(
+                f"elastic socket workers on {self.address[0]}:"
+                f"{self.address[1]} ({attached} attached)"
+            ),
+        )
+
+    def capacity(self) -> int:
+        with self._lock:
+            return max(0, self.max_queue - len(self._queue) - len(self._assigned))
+
+    def active(self) -> int:
+        with self._lock:
+            return len(self._queue) + len(self._assigned)
+
+    def submit(
+        self,
+        job: Job,
+        config: Optional[Mapping[str, Any]],
+        timeout_s: Optional[float],
+        hang_timeout_s: Optional[float] = None,
+        telemetry: Optional[Any] = None,
+    ) -> None:
+        # Pickle here, in the engine's thread, so an unpicklable job
+        # fails the submission (engine -> FAILED row) exactly like the
+        # process-pool runner's spawn would — never inside a reader
+        # thread where the error has nowhere to go.
+        payload = pickle.dumps(
+            {
+                "job_id": job.id,
+                "fn": job.fn,
+                "config": dict(config) if config is not None else None,
+                "timeout_s": timeout_s,
+                "telemetry": telemetry,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        pending = _Pending(
+            job=job,
+            payload=payload,
+            timeout_s=timeout_s,
+            hang_timeout_s=hang_timeout_s,
+        )
+        with self._lock:
+            if job.id in self._assigned or job.id in self._queued_ids:
+                raise RuntimeError(f"job {job.id!r} is already running")
+            if len(self._queue) + len(self._assigned) >= self.max_queue:
+                raise RuntimeError("socket backend queue is full; poll() first")
+            self._queue.append(pending)
+            self._queued_ids.add(job.id)
+            self._pump()
+
+    def poll(self) -> List[Attempt]:
+        now = time.perf_counter()
+        with self._lock:
+            for worker in list(self._workers.values()):
+                pending = worker.current
+                if pending is None:
+                    continue
+                if pending.deadline is not None and now > pending.deadline:
+                    self._evict(
+                        worker,
+                        ATTEMPT_TIMEOUT,
+                        f"exceeded timeout of {pending.timeout_s}s; "
+                        f"worker {worker.name} dropped",
+                        now,
+                    )
+                elif (
+                    pending.hang_timeout_s is not None
+                    and pending.last_beat is not None
+                    and now - pending.last_beat > pending.hang_timeout_s
+                ):
+                    self._evict(
+                        worker,
+                        ATTEMPT_HUNG,
+                        f"no heartbeat for {now - pending.last_beat:.3f}s "
+                        f"(hang timeout {pending.hang_timeout_s}s, last "
+                        f"progress {pending.progress!r}); worker "
+                        f"{worker.name} dropped",
+                        now,
+                    )
+            self._fail_stranded(now)
+            done, self._done = self._done, []
+            return done
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closing = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+            self._assigned.clear()
+            self._queue.clear()
+            self._queued_ids.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for worker in workers:
+            try:
+                _frames.send_frame(worker.sock, _frames.TAG_BYE)
+            except OSError:
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+        for process in self._spawned:
+            if process.is_alive():
+                process.terminate()
+        for process in self._spawned:
+            process.join(1.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(1.0)
+        self._spawned.clear()
+
+    # -- introspection (CLI/benchmarks/tests) ------------------------------
+
+    def describe(self) -> dict:
+        """Live snapshot: workers, queue depth, counters."""
+        with self._lock:
+            return {
+                "address": list(self.address),
+                "workers": [
+                    {
+                        "name": w.name,
+                        "pid": w.pid,
+                        "host": w.host,
+                        "busy_with": w.current.job.id if w.current else None,
+                        "jobs_done": w.jobs_done,
+                    }
+                    for w in self._workers.values()
+                ],
+                "queued": len(self._queue),
+                "assigned": len(self._assigned),
+                "workers_joined": self.workers_joined,
+                "workers_lost": self.workers_lost,
+                "unknown_skipped": self.unknown_skipped,
+            }
+
+    def spawned_processes(self) -> List[mp.Process]:
+        """The loopback worker processes this backend forked (chaos hooks)."""
+        return list(self._spawned)
+
+    def wait_for_workers(self, n: int, timeout_s: float = 10.0) -> int:
+        """Block until ``n`` workers are attached (or timeout); returns count."""
+        deadline = time.perf_counter() + timeout_s
+        while time.perf_counter() < deadline:
+            with self._lock:
+                if len(self._workers) >= n:
+                    return len(self._workers)
+            time.sleep(0.01)
+        with self._lock:
+            return len(self._workers)
+
+    # -- internals ---------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        from ...core.instrument import default_registry
+
+        registry = self._metrics if self._metrics is not None else default_registry()
+        registry.counter(f"exec.socket.{name}").inc()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            threading.Thread(
+                target=self._register, args=(conn,),
+                name="repro-socket-hello", daemon=True,
+            ).start()
+
+    def _register(self, conn: socket.socket) -> None:
+        """Handshake one new connection, then become its reader thread."""
+        try:
+            conn.settimeout(10.0)
+            frame = _frames.recv_frame(conn)
+            conn.settimeout(None)
+        except (_frames.FrameError, OSError):
+            conn.close()
+            return
+        if frame is None or frame[0] != _frames.TAG_HELLO:
+            conn.close()
+            return
+        hello = frame[1] if isinstance(frame[1], dict) else {}
+        with self._lock:
+            if self._closing:
+                conn.close()
+                return
+            self._next_wid += 1
+            worker = _WorkerConn(
+                wid=self._next_wid,
+                sock=conn,
+                name=str(hello.get("name", f"worker-{self._next_wid}")),
+                pid=hello.get("pid"),
+                host=str(hello.get("host", "?")),
+            )
+            self._workers[worker.wid] = worker
+            self.workers_joined += 1
+            self._no_worker_since = None
+            self._count("worker_joined")
+            self._pump()
+        self._reader(worker)
+
+    def _reader(self, worker: _WorkerConn) -> None:
+        """Drain one worker's frames until it leaves, dies, or misbehaves."""
+        error = "worker connection lost"
+        try:
+            while True:
+                frame = _frames.recv_frame(worker.sock)
+                if frame is None:
+                    break
+                tag, payload = frame
+                now = time.perf_counter()
+                with self._lock:
+                    if worker.dropped:
+                        return
+                    pending = worker.current
+                    if tag == _frames.TAG_HEARTBEAT and pending is not None:
+                        pending.beats += 1
+                        pending.progress = payload
+                        pending.last_beat = now
+                    elif tag == _frames.TAG_TELEMETRY and pending is not None:
+                        pending.telemetry = payload
+                    elif tag == _frames.TAG_RESULT and pending is not None:
+                        status, result, err = payload
+                        self._done.append(
+                            self._attempt(pending, status, result, err, now)
+                        )
+                        del self._assigned[pending.job.id]
+                        worker.current = None
+                        worker.jobs_done += 1
+                        self._pump()
+                    elif tag == _frames.TAG_BYE:
+                        error = "worker said bye mid-job"
+                        break
+                    elif tag not in _frames.FRAME_TAGS:
+                        self.unknown_skipped += 1
+                        self._count("unknown_skipped")
+        except _frames.FrameVersionError as exc:
+            error = str(exc)
+            self._count("version_mismatch")
+        except (_frames.FrameError, OSError) as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._drop(worker, error)
+
+    def _attempt(
+        self,
+        pending: _Pending,
+        status: str,
+        result: Any,
+        error: Optional[str],
+        now: float,
+    ) -> Attempt:
+        return Attempt(
+            pending.job.id,
+            status,
+            result,
+            error,
+            now - pending.started,
+            progress=pending.progress,
+            heartbeats=pending.beats,
+            telemetry=pending.telemetry,
+        )
+
+    def _pump(self) -> None:
+        """Assign queued jobs to idle workers (callers hold the lock)."""
+        if not self._queue:
+            return
+        for worker in self._workers.values():
+            if not self._queue:
+                return
+            if worker.current is not None or worker.dropped:
+                continue
+            pending = self._queue.popleft()
+            now = time.perf_counter()
+            pending.started = now
+            pending.deadline = (
+                now + pending.timeout_s if pending.timeout_s is not None else None
+            )
+            try:
+                _frames.send_frame_bytes(
+                    worker.sock, _frames.TAG_JOB, pending.payload
+                )
+            except OSError:
+                # Dead socket discovered on send: put the job back (it
+                # never started) and let the reader thread bury the
+                # worker.
+                pending.started = 0.0
+                pending.deadline = None
+                self._queue.appendleft(pending)
+                continue
+            worker.current = pending
+            self._queued_ids.discard(pending.job.id)
+            self._assigned[pending.job.id] = worker
+
+    def _evict(
+        self, worker: _WorkerConn, status: str, error: str, now: float
+    ) -> None:
+        """Kill an overdue/hung worker and record its attempt (lock held)."""
+        pending = worker.current
+        if pending is not None:
+            self._done.append(self._attempt(pending, status, None, error, now))
+            self._assigned.pop(pending.job.id, None)
+            worker.current = None
+        self._bury(worker)
+        self._count("worker_evicted")
+
+    def _drop(self, worker: _WorkerConn, error: str) -> None:
+        """Reader-thread exit path: a worker left or died."""
+        with self._lock:
+            if worker.dropped:
+                return
+            pending = worker.current
+            if pending is not None:
+                # Crashed mid-job: ship the attempt with its heartbeat
+                # high-water mark so the engine can grant a free,
+                # checkpoint-backed resume.
+                self._done.append(
+                    self._attempt(
+                        pending,
+                        ATTEMPT_CRASH,
+                        None,
+                        f"worker {worker.name} lost mid-job: {error}",
+                        time.perf_counter(),
+                    )
+                )
+                self._assigned.pop(pending.job.id, None)
+                worker.current = None
+            self._bury(worker)
+
+    def _bury(self, worker: _WorkerConn) -> None:
+        """Remove a worker from the roster and close its socket (lock held)."""
+        if worker.dropped:
+            return
+        worker.dropped = True
+        if self._workers.pop(worker.wid, None) is not None and not self._closing:
+            self.workers_lost += 1
+            self._count("worker_lost")
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        if worker.pid is not None:
+            for process in self._spawned:
+                if process.pid == worker.pid and process.is_alive():
+                    process.terminate()
+        if not self._workers and self._no_worker_since is None:
+            self._no_worker_since = time.perf_counter()
+
+    def _fail_stranded(self, now: float) -> None:
+        """Queued jobs with no workers for too long become crash attempts
+        (lock held) — the engine retries or records FAILED; it never
+        spins forever against an empty roster."""
+        if not self._queue or self._workers:
+            return
+        since = self._no_worker_since
+        if since is None or now - since < self.no_worker_timeout_s:
+            return
+        while self._queue:
+            pending = self._queue.popleft()
+            self._queued_ids.discard(pending.job.id)
+            self._done.append(
+                Attempt(
+                    pending.job.id,
+                    ATTEMPT_CRASH,
+                    None,
+                    f"no socket workers attached for "
+                    f"{self.no_worker_timeout_s:.0f}s",
+                    0.0,
+                )
+            )

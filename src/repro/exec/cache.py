@@ -25,10 +25,21 @@ Layout (git-style two-character sharding to keep directories small)::
 Failure semantics: a missing, truncated, or otherwise unreadable
 artifact is a *miss*, never an exception — the job simply reruns and
 the artifact is rewritten (writes are atomic via ``os.replace``).
-Results that cannot be represented as JSON are counted as ``rejected``
-and simply not cached.  Hit/miss/corrupt/write counters are kept both
-as plain attributes (for reports) and as ``exec.cache.*`` counters in
-the instrumentation registry (PR-1 substrate).
+Corruption is never *silent*, though: each corrupt artifact is counted
+(``exec.cache.corrupt`` in the session registry, ``corrupt`` in
+:meth:`ResultCache.stats` and hence in ``RunReport.cache_stats`` /
+``one_line``) and the bad file is quarantined aside (renamed to
+``*.corrupt``) so one torn write cannot re-count as corruption on
+every subsequent run.  Results that cannot be represented as JSON are
+counted as ``rejected`` and simply not cached.
+
+Multi-host sharing: the layout is safe for many concurrent readers and
+writers on one shared filesystem (the socket/array backends' workers
+all hit one cache).  Keys are content-addressed so two hosts computing
+the same artifact write identical bytes; publishes go through a
+same-directory temp file + ``os.replace``, which is atomic on POSIX
+filesystems (including NFS renames within a directory) — a reader sees
+either the old artifact, the new one, or a miss, never a torn file.
 """
 
 from __future__ import annotations
@@ -189,6 +200,24 @@ class ResultCache:
 
     # -- read/write --------------------------------------------------------
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact aside so it is counted exactly once.
+
+        The rename is best-effort: on a shared cache another host may
+        have already quarantined (or rewritten) the file.
+        """
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass
+
+    def _miss_corrupt(self, path: Path) -> None:
+        self.corrupt += 1
+        self.misses += 1
+        self._count("corrupt")
+        self._count("miss")
+        self._quarantine(path)
+
     def get(self, key: str) -> Optional[dict]:
         """Full artifact dict on hit; ``None`` on miss or corruption."""
         path = self.path_for(key)
@@ -200,22 +229,17 @@ class ResultCache:
             self._count("miss")
             return None
         except (json.JSONDecodeError, UnicodeDecodeError, OSError, ValueError):
-            # Truncated/garbled artifact: treat as a miss so the job
-            # reruns and rewrites it.
-            self.corrupt += 1
-            self.misses += 1
-            self._count("corrupt")
-            self._count("miss")
+            # Truncated/garbled artifact: a loudly-counted miss — the
+            # job reruns, the artifact is rewritten, and the bad file
+            # is quarantined for post-mortem.
+            self._miss_corrupt(path)
             return None
         if (
             not isinstance(artifact, dict)
             or "result" not in artifact
             or artifact.get("key") != key
         ):
-            self.corrupt += 1
-            self.misses += 1
-            self._count("corrupt")
-            self._count("miss")
+            self._miss_corrupt(path)
             return None
         self.hits += 1
         self._count("hit")

@@ -97,6 +97,9 @@ class RunReport:
     #: streams, profile) when the engine ran with ``telemetry=``;
     #: see :func:`repro.obs.telemetry.merge_job_telemetry`.
     telemetry: Optional[dict] = None
+    #: Name of the backend that executed the run (capabilities name,
+    #: e.g. ``serial``/``pool``/``socket``/``array``/``router``).
+    backend: Optional[str] = None
 
     def __getitem__(self, job_id: str) -> JobRecord:
         return self.records[job_id]
@@ -143,8 +146,60 @@ class RunReport:
                 f"cache {self.cache_stats.get('hits', 0)} hit"
                 f" / {self.cache_stats.get('misses', 0) } miss"
             )
+            if self.cache_stats.get("corrupt", 0):
+                # Corruption healed as a miss, but never silently:
+                # quarantined artifacts deserve a human's attention.
+                parts.append(
+                    f"{self.cache_stats['corrupt']} corrupt quarantined"
+                )
         parts.append(f"{self.wall_time_s:.2f}s")
         return ", ".join(parts)
+
+    def digest(self) -> str:
+        """Backend-independent sha256 over everything deterministic.
+
+        Hashes each record's (status, canonical result, attempt count)
+        plus — when telemetry was captured — the merged metrics state,
+        per-job wall-clock-free span-stream digests, and the merged
+        profile.  Wall times, error strings (they embed durations and
+        worker names), and cache provenance are excluded, so the same
+        seeded sweep must produce the same digest on the serial,
+        process-pool, and socket backends; the backend-equivalence
+        suite and the scale-out benchmark pin exactly that.
+        """
+        import hashlib
+        import json
+
+        from .cache import canonicalize
+
+        body: Dict[str, Any] = {"records": {}}
+        for job_id in sorted(self.records):
+            record = self.records[job_id]
+            try:
+                result = canonicalize(record.result)
+            except TypeError:
+                result = f"<unhashable {type(record.result).__name__}>"
+            body["records"][job_id] = {
+                "status": record.status.value,
+                "result": result,
+                "attempts": record.attempts,
+            }
+        if self.telemetry is not None:
+            from ..obs.spans import span_stream_digest
+            from ..obs.telemetry import payload_spans
+
+            body["metrics"] = self.telemetry.get("metrics", {})
+            body["span_digests"] = {
+                job_id: span_stream_digest(
+                    payload_spans({"spans": spans})
+                )
+                for job_id, spans in sorted(
+                    self.telemetry.get("spans", {}).items()
+                )
+            }
+            body["profile"] = self.telemetry.get("profile", {})
+        payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def summary(self) -> str:
         """Fixed-width per-job table (CLI ``--verbose`` output)."""
@@ -476,10 +531,13 @@ class ExecutionEngine:
         finally:
             self.runner.shutdown()
 
+        from .backends.base import capabilities_of
+
         report = RunReport(
             records={jid: records[jid] for jid in order},
             wall_time_s=time.perf_counter() - start,
             cache_stats=self.cache.stats() if self.cache is not None else {},
+            backend=capabilities_of(self.runner).name,
         )
         if self.telemetry is not None:
             # Merge once, after the run, in sorted job order — never at
@@ -505,6 +563,7 @@ def run_jobs(
     hang_timeout_s: Optional[float] = None,
     checkpoint_root: Optional[str] = None,
     telemetry: Optional[Any] = None,
+    backend: Optional[str] = None,
 ) -> RunReport:
     """One-call convenience: build runner + cache, run the graph.
 
@@ -512,12 +571,23 @@ def run_jobs(
     enables the on-disk result cache; ``hang_timeout_s`` arms the
     heartbeat watchdog and ``checkpoint_root`` gives checkpointing jobs
     a durable home; ``telemetry`` captures per-worker metrics/spans and
-    merges them into ``report.telemetry``.  This is the entry point the
-    CLI and the experiment registry share.
+    merges them into ``report.telemetry``.  ``backend`` overrides the
+    default runner choice by name (``serial``/``pool``/``socket``/
+    ``array`` via :func:`repro.exec.backends.make_backend`, with
+    ``jobs`` as its parallelism); left unset, ``jobs > 1`` keeps
+    selecting the process pool.  This is the entry point the CLI and
+    the experiment registry share.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    runner: Runner = ProcessPoolRunner(jobs) if jobs > 1 else SerialRunner()
+    if backend is not None:
+        from .backends import make_backend
+
+        runner: Runner = make_backend(
+            backend, jobs=jobs, cache_dir=cache_dir, metrics=metrics
+        )
+    else:
+        runner = ProcessPoolRunner(jobs) if jobs > 1 else SerialRunner()
     cache = ResultCache(cache_dir, metrics=metrics) if cache_dir is not None else None
     engine = ExecutionEngine(
         runner=runner,

@@ -78,6 +78,14 @@ class Job:
     since where a job checkpoints must not change its artifact identity.
     The job function is expected to save/resume its own progress there
     (see :class:`repro.resilience.JobCheckpointStore`).
+    ``locality`` names *where* the job may run: a
+    :class:`~repro.exec.backends.router.BackendRouter` only routes the
+    job to backends whose advertised locality tags cover every tag here
+    (e.g. ``("local",)`` pins a closure-capturing job onto an
+    in-process backend).  Like the checkpoint path, locality is a
+    scheduling concern, not an identity one — it is excluded from
+    cache keys, so moving a job between backends never invalidates its
+    artifact.
     """
 
     id: str
@@ -88,6 +96,7 @@ class Job:
     retries: Optional[int] = None
     seed_key: Optional[str] = None
     checkpoint_key: Optional[str] = None
+    locality: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.id or not isinstance(self.id, str):
@@ -99,6 +108,7 @@ class Job:
         if self.retries is not None and self.retries < 0:
             raise ValueError(f"job {self.id}: retries must be non-negative")
         object.__setattr__(self, "deps", tuple(self.deps))
+        object.__setattr__(self, "locality", tuple(self.locality))
         if self.id in self.deps:
             raise ValueError(f"job {self.id} depends on itself")
 

@@ -56,10 +56,24 @@ ATTEMPT_TIMEOUT = "timeout"
 ATTEMPT_CRASH = "crash"
 ATTEMPT_HUNG = "hung"
 
-#: Pipe message tags (worker -> parent).
+#: Pipe message tags (worker -> parent).  The socket backend reuses the
+#: same tags inside explicitly versioned frames — see
+#: :mod:`repro.exec.backends.frames` for the wire format.
 _MSG_HEARTBEAT = "hb"
 _MSG_RESULT = "res"
 _MSG_TELEMETRY = "tel"
+#: Tags the parent's drain loop understands.  A *well-formed* tagged
+#: message with an unknown tag is skipped (forward compatibility:
+#: newer workers may emit optional frames) and counted under
+#: ``exec.frames.unknown_skipped``; malformed garbage still classifies
+#: the worker as crashed — fail loud, never wedge the drain loop.
+_KNOWN_TAGS = frozenset({_MSG_HEARTBEAT, _MSG_RESULT, _MSG_TELEMETRY})
+
+
+def _count_unknown_skipped() -> None:
+    from ..core.instrument import default_registry
+
+    default_registry().counter("exec.frames.unknown_skipped").inc()
 
 
 @dataclass
@@ -131,6 +145,18 @@ class SerialRunner:
 
     def __init__(self) -> None:
         self._done: List[Attempt] = []
+
+    def capabilities(self):
+        from .backends.base import BackendCapabilities
+
+        return BackendCapabilities(
+            name="serial",
+            max_parallelism=1,
+            supports_heartbeat=False,  # beats recorded, not live
+            supports_preemption=False,  # timeouts classified post hoc
+            locality=("local", "serial"),
+            description="in-process, one job at a time; closure-safe",
+        )
 
     def capacity(self) -> int:
         return 1
@@ -293,6 +319,21 @@ class ProcessPoolRunner:
         # joined opportunistically so poll() never blocks on a lingerer.
         self._zombies: List[Any] = []
 
+    def capabilities(self):
+        from .backends.base import BackendCapabilities
+
+        return BackendCapabilities(
+            name="pool",
+            max_parallelism=self.max_workers,
+            supports_heartbeat=True,
+            supports_preemption=True,
+            locality=("local", "pool"),
+            description=(
+                f"one process per attempt, {self.max_workers} concurrent; "
+                "crash containment + live watchdog"
+            ),
+        )
+
     def capacity(self) -> int:
         return self.max_workers - len(self._running)
 
@@ -398,6 +439,16 @@ class ProcessPoolRunner:
             ):
                 _tag, status, result, error = message
                 return self._attempt(run, status, result, error, now)
+            if (
+                isinstance(message, tuple)
+                and len(message) >= 1
+                and isinstance(message[0], str)
+                and message[0] not in _KNOWN_TAGS
+            ):
+                # Well-formed but unknown tag: a newer worker emitting an
+                # optional frame this parent predates.  Skip it.
+                _count_unknown_skipped()
+                continue
             return self._attempt(
                 run,
                 ATTEMPT_CRASH,

@@ -19,6 +19,14 @@ job-id order** (never at absorb time, which is pool-scheduling-order
 and hence nondeterministic).  Metric merge semantics are the
 conflict-free rules of :meth:`repro.core.instrument.MetricsRegistry.
 merge_state`; profiles add; span streams stay per-job.
+
+The transport is irrelevant to the merge: the socket-worker backend
+(:mod:`repro.exec.backends.socket_worker`) ships the *same* payload as
+a versioned ``tel`` socket frame instead of a pipe tuple, and because
+merging keys on job id — not on arrival order, worker identity, or
+wire format — a sweep run over TCP workers merges byte-identically to
+the same sweep run serial or pooled (``RunReport.digest()`` pins
+this).
 """
 
 from __future__ import annotations

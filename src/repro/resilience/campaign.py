@@ -406,6 +406,7 @@ def run_campaign(
     retries: int = 1,
     runner=None,
     skip_architectural: bool = False,
+    backend: Optional[str] = None,
 ) -> ResilienceReport:
     """Sweep every requested model x intensity on the execution engine.
 
@@ -413,7 +414,9 @@ def run_campaign(
     ``seed_key``, checkpointed via ``checkpoint_key`` when
     ``checkpoint_root`` is given); a cell that keeps failing becomes a
     FAILED row in the report while the rest of the sweep completes —
-    the fault campaign is itself fault-tolerant.
+    the fault campaign is itself fault-tolerant.  ``backend`` names an
+    execution backend (``serial``/``pool``/``socket``/``array``) built
+    with ``jobs`` as its parallelism; an explicit ``runner`` wins.
     """
     if scale not in _SCALES:
         raise ValueError(f"unknown scale {scale!r} (want one of {sorted(_SCALES)})")
@@ -447,6 +450,10 @@ def run_campaign(
                 checkpoint_key="checkpoint_path",
             ))
 
+    if runner is None and backend is not None:
+        from ..exec.backends import make_backend
+
+        runner = make_backend(backend, jobs=jobs)
     if runner is None:
         runner = ProcessPoolRunner(jobs) if jobs > 1 else SerialRunner()
     engine = ExecutionEngine(
@@ -467,6 +474,7 @@ def run_campaign(
             "scale": scale,
             "seed": int(seed),
             "jobs": int(jobs),
+            "backend": backend or ("pool" if jobs > 1 else "serial"),
         },
     )
     for model in chosen:
@@ -571,6 +579,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes (default 1 = serial in-process)",
     )
+    parser.add_argument(
+        "--backend", choices=("serial", "pool", "socket", "array"),
+        default=None, metavar="B",
+        help=(
+            "execution backend for the sweep (socket: elastic TCP "
+            "workers, --jobs loopback workers spawned; array: batch "
+            "manifests); default: serial, or pool when --jobs > 1"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=0, metavar="S")
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="S",
@@ -627,6 +644,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             hang_timeout_s=args.hang_timeout,
             timeout_s=args.timeout,
             skip_architectural=args.no_architectural,
+            backend=args.backend,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -19,6 +19,10 @@ def cache(tmp_path):
     return ResultCache(tmp_path / "cache", version="1.test")
 
 
+def _cached_job(config):
+    return {"value": config["x"]}
+
+
 class TestCanonicalize:
     def test_key_order_normalized(self):
         assert canonicalize({"b": 1, "a": 2}) == {"a": 2, "b": 1}
@@ -131,6 +135,49 @@ class TestResultCache:
         # The job reruns and rewrites the artifact; subsequent gets hit.
         assert cache.put(key, "m.f", {"x": 1}, {"value": 1.0})
         assert cache.get(key)["result"] == {"value": 1.0}
+
+    def test_corrupt_artifact_quarantined_and_counted_once(self, cache):
+        """Satellite: corruption is counted, quarantined, and visible."""
+        key = cache.key_for("m.f", {"x": 1})
+        cache.put(key, "m.f", {"x": 1}, {"value": 1.0})
+        path = cache.path_for(key)
+        path.write_text("{ torn write", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        # The bad bytes were moved aside for post-mortem...
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert quarantined.exists()
+        assert quarantined.read_text(encoding="utf-8") == "{ torn write"
+        # ...so a second get is a plain miss, never double-counted.
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert cache.misses == 2
+
+    def test_corrupt_counted_in_metrics_registry(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        cache = ResultCache(tmp_path, version="1.test", metrics=registry)
+        key = cache.key_for("m.f", {"x": 1})
+        cache.put(key, "m.f", {"x": 1}, {"value": 1.0})
+        cache.path_for(key).write_text("garbage", encoding="utf-8")
+        cache.get(key)
+        assert registry.counter("exec.cache.corrupt").value == 1
+        assert registry.counter("exec.cache.miss").value == 1
+
+    def test_corrupt_surfaces_in_run_report(self, tmp_path):
+        """A sweep over a corrupted cache says so in its one-liner."""
+        from repro.exec import Job, JobGraph, run_jobs
+
+        graph = JobGraph()
+        graph.add(Job(id="a", fn=_cached_job, config={"x": 1}))
+        cold = run_jobs(graph, cache_dir=str(tmp_path))
+        assert "corrupt" not in cold.one_line()
+        cache = ResultCache(str(tmp_path))
+        key = cold["a"].cache_key
+        cache.path_for(key).write_text("torn", encoding="utf-8")
+        rerun = run_jobs(graph, cache_dir=str(tmp_path))
+        assert rerun.ok
+        assert rerun.cache_stats["corrupt"] == 1
+        assert "1 corrupt quarantined" in rerun.one_line()
 
     def test_truncated_artifact_is_miss(self, cache):
         key = cache.key_for("m.f", {"x": 1})

@@ -1,0 +1,146 @@
+"""Tests for the versioned tagged-frame wire format (satellite 2).
+
+Covers both transports: the socket frames themselves (roundtrip,
+version mismatch fails loud, unknown tags survive) and the process-pool
+pipe drain loop's unknown-tag skip.
+"""
+
+import multiprocessing as mp
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.exec.backends import frames
+from repro.exec.job import Job
+from repro.exec.runners import ProcessPoolRunner, _Running
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFrameRoundtrip:
+    def test_roundtrip_payload(self, pair):
+        a, b = pair
+        frames.send_frame(a, frames.TAG_RESULT, ("ok", {"x": 1}, None))
+        tag, payload = frames.recv_frame(b)
+        assert tag == frames.TAG_RESULT
+        assert payload == ("ok", {"x": 1}, None)
+
+    def test_roundtrip_none_payload(self, pair):
+        a, b = pair
+        frames.send_frame(a, frames.TAG_BYE)
+        assert frames.recv_frame(b) == (frames.TAG_BYE, None)
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            frames.send_frame(a, frames.TAG_HEARTBEAT, float(i))
+        got = [frames.recv_frame(b) for _ in range(5)]
+        assert got == [(frames.TAG_HEARTBEAT, float(i)) for i in range(5)]
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert frames.recv_frame(b) is None
+
+    def test_mid_frame_eof_is_loud(self, pair):
+        a, b = pair
+        header = struct.Struct("!BBBI").pack(
+            frames.FRAME_MAGIC, frames.PROTOCOL_VERSION, 2, 100
+        )
+        a.sendall(header + b"hb")  # promises a 100-byte body, sends none
+        a.close()
+        with pytest.raises(frames.FrameProtocolError):
+            frames.recv_frame(b)
+
+
+class TestFrameVersioning:
+    def test_version_mismatch_fails_loud(self, pair):
+        a, b = pair
+        header = struct.Struct("!BBBI").pack(
+            frames.FRAME_MAGIC, frames.PROTOCOL_VERSION + 1, 2, 0
+        )
+        a.sendall(header + b"hb")
+        with pytest.raises(frames.FrameVersionError) as excinfo:
+            frames.recv_frame(b)
+        # The error must say which versions disagreed — it is the one
+        # message an operator sees when mixing old and new workers.
+        assert str(frames.PROTOCOL_VERSION) in str(excinfo.value)
+
+    def test_bad_magic_fails_loud(self, pair):
+        a, b = pair
+        a.sendall(b"\x00" * 7)
+        with pytest.raises(frames.FrameProtocolError):
+            frames.recv_frame(b)
+
+    def test_absurd_body_length_rejected(self, pair):
+        a, b = pair
+        header = struct.Struct("!BBBI").pack(
+            frames.FRAME_MAGIC, frames.PROTOCOL_VERSION, 2,
+            frames.MAX_BODY_BYTES + 1,
+        )
+        a.sendall(header + b"hb")
+        with pytest.raises(frames.FrameProtocolError):
+            frames.recv_frame(b)
+
+    def test_unknown_tag_is_returned_not_fatal(self, pair):
+        # recv_frame hands unknown-but-well-formed tags to the caller;
+        # drain loops decide to skip them (forward compatibility).
+        a, b = pair
+        frames.send_frame(a, "future-frame", {"new": "field"})
+        tag, payload = frames.recv_frame(b)
+        assert tag == "future-frame"
+        assert tag not in frames.FRAME_TAGS
+        frames.send_frame(a, frames.TAG_RESULT, ("ok", 1, None))
+        assert frames.recv_frame(b)[0] == frames.TAG_RESULT
+
+
+def _noop():
+    return None
+
+
+class TestPipeUnknownTagSkip:
+    """The pool runner's pipe drain applies the same skip rule."""
+
+    def _drained_attempt(self, messages):
+        """Feed raw pipe messages to _reap via a finished dummy child."""
+        ctx = mp.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_noop)
+        process.start()
+        process.join(5.0)
+        for message in messages:
+            child_conn.send(message)
+        child_conn.close()
+        runner = ProcessPoolRunner(1)
+        run = _Running(
+            job=Job(id="j", fn=_noop),
+            process=process,
+            conn=parent_conn,
+            started=time.perf_counter(),
+            deadline=None,
+            timeout_s=None,
+        )
+        try:
+            return runner._reap(run, time.perf_counter())
+        finally:
+            parent_conn.close()
+
+    def test_unknown_tagged_tuple_skipped(self):
+        attempt = self._drained_attempt(
+            [("future-tag", {"optional": True}), ("res", "ok", 42, None)]
+        )
+        assert attempt.status == "ok"
+        assert attempt.result == 42
+
+    def test_untagged_garbage_still_classifies_crash(self):
+        attempt = self._drained_attempt([[1, 2, 3]])
+        assert attempt.status == "crash"
+        assert "unrecognized" in attempt.error
