@@ -367,3 +367,27 @@ def measure_hang_detection(
         "detection_s": detect_s,
         "detection_fraction_of_timeout": detect_s / wall_timeout_s,
     }
+
+
+def measure_serve(repeats: int = 2) -> Dict[str, float]:
+    """Service throughput (PR7), empty dict when ``repro.serve`` is absent.
+
+    Feature-detects both the serve package and the load generator so the
+    identical harness can still time a pre-PR7 checkout.  Delegates to
+    ``serve_load.measure_for_harness`` — the same open-loop phases that
+    produced the ``serve_rps`` family in ``BENCH_PR7.json`` — so gate
+    comparisons are measured the same way as the baseline.
+    """
+    try:
+        import repro.serve  # noqa: F401
+    except ImportError:  # pragma: no cover - pre-PR7 checkout
+        return {}
+    import sys
+    from pathlib import Path
+
+    here = str(Path(__file__).resolve().parent)
+    if here not in sys.path:
+        sys.path.insert(0, here)
+    import serve_load
+
+    return serve_load.measure_for_harness(repeats=repeats)

@@ -36,7 +36,10 @@ import perf_harness  # noqa: E402
 
 
 def run_measurements(
-    repeats: int, experiment_repeats: int, skip_experiments: bool
+    repeats: int,
+    experiment_repeats: int,
+    skip_experiments: bool,
+    skip_serve: bool = False,
 ) -> dict:
     result = {
         "meta": {
@@ -58,6 +61,10 @@ def run_measurements(
         result["experiments_wall_s"] = perf_harness.measure_experiments(
             repeats=experiment_repeats
         )
+    if not skip_serve:
+        serve = perf_harness.measure_serve()
+        if serve:  # empty on pre-PR7 checkouts (feature-detected)
+            result["serve_rps"] = serve
     return result
 
 
@@ -68,13 +75,18 @@ def compare(current: dict, baseline: dict, max_regression: float) -> list[str]:
     ``max_regression`` (a fraction, e.g. 0.30).
     """
     failures = []
-    for family in ("kernel_drain_events_per_s", "kernel_end_to_end_events_per_s"):
+    for family in (
+        "kernel_drain_events_per_s",
+        "kernel_end_to_end_events_per_s",
+        "serve_rps",
+    ):
         base_kernel = baseline.get(family, {})
+        unit = "rps" if family == "serve_rps" else "ev/s"
         for name, rate in current.get(family, {}).items():
             base = base_kernel.get(name)
             if base and rate < base * (1.0 - max_regression):
                 failures.append(
-                    f"{family}[{name}]: {rate:,.0f} ev/s vs baseline "
+                    f"{family}[{name}]: {rate:,.0f} {unit} vs baseline "
                     f"{base:,.0f} ({rate / base - 1.0:+.0%})"
                 )
     base_exp = baseline.get("experiments_wall_s", {})
@@ -94,8 +106,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--baseline",
         type=Path,
+        action="append",
         default=None,
-        help="JSON to gate against (BENCH_PR3.json or a prior --output)",
+        help="JSON to gate against; repeatable, each file gates the "
+        "families it carries (BENCH_PR3.json for the kernel, "
+        "BENCH_PR7.json for the service, or a prior --output)",
     )
     parser.add_argument("--max-regression", type=float, default=0.30)
     parser.add_argument(
@@ -107,10 +122,14 @@ def main(argv: list[str] | None = None) -> int:
         default=perf_harness.DEFAULT_EXPERIMENT_REPEATS,
     )
     parser.add_argument("--skip-experiments", action="store_true")
+    parser.add_argument("--skip-serve", action="store_true")
     args = parser.parse_args(argv)
 
     current = run_measurements(
-        args.repeats, args.experiment_repeats, args.skip_experiments
+        args.repeats,
+        args.experiment_repeats,
+        args.skip_experiments,
+        args.skip_serve,
     )
 
     print("kernel drain events/s:")
@@ -121,27 +140,36 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {name:20s} {rate:>12,.0f}")
     for eid, wall in current.get("experiments_wall_s", {}).items():
         print(f"  {eid} wall: {wall:.3f}s")
+    if current.get("serve_rps"):
+        print("serve throughput (requests/s):")
+        for name, rate in current["serve_rps"].items():
+            print(f"  {name:20s} {rate:>12,.1f}")
 
     if args.output is not None:
         args.output.write_text(json.dumps(current, indent=2) + "\n")
         print(f"wrote {args.output}")
 
-    if args.baseline is not None:
-        baseline = json.loads(args.baseline.read_text())
-        # BENCH_PR3.json nests the reference numbers under "current";
+    failed = False
+    for baseline_path in args.baseline or []:
+        baseline = json.loads(baseline_path.read_text())
+        # BENCH_PR*.json nest the reference numbers under "current";
         # a raw --output file is already flat.
         reference = baseline.get("current", baseline)
         failures = compare(current, reference, args.max_regression)
         if failures:
+            failed = True
             print(
                 f"PERF REGRESSION (> {args.max_regression:.0%} "
-                f"vs {args.baseline}):"
+                f"vs {baseline_path}):"
             )
             for line in failures:
                 print(f"  {line}")
-            return 1
-        print(f"perf gate passed (within {args.max_regression:.0%})")
-    return 0
+        else:
+            print(
+                f"perf gate passed vs {baseline_path} "
+                f"(within {args.max_regression:.0%})"
+            )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -33,6 +33,8 @@ Subcommands::
     python -m repro obs ...            # observability sweep + exporters
                                        # (see repro.obs.cli)
     python -m repro workers ...        # attach socket sweep workers
+    python -m repro serve ...          # long-running experiment service
+                                       # (see repro.serve.cli)
 """
 
 from __future__ import annotations
@@ -108,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
         return obs_main(argv[1:])
     if argv and argv[0] == "workers":
         return _workers_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -1,0 +1,128 @@
+"""Minimal clients for the experiment service (stdlib only).
+
+:class:`ServeClient` is the blocking convenience wrapper (tests, the
+selftest, simple scripts) over ``http.client``.  :func:`arequest` is
+the asyncio variant the open-loop load generator uses — one
+connection per exchange, matching the server's ``Connection: close``
+discipline, so concurrency is bounded only by sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Optional
+
+__all__ = ["ServeClient", "arequest"]
+
+
+class ServeClient:
+    """Blocking JSON client for one server address."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict, Any]:
+        """One exchange; returns ``(status, headers, parsed body)``.
+
+        JSON responses are parsed; anything else (the Prometheus text
+        of ``/metrics``) comes back as ``str``.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+            if "application/json" in resp_headers.get("content-type", ""):
+                parsed: Any = json.loads(raw.decode() or "null")
+            else:
+                parsed = raw.decode()
+            return resp.status, resp_headers, parsed
+        finally:
+            conn.close()
+
+    # -- conveniences ------------------------------------------------------
+
+    def submit(
+        self,
+        workload: str,
+        params: Optional[dict] = None,
+        wait: bool = False,
+        **extra: Any,
+    ) -> tuple[int, dict, Any]:
+        payload = {"workload": workload, "params": params or {}, **extra}
+        if wait:
+            payload["wait"] = True
+        return self.request("POST", "/v1/experiments", payload)
+
+    def run(self, run_id: str) -> tuple[int, dict, Any]:
+        return self.request("GET", f"/v1/runs/{run_id}")
+
+    def healthz(self) -> dict:
+        status, _, body = self.request("GET", "/healthz")
+        if status != 200:
+            raise RuntimeError(f"healthz returned {status}")
+        return body
+
+    def metrics_text(self) -> str:
+        status, _, body = self.request("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"/metrics returned {status}")
+        return body
+
+
+async def arequest(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    timeout_s: float = 60.0,
+) -> tuple[int, dict, Any]:
+    """Async one-shot HTTP/1.1 exchange (connection per request)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout_s
+    )
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+    header_blob, _, rest = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "application/json" in headers.get("content-type", ""):
+        parsed: Any = json.loads(rest.decode() or "null")
+    else:
+        parsed = rest.decode()
+    return status, headers, parsed

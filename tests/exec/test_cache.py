@@ -104,7 +104,7 @@ class TestResultCache:
         assert artifact["wall_time_s"] == 0.5
         assert cache.stats() == {
             "hits": 1, "misses": 1, "corrupt": 0, "writes": 1,
-            "rejected": 0, "unkeyable": 0,
+            "rejected": 0, "unkeyable": 0, "coalesced": 0,
         }
 
     def test_put_returns_stored_canonical_artifact(self, cache):

@@ -1,0 +1,157 @@
+"""Coalescing: identical design points cost one backend execution.
+
+Covers the coalescer unit (attach / fan-out / abandon / cache fast
+path), the cache's single-flight hook, and the end-to-end guarantee
+over HTTP: N duplicate submissions, one dispatch, N answered waiters.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrument import MetricsRegistry
+from repro.exec.cache import ResultCache
+from repro.serve.coalesce import Coalescer
+from repro.serve.workloads import design_point
+
+from .conftest import wait_until
+
+
+def _coalescer(tmp_path):
+    metrics = MetricsRegistry(enabled=True)
+    cache = ResultCache(tmp_path / "cache", metrics=metrics)
+    return Coalescer(cache, metrics=metrics), cache, metrics
+
+
+class TestCoalescerUnit:
+    def test_duplicate_attaches_to_live_entry(self, tmp_path):
+        co, cache, metrics = _coalescer(tmp_path)
+        point = design_point("spin", {"duration_s": 0.01, "tag": "x"})
+        rec_a, entry = co.submit(point)
+        assert entry is not None
+        assert entry.key in cache.pending_keys()  # single-flight claimed
+        rec_b, dup_entry = co.submit(design_point("spin", {"duration_s": 0.01, "tag": "x"}))
+        assert dup_entry is None
+        assert rec_b.coalesced and not rec_a.coalesced
+        assert cache.coalesced == 1
+        assert metrics.counter("exec.cache.coalesced").value == 1
+        co.complete(entry, ok=True, result={"v": 1}, duration_s=0.5)
+        assert rec_a.status == "succeeded" and rec_b.status == "succeeded"
+        assert rec_a.result == rec_b.result == {"v": 1}
+        assert entry.key not in cache.pending_keys()
+        assert co.live_entries() == 0
+
+    def test_distinct_points_do_not_coalesce(self, tmp_path):
+        co, _, _ = _coalescer(tmp_path)
+        _, entry_a = co.submit(design_point("spin", {"tag": "a"}))
+        _, entry_b = co.submit(design_point("spin", {"tag": "b"}))
+        assert entry_a is not None and entry_b is not None
+        assert entry_a.design_id != entry_b.design_id
+
+    def test_completion_populates_cache_fast_path(self, tmp_path):
+        co, cache, metrics = _coalescer(tmp_path)
+        point = design_point("spin", {"tag": "warm"})
+        _, entry = co.submit(point)
+        co.complete(entry, ok=True, result={"v": 2}, duration_s=0.1)
+        # Same design point again: served from cache, no new entry.
+        record, entry2 = co.submit(design_point("spin", {"tag": "warm"}))
+        assert entry2 is None
+        assert record.cached and record.terminal
+        assert record.result == {"v": 2}
+        assert metrics.counter("serve.cache_fast_path").value == 1
+
+    def test_failure_fans_out_error(self, tmp_path):
+        co, cache, _ = _coalescer(tmp_path)
+        _, entry = co.submit(design_point("spin", {"tag": "bad"}))
+        rec_b, _ = co.submit(design_point("spin", {"tag": "bad"}))
+        co.complete(entry, ok=False, error="ValueError: boom")
+        assert rec_b.status == "failed"
+        assert rec_b.error == "ValueError: boom"
+        # A failure is not cached: resubmission opens a fresh entry.
+        _, entry2 = co.submit(design_point("spin", {"tag": "bad"}))
+        assert entry2 is not None
+
+    def test_abandon_rolls_back_claim_and_records(self, tmp_path):
+        co, cache, _ = _coalescer(tmp_path)
+        record, entry = co.submit(design_point("spin", {"tag": "shed"}))
+        co.abandon(entry)
+        assert co.get(record.run_id) is None
+        assert entry.key not in cache.pending_keys()
+        assert co.live_entries() == 0
+
+    def test_done_callback_fires_immediately_when_terminal(self, tmp_path):
+        co, _, _ = _coalescer(tmp_path)
+        _, entry = co.submit(design_point("spin", {"tag": "cb"}))
+        record = entry.records[0]
+        co.complete(entry, ok=True, result=1)
+        fired = []
+        record.add_done_callback(lambda: fired.append(True))
+        assert fired == [True]
+
+
+class TestCacheSingleFlight:
+    def test_mark_clear_pending(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.mark_pending("k1") is True
+        assert cache.mark_pending("k1") is False  # second claimant loses
+        assert cache.pending_keys() == frozenset({"k1"})
+        cache.clear_pending("k1")
+        cache.clear_pending("k1")  # idempotent
+        assert cache.pending_keys() == frozenset()
+        assert cache.mark_pending("k1") is True
+
+    def test_coalesced_counter_in_stats(self, tmp_path):
+        metrics = MetricsRegistry(enabled=True)
+        cache = ResultCache(tmp_path / "c", metrics=metrics)
+        assert cache.stats()["coalesced"] == 0
+        cache.note_coalesced()
+        cache.note_coalesced(2)
+        assert cache.stats()["coalesced"] == 3
+        assert metrics.counter("exec.cache.coalesced").value == 3
+
+
+class TestHttpCoalescing:
+    def test_n_duplicates_one_dispatch(self, serve_factory):
+        handle, client = serve_factory(linger_ms=50.0)
+        app = handle.app
+        n = 6
+        run_ids = []
+        for _ in range(n):
+            status, _, body = client.submit("spin", {"duration_s": 0.2, "tag": "dup"})
+            assert status == 202
+            run_ids.append(body["run_id"])
+        wait_until(
+            lambda: all(
+                app.coalescer.get(rid).terminal for rid in run_ids
+            ),
+            timeout_s=15.0,
+        )
+        records = [app.coalescer.get(rid) for rid in run_ids]
+        assert all(r.status == "succeeded" for r in records)
+        results = {repr(r.result) for r in records}
+        assert len(results) == 1  # one fanned-out result
+        assert app.dispatcher.dispatched == 1  # exactly one backend job
+        assert sum(1 for r in records if r.coalesced) == n - 1
+        metrics = client.metrics_text()
+        assert f"repro_serve_coalesced_total {n - 1}" in metrics
+        assert f"repro_exec_cache_coalesced_total {n - 1}" in metrics
+
+    def test_repetitions_are_distinct_design_points(self, serve_factory):
+        handle, client = serve_factory()
+        status, _, body = client.submit(
+            "spin", {"duration_s": 0.01}, repetitions=3, wait=True
+        )
+        assert status == 200
+        design_ids = {r["design_id"] for r in body["runs"]}
+        assert len(design_ids) == 3
+        assert handle.app.dispatcher.dispatched == 3
+
+    def test_sweep_with_shared_base_params(self, serve_factory):
+        _, client = serve_factory()
+        status, _, body = client.submit(
+            "spin",
+            {"duration_s": 0.01},
+            wait=True,
+            sweep=[{"tag": "s1"}, {"tag": "s2"}],
+        )
+        assert status == 200
+        assert body["count"] == 2
+        assert all(r["status"] == "succeeded" for r in body["runs"])

@@ -1,0 +1,146 @@
+"""Server surface: endpoints, metrics parity, graceful shutdown.
+
+The acceptance criteria pinned here: ``GET /metrics`` served live
+matches the existing Prometheus exporter format, and graceful shutdown
+drains in-flight runs with all waiters receiving results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.obs.export import registry_state_to_prometheus
+from repro.serve.cli import selftest
+from repro.serve.workloads import design_point, run_spin
+
+from .conftest import wait_until
+
+
+class TestEndpoints:
+    def test_healthz_shape(self, serve_factory):
+        _, client = serve_factory()
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0
+        assert health["queue_depth"] == 0
+        assert health["inflight"] == 0
+
+    def test_wait_returns_terminal_200(self, serve_factory):
+        _, client = serve_factory()
+        status, _, body = client.submit(
+            "cluster",
+            {"n_servers": 4, "arrival_rate": 2.0, "n_requests": 500, "seed": 7},
+            wait=True,
+        )
+        assert status == 200
+        run = body["runs"][0]
+        assert run["status"] == "succeeded"
+        for field in ("p50_ms", "p95_ms", "p99_ms", "utilization"):
+            assert field in run["result"]
+
+    def test_get_run_roundtrip(self, serve_factory):
+        _, client = serve_factory()
+        _, _, body = client.submit("spin", {"duration_s": 0.01}, wait=True)
+        run_id = body["run_id"]
+        status, _, fetched = client.run(run_id)
+        assert status == 200
+        assert fetched["run_id"] == run_id
+        assert fetched["status"] == "succeeded"
+        assert "cache_key" in fetched
+
+    def test_query_param_wait(self, serve_factory):
+        handle, client = serve_factory()
+        status, _, body = client.request(
+            "POST", "/v1/experiments?wait=1",
+            {"workload": "spin", "params": {"duration_s": 0.01}},
+        )
+        assert status == 200
+        assert body["runs"][0]["status"] == "succeeded"
+
+
+class TestMetricsParity:
+    def test_live_scrape_matches_exporter_format(self, serve_factory):
+        handle, client = serve_factory()
+        client.submit("spin", {"duration_s": 0.01}, wait=True)
+        scraped = client.metrics_text()
+        # Byte-identical to exporting the same registry state directly:
+        # /metrics *is* registry_state_to_prometheus, not a lookalike.
+        direct = registry_state_to_prometheus(handle.app.metrics.to_state())
+        assert scraped == direct
+        assert "# TYPE repro_serve_requests_total counter" in scraped
+        assert "# TYPE repro_serve_latency_ms summary" in scraped
+        assert 'repro_serve_latency_ms{quantile="0.5"}' in scraped
+
+    def test_scrape_during_load(self, serve_factory):
+        handle, client = serve_factory(max_inflight=1)
+        client.submit("spin", {"duration_s": 0.3, "tag": "busy"})
+        wait_until(lambda: handle.app.admission.inflight() == 1)
+        scraped = client.metrics_text()  # mid-flight scrape must serve
+        assert "repro_serve_dispatched_total 1" in scraped
+        assert client.healthz()["inflight"] == 1
+
+
+class TestGracefulShutdown:
+    def test_drain_completes_inflight_and_answers_waiters(self, serve_factory):
+        handle, client = serve_factory(max_inflight=1, linger_ms=0.0)
+        app = handle.app
+        # One running + one queued design point, each with a waiter
+        # blocked on wait=1 from a separate thread.
+        results: dict[str, object] = {}
+
+        def waiter(tag: str) -> None:
+            results[tag] = client.submit(
+                "spin", {"duration_s": 0.25, "tag": tag}, wait=True
+            )
+
+        threads = [
+            threading.Thread(target=waiter, args=(tag,)) for tag in ("w1", "w2")
+        ]
+        for thread in threads:
+            thread.start()
+        wait_until(lambda: app.admission.inflight() + app.admission.depth() == 2)
+        drained = handle.stop(drain=True)
+        for thread in threads:
+            thread.join(timeout=20.0)
+        assert drained is True
+        for tag in ("w1", "w2"):
+            status, _, body = results[tag]
+            assert status == 200
+            assert body["runs"][0]["status"] == "succeeded"
+
+    def test_draining_rejects_new_work_with_503(self, serve_factory):
+        handle, client = serve_factory(max_inflight=1, linger_ms=0.0)
+        app = handle.app
+        client.submit("spin", {"duration_s": 0.4, "tag": "drainee"})
+        wait_until(lambda: app.admission.inflight() == 1)
+        fut = asyncio.run_coroutine_threadsafe(
+            app.drain(timeout_s=15.0), handle._loop
+        )
+        wait_until(lambda: app.draining)
+        status, headers, _ = client.submit("spin", {"duration_s": 0.01})
+        assert status == 503
+        assert "retry-after" in headers
+        assert fut.result(timeout=20.0) is True
+        # Reads still work on a drained server's state.
+        assert app.coalescer.live_entries() == 0
+
+
+class TestSelftest:
+    def test_selftest_passes_serial(self, tmp_path):
+        assert selftest(backend="serial", cache_dir=str(tmp_path / "c")) == 0
+
+
+class TestWorkloadValidation:
+    def test_design_point_identity_is_param_canonical(self):
+        a = design_point("spin", {"b": 1, "a": 2})
+        b = design_point("spin", {"a": 2, "b": 1})
+        assert a.design_id == b.design_id
+
+    def test_spin_bounds(self):
+        try:
+            run_spin({"duration_s": 100})
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
