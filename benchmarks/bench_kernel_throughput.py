@@ -3,8 +3,10 @@
 Measures raw events/second through :mod:`perf_harness` in two families:
 
 * **drain** — ``sim.run()`` over a pre-loaded 200k-event queue, for the
-  bare loop and the three instrumentation levels (null registry, live
-  counters+histogram, kernel probe);
+  bare loop, the three instrumentation levels (null registry, live
+  counters+histogram, kernel probe), and — when the PR8 fast-path
+  kernel is present — the macro-batch and trace-specialized
+  configurations;
 * **end-to-end** — scheduling plus drain, comparing the per-call token
   path against the PR3 ``cancellable=False`` and ``schedule_many``
   fast paths.
@@ -42,6 +44,8 @@ _DRAIN_LABELS = {
     "disabled_registry": "null registry (disabled)",
     "live_instruments": "live counters + histogram",
     "kernel_probe": "live registry + kernel probe",
+    "macro_drain": "macro batch twin (summing payloads)",
+    "trace_jit": "trace-specialized loop (fastpath=on)",
 }
 _E2E_LABELS = {
     "loop_token": "schedule_at loop (tokens)",
@@ -68,7 +72,11 @@ def test_kernel_throughput(benchmark):
         format_table(
             ["configuration", "events/s", "vs bare"],
             [
-                (_DRAIN_LABELS[name], f"{rate:,.0f}", f"{rate / bare:.2f}x")
+                (
+                    _DRAIN_LABELS.get(name, name),
+                    f"{rate:,.0f}",
+                    f"{rate / bare:.2f}x",
+                )
                 for name, rate in drain.items()
             ],
             title=f"Kernel drain throughput ({N_EVENTS:,} events, best-of-5)",
@@ -86,11 +94,23 @@ def test_kernel_throughput(benchmark):
         )
     )
 
-    # Disabled instrumentation stays in the same ballpark as bare; live
-    # instruments and probes pay real work but not order-of-magnitude.
-    assert drain["disabled_registry"] > bare * 0.4
-    assert drain["live_instruments"] > bare * 0.1
-    assert drain["kernel_probe"] > bare * 0.1
+    # Since PR8 the bare drain is macro-batched, so it sits far above
+    # the scalar configurations rather than "in the same ballpark";
+    # the null-registry drain is the scalar reference the instrumented
+    # tiers are compared against (they pay real work per event, but
+    # not an order of magnitude).
+    scalar = drain["disabled_registry"]
+    assert bare > scalar * 0.9
+    assert scalar > bare * 0.05
+    assert drain["live_instruments"] > scalar * 0.1
+    assert drain["kernel_probe"] > scalar * 0.1
+    # The fast-path families (feature-detected) do real per-event work
+    # in their handlers, so they are slower than the no-op bare drain,
+    # but must stay within an order of magnitude of it.
+    if "macro_drain" in drain:
+        assert drain["macro_drain"] > bare * 0.1
+    if "trace_jit" in drain:
+        assert drain["trace_jit"] > bare * 0.05
     # The no-token and batch fast paths must never be slower than the
     # token path they bypass (generous margin for noisy runners).
     assert e2e["loop_no_token"] > loop * 0.9

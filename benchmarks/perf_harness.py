@@ -29,6 +29,11 @@ from typing import Callable, Dict, Iterable, Optional
 from repro.core.events import Simulator
 from repro.core.instrument import MetricsRegistry
 
+try:  # PR8 macro/trace fast paths; absent on older checkouts
+    from repro.core.macro import as_macro
+except ImportError:  # pragma: no cover - pre-PR8 checkout
+    as_macro = None
+
 N_EVENTS = 200_000
 DEFAULT_REPEATS = 5
 DEFAULT_EXPERIMENT_REPEATS = 3
@@ -68,6 +73,18 @@ def _noop(s: Simulator, payload) -> None:
     pass
 
 
+def _noop_batch(s: Simulator, run) -> None:
+    # Macro twin: observationally identical to len(run) scalar no-ops
+    # (both do nothing per event).  Returning None consumes the whole
+    # run, so the drain's residual per-event cost is the kernel's own
+    # bookkeeping — which is what "bare" measures.
+    return None
+
+
+if as_macro is not None:
+    as_macro(_noop, _noop_batch)
+
+
 # ---------------------------------------------------------------------------
 # Drain configurations: build() returns a loaded simulator; the timed
 # region is sim.run() only — raw event-dispatch throughput.
@@ -75,8 +92,42 @@ def _noop(s: Simulator, payload) -> None:
 
 
 def build_bare() -> Simulator:
-    """The tentpole configuration: no instrumentation, default tokens."""
+    """The tentpole configuration: no instrumentation, bulk-loaded.
+
+    Since PR8 the train is loaded with ``schedule_many`` (the PR3 bulk
+    API, so pre-PR8 checkouts still run this config) and ``_noop``
+    carries a macro batch twin: under the default ``auto`` fast-path
+    mode the whole train executes as macro batches, which is the
+    configuration the PR8 drain targets.  ``REPRO_FASTPATH=off``
+    reproduces the PR3 scalar drain on the same build.
+    """
     sim = Simulator()
+    try:
+        sim.schedule_many(_times(), _noop)
+    except AttributeError:  # pragma: no cover - pre-PR3 checkout
+        sched = sim.schedule_at
+        for t in _times():
+            sched(t, _noop)
+    return sim
+
+
+def _scalar_sim() -> Simulator:
+    """A simulator pinned to the general drain (fast paths off).
+
+    The PR4 resilience criteria (checkpoint overhead as a fraction of
+    the drain, resume-vs-restart payoff) were calibrated against the
+    scalar drain; letting macro batches collapse the drain to near
+    zero would turn those ratios into snapshot-cost/epsilon noise.
+    """
+    try:
+        return Simulator(fastpath="off")
+    except TypeError:  # pragma: no cover - pre-PR8 kernel
+        return Simulator()
+
+
+def build_bare_scalar() -> Simulator:
+    """PR4 methodology: per-event ``schedule_at`` train, general drain."""
+    sim = _scalar_sim()
     sched = sim.schedule_at
     for t in _times():
         sched(t, _noop)
@@ -123,12 +174,70 @@ def build_kernel_probe() -> Simulator:
     return sim
 
 
+def build_macro_drain() -> Simulator:
+    """PR8 macro path with real per-event work, vectorized in the twin.
+
+    The scalar handler folds each payload into an accumulator; the
+    batch twin does the identical fold as one numpy reduction (exact:
+    integer payloads), so the config measures amortized-dispatch
+    throughput for a handler that actually consumes its events.
+    """
+    import numpy as np
+
+    sim = Simulator()
+    acc = [0]
+
+    def work(s: Simulator, payload) -> None:
+        acc[0] += payload
+
+    def work_batch(s: Simulator, run) -> None:
+        acc[0] += int(
+            np.asarray(run.payloads(), dtype=np.int64).sum()
+        )
+        return None
+
+    as_macro(work, work_batch)
+    sim.schedule_many(_times(), work, payloads=range(N_EVENTS))
+    return sim
+
+
+def build_trace_jit() -> Simulator:
+    """PR8 trace path: no batch twin, forced trace specialization.
+
+    ``fastpath="on"`` skips the hotness warmup so the drain installs
+    the synthesized per-event-guarded loop on the first attempt — the
+    speed of the specialized general path, not of a macro batch.
+    """
+    sim = Simulator(fastpath="on")
+    acc = [0]
+
+    def work(s: Simulator, payload) -> None:
+        acc[0] += 1
+
+    sim.schedule_many(_times(), work)
+    return sim
+
+
+def _fastpath_supported() -> bool:
+    if as_macro is None:
+        return False
+    try:
+        Simulator(fastpath="auto")
+    except TypeError:  # pragma: no cover - pre-PR8 checkout
+        return False
+    return True
+
+
 DRAIN_CONFIGS: Dict[str, Callable[[], Simulator]] = {
     "bare": build_bare,
     "disabled_registry": build_disabled_registry,
     "live_instruments": build_live_instruments,
     "kernel_probe": build_kernel_probe,
 }
+
+if _fastpath_supported():
+    DRAIN_CONFIGS["macro_drain"] = build_macro_drain
+    DRAIN_CONFIGS["trace_jit"] = build_trace_jit
 
 
 def measure_drain(
@@ -160,7 +269,12 @@ def measure_drain(
 
 
 def run_loop_token() -> None:
-    build_bare().run()
+    """Per-call scheduling with cancel tokens (the default API)."""
+    sim = Simulator()
+    sched = sim.schedule_at
+    for t in _times():
+        sched(t, _noop)
+    sim.run()
 
 
 def run_loop_no_token() -> None:
@@ -245,13 +359,13 @@ def measure_checkpoint_overhead(
     period = float(N_EVENTS) / (n_checkpoints + 1)
 
     def plain() -> float:
-        sim = build_bare()
+        sim = build_bare_scalar()
         start = time.perf_counter()
         sim.run()
         return time.perf_counter() - start
 
     def checkpointed() -> float:
-        sim = build_bare()
+        sim = build_bare_scalar()
         manager = CheckpointManager(period=period, keep=1)
         manager.arm(sim)
         start = time.perf_counter()
@@ -291,13 +405,13 @@ def measure_resume_vs_restart(
     crash_at = crash_fraction * N_EVENTS
 
     def full_run() -> float:
-        sim = build_bare()
+        sim = build_bare_scalar()
         start = time.perf_counter()
         sim.run()
         return time.perf_counter() - start
 
     def resumed_tail() -> float:
-        sim = build_bare()
+        sim = build_bare_scalar()
         manager = CheckpointManager(period=period, keep=1)
         manager.arm(sim)
         token = schedule_crash(sim, at=crash_at)

@@ -12,6 +12,8 @@ Usage::
     python benchmarks/perf_smoke.py --baseline BENCH_PR3.json \
         --output bench.json            # CI gate
     python benchmarks/perf_smoke.py --skip-experiments --repeats 3
+    python benchmarks/perf_smoke.py \
+        --require kernel_drain_events_per_s.bare>=12830857   # hard floor
 
 The committed ``BENCH_PR3.json`` at the repo root is the reference
 trajectory: its ``pre_pr3`` section was measured on the pre-PR3 kernel
@@ -114,6 +116,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--max-regression", type=float, default=0.30)
     parser.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        metavar="FAMILY.KEY>=VALUE",
+        help="absolute floor a measured rate must clear, e.g. "
+        "kernel_drain_events_per_s.bare>=12830857 (2.5x the PR3 "
+        "baseline); repeatable, fails the gate when the key is "
+        "missing or below the floor",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=perf_harness.DEFAULT_REPEATS
     )
     parser.add_argument(
@@ -150,6 +162,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.output}")
 
     failed = False
+    for spec in args.require or []:
+        path, _, floor_text = spec.partition(">=")
+        if not floor_text:
+            parser.error(f"--require needs FAMILY.KEY>=VALUE, got {spec!r}")
+        family, _, key = path.strip().partition(".")
+        floor = float(floor_text)
+        value = current.get(family, {}).get(key)
+        if value is None:
+            failed = True
+            print(f"PERF FLOOR MISSING: {family}[{key}] was not measured "
+                  f"(required >= {floor:,.0f})")
+        elif value < floor:
+            failed = True
+            print(f"PERF FLOOR FAILED: {family}[{key}] = {value:,.0f} "
+                  f"< required {floor:,.0f}")
+        else:
+            print(f"perf floor passed: {family}[{key}] = {value:,.0f} "
+                  f">= {floor:,.0f}")
     for baseline_path in args.baseline or []:
         baseline = json.loads(baseline_path.read_text())
         # BENCH_PR*.json nest the reference numbers under "current";

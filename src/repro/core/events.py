@@ -48,6 +48,18 @@ points:
   replays the identical event stream.  Snapshots cost nothing on the
   per-event hot path — mid-run accounting is derived structurally from
   the sequence counter (see :meth:`Simulator.snapshot`).
+* **Fast paths** (:mod:`repro.core.fastpath`, :mod:`repro.core.macro`):
+  contiguous same-handler runs in the in-order lane are executed as one
+  *macro-event* batch (an author-supplied batch twin, or a synthesized
+  trace-specialized loop once a handler proves hot), detected in O(1)
+  from run records maintained at schedule time.  Guards keep the
+  executed stream byte-identical to the general path: batches are
+  refused while kernel observers are active (probes, span tracer,
+  armed fault injector), while any cancellation is pending in the run's
+  sequence span, and never across an out-of-order (heap) event; a guard
+  failure mid-batch commits what ran and falls back to the general path
+  for the rest.  ``REPRO_FASTPATH=off`` (or ``Simulator(fastpath=
+  "off")``) disables all of it.
 
 Models plug in through the :class:`SimModel` protocol — ``bind(sim)``,
 ``reset()``, ``finish()`` — so generic machinery (fault injectors,
@@ -61,10 +73,13 @@ import itertools
 import math
 import weakref
 from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Protocol, Tuple, runtime_checkable
 
+from . import fastpath as _fastpath
 from .instrument import MetricsRegistry, default_registry
+from .macro import MACRO_ATTR
 
 EventCallback = Callable[["Simulator", Any], None]
 ProbeCallback = Callable[["Simulator", "Event"], None]
@@ -72,6 +87,14 @@ ProbeCallback = Callable[["Simulator", "Event"], None]
 #: Version tag written into every :class:`KernelSnapshot`; bump when the
 #: snapshot layout changes so stale snapshots are rejected loudly.
 SNAPSHOT_VERSION = 1
+
+#: Sentinel lane index meaning "no fast-path attempt pending".
+_FP_INF = float("inf")
+#: Shared frozen wake cell used when fast paths are disabled for a run;
+#: the drain gate reads it but nothing ever writes it.
+_FP_NEVER: list = [_FP_INF]
+_FP_MIN_RUN = _fastpath.MIN_RUN
+_FP_RETRY = _fastpath.RETRY_BACKOFF
 
 
 @dataclass(frozen=True, slots=True)
@@ -361,6 +384,7 @@ class Simulator:
         self,
         start_time: float = 0.0,
         metrics: Optional[MetricsRegistry] = None,
+        fastpath: Optional[str] = None,
     ) -> None:
         self._now = float(start_time)
         #: Out-of-order lane: a binary heap of (time, seq, token, cb, payload).
@@ -404,6 +428,43 @@ class Simulator:
         #: Always empty outside run(); snapshot() counts these as
         #: pending alongside the heap.
         self._parked: list[tuple[float, int, Any, EventCallback, Any]] = []
+        # -- fast-path layer (see repro.core.fastpath) -----------------
+        #: Mode: "off" | "auto" | "on"; explicit arg wins over the
+        #: REPRO_FASTPATH environment variable, default "auto".
+        self._fp_mode = _fastpath.resolve_mode(fastpath)
+        #: True when run records are maintained at schedule time.
+        self._fp_record = self._fp_mode != "off"
+        #: Open tail run: ``[callback, start, end)`` in lane indices,
+        #: extended in place while consecutive lane appends share one
+        #: callback.  Closed (moved to ``_fp_runs`` if long enough) when
+        #: the callback changes.
+        self._fp_tail: Optional[list] = None
+        #: Closed runs awaiting the drain cursor, FIFO by position.
+        self._fp_runs: deque = deque()
+        #: One-cell list holding the lane index of the next position
+        #: worth a batch attempt (``_FP_INF`` = none).  The drain loop
+        #: compares its cursor against this cell once per event — the
+        #: entire per-event cost of the fast-path layer.
+        self._fp_wake: list = [_FP_INF]
+        #: Executor cache keyed by callback identity (weak: model
+        #: callbacks are usually per-run closures).
+        self._fp_execs: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+        self._fp_recorder = _fastpath.TraceRecorder()
+        #: Deopt epoch: bumped whenever an observer arrives (probe
+        #: added, tracer attached, fault injector armed) or a restore
+        #: happens.  Synthesized executors re-check it per event and
+        #: abort on change, so a mid-batch observer arrival sees every
+        #: subsequent event exactly once.
+        self._fp_epoch = 0
+        #: Count of active observers that must veto batching entirely
+        #: (armed KernelFaultInjector; see fastpath_block()).
+        self._fp_blockers = 0
+        #: Progress cell written by synthesized executors from finally;
+        #: run() folds it into its accounting when an exception escapes
+        #: a callback mid-batch.
+        self._fp_prog: list = [0]
+        #: Behavior counters (batches committed, aborts, deopts, …).
+        self.fastpath_stats = _fastpath.FastPathStats()
         if _INIT_HOOKS:
             for hook in list(_INIT_HOOKS):
                 hook(self)
@@ -516,10 +577,196 @@ class Simulator:
         check.
         """
         self._probes.append(probe)
+        # Observer arrival: a batch in flight must stop before the next
+        # event so this probe observes every subsequent event.
+        self._fp_epoch += 1
         return probe
 
     def remove_probe(self, probe: ProbeCallback) -> None:
         self._probes.remove(probe)
+
+    # -- fast-path control (see repro.core.fastpath) -----------------------
+
+    @property
+    def fastpath_mode(self) -> str:
+        """Active fast-path mode: ``"off"``, ``"auto"``, or ``"on"``."""
+        return self._fp_mode
+
+    def set_fastpath(self, mode: str) -> None:
+        """Switch fast-path mode; ``"off"`` also drops all run records."""
+        self._fp_mode = _fastpath.resolve_mode(mode)
+        self._fp_record = self._fp_mode != "off"
+        self._fp_epoch += 1
+        if not self._fp_record:
+            self._fp_runs.clear()
+            self._fp_tail = None
+            self._fp_wake[0] = _FP_INF
+
+    def fastpath_block(self) -> None:
+        """Veto batching until :meth:`fastpath_unblock` (re-entrant).
+
+        Used by observers that need per-event visibility but don't hang
+        off the probe list — the armed :class:`~repro.crosscut.faults.
+        KernelFaultInjector` calls this so fault timing can never land
+        inside a committed batch.  The epoch bump aborts any batch
+        already in flight.
+        """
+        self._fp_blockers += 1
+        self._fp_epoch += 1
+
+    def fastpath_unblock(self) -> None:
+        if self._fp_blockers > 0:
+            self._fp_blockers -= 1
+
+    def fastpath_notify_observer(self) -> None:
+        """Signal that an observer arrived: abort any batch in flight.
+
+        Called by :func:`repro.obs.spans.attach_tracer` (and anything
+        else that starts consuming per-event hooks mid-run) so the
+        observer sees every subsequent event exactly once.  Batch
+        attempts re-check observer presence up front, so the epoch bump
+        is only needed for a batch already executing.
+        """
+        self._fp_epoch += 1
+
+    def _fp_note_extend(self, callback: EventCallback, start: int, end: int) -> None:
+        """Record ``lane[start:end)`` as (part of) a run of ``callback``.
+
+        Slow half of run-record maintenance: called when the open tail's
+        callback changes (the hot same-callback increment is inlined at
+        the append sites).  Closes the old tail into the run deque when
+        long enough, opens the new one, and arms the drain-gate wake
+        cell once a run is worth attempting.
+        """
+        t = self._fp_tail
+        if t is not None and t[0] is callback:
+            t[2] = end
+        else:
+            if t is not None and t[2] - t[1] >= _FP_MIN_RUN:
+                self._fp_runs.append(t)
+            t = self._fp_tail = [callback, start, end]
+        if t[2] - t[1] >= _FP_MIN_RUN:
+            wake = self._fp_wake
+            if t[1] < wake[0]:
+                wake[0] = t[1]
+
+    def _fp_shift(self, n: int) -> None:
+        """Re-base run records after a lane compaction (``del lane[:n]``)."""
+        runs = self._fp_runs
+        while runs and runs[0][2] <= n:
+            runs.popleft()
+        for r in runs:
+            r[1] = r[1] - n if r[1] >= n else 0
+            r[2] -= n
+        t = self._fp_tail
+        if t is not None:
+            if t[2] <= n:
+                self._fp_tail = None
+            else:
+                t[1] = t[1] - n if t[1] >= n else 0
+                t[2] -= n
+        wake = self._fp_wake
+        if wake[0] != _FP_INF:
+            wake[0] = wake[0] - n if wake[0] >= n else 0
+
+    def _fp_reset_records(self) -> None:
+        """Drop all run records (queue rebuilt or fully consumed)."""
+        self._fp_runs.clear()
+        self._fp_tail = None
+        self._fp_wake[0] = _FP_INF
+
+    def _fp_attempt(self, lane: list, pos: int, boundary: int) -> Tuple[int, int]:
+        """Try to execute a macro batch at ``lane[pos]``; ``(new_pos, n)``.
+
+        Called from the drain loop when the cursor reaches the wake
+        cell.  Validates the span (run record covering ``pos``, clipped
+        to ``boundary`` — the first out-of-order event), checks the
+        guards (no probes, no tracer, no blockers, no cancellation in
+        the span's seq range), resolves an executor (author batch twin
+        via ``__macro_batch__``, else a synthesized trace once the
+        recorder calls the handler hot), runs it, and commits clock +
+        wake state.  Every exit re-arms ``_fp_wake`` so the per-event
+        gate stays O(1) and always makes progress.
+        """
+        wake = self._fp_wake
+        runs = self._fp_runs
+        while runs and runs[0][2] <= pos:
+            runs.popleft()
+        if runs:
+            rec = runs[0]
+            if rec[1] > pos:  # heterogeneous gap before the next run
+                wake[0] = rec[1]
+                return pos, 0
+        else:
+            rec = self._fp_tail
+            if rec is None or not rec[1] <= pos < rec[2]:
+                if rec is not None and rec[1] > pos and rec[2] - rec[1] >= _FP_MIN_RUN:
+                    wake[0] = rec[1]
+                else:
+                    wake[0] = _FP_INF
+                return pos, 0
+        end = rec[2] if rec[2] < boundary else boundary
+        if end - pos < _FP_MIN_RUN:
+            # Too short to pay for a batch (often a self-chaining
+            # handler staying one entry ahead of the cursor): back off.
+            wake[0] = pos + _FP_RETRY
+            return pos, 0
+        cb = rec[0]
+        if lane[pos][3] is not cb:  # defensive: records out of sync
+            self._fp_reset_records()
+            return pos, 0
+        stats = self.fastpath_stats
+        if (
+            self._probes
+            or self._fp_blockers
+            or getattr(self.metrics, "tracer", None) is not None
+        ):
+            stats.deopts += 1
+            wake[0] = rec[2]
+            return pos, 0
+        log = self._cancel_log
+        if log:
+            lo = lane[pos][1]
+            hi = lane[end - 1][1]
+            if any(lo <= s <= hi for s in log):
+                # A cancellation is pending somewhere in the span's seq
+                # range: let the general path purge at full precision.
+                stats.deopts += 1
+                wake[0] = rec[2]
+                return pos, 0
+        exec_ = self._fp_execs.get(cb)
+        if exec_ is None:
+            batch = getattr(cb, MACRO_ATTR, None)
+            if batch is not None:
+                exec_ = _fastpath.adapt_macro(cb, batch)
+            elif self._fp_recorder.hot(cb, end - pos, self._fp_mode):
+                exec_ = _fastpath.synthesize(cb)
+                stats.traces_installed += 1
+            else:
+                stats.declines += 1
+                wake[0] = rec[2]
+                return pos, 0
+            self._fp_execs[cb] = exec_
+        n = exec_(self, lane, pos, end)
+        self._fp_prog[0] = 0
+        if not 0 <= n <= end - pos:
+            raise RuntimeError(
+                f"macro batch for {cb!r} consumed {n} of {end - pos} "
+                "offered entries — batch twin violates its contract"
+            )
+        if n:
+            new_pos = pos + n
+            self._now = lane[new_pos - 1][0]
+            stats.batches += 1
+            stats.batched_events += n
+            if n < end - pos:
+                stats.aborts += 1
+            # Re-attempt as soon as the cursor returns (intervening
+            # heap events drain generally first).
+            wake[0] = new_pos
+            return new_pos, n
+        wake[0] = pos + _FP_RETRY
+        return pos, 0
 
     def sample_every(
         self,
@@ -573,6 +820,14 @@ class Simulator:
         lane = self._lane
         if not lane or entry[0] >= lane[-1][0]:
             lane.append(entry)  # in-order: O(1) append, O(1) pop later
+            if self._fp_record:
+                t = self._fp_tail
+                if t is not None and t[0] is callback:
+                    t[2] += 1
+                    if t[2] - t[1] == _FP_MIN_RUN and t[1] < self._fp_wake[0]:
+                        self._fp_wake[0] = t[1]
+                else:
+                    self._fp_note_extend(callback, len(lane) - 1, len(lane))
         else:
             heapq.heappush(self._heap, entry)
         return token
@@ -599,6 +854,14 @@ class Simulator:
         lane = self._lane
         if not lane or entry[0] >= lane[-1][0]:
             lane.append(entry)
+            if self._fp_record:
+                t = self._fp_tail
+                if t is not None and t[0] is callback:
+                    t[2] += 1
+                    if t[2] - t[1] == _FP_MIN_RUN and t[1] < self._fp_wake[0]:
+                        self._fp_wake[0] = t[1]
+                else:
+                    self._fp_note_extend(callback, len(lane) - 1, len(lane))
         else:
             heapq.heappush(self._heap, entry)
         return token
@@ -626,6 +889,14 @@ class Simulator:
         lane = self._lane
         if not lane or entry[0] >= lane[-1][0]:
             lane.append(entry)
+            if self._fp_record:
+                t = self._fp_tail
+                if t is not None and t[0] is callback:
+                    t[2] += 1
+                    if t[2] - t[1] == _FP_MIN_RUN and t[1] < self._fp_wake[0]:
+                        self._fp_wake[0] = t[1]
+                else:
+                    self._fp_note_extend(callback, len(lane) - 1, len(lane))
         else:
             heapq.heappush(self._heap, entry)
         return token, seq
@@ -684,7 +955,10 @@ class Simulator:
             return 0
         lane = self._lane
         if in_order and (not lane or entries[0][0] >= lane[-1][0]):
+            start = len(lane)
             lane.extend(entries)  # stays sorted: O(n) load, O(1) pops
+            if self._fp_record:
+                self._fp_note_extend(callback, start, len(lane))
         elif len(entries) * 4 > len(heap):
             heap.extend(entries)
             heapq.heapify(heap)  # O(n+m) beats m pushes for large m
@@ -693,6 +967,25 @@ class Simulator:
             for entry in entries:
                 push(heap, entry)
         return len(entries)
+
+    def schedule_batch(
+        self,
+        times,
+        callback: EventCallback,
+        payloads=None,
+    ) -> int:
+        """Bulk-load a train intended for macro-batch execution.
+
+        Identical scheduling semantics to :meth:`schedule_many`; the
+        name declares intent.  An in-order train lands in the sorted
+        lane as one contiguous same-handler run, which is exactly what
+        the drain's macro fast path consumes in one shot when
+        ``callback`` carries a batch twin (:func:`repro.core.macro.
+        as_macro`) or gets trace-specialized once hot.  Works — just
+        without batching — when fast paths are off; the executed stream
+        is identical either way.
+        """
+        return self.schedule_many(times, callback, payloads)
 
     def _next_entry(self, pop: bool):
         """The next live event across both lanes (or ``None`` if drained).
@@ -720,6 +1013,8 @@ class Simulator:
             else:
                 if pos and not self._running:
                     self._flush_lazy_snapshots()
+                    if self._fp_record:
+                        self._fp_reset_records()
                     lane.clear()  # fully consumed: reclaim
                     self._lane_pos = 0
                 return None
@@ -783,6 +1078,7 @@ class Simulator:
         heappop = heapq.heappop
         probes = self._probes
         stats_obj = self.stats
+        clog = self._cancel_log
         executed = 0
         # Span tracing costs one attribute probe per run() call, never
         # per event: with no tracer attached the drain below is untouched.
@@ -790,6 +1086,19 @@ class Simulator:
         run_span = (
             tracer.begin("kernel.run", sim_time=self._now, category="kernel")
             if tracer is not None else None
+        )
+        # Fast-path gate: one `cursor >= fpw[0]` compare per event.  A
+        # run that starts with observers attached (probes, tracer) never
+        # batches, so it aliases the frozen never-wakes cell and pays
+        # nothing beyond the compare; observers arriving mid-run are
+        # caught by the per-attempt guards and the deopt epoch instead.
+        fpw = (
+            self._fp_wake
+            if self._fp_record
+            and not probes
+            and not self._fp_blockers
+            and tracer is None
+            else _FP_NEVER
         )
         completed = False
         try:
@@ -825,13 +1134,23 @@ class Simulator:
                                     lane, parked[0], pos
                                 )
                                 while pos < boundary:
+                                    if fpw[0] <= pos:
+                                        pos, n = self._fp_attempt(
+                                            lane, pos, boundary
+                                        )
+                                        executed += n
+                                        if heap:
+                                            break
+                                        if n:
+                                            continue
                                     entry = lane[pos]
                                     pos += 1
-                                    token = entry[2]
-                                    if token is not None and token.cancelled:
-                                        stats_obj.events_cancelled += 1
-                                        self._cancel_log.discard(entry[1])
-                                        continue
+                                    if clog:
+                                        token = entry[2]
+                                        if token is not None and token.cancelled:
+                                            stats_obj.events_cancelled += 1
+                                            clog.discard(entry[1])
+                                            continue
                                     self._now = entry[0]
                                     callback = entry[3]
                                     callback(self, entry[4])
@@ -850,13 +1169,33 @@ class Simulator:
                                     heappush(heap, parked.pop())
                                 if pos >= 262144 and pos * 2 >= len(lane):
                                     self._flush_lazy_snapshots()
+                                    if self._fp_record:
+                                        self._fp_shift(pos)
                                     del lane[:pos]
                                     pos = 0
                                 continue
                             else:
+                                if fpw[0] <= pos:
+                                    # Lane entries up to the heap head
+                                    # are safe to batch even with a
+                                    # large heap pending.
+                                    pos, n = self._fp_attempt(
+                                        lane, pos,
+                                        bisect_left(lane, heap[0], pos),
+                                    )
+                                    executed += n
+                                    if n:
+                                        continue
                                 entry = lane[pos]
                                 pos += 1
                         else:
+                            if fpw[0] <= pos:
+                                pos, n = self._fp_attempt(
+                                    lane, pos, len(lane)
+                                )
+                                executed += n
+                                if n:
+                                    continue
                             entry = lane[pos]
                             pos += 1
                             # Amortized compaction: self-chaining sims
@@ -864,21 +1203,26 @@ class Simulator:
                             # prefix would otherwise grow without bound.
                             if pos >= 262144 and pos * 2 >= len(lane):
                                 self._flush_lazy_snapshots()
+                                if self._fp_record:
+                                    self._fp_shift(pos)
                                 del lane[:pos]
                                 pos = 0
                     elif heap:
                         entry = heappop(heap)
                     else:
                         break
-                    token = entry[2]
-                    if token is not None and token.cancelled:
-                        # Purge accounting is live (not batched in a local)
-                        # so a mid-run snapshot() can read an exact count;
-                        # purges are off the hot path, so this costs
-                        # nothing on cancel-free drains.
-                        stats_obj.events_cancelled += 1
-                        self._cancel_log.discard(entry[1])
-                        continue
+                    if clog:
+                        token = entry[2]
+                        if token is not None and token.cancelled:
+                            # Purge accounting is live (not batched in a
+                            # local) so a mid-run snapshot() can read an
+                            # exact count; purges are off the hot path
+                            # (an empty cancel log proves no pending
+                            # event is cancelled), so this costs nothing
+                            # on cancel-free drains.
+                            stats_obj.events_cancelled += 1
+                            clog.discard(entry[1])
+                            continue
                     self._now = entry[0]
                     callback = entry[3]
                     callback(self, entry[4])
@@ -892,6 +1236,26 @@ class Simulator:
                 while True:
                     if max_events is not None and executed >= max_events:
                         break
+                    if fpw[0] <= pos and pos < len(lane) and max_events is None:
+                        # Horizon-bounded batching: the span is clipped
+                        # at the first entry beyond ``until`` (events at
+                        # exactly ``until`` are inclusive, and seqs are
+                        # always < inf, so the probe tuple sorts after
+                        # every entry stamped at the horizon).
+                        boundary = (
+                            bisect_left(lane, heap[0], pos)
+                            if heap else len(lane)
+                        )
+                        if until is not None:
+                            clip = bisect_left(
+                                lane, (until, _FP_INF), pos
+                            )
+                            if clip < boundary:
+                                boundary = clip
+                        pos, n = self._fp_attempt(lane, pos, boundary)
+                        executed += n
+                        if n:
+                            continue
                     lane_head = lane[pos] if pos < len(lane) else None
                     if heap and (lane_head is None or heap[0] < lane_head):
                         entry = heap[0]
@@ -921,6 +1285,8 @@ class Simulator:
                         pos += 1
                         if pos >= 262144 and pos * 2 >= len(lane):
                             self._flush_lazy_snapshots()
+                            if self._fp_record:
+                                self._fp_shift(pos)
                             del lane[:pos]
                             pos = 0
                     self._now = time
@@ -935,6 +1301,14 @@ class Simulator:
             completed = True
         finally:
             self._running = False
+            prog = self._fp_prog
+            if prog[0]:
+                # An exception escaped a callback inside a synthesized
+                # batch: the executor mirrored its progress here, so
+                # the events it committed are accounted exactly.
+                executed += prog[0]
+                pos += prog[0]
+                prog[0] = 0
             if self._parked:
                 # A callback raised out of bulk-lane mode: the parked
                 # heap entries are still pending — put them back.
@@ -943,6 +1317,8 @@ class Simulator:
                 del self._parked[:]
             if pos:
                 self._flush_lazy_snapshots()
+                if self._fp_record:
+                    self._fp_shift(pos)
                 del lane[:pos]  # compact the consumed prefix
             self._lane_pos = 0
             stats_obj.events_executed += executed
@@ -1095,6 +1471,15 @@ class Simulator:
         del self._parked[:]  # always empty outside run(); belt and braces
         self._lane = sorted(snap.entries)
         self._lane_pos = 0
+        # A restore invalidates recorded traces and run records: the
+        # rebuilt lane's indices have nothing to do with the records'
+        # positions, and replay must re-prove handlers hot.  Replay
+        # therefore drains on the general path until new schedules form
+        # fresh runs — determinism is unconditional either way.
+        self._fp_reset_records()
+        self._fp_execs = weakref.WeakKeyDictionary()
+        self._fp_recorder.reset()
+        self._fp_epoch += 1
         self.stats.events_executed = snap.events_executed
         self.stats.events_cancelled = snap.events_cancelled
         self.stats.end_time = snap.now

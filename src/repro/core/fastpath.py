@@ -1,0 +1,192 @@
+"""Guarded kernel fast paths: macro-batch dispatch + trace-JIT (PR8).
+
+This module holds the policy half of the kernel's fast-path layer; the
+mechanism (run detection, guard checks, the drain-loop gate) lives in
+``events.Simulator``.  Two fast paths share one executor protocol:
+
+* **macro-events** — a handler author supplied a batch twin via
+  :func:`repro.core.macro.as_macro`; :func:`adapt_macro` wraps it into
+  an executor.
+* **trace-JIT** — no batch twin exists, but the drain keeps meeting
+  long homogeneous runs of one handler.  :class:`TraceRecorder` decides
+  when the handler is *hot*; :func:`synthesize` then builds a guarded
+  specialized executor: a tight loop over the span that re-checks, per
+  event, (a) handler identity, (b) cancellation quiescence (a non-empty
+  cancel log means some pending event somewhere was cancelled — the
+  general path must purge), (c) heap emptiness (a callback scheduled
+  out-of-order work that may interleave), and (d) the deopt epoch (an
+  observer arrived mid-batch: probe added, tracer attached, fault
+  injector armed).  Any guard failure aborts the loop cleanly; the
+  events already executed are committed and everything after resumes on
+  the general path — the speculate/commit/abort shape of trace-based
+  speculation, with the commit unit being a single event.
+
+Executor protocol
+-----------------
+``executor(sim, lane, pos, end) -> consumed`` executes some prefix of
+``lane[pos:end]`` (a homogeneous, cancellation-free span the kernel
+already validated) and returns how many entries it consumed.  The
+kernel commits clock/stats for exactly that prefix.  Synthesized
+executors additionally write their progress into ``sim._fp_prog[0]``
+(a one-cell list) from a ``finally`` so that an exception escaping a
+callback mid-batch still yields exact accounting; author batches are
+atomic instead (an exception means nothing was consumed).
+
+Mode selection
+--------------
+``REPRO_FASTPATH`` ∈ ``off`` | ``auto`` | ``on`` (default ``auto``),
+read once per :class:`~repro.core.events.Simulator` construction and
+overridable per instance (``Simulator(fastpath=...)`` /
+``set_fastpath``).  ``off`` is the escape hatch: zero fast-path
+bookkeeping, the PR3 drain byte-for-byte.  ``on`` forces immediate
+trace specialization (no hotness warmup) — the golden determinism
+suite runs all three modes and pins identical executed streams.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from .macro import MacroRun
+
+__all__ = [
+    "ENV_VAR",
+    "MODES",
+    "FastPathStats",
+    "TraceRecorder",
+    "adapt_macro",
+    "resolve_mode",
+    "synthesize",
+]
+
+ENV_VAR = "REPRO_FASTPATH"
+MODES = ("off", "auto", "on")
+
+#: Smallest remaining span worth a batch attempt: below this the
+#: per-attempt overhead (record lookup + guard checks) exceeds the
+#: dispatch saved.
+MIN_RUN = 16
+#: Events to drain generally before re-attempting after a declined or
+#: empty attempt — bounds attempt overhead on self-chaining handlers
+#: whose run record grows one entry ahead of the cursor forever.
+RETRY_BACKOFF = 64
+#: auto-mode hotness: a single span this long is hot immediately …
+TRACE_HOT_RUN = 4096
+#: … or the same handler presenting ≥ MIN_RUN spans this many times.
+TRACE_HOT_COUNT = 3
+
+
+def resolve_mode(explicit: "str | None" = None) -> str:
+    """Validated fast-path mode: ``explicit`` if given, else ``$REPRO_FASTPATH``,
+    else ``auto``."""
+    raw = explicit if explicit is not None else os.environ.get(ENV_VAR, "auto")
+    mode = str(raw).strip().lower()
+    if mode not in MODES:
+        raise ValueError(
+            f"fastpath mode must be one of {MODES}, got {raw!r}"
+            f" (set {ENV_VAR} or Simulator(fastpath=...))"
+        )
+    return mode
+
+
+@dataclass
+class FastPathStats:
+    """Counters describing fast-path behavior (``sim.fastpath_stats``).
+
+    ``batches``/``batched_events`` count committed macro executions;
+    ``aborts`` counts batches that stopped early (guard failure or
+    hazard horizon — the tail ran on the general path); ``deopts``
+    counts attempts refused up front because an observer or pending
+    cancellation made batching unsafe; ``declines`` counts spans with
+    neither a batch twin nor trace heat.
+    """
+
+    batches: int = 0
+    batched_events: int = 0
+    traces_installed: int = 0
+    aborts: int = 0
+    deopts: int = 0
+    declines: int = 0
+
+
+class TraceRecorder:
+    """Watches the drain loop's run attempts and declares handlers hot.
+
+    Per-simulator (a ``restore()`` resets it — restored queues replay on
+    the general path until re-proven hot).  Hotness in ``auto`` mode:
+    one span ≥ :data:`TRACE_HOT_RUN`, or :data:`TRACE_HOT_COUNT`
+    sightings of qualifying spans.  ``on`` mode skips the warmup.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[Any, int] = {}
+
+    def hot(self, cb: Callable, span: int, mode: str) -> bool:
+        if mode == "on":
+            return True
+        if span >= TRACE_HOT_RUN:
+            return True
+        count = self._counts.get(cb, 0) + 1
+        if count >= TRACE_HOT_COUNT:
+            self._counts.pop(cb, None)
+            return True
+        if len(self._counts) > 512:  # bound: callbacks are often closures
+            self._counts.clear()
+        self._counts[cb] = count
+        return False
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+def adapt_macro(cb: Callable, batch: Callable) -> Callable:
+    """Executor wrapping an author-supplied macro batch twin.
+
+    The batch sees a :class:`MacroRun` view (no copying) and is trusted
+    to be atomic-or-exact per the contract in ``repro.core.macro``.
+    """
+
+    def _exec(sim, lane: list, pos: int, end: int, _batch=batch) -> int:
+        consumed = _batch(sim, MacroRun(lane, pos, end))
+        return end - pos if consumed is None else consumed
+
+    return _exec
+
+
+def synthesize(cb: Callable) -> Callable:
+    """Build a trace-specialized executor for the scalar handler ``cb``.
+
+    The loop commits one event at a time, so any guard failure —
+    handler mismatch, a cancellation landing anywhere, out-of-order
+    work appearing in the heap, an observer arriving (epoch bump) —
+    simply stops the loop with everything executed so far committed,
+    and the kernel's general path takes over at the next entry.
+    Progress is mirrored into ``sim._fp_prog`` from ``finally`` so a
+    raising callback still gets exact executed-count accounting.
+    """
+
+    def _exec(sim, lane: list, pos: int, end: int, _cb=cb) -> int:
+        heap = sim._heap
+        log = sim._cancel_log
+        epoch = sim._fp_epoch
+        prog = sim._fp_prog
+        n = 0
+        try:
+            for i in range(pos, end):
+                entry = lane[i]
+                if entry[3] is not _cb or log:
+                    break
+                sim._now = entry[0]
+                _cb(sim, entry[4])
+                n += 1
+                if heap or sim._fp_epoch != epoch:
+                    break
+        finally:
+            prog[0] = n
+        return n
+
+    return _exec

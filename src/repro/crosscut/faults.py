@@ -238,6 +238,7 @@ class KernelFaultInjector:
         self.injected = 0
         self._tokens: list = []
         self._armed = False
+        self._armed_sim = None
 
     @property
     def armed(self) -> bool:
@@ -297,6 +298,13 @@ class KernelFaultInjector:
                 "duplicate fault train)"
             )
         self._armed = True
+        # An armed injector is a kernel observer: it must see (and be
+        # able to perturb) model state between any two events, so the
+        # kernel's macro/trace fast paths stand down until disarm.
+        block = getattr(sim, "fastpath_block", None)
+        if block is not None:
+            block()
+            self._armed_sim = sim
         sim.register_checkpointable(self)
         t = sim.now
         scheduled = 0
@@ -321,4 +329,7 @@ class KernelFaultInjector:
                 cancelled += 1
         self._tokens.clear()
         self._armed = False
+        if self._armed_sim is not None:
+            self._armed_sim.fastpath_unblock()
+            self._armed_sim = None
         return cancelled

@@ -12,11 +12,14 @@ intermittent-computing tradeoff falls out: frequent checkpoints waste
 energy, rare checkpoints waste re-executed work; forward progress peaks
 in between.
 
-Time advances on the shared event kernel: each harvest interval is a
-:class:`repro.core.events.PeriodicSource` tick on a
-:class:`repro.core.events.Simulator`, so the node's charge state,
-checkpoints, and power failures are observable through the kernel's
-instrumentation like every other simulator in the library.
+Time advances on the shared event kernel: each harvest interval is one
+tick event on a :class:`repro.core.events.Simulator`, bulk-loaded as a
+pre-computed train via :meth:`~repro.core.events.Simulator.
+schedule_batch`, so the node's charge state, checkpoints, and power
+failures are observable through the kernel's instrumentation like every
+other simulator in the library — and the whole train executes as one
+macro-batch (:func:`repro.core.macro.as_macro`) when the kernel's fast
+paths are enabled and no observers are attached.
 """
 
 from __future__ import annotations
@@ -26,7 +29,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.events import PeriodicSource, Simulator
+from ..core.events import Simulator
+from ..core.macro import as_macro
 from ..core.rng import RngLike, resolve_rng
 
 
@@ -111,11 +115,11 @@ class IntermittentResult:
 class IntermittentNode:
     """Charge-execute-die-resume state machine (a kernel model).
 
-    Each tick of the driving :class:`PeriodicSource` is one harvest
-    interval: charge the capacitor, execute a work quantum if above the
-    brown-out floor, checkpoint every ``checkpoint_interval_quanta``
-    quanta.  State lives on the instance so fault injectors and
-    samplers can observe (or perturb) it mid-run.
+    Each tick of the driving interval train is one harvest interval:
+    charge the capacitor, execute a work quantum if above the brown-out
+    floor, checkpoint every ``checkpoint_interval_quanta`` quanta.
+    State lives on the instance so fault injectors and samplers can
+    observe (or perturb) it mid-run.
     """
 
     def __init__(
@@ -250,6 +254,74 @@ class IntermittentNode:
             else:
                 self._brown_out(sim.now)
 
+    def tick_batch(self, sim: Simulator, run) -> int:
+        """Macro twin of :meth:`tick`: consume a whole tick span at once.
+
+        Sound because a tick never schedules, cancels, or observes
+        ``sim.now`` — except to stamp tracer spans, which is exactly
+        why an attached model tracer declines the batch (per-event
+        spans need the kernel clock committed per event).  State
+        accumulates in locals and writes back only after the loop, so
+        an exception leaves zero entries applied (the atomic half of
+        the macro contract in ``repro.core.macro``).
+        """
+        if self._tracer is not None:
+            return 0
+        config = self.config
+        cap = config.capacitor_j
+        turn_on = config.turn_on_j
+        floor = config.brown_out_j
+        work = config.work_per_interval_j
+        ckpt_cost = config.checkpoint_cost_j
+        ckpt_every = self.checkpoint_interval_quanta
+        harvest_j = self._harvest_j
+        stored = self.stored_j
+        executing = self.executing
+        uncommitted = self.uncommitted
+        committed = self.committed
+        total_done = self.total_done
+        re_executed = self.re_executed
+        checkpoints = self.checkpoints
+        failures = self.failures
+        ticks = self.ticks
+        for _ in range(len(run)):
+            stored = min(stored + harvest_j[ticks], cap)
+            ticks += 1
+            if not executing:
+                if stored < turn_on:
+                    continue
+                executing = True
+            if stored - work < floor:
+                executing = False  # brown-out: lose uncommitted work
+                failures += 1
+                re_executed += uncommitted
+                uncommitted = 0
+                continue
+            stored -= work
+            uncommitted += 1
+            total_done += 1
+            if uncommitted >= ckpt_every:
+                if stored - ckpt_cost >= floor:
+                    stored -= ckpt_cost
+                    committed += uncommitted
+                    uncommitted = 0
+                    checkpoints += 1
+                else:
+                    executing = False
+                    failures += 1
+                    re_executed += uncommitted
+                    uncommitted = 0
+        self.stored_j = stored
+        self.executing = executing
+        self.uncommitted = uncommitted
+        self.committed = committed
+        self.total_done = total_done
+        self.re_executed = re_executed
+        self.checkpoints = checkpoints
+        self.failures = failures
+        self.ticks = ticks
+        return len(run)
+
     def result(self, n_intervals: int) -> IntermittentResult:
         return IntermittentResult(
             total_quanta_completed=self.total_done,
@@ -288,20 +360,38 @@ def simulate_intermittent(
         harvester, config, checkpoint_interval_quanta, harvest
     )
     kernel.attach(node)
-    source = PeriodicSource(period=config.interval_s, callback=node.tick)
-    source.start(kernel)
+
+    def tick(s: Simulator, _payload=None) -> None:
+        node.tick(s, _payload)
+
+    def tick_batch(s: Simulator, run) -> int:
+        return node.tick_batch(s, run)
+
+    as_macro(tick, tick_batch)
+    # Pre-scheduled tick train.  A self-chaining periodic source stays
+    # one event ahead of the clock and can never form a macro run;
+    # bulk-loading the train gives the kernel one contiguous
+    # same-handler span to batch.  The timestamps accumulate
+    # (t_{i+1} = t_i + interval_s) exactly as the self-chaining source
+    # accumulated them, so tick times are bit-identical floats.
+    times = []
+    t = kernel.now
+    for _ in range(n_intervals):
+        times.append(t)
+        t += config.interval_s
+    kernel.schedule_batch(times, tick)
     tracer = getattr(kernel.metrics, "tracer", None)
     horizon = (n_intervals - 0.5) * config.interval_s
     # Tick i fires at ~i * interval_s (accumulated float addition), so
     # put the horizon half an interval past the last tick: exactly
-    # n_intervals fire regardless of rounding.
+    # n_intervals fire regardless of rounding (co-simulating models may
+    # keep scheduling beyond the train; the horizon bounds the run).
     if tracer is not None:
         with tracer.span("harvest.run", sim=kernel, category="model",
                          intervals=n_intervals):
             kernel.run(until=horizon)
     else:
         kernel.run(until=horizon)
-    source.stop()
     node.finish()
     return node.result(n_intervals)
 

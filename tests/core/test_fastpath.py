@@ -1,0 +1,542 @@
+"""Kernel fast-path layer (PR8): macro batching, trace-JIT, guards.
+
+The load-bearing property throughout is *observational equivalence*:
+for any workload, the executed stream (order, times, payloads) and the
+final :class:`~repro.core.events.SimStats` must be byte-identical with
+fast paths ``off``, ``auto``, and ``on``.  Unit tests pin the
+individual mechanisms (mode resolution, batch commit, partial consume,
+hazard aborts, trace hotness, observer deopt, snapshot/restore
+invalidation); the hypothesis test at the bottom drives randomized
+guard-abort interleavings through all three modes at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import fastpath
+from repro.core.events import Simulator
+from repro.core.instrument import MetricsRegistry
+from repro.core.macro import MACRO_ATTR, MacroRun, as_macro
+
+
+def _recorded_pair(log):
+    """A scalar handler plus an exact macro twin, both appending to log."""
+
+    def scalar(sim, payload):
+        log.append((sim.now, payload))
+
+    def batch(sim, run):
+        for t, p in run:
+            log.append((t, p))
+
+    as_macro(scalar, batch)
+    return scalar
+
+
+def _train(sim, cb, n, start=0.0, step=1.0):
+    times = [start + i * step for i in range(n)]
+    sim.schedule_batch(times, cb, payloads=range(n))
+    return [(start + i * step, i) for i in range(n)]
+
+
+# -- mode resolution ---------------------------------------------------------
+
+
+def test_resolve_mode_default_and_env(monkeypatch):
+    monkeypatch.delenv(fastpath.ENV_VAR, raising=False)
+    assert fastpath.resolve_mode() == "auto"
+    monkeypatch.setenv(fastpath.ENV_VAR, "OFF")
+    assert fastpath.resolve_mode() == "off"
+    # An explicit argument beats the environment.
+    assert fastpath.resolve_mode("on") == "on"
+    with pytest.raises(ValueError, match="fastpath mode"):
+        fastpath.resolve_mode("sometimes")
+    monkeypatch.setenv(fastpath.ENV_VAR, "bogus")
+    with pytest.raises(ValueError, match="fastpath mode"):
+        Simulator()
+
+
+def test_simulator_mode_property_and_set(monkeypatch):
+    monkeypatch.delenv(fastpath.ENV_VAR, raising=False)
+    sim = Simulator()
+    assert sim.fastpath_mode == "auto"
+    sim.set_fastpath("off")
+    assert sim.fastpath_mode == "off"
+    assert Simulator(fastpath="on").fastpath_mode == "on"
+
+
+def test_as_macro_attaches_twin():
+    log = []
+    cb = _recorded_pair(log)
+    assert getattr(cb, MACRO_ATTR, None) is not None
+
+
+# -- macro batching ----------------------------------------------------------
+
+
+def test_macro_batch_executes_whole_train():
+    log = []
+    cb = _recorded_pair(log)
+    sim = Simulator(fastpath="auto")
+    expected = _train(sim, cb, 100)
+    stats = sim.run()
+    assert log == expected
+    assert stats.events_executed == 100
+    assert sim.now == expected[-1][0]
+    fps = sim.fastpath_stats
+    assert fps.batches >= 1
+    assert fps.batched_events == 100
+
+
+def test_macro_matches_off_mode_stream():
+    logs = {}
+    for mode in ("off", "auto", "on"):
+        log = logs[mode] = []
+        cb = _recorded_pair(log)
+        sim = Simulator(fastpath=mode)
+        _train(sim, cb, 64)
+        sim.run()
+    assert logs["off"] == logs["auto"] == logs["on"]
+
+
+def test_macro_partial_consume_counts_abort():
+    log = []
+
+    def scalar(sim, payload):
+        log.append((sim.now, payload))
+
+    def batch(sim, run):
+        for k, (t, p) in enumerate(run):
+            if k == 5:
+                return 5
+            log.append((t, p))
+        return len(run)
+
+    as_macro(scalar, batch)
+    sim = Simulator(fastpath="auto")
+    expected = _train(sim, scalar, 40)
+    sim.run()
+    assert log == expected
+    fps = sim.fastpath_stats
+    assert fps.aborts >= 1
+    # The declined tail re-batches or drains generally; either way no
+    # event is lost or duplicated (asserted by the log above).
+    assert fps.batched_events < 40
+
+
+def test_macro_decline_falls_back_to_scalar():
+    log = []
+
+    def scalar(sim, payload):
+        log.append((sim.now, payload))
+
+    def batch(sim, run):
+        return 0  # always decline
+
+    as_macro(scalar, batch)
+    sim = Simulator(fastpath="auto")
+    expected = _train(sim, scalar, 100)
+    sim.run()
+    assert log == expected
+    assert sim.fastpath_stats.batches == 0
+
+
+def test_macro_exception_is_atomic():
+    log = []
+
+    def scalar(sim, payload):
+        log.append(payload)
+
+    def batch(sim, run):
+        raise RuntimeError("batch blew up before touching anything")
+
+    as_macro(scalar, batch)
+    sim = Simulator(fastpath="auto")
+    _train(sim, scalar, 32)
+    with pytest.raises(RuntimeError, match="blew up"):
+        sim.run()
+    # Atomic: the raising batch consumed nothing — no event executed,
+    # every entry still pending, and a later off-mode drain runs them.
+    assert log == []
+    assert sim.stats.events_executed == 0
+    assert len(sim) == 32
+    sim.set_fastpath("off")
+    sim.run()
+    assert log == list(range(32))
+
+
+def test_macro_contract_violation_is_loud():
+    def scalar(sim, payload):
+        pass
+
+    def batch(sim, run):
+        return len(run) + 7  # lies about consumption
+
+    as_macro(scalar, batch)
+    sim = Simulator(fastpath="auto")
+    _train(sim, scalar, 32)
+    with pytest.raises(RuntimeError, match="violates its contract"):
+        sim.run()
+
+
+def test_macrorun_view():
+    lane = [(float(i), i, None, None, i * 10) for i in range(8)]
+    run = MacroRun(lane, 2, 6)
+    assert len(run) == 4
+    assert run[0] == (2.0, 20)
+    assert list(run) == [(float(i), i * 10) for i in range(2, 6)]
+    assert run.times() == [2.0, 3.0, 4.0, 5.0]
+    assert run.payloads() == [20, 30, 40, 50]
+
+
+# -- trace-JIT ---------------------------------------------------------------
+
+
+def test_trace_on_mode_specializes_immediately():
+    log = []
+
+    def scalar(sim, payload):  # no batch twin
+        log.append((sim.now, payload))
+
+    sim = Simulator(fastpath="on")
+    expected = _train(sim, scalar, 100)
+    sim.run()
+    assert log == expected
+    fps = sim.fastpath_stats
+    assert fps.traces_installed == 1
+    assert fps.batches >= 1
+    assert fps.batched_events == 100
+
+
+def test_trace_auto_mode_needs_heat():
+    log = []
+
+    def scalar(sim, payload):
+        log.append(payload)
+
+    sim = Simulator(fastpath="auto")
+    # Two sightings warm the recorder, the third is hot.
+    for _ in range(fastpath.TRACE_HOT_COUNT - 1):
+        _train(sim, scalar, 64, start=sim.now)
+        sim.run()
+        assert sim.fastpath_stats.traces_installed == 0
+    _train(sim, scalar, 64, start=sim.now)
+    sim.run()
+    assert sim.fastpath_stats.traces_installed == 1
+    assert log == list(range(64)) * fastpath.TRACE_HOT_COUNT
+
+
+def test_trace_auto_mode_long_run_is_hot_immediately():
+    def scalar(sim, payload):
+        pass
+
+    sim = Simulator(fastpath="auto")
+    _train(sim, scalar, fastpath.TRACE_HOT_RUN, step=0.01)
+    sim.run()
+    assert sim.fastpath_stats.traces_installed == 1
+
+
+def test_trace_abort_on_cancellation():
+    """A cancellation landing mid-trace aborts the specialized loop and
+    the purge happens at general-path precision."""
+    log = []
+    tokens = {}
+
+    def scalar(sim, payload):
+        log.append(payload)
+        if payload == 10:
+            tokens[50].cancel()
+
+    def build(mode):
+        log.clear()
+        tokens.clear()
+        sim = Simulator(fastpath=mode)
+        for i in range(100):
+            tokens[i] = sim.schedule_at(float(i), scalar, i)
+        return sim
+
+    sim = build("on")
+    stats = sim.run()
+    assert 50 not in log
+    assert log == [i for i in range(100) if i != 50]
+    assert stats.events_cancelled == 1
+    on_log = list(log)
+
+    off_stats = build("off").run()
+    assert log == on_log
+    assert off_stats.events_cancelled == 1
+
+
+def test_trace_abort_on_out_of_order_schedule():
+    """A callback scheduling into the heap mid-trace aborts the loop so
+    the new event interleaves at its exact (time, seq) slot."""
+    logs = {}
+    for mode in ("off", "on"):
+        log = logs[mode] = []
+
+        def scalar(sim, payload, _log=log):
+            _log.append((sim.now, payload))
+            if payload == 20:
+                # Lands between the pre-scheduled entries at 30.0/31.0.
+                sim.schedule_at(30.5, scalar, 999)
+
+        sim = Simulator(fastpath=mode)
+        _train(sim, scalar, 64)
+        sim.run()
+    assert logs["off"] == logs["on"]
+    i = logs["on"].index((30.5, 999))
+    assert logs["on"][i - 1] == (30.0, 30)
+    assert logs["on"][i + 1] == (31.0, 31)
+
+
+# -- observer-arrival deopt (the PR8 satellite regression tests) -------------
+
+
+def test_probe_added_mid_trace_sees_every_subsequent_event():
+    seen = []
+
+    def probe(sim, event):
+        seen.append(event.payload)
+
+    def scalar(sim, payload):
+        if payload == 10:
+            sim.add_probe(probe)
+
+    sim = Simulator(fastpath="on")
+    _train(sim, scalar, 100)
+    sim.run()
+    # The active trace flushed at the installing event; everything after
+    # it ran on the general path and was probed exactly once.
+    assert seen == list(range(11, 100))
+    assert sim.fastpath_stats.deopts >= 1
+
+
+def test_tracer_attached_mid_run_deoptimizes():
+    from repro.obs.spans import Tracer, attach_tracer
+
+    def scalar(sim, payload):
+        if payload == 10:
+            attach_tracer(sim, Tracer())
+
+    sim = Simulator(fastpath="on", metrics=MetricsRegistry())
+    _train(sim, scalar, 100)
+    sim.run()
+    fps = sim.fastpath_stats
+    # The trace committed at most the prefix through the attaching
+    # event; every later event stayed on the (traceable) general path.
+    assert fps.batched_events <= 11
+    assert fps.deopts >= 1
+
+
+def test_fault_injector_arm_blocks_batching():
+    from repro.crosscut.faults import KernelFaultInjector
+
+    class _Target:
+        def inject_fault(self, sim, rng):
+            pass
+
+    injector = KernelFaultInjector(mean_interval=1e9, rng=0)
+    injector.register(_Target())
+
+    def scalar(sim, payload):
+        if payload == 10:
+            injector.arm(sim, horizon=1.0)
+
+    sim = Simulator(fastpath="on")
+    _train(sim, scalar, 100)
+    sim.run()
+    fps = sim.fastpath_stats
+    assert fps.batched_events <= 11
+    assert fps.deopts >= 1
+
+    # Disarm unblocks: a fresh train on the same simulator batches again.
+    injector.disarm()
+    before = fps.batched_events
+    _train(sim, scalar, 100, start=sim.now + 1.0)
+    sim.run()
+    assert fps.batched_events > before
+
+
+def test_fastpath_block_is_reentrant():
+    log = []
+    cb = _recorded_pair(log)
+    sim = Simulator(fastpath="auto")
+    sim.fastpath_block()
+    sim.fastpath_block()
+    sim.fastpath_unblock()
+    expected = _train(sim, cb, 64)
+    sim.run()  # still one blocker outstanding
+    assert log == expected
+    assert sim.fastpath_stats.batches == 0
+    sim.fastpath_unblock()
+    log.clear()
+    _train(sim, cb, 64, start=sim.now + 1.0)
+    sim.run()
+    assert sim.fastpath_stats.batches >= 1
+
+
+def test_probed_run_never_batches():
+    events = []
+    log = []
+    cb = _recorded_pair(log)
+    sim = Simulator(fastpath="on")
+    sim.add_probe(lambda s, e: events.append(e.payload))
+    expected = _train(sim, cb, 64)
+    sim.run()
+    assert log == expected
+    assert events == list(range(64))
+    assert sim.fastpath_stats.batches == 0
+
+
+# -- run(until=) and snapshot/restore ----------------------------------------
+
+
+def test_until_horizon_batches_inclusively():
+    log = []
+    cb = _recorded_pair(log)
+    sim = Simulator(fastpath="auto")
+    expected = _train(sim, cb, 100)
+    sim.run(until=49.0)
+    # ``until`` is inclusive: the event at exactly 49.0 ran.
+    assert log == expected[:50]
+    assert sim.now == 49.0
+    assert sim.fastpath_stats.batches >= 1
+    sim.run()
+    assert log == expected
+
+
+def test_restore_invalidates_traces_and_replays():
+    def scalar(sim, payload):
+        log.append((sim.now, payload))
+
+    for mode in ("auto", "on"):
+        log = []
+        sim = Simulator(fastpath=mode)
+        sim.schedule_batch([float(i) for i in range(100)], scalar,
+                           payloads=range(100))
+        sim.run(until=30.0)
+        snap = sim.snapshot()
+        split = len(log)
+        sim.run()
+        full = list(log)
+
+        sim.restore(snap)
+        sim.run()
+        assert log[len(full):] == full[split:]
+        assert sim.stats.events_executed == 100
+
+
+def test_schedule_batch_is_schedule_many():
+    log = []
+    cb = _recorded_pair(log)
+    sim = Simulator(fastpath="off")
+    n = sim.schedule_batch([0.0, 1.0, 2.0], cb, payloads="abc")
+    assert n == 3
+    assert len(sim) == 3
+    sim.run()
+    assert log == [(0.0, "a"), (1.0, "b"), (2.0, "c")]
+
+
+# -- randomized guard-abort interleavings ------------------------------------
+
+_MODES = ("off", "auto", "on")
+
+
+@st.composite
+def _programs(draw):
+    """A workload: homogeneous segments + mid-run cancels/spawns/split."""
+    segments = draw(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(1, 48)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    n = sum(length for _, length in segments)
+    steps = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.5, 1.0]), min_size=n, max_size=n
+        )
+    )
+    cancels = draw(
+        st.dictionaries(
+            st.integers(0, n - 1), st.integers(0, n - 1), max_size=4
+        )
+    )
+    spawns = draw(
+        st.dictionaries(
+            st.integers(0, n - 1),
+            st.sampled_from([0.0, 0.25, 1.5, 100.0]),
+            max_size=4,
+        )
+    )
+    split = draw(st.floats(0.0, float(n), allow_nan=False))
+    return segments, steps, cancels, spawns, split
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_programs())
+def test_fastpath_modes_are_observationally_identical(program):
+    """Random guard-abort interleavings — cancellations, heterogeneous
+    handler segments, mid-trace spawns into the heap, a mid-workload
+    snapshot/restore replay — produce executed streams byte-identical
+    across off/auto/on (the PR8 acceptance property)."""
+    segments, steps, cancels, spawns, split = program
+
+    def execute(mode):
+        log = []
+        tokens = {}
+        sim = Simulator(fastpath=mode)
+
+        def h0(s, i):
+            log.append(("h0", s.now, i))
+            target = cancels.get(i)
+            if target is not None and target in tokens:
+                tokens[target].cancel()
+
+        def h1(s, i):
+            log.append(("h1", s.now, i))
+            delay = spawns.get(i)
+            if delay is not None:
+                s.schedule(delay, h2, 1000 + i, cancellable=False)
+
+        def h2(s, i):
+            log.append(("h2", s.now, i))
+
+        handlers = (h0, h1, h2)
+        t = 0.0
+        idx = 0
+        for hid, length in segments:
+            for _ in range(length):
+                tokens[idx] = sim.schedule_at(t, handlers[hid], idx)
+                t += steps[idx]
+                idx += 1
+
+        sim.run(until=split)
+        snap = sim.snapshot()
+        cut = len(log)
+        sim.run()
+        full = list(log)
+        stats = (
+            sim.stats.events_executed,
+            sim.stats.events_cancelled,
+            sim.now,
+        )
+        sim.restore(snap)
+        sim.run()
+        tail = log[len(full):]
+        assert tail == full[cut:], f"replay diverged in mode {mode}"
+        return full, tail, stats
+
+    reference = execute("off")
+    for mode in ("auto", "on"):
+        assert execute(mode) == reference, (
+            f"mode {mode} diverged from the general path"
+        )

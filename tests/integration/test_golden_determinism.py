@@ -1,4 +1,4 @@
-"""Golden determinism suite (PR3).
+"""Golden determinism suite (PR3; fast-path modes since PR8).
 
 The PR3 kernel overhaul (two-lane queue, token-free scheduling,
 ``schedule_many``) and the vectorized model fast paths are pure
@@ -13,12 +13,24 @@ observable scheduling behaviour, not just speed; that is either a bug
 or a semantic change that must be called out (and these constants
 re-recorded) explicitly.
 
+Since PR8 every golden runs under all three fast-path modes
+(``off``/``auto``/``on``).  A probed run never batches — the probe is a
+kernel observer, so the macro/trace layer stands down — which makes the
+probed goldens a direct check that observation forces the general path.
+The real fast paths are exercised by the **no-probe** cross-mode test
+at the bottom: same models, no observer, modes compared against
+``off`` on model results and SimStats (and the harvest train must
+actually have batched in ``auto``).
+
 The hashes deliberately cover only the kernel-visible stream (times,
 sequence numbers, callback identities) and SimStats — not histogram or
 reservoir internals, which may legitimately differ in iteration detail.
 """
 
 import hashlib
+
+import numpy as np
+import pytest
 
 from repro.core.events import Simulator
 from repro.datacenter.cluster import Balancer, ClusterConfig, ClusterSimulator
@@ -32,10 +44,12 @@ from repro.sensor.harvest import (
     simulate_intermittent,
 )
 
+MODES = ("off", "auto", "on")
 
-def _probed_sim() -> tuple[Simulator, "hashlib._Hash"]:
+
+def _probed_sim(mode: str) -> tuple[Simulator, "hashlib._Hash"]:
     """A simulator whose executed event stream feeds a sha256."""
-    sim = Simulator()
+    sim = Simulator(fastpath=mode)
     digest = hashlib.sha256()
 
     def probe(s: Simulator, event) -> None:
@@ -46,8 +60,7 @@ def _probed_sim() -> tuple[Simulator, "hashlib._Hash"]:
     return sim, digest
 
 
-def _run_cluster() -> tuple[str, int, int, float]:
-    sim, digest = _probed_sim()
+def _drive_cluster(sim: Simulator) -> tuple:
     cluster = ClusterSimulator(
         ClusterConfig(
             n_servers=8,
@@ -56,32 +69,36 @@ def _run_cluster() -> tuple[str, int, int, float]:
             slow_factor=3.0,
         )
     )
-    cluster.run(arrival_rate=6.0, n_requests=400, rng=123, sim=sim)
-    s = sim.stats
-    return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
+    result = cluster.run(arrival_rate=6.0, n_requests=400, rng=123, sim=sim)
+    return (result.latencies.tobytes(), result.utilization)
 
 
-def _run_hedging() -> tuple[str, int, int, float]:
-    sim, digest = _probed_sim()
+def _drive_hedging(sim: Simulator) -> tuple:
     dist = lognormal_latency(median_ms=10.0, sigma=0.8)
-    kernel_hedged_latencies(dist, 300, trigger_quantile=0.9, rng=7, sim=sim)
-    s = sim.stats
-    return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
+    result = kernel_hedged_latencies(
+        dist, 300, trigger_quantile=0.9, rng=7, sim=sim
+    )
+    return (
+        np.asarray(result["latencies"]).tobytes(),
+        result["trigger_ms"],
+        result["extra_load_fraction"],
+    )
 
 
-def _run_noc() -> tuple[str, int, int, float]:
-    sim, digest = _probed_sim()
+def _drive_noc(sim: Simulator) -> tuple:
     cfg = NoCConfig(width=4, height=4)
     pairs = make_pattern("uniform", 300, cfg.width, cfg.height, rng=5)
     times = poisson_injection_times(300, rate_per_cycle=0.8, rng=5)
-    MeshNoC(cfg).run(pairs, injection_times=times, sim=sim)
-    s = sim.stats
-    return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
+    result = MeshNoC(cfg).run(pairs, injection_times=times, sim=sim)
+    return (
+        tuple(p.latency for p in result.delivered),
+        result.dropped,
+        result.cycles,
+    )
 
 
-def _run_harvest() -> tuple[str, int, int, float]:
-    sim, digest = _probed_sim()
-    simulate_intermittent(
+def _drive_harvest(sim: Simulator) -> tuple:
+    result = simulate_intermittent(
         Harvester(),
         IntermittentConfig(),
         checkpoint_interval_quanta=10,
@@ -89,13 +106,54 @@ def _run_harvest() -> tuple[str, int, int, float]:
         rng=3,
         sim=sim,
     )
+    return (
+        result.total_quanta_completed,
+        result.committed_quanta,
+        result.re_executed_quanta,
+        result.checkpoints,
+        result.power_failures,
+        result.intervals,
+    )
+
+
+_DRIVERS = {
+    "cluster": _drive_cluster,
+    "hedging": _drive_hedging,
+    "noc": _drive_noc,
+    "harvest": _drive_harvest,
+}
+
+
+def _run_probed(name: str, mode: str = "auto") -> tuple[str, int, int, float]:
+    sim, digest = _probed_sim(mode)
+    _DRIVERS[name](sim)
     s = sim.stats
     return digest.hexdigest(), s.events_executed, s.events_cancelled, s.end_time
 
 
+# The cluster and harvest goldens were re-recorded in PR8 — a called-out
+# semantic change, exactly what this suite exists to surface:
+#
+# * **cluster**: arrivals are now bulk-loaded as one pre-scheduled train
+#   (``schedule_batch``) before the drain starts, instead of scheduled
+#   one by one while earlier events execute.  Arrival events therefore
+#   carry *older* sequence numbers than any completion at the same
+#   timestamp, so exact-time ties order arrival-first.  Ties between an
+#   arrival and a completion are measure-zero in this workload: the
+#   executed multiset of (time, callback) pairs is unchanged, and
+#   SimStats (800 executed / 0 cancelled / end 66.6637403322754) is
+#   byte-identical to the pre-PR8 golden.
+# * **harvest**: the tick train is pre-scheduled with exact accumulated
+#   times (t_{i+1} = t_i + interval) replacing the self-rescheduling
+#   PeriodicSource.  The tick callback's qualname changed
+#   (simulate_intermittent.<locals>.tick), and end_time is now the
+#   accumulated float of the last tick (1999 additions of 0.01 →
+#   19.990000000000325) rather than the horizon 19.995 the old
+#   always-one-event-ahead source forced the clock onto.  Executed and
+#   cancelled counts are unchanged.
 GOLDENS = {
     "cluster": (
-        "ce2ead1222bef72dfa908b509f620d1e44f080b1cf987f4764efabed28188c4c",
+        "3f8b3911af53821dba1440b5857b47fd819ec5b0bc6421b90e03e3b1446ec698",
         800,
         0,
         66.6637403322754,
@@ -113,45 +171,54 @@ GOLDENS = {
         379.0,
     ),
     "harvest": (
-        "8eacc8b8ba8b493a4b75e03c6b1c2f93334e48e580803565ecc51cb1892fc9e0",
+        "30a5464eb00b022e0b03a206536bc29e86566462a152f4988baccb18e24707f0",
         2000,
         0,
-        19.995,
+        19.990000000000325,
     ),
 }
 
-_RUNNERS = {
-    "cluster": _run_cluster,
-    "hedging": _run_hedging,
-    "noc": _run_noc,
-    "harvest": _run_harvest,
-}
 
-
-def test_cluster_stream_matches_golden():
-    assert _run_cluster() == GOLDENS["cluster"]
-
-
-def test_hedging_stream_matches_golden():
-    assert _run_hedging() == GOLDENS["hedging"]
-
-
-def test_noc_stream_matches_golden():
-    assert _run_noc() == GOLDENS["noc"]
-
-
-def test_harvest_stream_matches_golden():
-    assert _run_harvest() == GOLDENS["harvest"]
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_stream_matches_golden(name: str, mode: str):
+    assert _run_probed(name, mode) == GOLDENS[name]
 
 
 def test_streams_reproducible_run_to_run():
     """Same seed, fresh kernel => identical stream, independent of goldens."""
-    for name, runner in _RUNNERS.items():
-        assert runner() == runner(), f"{name} stream not reproducible"
+    for name in _DRIVERS:
+        assert _run_probed(name) == _run_probed(name), (
+            f"{name} stream not reproducible"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(_DRIVERS))
+def test_modes_agree_without_observers(name: str):
+    """No probe attached: the macro/trace fast paths genuinely engage,
+    and every mode must still produce the off-mode result and stats."""
+    outcomes = {}
+    for mode in MODES:
+        sim = Simulator(fastpath=mode)
+        summary = _DRIVERS[name](sim)
+        s = sim.stats
+        outcomes[mode] = (
+            summary,
+            s.events_executed,
+            s.events_cancelled,
+            s.end_time,
+        )
+        if name == "harvest" and mode == "auto":
+            # The whole tick train is one homogeneous run with a batch
+            # twin; if this stops batching, the no-probe leg of this
+            # test has silently stopped covering the fast path.
+            assert sim.fastpath_stats.batched_events > 0
+    assert outcomes["auto"] == outcomes["off"], f"{name}: auto diverged"
+    assert outcomes["on"] == outcomes["off"], f"{name}: on diverged"
 
 
 if __name__ == "__main__":
     # Regeneration helper:
     #   PYTHONPATH=src python tests/integration/test_golden_determinism.py
-    for name, runner in _RUNNERS.items():
-        print(f'    "{name}": {runner()!r},')
+    for name in _DRIVERS:
+        print(f'    "{name}": {_run_probed(name)!r},')

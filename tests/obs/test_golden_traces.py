@@ -109,7 +109,13 @@ GOLDEN_TRACES = {
         302,
     ),
     "harvest": (
-        "c0b6849cde10248baecd5498fa521b2e7de3997388ea3a49542818b552c54a05",
+        # Re-recorded in PR8: the tick train is pre-scheduled with
+        # exact accumulated times (t_{i+1} = t_i + interval) instead of
+        # the self-rescheduling PeriodicSource's now+period chain, so
+        # span sim-timestamps carry the accumulated floats (same span
+        # count, same structure).  Called out alongside the harvest
+        # golden in tests/integration/test_golden_determinism.py.
+        "a39e63e0bc71da9705b169be86417aed176d1c2bce1a6d686fe6560474c5eed8",
         102,
     ),
 }

@@ -20,6 +20,14 @@ re-executes as a no-op, exactly like any other replayed event.
 import pytest
 
 from repro.core.events import FunctionCheckpoint, Simulator
+
+# Since PR8 every crash-resume golden runs under all three fast-path
+# modes.  The probe keeps the drain on the general path (observation
+# vetoes batching), so what the parametrization actually pins is the
+# fast-path *bookkeeping* riding through snapshot()/restore(): run
+# records rebuilt after a restore, installed traces invalidated, and
+# the replay still byte-identical to the straight run.
+MODES = ("off", "auto", "on")
 from repro.datacenter.cluster import Balancer, ClusterConfig, ClusterSimulator
 from repro.datacenter.hedging import kernel_hedged_latencies
 from repro.datacenter.latency import lognormal_latency
@@ -41,9 +49,9 @@ def _crash_once(sim: Simulator, box: dict) -> None:
         raise SimulatedCrash(f"injected crash at t={sim.now:g}")
 
 
-def _recorded_sim():
+def _recorded_sim(mode: str):
     """Simulator whose executed stream is a checkpointable line list."""
-    sim = Simulator()
+    sim = Simulator(fastpath=mode)
     lines: list[str] = []
 
     def probe(s: Simulator, event) -> None:
@@ -68,11 +76,11 @@ def _stats(sim: Simulator):
     return (s.events_executed, s.events_cancelled, s.end_time, sim.now)
 
 
-def _run(model_fn, period, crash_at, armed, resume_until):
+def _run(model_fn, period, crash_at, armed, resume_until, mode):
     """One run; ``armed=False`` is the straight-through reference (the
     crash event is still scheduled, disarmed, so both runs issue the
     identical sequence-number stream)."""
-    sim, lines = _recorded_sim()
+    sim, lines = _recorded_sim(mode)
     mgr = CheckpointManager(period=period, keep=2)
     mgr.arm(sim)
     sim.schedule_at(crash_at, _crash_once, {"armed": armed})
@@ -90,18 +98,21 @@ def _run(model_fn, period, crash_at, armed, resume_until):
     return lines, _stats(sim)
 
 
-def _assert_resume_matches(model_fn, period, crash_at, resume_until=None):
+def _assert_resume_matches(
+    model_fn, period, crash_at, resume_until=None, mode="auto"
+):
     straight_lines, straight_stats = _run(
-        model_fn, period, crash_at, False, resume_until
+        model_fn, period, crash_at, False, resume_until, mode
     )
     resumed_lines, resumed_stats = _run(
-        model_fn, period, crash_at, True, resume_until
+        model_fn, period, crash_at, True, resume_until, mode
     )
     assert resumed_lines == straight_lines
     assert resumed_stats == straight_stats
 
 
-def test_cluster_crash_resume_is_deterministic():
+@pytest.mark.parametrize("mode", MODES)
+def test_cluster_crash_resume_is_deterministic(mode):
     def run(sim):
         ClusterSimulator(ClusterConfig(
             n_servers=8,
@@ -111,19 +122,21 @@ def test_cluster_crash_resume_is_deterministic():
         )).run(arrival_rate=6.0, n_requests=400, rng=123, sim=sim)
 
     # Straight run ends ~66.7s; checkpoint every 10, crash at 35.
-    _assert_resume_matches(run, period=10.0, crash_at=35.0)
+    _assert_resume_matches(run, period=10.0, crash_at=35.0, mode=mode)
 
 
-def test_hedging_crash_resume_is_deterministic():
+@pytest.mark.parametrize("mode", MODES)
+def test_hedging_crash_resume_is_deterministic(mode):
     def run(sim):
         dist = lognormal_latency(median_ms=10.0, sigma=0.8)
         kernel_hedged_latencies(dist, 300, trigger_quantile=0.9, rng=7, sim=sim)
 
     # Straight run ends ~8346ms; checkpoint every 1000, crash at 4500.
-    _assert_resume_matches(run, period=1000.0, crash_at=4500.0)
+    _assert_resume_matches(run, period=1000.0, crash_at=4500.0, mode=mode)
 
 
-def test_noc_crash_resume_is_deterministic():
+@pytest.mark.parametrize("mode", MODES)
+def test_noc_crash_resume_is_deterministic(mode):
     cfg = NoCConfig(width=4, height=4)
     pairs = make_pattern("uniform", 300, cfg.width, cfg.height, rng=5)
     times = poisson_injection_times(300, rate_per_cycle=0.8, rng=5)
@@ -133,11 +146,12 @@ def test_noc_crash_resume_is_deterministic():
 
     # Straight run drains ~cycle 379; checkpoint every 60, crash at 210.
     _assert_resume_matches(
-        run, period=60.0, crash_at=210.0, resume_until=200_000.0
+        run, period=60.0, crash_at=210.0, resume_until=200_000.0, mode=mode
     )
 
 
-def test_harvest_crash_resume_is_deterministic():
+@pytest.mark.parametrize("mode", MODES)
+def test_harvest_crash_resume_is_deterministic(mode):
     def run(sim):
         simulate_intermittent(
             Harvester(),
@@ -150,5 +164,6 @@ def test_harvest_crash_resume_is_deterministic():
 
     # Straight run ends at 19.995s; checkpoint every 3, crash at 11.
     _assert_resume_matches(
-        run, period=3.0, crash_at=11.0, resume_until=(2_000 - 0.5) * 0.01
+        run, period=3.0, crash_at=11.0, resume_until=(2_000 - 0.5) * 0.01,
+        mode=mode,
     )
