@@ -295,6 +295,91 @@ def serve_rps_summary(rows: list[dict]) -> dict[str, float]:
     }
 
 
+# ---------------------------------------------------------------------------
+# Hedged vs unhedged tail latency (PR9): the router's HedgePolicy must
+# buy a measured p99 improvement on a straggler-laced closed loop.
+# ---------------------------------------------------------------------------
+
+
+def run_hedge_compare(
+    quick: bool = False, hedge_ms: float = 120.0
+) -> dict:
+    """Drive the ``straggler`` workload with and without hedging.
+
+    Closed loop (one request in flight) against a 2-worker pool, so the
+    second worker is always free to take a hedge.  Straggler selection
+    is a stable hash of the tag, and the stall is *transient* (marker
+    file in ``scratch_dir``): the same tags stall in both runs, and a
+    hedged duplicate deterministically runs fast — exactly the
+    situation hedging exists for.  Returns both latency profiles plus
+    the p99 gate verdict.
+    """
+    n = 24 if quick else 48
+    slow_s = 0.35 if quick else 0.5
+    out: dict = {"hedge_ms": hedge_ms, "requests": n}
+    for label, ms in (("no_hedge", None), ("hedged", hedge_ms)):
+        with tempfile.TemporaryDirectory(prefix="serve-hedge-") as root:
+            app = build_app(
+                backend="pool", jobs=2, cache_dir=f"{root}/cache",
+                hedge_ms=ms,
+            )
+            with ServerThread(app) as server:
+                client = ServeClient(
+                    *server.address, timeout_s=WAIT_TIMEOUT_S + 10.0
+                )
+                latencies, failed = [], 0
+                for i in range(n):
+                    payload = {
+                        "workload": "straggler",
+                        "params": {
+                            "base_s": 0.02,
+                            "slow_s": slow_s,
+                            "slow_every": 5,
+                            "tag": f"strag-{i}",
+                            "scratch_dir": f"{root}/markers",
+                        },
+                        "wait": True,
+                        "wait_timeout_s": WAIT_TIMEOUT_S,
+                    }
+                    start = time.perf_counter()
+                    status, _, body = client.request(
+                        "POST", "/v1/experiments", payload
+                    )
+                    latency_ms = (time.perf_counter() - start) * 1e3
+                    ok = (
+                        status == 200
+                        and isinstance(body, dict)
+                        and body.get("runs")
+                        and body["runs"][0]["status"] == "succeeded"
+                    )
+                    if ok:
+                        latencies.append(latency_ms)
+                    else:
+                        failed += 1
+                out[label] = {
+                    "completed": len(latencies),
+                    "failed": failed,
+                    "mean_ms": round(float(np.mean(latencies)), 2),
+                    "p50_ms": round(float(np.percentile(latencies, 50)), 2),
+                    "p99_ms": round(float(np.percentile(latencies, 99)), 2),
+                }
+                print(
+                    f"  hedge-compare {label:>9s}: "
+                    f"p50 {out[label]['p50_ms']:7.1f} ms  "
+                    f"p99 {out[label]['p99_ms']:7.1f} ms  "
+                    f"failed {failed}"
+                )
+    out["p99_improvement_ms"] = round(
+        out["no_hedge"]["p99_ms"] - out["hedged"]["p99_ms"], 2
+    )
+    out["gate_passed"] = (
+        out["no_hedge"]["failed"] == 0
+        and out["hedged"]["failed"] == 0
+        and out["hedged"]["p99_ms"] < out["no_hedge"]["p99_ms"]
+    )
+    return out
+
+
 def measure_for_harness(repeats: int = 2) -> dict[str, float]:
     """Serial-only numbers for ``perf_harness.measure_serve``.
 
@@ -331,7 +416,35 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--output", type=Path, default=None,
         help="JSON summary (the committed BENCH_PR7.json)",
     )
+    parser.add_argument(
+        "--hedge-compare", action="store_true",
+        help=(
+            "only run the hedged vs unhedged straggler comparison "
+            "(PR9's tail-tolerance gate) and print/emit its verdict"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.hedge_compare:
+        print("serve_load: hedge comparison (straggler workload, pool x2)")
+        hedge = run_hedge_compare(quick=args.quick)
+        if args.output is not None:
+            args.output.write_text(json.dumps(hedge, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        if not hedge["gate_passed"]:
+            print(
+                "HEDGE GATE FAILED: hedged p99 "
+                f"{hedge['hedged']['p99_ms']} ms !< unhedged p99 "
+                f"{hedge['no_hedge']['p99_ms']} ms"
+            )
+            return 1
+        print(
+            "hedge gate passed: p99 "
+            f"{hedge['no_hedge']['p99_ms']} ms -> {hedge['hedged']['p99_ms']} "
+            f"ms ({hedge['p99_improvement_ms']} ms better)"
+        )
+        return 0
+
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     repetitions = 1 if args.quick else args.reps
 

@@ -33,16 +33,24 @@ from typing import Any, Optional
 from ..runners import ProcessPoolRunner, Runner, SerialRunner
 from .array import ArrayBackend, collect, emit_submit_script, plan_array, run_array_task
 from .base import Backend, BackendCapabilities, capabilities_of
+from .chaos import ChaosConfig, ChaosSocket, chaos_from_env, wrap_socket
 from .frames import (
     FRAME_TAGS,
     PROTOCOL_VERSION,
+    FrameCorruptError,
     FrameError,
     FrameProtocolError,
     FrameVersionError,
     recv_frame,
     send_frame,
 )
-from .router import BackendRouter, RoutingError, RoutingPolicy
+from .router import (
+    BackendRouter,
+    HedgePolicy,
+    RoutingError,
+    RoutingPolicy,
+    VerifyPolicy,
+)
 from .socket_worker import SocketWorkerBackend, spawn_local_worker, worker_main
 
 __all__ = [
@@ -50,16 +58,22 @@ __all__ = [
     "Backend",
     "BackendCapabilities",
     "BackendRouter",
+    "ChaosConfig",
+    "ChaosSocket",
     "FRAME_TAGS",
+    "FrameCorruptError",
     "FrameError",
     "FrameProtocolError",
     "FrameVersionError",
+    "HedgePolicy",
     "PROTOCOL_VERSION",
     "RoutingError",
     "RoutingPolicy",
     "SocketWorkerBackend",
+    "VerifyPolicy",
     "available_backends",
     "capabilities_of",
+    "chaos_from_env",
     "collect",
     "emit_submit_script",
     "make_backend",
@@ -69,6 +83,7 @@ __all__ = [
     "send_frame",
     "spawn_local_worker",
     "worker_main",
+    "wrap_socket",
 ]
 
 #: Backend names ``make_backend`` understands (the CLI's ``--backend``).
@@ -94,6 +109,8 @@ def make_backend(
     array_root: Optional[str] = None,
     cache_dir: Optional[str] = None,
     metrics: Optional[Any] = None,
+    chaos: Optional[ChaosConfig] = None,
+    respawn: bool = False,
 ) -> Runner:
     """Build a backend by name; ``jobs`` sets its parallelism.
 
@@ -102,7 +119,10 @@ def make_backend(
     attached via ``python -m repro workers``).  ``array`` shards into
     tasks of ``max(1, jobs)`` jobs run two shards at a time under
     ``array_root`` (a temp directory when unset) against the shared
-    ``cache_dir``.
+    ``cache_dir``.  ``chaos`` arms the transport fault injector on both
+    sides of the socket backend's links (see
+    :mod:`repro.exec.backends.chaos`), and ``respawn`` keeps its
+    loopback roster alive under that abuse.
     """
     name = (name or "").strip().lower()
     if name == "serial":
@@ -111,7 +131,14 @@ def make_backend(
         return ProcessPoolRunner(max(1, jobs))
     if name == "socket":
         n = jobs if spawn is None else spawn
-        return SocketWorkerBackend(spawn=max(0, n), port=port, metrics=metrics)
+        return SocketWorkerBackend(
+            spawn=max(0, n),
+            port=port,
+            metrics=metrics,
+            chaos=chaos,
+            worker_chaos=chaos,
+            respawn=respawn,
+        )
     if name == "array":
         root = array_root or tempfile.mkdtemp(prefix="repro-array-")
         return ArrayBackend(

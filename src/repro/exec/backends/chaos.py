@@ -1,0 +1,224 @@
+"""Deterministic transport chaos: a fault-injecting socket wrapper.
+
+The paper's cross-cutting resilience argument is that at scale, the
+transport *will* lose, delay, duplicate, and corrupt bytes — the system
+has to be engineered so none of that changes the answer.  This module
+makes those faults reproducible on demand: :class:`ChaosSocket` wraps a
+real socket and mangles the **send path** under a seeded schedule, one
+decision per frame (the frame layer emits exactly one ``sendall`` per
+frame, so send-call granularity *is* frame granularity):
+
+* **drop**      — the frame is silently discarded (a lost packet run;
+  the receiver sees nothing and the coordinator's deadline machinery
+  must notice).
+* **duplicate** — the frame is sent twice (retransmission gone wrong;
+  job-id-tagged bodies make the replay attributable and ignorable).
+* **delay**     — the send stalls up to ``max_delay_ms`` (congestion;
+  watchdogs must not misfire on jitter below their threshold).
+* **truncate**  — a prefix is sent and the connection is torn down
+  (mid-frame connection loss; the receiver must fail loud on the
+  partial frame, never wedge).
+* **bitflip**   — one bit of the frame body is inverted (wire-level
+  rot; the v2 frame CRC must catch it before ``pickle`` does anything
+  with the bytes — detected, never silent).
+
+Both sides of the socket-worker link accept a :class:`ChaosConfig`
+(the worker side inherits it through the ``REPRO_CHAOS_NET`` spec
+string, so spawned worker processes misbehave too).  Determinism: each
+wrapped connection draws its decisions from ``random.Random(seed)``
+(optionally xored with a per-connection salt), so a campaign replays
+the same fault schedule for the same seed.
+
+This is a *testing* facility: it exists so the chaos campaign
+(``benchmarks/chaos_net_smoke.py``) can prove that a sweep under
+injected transport faults completes with a ``RunReport.digest()``
+byte-identical to a clean run's.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import time
+from dataclasses import dataclass, fields
+from typing import Optional
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosConfig",
+    "ChaosSocket",
+    "chaos_from_env",
+    "wrap_socket",
+]
+
+#: Environment variable carrying a chaos spec to worker processes.
+CHAOS_ENV = "REPRO_CHAOS_NET"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-frame fault probabilities and the seed that schedules them."""
+
+    seed: int = 0
+    #: Probability a frame is dropped entirely.
+    drop: float = 0.0
+    #: Probability a frame is sent twice.
+    duplicate: float = 0.0
+    #: Probability a frame send is delayed.
+    delay: float = 0.0
+    #: Probability a frame is truncated and the connection torn down.
+    truncate: float = 0.0
+    #: Probability one bit of the frame is inverted.
+    bitflip: float = 0.0
+    #: Upper bound on an injected delay.
+    max_delay_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "truncate", "bitflip"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return any(
+            getattr(self, n) > 0.0
+            for n in ("drop", "duplicate", "delay", "truncate", "bitflip")
+        )
+
+    # -- spec string (CLI flags / env var) ---------------------------------
+
+    def to_spec(self) -> str:
+        """Compact ``k=v,...`` rendering, parseable by :meth:`from_spec`."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value:g}" if isinstance(value, float)
+                             else f"{f.name}={value}")
+        return ",".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ChaosConfig":
+        """Parse ``"seed=7,drop=0.02,bitflip=0.01"`` into a config.
+
+        Unknown keys fail loud — a typoed fault name must not silently
+        run a clean campaign that claims chaos coverage.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            name = name.strip()
+            if not sep or name not in known:
+                raise ValueError(
+                    f"bad chaos spec entry {part!r}; known keys: "
+                    + ", ".join(sorted(known))
+                )
+            kwargs[name] = int(value) if name == "seed" else float(value)
+        return cls(**kwargs)
+
+
+def chaos_from_env() -> Optional[ChaosConfig]:
+    """The worker-process inheritance path: parse :data:`CHAOS_ENV`."""
+    spec = os.environ.get(CHAOS_ENV, "").strip()
+    if not spec:
+        return None
+    config = ChaosConfig.from_spec(spec)
+    return config if config.active else None
+
+
+class ChaosSocket:
+    """Socket proxy that injects faults on ``sendall``.
+
+    Receives are passed through untouched — each endpoint mangles its
+    *own* sends, so wrapping both ends of a connection covers both
+    directions without double-injecting either.  Everything the frame
+    layer and the backends touch (``recv``, ``close``, ``settimeout``,
+    ``getsockname``...) is delegated to the real socket.
+    """
+
+    def __init__(
+        self, sock: socket.socket, config: ChaosConfig, salt: int = 0
+    ) -> None:
+        self._sock = sock
+        self.config = config
+        self._rng = random.Random(config.seed ^ (salt * 0x9E3779B9))
+        #: Injection counts by fault kind (campaign reporting).
+        self.injected = {
+            "drop": 0, "duplicate": 0, "delay": 0, "truncate": 0, "bitflip": 0,
+        }
+
+    # -- the fault path ----------------------------------------------------
+
+    def sendall(self, data: bytes) -> None:
+        cfg = self.config
+        roll = self._rng.random()
+        edge = cfg.drop
+        if roll < edge:
+            self.injected["drop"] += 1
+            return
+        edge += cfg.truncate
+        if roll < edge and len(data) > 1:
+            self.injected["truncate"] += 1
+            cut = self._rng.randrange(1, len(data))
+            try:
+                self._sock.sendall(data[:cut])
+            finally:
+                # A torn frame permanently desyncs the stream, exactly
+                # like a connection dying mid-write — finish the job so
+                # the receiver fails loud instead of hanging on a
+                # half-promised body.
+                self._teardown()
+            return
+        edge += cfg.bitflip
+        if roll < edge and data:
+            self.injected["bitflip"] += 1
+            victim = self._rng.randrange(len(data) * 8)
+            corrupted = bytearray(data)
+            corrupted[victim // 8] ^= 1 << (victim % 8)
+            self._sock.sendall(bytes(corrupted))
+            return
+        edge += cfg.delay
+        if roll < edge:
+            self.injected["delay"] += 1
+            time.sleep(self._rng.uniform(0.0, cfg.max_delay_ms / 1e3))
+            self._sock.sendall(data)
+            return
+        edge += cfg.duplicate
+        if roll < edge:
+            self.injected["duplicate"] += 1
+            self._sock.sendall(data)
+            self._sock.sendall(data)
+            return
+        self._sock.sendall(data)
+
+    def _teardown(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- transparent delegation -------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._sock, name)
+
+
+def wrap_socket(
+    sock: socket.socket, config: Optional[ChaosConfig], salt: int = 0
+) -> socket.socket:
+    """Wrap when chaos is configured and active; pass through otherwise."""
+    if config is None or not config.active:
+        return sock
+    return ChaosSocket(sock, config, salt=salt)  # type: ignore[return-value]

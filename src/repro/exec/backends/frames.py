@@ -28,6 +28,19 @@ assumption dies, so the socket carries an explicit *framed* protocol:
 The known tags are shared with the pipe protocol (``hb``/``tel``/
 ``res``) plus the socket-only lifecycle tags (``hello``/``job``/
 ``bye``).
+
+Protocol v2 (PR 9) hardens the format against a lossy transport:
+
+* **CRC-32 integrity check** — the header carries a checksum over
+  ``tag + body``.  A bit-flip anywhere in a frame (cosmic ray, faulty
+  NIC, the chaos injector) is detected at receive time and raised as
+  :class:`FrameCorruptError` instead of being unpickled into silently
+  corrupt data — the transport's contribution to the masked/SDC/
+  detected taxonomy is turning would-be SDC into *detected*.
+* **Job-id-tagged attempt bodies** — the socket backend's ``hb``/
+  ``tel``/``res`` bodies carry the job id they belong to, so a
+  duplicated or replayed frame can never be attributed to the wrong
+  attempt (see :mod:`repro.exec.backends.socket_worker`).
 """
 
 from __future__ import annotations
@@ -35,11 +48,13 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
+import zlib
 from typing import Any, Optional, Tuple
 
 __all__ = [
     "FRAME_MAGIC",
     "FRAME_TAGS",
+    "FrameCorruptError",
     "FrameError",
     "FrameProtocolError",
     "FrameVersionError",
@@ -58,9 +73,11 @@ __all__ = [
 #: First byte of every frame; anything else on the wire is not ours.
 FRAME_MAGIC = 0xA5
 #: Bump on any incompatible change to frame layout or body schemas.
-PROTOCOL_VERSION = 1
+#: v2: CRC-32 over tag+body in the header; job-id-tagged attempt bodies.
+PROTOCOL_VERSION = 2
 
-_HEADER = struct.Struct("!BBBI")
+#: magic, version, tag len, body len, crc32(tag + body)
+_HEADER = struct.Struct("!BBBII")
 #: Refuse absurd frames before allocating for them (a corrupt length
 #: field must not look like a 4 GiB body).
 MAX_BODY_BYTES = 256 * 1024 * 1024
@@ -93,12 +110,24 @@ class FrameVersionError(FrameError):
     """Peer speaks a different protocol version — fail loud, never hang."""
 
 
+class FrameCorruptError(FrameProtocolError):
+    """Checksum mismatch: the frame was damaged in transit.
+
+    Raised instead of handing corrupt bytes to ``pickle`` — on-the-wire
+    bit rot becomes a *detected* fault (connection dropped, attempt
+    retried) rather than silent data corruption in a result payload.
+    """
+
+
 def send_frame_bytes(sock: socket.socket, tag: str, body: bytes) -> None:
     """Send one frame whose body is already pickled."""
     tag_bytes = tag.encode("ascii")
     if len(tag_bytes) > 255:
         raise ValueError(f"tag too long: {tag!r}")
-    header = _HEADER.pack(FRAME_MAGIC, PROTOCOL_VERSION, len(tag_bytes), len(body))
+    crc = zlib.crc32(tag_bytes + body) & 0xFFFFFFFF
+    header = _HEADER.pack(
+        FRAME_MAGIC, PROTOCOL_VERSION, len(tag_bytes), len(body), crc
+    )
     sock.sendall(header + tag_bytes + body)
 
 
@@ -139,7 +168,7 @@ def recv_frame(sock: socket.socket) -> Optional[Tuple[str, Any]]:
     raw = _recv_exact(sock, _HEADER.size)
     if raw is None:
         return None
-    magic, version, tag_len, body_len = _HEADER.unpack(raw)
+    magic, version, tag_len, body_len, crc = _HEADER.unpack(raw)
     if magic != FRAME_MAGIC:
         raise FrameProtocolError(
             f"bad frame magic 0x{magic:02x} (expected 0x{FRAME_MAGIC:02x})"
@@ -160,6 +189,12 @@ def recv_frame(sock: socket.socket) -> Optional[Tuple[str, Any]]:
     body = _recv_exact(sock, body_len) if body_len else b""
     if body_len and body is None:
         raise FrameProtocolError("connection closed before frame body")
+    got_crc = zlib.crc32((tag_raw or b"") + (body or b"")) & 0xFFFFFFFF
+    if got_crc != crc:
+        raise FrameCorruptError(
+            f"frame checksum mismatch (header 0x{crc:08x}, computed "
+            f"0x{got_crc:08x}); frame damaged in transit"
+        )
     try:
         tag = (tag_raw or b"").decode("ascii")
         payload = pickle.loads(body) if body else None

@@ -27,18 +27,61 @@ Routing is decided per job, in three steps:
 
 ``plan()`` previews the same decision for a whole graph without
 executing anything (the CLI's dry-run and the tests use it).
+
+Trust & tail tolerance (PR 9)
+-----------------------------
+Two optional layers ride on top of placement:
+
+* **Hedged dispatch** (:class:`HedgePolicy`) — the paper's tail-latency
+  argument applied to sweeps: once a job has run longer than the hedge
+  deadline (a fixed delay, or a quantile of the latencies this router
+  has observed), a *duplicate* attempt is launched under a mangled id
+  on whichever backend routing picks; the first result wins, the loser
+  is cancelled (best effort) and its late result discarded.  Provenance
+  (``hedged``/``won_by``) is recorded per job and surfaced through
+  :meth:`BackendRouter.routing_report` into ``RunReport``.
+* **Result cross-checking** (:class:`VerifyPolicy`, or per-job via
+  ``Job.verify``) — ``dmr`` dispatches 2 replicas, ``vote`` dispatches
+  3; results are compared by canonical hash and the outcome classified
+  with the masked/SDC/detected taxonomy: replicas all agree → the run's
+  faults (if any) were **masked**; a replica failed outright but the
+  survivors agree → **detected**; replicas return *different answers*
+  → **SDC** caught red-handed, resolved by majority (a tied DMR pair
+  gets one tie-breaking re-execution).  Workers that repeatedly sit on
+  the losing side of votes are quarantined on their backend and listed
+  as suspects.
+
+Both layers submit under mangled ids (``jobid~~h1`` / ``jobid~~r0``)
+so the same backends work unmodified; the router rewrites the winning
+attempt back to the real job id before the engine ever sees it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+import hashlib
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
+from ..cache import canonicalize
 from ..job import Job, JobGraph
-from ..runners import Attempt, Runner
+from ..runners import ATTEMPT_ERROR, Attempt, Runner
 from .base import BackendCapabilities, capabilities_of
 
-__all__ = ["BackendRouter", "RoutingError", "RoutingPolicy"]
+__all__ = [
+    "BackendRouter",
+    "HedgePolicy",
+    "RoutingError",
+    "RoutingPolicy",
+    "VerifyPolicy",
+]
+
+#: Separator between a real job id and a hedge/replica suffix.  Mangled
+#: ids only travel through backends (queues, worker frames, process
+#: names); the engine never sees one.
+_SEP = "~~"
 
 
 class RoutingError(RuntimeError):
@@ -66,21 +109,152 @@ class RoutingPolicy:
             return (len(self.prefer), name)
 
 
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how to launch duplicate attempts against stragglers.
+
+    With ``delay_s`` set, every in-flight job older than that gets one
+    hedge.  Otherwise the deadline adapts: once ``min_observations``
+    successful latencies have been seen, the hedge fires at their
+    ``quantile`` (so only the tail — by construction roughly the
+    slowest ``1 - quantile`` of jobs — ever pays for a duplicate).
+    """
+
+    #: Fixed hedge delay in seconds; ``None`` means derive from the
+    #: observed latency quantile below.
+    delay_s: Optional[float] = None
+    #: Latency quantile that arms the hedge when ``delay_s`` is None.
+    quantile: float = 0.95
+    #: Observed completions required before the quantile is trusted.
+    min_observations: int = 8
+    #: Cap on total hedges launched per router (None: unlimited).
+    max_hedges: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.delay_s is not None and self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+
+
+@dataclass(frozen=True)
+class VerifyPolicy:
+    """Replicated execution with canonical-hash cross-checking."""
+
+    #: ``dmr`` = 2 replicas (detect), ``vote`` = 3 (detect + outvote).
+    mode: str = "dmr"
+    #: Vote losses before a worker name is quarantined on its backend.
+    quarantine_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("dmr", "vote"):
+            raise ValueError(
+                f"verify mode must be 'dmr' or 'vote', got {self.mode!r}"
+            )
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+
+    @property
+    def replicas(self) -> int:
+        return 2 if self.mode == "dmr" else 3
+
+
+def result_hash(result: Any) -> str:
+    """Canonical hash for cross-checking two replicas' results.
+
+    Canonicalization (the cache's) makes the hash independent of dict
+    ordering and NumPy scalar types; results it cannot normalize fall
+    back to ``repr`` — stable for values, unstable only for objects
+    whose repr embeds identity, which verification would then flag as
+    divergent (a loud false alarm beats a silent pass).
+    """
+    try:
+        payload = json.dumps(canonicalize(result), sort_keys=True)
+    except (TypeError, ValueError):
+        payload = repr(result)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class _Flight:
+    """One hedge-eligible in-flight job (primary, maybe one hedge)."""
+
+    job: Job
+    config: Optional[Mapping[str, Any]]
+    timeout_s: Optional[float]
+    hang_timeout_s: Optional[float]
+    telemetry: Optional[Any]
+    submitted: float
+    hedge_id: Optional[str] = None
+
+
+@dataclass
+class _VerifyGroup:
+    """One cross-checked job: N replicas racing toward a vote."""
+
+    job: Job
+    config: Optional[Mapping[str, Any]]
+    timeout_s: Optional[float]
+    hang_timeout_s: Optional[float]
+    telemetry: Optional[Any]
+    policy: VerifyPolicy
+    expected: set = field(default_factory=set)
+    arrived: Dict[str, Attempt] = field(default_factory=dict)
+    tiebreaks: int = 0
+
+
 class BackendRouter:
     """Route each job of a sweep onto one of several named backends."""
+
+    #: Latency observations kept for the adaptive hedge quantile.
+    _LATENCY_WINDOW = 512
+    #: Tie-breaking re-executions allowed per verified job.
+    _MAX_TIEBREAKS = 1
 
     def __init__(
         self,
         backends: Mapping[str, Runner],
         policy: Optional[RoutingPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
+        verify: Optional[VerifyPolicy] = None,
     ) -> None:
         if not backends:
             raise ValueError("router needs at least one backend")
         self.backends: Dict[str, Runner] = dict(backends)
         self.policy = policy if policy is not None else RoutingPolicy()
+        self.hedge = hedge
+        self.verify = verify
         #: Where each in-flight or completed job was placed (job id ->
-        #: backend name); provenance for reports and tests.
+        #: backend name); provenance for reports and tests.  Hedge and
+        #: replica submissions appear under their mangled ids.
         self.placements: Dict[str, str] = {}
+        # -- hedging state --
+        self._flights: Dict[str, _Flight] = {}
+        self._latencies: Deque[float] = deque(maxlen=self._LATENCY_WINDOW)
+        self.hedges_launched = 0
+        self.hedges_won = 0
+        #: job id -> {"won_by": "primary"|"hedge", "backend", "worker"}
+        self.hedged: Dict[str, dict] = {}
+        # -- verification state --
+        self._verifies: Dict[str, _VerifyGroup] = {}
+        #: job id -> {"mode", "outcome", "replicas", "suspects"}
+        self.verified: Dict[str, dict] = {}
+        self.verify_outcomes: Dict[str, int] = {
+            "masked": 0, "sdc": 0, "detected": 0,
+        }
+        self._suspect_strikes: Dict[str, int] = {}
+        #: Worker names quarantined for repeatedly losing votes.
+        self.suspects: List[str] = []
+        # -- shared plumbing --
+        #: Submission ids whose eventual results must be dropped (hedge
+        #: losers whose cancel arrived too late, stale replicas).
+        self._discard: set = set()
+        #: Replica submissions waiting for backend capacity.
+        self._deferred: List[Tuple[Job, Optional[Mapping[str, Any]],
+                                   Optional[float], Optional[float],
+                                   Optional[Any]]] = []
 
     # -- placement ---------------------------------------------------------
 
@@ -154,19 +328,33 @@ class BackendRouter:
         )
 
     def capacity(self) -> int:
-        return sum(b.capacity() for b in self.backends.values())
+        raw = sum(b.capacity() for b in self.backends.values())
+        if self.verify is not None:
+            # Each accepted job fans out into N replica submissions;
+            # advertise the fanned-down capacity so the engine cannot
+            # oversubscribe the member backends.
+            return raw // self.verify.replicas
+        return raw
 
     def active(self) -> int:
-        return sum(b.active() for b in self.backends.values())
+        return sum(b.active() for b in self.backends.values()) + len(
+            self._deferred
+        )
 
-    def submit(
+    def _count(self, name: str) -> None:
+        from ...core.instrument import default_registry
+
+        default_registry().counter(f"exec.router.{name}").inc()
+
+    def _submit_one(
         self,
         job: Job,
         config: Optional[Mapping[str, Any]],
         timeout_s: Optional[float],
-        hang_timeout_s: Optional[float] = None,
-        telemetry: Optional[Any] = None,
-    ) -> None:
+        hang_timeout_s: Optional[float],
+        telemetry: Optional[Any],
+    ) -> str:
+        """Route and submit one (possibly mangled-id) job; backend name."""
         name = self.route(job, hang_timeout_s=hang_timeout_s)
         backend = self.backends[name]
         extras: Dict[str, Any] = {}
@@ -176,13 +364,357 @@ class BackendRouter:
             extras["telemetry"] = telemetry
         backend.submit(job, config, timeout_s, **extras)
         self.placements[job.id] = name
+        return name
+
+    def _verify_mode(self, job: Job) -> Optional[VerifyPolicy]:
+        """The verification policy applying to this job, if any."""
+        per_job = getattr(job, "verify", None)
+        if per_job:
+            if self.verify is not None and self.verify.mode == per_job:
+                return self.verify
+            return VerifyPolicy(mode=per_job)
+        return self.verify
+
+    def submit(
+        self,
+        job: Job,
+        config: Optional[Mapping[str, Any]],
+        timeout_s: Optional[float],
+        hang_timeout_s: Optional[float] = None,
+        telemetry: Optional[Any] = None,
+    ) -> None:
+        verify = self._verify_mode(job)
+        if verify is not None:
+            # Validate placement eagerly so a RoutingError still fails
+            # the submission (replica submits below defer on capacity,
+            # where a raise would have nowhere to go).
+            self.route(job, hang_timeout_s=hang_timeout_s)
+            group = _VerifyGroup(
+                job=job,
+                config=config,
+                timeout_s=timeout_s,
+                hang_timeout_s=hang_timeout_s,
+                telemetry=telemetry,
+                policy=verify,
+            )
+            self._verifies[job.id] = group
+            for i in range(verify.replicas):
+                rid = f"{job.id}{_SEP}r{i}"
+                group.expected.add(rid)
+                self._submit_or_defer(
+                    replace(job, id=rid), config, timeout_s,
+                    hang_timeout_s, telemetry,
+                )
+            return
+        self._submit_one(job, config, timeout_s, hang_timeout_s, telemetry)
+        if self.hedge is not None:
+            self._flights[job.id] = _Flight(
+                job=job,
+                config=config,
+                timeout_s=timeout_s,
+                hang_timeout_s=hang_timeout_s,
+                telemetry=telemetry,
+                submitted=time.perf_counter(),
+            )
+
+    def _submit_or_defer(
+        self,
+        job: Job,
+        config: Optional[Mapping[str, Any]],
+        timeout_s: Optional[float],
+        hang_timeout_s: Optional[float],
+        telemetry: Optional[Any],
+    ) -> None:
+        """Submit a replica now, or park it until capacity frees up."""
+        try:
+            name = self.route(job, hang_timeout_s=hang_timeout_s)
+        except RoutingError:
+            name = None
+        if name is not None and self.backends[name].capacity() > 0:
+            self._submit_one(job, config, timeout_s, hang_timeout_s, telemetry)
+        else:
+            self._deferred.append(
+                (job, config, timeout_s, hang_timeout_s, telemetry)
+            )
+
+    def _flush_deferred(self) -> None:
+        still: List[Tuple] = []
+        for entry in self._deferred:
+            job, config, timeout_s, hang_timeout_s, telemetry = entry
+            try:
+                name = self.route(job, hang_timeout_s=hang_timeout_s)
+            except RoutingError:
+                still.append(entry)
+                continue
+            if self.backends[name].capacity() > 0:
+                self._submit_one(
+                    job, config, timeout_s, hang_timeout_s, telemetry
+                )
+            else:
+                still.append(entry)
+        self._deferred = still
+
+    # -- hedging -----------------------------------------------------------
+
+    def _hedge_delay(self) -> Optional[float]:
+        policy = self.hedge
+        if policy is None:
+            return None
+        if policy.delay_s is not None:
+            return policy.delay_s
+        if len(self._latencies) < policy.min_observations:
+            return None
+        ordered = sorted(self._latencies)
+        index = min(len(ordered) - 1, int(policy.quantile * len(ordered)))
+        return ordered[index]
+
+    def _launch_hedges(self, now: float) -> None:
+        delay = self._hedge_delay()
+        if delay is None:
+            return
+        policy = self.hedge
+        for real_id, flight in list(self._flights.items()):
+            if flight.hedge_id is not None:
+                continue
+            if now - flight.submitted < delay:
+                continue
+            if (
+                policy.max_hedges is not None
+                and self.hedges_launched >= policy.max_hedges
+            ):
+                return
+            hedge_id = f"{real_id}{_SEP}h1"
+            hedge_job = replace(flight.job, id=hedge_id)
+            try:
+                name = self.route(
+                    hedge_job, hang_timeout_s=flight.hang_timeout_s
+                )
+            except RoutingError:  # pragma: no cover - primary was placeable
+                continue
+            if self.backends[name].capacity() <= 0:
+                continue  # never displace first attempts with duplicates
+            self._submit_one(
+                hedge_job, flight.config, flight.timeout_s,
+                flight.hang_timeout_s, flight.telemetry,
+            )
+            flight.hedge_id = hedge_id
+            self.hedges_launched += 1
+            self._count("hedge_launched")
+
+    def _cancel(self, sub_id: str) -> None:
+        """Best-effort cancel of a losing submission; discard stragglers."""
+        name = self.placements.get(sub_id)
+        backend = self.backends.get(name) if name is not None else None
+        cancel = getattr(backend, "cancel", None)
+        if callable(cancel):
+            try:
+                cancel(sub_id)
+            except Exception:  # pragma: no cover - cancel is advisory
+                pass
+        self._discard.add(sub_id)
+
+    def _settle_flight(
+        self, real_id: str, flight: _Flight, attempt: Attempt, suffix: str
+    ) -> Attempt:
+        """First result (primary or hedge) wins; cancel the loser."""
+        del self._flights[real_id]
+        if flight.hedge_id is not None:
+            won_by = "hedge" if suffix else "primary"
+            loser = real_id if suffix else flight.hedge_id
+            self._cancel(loser)
+            if won_by == "hedge":
+                self.hedges_won += 1
+                self._count("hedge_won")
+            self.hedged[real_id] = {
+                "won_by": won_by,
+                "backend": self.placements.get(attempt.job_id),
+                "worker": attempt.worker,
+            }
+        if attempt.ok:
+            self._latencies.append(attempt.duration_s)
+        return replace(attempt, job_id=real_id)
+
+    # -- verification ------------------------------------------------------
+
+    def _strike(self, attempt: Attempt) -> None:
+        """One vote loss against the worker that produced ``attempt``."""
+        name = attempt.worker
+        if not name:
+            return
+        strikes = self._suspect_strikes.get(name, 0) + 1
+        self._suspect_strikes[name] = strikes
+        backend_name = self.placements.get(attempt.job_id)
+        group_policy = self.verify or VerifyPolicy()
+        if strikes >= group_policy.quarantine_after and name not in self.suspects:
+            self.suspects.append(name)
+            self._count("worker_quarantined")
+            backend = self.backends.get(backend_name) if backend_name else None
+            quarantine = getattr(backend, "quarantine_worker", None)
+            if callable(quarantine):
+                try:
+                    quarantine(name)
+                except Exception:  # pragma: no cover - advisory
+                    pass
+
+    def _adjudicate(
+        self, real_id: str, group: _VerifyGroup
+    ) -> Optional[Attempt]:
+        """All replicas arrived: vote.  ``None`` keeps the group open
+        (a tie-breaking re-execution was dispatched)."""
+        attempts = list(group.arrived.values())
+        oks = [a for a in attempts if a.ok]
+        record = {
+            "mode": group.policy.mode,
+            "replicas": len(group.expected),
+            "suspects": [],
+        }
+        if not oks:
+            # Nothing to deliver: every replica failed.  Detected by
+            # construction; the engine's retry policy takes over.
+            worst = attempts[0]
+            self._finish_verify(real_id, record, "detected")
+            return replace(
+                worst,
+                job_id=real_id,
+                error=(
+                    f"verification ({group.policy.mode}): all "
+                    f"{len(attempts)} replicas failed; first: {worst.error}"
+                ),
+            )
+        hashes = [result_hash(a.result) for a in oks]
+        tally: Dict[str, int] = {}
+        for h in hashes:
+            tally[h] = tally.get(h, 0) + 1
+        majority_hash, majority_count = max(
+            tally.items(), key=lambda kv: (kv[1], kv[0])
+        )
+        winner = next(
+            a for a, h in zip(oks, hashes) if h == majority_hash
+        )
+        if len(tally) == 1:
+            # Agreement.  With a failed replica in the mix the fault was
+            # *detected* (and outlived); with none, whatever faults
+            # occurred were masked by replication.
+            outcome = "masked" if len(oks) == len(attempts) else "detected"
+            self._finish_verify(real_id, record, outcome)
+            return replace(winner, job_id=real_id)
+        if majority_count * 2 <= len(oks):
+            # Dead tie (DMR 1-vs-1, or a 3-way vote split): one
+            # tie-breaking re-execution, then vote again.
+            if group.tiebreaks < self._MAX_TIEBREAKS:
+                group.tiebreaks += 1
+                tb_id = f"{real_id}{_SEP}tb{group.tiebreaks}"
+                group.expected.add(tb_id)
+                self._count("verify_tiebreak")
+                self._submit_or_defer(
+                    replace(group.job, id=tb_id), group.config,
+                    group.timeout_s, group.hang_timeout_s, group.telemetry,
+                )
+                return None
+            # Still no majority after re-execution: refuse to guess.
+            for a in oks:
+                self._strike(a)
+            record["suspects"] = sorted(
+                {a.worker for a in oks if a.worker}
+            )
+            self._finish_verify(real_id, record, "sdc")
+            return replace(
+                winner,
+                job_id=real_id,
+                status=ATTEMPT_ERROR,
+                result=None,
+                error=(
+                    f"verification ({group.policy.mode}): replicas "
+                    f"disagree with no majority ({len(tally)} distinct "
+                    "results); refusing to pick one"
+                ),
+            )
+        # A strict majority: silent corruption caught and outvoted.
+        losers = [a for a, h in zip(oks, hashes) if h != majority_hash]
+        for a in losers:
+            self._strike(a)
+        record["suspects"] = sorted({a.worker for a in losers if a.worker})
+        self._finish_verify(real_id, record, "sdc")
+        return replace(winner, job_id=real_id)
+
+    def _finish_verify(self, real_id: str, record: dict, outcome: str) -> None:
+        record["outcome"] = outcome
+        self.verified[real_id] = record
+        self.verify_outcomes[outcome] += 1
+        self._count(f"verify_{outcome}")
+        del self._verifies[real_id]
+
+    # -- poll: the demux ---------------------------------------------------
+
+    @staticmethod
+    def _demangle(sub_id: str) -> Tuple[str, Optional[str]]:
+        if _SEP in sub_id:
+            real, _, suffix = sub_id.rpartition(_SEP)
+            return real, suffix
+        return sub_id, None
 
     def poll(self) -> List[Attempt]:
-        done: List[Attempt] = []
+        self._flush_deferred()
+        incoming: List[Attempt] = []
         for backend in self.backends.values():
-            done.extend(backend.poll())
+            incoming.extend(backend.poll())
+        done: List[Attempt] = []
+        for attempt in incoming:
+            sub_id = attempt.job_id
+            if sub_id in self._discard:
+                self._discard.discard(sub_id)
+                continue
+            real_id, suffix = self._demangle(sub_id)
+            group = self._verifies.get(real_id)
+            if group is not None and sub_id in group.expected:
+                group.arrived[sub_id] = attempt
+                if len(group.arrived) == len(group.expected):
+                    final = self._adjudicate(real_id, group)
+                    if final is not None:
+                        done.append(final)
+                continue
+            flight = self._flights.get(real_id)
+            if flight is not None and (
+                suffix is None or sub_id == flight.hedge_id
+            ):
+                done.append(
+                    self._settle_flight(real_id, flight, attempt, suffix)
+                )
+                continue
+            # Unhedged, unverified, or a straggler whose flight settled
+            # between cancel and arrival.
+            if suffix is None:
+                if attempt.ok:
+                    self._latencies.append(attempt.duration_s)
+                done.append(attempt)
+        if self.hedge is not None:
+            self._launch_hedges(time.perf_counter())
         return done
+
+    # -- provenance --------------------------------------------------------
+
+    def routing_report(self) -> dict:
+        """Provenance for ``RunReport``: placements, hedges, verification."""
+        report: dict = {"placements": dict(self.placements)}
+        if self.hedge is not None or self.hedges_launched:
+            report["hedges"] = {
+                "launched": self.hedges_launched,
+                "won": self.hedges_won,
+                "by_job": dict(self.hedged),
+            }
+        if self.verify is not None or self.verified:
+            report["verification"] = {
+                "mode": self.verify.mode if self.verify else "per-job",
+                "outcomes": dict(self.verify_outcomes),
+                "by_job": dict(self.verified),
+                "suspects": list(self.suspects),
+            }
+        return report
 
     def shutdown(self) -> None:
         for backend in self.backends.values():
             backend.shutdown()
+        self._flights.clear()
+        self._verifies.clear()
+        self._deferred.clear()
+        self._discard.clear()

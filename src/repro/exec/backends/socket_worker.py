@@ -41,6 +41,32 @@ processes — the loopback mode benchmarks and CI use) or externally:
 ``python -m repro workers --connect HOST:PORT`` from another shell,
 container, or an SSH tunnel (``ssh -L``) on another machine sharing the
 result-cache/checkpoint filesystem.
+
+Trust & tail tolerance (PR 9):
+
+* **Job-id-tagged attempt frames** — ``hb``/``tel``/``res`` bodies
+  carry the job id they belong to; the coordinator discards any frame
+  whose id does not match the worker's current assignment (counted
+  ``exec.socket.mismatched_frame``).  A duplicated or replayed frame
+  can therefore never complete the *wrong* job.
+* **Duplicate-job dedup** — a worker that receives the same job id
+  twice (a duplicated ``job`` frame) replays its stored result instead
+  of executing twice.
+* **Transport chaos** — both sides accept a
+  :class:`~repro.exec.backends.chaos.ChaosConfig` (workers also inherit
+  one via ``REPRO_CHAOS_NET``) and wrap their socket in the seeded
+  fault injector; every injected fault must resolve to a retried
+  attempt, never a wrong answer.
+* **Per-worker circuit breaker** — a worker *name* that repeatedly
+  fails mid-job trips a breaker: its re-registrations are refused for a
+  cooldown, so one flapping host cannot keep eating jobs.
+* **Respawn** — with ``respawn=True`` the coordinator replaces a dead
+  locally-spawned worker (bounded by ``max_respawns``), which is what
+  keeps a chaos campaign from bleeding out its whole roster.
+* **Fail-fast stranding** — when every locally-spawned worker is dead,
+  none will return (no respawn), and no external workers are expected,
+  queued jobs fail *immediately* with a clear error instead of waiting
+  out ``no_worker_timeout_s``.
 """
 
 from __future__ import annotations
@@ -66,6 +92,7 @@ from ..runners import (
 )
 from . import frames as _frames
 from .base import BackendCapabilities
+from .chaos import ChaosConfig, chaos_from_env, wrap_socket
 
 __all__ = [
     "SocketWorkerBackend",
@@ -78,11 +105,17 @@ __all__ = [
 # Worker side
 # --------------------------------------------------------------------------
 
+#: Recently finished (job id -> pre-pickled res body) pairs kept per
+#: worker so a duplicated ``job`` frame replays the stored result
+#: instead of executing twice.
+_DEDUP_KEEP = 8
+
 
 def worker_main(
     address: tuple[str, int],
     name: Optional[str] = None,
     connect_timeout_s: float = 10.0,
+    chaos: Optional[ChaosConfig] = None,
 ) -> int:
     """One worker process: register, pull jobs, stream frames, repeat.
 
@@ -92,15 +125,24 @@ def worker_main(
     ``error`` and the worker lives on, while a job that kills the
     process entirely is observed by the coordinator as a lost
     connection and classified ``crash`` there.
+
+    ``chaos`` (or the ``REPRO_CHAOS_NET`` env spec) wraps this side's
+    sends in the seeded fault injector — the worker then *misdelivers*
+    its own frames, which is the campaign's worker-to-coordinator
+    direction.
     """
     sock = socket.create_connection(address, timeout=connect_timeout_s)
     sock.settimeout(None)
+    if chaos is None:
+        chaos = chaos_from_env()
+    sock = wrap_socket(sock, chaos, salt=os.getpid())
     me = name or f"worker-{socket.gethostname()}-{os.getpid()}"
     _frames.send_frame(
         sock,
         _frames.TAG_HELLO,
         {"name": me, "pid": os.getpid(), "host": socket.gethostname()},
     )
+    done: "dict[str, bytes]" = {}  # job id -> replayable res body
     try:
         while True:
             frame = _frames.recv_frame(sock)
@@ -111,7 +153,16 @@ def worker_main(
                 return 0
             if tag != _frames.TAG_JOB:
                 continue  # graceful unknown-tag skip
-            _execute_one(sock, payload)
+            job_id = str(payload.get("job_id", ""))
+            if job_id in done:
+                # Duplicated job frame (chaos or a confused retransmit):
+                # replay the stored result, never execute twice.
+                _frames.send_frame_bytes(sock, _frames.TAG_RESULT, done[job_id])
+                continue
+            body = _execute_one(sock, payload)
+            done[job_id] = body
+            while len(done) > _DEDUP_KEEP:
+                done.pop(next(iter(done)))
     finally:
         try:
             sock.close()
@@ -119,14 +170,21 @@ def worker_main(
             pass
 
 
-def _execute_one(sock: socket.socket, spec: Mapping[str, Any]) -> None:
-    """Run one job spec, streaming hb/tel frames, ending with res."""
+def _execute_one(sock: socket.socket, spec: Mapping[str, Any]) -> bytes:
+    """Run one job spec, streaming hb/tel frames, ending with res.
+
+    Returns the pickled res body so the caller can replay it if the
+    coordinator (or the chaos layer) ever re-delivers the same job.
+    """
     # Import from the module, not the package: ``repro.exec`` re-exports
     # ``heartbeat`` the *function*, shadowing the submodule attribute.
     from ..heartbeat import clear_emitter, install_emitter
 
+    job_id = spec.get("job_id")
     install_emitter(
-        lambda progress: _frames.send_frame(sock, _frames.TAG_HEARTBEAT, progress)
+        lambda progress: _frames.send_frame(
+            sock, _frames.TAG_HEARTBEAT, (job_id, progress)
+        )
     )
     tel_scope = None
     if spec.get("telemetry") is not None:
@@ -135,37 +193,43 @@ def _execute_one(sock: socket.socket, spec: Mapping[str, Any]) -> None:
         tel_scope = _obs_telemetry.begin_worker(spec["telemetry"])
     try:
         result = invoke(spec["fn"], spec.get("config"))
-        payload = (ATTEMPT_OK, result, None)
+        payload = (job_id, ATTEMPT_OK, result, None)
     except BaseException as exc:  # noqa: BLE001 - a job error is data
-        payload = (ATTEMPT_ERROR, None, f"{type(exc).__name__}: {exc}")
+        payload = (job_id, ATTEMPT_ERROR, None, f"{type(exc).__name__}: {exc}")
     finally:
         clear_emitter()
         if tel_scope is not None:
             try:
-                _frames.send_frame(sock, _frames.TAG_TELEMETRY, tel_scope.finish())
+                _frames.send_frame(
+                    sock, _frames.TAG_TELEMETRY, (job_id, tel_scope.finish())
+                )
             except Exception:  # telemetry must never sink the result
                 pass
     try:
-        _frames.send_frame(sock, _frames.TAG_RESULT, payload)
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        _frames.send_frame(
-            sock,
-            _frames.TAG_RESULT,
+        body = pickle.dumps(
             (
+                job_id,
                 ATTEMPT_ERROR,
                 None,
                 f"result not transferable: {type(exc).__name__}: {exc}",
             ),
+            protocol=pickle.HIGHEST_PROTOCOL,
         )
+    _frames.send_frame_bytes(sock, _frames.TAG_RESULT, body)
+    return body
 
 
 def spawn_local_worker(
-    address: tuple[str, int], name: Optional[str] = None
+    address: tuple[str, int],
+    name: Optional[str] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> mp.Process:
     """Fork one loopback worker process attached to ``address``."""
     process = mp.get_context().Process(
         target=worker_main,
-        args=(address, name),
+        args=(address, name, 10.0, chaos),
         name=name or "repro-socket-worker",
         daemon=True,
     )
@@ -176,6 +240,12 @@ def spawn_local_worker(
 # --------------------------------------------------------------------------
 # Coordinator side
 # --------------------------------------------------------------------------
+
+#: Frames whose bodies are job-id-tagged and must match the worker's
+#: current assignment to be believed.
+_ATTEMPT_TAGS = frozenset(
+    {_frames.TAG_HEARTBEAT, _frames.TAG_TELEMETRY, _frames.TAG_RESULT}
+)
 
 
 @dataclass
@@ -192,6 +262,9 @@ class _Pending:
     beats: int = 0
     progress: Optional[float] = None
     telemetry: Optional[dict] = None
+    #: Cancelled by the router (a hedge lost the race): the eventual
+    #: result is discarded instead of reported.
+    abandoned: bool = False
 
 
 @dataclass
@@ -229,12 +302,40 @@ class SocketWorkerBackend:
         max_queue: int = 100_000,
         no_worker_timeout_s: float = 30.0,
         metrics: Optional[Any] = None,
+        chaos: Optional[ChaosConfig] = None,
+        worker_chaos: Optional[ChaosConfig] = None,
+        respawn: bool = False,
+        max_respawns: int = 64,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
     ) -> None:
         if spawn < 0:
             raise ValueError(f"spawn must be non-negative, got {spawn}")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
         self.no_worker_timeout_s = no_worker_timeout_s
         self.max_queue = max_queue
         self._metrics = metrics
+        #: Coordinator-side send chaos (job/bye frames toward workers).
+        self.chaos = chaos
+        #: Chaos config handed to locally spawned workers (their sends).
+        self.worker_chaos = worker_chaos
+        #: Replace dead locally-spawned workers (bounded) so a chaotic
+        #: transport cannot bleed the roster to zero.
+        self.respawn = respawn
+        self.max_respawns = max_respawns
+        self.respawns = 0
+        #: Circuit breaker: a worker name with ``breaker_threshold``
+        #: mid-job failures trips open for ``breaker_cooldown_s`` —
+        #: its re-registrations are refused while open.
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self._breaker_failures: Dict[str, int] = {}
+        self._breaker_open_until: Dict[str, float] = {}
+        self.breaker_rejections = 0
+        #: Worker names quarantined by the verification layer — their
+        #: registrations are refused permanently for this backend's life.
+        self._quarantined: set[str] = set()
         self._lock = threading.RLock()
         self._queue: Deque[_Pending] = deque()
         self._queued_ids: set[str] = set()
@@ -245,8 +346,10 @@ class SocketWorkerBackend:
         self._next_wid = 0
         self._closing = False
         self.unknown_skipped = 0
+        self.mismatched_frames = 0
         self.workers_joined = 0
         self.workers_lost = 0
+        self._spawn_requested = spawn
         self._no_worker_since: Optional[float] = time.perf_counter()
 
         self._listener = socket.create_server((host, port), backlog=16)
@@ -257,7 +360,9 @@ class SocketWorkerBackend:
         self._accept_thread.start()
         for i in range(spawn):
             self._spawned.append(
-                spawn_local_worker(self.address, name=f"loopback-{i}")
+                spawn_local_worker(
+                    self.address, name=f"loopback-{i}", chaos=worker_chaos
+                )
             )
 
     # -- Backend protocol --------------------------------------------------
@@ -321,6 +426,52 @@ class SocketWorkerBackend:
             self._queue.append(pending)
             self._queued_ids.add(job.id)
             self._pump()
+
+    def cancel(self, job_id: str) -> bool:
+        """Best-effort cancel: a hedge lost its race, stop wasting work.
+
+        A still-queued job is removed outright (True).  A job already
+        running on a worker is *abandoned* cooperatively: the worker
+        finishes it, but the result is discarded on arrival and never
+        reported (True).  Unknown ids return False.
+        """
+        with self._lock:
+            if job_id in self._queued_ids:
+                for pending in list(self._queue):
+                    if pending.job.id == job_id:
+                        self._queue.remove(pending)
+                        break
+                self._queued_ids.discard(job_id)
+                self._count("cancelled")
+                return True
+            worker = self._assigned.get(job_id)
+            if worker is not None and worker.current is not None:
+                worker.current.abandoned = True
+                self._count("abandoned")
+                return True
+            return False
+
+    def quarantine_worker(self, name: str) -> bool:
+        """Ban a suspect worker (verification vote-loser) by name.
+
+        Its current registration is dropped (any in-flight job comes
+        back as a crash attempt, so the engine re-runs it elsewhere) and
+        future registrations under that name are refused.
+        """
+        with self._lock:
+            self._quarantined.add(name)
+            victim = next(
+                (w for w in self._workers.values() if w.name == name), None
+            )
+        if victim is not None:
+            self._drop(victim, "worker quarantined by result verification")
+            self._count("quarantined")
+            return True
+        return False
+
+    def quarantined_workers(self) -> list[str]:
+        with self._lock:
+            return sorted(self._quarantined)
 
     def poll(self) -> List[Attempt]:
         now = time.perf_counter()
@@ -408,6 +559,15 @@ class SocketWorkerBackend:
                 "workers_joined": self.workers_joined,
                 "workers_lost": self.workers_lost,
                 "unknown_skipped": self.unknown_skipped,
+                "mismatched_frames": self.mismatched_frames,
+                "respawns": self.respawns,
+                "breaker_rejections": self.breaker_rejections,
+                "breaker_open": sorted(
+                    name
+                    for name, until in self._breaker_open_until.items()
+                    if time.perf_counter() < until
+                ),
+                "quarantined": sorted(self._quarantined),
             }
 
     def spawned_processes(self) -> List[mp.Process]:
@@ -433,6 +593,30 @@ class SocketWorkerBackend:
         registry = self._metrics if self._metrics is not None else default_registry()
         registry.counter(f"exec.socket.{name}").inc()
 
+    def _admit(self, name: str) -> bool:
+        """May a worker with this name (re-)register? (lock held)"""
+        if name in self._quarantined:
+            return False
+        open_until = self._breaker_open_until.get(name)
+        if open_until is not None:
+            if time.perf_counter() < open_until:
+                return False
+            # Cooldown elapsed: half-open — admit, but one more failure
+            # re-trips immediately (failure count stays at threshold-1).
+            del self._breaker_open_until[name]
+            self._breaker_failures[name] = self.breaker_threshold - 1
+        return True
+
+    def _record_failure(self, name: str) -> None:
+        """One mid-job failure against the breaker (lock held)."""
+        count = self._breaker_failures.get(name, 0) + 1
+        self._breaker_failures[name] = count
+        if count >= self.breaker_threshold:
+            self._breaker_open_until[name] = (
+                time.perf_counter() + self.breaker_cooldown_s
+            )
+            self._count("breaker_tripped")
+
     def _accept_loop(self) -> None:
         while True:
             try:
@@ -457,15 +641,29 @@ class SocketWorkerBackend:
             conn.close()
             return
         hello = frame[1] if isinstance(frame[1], dict) else {}
+        name = str(hello.get("name", ""))
         with self._lock:
             if self._closing:
+                conn.close()
+                return
+            if name and not self._admit(name):
+                # Quarantined or breaker-open: refuse the registration.
+                self.breaker_rejections += 1
+                self._count("breaker_rejected")
+                try:
+                    _frames.send_frame(conn, _frames.TAG_BYE)
+                except OSError:
+                    pass
                 conn.close()
                 return
             self._next_wid += 1
             worker = _WorkerConn(
                 wid=self._next_wid,
-                sock=conn,
-                name=str(hello.get("name", f"worker-{self._next_wid}")),
+                # Coordinator-side sends toward this worker go through
+                # the fault injector too (salted per connection, so two
+                # workers see different schedules from the same seed).
+                sock=wrap_socket(conn, self.chaos, salt=self._next_wid),
+                name=name or f"worker-{self._next_wid}",
                 pid=hello.get("pid"),
                 host=str(hello.get("host", "?")),
             )
@@ -490,6 +688,16 @@ class SocketWorkerBackend:
                     if worker.dropped:
                         return
                     pending = worker.current
+                    # Attempt-stream bodies are job-id-tagged (v2): a
+                    # frame whose id does not match this worker's
+                    # current assignment is a duplicate/replay and is
+                    # discarded — it can never complete the wrong job.
+                    if tag in _ATTEMPT_TAGS:
+                        job_id, payload = self._untag(payload)
+                        if pending is None or job_id != pending.job.id:
+                            self.mismatched_frames += 1
+                            self._count("mismatched_frame")
+                            continue
                     if tag == _frames.TAG_HEARTBEAT and pending is not None:
                         pending.beats += 1
                         pending.progress = payload
@@ -498,10 +706,14 @@ class SocketWorkerBackend:
                         pending.telemetry = payload
                     elif tag == _frames.TAG_RESULT and pending is not None:
                         status, result, err = payload
-                        self._done.append(
-                            self._attempt(pending, status, result, err, now)
-                        )
-                        del self._assigned[pending.job.id]
+                        if not pending.abandoned:
+                            self._done.append(
+                                self._attempt(
+                                    pending, status, result, err, now,
+                                    worker.name,
+                                )
+                            )
+                        self._assigned.pop(pending.job.id, None)
                         worker.current = None
                         worker.jobs_done += 1
                         self._pump()
@@ -514,10 +726,27 @@ class SocketWorkerBackend:
         except _frames.FrameVersionError as exc:
             error = str(exc)
             self._count("version_mismatch")
+        except _frames.FrameCorruptError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            self._count("corrupt_frame")
         except (_frames.FrameError, OSError) as exc:
             error = f"{type(exc).__name__}: {exc}"
         finally:
             self._drop(worker, error)
+
+    @staticmethod
+    def _untag(payload: Any) -> tuple[Optional[str], Any]:
+        """Split a job-id-tagged body into ``(job_id, rest)``.
+
+        ``hb``/``tel`` bodies are ``(job_id, value)`` pairs; ``res``
+        bodies are ``(job_id, status, result, error)``.  A malformed
+        body yields ``(None, ...)`` and is counted as mismatched.
+        """
+        if not isinstance(payload, tuple) or len(payload) < 2:
+            return None, payload
+        job_id = payload[0]
+        rest = payload[1] if len(payload) == 2 else tuple(payload[1:])
+        return (job_id if isinstance(job_id, str) else None), rest
 
     def _attempt(
         self,
@@ -526,6 +755,7 @@ class SocketWorkerBackend:
         result: Any,
         error: Optional[str],
         now: float,
+        worker: Optional[str] = None,
     ) -> Attempt:
         return Attempt(
             pending.job.id,
@@ -536,6 +766,7 @@ class SocketWorkerBackend:
             progress=pending.progress,
             heartbeats=pending.beats,
             telemetry=pending.telemetry,
+            worker=worker,
         )
 
     def _pump(self) -> None:
@@ -575,9 +806,13 @@ class SocketWorkerBackend:
         """Kill an overdue/hung worker and record its attempt (lock held)."""
         pending = worker.current
         if pending is not None:
-            self._done.append(self._attempt(pending, status, None, error, now))
+            if not pending.abandoned:
+                self._done.append(
+                    self._attempt(pending, status, None, error, now, worker.name)
+                )
             self._assigned.pop(pending.job.id, None)
             worker.current = None
+            self._record_failure(worker.name)
         self._bury(worker)
         self._count("worker_evicted")
 
@@ -591,17 +826,20 @@ class SocketWorkerBackend:
                 # Crashed mid-job: ship the attempt with its heartbeat
                 # high-water mark so the engine can grant a free,
                 # checkpoint-backed resume.
-                self._done.append(
-                    self._attempt(
-                        pending,
-                        ATTEMPT_CRASH,
-                        None,
-                        f"worker {worker.name} lost mid-job: {error}",
-                        time.perf_counter(),
+                if not pending.abandoned:
+                    self._done.append(
+                        self._attempt(
+                            pending,
+                            ATTEMPT_CRASH,
+                            None,
+                            f"worker {worker.name} lost mid-job: {error}",
+                            time.perf_counter(),
+                            worker.name,
+                        )
                     )
-                )
                 self._assigned.pop(pending.job.id, None)
                 worker.current = None
+                self._record_failure(worker.name)
             self._bury(worker)
 
     def _bury(self, worker: _WorkerConn) -> None:
@@ -620,28 +858,70 @@ class SocketWorkerBackend:
             for process in self._spawned:
                 if process.pid == worker.pid and process.is_alive():
                     process.terminate()
+        if (
+            self.respawn
+            and not self._closing
+            and worker.pid is not None
+            and any(p.pid == worker.pid for p in self._spawned)
+            and self.respawns < self.max_respawns
+        ):
+            # A locally-spawned worker died under us: replace it so a
+            # chaotic transport cannot bleed the roster to zero.
+            self.respawns += 1
+            self._count("worker_respawned")
+            self._spawned.append(
+                spawn_local_worker(
+                    self.address,
+                    name=f"respawn-{self.respawns}",
+                    chaos=self.worker_chaos,
+                )
+            )
         if not self._workers and self._no_worker_since is None:
             self._no_worker_since = time.perf_counter()
 
+    def _all_spawned_dead(self) -> bool:
+        """Every locally-forked worker process has exited (lock held)."""
+        return self._spawn_requested > 0 and not any(
+            p.is_alive() for p in self._spawned
+        )
+
     def _fail_stranded(self, now: float) -> None:
-        """Queued jobs with no workers for too long become crash attempts
-        (lock held) — the engine retries or records FAILED; it never
-        spins forever against an empty roster."""
+        """Queued jobs with no workers become crash attempts (lock held)
+        — the engine retries or records FAILED; it never spins forever
+        against an empty roster.
+
+        Two triggers: the slow one (no worker of any kind attached for
+        ``no_worker_timeout_s``) and the fast one — every spawned
+        worker process is *dead*, no respawn budget remains, and no
+        external worker is attached, so nothing will ever pull these
+        jobs.  The fast path is what turns "the last socket worker died
+        mid-sweep" from a silent half-minute hang into an immediate,
+        clearly-attributed failure."""
         if not self._queue or self._workers:
             return
-        since = self._no_worker_since
-        if since is None or now - since < self.no_worker_timeout_s:
-            return
+        stranded_now = (
+            self._all_spawned_dead()
+            and (not self.respawn or self.respawns >= self.max_respawns)
+        )
+        if stranded_now:
+            reason = (
+                "last socket worker died mid-sweep: all "
+                f"{self._spawn_requested} spawned worker processes have "
+                "exited, no respawn budget remains, and no external "
+                "workers are attached"
+            )
+            self._count("stranded_fail_fast")
+        else:
+            since = self._no_worker_since
+            if since is None or now - since < self.no_worker_timeout_s:
+                return
+            reason = (
+                f"no socket workers attached for "
+                f"{self.no_worker_timeout_s:.0f}s"
+            )
         while self._queue:
             pending = self._queue.popleft()
             self._queued_ids.discard(pending.job.id)
             self._done.append(
-                Attempt(
-                    pending.job.id,
-                    ATTEMPT_CRASH,
-                    None,
-                    f"no socket workers attached for "
-                    f"{self.no_worker_timeout_s:.0f}s",
-                    0.0,
-                )
+                Attempt(pending.job.id, ATTEMPT_CRASH, None, reason, 0.0)
             )

@@ -100,6 +100,12 @@ class RunReport:
     #: Name of the backend that executed the run (capabilities name,
     #: e.g. ``serial``/``pool``/``socket``/``array``/``router``).
     backend: Optional[str] = None
+    #: Routing provenance from a router-backed run (placements, hedge
+    #: wins, verification outcomes, suspect workers) — see
+    #: :meth:`repro.exec.backends.router.BackendRouter.routing_report`.
+    #: Excluded from :meth:`digest`: *where* and *how many times* a job
+    #: ran must never change what it computed.
+    routing: Optional[dict] = None
 
     def __getitem__(self, job_id: str) -> JobRecord:
         return self.records[job_id]
@@ -152,20 +158,37 @@ class RunReport:
                 parts.append(
                     f"{self.cache_stats['corrupt']} corrupt quarantined"
                 )
+        if self.routing:
+            hedges = self.routing.get("hedges") or {}
+            if hedges.get("launched"):
+                parts.append(
+                    f"{hedges['launched']} hedged"
+                    f" ({hedges.get('won', 0)} won)"
+                )
+            verification = self.routing.get("verification") or {}
+            outcomes = verification.get("outcomes") or {}
+            if outcomes.get("sdc"):
+                parts.append(f"{outcomes['sdc']} SDC outvoted")
+            suspects = verification.get("suspects") or []
+            if suspects:
+                parts.append("suspects: " + ",".join(suspects))
         parts.append(f"{self.wall_time_s:.2f}s")
         return ", ".join(parts)
 
     def digest(self) -> str:
         """Backend-independent sha256 over everything deterministic.
 
-        Hashes each record's (status, canonical result, attempt count)
-        plus — when telemetry was captured — the merged metrics state,
-        per-job wall-clock-free span-stream digests, and the merged
-        profile.  Wall times, error strings (they embed durations and
-        worker names), and cache provenance are excluded, so the same
-        seeded sweep must produce the same digest on the serial,
-        process-pool, and socket backends; the backend-equivalence
-        suite and the scale-out benchmark pin exactly that.
+        Hashes each record's (status, canonical result) plus — when
+        telemetry was captured — the merged metrics state, per-job
+        wall-clock-free span-stream digests, and the merged profile.
+        Wall times, error strings (they embed durations and worker
+        names), attempt counts (retries are a property of the *run's
+        luck* — an injected transport fault costs a retry, never a
+        different answer), routing provenance, and cache provenance are
+        all excluded, so the same seeded sweep must produce the same
+        digest on the serial, process-pool, and socket backends — with
+        or without transport chaos; the backend-equivalence suite and
+        the chaos campaign pin exactly that.
         """
         import hashlib
         import json
@@ -182,7 +205,6 @@ class RunReport:
             body["records"][job_id] = {
                 "status": record.status.value,
                 "result": result,
-                "attempts": record.attempts,
             }
         if self.telemetry is not None:
             from ..obs.spans import span_stream_digest
@@ -539,6 +561,9 @@ class ExecutionEngine:
             cache_stats=self.cache.stats() if self.cache is not None else {},
             backend=capabilities_of(self.runner).name,
         )
+        routing_report = getattr(self.runner, "routing_report", None)
+        if callable(routing_report):
+            report.routing = routing_report()
         if self.telemetry is not None:
             # Merge once, after the run, in sorted job order — never at
             # absorb time, which follows nondeterministic pool timing.

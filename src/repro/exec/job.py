@@ -97,12 +97,23 @@ class Job:
     seed_key: Optional[str] = None
     checkpoint_key: Optional[str] = None
     locality: Tuple[str, ...] = ()
+    #: Opt-in result cross-checking for this job: ``"dmr"`` runs two
+    #: replicas and compares canonical result hashes, ``"vote"`` runs
+    #: three and takes the majority.  Honored by the
+    #: :class:`~repro.exec.backends.router.BackendRouter`; like
+    #: ``locality``, a scheduling concern excluded from cache keys.
+    verify: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.id or not isinstance(self.id, str):
             raise ValueError(f"job id must be a non-empty string, got {self.id!r}")
         if not callable(self.fn):
             raise TypeError(f"job {self.id}: fn must be callable")
+        if self.verify is not None and self.verify not in ("dmr", "vote"):
+            raise ValueError(
+                f"job {self.id}: verify must be 'dmr' or 'vote', "
+                f"got {self.verify!r}"
+            )
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"job {self.id}: timeout_s must be positive")
         if self.retries is not None and self.retries < 0:

@@ -94,6 +94,10 @@ class Attempt:
     #: Telemetry payload from the worker's ("tel", ...) frame (None when
     #: telemetry was not requested or the worker died before sending it).
     telemetry: Optional[dict] = None
+    #: Name of the worker that executed this attempt, for backends that
+    #: know one (the socket backend).  Hedging/verification provenance
+    #: and quarantine decisions key off this.
+    worker: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -372,6 +376,19 @@ class ProcessPoolRunner:
             timeout_s,
             hang_timeout_s=hang_timeout_s,
         )
+
+    def cancel(self, job_id: str) -> bool:
+        """Terminate a running attempt without recording it (hedge loser).
+
+        Returns True when the job was running and its process was
+        killed; the attempt simply never appears in ``poll()``.
+        """
+        run = self._running.pop(job_id, None)
+        if run is None:
+            return False
+        self._kill(run)
+        run.conn.close()
+        return True
 
     def _attempt(
         self,

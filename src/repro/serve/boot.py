@@ -38,6 +38,7 @@ def build_app(
     retry_after_s: float = 1.0,
     job_timeout_s: Optional[float] = None,
     metrics: Optional[MetricsRegistry] = None,
+    hedge_ms: Optional[float] = None,
 ) -> ExperimentServer:
     """Build a ready-to-start server from CLI-shaped options.
 
@@ -46,11 +47,24 @@ def build_app(
     ephemeral per-process directory is used, which still coalesces and
     serves repeats hot for the server's lifetime but persists nothing.
     ``max_inflight`` defaults to the backend parallelism (``jobs``).
+
+    ``hedge_ms`` arms tail-latency hedging: the backend is wrapped in a
+    single-member :class:`~repro.exec.backends.router.BackendRouter`
+    whose :class:`~repro.exec.backends.router.HedgePolicy` duplicates
+    any request still running after that many milliseconds onto another
+    worker and takes the first result.
     """
     registry = metrics if metrics is not None else MetricsRegistry(enabled=True)
     root = cache_dir or tempfile.mkdtemp(prefix="repro-serve-cache-")
     cache = ResultCache(root, metrics=registry)
     runner = make_backend(backend, jobs=jobs, cache_dir=root, metrics=registry)
+    if hedge_ms is not None and hedge_ms > 0:
+        from ..exec.backends import BackendRouter, HedgePolicy
+
+        runner = BackendRouter(
+            {backend: runner},
+            hedge=HedgePolicy(delay_s=hedge_ms / 1e3),
+        )
     return ExperimentServer(
         runner=runner,
         cache=cache,

@@ -73,6 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-job timeout passed to the backend",
     )
     parser.add_argument(
+        "--hedge-ms", type=float, default=None, metavar="MS",
+        help=(
+            "tail-latency hedging: duplicate any request still running "
+            "after MS milliseconds onto another worker and take the "
+            "first result (default: off)"
+        ),
+    )
+    parser.add_argument(
         "--selftest", action="store_true",
         help="boot on an ephemeral port, verify coalescing + drain, exit",
     )
@@ -97,6 +105,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         max_inflight=args.max_inflight,
         linger_ms=args.linger_ms,
         job_timeout_s=args.timeout,
+        hedge_ms=args.hedge_ms,
     )
 
     async def _serve() -> None:

@@ -12,18 +12,59 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
+import time
 from typing import Any, Optional
 
 __all__ = ["ServeClient", "arequest"]
 
 
 class ServeClient:
-    """Blocking JSON client for one server address."""
+    """Blocking JSON client for one server address.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+    With ``busy_retries > 0`` the client is a *polite* one: a 429 from
+    admission control is retried, honoring the server's ``Retry-After``
+    hint with capped exponential backoff plus jitter (so a thundering
+    herd of shed clients does not return in lockstep and re-shed
+    itself).  The default is 0 — callers that want to *observe* shedding
+    (tests, the load benchmark's open loop) see every 429.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 60.0,
+        busy_retries: int = 0,
+        backoff_cap_s: float = 10.0,
+        jitter: float = 0.25,
+    ) -> None:
+        if busy_retries < 0:
+            raise ValueError("busy_retries must be non-negative")
+        if backoff_cap_s <= 0:
+            raise ValueError("backoff_cap_s must be positive")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.busy_retries = busy_retries
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter = jitter
+        #: 429 responses absorbed by backoff (observability for tests).
+        self.busy_retried = 0
+
+    def _busy_delay(self, attempt: int, retry_after: Optional[str]) -> float:
+        """Backoff before retry ``attempt``: server hint, doubled per
+        attempt, capped, jittered."""
+        try:
+            hint = max(0.0, float(retry_after)) if retry_after else 0.1
+        except ValueError:
+            hint = 0.1
+        delay = min(self.backoff_cap_s, hint * (2 ** (attempt - 1)))
+        if self.jitter:
+            delay *= 1.0 + random.uniform(-self.jitter, self.jitter)
+        return max(0.0, delay)
 
     def request(
         self, method: str, path: str, payload: Optional[dict] = None
@@ -31,8 +72,21 @@ class ServeClient:
         """One exchange; returns ``(status, headers, parsed body)``.
 
         JSON responses are parsed; anything else (the Prometheus text
-        of ``/metrics``) comes back as ``str``.
+        of ``/metrics``) comes back as ``str``.  429 responses are
+        retried up to ``busy_retries`` times (see class docstring).
         """
+        attempt = 0
+        while True:
+            status, headers, parsed = self._request_once(method, path, payload)
+            if status != 429 or attempt >= self.busy_retries:
+                return status, headers, parsed
+            attempt += 1
+            self.busy_retried += 1
+            time.sleep(self._busy_delay(attempt, headers.get("retry-after")))
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict, Any]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )

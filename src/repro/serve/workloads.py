@@ -18,12 +18,17 @@ Catalog:
 * ``experiment`` — one registry experiment (E01–E22) by id.
 * ``spin`` — a calibrated busy-wait that returns after ``duration_s``;
   exists so tests and the load harness can shape service time exactly.
+* ``straggler`` — a spin whose duration models a *transient* straggler
+  (slow disk, noisy neighbor): a deterministic subset of tags stall on
+  their first execution only, so a hedged duplicate deterministically
+  finishes fast.  The hedging benchmark's workload.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from typing import Any, Callable, Mapping, Optional
 
@@ -38,6 +43,7 @@ __all__ = [
     "run_cluster",
     "run_experiment",
     "run_spin",
+    "run_straggler",
 ]
 
 
@@ -95,10 +101,60 @@ def run_spin(config: dict) -> dict:
     return {"duration_s": duration_s, "tag": config.get("tag", "")}
 
 
+def _spin_for(duration_s: float) -> None:
+    deadline = time.perf_counter() + duration_s
+    while time.perf_counter() < deadline:
+        time.sleep(min(0.005, max(0.0, deadline - time.perf_counter())))
+
+
+def run_straggler(config: dict) -> dict:
+    """A spin with deterministic, *transient* stragglers (hedging bait).
+
+    Whether a tag is a straggler is decided by its SHA-256 (stable
+    across processes — never Python's salted ``hash``): one in
+    ``slow_every`` tags takes ``slow_s`` instead of ``base_s``.  The
+    stall is transient: when ``scratch_dir`` is set, the first
+    execution drops a marker there before stalling, and any *second*
+    execution of the same tag (a hedged duplicate) sees the marker and
+    runs fast — modeling the stall living in the unlucky placement
+    (noisy neighbor, cold cache), not in the work.  The returned dict
+    is identical either way, so hedging changes latency, never answers.
+    """
+    base_s = float(config.get("base_s", 0.02))
+    slow_s = float(config.get("slow_s", 0.4))
+    slow_every = int(config.get("slow_every", 10))
+    tag = str(config.get("tag", ""))
+    scratch_dir = config.get("scratch_dir")
+    for name, value in (("base_s", base_s), ("slow_s", slow_s)):
+        if value < 0 or value > 60:
+            raise ValueError(f"{name} must be in [0, 60]")
+    digest = hashlib.sha256(tag.encode()).hexdigest()
+    straggles = slow_every > 0 and int(digest, 16) % slow_every == 0
+    duration_s = base_s
+    if straggles:
+        marker = None
+        if scratch_dir:
+            marker = os.path.join(scratch_dir, f"straggle-{digest[:16]}")
+        if marker is not None and os.path.exists(marker):
+            pass  # second placement: the transient stall is gone
+        else:
+            if marker is not None:
+                try:
+                    os.makedirs(scratch_dir, exist_ok=True)
+                    with open(marker, "w", encoding="utf-8"):
+                        pass
+                except OSError:
+                    pass
+            duration_s = slow_s
+    _spin_for(duration_s)
+    return {"tag": tag, "straggler": straggles}
+
+
 WORKLOADS: dict[str, Callable[[dict], dict]] = {
     "cluster": run_cluster,
     "experiment": run_experiment,
     "spin": run_spin,
+    "straggler": run_straggler,
 }
 
 

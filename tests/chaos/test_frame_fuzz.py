@@ -1,0 +1,146 @@
+"""Frame-decoder fuzz: hostile bytes must yield typed errors, never
+crashes or hangs.
+
+``recv_frame`` sits directly on the network; anything a damaged or
+malicious peer can put on the wire must surface as a
+:class:`FrameError` subclass (or a clean EOF ``None``) — no unhandled
+``struct``/``pickle``/``Unicode`` exceptions, no wedged reads.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.exec.backends.frames import (
+    FRAME_MAGIC,
+    MAX_BODY_BYTES,
+    PROTOCOL_VERSION,
+    FrameError,
+    FrameProtocolError,
+    FrameVersionError,
+    recv_frame,
+)
+
+_HEADER = struct.Struct("!BBBII")
+
+
+def _frame(
+    tag: str = "res",
+    payload=("job-1", "ok", {"x": 1}, None),
+    magic: int = FRAME_MAGIC,
+    version: int = PROTOCOL_VERSION,
+    body_len: int | None = None,
+    crc: int | None = None,
+) -> bytes:
+    """A frame, well-formed by default, malformable field by field."""
+    tag_bytes = tag.encode("ascii")
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if crc is None:
+        crc = zlib.crc32(tag_bytes + body) & 0xFFFFFFFF
+    header = _HEADER.pack(
+        magic, version, len(tag_bytes),
+        len(body) if body_len is None else body_len, crc,
+    )
+    return header + tag_bytes + body
+
+
+def _feed(blob: bytes) -> list:
+    """Write ``blob`` to a real socket, read frames until EOF."""
+    a, b = socket.socketpair()
+    b.settimeout(5.0)  # a hang is a failure, not a wait
+    try:
+        a.sendall(blob)
+        a.close()
+        frames = []
+        while True:
+            frame = recv_frame(b)
+            if frame is None:
+                return frames
+            frames.append(frame)
+    finally:
+        b.close()
+
+
+def test_wellformed_frame_roundtrips():
+    assert _feed(_frame()) == [("res", ("job-1", "ok", {"x": 1}, None))]
+
+
+def test_random_garbage_never_escapes_the_frame_error_type():
+    rng = random.Random(0xC0FFEE)
+    outcomes = {"frames": 0, "errors": 0}
+    for _ in range(200):
+        blob = rng.randbytes(rng.randrange(0, 96))
+        try:
+            _feed(blob)
+            outcomes["frames"] += 1
+        except FrameError:
+            outcomes["errors"] += 1
+        # Anything else (struct.error, UnicodeDecodeError, pickle
+        # exceptions, socket.timeout) propagates and fails the test.
+    assert outcomes["errors"] > 0  # the corpus did exercise the checks
+
+
+def test_every_truncation_point_fails_loud_or_clean():
+    raw = _frame()
+    for cut in range(len(raw)):
+        if cut == 0:
+            assert _feed(b"") == []  # clean EOF at a frame boundary
+            continue
+        with pytest.raises(FrameError):
+            _feed(raw[:cut])
+
+
+def test_single_bit_flips_are_always_detected():
+    raw = _frame()
+    rng = random.Random(20140215)
+    for _ in range(150):
+        victim = rng.randrange(len(raw) * 8)
+        damaged = bytearray(raw)
+        damaged[victim // 8] ^= 1 << (victim % 8)
+        with pytest.raises(FrameError):
+            _feed(bytes(damaged))
+
+
+def test_oversized_body_length_is_rejected_before_allocation():
+    with pytest.raises(FrameProtocolError, match="cap"):
+        _feed(_frame(body_len=MAX_BODY_BYTES + 1))
+
+
+def test_bad_magic_is_rejected():
+    with pytest.raises(FrameProtocolError, match="magic"):
+        _feed(_frame(magic=0x00))
+
+
+def test_version_skew_is_a_distinct_loud_error():
+    with pytest.raises(FrameVersionError, match="upgrade"):
+        _feed(_frame(version=PROTOCOL_VERSION + 1))
+
+
+def test_unpicklable_body_with_valid_checksum_is_typed():
+    # A peer can checksum garbage correctly; decode still must not
+    # leak a raw pickle exception.
+    tag = b"res"
+    body = b"certainly not a pickle"
+    header = _HEADER.pack(
+        FRAME_MAGIC, PROTOCOL_VERSION, len(tag), len(body),
+        zlib.crc32(tag + body) & 0xFFFFFFFF,
+    )
+    with pytest.raises(FrameProtocolError, match="undecodable"):
+        _feed(header + tag + body)
+
+
+def test_non_ascii_tag_is_typed():
+    tag = b"\xff\xfe"
+    body = pickle.dumps(None)
+    header = _HEADER.pack(
+        FRAME_MAGIC, PROTOCOL_VERSION, len(tag), len(body),
+        zlib.crc32(tag + body) & 0xFFFFFFFF,
+    )
+    with pytest.raises(FrameProtocolError):
+        _feed(header + tag + body)

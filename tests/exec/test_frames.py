@@ -9,12 +9,22 @@ import multiprocessing as mp
 import socket
 import struct
 import time
+import zlib
 
 import pytest
 
 from repro.exec.backends import frames
 from repro.exec.job import Job
 from repro.exec.runners import ProcessPoolRunner, _Running
+
+_HEADER = struct.Struct("!BBBII")
+
+
+def _pack_header(version, tag, body_len, crc=None):
+    """Hand-pack a v2 header; crc defaults to the tag-only checksum."""
+    if crc is None:
+        crc = zlib.crc32(tag) & 0xFFFFFFFF
+    return _HEADER.pack(frames.FRAME_MAGIC, version, len(tag), body_len, crc)
 
 
 @pytest.fixture()
@@ -52,9 +62,7 @@ class TestFrameRoundtrip:
 
     def test_mid_frame_eof_is_loud(self, pair):
         a, b = pair
-        header = struct.Struct("!BBBI").pack(
-            frames.FRAME_MAGIC, frames.PROTOCOL_VERSION, 2, 100
-        )
+        header = _pack_header(frames.PROTOCOL_VERSION, b"hb", 100)
         a.sendall(header + b"hb")  # promises a 100-byte body, sends none
         a.close()
         with pytest.raises(frames.FrameProtocolError):
@@ -64,9 +72,7 @@ class TestFrameRoundtrip:
 class TestFrameVersioning:
     def test_version_mismatch_fails_loud(self, pair):
         a, b = pair
-        header = struct.Struct("!BBBI").pack(
-            frames.FRAME_MAGIC, frames.PROTOCOL_VERSION + 1, 2, 0
-        )
+        header = _pack_header(frames.PROTOCOL_VERSION + 1, b"hb", 0)
         a.sendall(header + b"hb")
         with pytest.raises(frames.FrameVersionError) as excinfo:
             frames.recv_frame(b)
@@ -76,18 +82,32 @@ class TestFrameVersioning:
 
     def test_bad_magic_fails_loud(self, pair):
         a, b = pair
-        a.sendall(b"\x00" * 7)
+        a.sendall(b"\x00" * _HEADER.size)
         with pytest.raises(frames.FrameProtocolError):
             frames.recv_frame(b)
 
     def test_absurd_body_length_rejected(self, pair):
         a, b = pair
-        header = struct.Struct("!BBBI").pack(
-            frames.FRAME_MAGIC, frames.PROTOCOL_VERSION, 2,
-            frames.MAX_BODY_BYTES + 1,
+        header = _pack_header(
+            frames.PROTOCOL_VERSION, b"hb", frames.MAX_BODY_BYTES + 1
         )
         a.sendall(header + b"hb")
         with pytest.raises(frames.FrameProtocolError):
+            frames.recv_frame(b)
+
+    def test_corrupt_body_detected_by_checksum(self, pair):
+        # A flipped bit in the body must raise FrameCorruptError — wire
+        # rot becomes a detected fault, never silently unpickled data.
+        a, b = pair
+        body = b"\x80\x04N."  # pickled None
+        crc = zlib.crc32(b"hb" + body) & 0xFFFFFFFF
+        corrupted = bytearray(body)
+        corrupted[0] ^= 0x01
+        a.sendall(
+            _pack_header(frames.PROTOCOL_VERSION, b"hb", len(body), crc)
+            + b"hb" + bytes(corrupted)
+        )
+        with pytest.raises(frames.FrameCorruptError):
             frames.recv_frame(b)
 
     def test_unknown_tag_is_returned_not_fatal(self, pair):

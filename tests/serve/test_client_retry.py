@@ -1,0 +1,122 @@
+"""ServeClient 429 politeness: honor Retry-After, back off, give up."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+
+class _BusyThenOk(BaseHTTPRequestHandler):
+    """Sheds the first ``busy_left`` requests with 429 + Retry-After."""
+
+    busy_left = 0
+    retry_after = "0"
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        cls = type(self)
+        if cls.busy_left > 0:
+            cls.busy_left -= 1
+            self._reply(429, {"error": "busy"}, retry_after=cls.retry_after)
+        else:
+            self._reply(200, {"ok": True})
+
+    def _reply(self, status, payload, retry_after=None):
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        if retry_after is not None:
+            self.send_header("Retry-After", retry_after)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # quiet
+        pass
+
+
+@pytest.fixture
+def busy_server():
+    class Handler(_BusyThenOk):
+        busy_left = 2
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address, Handler
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def test_polite_client_rides_out_shedding(busy_server):
+    (host, port), handler = busy_server
+    client = ServeClient(host, port, busy_retries=5, timeout_s=10.0)
+    status, _, body = client.request("GET", "/anything")
+    assert status == 200 and body == {"ok": True}
+    assert client.busy_retried == 2  # both 429s absorbed, not surfaced
+
+
+def test_default_client_surfaces_the_429(busy_server):
+    (host, port), handler = busy_server
+    client = ServeClient(host, port, timeout_s=10.0)  # busy_retries=0
+    status, headers, _ = client.request("GET", "/anything")
+    assert status == 429
+    assert "retry-after" in headers
+    assert client.busy_retried == 0
+    assert handler.busy_left == 1  # exactly one request went out
+
+
+def test_retries_exhausted_returns_the_last_429():
+    class Handler(_BusyThenOk):
+        busy_left = 99
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address
+        client = ServeClient(host, port, busy_retries=2, timeout_s=10.0)
+        status, _, _ = client.request("GET", "/x")
+        assert status == 429
+        assert client.busy_retried == 2
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def test_backoff_honors_hint_doubles_and_caps():
+    client = ServeClient(
+        "h", 1, busy_retries=5, backoff_cap_s=5.0, jitter=0.0
+    )
+    assert client._busy_delay(1, "2") == pytest.approx(2.0)  # noqa: SLF001
+    assert client._busy_delay(2, "2") == pytest.approx(4.0)  # noqa: SLF001
+    assert client._busy_delay(3, "2") == pytest.approx(5.0)  # capped
+    # A garbage or missing hint falls back to a small base, not a crash.
+    assert client._busy_delay(1, "soon") == pytest.approx(0.1)  # noqa: SLF001
+    assert client._busy_delay(1, None) == pytest.approx(0.1)  # noqa: SLF001
+
+
+def test_backoff_jitter_stays_bounded():
+    client = ServeClient(
+        "h", 1, busy_retries=1, backoff_cap_s=60.0, jitter=0.25
+    )
+    for _ in range(100):
+        delay = client._busy_delay(1, "4")  # noqa: SLF001
+        assert 3.0 <= delay <= 5.0  # 4s +/- 25%
+
+
+def test_client_parameter_validation():
+    with pytest.raises(ValueError, match="busy_retries"):
+        ServeClient("h", 1, busy_retries=-1)
+    with pytest.raises(ValueError, match="backoff_cap_s"):
+        ServeClient("h", 1, backoff_cap_s=0.0)
+    with pytest.raises(ValueError, match="jitter"):
+        ServeClient("h", 1, jitter=2.0)
