@@ -54,7 +54,7 @@ analysis
     Experiment registry, table renderers, statistics helpers.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from . import (  # noqa: E402 - __version__ must exist before subpackages load
     accelerator,

@@ -35,6 +35,8 @@ Subcommands::
     python -m repro workers ...        # attach socket sweep workers
     python -m repro serve ...          # long-running experiment service
                                        # (see repro.serve.cli)
+    python -m repro scenarios ...      # scenario library + championships
+                                       # (see repro.scenarios.cli)
 """
 
 from __future__ import annotations
@@ -114,6 +116,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        from .scenarios.cli import main as scenarios_main
+
+        return scenarios_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -195,12 +195,18 @@ class MeshNoC:
         injection_times: Optional[np.ndarray] = None,
         max_cycles: int = 200_000,
         sim: Optional[Simulator] = None,
+        route_fn: Optional[Callable[[Coord, Coord], list[Coord]]] = None,
     ) -> NoCResult:
         """Inject packets (``pairs[i]`` at ``injection_times[i]``, default
         all at cycle 0 back-to-back per source) and run to drain (or to
         the ``max_cycles`` horizon; undelivered packets count as
-        dropped).  Pass ``sim`` to share a caller-owned kernel."""
+        dropped).  Pass ``sim`` to share a caller-owned kernel, and
+        ``route_fn`` to swap the routing policy (default
+        :func:`xy_route`; any ``(src, dst) -> [coords]`` path on mesh
+        links works — the NoC routing championship plugs in here)."""
         cfg = self.config
+        if route_fn is None:
+            route_fn = xy_route
         if injection_times is None:
             injection_arr = np.zeros(len(pairs))
         else:
@@ -216,7 +222,7 @@ class MeshNoC:
                 raise ValueError("self-loop packet")
             route = route_cache.get((src, dst))
             if route is None:
-                route = route_cache[(src, dst)] = xy_route(src, dst)
+                route = route_cache[(src, dst)] = route_fn(src, dst)
             packets.append(
                 Packet(src=src, dst=dst, injected_at=float(t), route=route)
             )

@@ -144,6 +144,27 @@ def xy_route(src: Tuple[int, int], dst: Tuple[int, int]) -> list[Tuple[int, int]
     return path
 
 
+def yx_route(src: Tuple[int, int], dst: Tuple[int, int]) -> list[Tuple[int, int]]:
+    """Dimension-ordered (Y then X) route on a 2-D mesh.
+
+    The transpose of :func:`xy_route` — equally deadlock-free, but it
+    loads the mesh's links differently, which is what makes it a
+    distinct baseline in the NoC routing championship.
+    """
+    x, y = src
+    dx, dy = dst
+    path = [(x, y)]
+    step = 1 if dy > y else -1
+    while y != dy:
+        y += step
+        path.append((x, y))
+    step = 1 if dx > x else -1
+    while x != dx:
+        x += step
+        path.append((x, y))
+    return path
+
+
 def topology_summary(g: nx.Graph) -> dict[str, float]:
     """One-line comparison record for a topology."""
     return {

@@ -1,0 +1,45 @@
+"""Standard scenario library + championship harness.
+
+``repro.scenarios`` is the gem5-resources idea for this codebase: named,
+versioned workload bundles (``scenarios.get("noc-mesh-8x8@1")``) that
+make simulations reproducible *by name* — through the Python API, the
+exec engine (:func:`replay_scenario` is a picklable job entry point),
+the serve API (``GET /v1/scenarios``, the ``scenario`` workload), and
+the CLI (``python -m repro scenarios``).  On top, a ChampSim-style
+championship harness freezes each scenario's trace and scores competing
+policies on a deterministic leaderboard (:mod:`.championship`).
+"""
+
+from .championship import (
+    COMPETITIONS,
+    Championship,
+    leaderboard_digest,
+    run_all,
+    run_championship,
+)
+from .library import (
+    Scenario,
+    build_trace,
+    get,
+    list_ids,
+    register,
+    replay_scenario,
+    run,
+    write_trace_file,
+)
+
+__all__ = [
+    "COMPETITIONS",
+    "Championship",
+    "Scenario",
+    "build_trace",
+    "get",
+    "leaderboard_digest",
+    "list_ids",
+    "register",
+    "replay_scenario",
+    "run",
+    "run_all",
+    "run_championship",
+    "write_trace_file",
+]

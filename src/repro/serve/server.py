@@ -259,6 +259,8 @@ class ExperimentServer:
             if method != "POST":
                 raise _HttpError(405, "POST only")
             return await self._post_experiments(query, raw)
+        if path == "/v1/scenarios" and method == "GET":
+            return self._get_scenarios()
         raise _HttpError(404, f"no route for {method} {path}")
 
     def _health(self) -> dict:
@@ -270,6 +272,23 @@ class ExperimentServer:
             "live_design_points": self.coalescer.live_entries(),
             "runs": len(self.coalescer.runs),
         }
+
+    def _get_scenarios(self) -> tuple[int, dict, bytes]:
+        """The standard scenario library, resolvable over HTTP.
+
+        Clients submit any listed id as ``{"workload": "scenario",
+        "params": {"scenario": "<id>"}}`` — the same bundles, same
+        digests, by name.
+        """
+        from ..scenarios import get as get_scenario
+        from ..scenarios import list_ids
+
+        headers, body = self._json_body({
+            "scenarios": [
+                get_scenario(sid).to_dict() for sid in list_ids()
+            ],
+        })
+        return 200, headers, body
 
     def _get_run(self, run_id: str) -> tuple[int, dict, bytes]:
         record = self.coalescer.get(run_id)

@@ -22,6 +22,10 @@ Catalog:
   (slow disk, noisy neighbor): a deterministic subset of tags stall on
   their first execution only, so a hedged duplicate deterministically
   finishes fast.  The hedging benchmark's workload.
+* ``scenario`` — one named scenario from the standard library
+  (:mod:`repro.scenarios`): generate its pinned trace and replay it,
+  returning the deterministic digest — reproducible-by-name
+  simulation over HTTP.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ __all__ = [
     "design_point",
     "run_cluster",
     "run_experiment",
+    "run_scenario",
     "run_spin",
     "run_straggler",
 ]
@@ -150,9 +155,17 @@ def run_straggler(config: dict) -> dict:
     return {"tag": tag, "straggler": straggles}
 
 
+def run_scenario(config: dict) -> dict:
+    """One standard-library scenario by id (see ``repro.scenarios``)."""
+    from ..scenarios import replay_scenario
+
+    return replay_scenario(config)
+
+
 WORKLOADS: dict[str, Callable[[dict], dict]] = {
     "cluster": run_cluster,
     "experiment": run_experiment,
+    "scenario": run_scenario,
     "spin": run_spin,
     "straggler": run_straggler,
 }
@@ -203,6 +216,24 @@ def design_point(
         if eid not in REGISTRY.ids():
             raise ValueError(
                 f"unknown experiment id {eid!r}; have {REGISTRY.ids()}"
+            )
+    if workload == "scenario":
+        # Same policy for scenario ids: resolve at submission time so a
+        # typo is a 400, not a failed backend job.  Resolution also
+        # pins a bare name to its latest version *now*, making the
+        # design id (and the cache key behind it) version-exact.
+        from ..scenarios import get as get_scenario
+
+        try:
+            config["scenario"] = get_scenario(
+                str(config.get("scenario", ""))
+            ).id
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+        fastpath = config.get("fastpath")
+        if fastpath not in (None, "off", "auto", "on"):
+            raise ValueError(
+                f"fastpath must be off/auto/on, got {fastpath!r}"
             )
     body = json.dumps(config, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(f"{workload}:{body}".encode()).hexdigest()[:16]

@@ -1,0 +1,573 @@
+"""Trace replay: feed recorded streams into the existing simulators.
+
+The second input mode for every simulator family: instead of drawing a
+synthetic workload at run time, a *sink* replays a trace
+(:mod:`repro.traces.format`) through the kernel.  Replay goes in
+through :meth:`Simulator.schedule_batch`, and each sink's per-record
+handler carries a macro batch twin (:func:`repro.core.macro.as_macro`),
+so the PR8 fast-path drains apply to replayed traffic exactly as they
+do to synthetic traffic — ``REPRO_FASTPATH=off|auto|on`` produce
+byte-identical results, which the golden suite pins per scenario.
+
+Sinks (:data:`SINKS`):
+
+* ``queue``   — request records into an FCFS multi-server queue with a
+  pluggable, deterministic scheduling policy (the scheduling
+  championship's plug point).
+* ``noc``     — request records as node-to-node packets through
+  :class:`repro.interconnect.noc.MeshNoC` with a pluggable route
+  function (the routing championship's plug point).
+* ``memory``  — memory records through a
+  :class:`repro.memory.hierarchy.MemoryHierarchy` level walk, one
+  kernel event per access.
+* ``wear``    — memory-record write streams against a
+  :class:`repro.memory.wear.WearLeveler` (the wear championship's plug
+  point).
+* ``cpu``     — instruction records through a small in-order scoreboard
+  (load-use hazards, branch bubbles).
+
+Every sink returns a :class:`ReplayResult` whose :meth:`digest` covers
+only deterministic simulation outputs — latencies, counts, cycle
+totals, wear profiles, interval statistics — never wall-clock, so the
+same trace + sink + params digests identically across fastpath modes
+and across serial/pool/socket exec backends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.events import Simulator
+from ..core.macro import as_macro
+from ..exec.cache import canonicalize
+from .format import (
+    KIND_INSTRUCTION,
+    KIND_MEMORY,
+    KIND_REQUEST,
+    TraceFormatError,
+    TraceReader,
+    kind_name,
+)
+from .stats import IntervalStats
+
+__all__ = [
+    "QUEUE_POLICIES",
+    "ReplayResult",
+    "SINKS",
+    "replay",
+]
+
+
+@dataclass
+class ReplayResult:
+    """Deterministic outcome of one trace replay."""
+
+    sink: str
+    records: int
+    outputs: Dict[str, Any]
+    stats: Dict[str, Any] = field(default_factory=dict)
+    fastpath: str = "off"
+
+    def digest(self) -> str:
+        """sha256 over the canonical deterministic payload.
+
+        ``fastpath`` is deliberately excluded: the digest is the
+        cross-mode, cross-backend parity check, so only simulation
+        outputs may contribute.
+        """
+        payload = canonicalize(
+            {
+                "sink": self.sink,
+                "records": self.records,
+                "outputs": self.outputs,
+                "stats": self.stats,
+            }
+        )
+        blob = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sink": self.sink,
+            "records": self.records,
+            "outputs": canonicalize(self.outputs),
+            "stats": canonicalize(self.stats),
+            "fastpath": self.fastpath,
+            "digest": self.digest(),
+        }
+
+
+def _gather(
+    source: Union[str, bytes, BinaryIO, Iterable[Tuple[int, np.ndarray]]],
+    want_kind: int,
+    stats: Optional[IntervalStats],
+) -> List[np.ndarray]:
+    """Collect all blocks of ``want_kind``, feeding stats along the way.
+
+    Blocks of other kinds are counted into stats but not replayed —
+    a mixed trace replays per-sink, each sink taking its lane.
+    """
+    if isinstance(source, (str, bytes, bytearray)) or hasattr(source, "read"):
+        with TraceReader(source) as reader:  # type: ignore[arg-type]
+            blocks = [(k, a) for k, a in reader.blocks()]
+    else:
+        blocks = [(k, a) for k, a in source]
+    out: List[np.ndarray] = []
+    for kind, arr in blocks:
+        if stats is not None:
+            stats.feed(kind, arr)
+        if kind == want_kind:
+            out.append(arr)
+    if not out:
+        raise TraceFormatError(
+            f"trace has no {kind_name(want_kind)} records to replay"
+        )
+    return out
+
+
+def _quantiles(values: np.ndarray) -> Dict[str, float]:
+    return {
+        "mean": float(np.mean(values)),
+        "p50": float(np.percentile(values, 50)),
+        "p99": float(np.percentile(values, 99)),
+        "max": float(np.max(values)),
+    }
+
+
+# -- queue sink ------------------------------------------------------------
+
+#: Deterministic scheduling policies for the queue sink.  All are pure
+#: functions of replay state (no RNG at replay time), so every policy
+#: digests stably — the property the scheduling championship scores on.
+QUEUE_POLICIES = ("rr", "target", "client", "jsq")
+
+
+def _replay_queue(
+    blocks: List[np.ndarray],
+    sim: Simulator,
+    n_servers: int = 8,
+    policy: str = "rr",
+) -> Dict[str, Any]:
+    if policy not in QUEUE_POLICIES:
+        raise ValueError(
+            f"unknown queue policy {policy!r}; choose from "
+            f"{', '.join(QUEUE_POLICIES)}"
+        )
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    arr = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+    n = len(arr)
+    times = arr["ts"].tolist()
+    service = (arr["service_us"] * 1e-6).tolist()
+    targets = arr["target"].tolist()
+    clients = arr["client"].tolist()
+
+    free_at = [0.0] * n_servers
+    qlen = [0] * n_servers
+    served = [0] * n_servers
+    latencies = np.empty(n)
+    rr = 0
+    busy = 0.0
+    # Only join-shortest-queue consults live queue depths, so only it
+    # needs completion events; the static policies replay as one pure
+    # arrival train the macro twin drains in a single call.
+    need_qlen = policy == "jsq"
+
+    def complete(s: Simulator, server: int) -> None:
+        qlen[server] -= 1
+
+    def arrive(s: Simulator, i: int) -> None:
+        nonlocal rr, busy
+        t = s.now
+        if policy == "rr":
+            srv = rr
+            rr = (rr + 1) % n_servers
+        elif policy == "target":
+            srv = targets[i] % n_servers
+        elif policy == "client":
+            srv = clients[i] % n_servers
+        else:  # jsq
+            srv = qlen.index(min(qlen))
+        f = free_at[srv]
+        finish = (t if t > f else f) + service[i]
+        free_at[srv] = finish
+        served[srv] += 1
+        busy += service[i]
+        latencies[i] = finish - t
+        if need_qlen:
+            qlen[srv] += 1
+            s.schedule_at(finish, complete, srv, cancellable=False)
+
+    def arrive_batch(s: Simulator, run) -> int:
+        # Macro twin (contract: repro.core.macro).  Static policies
+        # schedule nothing, so the hazard horizon stays infinite and
+        # the whole train drains here; jsq stops at the earliest
+        # completion it scheduled (ties safe: pre-scheduled arrivals
+        # carry older seqs than any completion scheduled in-batch).
+        nonlocal rr, busy
+        horizon = float("inf")
+        k = 0
+        for t, i in run:
+            if t > horizon:
+                break
+            if policy == "rr":
+                srv = rr
+                rr = (rr + 1) % n_servers
+            elif policy == "target":
+                srv = targets[i] % n_servers
+            elif policy == "client":
+                srv = clients[i] % n_servers
+            else:
+                srv = qlen.index(min(qlen))
+            f = free_at[srv]
+            finish = (t if t > f else f) + service[i]
+            free_at[srv] = finish
+            served[srv] += 1
+            busy += service[i]
+            latencies[i] = finish - t
+            if need_qlen:
+                qlen[srv] += 1
+                s.schedule_at(finish, complete, srv, cancellable=False)
+                if finish < horizon:
+                    horizon = finish
+            k += 1
+        return k
+
+    as_macro(arrive, arrive_batch)
+    sim.schedule_batch(arr["ts"], arrive, payloads=range(n))
+    sim.run()
+
+    makespan = max(max(free_at), times[-1]) if n else 0.0
+    return {
+        "policy": policy,
+        "n_servers": n_servers,
+        "requests": n,
+        "latency_s": _quantiles(latencies),
+        "served_per_server": served,
+        "utilization": (busy / (n_servers * makespan)) if makespan else 0.0,
+    }
+
+
+# -- noc sink --------------------------------------------------------------
+
+
+def _replay_noc(
+    blocks: List[np.ndarray],
+    sim: Simulator,
+    width: int = 8,
+    height: int = 8,
+    routing: str = "xy",
+    max_cycles: int = 500_000,
+) -> Dict[str, Any]:
+    from ..interconnect.noc import MeshNoC, NoCConfig
+    from ..interconnect.topology import xy_route, yx_route
+
+    routes = {"xy": xy_route, "yx": yx_route}
+    try:
+        route_fn = routes[routing]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing {routing!r}; choose from "
+            f"{', '.join(sorted(routes))}"
+        ) from None
+    arr = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+    nodes = width * height
+    src_ids = arr["client"] % nodes
+    dst_ids = arr["target"] % nodes
+    same = src_ids == dst_ids
+    dst_ids = np.where(same, (dst_ids + 1) % nodes, dst_ids)
+    pairs = [
+        ((int(s) % width, int(s) // width),
+         (int(d) % width, int(d) // width))
+        for s, d in zip(src_ids, dst_ids)
+    ]
+    # Trace timestamps are seconds; the NoC clock is cycles.  Scale so
+    # the whole trace spans a workload-proportional cycle window and
+    # quantize to integers (the model aligns to cycle boundaries).
+    ts = arr["ts"]
+    span = float(ts[-1] - ts[0]) or 1.0
+    cycles = np.floor((ts - ts[0]) / span * (len(arr) * 2.0))
+    noc = MeshNoC(NoCConfig(width=width, height=height))
+    result = noc.run(
+        pairs,
+        injection_times=cycles,
+        max_cycles=max_cycles,
+        sim=sim,
+        route_fn=route_fn,
+    )
+    delivered = result.delivered
+    lat = (
+        np.array([p.latency for p in delivered])
+        if delivered
+        else np.zeros(1)
+    )
+    return {
+        "routing": routing,
+        "mesh": [width, height],
+        "packets": len(pairs),
+        "delivered": len(delivered),
+        "dropped": len(pairs) - len(delivered),
+        "latency_cycles": _quantiles(lat),
+        "mean_hops": float(np.mean([p.hops for p in delivered]))
+        if delivered
+        else 0.0,
+        "total_cycles": float(result.cycles),
+    }
+
+
+# -- memory sink -----------------------------------------------------------
+
+
+def _replay_memory(
+    blocks: List[np.ndarray],
+    sim: Simulator,
+) -> Dict[str, Any]:
+    from ..memory.hierarchy import MemoryHierarchy, default_hierarchy
+
+    specs = default_hierarchy()
+    hierarchy = MemoryHierarchy(specs)
+    hierarchy.reset()
+    caches = hierarchy.caches
+    latencies = [s.latency_cycles for s in specs]
+    mem_latency = hierarchy.memory.latency_cycles
+    n_levels = len(specs)
+
+    arr = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+    n = len(arr)
+    addrs = arr["addr"].astype(np.int64).tolist()
+    writes = arr["op"].tolist()
+
+    level_hits = [0] * n_levels
+    state = {"cycles": 0, "memory_accesses": 0}
+
+    def access(s: Simulator, i: int) -> None:
+        addr = addrs[i]
+        w = bool(writes[i])
+        cycles = state["cycles"]
+        for lvl in range(n_levels):
+            cycles += latencies[lvl]
+            if caches[lvl].access(addr, is_write=w):
+                level_hits[lvl] += 1
+                break
+        else:
+            state["memory_accesses"] += 1
+            cycles += mem_latency
+        state["cycles"] = cycles
+
+    def access_batch(s: Simulator, run) -> int:
+        # Macro twin: the level walk schedules nothing, so the hazard
+        # horizon is infinite and the whole reference train drains in
+        # one call — this is where replay throughput comes from.
+        cycles = state["cycles"]
+        mem = state["memory_accesses"]
+        k = 0
+        for _t, i in run:
+            addr = addrs[i]
+            w = bool(writes[i])
+            for lvl in range(n_levels):
+                cycles += latencies[lvl]
+                if caches[lvl].access(addr, is_write=w):
+                    level_hits[lvl] += 1
+                    break
+            else:
+                mem += 1
+                cycles += mem_latency
+            k += 1
+        state["cycles"] = cycles
+        state["memory_accesses"] = mem
+        return k
+
+    as_macro(access, access_batch)
+    sim.schedule_batch(arr["ts"], access, payloads=range(n))
+    sim.run()
+
+    return {
+        "accesses": n,
+        "level_hits": {
+            specs[i].name: level_hits[i] for i in range(n_levels)
+        },
+        "memory_accesses": state["memory_accesses"],
+        "total_cycles": state["cycles"],
+        "amat_cycles": state["cycles"] / n if n else 0.0,
+    }
+
+
+# -- wear sink -------------------------------------------------------------
+
+
+def _replay_wear(
+    blocks: List[np.ndarray],
+    sim: Simulator,
+    leveler: str = "none",
+    n_lines: int = 4096,
+    endurance: float = 1e6,
+    line: int = 64,
+    gap_interval: int = 100,
+) -> Dict[str, Any]:
+    from ..memory.wear import (
+        NoWearLeveling,
+        StartGapWearLeveling,
+        TableWearLeveling,
+    )
+
+    levelers = {
+        "none": lambda: NoWearLeveling(n_lines),
+        "start-gap": lambda: StartGapWearLeveling(
+            n_lines, gap_interval=gap_interval
+        ),
+        "table": lambda: TableWearLeveling(n_lines),
+    }
+    try:
+        lvl = levelers[leveler]()
+    except KeyError:
+        raise ValueError(
+            f"unknown wear leveler {leveler!r}; choose from "
+            f"{', '.join(sorted(levelers))}"
+        ) from None
+    arr = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+    write_mask = arr["op"] != 0
+    logicals = (
+        (arr["addr"][write_mask] // np.uint64(line)) % np.uint64(n_lines)
+    ).astype(np.int64)
+    wear = np.zeros(n_lines + lvl.extra_frames)
+    applied, crossed = lvl.write_stream(logicals, wear, endurance)
+    nz = wear[wear > 0]
+    return {
+        "leveler": leveler,
+        "writes": int(len(logicals)),
+        "applied": int(applied),
+        "endurance_crossed": bool(crossed),
+        "max_wear": float(np.max(wear)) if wear.size else 0.0,
+        "mean_wear": float(np.mean(wear)) if wear.size else 0.0,
+        "lines_touched": int(len(nz)),
+        "migration_writes": int(lvl.migration_writes),
+    }
+
+
+# -- cpu sink --------------------------------------------------------------
+
+
+def _replay_cpu(
+    blocks: List[np.ndarray],
+    sim: Simulator,
+    load_latency: int = 3,
+    branch_penalty: int = 2,
+) -> Dict[str, Any]:
+    """In-order scoreboard: 1 cycle/op, load-use stalls, branch bubbles.
+
+    Op classes follow :func:`repro.traces.generators.instr_mix`:
+    0 ALU, 1 load, 2 store, 3 branch.  A consumer of the previous
+    load's destination stalls ``load_latency - 1`` cycles; every branch
+    pays ``branch_penalty`` pipeline bubbles.  Simple, but enough to
+    rank instruction mixes, and fully deterministic.
+    """
+    arr = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+    n = len(arr)
+    ops = arr["op"].tolist()
+    dsts = arr["dst"].tolist()
+    src1s = arr["src1"].tolist()
+    src2s = arr["src2"].tolist()
+
+    state = {"cycles": 0, "stalls": 0, "branches": 0,
+             "loads": 0, "stores": 0, "last_load_dst": -1}
+
+    def step(i: int) -> None:
+        op = ops[i]
+        cycles = 1
+        last = state["last_load_dst"]
+        if last >= 0 and (src1s[i] == last or src2s[i] == last):
+            stall = load_latency - 1
+            cycles += stall
+            state["stalls"] += stall
+        if op == 1:
+            state["loads"] += 1
+            state["last_load_dst"] = dsts[i]
+        else:
+            state["last_load_dst"] = -1
+            if op == 2:
+                state["stores"] += 1
+            elif op == 3:
+                state["branches"] += 1
+                cycles += branch_penalty
+        state["cycles"] += cycles
+
+    def retire(s: Simulator, i: int) -> None:
+        step(i)
+
+    def retire_batch(s: Simulator, run) -> int:
+        # Schedules nothing -> infinite horizon -> whole train per call.
+        k = 0
+        for _t, i in run:
+            step(i)
+            k += 1
+        return k
+
+    as_macro(retire, retire_batch)
+    sim.schedule_batch(arr["ts"], retire, payloads=range(n))
+    sim.run()
+
+    cycles = state["cycles"]
+    return {
+        "instructions": n,
+        "cycles": cycles,
+        "ipc": n / cycles if cycles else 0.0,
+        "stall_cycles": state["stalls"],
+        "loads": state["loads"],
+        "stores": state["stores"],
+        "branches": state["branches"],
+    }
+
+
+#: sink name -> (record kind consumed, implementation).
+SINKS = {
+    "queue": (KIND_REQUEST, _replay_queue),
+    "noc": (KIND_REQUEST, _replay_noc),
+    "memory": (KIND_MEMORY, _replay_memory),
+    "wear": (KIND_MEMORY, _replay_wear),
+    "cpu": (KIND_INSTRUCTION, _replay_cpu),
+}
+
+
+def replay(
+    source: Union[str, bytes, BinaryIO, Iterable[Tuple[int, np.ndarray]]],
+    sink: str = "queue",
+    sink_params: Optional[Dict[str, Any]] = None,
+    fastpath: Optional[str] = None,
+    stats_interval: int = 0,
+) -> ReplayResult:
+    """Replay one trace through one sink.
+
+    ``source`` is a trace path, raw bytes, an open binary file, or an
+    already-decoded iterable of ``(kind, array)`` blocks.  ``fastpath``
+    selects the kernel mode explicitly (default: the
+    ``REPRO_FASTPATH`` environment resolution).  ``stats_interval > 0``
+    attaches an :class:`IntervalStats` pass over every record in the
+    trace (all kinds, not just the replayed lane) and embeds its
+    summary in the result — and therefore in the digest.
+    """
+    try:
+        want_kind, impl = SINKS[sink]
+    except KeyError:
+        raise ValueError(
+            f"unknown replay sink {sink!r}; choose from "
+            f"{', '.join(sorted(SINKS))}"
+        ) from None
+    stats = IntervalStats(stats_interval) if stats_interval > 0 else None
+    blocks = _gather(source, want_kind, stats)
+    sim = Simulator(fastpath=fastpath)
+    outputs = impl(blocks, sim, **(sink_params or {}))
+    n = int(sum(len(b) for b in blocks))
+    return ReplayResult(
+        sink=sink,
+        records=n,
+        outputs=outputs,
+        stats=stats.finish() if stats is not None else {},
+        fastpath=sim.fastpath_mode,
+    )

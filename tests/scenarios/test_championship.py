@@ -1,0 +1,80 @@
+"""Championship harness tests: fixed traces, scored deterministic boards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.championship import (
+    COMPETITIONS,
+    leaderboard_digest,
+    run_all,
+    run_championship,
+)
+
+
+class TestBoards:
+    def test_four_competitions_ship(self):
+        assert set(COMPETITIONS) == {
+            "scheduling", "noc-routing", "wear-leveling", "hedging",
+        }
+
+    @pytest.mark.parametrize("name", sorted(COMPETITIONS))
+    def test_board_is_ranked_ascending_by_score(self, name):
+        board = run_championship(name)
+        entries = board["entries"]
+        assert len(entries) >= 2
+        scores = [e["score"] for e in entries]
+        assert scores == sorted(scores)
+        assert [e["rank"] for e in entries] == list(
+            range(1, len(entries) + 1)
+        )
+        assert "@" in board["scenario"] and board["metric"]
+
+    def test_running_twice_yields_the_identical_digest(self):
+        a = run_championship("scheduling")
+        b = run_championship("scheduling")
+        assert leaderboard_digest(a) == leaderboard_digest(b)
+        assert a == b
+
+    def test_unknown_championship_is_a_value_error(self):
+        with pytest.raises(ValueError, match="scheduling"):
+            run_championship("nope")
+
+
+class TestScoring:
+    def test_hedging_beats_no_hedge_on_straggler_p99(self):
+        board = run_championship("hedging")
+        by_policy = {e["policy"]: e for e in board["entries"]}
+        assert by_policy["no-hedge"]["rank"] == len(board["entries"])
+        assert (by_policy["hedge-p95"]["score"]
+                < by_policy["no-hedge"]["score"])
+
+    def test_wear_board_fully_orders_the_levelers(self):
+        board = run_championship("wear-leveling")
+        scores = [e["score"] for e in board["entries"]]
+        assert len(set(scores)) == len(scores), (
+            "wear levelers must separate, not tie"
+        )
+        policies = [e["policy"] for e in board["entries"]]
+        assert policies.index("none") > policies.index("start-gap")
+
+    def test_entry_rows_carry_metrics(self):
+        board = run_championship("noc-routing")
+        for entry in board["entries"]:
+            assert entry["metrics"], entry["policy"]
+            assert isinstance(entry["score"], float)
+
+
+class TestRunAll:
+    def test_run_all_covers_every_competition_with_one_digest(self):
+        out = run_all()
+        assert set(out["championships"]) == set(COMPETITIONS)
+        assert len(out["digest"]) == 64
+        # The digest is a pure function of the boards.
+        assert out["digest"] == run_all()["digest"]
+
+    def test_digest_excludes_itself(self):
+        board = run_championship("scheduling")
+        d1 = leaderboard_digest(board)
+        board_with = dict(board, digest=d1)
+        assert leaderboard_digest(board_with) == d1

@@ -1,0 +1,117 @@
+"""Scenario library unit tests: resolution, registry, bundle replay."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.scenarios.library import (
+    Scenario,
+    build_trace,
+    get,
+    list_ids,
+    register,
+    replay_scenario,
+    run,
+    write_trace_file,
+)
+from repro.traces.format import TraceReader, dtype_for
+
+
+class TestResolution:
+    def test_exact_id_resolves(self):
+        sc = get("web-steady-rr@1")
+        assert sc.id == "web-steady-rr@1"
+        assert sc.sink == "queue"
+
+    def test_bare_name_resolves_to_latest_version(self):
+        assert get("web-steady-rr").id == "web-steady-rr@1"
+
+    def test_unknown_id_is_a_keyerror_listing_known_ids(self):
+        with pytest.raises(KeyError, match="web-steady-rr@1"):
+            get("no-such-scenario@1")
+        with pytest.raises(KeyError):
+            get("")
+
+    def test_library_ships_at_least_six_ids_sorted(self):
+        ids = list_ids()
+        assert len(ids) >= 6
+        assert list(ids) == sorted(ids)
+        assert all("@" in sid for sid in ids)
+
+    def test_tag_filter_narrows_the_listing(self):
+        noc = list_ids(tag="noc")
+        assert noc
+        assert set(noc) < set(list_ids())
+        assert all("noc" in get(sid).tags for sid in noc)
+
+    def test_every_shipped_scenario_is_internally_valid(self):
+        for sid in list_ids():
+            sc = get(sid)
+            assert sc.id == sid
+            d = sc.to_dict()
+            assert d["id"] == sid
+            assert d["profile"] == sc.profile
+            assert d["sink"] == sc.sink
+
+
+class TestRegistry:
+    def test_reregistering_an_existing_id_is_rejected(self):
+        sc = get("web-steady-rr@1")
+        with pytest.raises(ValueError, match="already registered"):
+            register(sc)
+
+    def test_scenario_validation_rejects_bad_ids(self):
+        with pytest.raises(ValueError):
+            Scenario(name="Bad Name", version=1, description="x",
+                     profile="steady-requests", sink="queue")
+        with pytest.raises(ValueError):
+            Scenario(name="ok-name", version=0, description="x",
+                     profile="steady-requests", sink="queue")
+
+    def test_scenario_validation_rejects_unknown_profile_and_sink(self):
+        with pytest.raises(ValueError, match="profile"):
+            Scenario(name="x-a", version=1, description="x",
+                     profile="nope", sink="queue")
+        with pytest.raises(ValueError, match="sink"):
+            Scenario(name="x-b", version=1, description="x",
+                     profile="steady-requests", sink="nope")
+
+
+class TestBundles:
+    def test_build_trace_matches_declared_profile(self):
+        sc = get("mem-kv-zipf@1")
+        kind, arr = build_trace(sc)
+        assert arr.dtype == dtype_for(kind)
+        assert len(arr) == sc.gen_params["n"]
+
+    def test_write_trace_file_stamps_the_scenario_id(self):
+        sc = get("noc-mesh-8x8@1")
+        buf = io.BytesIO()
+        count = write_trace_file(sc, buf)
+        with TraceReader(buf.getvalue()) as r:
+            assert r.meta["scenario"] == sc.id
+            assert sum(len(a) for _, a in r.blocks()) == count
+
+    def test_run_returns_a_replay_result_with_stats(self):
+        res = run(get("web-steady-rr@1"))
+        assert res.sink == "queue"
+        assert res.records > 0
+        assert res.stats  # stats_interval > 0 for shipped scenarios
+        assert len(res.digest()) == 64
+
+    def test_replay_scenario_is_picklable_and_returns_a_dict(self):
+        import pickle
+
+        pickle.dumps(replay_scenario)  # top-level: exec backends need this
+        out = replay_scenario({"scenario": "wear-hotline"})
+        assert out["scenario"] == "wear-hotline@1"
+        assert out["sink"] == "wear"
+        assert out["digest"] == run(get("wear-hotline@1")).digest()
+
+    def test_replay_scenario_rejects_unknown_and_bad_config(self):
+        with pytest.raises(KeyError):
+            replay_scenario({"scenario": "missing@9"})
+        with pytest.raises(KeyError):
+            replay_scenario({})

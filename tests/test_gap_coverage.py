@@ -78,3 +78,94 @@ class TestDefaultHierarchy:
         res = h.run_trace(np.zeros(4, dtype=np.int64))
         assert res.accesses == 4
         assert res.level_hits["l1"] == 3  # one cold miss
+
+
+class TestMacroTwins:
+    """repro.core.macro — the PR8 scalar/batch pairing contract."""
+
+    def test_as_macro_attaches_twin_and_returns_scalar(self):
+        from repro.core.macro import MACRO_ATTR, as_macro
+
+        def scalar(sim, payload):
+            return None
+
+        def batch(sim, run):
+            return 0
+
+        out = as_macro(scalar, batch)
+        assert out is scalar
+        assert getattr(out, MACRO_ATTR) is batch
+
+    def test_plain_callable_has_no_twin(self):
+        from repro.core.macro import MACRO_ATTR
+
+        assert not hasattr(lambda: None, MACRO_ATTR)
+
+
+class TestFastPathMode:
+    """repro.core.fastpath — mode resolution precedence + validation."""
+
+    def test_explicit_beats_environment(self, monkeypatch):
+        from repro.core.fastpath import ENV_VAR, resolve_mode
+
+        monkeypatch.setenv(ENV_VAR, "off")
+        assert resolve_mode("on") == "on"
+        assert resolve_mode() == "off"
+
+    def test_defaults_to_auto_and_normalizes(self, monkeypatch):
+        from repro.core.fastpath import ENV_VAR, resolve_mode
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_mode() == "auto"
+        assert resolve_mode(" ON ") == "on"
+
+    def test_invalid_mode_is_a_value_error_naming_choices(self):
+        from repro.core.fastpath import resolve_mode
+
+        with pytest.raises(ValueError, match="auto"):
+            resolve_mode("fast")
+
+    def test_simulator_exposes_resolved_mode(self):
+        from repro.core.events import Simulator
+
+        assert Simulator(fastpath="on").fastpath_mode == "on"
+
+
+class TestTransportChaosConfig:
+    """repro.exec.backends.chaos — spec parsing round-trip."""
+
+    def test_spec_roundtrip_and_active_flag(self):
+        from repro.exec.backends.chaos import ChaosConfig
+
+        cfg = ChaosConfig(seed=7, drop=0.02, bitflip=0.01)
+        assert cfg.active
+        assert ChaosConfig.from_spec(cfg.to_spec()) == cfg
+        assert not ChaosConfig().active
+
+    def test_unknown_spec_key_fails_loud(self):
+        from repro.exec.backends.chaos import ChaosConfig
+
+        with pytest.raises(ValueError, match="known keys"):
+            ChaosConfig.from_spec("drp=0.5")
+
+
+class TestRouterTrustPolicies:
+    """repro.exec.backends.router — hedge/verify policy surface."""
+
+    def test_verify_modes_map_to_replica_counts(self):
+        from repro.exec.backends.router import VerifyPolicy
+
+        assert VerifyPolicy(mode="dmr").replicas == 2
+        assert VerifyPolicy(mode="vote").replicas == 3
+        with pytest.raises(ValueError, match="dmr"):
+            VerifyPolicy(mode="tmr")
+        with pytest.raises(ValueError):
+            VerifyPolicy(quarantine_after=0)
+
+    def test_hedge_policy_defaults(self):
+        from repro.exec.backends.router import HedgePolicy
+
+        policy = HedgePolicy()
+        assert policy.delay_s is None  # adaptive until observations land
+        assert 0.0 < policy.quantile < 1.0
+        assert policy.min_observations >= 1

@@ -1,0 +1,180 @@
+"""Trace container unit tests: round-trips, validation, block layout."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.traces.format import (
+    KIND_INSTRUCTION,
+    KIND_MEMORY,
+    KIND_REQUEST,
+    KINDS,
+    InstructionRecord,
+    MemoryRecord,
+    RequestRecord,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    dtype_for,
+    kind_of,
+    read_trace,
+    records_to_array,
+    write_trace,
+)
+
+RECORDS = [
+    RequestRecord(0.0, 125.0, size=512, client=3, target=1, op=2),
+    RequestRecord(0.5, 80.0, size=64, client=4, target=0, op=0),
+    MemoryRecord(1.0, 0xDEAD_BEEF_0040, size=64, op=1, tier=2),
+    InstructionRecord(2.0, 0x400004, op=3, dst=7, src1=1, src2=2, imm=-16),
+]
+
+
+class TestRoundTrip:
+    def test_records_roundtrip_across_kinds_in_order(self):
+        buf = io.BytesIO()
+        write_trace(buf, RECORDS, meta={"source": "unit"})
+        assert read_trace(buf.getvalue()) == RECORDS
+
+    def test_meta_roundtrips_and_defaults_to_empty(self):
+        buf = io.BytesIO()
+        write_trace(buf, RECORDS[:1], meta={"k": [1, 2], "s": "x"})
+        with TraceReader(buf.getvalue()) as r:
+            assert r.meta == {"k": [1, 2], "s": "x"}
+        buf2 = io.BytesIO()
+        write_trace(buf2, RECORDS[:1])
+        with TraceReader(buf2.getvalue()) as r:
+            assert r.meta == {}
+
+    def test_file_target_roundtrips(self, tmp_path):
+        path = str(tmp_path / "t.rtrc")
+        assert write_trace(path, RECORDS) == len(RECORDS)
+        assert read_trace(path) == RECORDS
+
+    def test_block_split_preserves_order(self):
+        # A tiny block size forces many blocks; order must not change.
+        recs = [RequestRecord(float(i), 1.0) for i in range(10)]
+        buf = io.BytesIO()
+        with TraceWriter(buf, block_records=3) as w:
+            w.extend(recs)
+            assert w.blocks_written >= 3
+        assert read_trace(buf.getvalue()) == recs
+
+    def test_kind_change_flushes_but_keeps_order(self):
+        recs = [
+            RequestRecord(0.0, 1.0),
+            MemoryRecord(0.0, 64),
+            RequestRecord(0.0, 2.0),
+        ]
+        buf = io.BytesIO()
+        with TraceWriter(buf) as w:
+            w.extend(recs)
+            assert w.blocks_written == 2  # third record re-opens a block
+        assert read_trace(buf.getvalue()) == recs
+
+    def test_write_block_fast_path_matches_append_bytes(self):
+        arr = records_to_array(KIND_REQUEST, RECORDS[:2])
+        via_append = io.BytesIO()
+        write_trace(via_append, RECORDS[:2])
+        via_block = io.BytesIO()
+        with TraceWriter(via_block) as w:
+            w.write_block(KIND_REQUEST, arr)
+        assert via_block.getvalue() == via_append.getvalue()
+
+    def test_blocks_iteration_yields_structured_arrays(self):
+        buf = io.BytesIO()
+        write_trace(buf, RECORDS)
+        with TraceReader(buf.getvalue()) as r:
+            blocks = list(r.blocks())
+        assert [k for k, _ in blocks] == [
+            KIND_REQUEST, KIND_MEMORY, KIND_INSTRUCTION,
+        ]
+        req = blocks[0][1]
+        assert req.dtype == dtype_for(KIND_REQUEST)
+        assert req["size"].tolist() == [512, 64]
+
+
+class TestWriterValidation:
+    def test_decreasing_timestamps_rejected(self):
+        with TraceWriter(io.BytesIO()) as w:
+            w.append(RequestRecord(5.0, 1.0))
+            with pytest.raises(TraceFormatError, match="nondecreasing"):
+                w.append(RequestRecord(4.9, 1.0))
+
+    def test_decreasing_timestamps_rejected_across_write_block(self):
+        arr = records_to_array(
+            KIND_REQUEST, [RequestRecord(1.0, 1.0)]
+        )
+        with TraceWriter(io.BytesIO()) as w:
+            w.append(RequestRecord(2.0, 1.0))
+            with pytest.raises(TraceFormatError, match="nondecreasing"):
+                w.write_block(KIND_REQUEST, arr)
+
+    def test_field_out_of_range_is_typed(self):
+        with TraceWriter(io.BytesIO()) as w:
+            w.append(RequestRecord(0.0, 1.0, client=1 << 20))  # u2 field
+            with pytest.raises(TraceFormatError, match="range"):
+                w.close()
+
+    def test_foreign_object_is_typed(self):
+        with pytest.raises(TraceFormatError, match="not a trace record"):
+            kind_of(object())
+        with TraceWriter(io.BytesIO()) as w:
+            with pytest.raises(TraceFormatError):
+                w.append("nope")
+
+    def test_wrong_dtype_block_rejected(self):
+        with TraceWriter(io.BytesIO()) as w:
+            with pytest.raises(TraceFormatError, match="dtype"):
+                w.write_block(KIND_REQUEST, np.zeros(3))
+
+    def test_mixed_kind_array_build_rejected(self):
+        with pytest.raises(TraceFormatError):
+            records_to_array(KIND_REQUEST, [RECORDS[0], RECORDS[2]])
+
+    def test_oversized_meta_rejected(self):
+        with pytest.raises(TraceFormatError, match="too large"):
+            TraceWriter(io.BytesIO(), meta={"pad": "x" * (1 << 17)})
+
+    def test_closed_writer_refuses_appends(self):
+        w = TraceWriter(io.BytesIO())
+        w.close()
+        with pytest.raises(ValueError, match="closed"):
+            w.append(RECORDS[0])
+
+    def test_unknown_kind_rejected_everywhere(self):
+        with pytest.raises(TraceFormatError, match="unknown record kind"):
+            dtype_for(99)
+        with TraceWriter(io.BytesIO()) as w:
+            with pytest.raises(TraceFormatError, match="unknown record kind"):
+                w.write_block(99, np.zeros(1))
+
+
+class TestLayoutInvariants:
+    def test_struct_and_dtype_describe_identical_bytes(self):
+        for kind, (cls, packer, dtype, fields) in KINDS.items():
+            assert packer.size == dtype.itemsize, cls.__name__
+            rec = RECORDS[{KIND_REQUEST: 0, KIND_MEMORY: 2,
+                           KIND_INSTRUCTION: 3}[kind]]
+            packed = packer.pack(*(getattr(rec, f) for f in fields))
+            arr = records_to_array(kind, [rec])
+            assert arr.tobytes() == packed
+
+    def test_large_array_splits_at_block_cap(self):
+        from repro.traces.format import MAX_BLOCK_BYTES
+
+        dtype = dtype_for(KIND_MEMORY)
+        n = MAX_BLOCK_BYTES // dtype.itemsize + 7
+        arr = np.zeros(n, dtype=dtype)
+        arr["ts"] = np.arange(n, dtype=float)
+        buf = io.BytesIO()
+        with TraceWriter(buf) as w:
+            w.write_block(KIND_MEMORY, arr)
+            assert w.blocks_written == 2
+            assert w.records_written == n
+        with TraceReader(buf.getvalue()) as r:
+            total = sum(len(a) for _, a in r.blocks())
+        assert total == n

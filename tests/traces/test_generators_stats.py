@@ -1,0 +1,133 @@
+"""Generator and interval-statistics unit tests."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.traces.format import TraceReader, dtype_for
+from repro.traces.generators import (
+    PROFILES,
+    generate,
+    generate_trace,
+    profile_names,
+)
+from repro.traces.stats import IntervalStats
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_every_profile_yields_a_valid_sorted_block(self, profile):
+        kind, arr = generate(profile, seed=3, n=500)
+        assert arr.dtype == dtype_for(kind)
+        assert len(arr) == 500
+        ts = arr["ts"]
+        assert np.all(np.diff(ts) >= 0)
+        assert np.all(np.isfinite(ts))
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_same_seed_same_bytes_different_seed_different(self, profile):
+        _, a = generate(profile, seed=11, n=300)
+        _, b = generate(profile, seed=11, n=300)
+        _, c = generate(profile, seed=12, n=300)
+        assert a.tobytes() == b.tobytes()
+        assert c.tobytes() != a.tobytes()
+
+    def test_unknown_profile_is_a_value_error_naming_choices(self):
+        with pytest.raises(ValueError, match="steady-requests"):
+            generate("nope")
+
+    def test_profile_names_sorted(self):
+        names = profile_names()
+        assert list(names) == sorted(names)
+        assert "kv-zipf" in names
+
+    def test_generate_trace_writes_a_readable_file_with_meta(self):
+        buf = io.BytesIO()
+        count = generate_trace(buf, "kv-zipf", seed=5, n=400)
+        assert count == 400
+        with TraceReader(buf.getvalue()) as r:
+            assert r.meta["profile"] == "kv-zipf"
+            assert r.meta["seed"] == 5
+            assert r.meta["params"] == {"n": 400}
+            assert sum(len(a) for _, a in r.blocks()) == 400
+
+    def test_noc_profiles_never_self_send(self):
+        for profile in ("noc-uniform", "noc-hotspot"):
+            _, arr = generate(profile, seed=2, n=400, nodes=16)
+            assert np.all(arr["client"] % 16 != arr["target"] % 16)
+
+    def test_straggler_tail_dominates_p99_not_mean(self):
+        _, arr = generate("straggler-requests", seed=1, n=5000)
+        s = arr["service_us"]
+        assert np.percentile(s, 99) > 4 * np.mean(s)
+
+    def test_wear_hotline_concentrates_writes(self):
+        _, arr = generate("wear-hotline", seed=1, n=5000)
+        lines = arr["addr"] // 64
+        _, counts = np.unique(lines, return_counts=True)
+        top8 = np.sort(counts)[-8:].sum()
+        assert top8 > 0.7 * len(arr)
+        assert np.all(arr["op"] == 1)
+
+
+class TestIntervalStats:
+    def test_snapshot_every_interval_plus_trailing_partial(self):
+        kind, arr = generate("steady-requests", seed=0, n=2500)
+        stats = IntervalStats(1000)
+        stats.feed(kind, arr)
+        summary = stats.finish()
+        assert summary["intervals"] == 3
+        assert summary["records"] == 2500
+        assert [s["records"] for s in stats.snapshots] == [1000, 1000, 500]
+
+    def test_counts_and_sums_match_direct_reduction(self):
+        kind, arr = generate("kv-zipf", seed=4, n=3000)
+        stats = IntervalStats(1000)
+        stats.feed(kind, arr)
+        summary = stats.finish()
+        mem = summary["memory"]
+        assert mem["count"] == 3000
+        assert mem["writes"] == int(np.count_nonzero(arr["op"]))
+        assert mem["reads"] == 3000 - mem["writes"]
+        assert mem["bytes"] == int(np.sum(arr["size"], dtype=np.int64))
+
+    def test_interval_timestamps_bracket_the_data(self):
+        kind, arr = generate("instr-mix", seed=4, n=1500)
+        stats = IntervalStats(1000)
+        stats.feed(kind, arr)
+        stats.finish()
+        first, second = stats.snapshots
+        assert first["ts_first"] == float(arr["ts"][0])
+        assert first["ts_last"] == float(arr["ts"][999])
+        assert second["ts_first"] == float(arr["ts"][1000])
+        assert second["ts_last"] == float(arr["ts"][-1])
+
+    def test_mixed_kind_stream_reports_both_sections(self):
+        k1, req = generate("steady-requests", seed=1, n=600)
+        k2, mem = generate("kv-zipf", seed=1, n=600)
+        stats = IntervalStats(500)
+        stats.feed(k1, req)
+        # Shift memory timestamps after the requests (stats do not
+        # require global order, but be realistic).
+        stats.feed(k2, mem)
+        summary = stats.finish()
+        assert summary["request"]["count"] == 600
+        assert summary["memory"]["count"] == 600
+
+    def test_finish_is_idempotent_and_feed_after_finish_fails(self):
+        kind, arr = generate("instr-mix", seed=0, n=100)
+        stats = IntervalStats(50)
+        stats.feed(kind, arr)
+        assert stats.finish() == stats.finish()
+        with pytest.raises(ValueError, match="finished"):
+            stats.feed(kind, arr)
+
+    def test_bad_interval_and_bad_kind_are_value_errors(self):
+        with pytest.raises(ValueError):
+            IntervalStats(0)
+        stats = IntervalStats(10)
+        with pytest.raises(ValueError, match="kind"):
+            stats.feed(42, np.zeros(1))

@@ -1,0 +1,156 @@
+"""Property tests: write→read identity, stats chunk invariance.
+
+Two invariants the rest of the PR leans on, checked over arbitrary
+valid inputs rather than fixtures:
+
+* Any valid record sequence (any kind interleaving, any nondecreasing
+  timestamps, any in-range field values) survives
+  writer → bytes → reader exactly — same records, same order, same
+  values.
+* :class:`IntervalStats` is invariant to how the stream is chunked:
+  one block or many arbitrary slices, byte-identical snapshots.  This
+  is the guarantee that lets the reader pick any block size for
+  throughput without perturbing pinned digests.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.format import (
+    InstructionRecord,
+    MemoryRecord,
+    RequestRecord,
+    read_trace,
+    write_trace,
+)
+from repro.traces.generators import generate
+from repro.traces.stats import IntervalStats
+
+# Finite, exactly-representable timestamps (floats round-trip exactly
+# through the packed f8 field regardless, but NaN ordering would make
+# "nondecreasing" meaningless).
+_ts_deltas = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=0, max_size=60,
+)
+
+_u8 = st.integers(0, 0xFF)
+_u16 = st.integers(0, 0xFFFF)
+_u32 = st.integers(0, 0xFFFFFFFF)
+_u64 = st.integers(0, 0xFFFFFFFFFFFFFFFF)
+_i32 = st.integers(-(1 << 31), (1 << 31) - 1)
+_service = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                     allow_infinity=False)
+
+
+def _record_strategy(ts: float):
+    return st.one_of(
+        st.builds(RequestRecord, st.just(ts), _service, size=_u32,
+                  client=_u16, target=_u16, op=_u8),
+        st.builds(MemoryRecord, st.just(ts), _u64, size=_u16, op=_u8,
+                  tier=_u8),
+        st.builds(InstructionRecord, st.just(ts), _u64, op=_u8, dst=_u8,
+                  src1=_u8, src2=_u8, imm=_i32),
+    )
+
+
+@st.composite
+def record_sequences(draw):
+    """Arbitrary valid sequences: mixed kinds, nondecreasing ts."""
+    deltas = draw(_ts_deltas)
+    ts = 0.0
+    records = []
+    for delta in deltas:
+        ts += delta
+        records.append(draw(_record_strategy(ts)))
+    return records
+
+
+class TestRoundTripIdentity:
+    @given(records=record_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_writer_reader_roundtrip_is_identity(self, records):
+        buf = io.BytesIO()
+        count = write_trace(buf, records)
+        assert count == len(records)
+        assert read_trace(buf.getvalue()) == records
+
+    @given(records=record_sequences(),
+           block_records=st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_is_identity_at_any_block_size(
+        self, records, block_records
+    ):
+        from repro.traces.format import TraceWriter
+
+        buf = io.BytesIO()
+        with TraceWriter(buf, block_records=block_records) as w:
+            w.extend(records)
+        assert read_trace(buf.getvalue()) == records
+
+
+def _chunks(n: int, cuts: list) -> list:
+    """Slice [0, n) at the (sorted, deduped, in-range) cut offsets."""
+    points = sorted({min(c, n) for c in cuts})
+    bounds = [0] + points + [n]
+    return [
+        (start, stop)
+        for start, stop in zip(bounds, bounds[1:])
+        if stop > start
+    ]
+
+
+class TestChunkInvariance:
+    @given(
+        interval=st.integers(1, 700),
+        cuts=st.lists(st.integers(0, 2000), max_size=12),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interval_stats_invariant_to_chunking(
+        self, interval, cuts, seed
+    ):
+        kind, arr = generate("kv-zipf", seed=seed, n=2000)
+
+        whole = IntervalStats(interval)
+        whole.feed(kind, arr)
+        expected_summary = whole.finish()
+        expected_snaps = list(whole.snapshots)  # after finish: trailing
+        # partial interval included
+
+        chunked = IntervalStats(interval)
+        for start, stop in _chunks(len(arr), cuts):
+            chunked.feed(kind, arr[start:stop])
+        got_summary = chunked.finish()
+
+        # Byte-identical, not approximately-equal: JSON catches any
+        # float drift a == comparison on nested dicts would too, but
+        # renders a readable diff on failure.
+        assert json.dumps(chunked.snapshots, sort_keys=True) == json.dumps(
+            expected_snaps, sort_keys=True
+        )
+        assert got_summary == expected_summary
+
+    @given(cuts=st.lists(st.integers(0, 1500), max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_mixed_kind_stream_is_chunk_invariant_too(self, cuts):
+        k_req, req = generate("steady-requests", seed=9, n=750)
+        k_mem, mem = generate("kv-zipf", seed=9, n=750)
+
+        whole = IntervalStats(400)
+        whole.feed(k_req, req)
+        whole.feed(k_mem, mem)
+        expected = whole.finish()
+
+        chunked = IntervalStats(400)
+        for start, stop in _chunks(len(req), cuts):
+            chunked.feed(k_req, req[start:stop])
+        for start, stop in _chunks(len(mem), cuts):
+            chunked.feed(k_mem, mem[start:stop])
+        assert chunked.finish() == expected

@@ -1,0 +1,245 @@
+"""Trace-container fuzz: hostile bytes yield typed errors, never crashes.
+
+Same contract as the frame-decoder fuzz suite
+(``tests/chaos/test_frame_fuzz.py``), applied to the on-disk trace
+format: random blobs, truncation at every byte offset, single-bit
+flips, version skew, and lying length fields must all surface as
+:class:`TraceError` subclasses — no raw ``struct``/``json``/``numpy``
+exceptions, no silent misparses, no hangs.  Unlike the stream decoder,
+a trace file has *legal* early EOFs: any block boundary is a clean stop
+(a shorter trace, not a broken one), so the truncation sweep
+distinguishes boundary cuts from mid-structure cuts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.traces.format import (
+    FORMAT_VERSION,
+    MAX_BLOCK_BYTES,
+    MAX_META_BYTES,
+    TRACE_MAGIC,
+    MemoryRecord,
+    RequestRecord,
+    TraceCorruptError,
+    TraceError,
+    TraceFormatError,
+    TraceReader,
+    TraceVersionError,
+    write_trace,
+)
+
+_FILE_HEADER = struct.Struct("!4sHH")
+_BLOCK_HEADER = struct.Struct("!BII")
+
+RECORDS = [
+    RequestRecord(0.0, 10.0, size=128, client=1, target=2, op=1),
+    RequestRecord(1.0, 20.0, size=256, client=2, target=3, op=0),
+    MemoryRecord(2.0, 0x1000, size=64, op=1, tier=1),
+]
+
+
+def _trace(
+    meta: dict | None = None,
+    magic: bytes = TRACE_MAGIC,
+    version: int = FORMAT_VERSION,
+    meta_len: int | None = None,
+    meta_crc: int | None = None,
+) -> bytes:
+    """A trace file, well-formed by default, malformable field by field."""
+    meta_bytes = json.dumps(meta or {}, sort_keys=True,
+                            separators=(",", ":")).encode()
+    header = _FILE_HEADER.pack(
+        magic, version,
+        len(meta_bytes) if meta_len is None else meta_len,
+    )
+    crc = (zlib.crc32(meta_bytes) & 0xFFFFFFFF
+           if meta_crc is None else meta_crc)
+    body = io.BytesIO()
+    write_trace(body, RECORDS, meta=meta or {})
+    # Splice the (possibly damaged) header onto the canonical blocks;
+    # the inner write used the same meta, so the offsets line up.
+    blocks = body.getvalue()[_FILE_HEADER.size + len(meta_bytes) + 4:]
+    return header + meta_bytes + struct.pack("!I", crc) + blocks
+
+
+def _block(kind: int, count: int, body: bytes,
+           crc: int | None = None) -> bytes:
+    head = _BLOCK_HEADER.pack(kind, count, len(body))
+    if crc is None:
+        crc = zlib.crc32(head) & 0xFFFFFFFF
+        crc = zlib.crc32(body, crc) & 0xFFFFFFFF
+    return head + struct.pack("!I", crc) + body
+
+
+def _read_all(blob: bytes) -> list:
+    with TraceReader(blob) as reader:
+        return list(reader.records())
+
+
+def _boundaries(blob: bytes) -> set[int]:
+    """Byte offsets where EOF is legal: after the header, after each
+    block (including the end of the file)."""
+    meta_len = _FILE_HEADER.unpack_from(blob)[2]
+    pos = _FILE_HEADER.size + meta_len + 4
+    cuts = {pos}
+    while pos < len(blob):
+        _, _, body_len = _BLOCK_HEADER.unpack_from(blob, pos)
+        pos += _BLOCK_HEADER.size + 4 + body_len
+        cuts.add(pos)
+    return cuts
+
+
+def test_wellformed_trace_roundtrips():
+    assert _read_all(_trace(meta={"a": 1})) == RECORDS
+
+
+def test_random_garbage_never_escapes_the_trace_error_type():
+    rng = random.Random(0x7ACE)
+    outcomes = {"ok": 0, "errors": 0}
+    for _ in range(300):
+        blob = rng.randbytes(rng.randrange(0, 128))
+        try:
+            _read_all(blob)
+            outcomes["ok"] += 1
+        except TraceError:
+            outcomes["errors"] += 1
+        # Anything else (struct.error, json.JSONDecodeError,
+        # UnicodeDecodeError, numpy ValueError) propagates and fails.
+    assert outcomes["errors"] > 0
+
+
+def test_garbage_with_valid_magic_is_still_typed():
+    rng = random.Random(2014)
+    for _ in range(200):
+        blob = TRACE_MAGIC + rng.randbytes(rng.randrange(0, 96))
+        with pytest.raises(TraceError):
+            _read_all(blob)
+
+
+def test_every_truncation_point_fails_loud_or_stops_clean():
+    raw = _trace()
+    legal = _boundaries(raw)
+    for cut in range(len(raw) + 1):
+        if cut in legal:
+            parsed = _read_all(raw[:cut])  # clean shorter trace
+            assert len(parsed) <= len(RECORDS)
+        else:
+            with pytest.raises(TraceError):
+                _read_all(raw[:cut])
+
+
+def test_single_bit_flips_are_always_detected():
+    raw = _trace(meta={"x": "y"})
+    rng = random.Random(20140216)
+    for _ in range(250):
+        victim = rng.randrange(len(raw) * 8)
+        damaged = bytearray(raw)
+        damaged[victim // 8] ^= 1 << (victim % 8)
+        with pytest.raises(TraceError):
+            _read_all(bytes(damaged))
+
+
+def test_bad_magic_is_rejected():
+    with pytest.raises(TraceFormatError, match="magic"):
+        _read_all(_trace(magic=b"NOPE"))
+
+
+def test_version_skew_is_a_distinct_loud_error():
+    with pytest.raises(TraceVersionError, match="upgrade"):
+        _read_all(_trace(version=FORMAT_VERSION + 1))
+    with pytest.raises(TraceVersionError):
+        _read_all(_trace(version=0))
+
+
+def test_meta_checksum_mismatch_is_corrupt():
+    with pytest.raises(TraceCorruptError, match="checksum"):
+        _read_all(_trace(meta={"a": 1}, meta_crc=0))
+
+
+def test_oversized_meta_length_is_rejected_before_allocation():
+    with pytest.raises(TraceFormatError, match="cap"):
+        _read_all(_trace(meta_len=MAX_META_BYTES + 1))
+
+
+def test_meta_that_is_not_json_is_typed():
+    bad = b"\xff\xfe not json"
+    header = _FILE_HEADER.pack(TRACE_MAGIC, FORMAT_VERSION, len(bad))
+    crc = struct.pack("!I", zlib.crc32(bad) & 0xFFFFFFFF)
+    with pytest.raises(TraceFormatError, match="JSON"):
+        _read_all(header + bad + crc)
+
+
+def test_meta_that_is_not_an_object_is_typed():
+    bad = b"[1,2,3]"
+    header = _FILE_HEADER.pack(TRACE_MAGIC, FORMAT_VERSION, len(bad))
+    crc = struct.pack("!I", zlib.crc32(bad) & 0xFFFFFFFF)
+    with pytest.raises(TraceFormatError, match="object"):
+        _read_all(header + bad + crc)
+
+
+def _header_only() -> bytes:
+    empty = b"{}"
+    return (_FILE_HEADER.pack(TRACE_MAGIC, FORMAT_VERSION, len(empty))
+            + empty + struct.pack("!I", zlib.crc32(empty) & 0xFFFFFFFF))
+
+
+def test_oversized_block_length_is_rejected_before_allocation():
+    # A block header claiming an enormous body must fail on the length
+    # field itself, before any read or allocation of the body.
+    head = _BLOCK_HEADER.pack(1, 1, MAX_BLOCK_BYTES + 1)
+    blob = _header_only() + head + struct.pack("!I", 0)
+    with pytest.raises(TraceFormatError, match="cap"):
+        _read_all(blob)
+
+
+def test_unknown_block_kind_is_typed():
+    blob = _header_only() + _block(7, 0, b"")
+    with pytest.raises(TraceFormatError, match="kind"):
+        _read_all(blob)
+
+
+def test_count_body_length_mismatch_is_typed():
+    # 25-byte request records: claim 2 records but ship 25 bytes.
+    blob = _header_only() + _block(1, 2, b"\0" * 25)
+    with pytest.raises(TraceFormatError, match="inconsistent"):
+        _read_all(blob)
+
+
+def test_block_crc_mismatch_is_corrupt():
+    body = b"\0" * 25
+    blob = _header_only() + _block(1, 1, body, crc=0xDEADBEEF)
+    with pytest.raises(TraceCorruptError, match="checksum"):
+        _read_all(blob)
+
+
+def test_non_monotonic_block_timestamps_are_typed():
+    # Two well-formed request blocks whose timestamps go backwards:
+    # each block passes its CRC, the ordering check must still fire.
+    b1 = io.BytesIO()
+    write_trace(b1, [RequestRecord(5.0, 1.0)])
+    b2 = io.BytesIO()
+    write_trace(b2, [RequestRecord(1.0, 1.0)])
+    header_len = len(_header_only())
+    blob = b1.getvalue() + b2.getvalue()[header_len:]
+    with pytest.raises(TraceFormatError, match="nondecreasing"):
+        _read_all(blob)
+
+
+def test_reader_accepts_path_bytes_and_fileobj(tmp_path):
+    raw = _trace()
+    path = tmp_path / "t.rtrc"
+    path.write_bytes(raw)
+    assert _read_all(raw) == RECORDS
+    with TraceReader(str(path)) as r:
+        assert list(r.records()) == RECORDS
+    with open(path, "rb") as f:
+        with TraceReader(f) as r:
+            assert list(r.records()) == RECORDS
